@@ -1,0 +1,320 @@
+package stoneage
+
+// One benchmark per experiment in DESIGN.md's index (E1–E12), plus the
+// ablation benches the design calls out (single-letter counting fast
+// path, synchronizer phase cost, engine-vs-sweep). Each bench regenerates
+// the core measurement of its experiment; `go test -bench=.` therefore
+// reproduces the full evaluation in miniature, and the reported ns/op
+// track the simulation cost of each subsystem.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"stoneage/internal/baseline"
+	"stoneage/internal/coloring"
+	"stoneage/internal/degcolor"
+	"stoneage/internal/engine"
+	"stoneage/internal/graph"
+	"stoneage/internal/lba"
+	"stoneage/internal/matching"
+	"stoneage/internal/mis"
+	"stoneage/internal/synchro"
+	"stoneage/internal/xrand"
+)
+
+// BenchmarkMISSync is E1: synchronous MIS across network sizes.
+func BenchmarkMISSync(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		g := graph.GnpConnected(n, 4.0/float64(n), xrand.New(uint64(n)))
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rounds := 0
+			for i := 0; i < b.N; i++ {
+				run, err := mis.SolveSync(g, uint64(i), 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = run.Rounds
+			}
+			l := math.Log2(float64(n))
+			b.ReportMetric(float64(rounds), "rounds")
+			b.ReportMetric(float64(rounds)/(l*l), "rounds/log²n")
+		})
+	}
+}
+
+// BenchmarkMISAsync is E2: the compiled MIS protocol under adversaries.
+func BenchmarkMISAsync(b *testing.B) {
+	g := graph.GnpConnected(32, 0.125, xrand.New(3))
+	for _, name := range []string{"sync", "uniform", "overwriter"} {
+		adv := engine.NamedAdversaries(9)[name]
+		b.Run(name, func(b *testing.B) {
+			tu := 0.0
+			for i := 0; i < b.N; i++ {
+				run, err := mis.SolveAsync(g, uint64(i), adv, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tu = run.TimeUnits
+			}
+			b.ReportMetric(tu, "time-units")
+		})
+	}
+}
+
+// BenchmarkSynchronizerOverhead is E3: async time-units per sync round.
+func BenchmarkSynchronizerOverhead(b *testing.B) {
+	g := graph.GnpConnected(48, 4.0/48, xrand.New(4))
+	sres, err := engine.RunSync(mis.Protocol(), g, engine.SyncConfig{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("compiled", func(b *testing.B) {
+		ratio := 0.0
+		for i := 0; i < b.N; i++ {
+			compiled, err := synchro.CompileRound(mis.Protocol())
+			if err != nil {
+				b.Fatal(err)
+			}
+			ares, err := engine.RunAsync(compiled, g, engine.AsyncConfig{Seed: uint64(i)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ratio = ares.TimeUnits / float64(sres.Rounds)
+		}
+		b.ReportMetric(ratio, "TU/round")
+	})
+}
+
+// BenchmarkMultiLetterExpansion is E4: the Theorem 3.4 subround factor.
+func BenchmarkMultiLetterExpansion(b *testing.B) {
+	g := graph.GnpConnected(64, 4.0/64, xrand.New(5))
+	exp, err := synchro.Expand(mis.Protocol())
+	if err != nil {
+		b.Fatal(err)
+	}
+	factor := 0.0
+	for i := 0; i < b.N; i++ {
+		direct, err := engine.RunSync(mis.Protocol(), g, engine.SyncConfig{Seed: uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eres, err := engine.RunSync(exp, g, engine.SyncConfig{Seed: uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		factor = float64(eres.Rounds) / float64(direct.Rounds)
+	}
+	b.ReportMetric(factor, "expansion")
+}
+
+// BenchmarkColoringSync is E5: tree 3-coloring across sizes.
+func BenchmarkColoringSync(b *testing.B) {
+	for _, n := range []int{64, 1024, 8192} {
+		g := graph.RandomTree(n, xrand.New(uint64(n)))
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rounds := 0
+			for i := 0; i < b.N; i++ {
+				run, err := coloring.SolveSync(g, uint64(i), 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = run.Rounds
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+			b.ReportMetric(float64(rounds)/math.Log2(float64(n)), "rounds/logn")
+		})
+	}
+}
+
+// BenchmarkEdgeDecay is E6: the instrumented tournament census.
+func BenchmarkEdgeDecay(b *testing.B) {
+	g := graph.Gnp(256, 8.0/256, xrand.New(6))
+	decay := 0.0
+	for i := 0; i < b.N; i++ {
+		_, ts, err := mis.SolveSyncInstrumented(g, uint64(i), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratios := ts.DecayRatios()
+		sum := 0.0
+		for _, r := range ratios {
+			sum += r
+		}
+		if len(ratios) > 0 {
+			decay = sum / float64(len(ratios))
+		}
+	}
+	b.ReportMetric(decay, "mean-edge-decay")
+}
+
+// BenchmarkLBASimulatesNFSM is E8: the Lemma 6.1 two-sweep simulator.
+func BenchmarkLBASimulatesNFSM(b *testing.B) {
+	g := graph.Gnp(64, 0.1, xrand.New(7))
+	for i := 0; i < b.N; i++ {
+		if _, err := lba.SimulateNFSM(mis.Protocol(), g, lba.SweepConfig{Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNFSMSimulatesLBA is E9: the Lemma 6.2 path simulation.
+func BenchmarkNFSMSimulatesLBA(b *testing.B) {
+	tm := lba.ABC()
+	input := make([]lba.Symbol, 0, 24)
+	for _, s := range []lba.Symbol{lba.SymA, lba.SymB, lba.SymC} {
+		for i := 0; i < 8; i++ {
+			input = append(input, s)
+		}
+	}
+	rounds := 0
+	for i := 0; i < b.N; i++ {
+		run, err := lba.RunOnPath(tm, input, uint64(i), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !run.Accepted {
+			b.Fatal("a⁸b⁸c⁸ rejected")
+		}
+		rounds = run.Rounds
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+}
+
+// BenchmarkBaselines is E10: the classical comparison points.
+func BenchmarkBaselines(b *testing.B) {
+	g := graph.GnpConnected(256, 8.0/256, xrand.New(8))
+	algos := map[string]func(seed uint64) (int, error){
+		"luby": func(seed uint64) (int, error) {
+			_, r, err := baseline.LubyMIS(g, seed, 0)
+			return r, err
+		},
+		"abi": func(seed uint64) (int, error) {
+			_, r, err := baseline.ABIMIS(g, seed, 0)
+			return r, err
+		},
+		"bitstream": func(seed uint64) (int, error) {
+			_, r, err := baseline.BitStreamMIS(g, seed, 1<<20)
+			return r, err
+		},
+		"beeping": func(seed uint64) (int, error) {
+			_, r, err := baseline.BeepMIS(g, seed, 1<<20)
+			return r, err
+		},
+		"nfsm": func(seed uint64) (int, error) {
+			run, err := mis.SolveSync(g, seed, 0)
+			if err != nil {
+				return 0, err
+			}
+			return run.Rounds, nil
+		},
+	}
+	for _, name := range []string{"luby", "abi", "bitstream", "beeping", "nfsm"} {
+		run := algos[name]
+		b.Run(name, func(b *testing.B) {
+			rounds := 0
+			for i := 0; i < b.N; i++ {
+				r, err := run(uint64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = r
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+		})
+	}
+}
+
+// BenchmarkMatching is E11: the extended-model maximal matching.
+func BenchmarkMatching(b *testing.B) {
+	for _, n := range []int{64, 512} {
+		g := graph.GnpConnected(n, 4.0/float64(n), xrand.New(uint64(n)))
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rounds := 0
+			for i := 0; i < b.N; i++ {
+				res, err := matching.Solve(g, uint64(i), 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = res.Rounds
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+		})
+	}
+}
+
+// BenchmarkDegColor is E12: the bounded-degree (Δ+1)-coloring extension.
+func BenchmarkDegColor(b *testing.B) {
+	g := graph.Torus(24, 24)
+	rounds := 0
+	for i := 0; i < b.N; i++ {
+		run, err := degcolor.SolveSync(g, 4, uint64(i), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = run.Rounds
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+}
+
+// BenchmarkCounterAblation isolates the engine's single-letter counting
+// fast path (used for literal single-query protocols such as compiled
+// ones) against the full-vector count a RoundProtocol needs. The gap is
+// the price of multi-letter queries per node step.
+func BenchmarkCounterAblation(b *testing.B) {
+	g := graph.Clique(64)
+	b.Run("full-vector/mis-round-protocol", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.RunSync(mis.Protocol(), g, engine.SyncConfig{Seed: uint64(i)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("single-letter/expanded", func(b *testing.B) {
+		exp, err := synchro.Expand(mis.Protocol())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.RunSync(exp, g, engine.SyncConfig{Seed: uint64(i)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCompilePhaseCost measures one simulated round of the compiled
+// MIS protocol per node (the Theorem 3.1 constant, in wall-clock form).
+func BenchmarkCompilePhaseCost(b *testing.B) {
+	g := graph.Cycle(16)
+	compiled, err := synchro.CompileRound(mis.Protocol())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.RunAsync(compiled, g, engine.AsyncConfig{Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineStep measures the raw per-step cost of the two engines
+// (an ablation for the event-queue overhead of the asynchronous engine).
+func BenchmarkEngineStep(b *testing.B) {
+	g := graph.GnpConnected(128, 4.0/128, xrand.New(9))
+	b.Run("sync", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.RunSync(mis.Protocol(), g, engine.SyncConfig{Seed: uint64(i)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sweep", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := lba.SimulateNFSM(mis.Protocol(), g, lba.SweepConfig{Seed: uint64(i)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

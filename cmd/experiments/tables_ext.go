@@ -1,0 +1,180 @@
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"stoneage/internal/baseline"
+	"stoneage/internal/coloring"
+	"stoneage/internal/degcolor"
+	"stoneage/internal/graph"
+	"stoneage/internal/harness"
+	"stoneage/internal/mis"
+	"stoneage/internal/xrand"
+)
+
+// expE12 measures the bounded-degree (Δ+1)-coloring extension.
+func expE12(cfg config) ([]*harness.Table, error) {
+	sizes := harness.GeoSizes(16, 4096, 4)
+	trials := 3
+	if cfg.quick {
+		sizes = harness.GeoSizes(16, 256, 4)
+		trials = 2
+	}
+	t := &harness.Table{
+		Title:  "(Δ+1)-coloring rounds under the pure nFSM model (bounded degree)",
+		Header: append([]string{"family (Δ)"}, sizeHeaders(sizes, "best fit")...),
+	}
+	fams := []struct {
+		name   string
+		maxDeg int
+		gen    func(n int, src *xrand.Source) *graph.Graph
+	}{
+		{"cycle (2)", 2, func(n int, src *xrand.Source) *graph.Graph { return graph.Cycle(n) }},
+		{"torus (4)", 4, func(n int, src *xrand.Source) *graph.Graph {
+			side := int(math.Round(math.Sqrt(float64(n))))
+			return graph.Torus(side, side)
+		}},
+		{"near-regular (5)", 5, func(n int, src *xrand.Source) *graph.Graph {
+			return graph.NearRegular(n, 5, src)
+		}},
+	}
+	for _, fam := range fams {
+		src := xrand.New(cfg.seed + 41)
+		row := []any{fam.name}
+		var ys []float64
+		for _, n := range sizes {
+			total := 0.0
+			for s := 0; s < trials; s++ {
+				g := fam.gen(n, src)
+				run, err := degcolor.SolveSync(g, fam.maxDeg, cfg.seed+uint64(s), 0)
+				if err != nil {
+					return nil, err
+				}
+				if err := g.IsProperColoring(run.Colors, fam.maxDeg+1); err != nil {
+					return nil, fmt.Errorf("%s n=%d: %w", fam.name, n, err)
+				}
+				total += float64(run.Rounds)
+			}
+			mean := total / float64(trials)
+			ys = append(ys, mean)
+			row = append(row, mean)
+		}
+		row = append(row, harness.BestLaw(sizes, ys))
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		"Extension beyond Section 5: with Δ a universal constant, requirement (M4) admits a",
+		"(Δ+1)-palette race in the pure model; rounds are O(log n) w.h.p. All outputs validated.")
+	return []*harness.Table{t}, nil
+}
+
+// expE13 contrasts 2-coloring (Θ(diameter), even with unbounded
+// messages) against the paper's O(log n) 3-coloring on trees.
+func expE13(cfg config) ([]*harness.Table, error) {
+	sizes := harness.GeoSizes(32, 2048, 4)
+	if cfg.quick {
+		sizes = harness.GeoSizes(32, 512, 4)
+	}
+	t := &harness.Table{
+		Title:  "2 colors vs 3 colors on paths (rounds)",
+		Header: []string{"n", "diameter", "2-color (LOCAL BFS)", "3-color (nFSM)", "2-color/diam", "3-color/log n"},
+	}
+	for _, n := range sizes {
+		g := graph.Path(n)
+		diam, err := g.Diameter()
+		if err != nil {
+			return nil, err
+		}
+		colors2, rounds2, err := baseline.TwoColorTree(g, 0)
+		if err != nil {
+			return nil, err
+		}
+		if err := g.IsProperColoring(colors2, 2); err != nil {
+			return nil, err
+		}
+		run3, err := coloring.SolveSync(g, cfg.seed, 0)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(n, diam, rounds2, run3.Rounds,
+			float64(rounds2)/float64(diam),
+			float64(run3.Rounds)/math.Log2(float64(n)))
+	}
+	t.Notes = append(t.Notes,
+		"Section 5's opening remark: 2-coloring takes Θ(diameter) rounds even in the message-passing",
+		"model (the wave must traverse the tree), while three colors admit O(log n) — the crossover",
+		"in favour of the stone-age protocol appears as soon as diameter ≫ log n.")
+	return []*harness.Table{t}, nil
+}
+
+// expE14 demonstrates the Section 6 separation in its simplest concrete
+// form: the exact-degree problem. A message-passing node reads its exact
+// degree locally in one round; an nFSM node can only ever learn
+// f_b(degree) — the one-two-many clamp (M4) — so for any fixed b the
+// fraction of nodes whose exact degree is information-theoretically
+// unrecoverable tends to 1 as the degree distribution outgrows b.
+func expE14(cfg config) ([]*harness.Table, error) {
+	t := &harness.Table{
+		Title:  "One-two-many information loss on the exact-degree problem",
+		Header: []string{"graph", "n", "Δ", "b=1 identifiable", "b=3 identifiable", "b=7 identifiable"},
+	}
+	src := xrand.New(cfg.seed + 61)
+	workloads := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"cycle", graph.Cycle(256)},
+		{"grid", graph.Grid(16, 16)},
+		{"gnp d̄=8", graph.GnpConnected(256, 8.0/256, src)},
+		{"star", graph.Star(256)},
+		{"clique", graph.Clique(64)},
+	}
+	for _, w := range workloads {
+		row := []any{w.name, w.g.N(), w.g.MaxDegree()}
+		for _, b := range []int{1, 3, 7} {
+			identifiable := 0
+			for v := 0; v < w.g.N(); v++ {
+				// A degree is identifiable iff it is below the clamp:
+				// f_b maps it to a singleton class.
+				if w.g.Degree(v) < b {
+					identifiable++
+				}
+			}
+			row = append(row, float64(identifiable)/float64(w.g.N()))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		"The message-passing model solves exact-degree in one round for every node. Under the nFSM",
+		"model the answer set must be constant (requirement (M4)): any protocol observes at most",
+		"f_b(d), so degrees ≥ b collapse into one class — the wall that makes the model strictly",
+		"weaker than message passing (Section 6), independent of running time.")
+	return []*harness.Table{t}, nil
+}
+
+// expF1 regenerates Figure 1: the MIS protocol's transition diagram,
+// derived mechanically from the implemented δ (and golden-tested against
+// the paper's arrow set in internal/mis).
+func expF1(cfg config) ([]*harness.Table, error) {
+	t := &harness.Table{
+		Title:  "Figure 1 — the MIS transition diagram, derived from δ",
+		Header: []string{"from", "to", "transmits"},
+	}
+	names := mis.Protocol().StateNames
+	for _, e := range mis.TransitionDiagram() {
+		emit := "ε (silent)"
+		if e.Emit >= 0 {
+			emit = names[e.Emit]
+		}
+		kind := ""
+		if e.From == e.To {
+			kind = " (delay/sink loop)"
+		}
+		t.AddRow(names[e.From], names[e.To]+kind, emit)
+	}
+	t.Notes = append(t.Notes,
+		"Derived by enumerating δ over all 2⁷ clamped count vectors per state; the test suite",
+		"asserts this arrow set equals Figure 1 of the paper exactly.")
+	return []*harness.Table{t}, nil
+}

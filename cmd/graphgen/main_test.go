@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"stoneage/internal/graph"
+)
+
+func TestGenerateAndDecode(t *testing.T) {
+	for _, fam := range []string{"path", "cycle", "star", "clique", "grid", "torus",
+		"tree", "binary", "caterpillar", "broom", "gnp", "bipartite", "lattice"} {
+		var buf bytes.Buffer
+		if err := run([]string{"-family", fam, "-n", "20", "-seed", "3"}, &buf); err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		g, err := graph.Decode(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("%s: decode: %v", fam, err)
+		}
+		if g.N() == 0 {
+			t.Fatalf("%s: empty graph", fam)
+		}
+	}
+}
+
+func TestTreeFamilyIsTree(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-family", "tree", "-n", "50"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.Decode(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsTree() {
+		t.Fatal("tree family generated a non-tree")
+	}
+}
+
+func TestUnknownFamily(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-family", "nope"}, &buf); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run([]string{"-family", "gnp", "-n", "30", "-seed", "9"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-family", "gnp", "-n", "30", "-seed", "9"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed produced different graphs")
+	}
+}

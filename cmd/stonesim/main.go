@@ -1,0 +1,360 @@
+// Command stonesim runs a stone-age protocol on a generated or loaded
+// graph and prints the output and run metrics.
+//
+// Usage:
+//
+//	stonesim -protocol mis   -graph gnp -n 128 -p 0.05 -engine async -adversary uniform
+//	stonesim -protocol color3 -graph tree -n 200 -engine sync
+//	stonesim -protocol matching -graph cycle -n 64
+//	stonesim -protocol lba-abc -word aabbcc
+//	stonesim -protocol mis -in graph.txt
+//
+// Graphs: path, cycle, star, clique, grid, torus, tree, binary,
+// caterpillar, broom, gnp, lattice — or -in <file> (edge-list format).
+// Engines: sync (locally synchronous) or async (compiled through the
+// Theorem 3.1/3.4 synchronizer, with -adversary
+// sync|uniform|skew|overwriter|drift).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+
+	"stoneage/internal/coloring"
+	"stoneage/internal/engine"
+	"stoneage/internal/graph"
+	"stoneage/internal/lba"
+	"stoneage/internal/matching"
+	"stoneage/internal/mis"
+	"stoneage/internal/nfsm"
+	"stoneage/internal/trace"
+	"stoneage/internal/xrand"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "stonesim:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	protocol  string
+	graphKind string
+	inFile    string
+	n         int
+	p         float64
+	seed      uint64
+	eng       string
+	adversary string
+	word      string
+	traceCSV  string
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("stonesim", flag.ContinueOnError)
+	var opt options
+	fs.StringVar(&opt.protocol, "protocol", "mis", "mis | color3 | matching | lba-abc | lba-palindrome")
+	fs.StringVar(&opt.graphKind, "graph", "gnp", "graph family")
+	fs.StringVar(&opt.inFile, "in", "", "read the graph from an edge-list file instead of generating")
+	fs.IntVar(&opt.n, "n", 64, "number of nodes")
+	fs.Float64Var(&opt.p, "p", 0, "G(n,p) edge probability (default 4/n)")
+	fs.Uint64Var(&opt.seed, "seed", 1, "random seed")
+	fs.StringVar(&opt.eng, "engine", "sync", "sync | async")
+	fs.StringVar(&opt.adversary, "adversary", "uniform", "async adversary policy")
+	fs.StringVar(&opt.word, "word", "abc", "input word for the lba protocols")
+	fs.StringVar(&opt.traceCSV, "trace", "", "write a per-round state histogram CSV to this file (sync engine only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if strings.HasPrefix(opt.protocol, "lba-") {
+		return runLBA(opt, w)
+	}
+
+	g, err := buildGraph(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "graph: %s  n=%d m=%d Δ=%d\n", describeGraph(opt), g.N(), g.M(), g.MaxDegree())
+
+	switch opt.protocol {
+	case "mis":
+		return runMIS(opt, g, w)
+	case "color3":
+		return runColor(opt, g, w)
+	case "matching":
+		return runMatching(opt, g, w)
+	default:
+		return fmt.Errorf("unknown protocol %q", opt.protocol)
+	}
+}
+
+func describeGraph(opt options) string {
+	if opt.inFile != "" {
+		return opt.inFile
+	}
+	return opt.graphKind
+}
+
+func buildGraph(opt options) (*graph.Graph, error) {
+	if opt.inFile != "" {
+		f, err := os.Open(opt.inFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return graph.Decode(f)
+	}
+	src := xrand.New(opt.seed)
+	n := opt.n
+	p := opt.p
+	if p <= 0 {
+		p = 4.0 / float64(n)
+	}
+	side := int(math.Round(math.Sqrt(float64(n))))
+	switch opt.graphKind {
+	case "path":
+		return graph.Path(n), nil
+	case "cycle":
+		return graph.Cycle(n), nil
+	case "star":
+		return graph.Star(n), nil
+	case "clique":
+		return graph.Clique(n), nil
+	case "grid":
+		return graph.Grid(side, side), nil
+	case "torus":
+		return graph.Torus(side, side), nil
+	case "tree":
+		return graph.RandomTree(n, src), nil
+	case "binary":
+		return graph.BinaryTree(n), nil
+	case "caterpillar":
+		return graph.Caterpillar(n), nil
+	case "broom":
+		return graph.Broom(n), nil
+	case "gnp":
+		return graph.GnpConnected(n, p, src), nil
+	case "lattice":
+		return graph.ProneuralLattice(side, side), nil
+	default:
+		return nil, fmt.Errorf("unknown graph family %q", opt.graphKind)
+	}
+}
+
+func pickAdversary(opt options) (engine.Adversary, error) {
+	adv, ok := engine.NamedAdversaries(opt.seed + 1)[opt.adversary]
+	if !ok {
+		return nil, fmt.Errorf("unknown adversary %q", opt.adversary)
+	}
+	return adv, nil
+}
+
+// traced wraps a synchronous run of a round protocol with the optional
+// state-histogram CSV recorder.
+func traced(opt options, p *nfsm.RoundProtocol, g *graph.Graph) (*engine.SyncResult, error) {
+	cfg := engine.SyncConfig{Seed: opt.seed}
+	var hist *trace.Histogram
+	if opt.traceCSV != "" {
+		hist = trace.NewHistogram(p.StateNames)
+		cfg.Observer = hist.Observer()
+	}
+	res, err := engine.RunSync(p, g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if hist != nil {
+		f, err := os.Create(opt.traceCSV)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if err := hist.WriteCSV(f); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+func runMIS(opt options, g *graph.Graph, w io.Writer) error {
+	var inSet []bool
+	switch opt.eng {
+	case "sync":
+		res, err := traced(opt, mis.Protocol(), g)
+		if err != nil {
+			return err
+		}
+		inSet, err = mis.Extract(res.States)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "mis: %d rounds, %d transmissions\n", res.Rounds, res.Transmissions)
+	case "async":
+		adv, err := pickAdversary(opt)
+		if err != nil {
+			return err
+		}
+		res, err := mis.SolveAsync(g, opt.seed, adv, 0)
+		if err != nil {
+			return err
+		}
+		inSet = res.InSet
+		fmt.Fprintf(w, "mis: %.1f time units, %d steps, %d lost messages (adversary %s)\n",
+			res.TimeUnits, res.Steps, res.Lost, opt.adversary)
+	default:
+		return fmt.Errorf("unknown engine %q", opt.eng)
+	}
+	if err := g.IsMaximalIndependentSet(inSet); err != nil {
+		return fmt.Errorf("output validation: %w", err)
+	}
+	size := 0
+	for _, in := range inSet {
+		if in {
+			size++
+		}
+	}
+	fmt.Fprintf(w, "valid MIS of size %d: %s\n", size, maskString(inSet))
+	return nil
+}
+
+func runColor(opt options, g *graph.Graph, w io.Writer) error {
+	var colors []int
+	switch opt.eng {
+	case "sync":
+		if !g.IsTree() {
+			return coloring.ErrNotATree
+		}
+		res, err := traced(opt, coloring.Protocol(), g)
+		if err != nil {
+			return err
+		}
+		colors, err = coloring.Extract(res.States)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "color3: %d rounds (%d phases)\n", res.Rounds, (res.Rounds+3)/4)
+	case "async":
+		adv, err := pickAdversary(opt)
+		if err != nil {
+			return err
+		}
+		res, err := coloring.SolveAsync(g, opt.seed, adv, 0)
+		if err != nil {
+			return err
+		}
+		colors = res.Colors
+		fmt.Fprintf(w, "color3: %.1f time units, %d steps (adversary %s)\n",
+			res.TimeUnits, res.Steps, opt.adversary)
+	default:
+		return fmt.Errorf("unknown engine %q", opt.eng)
+	}
+	if err := g.IsProperColoring(colors, 3); err != nil {
+		return fmt.Errorf("output validation: %w", err)
+	}
+	fmt.Fprintf(w, "valid 3-coloring: %v\n", head(colors, 32))
+	return nil
+}
+
+func runMatching(opt options, g *graph.Graph, w io.Writer) error {
+	res, err := matching.Solve(g, opt.seed, 0)
+	if err != nil {
+		return err
+	}
+	if err := g.IsMaximalMatching(res.Mate); err != nil {
+		return fmt.Errorf("output validation: %w", err)
+	}
+	matched := 0
+	for _, m := range res.Mate {
+		if m != -1 {
+			matched++
+		}
+	}
+	fmt.Fprintf(w, "matching: %d rounds (%d phases), %d edges matched — valid maximal matching\n",
+		res.Rounds, res.Phases, matched/2)
+	return nil
+}
+
+func runLBA(opt options, w io.Writer) error {
+	var (
+		tm    *lba.TM
+		input []lba.Symbol
+	)
+	switch opt.protocol {
+	case "lba-abc":
+		tm = lba.ABC()
+		input = make([]lba.Symbol, len(opt.word))
+		for i, c := range opt.word {
+			switch c {
+			case 'a':
+				input[i] = lba.SymA
+			case 'b':
+				input[i] = lba.SymB
+			case 'c':
+				input[i] = lba.SymC
+			default:
+				return fmt.Errorf("lba-abc input must be over {a,b,c}, got %q", opt.word)
+			}
+		}
+	case "lba-palindrome":
+		tm = lba.Palindrome()
+		input = make([]lba.Symbol, len(opt.word))
+		for i, c := range opt.word {
+			switch c {
+			case 'a':
+				input[i] = lba.PalA
+			case 'b':
+				input[i] = lba.PalB
+			default:
+				return fmt.Errorf("lba-palindrome input must be over {a,b}, got %q", opt.word)
+			}
+		}
+	default:
+		return fmt.Errorf("unknown protocol %q", opt.protocol)
+	}
+	direct, err := tm.Run(input, opt.seed, 0)
+	if err != nil {
+		return err
+	}
+	path, err := lba.RunOnPath(tm, input, opt.seed, 0)
+	if err != nil {
+		return err
+	}
+	if path.Accepted != direct.Accepted {
+		return fmt.Errorf("path verdict %v disagrees with direct run %v", path.Accepted, direct.Accepted)
+	}
+	verdict := "REJECT"
+	if path.Accepted {
+		verdict = "ACCEPT"
+	}
+	fmt.Fprintf(w, "%s(%q) = %s  (direct: %d TM steps; path network of %d FSMs: %d rounds)\n",
+		tm.Name, opt.word, verdict, direct.Steps, len(input), path.Rounds)
+	return nil
+}
+
+func maskString(mask []bool) string {
+	var b strings.Builder
+	for i, in := range mask {
+		if i == 64 {
+			b.WriteString("…")
+			break
+		}
+		if in {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+func head(xs []int, k int) []int {
+	if len(xs) <= k {
+		return xs
+	}
+	return xs[:k]
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := run(args, &sb); err != nil {
+		t.Fatalf("stonesim %v: %v", args, err)
+	}
+	return sb.String()
+}
+
+func TestMISSync(t *testing.T) {
+	out := runCLI(t, "-protocol", "mis", "-graph", "gnp", "-n", "32", "-engine", "sync")
+	if !strings.Contains(out, "valid MIS") {
+		t.Fatalf("output = %q", out)
+	}
+}
+
+func TestMISAsyncOverwriter(t *testing.T) {
+	out := runCLI(t, "-protocol", "mis", "-graph", "cycle", "-n", "16",
+		"-engine", "async", "-adversary", "overwriter")
+	if !strings.Contains(out, "valid MIS") || !strings.Contains(out, "time units") {
+		t.Fatalf("output = %q", out)
+	}
+}
+
+func TestColorSync(t *testing.T) {
+	out := runCLI(t, "-protocol", "color3", "-graph", "tree", "-n", "40")
+	if !strings.Contains(out, "valid 3-coloring") {
+		t.Fatalf("output = %q", out)
+	}
+}
+
+func TestMatching(t *testing.T) {
+	out := runCLI(t, "-protocol", "matching", "-graph", "grid", "-n", "25")
+	if !strings.Contains(out, "valid maximal matching") {
+		t.Fatalf("output = %q", out)
+	}
+}
+
+func TestLBAProtocols(t *testing.T) {
+	out := runCLI(t, "-protocol", "lba-abc", "-word", "aabbcc")
+	if !strings.Contains(out, "ACCEPT") {
+		t.Fatalf("output = %q", out)
+	}
+	out = runCLI(t, "-protocol", "lba-abc", "-word", "aabc")
+	if !strings.Contains(out, "REJECT") {
+		t.Fatalf("output = %q", out)
+	}
+	out = runCLI(t, "-protocol", "lba-palindrome", "-word", "abba")
+	if !strings.Contains(out, "ACCEPT") {
+		t.Fatalf("output = %q", out)
+	}
+}
+
+func TestGraphFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(path, []byte("n 3\n0 1\n1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runCLI(t, "-protocol", "mis", "-in", path)
+	if !strings.Contains(out, "n=3") || !strings.Contains(out, "valid MIS") {
+		t.Fatalf("output = %q", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var sb strings.Builder
+	cases := [][]string{
+		{"-protocol", "nope"},
+		{"-graph", "nope"},
+		{"-protocol", "mis", "-engine", "nope"},
+		{"-protocol", "mis", "-engine", "async", "-adversary", "nope"},
+		{"-protocol", "lba-abc", "-word", "xyz"},
+		{"-protocol", "color3", "-graph", "cycle", "-n", "9"}, // not a tree
+		{"-in", "/nonexistent/file"},
+	}
+	for _, args := range cases {
+		if err := run(args, &sb); err == nil {
+			t.Errorf("args %v succeeded, want error", args)
+		}
+	}
+}
+
+func TestAllGraphFamilies(t *testing.T) {
+	for _, fam := range []string{"path", "cycle", "star", "clique", "grid", "torus",
+		"tree", "binary", "caterpillar", "broom", "gnp", "lattice"} {
+		out := runCLI(t, "-protocol", "mis", "-graph", fam, "-n", "16")
+		if !strings.Contains(out, "valid MIS") {
+			t.Errorf("family %s: output = %q", fam, out)
+		}
+	}
+}
+
+func TestTraceCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.csv")
+	out := runCLI(t, "-protocol", "mis", "-graph", "cycle", "-n", "12", "-trace", path)
+	if !strings.Contains(out, "valid MIS") {
+		t.Fatalf("output = %q", out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "round,DOWN1,DOWN2,UP0") {
+		t.Fatalf("trace header = %q", string(data)[:40])
+	}
+}

@@ -1,0 +1,15 @@
+// Package stoneage is a complete Go implementation of "Stone Age
+// Distributed Computing" (Emek, Smula, Wattenhofer; PODC 2013): the
+// networked-finite-state-machine (nFSM) model, the Section 3
+// synchronizer and multi-letter-query compilers, the Section 4 MIS
+// protocol of Figure 1, the Section 5 tree 3-coloring protocol, the
+// Section 6 rLBA equivalence in both directions, the classical
+// message-passing and beeping baselines the paper compares against, and
+// an experiment harness that regenerates an empirical analogue of every
+// theorem.
+//
+// The implementation lives under internal/; see DESIGN.md for the system
+// inventory, EXPERIMENTS.md for the measured results, and examples/ for
+// runnable entry points. The benchmarks in bench_test.go regenerate one
+// measurement per experiment.
+package stoneage

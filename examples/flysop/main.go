@@ -1,0 +1,53 @@
+// Flysop models the biological motivation from the paper's introduction:
+// during the development of a fly's nervous system, sensory organ
+// precursor (SOP) cells are selected so that every cell either becomes an
+// SOP or neighbors one, and no two SOPs are adjacent — Afek et al.
+// (Science 2011) showed this process is exactly maximal independent set.
+//
+// Cells sit on an epithelial lattice and inhibit neighbors within a small
+// radius via Delta/Notch signalling; the stone-age model matches the
+// biology: constant-size internal state (gene expression), a constant
+// protein vocabulary (the alphabet), and concentration sensing that only
+// distinguishes a few levels (one-two-many counting).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stoneage/internal/graph"
+	"stoneage/internal/mis"
+)
+
+func main() {
+	const rows, cols = 12, 16
+	g := graph.ProneuralLattice(rows, cols)
+	fmt.Printf("proneural cluster: %d cells, inhibition radius 2 (%d signalling pairs)\n", g.N(), g.M())
+
+	run, err := mis.SolveSync(g, 2026, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := g.IsMaximalIndependentSet(run.InSet); err != nil {
+		log.Fatal(err)
+	}
+
+	sops := 0
+	for _, in := range run.InSet {
+		if in {
+			sops++
+		}
+	}
+	fmt.Printf("SOP selection finished in %d signalling rounds: %d SOPs\n\n", run.Rounds, sops)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if run.InSet[r*cols+c] {
+				fmt.Print("◉ ")
+			} else {
+				fmt.Print("· ")
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n◉ = sensory organ precursor; every · cell is inhibited by an adjacent ◉.")
+}

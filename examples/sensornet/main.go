@@ -1,0 +1,53 @@
+// Sensornet assigns TDMA-style transmission slots to a tree-structured
+// sensor network with the paper's Section 5 protocol: a proper 3-coloring
+// of the (undirected) routing tree gives each sensor a slot in which no
+// tree neighbor transmits. The sensors are stone-age devices — constant
+// memory, constant message vocabulary, no identifiers — and the protocol
+// still finishes in O(log n) rounds.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stoneage/internal/coloring"
+	"stoneage/internal/engine"
+	"stoneage/internal/graph"
+	"stoneage/internal/xrand"
+)
+
+func main() {
+	const n = 200
+	g := graph.RandomTree(n, xrand.New(99))
+	fmt.Printf("sensor routing tree: %d sensors, max degree %d\n", n, g.MaxDegree())
+
+	run, err := coloring.SolveSync(g, 7, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := g.IsProperColoring(run.Colors, 3); err != nil {
+		log.Fatal(err)
+	}
+	slots := [4]int{}
+	for _, c := range run.Colors {
+		slots[c]++
+	}
+	fmt.Printf("slot assignment in %d rounds (%d phases): slot1=%d slot2=%d slot3=%d\n",
+		run.Rounds, run.Phases, slots[1], slots[2], slots[3])
+	fmt.Println("no two adjacent sensors share a slot — collision-free TDMA schedule.")
+
+	// The same protocol survives a fully asynchronous deployment where
+	// the radio stack delays and even drops messages. (A smaller cluster
+	// keeps the compiled simulation quick; the adversary makes half the
+	// sensors step two orders of magnitude faster than the rest.)
+	small := graph.RandomTree(48, xrand.New(100))
+	async, err := coloring.SolveAsync(small, 7, engine.Overwriter{Seed: 3}, 1<<30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := small.IsProperColoring(async.Colors, 3); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("asynchronous re-run (48 sensors, message-dropping adversary): valid schedule in %.0f time units\n",
+		async.TimeUnits)
+}

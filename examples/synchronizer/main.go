@@ -1,0 +1,49 @@
+// Synchronizer shows Theorem 3.1 at work: the same locally synchronous
+// protocol (the MIS machine of Figure 1) is compiled once and executed
+// under increasingly hostile asynchronous adversaries — including one
+// that destroys messages by overwriting ports — and the normalized
+// run-time stays within a constant factor of the synchronous round count.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stoneage/internal/engine"
+	"stoneage/internal/graph"
+	"stoneage/internal/mis"
+	"stoneage/internal/synchro"
+	"stoneage/internal/xrand"
+)
+
+func main() {
+	const n = 48
+	g := graph.GnpConnected(n, 4.0/float64(n), xrand.New(5))
+
+	sync, err := mis.SolveSync(g, 1, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("synchronous reference: %d rounds on n=%d, m=%d\n\n", sync.Rounds, g.N(), g.M())
+
+	compiled, err := synchro.CompileRound(mis.Protocol())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled protocol: %d-letter alphabet, ≤%d steps per simulation phase\n\n",
+		compiled.NumLetters(), compiled.PhaseSteps())
+
+	for _, name := range []string{"sync", "uniform", "skew", "overwriter", "drift"} {
+		adv := engine.NamedAdversaries(11)[name]
+		run, err := mis.SolveAsync(g, 1, adv, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := g.IsMaximalIndependentSet(run.InSet); err != nil {
+			log.Fatalf("%s: invalid MIS: %v", name, err)
+		}
+		fmt.Printf("  adversary %-10s → valid MIS, %7.0f time units (%.0f per sync round), %d messages lost\n",
+			name, run.TimeUnits, run.TimeUnits/float64(sync.Rounds), run.Lost)
+	}
+	fmt.Println("\nper-round cost is a constant (Theorem 3.1), independent of the adversary.")
+}

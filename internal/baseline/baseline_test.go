@@ -1,0 +1,194 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"stoneage/internal/graph"
+	"stoneage/internal/xrand"
+)
+
+func workloads(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	src := xrand.New(2)
+	return map[string]*graph.Graph{
+		"single":    graph.New(1),
+		"isolated":  graph.New(12),
+		"path":      graph.Path(50),
+		"cycle":     graph.Cycle(51),
+		"star":      graph.Star(30),
+		"clique":    graph.Clique(20),
+		"grid":      graph.Grid(7, 8),
+		"gnp":       graph.Gnp(80, 0.08, src),
+		"dense":     graph.Gnp(60, 0.4, src),
+		"tree":      graph.RandomTree(90, src),
+		"bipartite": graph.CompleteBipartite(8, 12),
+	}
+}
+
+func TestLubyMISValid(t *testing.T) {
+	for name, g := range workloads(t) {
+		t.Run(name, func(t *testing.T) {
+			for seed := uint64(0); seed < 5; seed++ {
+				inSet, rounds, err := LubyMIS(g, seed, 0)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if err := g.IsMaximalIndependentSet(inSet); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if rounds <= 0 {
+					t.Fatalf("seed %d: rounds = %d", seed, rounds)
+				}
+			}
+		})
+	}
+}
+
+func TestABIMISValid(t *testing.T) {
+	for name, g := range workloads(t) {
+		t.Run(name, func(t *testing.T) {
+			for seed := uint64(0); seed < 5; seed++ {
+				inSet, _, err := ABIMIS(g, seed, 0)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if err := g.IsMaximalIndependentSet(inSet); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+		})
+	}
+}
+
+func TestBitStreamMISValid(t *testing.T) {
+	for name, g := range workloads(t) {
+		t.Run(name, func(t *testing.T) {
+			for seed := uint64(0); seed < 5; seed++ {
+				inSet, _, err := BitStreamMIS(g, seed, 1<<18)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if err := g.IsMaximalIndependentSet(inSet); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+		})
+	}
+}
+
+func TestBeepMISValid(t *testing.T) {
+	for name, g := range workloads(t) {
+		t.Run(name, func(t *testing.T) {
+			for seed := uint64(0); seed < 5; seed++ {
+				inSet, _, err := BeepMIS(g, seed, 1<<18)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if err := g.IsMaximalIndependentSet(inSet); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+		})
+	}
+}
+
+func TestGreedyMISValid(t *testing.T) {
+	for name, g := range workloads(t) {
+		if err := g.IsMaximalIndependentSet(GreedyMIS(g)); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestLubyLogarithmicRounds(t *testing.T) {
+	// Luby's O(log n): the rounds/log n ratio must stay bounded.
+	ratioAt := func(n int) float64 {
+		src := xrand.New(uint64(n))
+		g := graph.GnpConnected(n, 4.0/float64(n), src)
+		total := 0.0
+		for seed := uint64(0); seed < 3; seed++ {
+			_, rounds, err := LubyMIS(g, seed, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += float64(rounds)
+		}
+		return total / 3 / math.Log2(float64(n))
+	}
+	small, large := ratioAt(64), ratioAt(1024)
+	if large > 4*small {
+		t.Fatalf("Luby rounds/log n grew from %.2f to %.2f", small, large)
+	}
+}
+
+func TestColeVishkinPathColors(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 10, 100, 1000, 5000} {
+		g := graph.Path(n)
+		colors, rounds, err := ColeVishkinPath(g, 0)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := g.IsProperColoring(colors, 3); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// O(log* n) + O(1): tiny round counts even for large n.
+		if rounds > 20 {
+			t.Fatalf("n=%d: %d rounds, expected O(log* n)", n, rounds)
+		}
+	}
+}
+
+func TestColeVishkinRejectsNonPath(t *testing.T) {
+	if _, _, err := ColeVishkinPath(graph.Star(5), 0); err == nil {
+		t.Fatal("star accepted")
+	}
+	if _, _, err := ColeVishkinPath(graph.Cycle(6), 0); err == nil {
+		t.Fatal("cycle accepted")
+	}
+	if _, _, err := ColeVishkinPath(graph.New(0), 0); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+}
+
+func TestReductionRoundsSmall(t *testing.T) {
+	// log* growth: even astronomically large n needs very few rounds.
+	if r := reductionRounds(1 << 20); r > 6 {
+		t.Fatalf("reductionRounds(2^20) = %d", r)
+	}
+	if r := reductionRounds(4); r < 1 {
+		t.Fatalf("reductionRounds(4) = %d", r)
+	}
+}
+
+func TestMISSetSizesComparable(t *testing.T) {
+	// All MIS algorithms must produce sets within the usual range:
+	// at least n/(Δ+1) nodes.
+	src := xrand.New(3)
+	g := graph.Gnp(100, 0.1, src)
+	floor := g.N() / (g.MaxDegree() + 1)
+	algs := map[string]func() ([]bool, error){
+		"luby": func() ([]bool, error) { s, _, err := LubyMIS(g, 1, 0); return s, err },
+		"abi":  func() ([]bool, error) { s, _, err := ABIMIS(g, 1, 0); return s, err },
+		"bit":  func() ([]bool, error) { s, _, err := BitStreamMIS(g, 1, 1<<18); return s, err },
+		"beep": func() ([]bool, error) { s, _, err := BeepMIS(g, 1, 1<<18); return s, err },
+		"greedy": func() ([]bool, error) {
+			return GreedyMIS(g), nil
+		},
+	}
+	for name, run := range algs {
+		inSet, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		size := 0
+		for _, in := range inSet {
+			if in {
+				size++
+			}
+		}
+		if size < floor {
+			t.Errorf("%s: MIS size %d below floor %d", name, size, floor)
+		}
+	}
+}

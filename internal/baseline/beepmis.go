@@ -1,0 +1,88 @@
+package baseline
+
+import (
+	"fmt"
+
+	"stoneage/internal/beeping"
+	"stoneage/internal/graph"
+	"stoneage/internal/xrand"
+)
+
+// This file implements an MIS algorithm in the beeping model, in the
+// spirit of Afek et al. ("Beeping a maximal independent set"): nodes
+// compete in two-round exchanges — a contention beep followed by a
+// victory beep — with multiplicative backoff on the contention
+// probability replacing the knowledge of n that the published algorithms
+// assume. The paper's related-work section observes the beeping rule is
+// one-two-many counting with b = 1, but the model remains stronger than
+// nFSM: global synchrony and unbounded local state (the probability p
+// below needs ω(1) bits).
+
+type beepNode struct {
+	src     *xrand.Source
+	p       float64
+	status  misStatus
+	beepedA bool
+}
+
+// Status returns the node's final membership.
+func (bn *beepNode) Status() bool { return bn.status == misIn }
+
+// Init implements beeping.Node.
+func (bn *beepNode) Init(id, degree int, src *xrand.Source) {
+	bn.src = src
+	bn.p = 0.5
+}
+
+// Round implements beeping.Node. Odd rounds are contention rounds; even
+// rounds are victory rounds.
+func (bn *beepNode) Round(round int, heard bool) (bool, bool) {
+	if round%2 == 1 {
+		// The feedback from the previous victory round: any beep there
+		// came from an adjacent new MIS member.
+		if round > 1 && heard {
+			bn.status = misOut
+			return false, true
+		}
+		bn.beepedA = bn.src.Float64() < bn.p
+		return bn.beepedA, false
+	}
+	// Victory round. heard reports the contention round's feedback.
+	if bn.beepedA && !heard {
+		// Sole beeper in the neighborhood: join the MIS and announce.
+		bn.status = misIn
+		return true, true
+	}
+	// Multiplicative backoff keeps the sole-beeper probability healthy
+	// without knowing the degree.
+	if bn.beepedA && heard {
+		bn.p /= 2
+		if bn.p < 1.0/(1<<20) {
+			bn.p = 1.0 / (1 << 20)
+		}
+	} else if !bn.beepedA && !heard {
+		bn.p *= 2
+		if bn.p > 0.5 {
+			bn.p = 0.5
+		}
+	}
+	return false, false
+}
+
+// BeepMIS runs the beeping-model MIS and returns the MIS mask and round
+// count.
+func BeepMIS(g *graph.Graph, seed uint64, maxRounds int) ([]bool, int, error) {
+	rounds, nodes, err := beeping.Run(g, func() beeping.Node { return &beepNode{} }, seed, maxRounds)
+	if err != nil {
+		return nil, 0, err
+	}
+	inSet := make([]bool, len(nodes))
+	for v, node := range nodes {
+		bn, ok := node.(*beepNode)
+		if !ok {
+			return nil, 0, fmt.Errorf("baseline: unexpected node type %T", node)
+		}
+		inSet[v] = bn.Status()
+	}
+	return inSet, rounds, nil
+}

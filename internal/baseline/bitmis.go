@@ -1,0 +1,145 @@
+package baseline
+
+import (
+	"stoneage/internal/graph"
+	"stoneage/internal/mp"
+	"stoneage/internal/xrand"
+)
+
+// This file implements a bit-streaming MIS tournament in the spirit of
+// Métivier, Robson, Saheb-Djahromi and Zemmari ("An optimal bit
+// complexity randomised distributed MIS algorithm"): instead of
+// exchanging whole O(log n)-bit random values in one round, contenders
+// reveal one fresh random bit per round and a pairwise comparison
+// resolves at the first divergence (0 beats 1). A node whose every
+// competitor has either diverged above it or withdrawn wins and joins
+// the MIS; a beaten node withdraws for the phase and re-enters once the
+// nodes that beat it have resolved. The message size is O(1) bits per
+// round, which is the regime the paper's Section 4 discussion points to
+// (cf. "Algorithm B in [29]").
+
+// bitMsg is the one-letter vocabulary of bitNode.
+type bitMsg struct {
+	kind byte // 'b' bit, 'l' lost this phase, 'w' win, 'o' out
+	bit  byte
+}
+
+// portState tracks what a bitNode knows about each neighbor.
+type portState int
+
+const (
+	portCompeting portState = iota // still tied with us this phase
+	portAbove                      // diverged above us or withdrew: no threat
+	portBeatsUs                    // diverged below us: we are beaten
+	portGone                       // permanently decided (in or out)
+)
+
+type bitNode struct {
+	deg     int
+	src     *xrand.Source
+	status  misStatus
+	beaten  bool
+	lastBit byte
+	sent    bool // whether lastBit was already transmitted
+	ports   []portState
+}
+
+// Status returns the node's final membership.
+func (bn *bitNode) Status() bool { return bn.status == misIn }
+
+// Init implements mp.Node.
+func (bn *bitNode) Init(id, degree int, src *xrand.Source) {
+	bn.deg, bn.src = degree, src
+	bn.ports = make([]portState, degree)
+}
+
+// Round implements mp.Node.
+func (bn *bitNode) Round(round int, inbox []any) ([]any, bool) {
+	// Process incoming traffic first.
+	for i, m := range inbox {
+		msg, ok := m.(bitMsg)
+		if !ok {
+			continue
+		}
+		switch msg.kind {
+		case 'w':
+			// A neighbor joined the MIS: we are dominated.
+			bn.status = misOut
+			return mp.Broadcast(bn.deg, bitMsg{kind: 'o'}), true
+		case 'o':
+			bn.ports[i] = portGone
+		case 'l':
+			if bn.ports[i] != portGone {
+				bn.ports[i] = portAbove // withdrew: no longer a threat
+			}
+		case 'b':
+			// A bit on a portAbove port means the withdrawn neighbor
+			// re-entered the tournament: re-engage the comparison, or the
+			// two sides' views could desynchronize into a double win.
+			if (bn.ports[i] == portCompeting || bn.ports[i] == portAbove) && bn.sent {
+				switch {
+				case msg.bit == bn.lastBit:
+					bn.ports[i] = portCompeting // (still) tied
+				case msg.bit < bn.lastBit:
+					bn.ports[i] = portBeatsUs
+				default:
+					bn.ports[i] = portAbove
+				}
+			}
+		}
+	}
+
+	if bn.beaten {
+		// Waiting for our beaters to resolve. They resolve by winning
+		// (we go out above), withdrawing ('l' flips them to portAbove),
+		// or going out ('o').
+		for _, ps := range bn.ports {
+			if ps == portBeatsUs {
+				return nil, false
+			}
+		}
+		// Every beater resolved without winning: re-enter the arena.
+		bn.beaten = false
+		bn.sent = false
+		for i, ps := range bn.ports {
+			if ps != portGone {
+				bn.ports[i] = portCompeting
+			}
+		}
+	}
+
+	// Did the last divergence beat us?
+	for _, ps := range bn.ports {
+		if ps == portBeatsUs {
+			bn.beaten = true
+			bn.sent = false
+			return mp.Broadcast(bn.deg, bitMsg{kind: 'l'}), false
+		}
+	}
+	// Have we outlasted every competitor?
+	contested := false
+	for _, ps := range bn.ports {
+		if ps == portCompeting {
+			contested = true
+			break
+		}
+	}
+	if bn.sent && !contested {
+		bn.status = misIn
+		return mp.Broadcast(bn.deg, bitMsg{kind: 'w'}), true
+	}
+	// Reveal the next bit.
+	bn.lastBit = byte(bn.src.Uint64() & 1)
+	bn.sent = true
+	return mp.Broadcast(bn.deg, bitMsg{kind: 'b', bit: bn.lastBit}), false
+}
+
+// BitStreamMIS runs the bit-streaming tournament MIS.
+func BitStreamMIS(g *graph.Graph, seed uint64, maxRounds int) ([]bool, int, error) {
+	rounds, nodes, err := mp.Run(g, func() mp.Node { return &bitNode{} }, seed, maxRounds)
+	if err != nil {
+		return nil, 0, err
+	}
+	inSet, err := misMask(nodes)
+	return inSet, rounds, err
+}

@@ -1,0 +1,216 @@
+// Package baseline implements the classical algorithms the paper
+// positions the nFSM model against: Luby's MIS and the Alon–Babai–Itai
+// MIS in the message-passing model, a bit-streaming MIS tournament in the
+// spirit of Métivier et al., Cole–Vishkin 3-coloring of directed paths,
+// a beeping-model MIS in the spirit of Afek et al., and a centralized
+// greedy MIS used as a sanity reference. All of them exploit capabilities
+// the nFSM model forbids — unbounded local state, per-neighbor messages,
+// node identifiers, or global synchrony — which is exactly the comparison
+// the experiments quantify.
+package baseline
+
+import (
+	"fmt"
+
+	"stoneage/internal/graph"
+	"stoneage/internal/mp"
+	"stoneage/internal/xrand"
+)
+
+// misStatus is the tri-state every distributed MIS node walks through.
+type misStatus int
+
+const (
+	misActive misStatus = iota
+	misIn
+	misOut
+)
+
+// lubyMsg is the message vocabulary of lubyNode.
+type lubyMsg struct {
+	kind byte // 'v' value, 'w' win
+	val  uint64
+	id   int
+}
+
+// lubyNode implements Luby's algorithm: in every 3-round phase, active
+// nodes draw a random value, the strict local minimum (ties broken by
+// identifier) joins the MIS, and its neighbors drop out.
+type lubyNode struct {
+	id     int
+	deg    int
+	src    *xrand.Source
+	status misStatus
+	val    uint64
+}
+
+// Status returns the node's final membership.
+func (ln *lubyNode) Status() bool { return ln.status == misIn }
+
+// Init implements mp.Node.
+func (ln *lubyNode) Init(id, degree int, src *xrand.Source) {
+	ln.id, ln.deg, ln.src = id, degree, src
+}
+
+// Round implements mp.Node.
+func (ln *lubyNode) Round(round int, inbox []any) ([]any, bool) {
+	switch (round - 1) % 3 {
+	case 0: // draw and exchange values
+		ln.val = ln.src.Uint64()
+		return mp.Broadcast(ln.deg, lubyMsg{kind: 'v', val: ln.val, id: ln.id}), false
+	case 1: // the strict local minimum wins
+		for _, m := range inbox {
+			msg, ok := m.(lubyMsg)
+			if !ok || msg.kind != 'v' {
+				continue
+			}
+			if msg.val < ln.val || (msg.val == ln.val && msg.id < ln.id) {
+				return nil, false
+			}
+		}
+		ln.status = misIn
+		return mp.Broadcast(ln.deg, lubyMsg{kind: 'w', id: ln.id}), false
+	default: // winners leave; their neighbors drop out
+		if ln.status == misIn {
+			return nil, true
+		}
+		for _, m := range inbox {
+			if msg, ok := m.(lubyMsg); ok && msg.kind == 'w' {
+				ln.status = misOut
+				return nil, true
+			}
+		}
+		return nil, false
+	}
+}
+
+// LubyMIS runs Luby's algorithm and returns the MIS mask and the round
+// count.
+func LubyMIS(g *graph.Graph, seed uint64, maxRounds int) ([]bool, int, error) {
+	rounds, nodes, err := mp.Run(g, func() mp.Node { return &lubyNode{} }, seed, maxRounds)
+	if err != nil {
+		return nil, 0, err
+	}
+	inSet, err := misMask(nodes)
+	return inSet, rounds, err
+}
+
+func misMask(nodes []mp.Node) ([]bool, error) {
+	inSet := make([]bool, len(nodes))
+	for v, node := range nodes {
+		s, ok := node.(interface{ Status() bool })
+		if !ok {
+			return nil, fmt.Errorf("baseline: node %d does not expose Status", v)
+		}
+		inSet[v] = s.Status()
+	}
+	return inSet, nil
+}
+
+// abiMsg is the message vocabulary of abiNode.
+type abiMsg struct {
+	kind   byte // 'p' present, 'm' mark, 'w' win
+	marked bool
+	deg    int
+	id     int
+}
+
+// abiNode implements the Alon–Babai–Itai algorithm: each active node
+// marks itself with probability 1/(2d), adjacent marks are resolved in
+// favor of the higher degree (ties by identifier), and surviving marks
+// join the MIS. Phases take 4 rounds: presence, marks, resolution, exit.
+type abiNode struct {
+	id        int
+	deg       int
+	src       *xrand.Source
+	status    misStatus
+	activeDeg int
+	marked    bool
+}
+
+// Status returns the node's final membership.
+func (an *abiNode) Status() bool { return an.status == misIn }
+
+// Init implements mp.Node.
+func (an *abiNode) Init(id, degree int, src *xrand.Source) {
+	an.id, an.deg, an.src = id, degree, src
+	an.activeDeg = degree
+}
+
+// Round implements mp.Node.
+func (an *abiNode) Round(round int, inbox []any) ([]any, bool) {
+	switch (round - 1) % 4 {
+	case 0: // announce presence
+		return mp.Broadcast(an.deg, abiMsg{kind: 'p', id: an.id}), false
+	case 1: // count active neighbors, draw the mark
+		an.activeDeg = 0
+		for _, m := range inbox {
+			if msg, ok := m.(abiMsg); ok && msg.kind == 'p' {
+				an.activeDeg++
+			}
+		}
+		an.marked = false
+		if an.activeDeg == 0 {
+			an.marked = true // isolated in the residual graph: join
+		} else if an.src.Intn(2*an.activeDeg) == 0 {
+			an.marked = true
+		}
+		return mp.Broadcast(an.deg, abiMsg{kind: 'm', marked: an.marked, deg: an.activeDeg, id: an.id}), false
+	case 2: // resolve adjacent marks toward the higher degree
+		if an.marked {
+			for _, m := range inbox {
+				msg, ok := m.(abiMsg)
+				if !ok || msg.kind != 'm' || !msg.marked {
+					continue
+				}
+				if msg.deg > an.activeDeg || (msg.deg == an.activeDeg && msg.id > an.id) {
+					an.marked = false
+					break
+				}
+			}
+		}
+		if an.marked {
+			an.status = misIn
+			return mp.Broadcast(an.deg, abiMsg{kind: 'w', id: an.id}), false
+		}
+		return nil, false
+	default: // winners leave; their neighbors drop out
+		if an.status == misIn {
+			return nil, true
+		}
+		for _, m := range inbox {
+			if msg, ok := m.(abiMsg); ok && msg.kind == 'w' {
+				an.status = misOut
+				return nil, true
+			}
+		}
+		return nil, false
+	}
+}
+
+// ABIMIS runs the Alon–Babai–Itai algorithm.
+func ABIMIS(g *graph.Graph, seed uint64, maxRounds int) ([]bool, int, error) {
+	rounds, nodes, err := mp.Run(g, func() mp.Node { return &abiNode{} }, seed, maxRounds)
+	if err != nil {
+		return nil, 0, err
+	}
+	inSet, err := misMask(nodes)
+	return inSet, rounds, err
+}
+
+// GreedyMIS computes the lexicographic greedy MIS centrally. It is the
+// sanity reference for validity checks and set-size comparisons.
+func GreedyMIS(g *graph.Graph) []bool {
+	inSet := make([]bool, g.N())
+	blocked := make([]bool, g.N())
+	for v := 0; v < g.N(); v++ {
+		if blocked[v] {
+			continue
+		}
+		inSet[v] = true
+		for _, u := range g.Neighbors(v) {
+			blocked[u] = true
+		}
+	}
+	return inSet
+}

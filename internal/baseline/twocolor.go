@@ -1,0 +1,84 @@
+package baseline
+
+import (
+	"fmt"
+
+	"stoneage/internal/graph"
+	"stoneage/internal/mp"
+	"stoneage/internal/xrand"
+)
+
+// This file implements the 2-coloring comparison point for Section 5's
+// opening remark: trees are 2-chromatic, but 2-coloring them takes time
+// proportional to the diameter *even in the message-passing model*
+// (the color of a node is forced by the parity of its distance to any
+// already-colored node, and information travels one hop per round).
+// The experiment pairs this Θ(diameter) baseline against the paper's
+// O(log n) 3-coloring — the reason the paper "must and will" use three
+// colors.
+
+// twoColorMsg carries the sender's adopted color.
+type twoColorMsg struct {
+	color int
+}
+
+// twoColorNode floods colors outward from node 0: an uncolored node that
+// hears a colored neighbor adopts the opposite color and announces it.
+type twoColorNode struct {
+	id    int
+	deg   int
+	color int
+}
+
+// Color returns the node's final color (1 or 2).
+func (tn *twoColorNode) Color() int { return tn.color }
+
+// Init implements mp.Node.
+func (tn *twoColorNode) Init(id, degree int, src *xrand.Source) {
+	tn.id, tn.deg = id, degree
+}
+
+// Round implements mp.Node.
+func (tn *twoColorNode) Round(round int, inbox []any) ([]any, bool) {
+	if tn.color != 0 {
+		return nil, true // announced last round; done
+	}
+	if round == 1 {
+		if tn.id == 0 {
+			tn.color = 1
+			return mp.Broadcast(tn.deg, twoColorMsg{color: 1}), tn.deg == 0
+		}
+		return nil, false
+	}
+	for _, m := range inbox {
+		if msg, ok := m.(twoColorMsg); ok {
+			tn.color = 3 - msg.color
+			return mp.Broadcast(tn.deg, twoColorMsg{color: tn.color}), false
+		}
+	}
+	return nil, false
+}
+
+// TwoColorTree 2-colors a tree by BFS flooding in the message-passing
+// model and returns the colors and round count. The round count is
+// Θ(eccentricity of node 0) = Θ(diameter) up to a factor of two — the
+// lower-bound behaviour the paper contrasts with its O(log n)
+// 3-coloring.
+func TwoColorTree(g *graph.Graph, maxRounds int) ([]int, int, error) {
+	if !g.IsTree() {
+		return nil, 0, fmt.Errorf("baseline: TwoColorTree requires a tree")
+	}
+	rounds, nodes, err := mp.Run(g, func() mp.Node { return &twoColorNode{} }, 0, maxRounds)
+	if err != nil {
+		return nil, 0, err
+	}
+	colors := make([]int, g.N())
+	for v, node := range nodes {
+		tn, ok := node.(*twoColorNode)
+		if !ok {
+			return nil, 0, fmt.Errorf("baseline: unexpected node type %T", node)
+		}
+		colors[v] = tn.color
+	}
+	return colors, rounds, nil
+}

@@ -1,0 +1,56 @@
+package baseline
+
+import (
+	"testing"
+
+	"stoneage/internal/graph"
+	"stoneage/internal/xrand"
+)
+
+func TestTwoColorTreeValid(t *testing.T) {
+	src := xrand.New(4)
+	trees := map[string]*graph.Graph{
+		"single": graph.New(1),
+		"pair":   graph.Path(2),
+		"path":   graph.Path(50),
+		"star":   graph.Star(20),
+		"binary": graph.BinaryTree(31),
+		"random": graph.RandomTree(80, src),
+	}
+	for name, g := range trees {
+		t.Run(name, func(t *testing.T) {
+			colors, rounds, err := TwoColorTree(g, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := g.IsProperColoring(colors, 2); err != nil {
+				t.Fatal(err)
+			}
+			if rounds <= 0 {
+				t.Fatalf("rounds = %d", rounds)
+			}
+		})
+	}
+}
+
+func TestTwoColorTreeRoundsTrackEccentricity(t *testing.T) {
+	// On a path rooted at an end, the wave needs one round per hop: the
+	// round count is Θ(n) — the diameter behaviour the paper contrasts
+	// with O(log n) 3-coloring.
+	for _, n := range []int{10, 40, 160} {
+		g := graph.Path(n)
+		_, rounds, err := TwoColorTree(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rounds < n || rounds > n+2 {
+			t.Fatalf("n=%d: rounds = %d, want ≈ n", n, rounds)
+		}
+	}
+}
+
+func TestTwoColorTreeRejectsNonTree(t *testing.T) {
+	if _, _, err := TwoColorTree(graph.Cycle(6), 0); err == nil {
+		t.Fatal("cycle accepted")
+	}
+}

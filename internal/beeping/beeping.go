@@ -1,0 +1,75 @@
+// Package beeping is the beeping-model substrate (Cornejo–Kuhn, Flury–
+// Wattenhofer; used by Afek et al. for their MIS algorithms). In every
+// synchronous round a node either beeps or listens; it then learns a
+// single bit of feedback. This implementation provides the sender-side
+// collision-detection variant (B_cd): a listener hears whether at least
+// one neighbor beeped, and a beeper hears whether at least one neighbor
+// beeped concurrently. As the paper's related-work section notes, the
+// beeping rule is one-two-many counting with b = 1 — but the model is
+// stronger than nFSM in assuming synchrony and unbounded local memory.
+package beeping
+
+import (
+	"fmt"
+
+	"stoneage/internal/graph"
+	"stoneage/internal/xrand"
+)
+
+// Node is one process of a beeping algorithm.
+type Node interface {
+	// Init is called once before round 1.
+	Init(id, degree int, src *xrand.Source)
+	// Round executes one synchronous round: heard reports whether any
+	// neighbor beeped in the previous round (for both listeners and
+	// beepers — the collision-detection variant). The node returns
+	// whether it beeps this round and whether it has terminated.
+	Round(round int, heard bool) (beep bool, done bool)
+}
+
+// Run executes the beeping algorithm until every node is done, returning
+// the round count and the final node objects. maxRounds of zero selects
+// 1<<20.
+func Run(g *graph.Graph, newNode func() Node, seed uint64, maxRounds int) (int, []Node, error) {
+	n := g.N()
+	if maxRounds <= 0 {
+		maxRounds = 1 << 20
+	}
+	nodes := make([]Node, n)
+	for v := 0; v < n; v++ {
+		nodes[v] = newNode()
+		nodes[v].Init(v, g.Degree(v), xrand.NewStream(seed, 0xbeeb, uint64(v)))
+	}
+	heard := make([]bool, n)
+	beeped := make([]bool, n)
+	done := make([]bool, n)
+	remaining := n
+
+	for round := 1; round <= maxRounds; round++ {
+		for v := 0; v < n; v++ {
+			beeped[v] = false
+			if done[v] {
+				continue
+			}
+			b, fin := nodes[v].Round(round, heard[v])
+			beeped[v] = b
+			if fin {
+				done[v] = true
+				remaining--
+			}
+		}
+		for v := 0; v < n; v++ {
+			heard[v] = false
+			for _, u := range g.Neighbors(v) {
+				if beeped[u] {
+					heard[v] = true
+					break
+				}
+			}
+		}
+		if remaining == 0 {
+			return round, nodes, nil
+		}
+	}
+	return 0, nil, fmt.Errorf("beeping: %d nodes still running after %d rounds", remaining, maxRounds)
+}

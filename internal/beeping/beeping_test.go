@@ -1,0 +1,81 @@
+package beeping
+
+import (
+	"testing"
+
+	"stoneage/internal/graph"
+	"stoneage/internal/xrand"
+)
+
+// onceNode: node 0 beeps in round 1; everyone terminates in round 2
+// recording whether they heard it.
+type onceNode struct {
+	id    int
+	heard bool
+}
+
+func (o *onceNode) Init(id, degree int, src *xrand.Source) { o.id = id }
+
+func (o *onceNode) Round(round int, heard bool) (bool, bool) {
+	if round == 1 {
+		return o.id == 0, false
+	}
+	o.heard = heard
+	return false, true
+}
+
+func TestHearingNeighbors(t *testing.T) {
+	g := graph.Star(5) // center 0
+	rounds, nodes, err := Run(g, func() Node { return &onceNode{} }, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 2 {
+		t.Fatalf("rounds = %d", rounds)
+	}
+	for v := 1; v < 5; v++ {
+		if !nodes[v].(*onceNode).heard {
+			t.Fatalf("leaf %d did not hear the center's beep", v)
+		}
+	}
+	if nodes[0].(*onceNode).heard {
+		t.Fatal("center heard its own beep (no neighbor beeped)")
+	}
+}
+
+// collisionNode: both endpoints of an edge beep simultaneously; with the
+// sender-side collision-detection variant each hears the other.
+type collisionNode struct{ heard bool }
+
+func (c *collisionNode) Init(int, int, *xrand.Source) {}
+func (c *collisionNode) Round(round int, heard bool) (bool, bool) {
+	if round == 1 {
+		return true, false
+	}
+	c.heard = heard
+	return false, true
+}
+
+func TestSenderCollisionDetection(t *testing.T) {
+	g := graph.Path(2)
+	_, nodes, err := Run(g, func() Node { return &collisionNode{} }, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 2; v++ {
+		if !nodes[v].(*collisionNode).heard {
+			t.Fatalf("beeper %d missed the concurrent beep", v)
+		}
+	}
+}
+
+type silentNode struct{}
+
+func (silentNode) Init(int, int, *xrand.Source) {}
+func (silentNode) Round(int, bool) (bool, bool) { return false, false }
+
+func TestRoundBudget(t *testing.T) {
+	if _, _, err := Run(graph.Path(2), func() Node { return silentNode{} }, 1, 5); err == nil {
+		t.Fatal("non-terminating algorithm did not error")
+	}
+}

@@ -1,0 +1,360 @@
+// Package coloring implements the paper's Section 5 protocol: 3-coloring
+// an arbitrary undirected tree in O(log n) locally synchronous rounds
+// (Theorem 5.4).
+//
+// The protocol structures its execution into phases of four rounds:
+//
+//	round 1: every ACTIVE node announces 'I am ACTIVE';
+//	round 2: every ACTIVE node reads its active degree through the
+//	         one-two-many counter with b = 3 (so it distinguishes
+//	         0, 1, 2, ≥3) and announces f₃(d);
+//	round 3: depending on its own degree and the announced degrees of its
+//	         active neighbors, a node starts Procedure RandColor (propose
+//	         a color not used by any colored neighbor), moves to mode
+//	         WAITING (a degree-1 node whose neighbor is busier), or idles;
+//	round 4: a proposing node adopts its color unless a neighbor proposed
+//	         the same color; adopted colors are announced and final.
+//
+// WAITING nodes sleep silently; they detect the coloring of the neighbor
+// they wait on by comparing the clamped color counts in their ports
+// against a snapshot taken when they went to sleep (the waiting hierarchy
+// of the paper guarantees at most two colored neighbors exist at
+// sleep-entry, so the new color always changes the clamped vector), then
+// rejoin the next phase as active degree-0 nodes and color immediately.
+//
+// The protocol is correct only on trees (on general graphs the palette
+// {1,2,3} can be exhausted); Solve validates the input.
+package coloring
+
+import (
+	"errors"
+	"fmt"
+
+	"stoneage/internal/engine"
+	"stoneage/internal/graph"
+	"stoneage/internal/nfsm"
+	"stoneage/internal/synchro"
+)
+
+// ErrNotATree is returned when the input graph is not a tree.
+var ErrNotATree = errors.New("coloring: input graph is not a tree")
+
+// The communication alphabet.
+const (
+	letAct  nfsm.Letter = iota // 'I am ACTIVE'
+	letWait                    // 'I am WAITING'
+	letDeg0                    // degree announcements f₃(d) ∈ {0,1,2,≥3}
+	letDeg1
+	letDeg2
+	letDeg3p
+	letProp1 // 'proposing color c'
+	letProp2
+	letProp3
+	letCol1 // 'my color is c'
+	letCol2
+	letCol3
+
+	numLetters = 12
+)
+
+// State layout. Active-mode states track the position inside the 4-round
+// phase; waiting-mode states additionally carry the color-count snapshot.
+const (
+	stA1   nfsm.State = iota // about to send 'I am ACTIVE' (round 1)
+	stA2                     // about to read the active degree (round 2)
+	stA3d0                   // round 3 with own degree 0, 1, 2, ≥3
+	stA3d1
+	stA3d2
+	stA3d3
+	stA4p1 // round 4 after proposing color 1, 2, 3
+	stA4p2
+	stA4p3
+	stA4idle // round 4 without a proposal
+	stCol1   // colored with 1, 2, 3 (output sinks)
+	stCol2
+	stCol3
+	stWaitBase // waiting states: stWaitBase + 4·snapshot + (round−1)
+)
+
+// numWaitSnapshots is 4³: the clamped counts of the three color letters.
+const (
+	numWaitSnapshots = 64
+	numStates        = int(stWaitBase) + numWaitSnapshots*4
+)
+
+func waitState(snapshot, round int) nfsm.State {
+	return stWaitBase + nfsm.State(snapshot*4+(round-1))
+}
+
+func snapshotOf(counts []nfsm.Count) int {
+	return int(counts[letCol1])*16 + int(counts[letCol2])*4 + int(counts[letCol3])
+}
+
+func stateNames() []string {
+	names := make([]string, numStates)
+	fixed := []string{
+		"A1", "A2", "A3deg0", "A3deg1", "A3deg2", "A3deg3+",
+		"A4prop1", "A4prop2", "A4prop3", "A4idle",
+		"COLORED1", "COLORED2", "COLORED3",
+	}
+	copy(names, fixed)
+	for s := 0; s < numWaitSnapshots; s++ {
+		for r := 1; r <= 4; r++ {
+			names[int(stWaitBase)+s*4+r-1] = fmt.Sprintf("WAIT[s=%d,r=%d]", s, r)
+		}
+	}
+	return names
+}
+
+var letterNames = []string{
+	"ACTIVE", "WAITING", "DEG0", "DEG1", "DEG2", "DEG3+",
+	"PROP1", "PROP2", "PROP3", "COLOR1", "COLOR2", "COLOR3",
+}
+
+func stay(q nfsm.State) []nfsm.Move {
+	return []nfsm.Move{{Next: q, Emit: nfsm.NoLetter}}
+}
+
+func transition(q nfsm.State, counts []nfsm.Count) []nfsm.Move {
+	switch {
+	case q == stA1:
+		// Round 1: announce activity.
+		return []nfsm.Move{{Next: stA2, Emit: letAct}}
+
+	case q == stA2:
+		// Round 2: the ports hold the round-1 announcements; the clamped
+		// ACTIVE count is exactly f₃ of the active degree. Announce it.
+		d := counts[letAct] // 0..3 under b = 3
+		return []nfsm.Move{{Next: stA3d0 + nfsm.State(d), Emit: letDeg0 + nfsm.Letter(d)}}
+
+	case q >= stA3d0 && q <= stA3d3:
+		// Round 3: the ports hold the degree announcements.
+		d := int(q - stA3d0)
+		switch {
+		case d == 0:
+			return proposeMoves(counts)
+		case d == 1:
+			if counts[letDeg1] > 0 {
+				// The unique active neighbor also has degree 1.
+				return proposeMoves(counts)
+			}
+			// Wait on the busier neighbor; remember the color counts so
+			// its eventual coloring is detectable.
+			return []nfsm.Move{{Next: waitState(snapshotOf(counts), 4), Emit: letWait}}
+		case d == 2 && counts[letDeg3p] == 0:
+			// Both active neighbors have degree ≤ 2.
+			return proposeMoves(counts)
+		default:
+			return []nfsm.Move{{Next: stA4idle, Emit: nfsm.NoLetter}}
+		}
+
+	case q >= stA4p1 && q <= stA4p3:
+		// Round 4: adopt the proposed color unless contested.
+		c := int(q-stA4p1) + 1
+		if counts[letProp1+nfsm.Letter(c-1)] > 0 {
+			return []nfsm.Move{{Next: stA1, Emit: nfsm.NoLetter}}
+		}
+		return []nfsm.Move{{Next: stCol1 + nfsm.State(c-1), Emit: letCol1 + nfsm.Letter(c-1)}}
+
+	case q == stA4idle:
+		return []nfsm.Move{{Next: stA1, Emit: nfsm.NoLetter}}
+
+	case q >= stCol1 && q <= stCol3:
+		return stay(q)
+
+	case q >= stWaitBase:
+		idx := int(q - stWaitBase)
+		snapshot, round := idx/4, idx%4+1
+		if round == 1 {
+			// Phase boundary: the ports now include any color adopted in
+			// round 4 of the previous phase. A changed clamped color
+			// vector means the awaited neighbor is colored: rejoin as an
+			// active node (necessarily of active degree 0).
+			if snapshotOf(counts) != snapshot {
+				return []nfsm.Move{{Next: stA2, Emit: letAct}}
+			}
+		}
+		next := round + 1
+		if next == 5 {
+			next = 1
+		}
+		return []nfsm.Move{{Next: waitState(snapshot, next), Emit: nfsm.NoLetter}}
+
+	default:
+		// Unreachable by construction; keep δ total.
+		return stay(q)
+	}
+}
+
+// proposeMoves implements the first round of Procedure RandColor: pick a
+// color uniformly from C(v), the palette minus the colors of colored
+// neighbors, and propose it. On trees C(v) is provably non-empty; on
+// malformed inputs the node idles defensively.
+func proposeMoves(counts []nfsm.Count) []nfsm.Move {
+	moves := make([]nfsm.Move, 0, 3)
+	for c := 0; c < 3; c++ {
+		if counts[letCol1+nfsm.Letter(c)] == 0 {
+			moves = append(moves, nfsm.Move{
+				Next: stA4p1 + nfsm.State(c),
+				Emit: letProp1 + nfsm.Letter(c),
+			})
+		}
+	}
+	if len(moves) == 0 {
+		return []nfsm.Move{{Next: stA4idle, Emit: nfsm.NoLetter}}
+	}
+	return moves
+}
+
+// Protocol returns the tree 3-coloring round protocol: b = 3 (the
+// one-two-many bound needed to distinguish degrees 0, 1, 2, ≥3), twelve
+// letters, and a constant number of states.
+func Protocol() *nfsm.RoundProtocol {
+	output := make([]bool, numStates)
+	output[stCol1], output[stCol2], output[stCol3] = true, true, true
+	return &nfsm.RoundProtocol{
+		Name:        "color3",
+		StateNames:  stateNames(),
+		LetterNames: letterNames,
+		Input:       []nfsm.State{stA1},
+		Output:      output,
+		Initial:     letAct,
+		B:           3,
+		Transition:  transition,
+	}
+}
+
+// Extract converts a final state vector into a color assignment in
+// {1,2,3}. It fails if any node is not colored.
+func Extract(states []nfsm.State) ([]int, error) {
+	colors := make([]int, len(states))
+	for v, q := range states {
+		if q < stCol1 || q > stCol3 {
+			return nil, fmt.Errorf("coloring: node %d ended in non-output state %d", v, q)
+		}
+		colors[v] = int(q-stCol1) + 1
+	}
+	return colors, nil
+}
+
+// SyncRun reports a synchronous coloring execution.
+type SyncRun struct {
+	// Colors assigns each node a color in {1,2,3}.
+	Colors []int
+	// Rounds is the round count; Phases is Rounds/4 rounded up.
+	Rounds int
+	// Phases is the number of 4-round phases used.
+	Phases int
+	// Transmissions counts letters sent.
+	Transmissions int64
+}
+
+// SolveSync runs the protocol on the synchronous engine. The input must
+// be a tree.
+func SolveSync(g *graph.Graph, seed uint64, maxRounds int) (*SyncRun, error) {
+	if !g.IsTree() {
+		return nil, ErrNotATree
+	}
+	res, err := engine.RunSync(Protocol(), g, engine.SyncConfig{Seed: seed, MaxRounds: maxRounds})
+	if err != nil {
+		return nil, err
+	}
+	colors, err := Extract(res.States)
+	if err != nil {
+		return nil, err
+	}
+	return &SyncRun{
+		Colors:        colors,
+		Rounds:        res.Rounds,
+		Phases:        (res.Rounds + 3) / 4,
+		Transmissions: res.Transmissions,
+	}, nil
+}
+
+// AsyncRun reports an asynchronous coloring execution through the
+// Theorem 3.1/3.4 compiler.
+type AsyncRun struct {
+	// Colors assigns each node a color in {1,2,3}.
+	Colors []int
+	// TimeUnits is the paper's normalized run-time.
+	TimeUnits float64
+	// Steps is the total number of machine steps.
+	Steps int64
+}
+
+// SolveAsync compiles the protocol and runs it asynchronously under the
+// given adversary. The input must be a tree.
+func SolveAsync(g *graph.Graph, seed uint64, adv engine.Adversary, maxSteps int64) (*AsyncRun, error) {
+	if !g.IsTree() {
+		return nil, ErrNotATree
+	}
+	compiled, err := synchro.CompileRound(Protocol())
+	if err != nil {
+		return nil, err
+	}
+	res, err := engine.RunAsync(compiled, g, engine.AsyncConfig{
+		Seed: seed, Adversary: adv, MaxSteps: maxSteps,
+	})
+	if err != nil {
+		return nil, err
+	}
+	colors, err := Extract(compiled.DecodeStates(res.States))
+	if err != nil {
+		return nil, err
+	}
+	return &AsyncRun{Colors: colors, TimeUnits: res.TimeUnits, Steps: res.Steps}, nil
+}
+
+// ActiveCensus instruments a synchronous run: for every phase it records
+// how many nodes were in each mode at the phase boundary. Used by the E7
+// experiment to visualize the active-forest decay of Observation 5.3.
+type ActiveCensus struct {
+	// Active[i], Waiting[i], Colored[i] count nodes in each mode at the
+	// end of phase i+1.
+	Active, Waiting, Colored []int
+}
+
+// SolveSyncInstrumented runs the protocol synchronously and returns the
+// per-phase mode census alongside the result.
+func SolveSyncInstrumented(g *graph.Graph, seed uint64, maxRounds int) (*SyncRun, *ActiveCensus, error) {
+	if !g.IsTree() {
+		return nil, nil, ErrNotATree
+	}
+	census := &ActiveCensus{}
+	observer := func(round int, states []nfsm.State) {
+		if round%4 != 0 {
+			return
+		}
+		var act, wait, col int
+		for _, q := range states {
+			switch {
+			case q >= stCol1 && q <= stCol3:
+				col++
+			case q >= stWaitBase:
+				wait++
+			default:
+				act++
+			}
+		}
+		census.Active = append(census.Active, act)
+		census.Waiting = append(census.Waiting, wait)
+		census.Colored = append(census.Colored, col)
+	}
+	res, err := engine.RunSync(Protocol(), g, engine.SyncConfig{
+		Seed: seed, MaxRounds: maxRounds, Observer: observer,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	colors, err := Extract(res.States)
+	if err != nil {
+		return nil, nil, err
+	}
+	run := &SyncRun{
+		Colors:        colors,
+		Rounds:        res.Rounds,
+		Phases:        (res.Rounds + 3) / 4,
+		Transmissions: res.Transmissions,
+	}
+	return run, census, nil
+}

@@ -1,0 +1,252 @@
+package coloring
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"stoneage/internal/engine"
+	"stoneage/internal/graph"
+	"stoneage/internal/nfsm"
+	"stoneage/internal/xrand"
+)
+
+func TestProtocolValidates(t *testing.T) {
+	p := Protocol()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.B != 3 {
+		t.Fatalf("b = %d, want 3 (the one-two-many bound of Section 5)", p.B)
+	}
+	if p.NumLetters() != numLetters {
+		t.Fatalf("|Σ| = %d, want %d", p.NumLetters(), numLetters)
+	}
+}
+
+func TestTransitionTotalOverSampledDomain(t *testing.T) {
+	// The full audit domain (|Q|·4¹²) is too large; sample the count
+	// space densely instead and check totality and move validity.
+	p := Protocol()
+	src := xrand.New(3)
+	counts := make([]nfsm.Count, numLetters)
+	for trial := 0; trial < 20000; trial++ {
+		for i := range counts {
+			counts[i] = nfsm.Count(src.Intn(4))
+		}
+		q := nfsm.State(src.Intn(numStates))
+		moves := transition(q, counts)
+		if len(moves) == 0 {
+			t.Fatalf("empty move set at state %d counts %v", q, counts)
+		}
+		for _, mv := range moves {
+			if mv.Next < 0 || int(mv.Next) >= numStates {
+				t.Fatalf("state %d counts %v: move to out-of-range %d", q, counts, mv.Next)
+			}
+			if mv.Emit != nfsm.NoLetter && (mv.Emit < 0 || int(mv.Emit) >= p.NumLetters()) {
+				t.Fatalf("state %d counts %v: emit out-of-range %d", q, counts, mv.Emit)
+			}
+		}
+	}
+}
+
+func TestDegreeAnnouncement(t *testing.T) {
+	counts := make([]nfsm.Count, numLetters)
+	for d := 0; d <= 3; d++ {
+		counts[letAct] = nfsm.Count(d)
+		mv := transition(stA2, counts)
+		if len(mv) != 1 || mv[0].Next != stA3d0+nfsm.State(d) || mv[0].Emit != letDeg0+nfsm.Letter(d) {
+			t.Fatalf("degree %d announcement = %v", d, mv)
+		}
+	}
+}
+
+func TestRandColorPaletteExclusion(t *testing.T) {
+	counts := make([]nfsm.Count, numLetters)
+	counts[letCol2] = 1 // a neighbor holds color 2
+	moves := proposeMoves(counts)
+	if len(moves) != 2 {
+		t.Fatalf("palette size = %d, want 2", len(moves))
+	}
+	for _, mv := range moves {
+		if mv.Next == stA4p2 {
+			t.Fatal("proposed a color already taken by a neighbor")
+		}
+	}
+	// Full palette exhaustion falls back to idling (trees never reach
+	// this, but δ must be total).
+	counts[letCol1], counts[letCol3] = 1, 1
+	moves = proposeMoves(counts)
+	if len(moves) != 1 || moves[0].Next != stA4idle {
+		t.Fatalf("exhausted palette moves = %v", moves)
+	}
+}
+
+func TestWaitingDetectsColorChange(t *testing.T) {
+	counts := make([]nfsm.Count, numLetters)
+	counts[letCol1] = 2
+	snap := snapshotOf(counts)
+	w1 := waitState(snap, 1)
+	// Same counts: keep sleeping.
+	mv := transition(w1, counts)
+	if len(mv) != 1 || mv[0].Next != waitState(snap, 2) {
+		t.Fatalf("unchanged snapshot moves = %v", mv)
+	}
+	// A neighbor adopted color 1: wake up and announce activity.
+	counts[letCol1] = 3
+	mv = transition(w1, counts)
+	if len(mv) != 1 || mv[0].Next != stA2 || mv[0].Emit != letAct {
+		t.Fatalf("changed snapshot moves = %v", mv)
+	}
+	// Waiting rounds 2..4 never check and never transmit.
+	for r := 2; r <= 4; r++ {
+		mv = transition(waitState(snap, r), counts)
+		next := r + 1
+		if next == 5 {
+			next = 1
+		}
+		if len(mv) != 1 || mv[0].Next != waitState(snap, next) || mv[0].Emit != nfsm.NoLetter {
+			t.Fatalf("wait round %d moves = %v", r, mv)
+		}
+	}
+}
+
+func TestSolveSyncRejectsNonTrees(t *testing.T) {
+	if _, err := SolveSync(graph.Cycle(5), 1, 0); !errors.Is(err, ErrNotATree) {
+		t.Fatalf("cycle accepted: %v", err)
+	}
+	if _, err := SolveSync(graph.New(3), 1, 0); !errors.Is(err, ErrNotATree) {
+		t.Fatalf("forest accepted: %v", err)
+	}
+}
+
+func TestSolveSyncAllTreeFamilies(t *testing.T) {
+	src := xrand.New(5)
+	families := map[string]func(n int) *graph.Graph{
+		"path":        graph.Path,
+		"star":        graph.Star,
+		"binary":      graph.BinaryTree,
+		"caterpillar": graph.Caterpillar,
+		"broom":       graph.Broom,
+		"random":      func(n int) *graph.Graph { return graph.RandomTree(n, src) },
+	}
+	for name, gen := range families {
+		t.Run(name, func(t *testing.T) {
+			for _, n := range []int{1, 2, 3, 8, 50, 150} {
+				g := gen(n)
+				for seed := uint64(0); seed < 3; seed++ {
+					run, err := SolveSync(g, seed, 0)
+					if err != nil {
+						t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+					}
+					if err := g.IsProperColoring(run.Colors, 3); err != nil {
+						t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestSingleNodeColorsInOnePhase(t *testing.T) {
+	run, err := SolveSync(graph.New(1), 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Phases != 1 || run.Rounds != 4 {
+		t.Fatalf("phases = %d rounds = %d, want 1 phase of 4 rounds", run.Phases, run.Rounds)
+	}
+}
+
+func TestStarWaitsThenColors(t *testing.T) {
+	// In a star, all leaves wait on the center in phase 1; the center
+	// (degree ≥3) cannot color until its active degree drops to 0 —
+	// which happens in phase 2 once every leaf sleeps. Leaves then wake
+	// and color. The whole process is a constant number of phases.
+	run, err := SolveSync(graph.Star(40), 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Phases > 6 {
+		t.Fatalf("star took %d phases, expected a small constant", run.Phases)
+	}
+	center := run.Colors[0]
+	for v := 1; v < 40; v++ {
+		if run.Colors[v] == center {
+			t.Fatalf("leaf %d shares the center's color", v)
+		}
+	}
+}
+
+func TestRunTimeScalesLogarithmically(t *testing.T) {
+	// Theorem 5.4: O(log n) rounds. Check rounds/log n stays bounded.
+	const trials = 3
+	ratioAt := func(n int) float64 {
+		total := 0.0
+		for s := 0; s < trials; s++ {
+			g := graph.RandomTree(n, xrand.New(uint64(n)*31+uint64(s)))
+			run, err := SolveSync(g, uint64(s), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += float64(run.Rounds)
+		}
+		return total / trials / math.Log2(float64(n))
+	}
+	small, large := ratioAt(64), ratioAt(2048)
+	if large > 4*small {
+		t.Fatalf("rounds/log n grew from %.2f to %.2f: not logarithmic", small, large)
+	}
+}
+
+func TestInstrumentedCensus(t *testing.T) {
+	g := graph.RandomTree(120, xrand.New(8))
+	run, census, err := SolveSyncInstrumented(g, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.IsProperColoring(run.Colors, 3); err != nil {
+		t.Fatal(err)
+	}
+	if len(census.Colored) == 0 {
+		t.Fatal("no census rows recorded")
+	}
+	last := len(census.Colored) - 1
+	if census.Colored[last] != g.N() || census.Active[last] != 0 || census.Waiting[last] != 0 {
+		t.Fatalf("final census %d/%d/%d, want all colored",
+			census.Active[last], census.Waiting[last], census.Colored[last])
+	}
+	// Colored counts are monotone non-decreasing.
+	for i := 1; i < len(census.Colored); i++ {
+		if census.Colored[i] < census.Colored[i-1] {
+			t.Fatalf("colored count decreased at phase %d: %v", i, census.Colored)
+		}
+	}
+}
+
+func TestSolveAsyncAllAdversaries(t *testing.T) {
+	g := graph.RandomTree(16, xrand.New(10))
+	for name, adv := range engine.NamedAdversaries(19) {
+		t.Run(name, func(t *testing.T) {
+			run, err := SolveAsync(g, 4, adv, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := g.IsProperColoring(run.Colors, 3); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestSolveAsyncRejectsNonTree(t *testing.T) {
+	if _, err := SolveAsync(graph.Clique(4), 1, nil, 0); !errors.Is(err, ErrNotATree) {
+		t.Fatalf("clique accepted: %v", err)
+	}
+}
+
+func TestExtractRejectsUncolored(t *testing.T) {
+	if _, err := Extract([]nfsm.State{stCol1, stA1}); err == nil {
+		t.Fatal("Extract accepted an active state")
+	}
+}

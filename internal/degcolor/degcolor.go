@@ -1,0 +1,179 @@
+// Package degcolor implements (Δ+1)-coloring of bounded-degree graphs
+// under the pure nFSM model — an extension beyond the paper's Section 5.
+//
+// The paper's coloring section restricts itself to trees because the
+// nFSM output set must be constant-size; the same constraint admits
+// general graphs whenever the maximum degree Δ is a universal constant
+// (requirement (M4) then holds: states, letters and the palette size
+// Δ+1 are all constants independent of n). The protocol is the
+// stone-age version of the classical randomized palette race:
+//
+//	round 1 of each phase: every uncolored node picks a color uniformly
+//	   from its current free palette (colors no colored neighbor holds —
+//	   readable from the persistent COLOR letters with b = 1) and
+//	   transmits a PROPOSE letter for it;
+//	round 2: a proposer adopts its color unless some neighbor proposed
+//	   the same color; adopted colors are announced with a COLOR letter
+//	   and are final.
+//
+// Every phase colors each remaining node with probability bounded below
+// by a constant (a free color survives contention with probability
+// ≥ (1−1/(Δ+1))^Δ ≥ 1/e), so the run-time is O(log n) w.h.p.
+package degcolor
+
+import (
+	"errors"
+	"fmt"
+
+	"stoneage/internal/engine"
+	"stoneage/internal/graph"
+	"stoneage/internal/nfsm"
+	"stoneage/internal/synchro"
+)
+
+// ErrDegreeTooLarge is returned when the input graph exceeds the
+// protocol's compiled-in degree bound.
+var ErrDegreeTooLarge = errors.New("degcolor: graph degree exceeds the protocol's bound")
+
+// Protocol builds the (Δ+1)-coloring round protocol for the universal
+// degree constant maxDeg ≥ 1. The palette is {1..maxDeg+1}.
+//
+// State layout: 0 = picking; 1..palette = "proposed color c";
+// palette+1..2·palette = colored output sinks.
+// Letters: PROP_c (0..palette−1) then COLOR_c (palette..2·palette−1).
+func Protocol(maxDeg int) (*nfsm.RoundProtocol, error) {
+	if maxDeg < 1 || maxDeg > 16 {
+		return nil, fmt.Errorf("degcolor: degree bound %d outside [1,16]", maxDeg)
+	}
+	palette := maxDeg + 1
+	numStates := 1 + 2*palette
+	stateNames := make([]string, numStates)
+	stateNames[0] = "pick"
+	letterNames := make([]string, 2*palette)
+	for c := 0; c < palette; c++ {
+		stateNames[1+c] = fmt.Sprintf("proposed%d", c+1)
+		stateNames[1+palette+c] = fmt.Sprintf("colored%d", c+1)
+		letterNames[c] = fmt.Sprintf("PROP%d", c+1)
+		letterNames[palette+c] = fmt.Sprintf("COLOR%d", c+1)
+	}
+	output := make([]bool, numStates)
+	for c := 0; c < palette; c++ {
+		output[1+palette+c] = true
+	}
+	propLetter := func(c int) nfsm.Letter { return nfsm.Letter(c) }
+	colLetter := func(c int) nfsm.Letter { return nfsm.Letter(palette + c) }
+
+	transition := func(q nfsm.State, counts []nfsm.Count) []nfsm.Move {
+		switch {
+		case int(q) > palette: // colored sink
+			return []nfsm.Move{{Next: q, Emit: nfsm.NoLetter}}
+		case q == 0: // pick a free color
+			moves := make([]nfsm.Move, 0, palette)
+			for c := 0; c < palette; c++ {
+				if counts[colLetter(c)] == 0 {
+					moves = append(moves, nfsm.Move{
+						Next: nfsm.State(1 + c),
+						Emit: propLetter(c),
+					})
+				}
+			}
+			if len(moves) == 0 {
+				// Free palette empty: only possible when the degree
+				// bound is violated; stall (Solve validates the input,
+				// so this is unreachable there).
+				return []nfsm.Move{{Next: q, Emit: nfsm.NoLetter}}
+			}
+			return moves
+		default: // proposed color c
+			c := int(q) - 1
+			if counts[propLetter(c)] > 0 || counts[colLetter(c)] > 0 {
+				// Contention (or a neighbor adopted c in the same phase
+				// we proposed): retry. The COLOR check covers the race
+				// where a neighbor's adoption letter lands while our
+				// proposal was in flight.
+				return []nfsm.Move{{Next: 0, Emit: nfsm.NoLetter}}
+			}
+			return []nfsm.Move{{Next: nfsm.State(1 + palette + c), Emit: colLetter(c)}}
+		}
+	}
+
+	return &nfsm.RoundProtocol{
+		Name:        fmt.Sprintf("degcolor%d", maxDeg),
+		StateNames:  stateNames,
+		LetterNames: letterNames,
+		Input:       []nfsm.State{0},
+		Output:      output,
+		Initial:     propLetter(0), // overwritten before anyone reads it
+		B:           1,
+		Transition:  transition,
+	}, nil
+}
+
+// Extract converts final states into colors in {1..palette}.
+func Extract(maxDeg int, states []nfsm.State) ([]int, error) {
+	palette := maxDeg + 1
+	colors := make([]int, len(states))
+	for v, q := range states {
+		if int(q) <= palette {
+			return nil, fmt.Errorf("degcolor: node %d ended uncolored (state %d)", v, q)
+		}
+		colors[v] = int(q) - palette
+	}
+	return colors, nil
+}
+
+// Run reports a coloring execution.
+type Run struct {
+	// Colors assigns each node a color in {1..maxDeg+1}.
+	Colors []int
+	// Rounds is the synchronous round count.
+	Rounds int
+}
+
+// SolveSync colors g with maxDeg+1 colors on the synchronous engine. The
+// graph's maximum degree must not exceed maxDeg.
+func SolveSync(g *graph.Graph, maxDeg int, seed uint64, maxRounds int) (*Run, error) {
+	if g.MaxDegree() > maxDeg {
+		return nil, fmt.Errorf("%w: Δ=%d > %d", ErrDegreeTooLarge, g.MaxDegree(), maxDeg)
+	}
+	p, err := Protocol(maxDeg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := engine.RunSync(p, g, engine.SyncConfig{Seed: seed, MaxRounds: maxRounds})
+	if err != nil {
+		return nil, err
+	}
+	colors, err := Extract(maxDeg, res.States)
+	if err != nil {
+		return nil, err
+	}
+	return &Run{Colors: colors, Rounds: res.Rounds}, nil
+}
+
+// SolveAsync colors g asynchronously through the Theorem 3.1/3.4
+// compiler.
+func SolveAsync(g *graph.Graph, maxDeg int, seed uint64, adv engine.Adversary, maxSteps int64) (*Run, error) {
+	if g.MaxDegree() > maxDeg {
+		return nil, fmt.Errorf("%w: Δ=%d > %d", ErrDegreeTooLarge, g.MaxDegree(), maxDeg)
+	}
+	p, err := Protocol(maxDeg)
+	if err != nil {
+		return nil, err
+	}
+	compiled, err := synchro.CompileRound(p)
+	if err != nil {
+		return nil, err
+	}
+	res, err := engine.RunAsync(compiled, g, engine.AsyncConfig{
+		Seed: seed, Adversary: adv, MaxSteps: maxSteps,
+	})
+	if err != nil {
+		return nil, err
+	}
+	colors, err := Extract(maxDeg, compiled.DecodeStates(res.States))
+	if err != nil {
+		return nil, err
+	}
+	return &Run{Colors: colors, Rounds: 0}, nil
+}

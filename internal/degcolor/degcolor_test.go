@@ -1,0 +1,116 @@
+package degcolor
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"stoneage/internal/engine"
+	"stoneage/internal/graph"
+	"stoneage/internal/nfsm"
+	"stoneage/internal/xrand"
+)
+
+func TestProtocolValidatesAndAudits(t *testing.T) {
+	for _, d := range []int{1, 2, 4, 6} {
+		p, err := Protocol(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Δ=%d: %v", d, err)
+		}
+	}
+	p, err := Protocol(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Audit(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Protocol(0); err == nil {
+		t.Fatal("degree bound 0 accepted")
+	}
+	if _, err := Protocol(64); err == nil {
+		t.Fatal("unbounded palette accepted")
+	}
+}
+
+func TestSolveSyncBoundedDegreeFamilies(t *testing.T) {
+	src := xrand.New(1)
+	workloads := []struct {
+		name   string
+		g      *graph.Graph
+		maxDeg int
+	}{
+		{"path", graph.Path(100), 2},
+		{"cycle", graph.Cycle(101), 2},
+		{"grid", graph.Grid(9, 9), 4},
+		{"torus", graph.Torus(8, 8), 4},
+		{"binary", graph.BinaryTree(127), 3},
+		{"nearregular", graph.NearRegular(120, 5, src), 5},
+		{"clique5", graph.Clique(5), 4},
+		{"single", graph.New(1), 1},
+	}
+	for _, w := range workloads {
+		t.Run(w.name, func(t *testing.T) {
+			for seed := uint64(0); seed < 5; seed++ {
+				run, err := SolveSync(w.g, w.maxDeg, seed, 0)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if err := w.g.IsProperColoring(run.Colors, w.maxDeg+1); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+		})
+	}
+}
+
+func TestRejectsOversizedDegree(t *testing.T) {
+	if _, err := SolveSync(graph.Star(10), 4, 1, 0); !errors.Is(err, ErrDegreeTooLarge) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunTimeLogarithmic(t *testing.T) {
+	ratioAt := func(n int) float64 {
+		g := graph.Torus(n, n)
+		total := 0.0
+		for seed := uint64(0); seed < 3; seed++ {
+			run, err := SolveSync(g, 4, seed, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += float64(run.Rounds)
+		}
+		return total / 3 / math.Log2(float64(n*n))
+	}
+	small, large := ratioAt(8), ratioAt(32)
+	if large > 4*small {
+		t.Fatalf("rounds/log n grew from %.2f to %.2f", small, large)
+	}
+}
+
+func TestSolveAsyncUnderAdversaries(t *testing.T) {
+	g := graph.Cycle(12)
+	for name, adv := range engine.NamedAdversaries(3) {
+		run, err := SolveAsync(g, 2, 4, adv, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := g.IsProperColoring(run.Colors, 3); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestExtractRejectsUncolored(t *testing.T) {
+	if _, err := Extract(2, []nfsm.State{0}); err == nil {
+		t.Fatal("uncolored state accepted")
+	}
+	colors, err := Extract(2, []nfsm.State{4}) // palette=3: state 4 = colored1
+	if err != nil || colors[0] != 1 {
+		t.Fatalf("Extract = %v, %v", colors, err)
+	}
+}

@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"stoneage/internal/graph"
+	"stoneage/internal/xrand"
+)
+
+// TestPropertyAsyncAgreesWithSyncOnDeterministicProtocol: for a
+// deterministic protocol (the broadcast wave), the asynchronous engine
+// must reach the same final configuration as the synchronous engine on
+// any graph under any of the standard adversaries — asynchrony may
+// reorder work but cannot change a deterministic protocol's fixpoint.
+func TestPropertyAsyncAgreesWithSyncOnDeterministicProtocol(t *testing.T) {
+	p := waveProtocol()
+	f := func(seed uint64, nRaw, pRaw, advRaw uint8) bool {
+		n := int(nRaw%30) + 2
+		prob := float64(pRaw%80)/100 + 0.05
+		g := graph.GnpConnected(n, prob, xrand.New(seed))
+		init := waveInit(n, int(seed%uint64(n)))
+
+		sres, err := RunSync(p, g, SyncConfig{Seed: seed, Init: init})
+		if err != nil {
+			return false
+		}
+		advs := []Adversary{
+			Synchronous{},
+			UniformRandom{Seed: seed + 1},
+			Skew{Seed: seed + 2},
+			Drift{Seed: seed + 3},
+		}
+		ares, err := RunAsync(p, g, AsyncConfig{
+			Seed:      seed,
+			Adversary: advs[int(advRaw)%len(advs)],
+			Init:      init,
+		})
+		if err != nil {
+			return false
+		}
+		for v := range sres.States {
+			if sres.States[v] != ares.States[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// extremeAdversary mixes parameter magnitudes across five orders of
+// magnitude; the run-time normalization must absorb the scale.
+type extremeAdversary struct{ seed uint64 }
+
+func (a extremeAdversary) StepLength(node, step int) float64 {
+	mag := xrand.Mix(a.seed, uint64(node), uint64(step)) % 5
+	return float64(uint64(1)<<(4*mag)) / 65536 * 65536 * 1e-4 * float64(mag+1)
+}
+
+func (a extremeAdversary) Delay(from, step, to int) float64 {
+	mag := xrand.Mix(a.seed, 0xd, uint64(from), uint64(step), uint64(to)) % 4
+	return 1e-3 * float64(uint64(1)<<(3*mag))
+}
+
+func TestExtremeParameterMagnitudes(t *testing.T) {
+	g := graph.Path(10)
+	res, err := RunAsync(waveProtocol(), g, AsyncConfig{
+		Seed:      2,
+		Adversary: extremeAdversary{seed: 5},
+		Init:      waveInit(10, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimeUnits <= 0 {
+		t.Fatalf("TimeUnits = %v", res.TimeUnits)
+	}
+	// The normalized run-time of a wave over a 10-path is at least the
+	// number of sequential hops and bounded by a small multiple of it —
+	// regardless of the raw magnitudes the adversary used.
+	if res.TimeUnits > 1000 {
+		t.Fatalf("normalization failed to absorb parameter magnitudes: %v", res.TimeUnits)
+	}
+}
+
+// TestZeroNodeGraph: both engines treat the empty network as an
+// immediate output configuration.
+func TestZeroNodeGraph(t *testing.T) {
+	g := graph.New(0)
+	sres, err := RunSync(waveProtocol(), g, SyncConfig{})
+	if err != nil || sres.Rounds != 0 {
+		t.Fatalf("sync empty: %v %v", sres, err)
+	}
+	ares, err := RunAsync(waveProtocol(), g, AsyncConfig{})
+	if err != nil || ares.Time != 0 {
+		t.Fatalf("async empty: %v %v", ares, err)
+	}
+}
+
+// TestLargeDenseAsync exercises heap behaviour under heavy event load.
+func TestLargeDenseAsync(t *testing.T) {
+	g := graph.Clique(40)
+	init := waveInit(40, 0)
+	res, err := RunAsync(waveProtocol(), g, AsyncConfig{
+		Seed:      1,
+		Adversary: UniformRandom{Seed: 2},
+		Init:      init,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, q := range res.States {
+		if q != 2 {
+			t.Fatalf("node %d not done", v)
+		}
+	}
+}

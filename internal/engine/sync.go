@@ -1,0 +1,126 @@
+package engine
+
+import (
+	"fmt"
+
+	"stoneage/internal/graph"
+	"stoneage/internal/nfsm"
+)
+
+// SyncConfig parameterizes a locally synchronous run.
+type SyncConfig struct {
+	// Seed keys every random choice of the run.
+	Seed uint64
+	// MaxRounds aborts the run with ErrNoConvergence when exceeded.
+	// Zero selects a generous default of 1<<20 rounds.
+	MaxRounds int
+	// Init optionally assigns per-node initial states (length n). Nil
+	// starts every node in the machine's default input state. This is
+	// how per-node input (Section 2, "Input and Output") is delivered,
+	// e.g. the tape contents of the Lemma 6.2 rLBA simulation.
+	Init []nfsm.State
+	// Observer, when non-nil, is invoked after every round with the
+	// round index and the current state vector (not a copy; observers
+	// must not retain or modify it). Used by the analysis
+	// instrumentation of Sections 4 and 5.
+	Observer func(round int, states []nfsm.State)
+}
+
+// SyncResult reports a completed synchronous run.
+type SyncResult struct {
+	// Rounds is the number of rounds until the first output
+	// configuration.
+	Rounds int
+	// Transmissions counts non-ε letter transmissions.
+	Transmissions int64
+	// States is the final state of every node.
+	States []nfsm.State
+}
+
+// RunSync executes machine m on graph g in a locally synchronous
+// environment: in every round each node observes the clamped counts over
+// its ports, applies δ, and all transmissions become visible in the
+// neighbors' ports at the start of the next round. This realizes
+// synchronization properties (S1) and (S2) exactly.
+func RunSync(m nfsm.Machine, g *graph.Graph, cfg SyncConfig) (*SyncResult, error) {
+	n := g.N()
+	states, err := initialStates(m, n, cfg.Init)
+	if err != nil {
+		return nil, err
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 1 << 20
+	}
+
+	topo := newPortTopology(g)
+	cnt := newCounter(m)
+
+	// ports[v][i] holds the last letter delivered from g.Neighbors(v)[i].
+	ports := make([][]nfsm.Letter, n)
+	for v := 0; v < n; v++ {
+		ports[v] = make([]nfsm.Letter, g.Degree(v))
+		for i := range ports[v] {
+			ports[v][i] = m.InitialLetter()
+		}
+	}
+
+	res := &SyncResult{States: states}
+	outputs := countOutputs(m, states)
+	if outputs == n {
+		return res, nil
+	}
+
+	// emits[v] buffers node v's transmission for end-of-round delivery.
+	emits := make([]nfsm.Letter, n)
+
+	for round := 1; round <= maxRounds; round++ {
+		for v := 0; v < n; v++ {
+			q := states[v]
+			moves := m.Moves(q, cnt.counts(q, ports[v]))
+			if len(moves) == 0 {
+				return nil, fmt.Errorf("engine: δ empty at node %d state %d round %d", v, q, round)
+			}
+			mv := nfsm.PickMove(cfg.Seed, v, round, moves)
+			if m.IsOutput(mv.Next) != m.IsOutput(q) {
+				if m.IsOutput(mv.Next) {
+					outputs++
+				} else {
+					outputs--
+				}
+			}
+			states[v] = mv.Next
+			emits[v] = mv.Emit
+		}
+		// Deliver all transmissions: visible from the next round on.
+		for v := 0; v < n; v++ {
+			l := emits[v]
+			if l == nfsm.NoLetter {
+				continue
+			}
+			res.Transmissions++
+			for i, u := range g.Neighbors(v) {
+				ports[u][topo.rev[v][i]] = l
+			}
+		}
+		if cfg.Observer != nil {
+			cfg.Observer(round, states)
+		}
+		if outputs == n {
+			res.Rounds = round
+			return res, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %s after %d rounds", ErrNoConvergence, machineName(m), maxRounds)
+}
+
+func machineName(m nfsm.Machine) string {
+	switch p := m.(type) {
+	case *nfsm.Protocol:
+		return p.Name
+	case *nfsm.RoundProtocol:
+		return p.Name
+	default:
+		return fmt.Sprintf("%T", m)
+	}
+}

@@ -1,0 +1,403 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"stoneage/internal/xrand"
+)
+
+func TestAddEdgeBasics(t *testing.T) {
+	g := New(4)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 0); err == nil {
+		t.Fatal("duplicate edge accepted")
+	}
+	if err := g.AddEdge(2, 2); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if err := g.AddEdge(0, 7); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	if g.M() != 1 {
+		t.Fatalf("M = %d, want 1", g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("HasEdge not symmetric")
+	}
+	if g.HasEdge(0, 2) {
+		t.Fatal("phantom edge")
+	}
+}
+
+func TestNeighborsSortedAndPorts(t *testing.T) {
+	g := New(5)
+	for _, e := range [][2]int{{3, 1}, {3, 4}, {3, 0}, {3, 2}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nb := g.Neighbors(3)
+	want := []int{0, 1, 2, 4}
+	if len(nb) != len(want) {
+		t.Fatalf("neighbors = %v", nb)
+	}
+	for i := range want {
+		if nb[i] != want[i] {
+			t.Fatalf("neighbors = %v, want %v", nb, want)
+		}
+	}
+	for i, u := range want {
+		if p := g.PortOf(3, u); p != i {
+			t.Fatalf("PortOf(3,%d) = %d, want %d", u, p, i)
+		}
+	}
+	if g.PortOf(3, 3) != -1 {
+		t.Fatal("PortOf for non-edge should be -1")
+	}
+}
+
+func TestGeneratorShapes(t *testing.T) {
+	tests := []struct {
+		name   string
+		g      *Graph
+		n, m   int
+		isTree bool
+	}{
+		{"path5", Path(5), 5, 4, true},
+		{"path1", Path(1), 1, 0, true},
+		{"cycle5", Cycle(5), 5, 5, false},
+		{"star7", Star(7), 7, 6, true},
+		{"clique5", Clique(5), 5, 10, false},
+		{"grid3x4", Grid(3, 4), 12, 17, false},
+		{"binary7", BinaryTree(7), 7, 6, true},
+		{"caterpillar9", Caterpillar(9), 9, 8, true},
+		{"broom10", Broom(10), 10, 9, true},
+		{"bipartite", CompleteBipartite(3, 4), 7, 12, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if tt.g.N() != tt.n {
+				t.Errorf("N = %d, want %d", tt.g.N(), tt.n)
+			}
+			if tt.g.M() != tt.m {
+				t.Errorf("M = %d, want %d", tt.g.M(), tt.m)
+			}
+			if got := tt.g.IsTree(); got != tt.isTree {
+				t.Errorf("IsTree = %v, want %v", got, tt.isTree)
+			}
+		})
+	}
+}
+
+func TestTorusIsFourRegular(t *testing.T) {
+	g := Torus(4, 5)
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("node %d has degree %d, want 4", v, g.Degree(v))
+		}
+	}
+}
+
+func TestRandomTreeIsTree(t *testing.T) {
+	src := xrand.New(1)
+	for _, n := range []int{1, 2, 3, 10, 100, 500} {
+		g := RandomTree(n, src)
+		if !g.IsTree() {
+			t.Fatalf("RandomTree(%d) is not a tree", n)
+		}
+	}
+}
+
+func TestGnpConnectedIsConnected(t *testing.T) {
+	src := xrand.New(2)
+	for _, n := range []int{1, 5, 50, 200} {
+		g := GnpConnected(n, 0.01, src)
+		if !g.Connected() {
+			t.Fatalf("GnpConnected(%d) disconnected", n)
+		}
+	}
+}
+
+func TestGnpEdgeCountPlausible(t *testing.T) {
+	src := xrand.New(3)
+	n, p := 200, 0.1
+	g := Gnp(n, p, src)
+	expect := p * float64(n*(n-1)/2)
+	if f := float64(g.M()); f < expect*0.8 || f > expect*1.2 {
+		t.Fatalf("G(n,p) edge count %d far from expectation %.0f", g.M(), expect)
+	}
+}
+
+func TestNearRegularDegreesBounded(t *testing.T) {
+	src := xrand.New(4)
+	g := NearRegular(100, 6, src)
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) > 6 {
+			t.Fatalf("node %d has degree %d > 6", v, g.Degree(v))
+		}
+	}
+	if g.M() < 100 {
+		t.Fatalf("near-regular graph suspiciously sparse: %d edges", g.M())
+	}
+}
+
+func TestProneuralLatticeRadius(t *testing.T) {
+	g := ProneuralLattice(5, 5)
+	if g.N() != 25 {
+		t.Fatalf("N = %d", g.N())
+	}
+	// Center node (2,2) should see all nodes within Manhattan distance 2: 12.
+	center := 2*5 + 2
+	if g.Degree(center) != 12 {
+		t.Fatalf("center degree = %d, want 12", g.Degree(center))
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	if d, err := Path(10).Diameter(); err != nil || d != 9 {
+		t.Fatalf("path diameter = %d, %v", d, err)
+	}
+	if d, err := Clique(6).Diameter(); err != nil || d != 1 {
+		t.Fatalf("clique diameter = %d, %v", d, err)
+	}
+	if d, err := Cycle(8).Diameter(); err != nil || d != 4 {
+		t.Fatalf("cycle diameter = %d, %v", d, err)
+	}
+	if _, err := New(0).Diameter(); err == nil {
+		t.Fatal("empty graph diameter should error")
+	}
+	disconnected := New(3)
+	if err := disconnected.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := disconnected.Diameter(); err == nil {
+		t.Fatal("disconnected graph diameter should error")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := Cycle(6)
+	keep := []bool{true, true, true, false, true, true}
+	sub, orig := g.InducedSubgraph(keep)
+	if sub.N() != 5 {
+		t.Fatalf("sub N = %d", sub.N())
+	}
+	// Edges surviving: (0,1),(1,2),(4,5),(5,0). Edge (2,3),(3,4) die.
+	if sub.M() != 4 {
+		t.Fatalf("sub M = %d, want 4", sub.M())
+	}
+	wantOrig := []int{0, 1, 2, 4, 5}
+	for i, v := range wantOrig {
+		if orig[i] != v {
+			t.Fatalf("orig = %v", orig)
+		}
+	}
+}
+
+func TestIndependentSetValidators(t *testing.T) {
+	g := Path(4) // 0-1-2-3
+	if err := g.IsMaximalIndependentSet([]bool{true, false, true, false}); err != nil {
+		t.Fatalf("valid MIS rejected: %v", err)
+	}
+	if err := g.IsMaximalIndependentSet([]bool{false, true, false, true}); err != nil {
+		t.Fatalf("valid MIS rejected: %v", err)
+	}
+	if err := g.IsIndependentSet([]bool{true, true, false, false}); err == nil {
+		t.Fatal("dependent set accepted")
+	}
+	// Independent but not maximal: {0} leaves 2,3 undominated.
+	if err := g.IsMaximalIndependentSet([]bool{true, false, false, false}); err == nil {
+		t.Fatal("non-maximal set accepted as MIS")
+	}
+	if err := g.IsIndependentSet([]bool{true}); err == nil {
+		t.Fatal("wrong-length mask accepted")
+	}
+}
+
+func TestColoringValidator(t *testing.T) {
+	g := Path(4)
+	if err := g.IsProperColoring([]int{1, 2, 1, 2}, 3); err != nil {
+		t.Fatalf("valid coloring rejected: %v", err)
+	}
+	if err := g.IsProperColoring([]int{1, 1, 2, 1}, 3); err == nil {
+		t.Fatal("improper coloring accepted")
+	}
+	if err := g.IsProperColoring([]int{1, 2, 4, 2}, 3); err == nil {
+		t.Fatal("out-of-palette color accepted")
+	}
+	if err := g.IsProperColoring([]int{0, 1, 2, 1}, 3); err == nil {
+		t.Fatal("color 0 accepted")
+	}
+}
+
+func TestMatchingValidators(t *testing.T) {
+	g := Path(4)
+	if err := g.IsMaximalMatching([]int{1, 0, 3, 2}); err != nil {
+		t.Fatalf("perfect matching rejected: %v", err)
+	}
+	// {1-2} alone is maximal on a path 0-1-2-3.
+	if err := g.IsMaximalMatching([]int{-1, 2, 1, -1}); err != nil {
+		t.Fatalf("maximal matching rejected: %v", err)
+	}
+	// {0-1} alone is NOT maximal: edge (2,3) uncovered.
+	if err := g.IsMaximalMatching([]int{1, 0, -1, -1}); err == nil {
+		t.Fatal("non-maximal matching accepted")
+	}
+	// Asymmetric.
+	if err := g.IsMatching([]int{1, -1, -1, -1}); err == nil {
+		t.Fatal("asymmetric matching accepted")
+	}
+	// Non-edge pair.
+	if err := g.IsMatching([]int{2, -1, 0, -1}); err == nil {
+		t.Fatal("non-edge matching accepted")
+	}
+}
+
+func TestGoodTreeNodesObservation52(t *testing.T) {
+	// Observation 5.2: every tree has at least n/5 good nodes.
+	src := xrand.New(7)
+	families := map[string]func(n int) *Graph{
+		"path":        Path,
+		"star":        Star,
+		"binary":      BinaryTree,
+		"caterpillar": Caterpillar,
+		"broom":       Broom,
+		"random":      func(n int) *Graph { return RandomTree(n, src) },
+	}
+	for name, gen := range families {
+		for _, n := range []int{2, 3, 5, 17, 64, 200} {
+			g := gen(n)
+			if !g.IsTree() {
+				t.Fatalf("%s(%d) is not a tree", name, n)
+			}
+			_, count := g.GoodTreeNodes()
+			if 5*count < n {
+				t.Errorf("%s(%d): only %d good nodes, below n/5", name, n, count)
+			}
+		}
+	}
+}
+
+func TestGoodMISNodesLemma44(t *testing.T) {
+	// Lemma 4.4: more than half the edges are incident on good nodes.
+	src := xrand.New(8)
+	graphs := []*Graph{
+		Path(50), Cycle(50), Star(50), Clique(20), Grid(7, 7),
+		Gnp(60, 0.1, src), Gnp(60, 0.5, src), RandomTree(80, src),
+	}
+	for i, g := range graphs {
+		if g.M() == 0 {
+			continue
+		}
+		good := g.GoodMISNodes()
+		covered := g.EdgesIncidentOnGood(good)
+		if 2*covered <= g.M() {
+			t.Errorf("graph %d: %d/%d edges incident on good nodes, want > half", i, covered, g.M())
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	src := xrand.New(9)
+	orig := Gnp(30, 0.2, src)
+	var buf bytes.Buffer
+	if err := orig.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != orig.N() || back.M() != orig.M() {
+		t.Fatalf("round trip changed shape: %d/%d vs %d/%d", back.N(), back.M(), orig.N(), orig.M())
+	}
+	for _, e := range orig.Edges() {
+		if !back.HasEdge(e[0], e[1]) {
+			t.Fatalf("edge %v lost in round trip", e)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []string{
+		"",               // no header
+		"x 5\n",          // bad header
+		"n -1\n",         // negative
+		"n 3\n0\n",       // malformed edge
+		"n 3\n0 9\n",     // out of range
+		"n 3\na b\n",     // non-numeric
+		"n 3\n0 1\n0 13", // trailing garbage forms out-of-range edge
+	}
+	for _, c := range cases {
+		if _, err := Decode(strings.NewReader(c)); err == nil {
+			t.Errorf("Decode(%q) succeeded, want error", c)
+		}
+	}
+	// Comments and blank lines are fine.
+	g, err := Decode(strings.NewReader("# comment\n\nn 3\n0 1\n# more\n1 2\n"))
+	if err != nil || g.M() != 2 {
+		t.Fatalf("commented decode failed: %v", err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := Path(4)
+	c := g.Clone()
+	if err := c.AddEdge(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if g.HasEdge(0, 2) {
+		t.Fatal("Clone shares adjacency storage")
+	}
+}
+
+func TestPropertyDegreeSumTwiceEdges(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, pRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := float64(pRaw%100) / 100
+		g := Gnp(n, p, xrand.New(seed))
+		sum := 0
+		for v := 0; v < n; v++ {
+			sum += g.Degree(v)
+		}
+		return sum == 2*g.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyInducedSubgraphDegrees(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%40) + 2
+		src := xrand.New(seed)
+		g := Gnp(n, 0.3, src)
+		keep := make([]bool, n)
+		for i := range keep {
+			keep[i] = src.Bool()
+		}
+		sub, orig := g.InducedSubgraph(keep)
+		// Every subgraph edge must exist in the original graph.
+		for _, e := range sub.Edges() {
+			if !g.HasEdge(orig[e[0]], orig[e[1]]) {
+				return false
+			}
+		}
+		// Every original edge between kept nodes must survive.
+		want := 0
+		for _, e := range g.Edges() {
+			if keep[e[0]] && keep[e[1]] {
+				want++
+			}
+		}
+		return sub.M() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,172 @@
+package graph
+
+import "fmt"
+
+// This file implements the solution validators: the correctness side of
+// every experiment asserts its protocol output with these checks.
+
+// IsIndependentSet reports whether the node set given by inSet (length n)
+// is independent: no edge has both endpoints in the set.
+func (g *Graph) IsIndependentSet(inSet []bool) error {
+	if len(inSet) != g.N() {
+		return fmt.Errorf("graph: set mask length %d != n %d", len(inSet), g.N())
+	}
+	for u, nb := range g.adj {
+		if !inSet[u] {
+			continue
+		}
+		for _, v := range nb {
+			if inSet[v] {
+				return fmt.Errorf("graph: nodes %d and %d are adjacent and both in the set", u, v)
+			}
+		}
+	}
+	return nil
+}
+
+// IsMaximalIndependentSet reports whether inSet is an MIS: independent, and
+// every node outside the set has a neighbor inside it.
+func (g *Graph) IsMaximalIndependentSet(inSet []bool) error {
+	if err := g.IsIndependentSet(inSet); err != nil {
+		return err
+	}
+	for v := range g.adj {
+		if inSet[v] {
+			continue
+		}
+		dominated := false
+		for _, u := range g.adj[v] {
+			if inSet[u] {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			return fmt.Errorf("graph: node %d is outside the set but has no neighbor inside (not maximal)", v)
+		}
+	}
+	return nil
+}
+
+// IsProperColoring reports whether colors (length n) assigns different
+// colors to adjacent nodes and uses only colors in [1, maxColors].
+func (g *Graph) IsProperColoring(colors []int, maxColors int) error {
+	if len(colors) != g.N() {
+		return fmt.Errorf("graph: color vector length %d != n %d", len(colors), g.N())
+	}
+	for v, c := range colors {
+		if c < 1 || c > maxColors {
+			return fmt.Errorf("graph: node %d has color %d outside [1,%d]", v, c, maxColors)
+		}
+	}
+	for u, nb := range g.adj {
+		for _, v := range nb {
+			if u < v && colors[u] == colors[v] {
+				return fmt.Errorf("graph: adjacent nodes %d and %d share color %d", u, v, colors[u])
+			}
+		}
+	}
+	return nil
+}
+
+// IsMatching reports whether mate (length n, mate[v] = matched partner or
+// -1) encodes a matching: symmetric, over edges only.
+func (g *Graph) IsMatching(mate []int) error {
+	if len(mate) != g.N() {
+		return fmt.Errorf("graph: mate vector length %d != n %d", len(mate), g.N())
+	}
+	for v, u := range mate {
+		if u == -1 {
+			continue
+		}
+		if u < 0 || u >= g.N() {
+			return fmt.Errorf("graph: node %d matched to out-of-range %d", v, u)
+		}
+		if mate[u] != v {
+			return fmt.Errorf("graph: matching not symmetric at (%d,%d)", v, u)
+		}
+		if !g.HasEdge(v, u) {
+			return fmt.Errorf("graph: matched pair (%d,%d) is not an edge", v, u)
+		}
+	}
+	return nil
+}
+
+// IsMaximalMatching reports whether mate encodes a maximal matching: a
+// matching such that every edge has at least one matched endpoint.
+func (g *Graph) IsMaximalMatching(mate []int) error {
+	if err := g.IsMatching(mate); err != nil {
+		return err
+	}
+	for u, nb := range g.adj {
+		for _, v := range nb {
+			if u < v && mate[u] == -1 && mate[v] == -1 {
+				return fmt.Errorf("graph: edge (%d,%d) has both endpoints unmatched (not maximal)", u, v)
+			}
+		}
+	}
+	return nil
+}
+
+// GoodTreeNodes returns the "good" nodes of Section 5: leaves, and
+// degree-2 nodes both of whose neighbors have degree at most 2. It also
+// returns the count. Observation 5.2 asserts the count is at least n/5 in
+// every tree.
+func (g *Graph) GoodTreeNodes() ([]bool, int) {
+	good := make([]bool, g.N())
+	count := 0
+	for v, nb := range g.adj {
+		switch {
+		case len(nb) == 1:
+			good[v] = true
+		case len(nb) == 2:
+			if g.Degree(nb[0]) <= 2 && g.Degree(nb[1]) <= 2 {
+				good[v] = true
+			}
+		}
+		if good[v] {
+			count++
+		}
+	}
+	return good, count
+}
+
+// GoodMISNodes returns the "good" nodes of Section 4 (following Alon,
+// Babai, Itai): nodes v with at least d(v)/3 neighbors of degree ≤ d(v).
+// Isolated nodes are good vacuously. Lemma 4.4 asserts more than half the
+// edges are incident on good nodes; EdgesIncidentOnGood measures that.
+func (g *Graph) GoodMISNodes() []bool {
+	good := make([]bool, g.N())
+	for v, nb := range g.adj {
+		d := len(nb)
+		if d == 0 {
+			good[v] = true
+			continue
+		}
+		le := 0
+		for _, u := range nb {
+			if g.Degree(u) <= d {
+				le++
+			}
+		}
+		// "at least a third": 3·le ≥ d avoids float arithmetic.
+		if 3*le >= d {
+			good[v] = true
+		}
+	}
+	return good
+}
+
+// EdgesIncidentOnGood returns the number of edges with at least one good
+// endpoint, given a goodness mask.
+func (g *Graph) EdgesIncidentOnGood(good []bool) int {
+	count := 0
+	for u, nb := range g.adj {
+		for _, v := range nb {
+			if u < v && (good[u] || good[v]) {
+				count++
+			}
+		}
+	}
+	return count
+}

@@ -1,0 +1,168 @@
+package harness
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.Median != 2.5 {
+		t.Fatalf("median = %v", s.Median)
+	}
+	want := math.Sqrt((2.25 + 0.25 + 0.25 + 2.25) / 3)
+	if math.Abs(s.Std-want) > 1e-12 {
+		t.Fatalf("std = %v, want %v", s.Std, want)
+	}
+}
+
+func TestSummarizeEmptyAndSingleton(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty stats = %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Median != 7 || s.Std != 0 || s.P90 != 7 {
+		t.Fatalf("singleton stats = %+v", s)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	sorted := []float64{0, 10}
+	if q := quantile(sorted, 0.5); q != 5 {
+		t.Fatalf("median of {0,10} = %v", q)
+	}
+	if q := quantile(sorted, 0.9); q != 9 {
+		t.Fatalf("p90 of {0,10} = %v", q)
+	}
+}
+
+func TestFitSeriesRecognizesShapes(t *testing.T) {
+	ns := []int{16, 32, 64, 128, 256, 512, 1024}
+	mk := func(f func(n int) float64) []float64 {
+		ys := make([]float64, len(ns))
+		for i, n := range ns {
+			ys[i] = 3 * f(n)
+		}
+		return ys
+	}
+	cases := map[string]func(n int) float64{
+		"log n":  func(n int) float64 { return math.Log2(float64(n)) },
+		"log² n": func(n int) float64 { l := math.Log2(float64(n)); return l * l },
+		"n":      func(n int) float64 { return float64(n) },
+		"1":      func(n int) float64 { return 1 },
+	}
+	for want, f := range cases {
+		if got := BestLaw(ns, mk(f)); got != want {
+			t.Errorf("BestLaw for exact %s series = %s", want, got)
+		}
+	}
+}
+
+func TestFitSeriesNoisy(t *testing.T) {
+	// 20% multiplicative noise must not confuse log n with n.
+	ns := []int{16, 64, 256, 1024, 4096}
+	ys := make([]float64, len(ns))
+	for i, n := range ns {
+		noise := 1.0 + 0.2*float64(i%2*2-1)
+		ys[i] = 5 * math.Log2(float64(n)) * noise
+	}
+	got := BestLaw(ns, ys)
+	if got != "log n" {
+		t.Fatalf("noisy log n series classified as %s", got)
+	}
+}
+
+func TestFitSeriesMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	FitSeries([]int{1}, []float64{1, 2}, StandardLaws())
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{
+		Title:  "demo",
+		Header: []string{"n", "rounds"},
+		Notes:  []string{"note line"},
+	}
+	tb.AddRow(16, 12.5)
+	tb.AddRow(1024, 99)
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"## demo", "| n ", "| 16 ", "12.5", "| 1024", "note line"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header row and data rows must have equal width.
+	var rowLens []int
+	for _, l := range lines {
+		if strings.HasPrefix(l, "|") {
+			rowLens = append(rowLens, len(l))
+		}
+	}
+	for _, l := range rowLens {
+		if l != rowLens[0] {
+			t.Fatalf("ragged table rows: %v\n%s", rowLens, out)
+		}
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		3:      "3",
+		3.25:   "3.250",
+		123.45: "123.5",
+		0.001:  "0.001",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestGeoSizes(t *testing.T) {
+	got := GeoSizes(16, 128, 2)
+	want := []int{16, 32, 64, 128}
+	if len(got) != len(want) {
+		t.Fatalf("GeoSizes = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("GeoSizes = %v", got)
+		}
+	}
+	if got := GeoSizes(10, 100, 0); len(got) == 0 {
+		t.Fatal("degenerate factor not defaulted")
+	}
+}
+
+func TestASCIIChart(t *testing.T) {
+	ns := []int{16, 64, 256, 1024}
+	series := map[string][]float64{
+		"log n":  {4, 6, 8, 10},
+		"linear": {16, 64, 256, 1024},
+	}
+	out := ASCIIChart("demo", ns, series, 40, 10)
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "*=linear") || !strings.Contains(out, "o=log n") {
+		t.Fatalf("chart legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("chart glyphs missing:\n%s", out)
+	}
+	// Degenerate inputs do not panic.
+	if out := ASCIIChart("empty", []int{1}, map[string][]float64{}, 0, 0); !strings.Contains(out, "no data") {
+		t.Fatalf("degenerate chart = %q", out)
+	}
+}

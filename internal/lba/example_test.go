@@ -1,0 +1,32 @@
+package lba_test
+
+import (
+	"fmt"
+	"log"
+
+	"stoneage/internal/lba"
+)
+
+// ExampleRunOnPath decides a word of the context-sensitive language
+// aⁿbⁿcⁿ on a path network of finite state machines (Lemma 6.2).
+func ExampleRunOnPath() {
+	tm := lba.ABC()
+	input := []lba.Symbol{lba.SymA, lba.SymA, lba.SymB, lba.SymB, lba.SymC, lba.SymC}
+	run, err := lba.RunOnPath(tm, input, 1, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("aabbcc accepted:", run.Accepted)
+	// Output: aabbcc accepted: true
+}
+
+// ExampleTM_Run executes a machine directly, without the network.
+func ExampleTM_Run() {
+	tm := lba.Palindrome()
+	res, err := tm.Run([]lba.Symbol{lba.PalA, lba.PalB, lba.PalA}, 1, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("aba accepted:", res.Accepted)
+	// Output: aba accepted: true
+}

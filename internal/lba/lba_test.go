@@ -1,0 +1,440 @@
+package lba
+
+import (
+	"strings"
+	"testing"
+
+	"stoneage/internal/engine"
+	"stoneage/internal/graph"
+	"stoneage/internal/mis"
+	"stoneage/internal/nfsm"
+	"stoneage/internal/xrand"
+)
+
+func abcInput(s string) []Symbol {
+	in := make([]Symbol, len(s))
+	for i, c := range s {
+		switch c {
+		case 'a':
+			in[i] = SymA
+		case 'b':
+			in[i] = SymB
+		default:
+			in[i] = SymC
+		}
+	}
+	return in
+}
+
+func palInput(s string) []Symbol {
+	in := make([]Symbol, len(s))
+	for i, c := range s {
+		if c == 'a' {
+			in[i] = PalA
+		} else {
+			in[i] = PalB
+		}
+	}
+	return in
+}
+
+func abcWord(n int) string {
+	return strings.Repeat("a", n) + strings.Repeat("b", n) + strings.Repeat("c", n)
+}
+
+func isPalindrome(s string) bool {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		if s[i] != s[j] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMachinesValidate(t *testing.T) {
+	for _, m := range []*TM{ABC(), Palindrome(), RandomWalk()} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestTMValidateRejects(t *testing.T) {
+	m := ABC()
+	m.Delta = nil
+	if err := m.Validate(); err == nil {
+		t.Fatal("nil delta accepted")
+	}
+	m = ABC()
+	m.Accept = m.Reject
+	if err := m.Validate(); err == nil {
+		t.Fatal("accept == reject accepted")
+	}
+	m = ABC()
+	m.StateNames = nil
+	if err := m.Validate(); err == nil {
+		t.Fatal("empty state set accepted")
+	}
+	m = ABC()
+	old := m.Delta
+	m.Delta = func(q TMState, s Symbol, b Boundary) []TMMove {
+		if q == abcAccept {
+			return []TMMove{{Next: abcAccept, Write: s, Dir: Stay}}
+		}
+		return old(q, s, b)
+	}
+	if err := m.Validate(); err == nil {
+		t.Fatal("halting state with outgoing moves accepted")
+	}
+}
+
+func TestABCDirect(t *testing.T) {
+	m := ABC()
+	accepts := []string{"abc", "aabbcc", abcWord(3), abcWord(7)}
+	rejects := []string{
+		"a", "b", "c", "ab", "ba", "ac", "abcc", "aabc", "abbc",
+		"abca", "cba", "aabbc", "abcabc", "aaabbbcc", "bca", "ccc",
+	}
+	for _, s := range accepts {
+		res, err := m.Run(abcInput(s), 1, 0)
+		if err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+		if !res.Accepted {
+			t.Errorf("%q rejected, want accept", s)
+		}
+	}
+	for _, s := range rejects {
+		res, err := m.Run(abcInput(s), 1, 0)
+		if err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+		if res.Accepted {
+			t.Errorf("%q accepted, want reject", s)
+		}
+	}
+}
+
+func TestPalindromeDirect(t *testing.T) {
+	m := Palindrome()
+	words := []string{
+		"a", "b", "aa", "ab", "aba", "abb", "abba", "abab",
+		"aabaa", "aabab", "bbabb", "babab", "baab", "baba",
+		"abbbbba", "abbabba", "ababab",
+	}
+	for _, s := range words {
+		res, err := m.Run(palInput(s), 1, 0)
+		if err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+		if res.Accepted != isPalindrome(s) {
+			t.Errorf("%q: accepted=%v, want %v", s, res.Accepted, isPalindrome(s))
+		}
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	m := ABC()
+	if _, err := m.Run(nil, 1, 0); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := m.Run([]Symbol{99}, 1, 0); err == nil {
+		t.Fatal("out-of-range symbol accepted")
+	}
+}
+
+func TestRunStepBudget(t *testing.T) {
+	m := RandomWalk()
+	// All-zero input: the walk never halts.
+	if _, err := m.Run([]Symbol{WalkZero, WalkZero, WalkZero}, 1, 500); err == nil {
+		t.Fatal("non-halting run did not error")
+	}
+}
+
+func TestRandomWalkFindsOne(t *testing.T) {
+	m := RandomWalk()
+	input := []Symbol{WalkZero, WalkZero, WalkZero, WalkZero, WalkOne}
+	for seed := uint64(0); seed < 10; seed++ {
+		res, err := m.Run(input, seed, 1<<16)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.Accepted {
+			t.Fatalf("seed %d: rejected", seed)
+		}
+	}
+}
+
+// TestPathMatchesDirect is the Lemma 6.2 equivalence check: for
+// deterministic machines, the path-network simulation must reach exactly
+// the verdict (and final tape) of the direct execution on every input.
+func TestPathMatchesDirect(t *testing.T) {
+	words := []string{
+		"abc", "aabbcc", abcWord(4), "a", "ab", "abcc", "aabc",
+		"cba", "abca", "aabbc", "bca",
+	}
+	m := ABC()
+	for _, s := range words {
+		direct, err := m.Run(abcInput(s), 1, 0)
+		if err != nil {
+			t.Fatalf("%q direct: %v", s, err)
+		}
+		path, err := RunOnPath(m, abcInput(s), 2, 0)
+		if err != nil {
+			t.Fatalf("%q path: %v", s, err)
+		}
+		if path.Accepted != direct.Accepted {
+			t.Errorf("%q: path verdict %v, direct %v", s, path.Accepted, direct.Accepted)
+		}
+		for i := range direct.Tape {
+			if path.Tape[i] != direct.Tape[i] {
+				t.Errorf("%q: tape cell %d differs: %d vs %d", s, i, path.Tape[i], direct.Tape[i])
+			}
+		}
+	}
+}
+
+func TestPathPalindromeZigzag(t *testing.T) {
+	// The palindrome machine reverses direction on every pass, stressing
+	// the hand-off/ACK machinery against stale port letters.
+	m := Palindrome()
+	words := []string{"a", "aa", "ab", "aba", "abba", "abab", "aabaa", "bbabb", "babab", "abbabba", "abababa"}
+	for _, s := range words {
+		run, err := RunOnPath(m, palInput(s), 3, 0)
+		if err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+		if run.Accepted != isPalindrome(s) {
+			t.Errorf("%q: accepted=%v, want %v", s, run.Accepted, isPalindrome(s))
+		}
+	}
+}
+
+func TestPathSingleCell(t *testing.T) {
+	m := ABC()
+	run, err := RunOnPath(m, abcInput("a"), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Accepted {
+		t.Fatal("single 'a' accepted")
+	}
+}
+
+func TestPathRandomWalk(t *testing.T) {
+	m := RandomWalk()
+	input := []Symbol{WalkZero, WalkZero, WalkOne}
+	for seed := uint64(0); seed < 5; seed++ {
+		run, err := RunOnPath(m, input, seed, 1<<16)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !run.Accepted {
+			t.Fatalf("seed %d: walk did not find the 1", seed)
+		}
+	}
+}
+
+func TestPathRoundsLinearInTMSteps(t *testing.T) {
+	// Each machine step costs O(1) rounds (hand-off, ACK, activation),
+	// plus the O(n) halt wave.
+	m := ABC()
+	for _, n := range []int{2, 4, 8} {
+		s := abcWord(n)
+		direct, err := m.Run(abcInput(s), 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run, err := RunOnPath(m, abcInput(s), 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := 4*direct.Steps + 4*len(s) + 16
+		if run.Rounds > bound {
+			t.Errorf("n=%d: %d rounds for %d machine steps (bound %d)", n, run.Rounds, direct.Steps, bound)
+		}
+	}
+}
+
+func TestPathProtocolValidates(t *testing.T) {
+	for _, m := range []*TM{ABC(), Palindrome(), RandomWalk()} {
+		p, err := PathProtocol(m)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestVerdictErrors(t *testing.T) {
+	m := ABC()
+	p, err := PathProtocol(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = p
+	pp := &pathProto{tm: m, np: m.NumStates(), ns: m.NumSymbols()}
+	active := pp.encState(SymA, LeftEnd, roleActiveBase)
+	if _, err := Verdict(m, []nfsm.State{active}); err == nil {
+		t.Fatal("Verdict accepted a non-output state")
+	}
+	acc := pp.encState(SymA, LeftEnd, roleAcceptOut)
+	rej := pp.encState(SymA, RightEnd, roleRejectOut)
+	if _, err := Verdict(m, []nfsm.State{acc, rej}); err == nil {
+		t.Fatal("Verdict accepted a split verdict")
+	}
+	got, err := Verdict(m, []nfsm.State{acc, acc})
+	if err != nil || !got {
+		t.Fatalf("verdict = %v, %v", got, err)
+	}
+}
+
+// TestSweepMatchesEngineExactly is the Lemma 6.1 cross-check: the
+// two-sweep rLBA simulation must reproduce the synchronous engine's
+// execution exactly — same round count, same final states — even for
+// randomized protocols, because both draw coins from the same
+// deterministic source.
+func TestSweepMatchesEngineExactly(t *testing.T) {
+	src := xrand.New(4)
+	graphs := map[string]*graph.Graph{
+		"path":  graph.Path(30),
+		"cycle": graph.Cycle(25),
+		"star":  graph.Star(20),
+		"gnp":   graph.Gnp(40, 0.15, src),
+		"grid":  graph.Grid(5, 6),
+	}
+	proto := mis.Protocol()
+	for name, g := range graphs {
+		for seed := uint64(0); seed < 4; seed++ {
+			eng, err := engine.RunSync(proto, g, engine.SyncConfig{Seed: seed})
+			if err != nil {
+				t.Fatalf("%s seed %d engine: %v", name, seed, err)
+			}
+			sim, err := SimulateNFSM(proto, g, SweepConfig{Seed: seed})
+			if err != nil {
+				t.Fatalf("%s seed %d sweep: %v", name, seed, err)
+			}
+			if sim.Rounds != eng.Rounds {
+				t.Fatalf("%s seed %d: rounds %d vs %d", name, seed, sim.Rounds, eng.Rounds)
+			}
+			for v := range eng.States {
+				if sim.States[v] != eng.States[v] {
+					t.Fatalf("%s seed %d: node %d state %d vs %d",
+						name, seed, v, sim.States[v], eng.States[v])
+				}
+			}
+		}
+	}
+}
+
+func TestSweepProducesValidMIS(t *testing.T) {
+	src := xrand.New(6)
+	g := graph.Gnp(60, 0.1, src)
+	sim, err := SimulateNFSM(mis.Protocol(), g, SweepConfig{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inSet, err := mis.Extract(sim.States)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.IsMaximalIndependentSet(inSet); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepLinearSpace(t *testing.T) {
+	// The lemma's space bound: O(1) cells per node and per edge.
+	g := graph.Grid(10, 10)
+	sim, err := SimulateNFSM(mis.Protocol(), g, SweepConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2*g.N() + 2*g.M()
+	if sim.TapeCells != want {
+		t.Fatalf("tape cells = %d, want %d", sim.TapeCells, want)
+	}
+	if sim.HeadMoves <= 0 {
+		t.Fatal("no head moves recorded")
+	}
+}
+
+func TestSweepInitValidation(t *testing.T) {
+	g := graph.Path(3)
+	if _, err := SimulateNFSM(mis.Protocol(), g, SweepConfig{Init: make([]nfsm.State, 2)}); err == nil {
+		t.Fatal("short init accepted")
+	}
+}
+
+func TestSweepMaxRounds(t *testing.T) {
+	// A protocol that never reaches an output configuration must hit the
+	// round budget.
+	idle := &nfsm.RoundProtocol{
+		Name:        "idle",
+		StateNames:  []string{"spin", "done"},
+		LetterNames: []string{"x"},
+		Input:       []nfsm.State{0},
+		Output:      []bool{false, true},
+		Initial:     0,
+		B:           1,
+		Transition: func(q nfsm.State, counts []nfsm.Count) []nfsm.Move {
+			return []nfsm.Move{{Next: q, Emit: nfsm.NoLetter}}
+		},
+	}
+	if _, err := SimulateNFSM(idle, graph.Path(2), SweepConfig{MaxRounds: 10}); err == nil {
+		t.Fatal("non-terminating protocol did not error")
+	}
+}
+
+func majInput(s string) []Symbol {
+	in := make([]Symbol, len(s))
+	for i, c := range s {
+		if c == 'a' {
+			in[i] = MajA
+		} else {
+			in[i] = MajB
+		}
+	}
+	return in
+}
+
+func TestMajorityDirect(t *testing.T) {
+	m := Majority()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	words := []string{
+		"a", "b", "ab", "ba", "aa", "bb", "aab", "aba", "baa",
+		"abb", "bab", "abab", "aabb", "aaab", "abba", "bbaa",
+		"aababa", "bbbaaa", "aaabbb", "ababababa",
+	}
+	for _, s := range words {
+		want := 2*strings.Count(s, "a") > len(s)
+		res, err := m.Run(majInput(s), 1, 0)
+		if err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+		if res.Accepted != want {
+			t.Errorf("%q: accepted=%v, want %v", s, res.Accepted, want)
+		}
+	}
+}
+
+func TestMajorityOnPath(t *testing.T) {
+	m := Majority()
+	for _, s := range []string{"a", "ab", "aab", "abb", "aababa", "bbbaaa", "ababa"} {
+		direct, err := m.Run(majInput(s), 1, 0)
+		if err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+		run, err := RunOnPath(m, majInput(s), 2, 0)
+		if err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+		if run.Accepted != direct.Accepted {
+			t.Errorf("%q: path %v vs direct %v", s, run.Accepted, direct.Accepted)
+		}
+	}
+}

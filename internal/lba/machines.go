@@ -1,0 +1,335 @@
+package lba
+
+// This file defines the concrete machines used by the Lemma 6.2
+// experiments. ABC decides the canonical context-sensitive language
+// aⁿbⁿcⁿ — a language no finite automaton or pushdown automaton decides,
+// which is what makes running it on a path of finite state machines (via
+// the Lemma 6.2 compiler) the paper's computational-power showcase.
+// Palindrome zigzags across the tape and stresses repeated head
+// reversals; RandomWalk exercises the randomized transition relation.
+
+// ABC symbols.
+const (
+	SymA Symbol = iota
+	SymB
+	SymC
+	SymMa // marked a
+	SymMb // marked b
+	SymMc // marked c
+)
+
+// ABC states.
+const (
+	abcScan   TMState = iota // at the left region: pick the next unmarked a
+	abcFindB                 // mark the matching b
+	abcFindC                 // mark the matching c
+	abcRewind                // return to the left end
+	abcVerify                // all a's consumed: check only marked b's and c's remain
+	abcAccept
+	abcReject
+)
+
+// ABC returns a deterministic LBA deciding { aⁿbⁿcⁿ : n ≥ 1 } over the
+// input alphabet {a, b, c}: each pass marks one a, one b and one c; the
+// final pass verifies nothing unmarked remains.
+func ABC() *TM {
+	m := &TM{
+		Name:        "abc",
+		StateNames:  []string{"scan", "findB", "findC", "rewind", "verify", "accept", "reject"},
+		SymbolNames: []string{"a", "b", "c", "A", "B", "C"},
+		Start:       abcScan,
+		Accept:      abcAccept,
+		Reject:      abcReject,
+	}
+	reject := func(s Symbol) []TMMove { return []TMMove{{Next: abcReject, Write: s, Dir: Stay}} }
+	scan := func(s Symbol, b Boundary) []TMMove {
+		switch s {
+		case SymMa: // skip already-marked a's
+			if b.AtRight() {
+				return reject(s)
+			}
+			return []TMMove{{Next: abcScan, Write: s, Dir: Right}}
+		case SymA:
+			if b.AtRight() {
+				return reject(s) // an a with nothing after it
+			}
+			return []TMMove{{Next: abcFindB, Write: SymMa, Dir: Right}}
+		case SymMb: // all a's consumed: verify the tail
+			return []TMMove{{Next: abcVerify, Write: s, Dir: Stay}}
+		default:
+			return reject(s)
+		}
+	}
+	m.Delta = func(q TMState, s Symbol, b Boundary) []TMMove {
+		switch q {
+		case abcScan:
+			return scan(s, b)
+		case abcFindB:
+			switch s {
+			case SymA, SymMb: // unmarked a's, then previously marked b's
+				if b.AtRight() {
+					return reject(s)
+				}
+				return []TMMove{{Next: abcFindB, Write: s, Dir: Right}}
+			case SymB:
+				if b.AtRight() {
+					return reject(s) // a b with no c after it
+				}
+				return []TMMove{{Next: abcFindC, Write: SymMb, Dir: Right}}
+			default:
+				return reject(s)
+			}
+		case abcFindC:
+			switch s {
+			case SymB, SymMc:
+				if b.AtRight() {
+					return reject(s)
+				}
+				return []TMMove{{Next: abcFindC, Write: s, Dir: Right}}
+			case SymC:
+				return []TMMove{{Next: abcRewind, Write: SymMc, Dir: Left}}
+			default:
+				return reject(s)
+			}
+		case abcRewind:
+			if b.AtLeft() {
+				// Back at the left end: process this cell as abcScan.
+				return scan(s, b)
+			}
+			return []TMMove{{Next: abcRewind, Write: s, Dir: Left}}
+		case abcVerify:
+			switch s {
+			case SymMb, SymMc:
+				if b.AtRight() {
+					return []TMMove{{Next: abcAccept, Write: s, Dir: Stay}}
+				}
+				return []TMMove{{Next: abcVerify, Write: s, Dir: Right}}
+			default:
+				return reject(s)
+			}
+		default:
+			return nil // halting states
+		}
+	}
+	return m
+}
+
+// Palindrome symbols.
+const (
+	PalA Symbol = iota
+	PalB
+	PalX // matched-off cell
+)
+
+// Palindrome states.
+const (
+	palPick   TMState = iota // at the leftmost unmarked cell: remember it
+	palSeekA                 // carrying a: find the rightmost unmarked cell
+	palSeekB                 // carrying b
+	palCheckA                // stepped back onto the rightmost unmarked cell
+	palCheckB                // (X here means the carried cell was the middle)
+	palRewind                // return to the left end
+	palAccept
+	palReject
+)
+
+// Palindrome returns a deterministic LBA deciding palindromes over
+// {a, b}: mark the leftmost cell, zigzag to the rightmost unmarked cell,
+// compare, repeat.
+func Palindrome() *TM {
+	m := &TM{
+		Name:        "palindrome",
+		StateNames:  []string{"pick", "seekA", "seekB", "checkA", "checkB", "rewind", "accept", "reject"},
+		SymbolNames: []string{"a", "b", "X"},
+		Start:       palPick,
+		Accept:      palAccept,
+		Reject:      palReject,
+	}
+	accept := func(s Symbol) []TMMove { return []TMMove{{Next: palAccept, Write: s, Dir: Stay}} }
+	reject := func(s Symbol) []TMMove { return []TMMove{{Next: palReject, Write: s, Dir: Stay}} }
+	pick := func(s Symbol, b Boundary) []TMMove {
+		switch s {
+		case PalX:
+			return accept(s) // unmarked region is empty
+		case PalA:
+			return []TMMove{{Next: palSeekA, Write: PalX, Dir: Right}}
+		default: // PalB
+			return []TMMove{{Next: palSeekB, Write: PalX, Dir: Right}}
+		}
+	}
+	check := func(q TMState, s Symbol, carried Symbol) []TMMove {
+		switch s {
+		case PalX:
+			// We stepped back onto our own mark: the carried cell was the
+			// middle of an odd palindrome.
+			return accept(s)
+		case carried:
+			return []TMMove{{Next: palRewind, Write: PalX, Dir: Left}}
+		default:
+			return reject(s)
+		}
+	}
+	seek := func(q TMState, s Symbol, b Boundary, carried Symbol, checkState TMState) []TMMove {
+		switch {
+		case s == PalX:
+			// One past the unmarked region: step back and compare.
+			return []TMMove{{Next: checkState, Write: s, Dir: Left}}
+		case b.AtRight():
+			// Rightmost cell and unmarked: compare in place.
+			return check(checkState, s, carried)
+		default:
+			return []TMMove{{Next: q, Write: s, Dir: Right}}
+		}
+	}
+	m.Delta = func(q TMState, s Symbol, b Boundary) []TMMove {
+		switch q {
+		case palPick:
+			return pick(s, b)
+		case palSeekA:
+			return seek(q, s, b, PalA, palCheckA)
+		case palSeekB:
+			return seek(q, s, b, PalB, palCheckB)
+		case palCheckA:
+			return check(q, s, PalA)
+		case palCheckB:
+			return check(q, s, PalB)
+		case palRewind:
+			if s == PalX || b.AtLeft() {
+				if s == PalX {
+					return []TMMove{{Next: palPick, Write: s, Dir: Right}}
+				}
+				return pick(s, b) // left boundary, still unmarked
+			}
+			return []TMMove{{Next: palRewind, Write: s, Dir: Left}}
+		default:
+			return nil
+		}
+	}
+	return m
+}
+
+// RandomWalk symbols and states.
+const (
+	WalkZero Symbol = iota
+	WalkOne
+)
+
+const (
+	walkStep TMState = iota
+	walkAccept
+	walkReject
+)
+
+// RandomWalk returns a randomized LBA over {0, 1} that performs an
+// unbiased random walk and accepts upon reading a 1. On inputs containing
+// a 1 it halts with probability 1; on all-zero inputs it walks forever
+// (callers must bound steps). It exercises the randomized transition
+// relation of the rLBA model.
+func RandomWalk() *TM {
+	m := &TM{
+		Name:        "randomwalk",
+		StateNames:  []string{"step", "accept", "reject"},
+		SymbolNames: []string{"0", "1"},
+		Start:       walkStep,
+		Accept:      walkAccept,
+		Reject:      walkReject,
+	}
+	m.Delta = func(q TMState, s Symbol, b Boundary) []TMMove {
+		if q != walkStep {
+			return nil
+		}
+		if s == WalkOne {
+			return []TMMove{{Next: walkAccept, Write: s, Dir: Stay}}
+		}
+		switch {
+		case b == BothEnds:
+			return []TMMove{{Next: walkStep, Write: s, Dir: Stay}}
+		case b.AtLeft():
+			return []TMMove{{Next: walkStep, Write: s, Dir: Right}}
+		case b.AtRight():
+			return []TMMove{{Next: walkStep, Write: s, Dir: Left}}
+		default:
+			return []TMMove{
+				{Next: walkStep, Write: s, Dir: Left},
+				{Next: walkStep, Write: s, Dir: Right},
+			}
+		}
+	}
+	return m
+}
+
+// Majority symbols and states.
+const (
+	MajA Symbol = iota
+	MajB
+	MajX // paired-off cell
+)
+
+const (
+	majFindA TMState = iota // find the leftmost unmarked a
+	majFindB                // find the leftmost unmarked b
+	majBackB                // rewind before searching for the b
+	majBackA                // rewind before the next pass
+	majAccept
+	majReject
+)
+
+// Majority returns a deterministic LBA deciding strict majority over
+// {a, b}: accept iff the input has more a's than b's. Each pass pairs
+// off one a with one b; an unpairable a means majority, an exhausted
+// supply of a's means no majority.
+func Majority() *TM {
+	m := &TM{
+		Name:        "majority",
+		StateNames:  []string{"findA", "findB", "backB", "backA", "accept", "reject"},
+		SymbolNames: []string{"a", "b", "X"},
+		Start:       majFindA,
+		Accept:      majAccept,
+		Reject:      majReject,
+	}
+	findA := func(s Symbol, b Boundary) []TMMove {
+		switch s {
+		case MajA:
+			return []TMMove{{Next: majBackB, Write: MajX, Dir: Left}}
+		default: // MajB or MajX: keep scanning right
+			if b.AtRight() {
+				// No unmarked a remains: the a's cannot outnumber the b's.
+				return []TMMove{{Next: majReject, Write: s, Dir: Stay}}
+			}
+			return []TMMove{{Next: majFindA, Write: s, Dir: Right}}
+		}
+	}
+	findB := func(s Symbol, b Boundary) []TMMove {
+		switch s {
+		case MajB:
+			return []TMMove{{Next: majBackA, Write: MajX, Dir: Left}}
+		default: // MajA or MajX
+			if b.AtRight() {
+				// An a was marked with no b to pair it: strict majority.
+				return []TMMove{{Next: majAccept, Write: s, Dir: Stay}}
+			}
+			return []TMMove{{Next: majFindB, Write: s, Dir: Right}}
+		}
+	}
+	m.Delta = func(q TMState, s Symbol, b Boundary) []TMMove {
+		switch q {
+		case majFindA:
+			return findA(s, b)
+		case majFindB:
+			return findB(s, b)
+		case majBackB:
+			if b.AtLeft() {
+				return findB(s, b)
+			}
+			return []TMMove{{Next: majBackB, Write: s, Dir: Left}}
+		case majBackA:
+			if b.AtLeft() {
+				return findA(s, b)
+			}
+			return []TMMove{{Next: majBackA, Write: s, Dir: Left}}
+		default:
+			return nil
+		}
+	}
+	return m
+}

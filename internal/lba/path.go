@@ -1,0 +1,335 @@
+package lba
+
+import (
+	"fmt"
+
+	"stoneage/internal/engine"
+	"stoneage/internal/graph"
+	"stoneage/internal/nfsm"
+)
+
+// This file implements Lemma 6.2: an rLBA can be simulated by an nFSM
+// protocol on a path. Node i of the path embodies tape cell i; its state
+// records the cell's symbol, whether the head is here or on which side it
+// is, and (when here) the machine state. Head movements are hand-off
+// letters (dir, p) transmitted to both neighbors; the neighbor on the
+// matching side activates.
+//
+// Two implementation details harden the paper's proof sketch against the
+// model's persistent ports (an nFSM node cannot detect message *arrival*,
+// only port contents, and old letters linger):
+//
+//   - Activation ACK: a node that becomes the head first spends one round
+//     transmitting the ACK letter H. The previous head waits for H before
+//     arming its own hand-off trigger; the H also overwrites the stale
+//     hand-off letter sitting in the previous head's port, so a node can
+//     never be re-activated by its own history.
+//
+//   - Halt wave: when the machine halts, the head floods a FIN letter so
+//     that every node reaches an output state — Section 2 defines
+//     termination as a global output configuration.
+//
+// Both cost O(1) states and letters, preserving the lemma.
+
+// pathProto carries the letter/state encodings for a compiled machine.
+type pathProto struct {
+	tm *TM
+	np int // |P|
+	ns int // |Γ|
+}
+
+// Letters: NIL (initial, inert), H (activation ACK), FINA, FINR, then the
+// hand-off letters (Left, p) and (Right, p) for every machine state.
+const (
+	letNil nfsm.Letter = iota
+	letAck
+	letFinA
+	letFinR
+	letHandBase
+)
+
+func (pp *pathProto) numLetters() int { return int(letHandBase) + 2*pp.np }
+
+func (pp *pathProto) handLetter(d Dir, p TMState) nfsm.Letter {
+	side := 0
+	if d == Right {
+		side = 1
+	}
+	return letHandBase + nfsm.Letter(side*pp.np+int(p))
+}
+
+// Roles within a node state. Active roles carry the machine state.
+const (
+	roleAwaitAckL = iota // handed the head leftward, waiting for H
+	roleAwaitAckR
+	roleDormantL // head is somewhere to my left
+	roleDormantR
+	roleAcceptOut // output sinks
+	roleRejectOut
+	roleActiveBase // roleActiveBase+p: head is here in machine state p
+)
+
+func (pp *pathProto) numRoles() int { return roleActiveBase + pp.np }
+
+// state encoding: ((symbol·4)+boundary)·numRoles + role.
+func (pp *pathProto) encState(sym Symbol, b Boundary, role int) nfsm.State {
+	return nfsm.State(((int(sym)*4)+int(b))*pp.numRoles() + role)
+}
+
+func (pp *pathProto) decState(q nfsm.State) (sym Symbol, b Boundary, role int) {
+	nr := pp.numRoles()
+	role = int(q) % nr
+	rest := int(q) / nr
+	return Symbol(rest / 4), Boundary(rest % 4), role
+}
+
+func (pp *pathProto) numStates() int { return pp.ns * 4 * pp.numRoles() }
+
+func (pp *pathProto) transition(q nfsm.State, counts []nfsm.Count) []nfsm.Move {
+	sym, bnd, role := pp.decState(q)
+	staying := []nfsm.Move{{Next: q, Emit: nfsm.NoLetter}}
+
+	switch role {
+	case roleAcceptOut, roleRejectOut:
+		return staying
+	}
+	// The halt wave preempts everything: adopt the verdict and pass it on.
+	if counts[letFinA] > 0 {
+		return []nfsm.Move{{Next: pp.encState(sym, bnd, roleAcceptOut), Emit: letFinA}}
+	}
+	if counts[letFinR] > 0 {
+		return []nfsm.Move{{Next: pp.encState(sym, bnd, roleRejectOut), Emit: letFinR}}
+	}
+
+	switch {
+	case role >= roleActiveBase:
+		p := TMState(role - roleActiveBase)
+		tmMoves := pp.tm.Delta(p, sym, bnd)
+		moves := make([]nfsm.Move, 0, len(tmMoves))
+		for _, mv := range tmMoves {
+			moves = append(moves, pp.applyTMMove(bnd, mv))
+		}
+		if len(moves) == 0 {
+			// Delta is empty only at halting states, which applyTMMove
+			// never re-enters; defensively reject.
+			return []nfsm.Move{{Next: pp.encState(sym, bnd, roleRejectOut), Emit: letFinR}}
+		}
+		return moves
+
+	case role == roleAwaitAckL || role == roleAwaitAckR:
+		if counts[letAck] > 0 {
+			dormant := roleDormantL
+			if role == roleAwaitAckR {
+				dormant = roleDormantR
+			}
+			return []nfsm.Move{{Next: pp.encState(sym, bnd, dormant), Emit: nfsm.NoLetter}}
+		}
+		return staying
+
+	default: // roleDormantL, roleDormantR
+		// A dormant node activates on a hand-off letter moving toward it:
+		// (Right, p) when the head is to its left, (Left, p) when to its
+		// right. The activation round transmits only the ACK.
+		want := Right
+		if role == roleDormantR {
+			want = Left
+		}
+		for p := 0; p < pp.np; p++ {
+			if counts[pp.handLetter(want, TMState(p))] > 0 {
+				return []nfsm.Move{{
+					Next: pp.encState(sym, bnd, roleActiveBase+p),
+					Emit: letAck,
+				}}
+			}
+		}
+		return staying
+	}
+}
+
+// applyTMMove turns one machine move into the head node's nFSM move:
+// write the symbol, then halt, stay, or hand the head off.
+func (pp *pathProto) applyTMMove(bnd Boundary, mv TMMove) nfsm.Move {
+	switch {
+	case mv.Next == pp.tm.Accept:
+		return nfsm.Move{Next: pp.encState(mv.Write, bnd, roleAcceptOut), Emit: letFinA}
+	case mv.Next == pp.tm.Reject:
+		return nfsm.Move{Next: pp.encState(mv.Write, bnd, roleRejectOut), Emit: letFinR}
+	}
+	dir := mv.Dir
+	// An LBA head never leaves the tape: clamp boundary moves to Stay,
+	// mirroring TM.Run.
+	if (dir == Left && bnd.AtLeft()) || (dir == Right && bnd.AtRight()) {
+		dir = Stay
+	}
+	switch dir {
+	case Stay:
+		return nfsm.Move{
+			Next: pp.encState(mv.Write, bnd, roleActiveBase+int(mv.Next)),
+			Emit: nfsm.NoLetter,
+		}
+	case Left:
+		return nfsm.Move{
+			Next: pp.encState(mv.Write, bnd, roleAwaitAckL),
+			Emit: pp.handLetter(Left, mv.Next),
+		}
+	default: // Right
+		return nfsm.Move{
+			Next: pp.encState(mv.Write, bnd, roleAwaitAckR),
+			Emit: pp.handLetter(Right, mv.Next),
+		}
+	}
+}
+
+// PathProtocol compiles the machine into an nFSM round protocol for a
+// path network (Lemma 6.2). Use PathInit to build the per-node input
+// states for a concrete tape, and Verdict to read the result.
+func PathProtocol(tm *TM) (*nfsm.RoundProtocol, error) {
+	if err := tm.Validate(); err != nil {
+		return nil, err
+	}
+	pp := &pathProto{tm: tm, np: tm.NumStates(), ns: tm.NumSymbols()}
+
+	stateNames := make([]string, pp.numStates())
+	for i := range stateNames {
+		sym, b, role := pp.decState(nfsm.State(i))
+		var r string
+		switch {
+		case role == roleAwaitAckL:
+			r = "ackL"
+		case role == roleAwaitAckR:
+			r = "ackR"
+		case role == roleDormantL:
+			r = "dormL"
+		case role == roleDormantR:
+			r = "dormR"
+		case role == roleAcceptOut:
+			r = "acc"
+		case role == roleRejectOut:
+			r = "rej"
+		default:
+			r = "head:" + tm.StateNames[role-roleActiveBase]
+		}
+		stateNames[i] = fmt.Sprintf("%s/b%d/%s", tm.SymbolNames[sym], b, r)
+	}
+	letterNames := make([]string, pp.numLetters())
+	letterNames[letNil], letterNames[letAck] = "NIL", "ACK"
+	letterNames[letFinA], letterNames[letFinR] = "FIN-ACC", "FIN-REJ"
+	for p := 0; p < pp.np; p++ {
+		letterNames[pp.handLetter(Left, TMState(p))] = "L:" + tm.StateNames[p]
+		letterNames[pp.handLetter(Right, TMState(p))] = "R:" + tm.StateNames[p]
+	}
+
+	output := make([]bool, pp.numStates())
+	inputs := make([]nfsm.State, 0, pp.numStates())
+	for i := 0; i < pp.numStates(); i++ {
+		_, _, role := pp.decState(nfsm.State(i))
+		if role == roleAcceptOut || role == roleRejectOut {
+			output[i] = true
+		}
+		// Input states: a head at the left end in the start state, or a
+		// dormant cell with the head to its left.
+		if role == roleActiveBase+int(tm.Start) || role == roleDormantL {
+			inputs = append(inputs, nfsm.State(i))
+		}
+	}
+
+	return &nfsm.RoundProtocol{
+		Name:        "lba-path:" + tm.Name,
+		StateNames:  stateNames,
+		LetterNames: letterNames,
+		Input:       inputs,
+		Output:      output,
+		Initial:     letNil,
+		B:           1,
+		Transition:  pp.transition,
+	}, nil
+}
+
+// PathInit builds the per-node initial states placing the input on the
+// path: node 0 is the head in the start state, every other node is
+// dormant with the head to its left.
+func PathInit(tm *TM, input []Symbol) ([]nfsm.State, error) {
+	n := len(input)
+	if n == 0 {
+		return nil, fmt.Errorf("lba(%s): empty input", tm.Name)
+	}
+	pp := &pathProto{tm: tm, np: tm.NumStates(), ns: tm.NumSymbols()}
+	init := make([]nfsm.State, n)
+	for i, s := range input {
+		if s < 0 || int(s) >= tm.NumSymbols() {
+			return nil, fmt.Errorf("lba(%s): input symbol %d at cell %d out of range", tm.Name, s, i)
+		}
+		role := roleDormantL
+		if i == 0 {
+			role = roleActiveBase + int(tm.Start)
+		}
+		init[i] = pp.encState(s, boundaryAt(i, n), role)
+	}
+	return init, nil
+}
+
+// Verdict inspects a final state vector of the path protocol and returns
+// the machine's verdict. Every node must agree.
+func Verdict(tm *TM, states []nfsm.State) (accepted bool, err error) {
+	pp := &pathProto{tm: tm, np: tm.NumStates(), ns: tm.NumSymbols()}
+	accepts, rejects := 0, 0
+	for v, q := range states {
+		_, _, role := pp.decState(q)
+		switch role {
+		case roleAcceptOut:
+			accepts++
+		case roleRejectOut:
+			rejects++
+		default:
+			return false, fmt.Errorf("lba: node %d ended in non-output state", v)
+		}
+	}
+	if accepts > 0 && rejects > 0 {
+		return false, fmt.Errorf("lba: verdict split: %d accept, %d reject", accepts, rejects)
+	}
+	return accepts > 0, nil
+}
+
+// TapeSymbols decodes the final tape contents from a state vector.
+func TapeSymbols(tm *TM, states []nfsm.State) []Symbol {
+	pp := &pathProto{tm: tm, np: tm.NumStates(), ns: tm.NumSymbols()}
+	out := make([]Symbol, len(states))
+	for v, q := range states {
+		sym, _, _ := pp.decState(q)
+		out[v] = sym
+	}
+	return out
+}
+
+// PathRun reports a Lemma 6.2 execution.
+type PathRun struct {
+	// Accepted is the machine's verdict.
+	Accepted bool
+	// Rounds is the number of locally synchronous rounds used.
+	Rounds int
+	// Tape is the final tape contents decoded from the node states.
+	Tape []Symbol
+}
+
+// RunOnPath compiles the machine, runs it on the path network embodying
+// the input, and returns the verdict (Lemma 6.2 end to end).
+func RunOnPath(tm *TM, input []Symbol, seed uint64, maxRounds int) (*PathRun, error) {
+	proto, err := PathProtocol(tm)
+	if err != nil {
+		return nil, err
+	}
+	init, err := PathInit(tm, input)
+	if err != nil {
+		return nil, err
+	}
+	g := graph.Path(len(input))
+	res, err := engine.RunSync(proto, g, engine.SyncConfig{Seed: seed, MaxRounds: maxRounds, Init: init})
+	if err != nil {
+		return nil, err
+	}
+	accepted, err := Verdict(tm, res.States)
+	if err != nil {
+		return nil, err
+	}
+	return &PathRun{Accepted: accepted, Rounds: res.Rounds, Tape: TapeSymbols(tm, res.States)}, nil
+}

@@ -1,0 +1,166 @@
+package lba
+
+import (
+	"fmt"
+
+	"stoneage/internal/graph"
+	"stoneage/internal/nfsm"
+)
+
+// This file implements Lemma 6.1: an rLBA can simulate any nFSM protocol
+// on a graph of arbitrary topology. The simulator lays the graph out as
+// an adjacency-list tape exactly as in the lemma's proof — per node, a
+// state cell and a pending-transmission cell; per adjacency entry, a port
+// cell — and executes each round as two left-to-right sweeps:
+//
+//	sweep 1: for every node, count the occurrences of the query letter
+//	         among its port cells and apply δ, recording the next state
+//	         and the transmitted letter in the node's own cells (the
+//	         transmission is *not* yet applied, so later nodes in the
+//	         sweep still see the old port contents);
+//	sweep 2: for every port cell ψ_v(u), overwrite it with u's recorded
+//	         transmission if u transmitted.
+//
+// The extra storage is O(1) cells per node and per edge — linear in the
+// input — and the head only ever scans the tape, so the whole procedure
+// is an rLBA with the protocol's finite control hard-wired.
+//
+// The simulator draws its coin tosses from nfsm.PickMove with the same
+// (seed, node, round) coordinates as the synchronous engine, so for any
+// protocol, graph and seed the two executions are identical step for
+// step. The tests exploit this for an exact cross-check.
+
+// SweepConfig parameterizes a Lemma 6.1 simulation.
+type SweepConfig struct {
+	// Seed keys the protocol's random choices.
+	Seed uint64
+	// MaxRounds aborts the simulation; zero selects 1<<20.
+	MaxRounds int
+	// Init optionally assigns per-node initial states.
+	Init []nfsm.State
+}
+
+// SweepResult reports a Lemma 6.1 simulation.
+type SweepResult struct {
+	// Rounds is the number of simulated rounds.
+	Rounds int
+	// States is the final state of every node.
+	States []nfsm.State
+	// TapeCells is the size of the simulated tape: 2 cells per node plus
+	// 1 cell per directed adjacency entry (the linear space bound of the
+	// lemma).
+	TapeCells int
+	// HeadMoves counts simulated tape-head movements: every sweep visits
+	// each cell a constant number of times.
+	HeadMoves int64
+}
+
+// SimulateNFSM executes machine m on graph g with the two-sweep rLBA
+// discipline of Lemma 6.1.
+func SimulateNFSM(m nfsm.Machine, g *graph.Graph, cfg SweepConfig) (*SweepResult, error) {
+	n := g.N()
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 1 << 20
+	}
+
+	// Tape layout: states[v] and emits[v] are v's two node cells;
+	// ports[v][i] is the port cell for the i-th adjacency entry of v.
+	states := make([]nfsm.State, n)
+	if cfg.Init != nil {
+		if len(cfg.Init) != n {
+			return nil, fmt.Errorf("lba: init vector length %d != n %d", len(cfg.Init), n)
+		}
+		copy(states, cfg.Init)
+	} else {
+		for v := range states {
+			states[v] = m.InputState()
+		}
+	}
+	emits := make([]nfsm.Letter, n)
+	ports := make([][]nfsm.Letter, n)
+	tapeCells := 2 * n
+	for v := 0; v < n; v++ {
+		deg := g.Degree(v)
+		ports[v] = make([]nfsm.Letter, deg)
+		for i := range ports[v] {
+			ports[v][i] = m.InitialLetter()
+		}
+		tapeCells += deg
+	}
+
+	single, _ := m.(nfsm.SingleQuery)
+	counts := make([]nfsm.Count, m.NumLetters())
+	res := &SweepResult{TapeCells: tapeCells}
+
+	outputs := 0
+	for _, q := range states {
+		if m.IsOutput(q) {
+			outputs++
+		}
+	}
+	if outputs == n {
+		res.States = states
+		return res, nil
+	}
+
+	for round := 1; round <= maxRounds; round++ {
+		// Sweep 1: compute every node's move from the *current* port
+		// cells; record next state and transmission without applying.
+		for v := 0; v < n; v++ {
+			q := states[v]
+			b := m.Bound()
+			if single != nil {
+				ql := single.QueryLetter(q)
+				c := 0
+				for _, l := range ports[v] {
+					if l == ql {
+						c++
+					}
+					res.HeadMoves++
+				}
+				counts[ql] = nfsm.ClampCount(c, b)
+			} else {
+				for i := range counts {
+					counts[i] = 0
+				}
+				for _, l := range ports[v] {
+					if l >= 0 && int(counts[l]) < b {
+						counts[l]++
+					}
+					res.HeadMoves++
+				}
+			}
+			moves := m.Moves(q, counts)
+			if len(moves) == 0 {
+				return nil, fmt.Errorf("lba: δ empty at node %d state %d round %d", v, q, round)
+			}
+			mv := nfsm.PickMove(cfg.Seed, v, round, moves)
+			if m.IsOutput(mv.Next) != m.IsOutput(q) {
+				if m.IsOutput(mv.Next) {
+					outputs++
+				} else {
+					outputs--
+				}
+			}
+			states[v] = mv.Next
+			emits[v] = mv.Emit
+			res.HeadMoves += 2
+		}
+		// Sweep 2: deliver the recorded transmissions into the port cells.
+		for v := 0; v < n; v++ {
+			for i, u := range g.Neighbors(v) {
+				if emits[u] != nfsm.NoLetter {
+					ports[v][i] = emits[u]
+				}
+				res.HeadMoves++
+			}
+		}
+		if outputs == n {
+			res.Rounds = round
+			res.States = states
+			return res, nil
+		}
+	}
+	return nil, fmt.Errorf("lba: no output configuration within %d rounds", maxRounds)
+}

@@ -1,0 +1,199 @@
+// Package lba implements the Section 6 computational-power substrate: a
+// randomized linear bounded automaton (rLBA — a randomized Turing machine
+// whose working tape is restricted to the cells holding the input), the
+// Lemma 6.2 compiler that turns any rLBA into an nFSM protocol on a path
+// network, and the Lemma 6.1 two-sweep simulator that executes any nFSM
+// protocol on any graph within the rLBA's linear space discipline.
+package lba
+
+import (
+	"fmt"
+
+	"stoneage/internal/xrand"
+)
+
+// Symbol indexes the working alphabet Γ of a machine.
+type Symbol int
+
+// TMState indexes the state set P of a machine.
+type TMState int
+
+// Dir is a head movement.
+type Dir int
+
+// Head movements. An LBA head never leaves the input cells; Left at the
+// leftmost cell or Right at the rightmost cell is clamped to Stay (the
+// conventional end-marker behaviour).
+const (
+	Stay Dir = iota
+	Left
+	Right
+)
+
+// Boundary tells a transition where the head stands, playing the role of
+// the customary ⊢ and ⊣ end markers of LBA definitions.
+type Boundary int
+
+// Boundary values.
+const (
+	Interior Boundary = iota
+	LeftEnd
+	RightEnd
+	BothEnds // single-cell tape
+)
+
+// AtLeft reports whether the head cannot move further left.
+func (b Boundary) AtLeft() bool { return b == LeftEnd || b == BothEnds }
+
+// AtRight reports whether the head cannot move further right.
+func (b Boundary) AtRight() bool { return b == RightEnd || b == BothEnds }
+
+// TMMove is one option of the randomized transition relation.
+type TMMove struct {
+	Next  TMState
+	Write Symbol
+	Dir   Dir
+}
+
+// TM is a randomized linear bounded automaton. Delta must return a
+// non-empty move set for every non-halting (state, symbol, boundary)
+// triple; the executor picks uniformly at random among the options.
+// Accept and Reject are halting states with no outgoing moves.
+type TM struct {
+	// Name identifies the machine.
+	Name string
+	// StateNames gives |P| names; SymbolNames gives |Γ| names.
+	StateNames  []string
+	SymbolNames []string
+	// Start, Accept and Reject are distinguished states.
+	Start, Accept, Reject TMState
+	// Delta is the randomized transition relation.
+	Delta func(q TMState, s Symbol, b Boundary) []TMMove
+}
+
+// NumStates returns |P|.
+func (m *TM) NumStates() int { return len(m.StateNames) }
+
+// NumSymbols returns |Γ|.
+func (m *TM) NumSymbols() int { return len(m.SymbolNames) }
+
+// Halting reports whether q is the accept or reject state.
+func (m *TM) Halting(q TMState) bool { return q == m.Accept || q == m.Reject }
+
+// Validate enumerates the finite transition domain and checks totality
+// and range discipline.
+func (m *TM) Validate() error {
+	np, ns := m.NumStates(), m.NumSymbols()
+	if np == 0 || ns == 0 {
+		return fmt.Errorf("lba(%s): empty state set or alphabet", m.Name)
+	}
+	for _, q := range []TMState{m.Start, m.Accept, m.Reject} {
+		if q < 0 || int(q) >= np {
+			return fmt.Errorf("lba(%s): distinguished state %d out of range", m.Name, q)
+		}
+	}
+	if m.Accept == m.Reject {
+		return fmt.Errorf("lba(%s): accept and reject coincide", m.Name)
+	}
+	if m.Delta == nil {
+		return fmt.Errorf("lba(%s): nil transition", m.Name)
+	}
+	for q := 0; q < np; q++ {
+		for s := 0; s < ns; s++ {
+			for _, b := range []Boundary{Interior, LeftEnd, RightEnd, BothEnds} {
+				moves := m.Delta(TMState(q), Symbol(s), b)
+				if m.Halting(TMState(q)) {
+					if len(moves) != 0 {
+						return fmt.Errorf("lba(%s): halting state %d has outgoing moves", m.Name, q)
+					}
+					continue
+				}
+				if len(moves) == 0 {
+					return fmt.Errorf("lba(%s): no move at state %d symbol %d boundary %d", m.Name, q, s, b)
+				}
+				for _, mv := range moves {
+					if mv.Next < 0 || int(mv.Next) >= np {
+						return fmt.Errorf("lba(%s): move to out-of-range state %d", m.Name, mv.Next)
+					}
+					if mv.Write < 0 || int(mv.Write) >= ns {
+						return fmt.Errorf("lba(%s): write of out-of-range symbol %d", m.Name, mv.Write)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// RunResult reports a direct rLBA execution.
+type RunResult struct {
+	// Accepted is the machine's verdict.
+	Accepted bool
+	// Steps is the number of transitions applied.
+	Steps int
+	// Tape is the final tape contents.
+	Tape []Symbol
+}
+
+// Run executes the machine directly on the given input, drawing
+// randomized choices from the deterministic (seed, step) coin. maxSteps
+// of zero selects 1<<20.
+func (m *TM) Run(input []Symbol, seed uint64, maxSteps int) (*RunResult, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(input)
+	if n == 0 {
+		return nil, fmt.Errorf("lba(%s): empty input (the tape must hold at least one cell)", m.Name)
+	}
+	for i, s := range input {
+		if s < 0 || int(s) >= m.NumSymbols() {
+			return nil, fmt.Errorf("lba(%s): input symbol %d at cell %d out of range", m.Name, s, i)
+		}
+	}
+	if maxSteps <= 0 {
+		maxSteps = 1 << 20
+	}
+	tape := append([]Symbol(nil), input...)
+	head, q := 0, m.Start
+	for step := 1; step <= maxSteps; step++ {
+		if m.Halting(q) {
+			return &RunResult{Accepted: q == m.Accept, Steps: step - 1, Tape: tape}, nil
+		}
+		b := boundaryAt(head, n)
+		moves := m.Delta(q, tape[head], b)
+		mv := moves[0]
+		if len(moves) > 1 {
+			mv = moves[int(xrand.Coin(seed, head, step, 0)%uint64(len(moves)))]
+		}
+		tape[head] = mv.Write
+		q = mv.Next
+		switch mv.Dir {
+		case Left:
+			if !b.AtLeft() {
+				head--
+			}
+		case Right:
+			if !b.AtRight() {
+				head++
+			}
+		}
+	}
+	if m.Halting(q) {
+		return &RunResult{Accepted: q == m.Accept, Steps: maxSteps, Tape: tape}, nil
+	}
+	return nil, fmt.Errorf("lba(%s): no halt within %d steps", m.Name, maxSteps)
+}
+
+func boundaryAt(head, n int) Boundary {
+	switch {
+	case n == 1:
+		return BothEnds
+	case head == 0:
+		return LeftEnd
+	case head == n-1:
+		return RightEnd
+	default:
+		return Interior
+	}
+}

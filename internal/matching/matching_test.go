@@ -1,0 +1,139 @@
+package matching
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"stoneage/internal/graph"
+	"stoneage/internal/xrand"
+)
+
+func TestSolveProducesMaximalMatching(t *testing.T) {
+	src := xrand.New(1)
+	workloads := map[string]*graph.Graph{
+		"single":    graph.New(1),
+		"pair":      graph.Path(2),
+		"isolated":  graph.New(10),
+		"path-even": graph.Path(20),
+		"path-odd":  graph.Path(21),
+		"cycle":     graph.Cycle(30),
+		"star":      graph.Star(25),
+		"clique":    graph.Clique(15),
+		"grid":      graph.Grid(6, 7),
+		"gnp":       graph.Gnp(80, 0.08, src),
+		"tree":      graph.RandomTree(60, src),
+		"bipartite": graph.CompleteBipartite(7, 9),
+	}
+	for name, g := range workloads {
+		t.Run(name, func(t *testing.T) {
+			for seed := uint64(0); seed < 6; seed++ {
+				res, err := Solve(g, seed, 0)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if err := g.IsMaximalMatching(res.Mate); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+		})
+	}
+}
+
+func TestPairAlwaysMatches(t *testing.T) {
+	g := graph.Path(2)
+	for seed := uint64(0); seed < 20; seed++ {
+		res, err := Solve(g, seed, 0)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Mate[0] != 1 || res.Mate[1] != 0 {
+			t.Fatalf("seed %d: pair not matched: %v", seed, res.Mate)
+		}
+	}
+}
+
+func TestStarMatchesExactlyOneLeaf(t *testing.T) {
+	g := graph.Star(12)
+	for seed := uint64(0); seed < 10; seed++ {
+		res, err := Solve(g, seed, 0)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		matched := 0
+		for v, m := range res.Mate {
+			if m != -1 {
+				matched++
+				if v != 0 && m != 0 {
+					t.Fatalf("seed %d: leaves %d and %d matched to each other", seed, v, m)
+				}
+			}
+		}
+		if matched != 2 {
+			t.Fatalf("seed %d: %d matched endpoints, want 2", seed, matched)
+		}
+	}
+}
+
+func TestIsolatedNodesUnmatched(t *testing.T) {
+	res, err := Solve(graph.New(5), 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, m := range res.Mate {
+		if m != -1 {
+			t.Fatalf("isolated node %d matched to %d", v, m)
+		}
+	}
+	if res.Phases != 1 {
+		t.Fatalf("phases = %d, want 1", res.Phases)
+	}
+}
+
+func TestRunTimeScalesPolylog(t *testing.T) {
+	ratioAt := func(n int) float64 {
+		src := xrand.New(uint64(n))
+		g := graph.GnpConnected(n, 4.0/float64(n), src)
+		total := 0.0
+		for seed := uint64(0); seed < 3; seed++ {
+			res, err := Solve(g, seed, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += float64(res.Rounds)
+		}
+		return total / 3 / math.Log2(float64(n))
+	}
+	small, large := ratioAt(64), ratioAt(1024)
+	if large > 4*small {
+		t.Fatalf("rounds/log n grew from %.2f to %.2f", small, large)
+	}
+}
+
+func TestNoConvergenceBudget(t *testing.T) {
+	// With a 3-round budget nothing can terminate on a pair.
+	_, err := Solve(graph.Path(2), 1, 3)
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Fatalf("err = %v, want ErrNoConvergence", err)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	g := graph.Gnp(40, 0.1, xrand.New(2))
+	a, err := Solve(g, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(g, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rounds != b.Rounds {
+		t.Fatal("rounds differ across identical runs")
+	}
+	for v := range a.Mate {
+		if a.Mate[v] != b.Mate[v] {
+			t.Fatal("matching differs across identical runs")
+		}
+	}
+}

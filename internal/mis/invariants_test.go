@@ -1,0 +1,148 @@
+package mis
+
+import (
+	"testing"
+
+	"stoneage/internal/engine"
+	"stoneage/internal/graph"
+	"stoneage/internal/nfsm"
+	"stoneage/internal/xrand"
+)
+
+// TestObservation41TournamentAlignment checks the structural invariant
+// behind Observation 4.1: the delaying states keep adjacent nodes within
+// one tournament of each other at every round. (The observation's full
+// statement also bounds the turn offset; tournament alignment is the
+// part the O(log² n) analysis leans on via inequality (2).)
+func TestObservation41TournamentAlignment(t *testing.T) {
+	src := xrand.New(21)
+	graphs := []*graph.Graph{
+		graph.Cycle(30),
+		graph.Clique(12),
+		graph.Gnp(60, 0.1, src),
+		graph.Star(20),
+	}
+	for gi, g := range graphs {
+		n := g.N()
+		tourn := make([]int, n)
+		prev := make([]nfsm.State, n)
+		active := make([]bool, n)
+		for v := range tourn {
+			tourn[v], prev[v], active[v] = 1, Down1, true
+		}
+		observer := func(round int, states []nfsm.State) {
+			for v := 0; v < n; v++ {
+				if prev[v] == Down2 && states[v] == Down1 {
+					tourn[v]++
+				}
+				if states[v] == Win || states[v] == Lose {
+					active[v] = false
+				}
+				prev[v] = states[v]
+			}
+			for _, e := range g.Edges() {
+				u, v := e[0], e[1]
+				if !active[u] || !active[v] {
+					continue
+				}
+				d := tourn[u] - tourn[v]
+				if d < -1 || d > 1 {
+					t.Fatalf("graph %d round %d: adjacent active nodes %d,%d in tournaments %d,%d",
+						gi, round, u, v, tourn[u], tourn[v])
+				}
+			}
+		}
+		if _, err := engine.RunSync(Protocol(), g, engine.SyncConfig{Seed: 5, Observer: observer}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestWinnersSilenceNeighborhood checks the core exclusivity property:
+// once a node reaches WIN, every neighbor ends in LOSE (this is what
+// makes the output independent), and every LOSE node has a WIN neighbor
+// (maximality), across many seeds on an adversarially awkward graph.
+func TestWinnersSilenceNeighborhood(t *testing.T) {
+	g := graph.CompleteBipartite(6, 9)
+	for seed := uint64(0); seed < 30; seed++ {
+		run, err := SolveSync(g, seed, 0)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for v, in := range run.InSet {
+			hasWinNeighbor := false
+			for _, u := range g.Neighbors(v) {
+				if run.InSet[u] {
+					hasWinNeighbor = true
+				}
+			}
+			if in && hasWinNeighbor {
+				t.Fatalf("seed %d: winner %d has a winning neighbor", seed, v)
+			}
+			if !in && !hasWinNeighbor {
+				t.Fatalf("seed %d: loser %d has no winning neighbor", seed, v)
+			}
+		}
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	run, err := SolveSync(graph.New(0), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.InSet) != 0 || run.Rounds != 0 {
+		t.Fatalf("empty graph run = %+v", run)
+	}
+}
+
+// TestPathAlternationStatistics sanity-checks the MIS size distribution:
+// on a long path the MIS size must lie between n/3 (every third node at
+// worst) and n/2+1.
+func TestPathAlternationStatistics(t *testing.T) {
+	const n = 300
+	g := graph.Path(n)
+	for seed := uint64(0); seed < 5; seed++ {
+		run, err := SolveSync(g, seed, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		size := 0
+		for _, in := range run.InSet {
+			if in {
+				size++
+			}
+		}
+		if size < n/3 || size > n/2+1 {
+			t.Fatalf("seed %d: path MIS size %d outside [%d, %d]", seed, size, n/3, n/2+1)
+		}
+	}
+}
+
+// TestTransmissionDiscipline verifies the Figure 1 transmission rule end
+// to end: the total number of transmissions is exactly the total number
+// of state *changes* (a node transmits iff it moves to a different
+// state).
+func TestTransmissionDiscipline(t *testing.T) {
+	g := graph.Cycle(20)
+	changes := int64(0)
+	prev := make([]nfsm.State, g.N())
+	for v := range prev {
+		prev[v] = Down1
+	}
+	observer := func(round int, states []nfsm.State) {
+		for v := range states {
+			if states[v] != prev[v] {
+				changes++
+			}
+			prev[v] = states[v]
+		}
+	}
+	res, err := engine.RunSync(Protocol(), g, engine.SyncConfig{Seed: 9, Observer: observer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transmissions != changes {
+		t.Fatalf("transmissions %d != state changes %d", res.Transmissions, changes)
+	}
+}

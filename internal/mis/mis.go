@@ -1,0 +1,321 @@
+// Package mis implements the paper's maximal-independent-set protocol of
+// Section 4 — the exact 7-state machine of Figure 1 — together with the
+// tournament instrumentation used to validate the analysis (Lemma 4.3's
+// edge decay and the O(log² n) run-time of Theorem 4.5).
+//
+// The protocol is written as an nfsm.RoundProtocol (locally synchronous
+// environment with multiple-letter queries, as the paper assumes via
+// Theorems 3.1 and 3.4) and can be executed directly on the synchronous
+// engine or compiled with synchro.CompileRound for fully asynchronous
+// execution.
+package mis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"stoneage/internal/engine"
+	"stoneage/internal/graph"
+	"stoneage/internal/nfsm"
+	"stoneage/internal/synchro"
+)
+
+// The states of Figure 1. The communication alphabet is identical to the
+// state set: a node transmits the letter q exactly when it moves to state
+// q from a different state, and transmits nothing when it stays put.
+const (
+	Down1 nfsm.State = iota // DOWN1: start of a tournament
+	Down2                   // DOWN2: lost the inner loop, checking for winners
+	Up0                     // UP0, UP1, UP2: the inner (coin-flip) loop
+	Up1
+	Up2
+	Win  // WIN: in the MIS (output)
+	Lose // LOSE: not in the MIS (output)
+
+	numStates = 7
+)
+
+// delayedBy lists D(q): a node stays in state q while any neighbor's port
+// shows a letter of D(q). DOWN1 is delayed by DOWN2; DOWN2 by all UP
+// states; UP_j by UP_{j−1 mod 3}; UP0 additionally by DOWN1.
+var delayedBy = [numStates][]nfsm.Letter{
+	Down1: {nfsm.Letter(Down2)},
+	Down2: {nfsm.Letter(Up0), nfsm.Letter(Up1), nfsm.Letter(Up2)},
+	Up0:   {nfsm.Letter(Up2), nfsm.Letter(Down1)},
+	Up1:   {nfsm.Letter(Up0)},
+	Up2:   {nfsm.Letter(Up1)},
+}
+
+var stateNames = []string{"DOWN1", "DOWN2", "UP0", "UP1", "UP2", "WIN", "LOSE"}
+
+// emitTo builds the move entering state next from state q, transmitting
+// the letter of next exactly on state change.
+func emitTo(q, next nfsm.State) nfsm.Move {
+	if q == next {
+		return nfsm.Move{Next: next, Emit: nfsm.NoLetter}
+	}
+	return nfsm.Move{Next: next, Emit: nfsm.Letter(next)}
+}
+
+var stayMoves = func() [numStates][]nfsm.Move {
+	var m [numStates][]nfsm.Move
+	for q := 0; q < numStates; q++ {
+		m[q] = []nfsm.Move{{Next: nfsm.State(q), Emit: nfsm.NoLetter}}
+	}
+	return m
+}()
+
+func transition(q nfsm.State, counts []nfsm.Count) []nfsm.Move {
+	if q == Win || q == Lose {
+		return stayMoves[q]
+	}
+	for _, d := range delayedBy[q] {
+		if counts[d] > 0 {
+			return stayMoves[q]
+		}
+	}
+	switch q {
+	case Down1:
+		return []nfsm.Move{emitTo(q, Up0)}
+	case Down2:
+		if counts[nfsm.Letter(Win)] > 0 {
+			return []nfsm.Move{emitTo(q, Lose)}
+		}
+		return []nfsm.Move{emitTo(q, Down1)}
+	default: // Up0, Up1, Up2
+		j := q - Up0
+		headsTarget := Up0 + (j+1)%3
+		// Tails: WIN when no neighbor is in UP_j or UP_{j+1 mod 3}
+		// (i.e. no neighbor's tournament is still at or beyond this
+		// turn); DOWN2 otherwise.
+		tailsTarget := Down2
+		if counts[nfsm.Letter(q)] == 0 && counts[nfsm.Letter(headsTarget)] == 0 {
+			tailsTarget = Win
+		}
+		return []nfsm.Move{emitTo(q, headsTarget), emitTo(q, tailsTarget)}
+	}
+}
+
+// Protocol returns the MIS round protocol of Figure 1: seven states,
+// Σ = Q, bounding parameter b = 1, initial letter DOWN1.
+func Protocol() *nfsm.RoundProtocol {
+	return &nfsm.RoundProtocol{
+		Name:        "mis",
+		StateNames:  stateNames,
+		LetterNames: stateNames,
+		Input:       []nfsm.State{Down1},
+		Output:      []bool{false, false, false, false, false, true, true},
+		Initial:     nfsm.Letter(Down1),
+		B:           1,
+		Transition:  transition,
+	}
+}
+
+// Extract converts a final state vector into the MIS membership mask.
+// It fails if any node is not in an output state.
+func Extract(states []nfsm.State) ([]bool, error) {
+	inSet := make([]bool, len(states))
+	for v, q := range states {
+		switch q {
+		case Win:
+			inSet[v] = true
+		case Lose:
+		default:
+			return nil, fmt.Errorf("mis: node %d ended in non-output state %s", v, stateNames[q])
+		}
+	}
+	return inSet, nil
+}
+
+// SyncRun reports a synchronous MIS execution.
+type SyncRun struct {
+	// InSet is the MIS membership mask.
+	InSet []bool
+	// Rounds is the locally synchronous round count.
+	Rounds int
+	// Transmissions counts letters sent.
+	Transmissions int64
+}
+
+// SolveSync runs the protocol on the synchronous engine and extracts the
+// MIS.
+func SolveSync(g *graph.Graph, seed uint64, maxRounds int) (*SyncRun, error) {
+	res, err := engine.RunSync(Protocol(), g, engine.SyncConfig{Seed: seed, MaxRounds: maxRounds})
+	if err != nil {
+		return nil, err
+	}
+	inSet, err := Extract(res.States)
+	if err != nil {
+		return nil, err
+	}
+	return &SyncRun{InSet: inSet, Rounds: res.Rounds, Transmissions: res.Transmissions}, nil
+}
+
+// Tournaments instruments a synchronous run with the Section 4 analysis
+// quantities: for every tournament index i it reports |V^i| and |E^i| of
+// the virtual graph G^i (the subgraph induced by the nodes whose
+// tournament i exists). Lemma 4.3 predicts geometric decay of |E^i|.
+type Tournaments struct {
+	// Nodes[i] is |V^{i+1}|: how many nodes started tournament i+1.
+	Nodes []int
+	// Edges[i] is |E^{i+1}|.
+	Edges []int
+}
+
+// DecayRatios returns the per-tournament edge decay |E^{i+1}|/|E^i| for
+// every i with |E^i| > 0.
+func (t *Tournaments) DecayRatios() []float64 {
+	var out []float64
+	for i := 0; i+1 < len(t.Edges); i++ {
+		if t.Edges[i] > 0 {
+			out = append(out, float64(t.Edges[i+1])/float64(t.Edges[i]))
+		}
+	}
+	return out
+}
+
+// SolveSyncInstrumented runs the protocol synchronously while counting
+// tournaments per node, then reconstructs the |V^i| and |E^i| series.
+func SolveSyncInstrumented(g *graph.Graph, seed uint64, maxRounds int) (*SyncRun, *Tournaments, error) {
+	n := g.N()
+	// tourn[v] counts the tournaments v has started: 1 initially (every
+	// node starts in DOWN1, the first turn of tournament 1), incremented
+	// on every DOWN2 → DOWN1 transition.
+	tourn := make([]int, n)
+	for v := range tourn {
+		tourn[v] = 1
+	}
+	prev := make([]nfsm.State, n)
+	for v := range prev {
+		prev[v] = Down1
+	}
+	observer := func(round int, states []nfsm.State) {
+		for v := 0; v < n; v++ {
+			if prev[v] == Down2 && states[v] == Down1 {
+				tourn[v]++
+			}
+			prev[v] = states[v]
+		}
+	}
+	res, err := engine.RunSync(Protocol(), g, engine.SyncConfig{
+		Seed: seed, MaxRounds: maxRounds, Observer: observer,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	inSet, err := Extract(res.States)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	maxT := 0
+	for _, t := range tourn {
+		if t > maxT {
+			maxT = t
+		}
+	}
+	ts := &Tournaments{Nodes: make([]int, maxT), Edges: make([]int, maxT)}
+	for _, t := range tourn {
+		for i := 0; i < t; i++ {
+			ts.Nodes[i]++
+		}
+	}
+	for _, e := range g.Edges() {
+		t := tourn[e[0]]
+		if tourn[e[1]] < t {
+			t = tourn[e[1]]
+		}
+		for i := 0; i < t; i++ {
+			ts.Edges[i]++
+		}
+	}
+	run := &SyncRun{InSet: inSet, Rounds: res.Rounds, Transmissions: res.Transmissions}
+	return run, ts, nil
+}
+
+// AsyncRun reports an asynchronous MIS execution through the Theorem
+// 3.1/3.4 compiler.
+type AsyncRun struct {
+	// InSet is the MIS membership mask.
+	InSet []bool
+	// TimeUnits is the paper's normalized run-time.
+	TimeUnits float64
+	// Steps is the total number of machine steps across all nodes.
+	Steps int64
+	// Lost counts adversarially destroyed messages.
+	Lost int64
+}
+
+// SolveAsync compiles the protocol with synchro.CompileRound and runs it
+// on the asynchronous engine under the given adversary.
+func SolveAsync(g *graph.Graph, seed uint64, adv engine.Adversary, maxSteps int64) (*AsyncRun, error) {
+	compiled, err := synchro.CompileRound(Protocol())
+	if err != nil {
+		return nil, err
+	}
+	res, err := engine.RunAsync(compiled, g, engine.AsyncConfig{
+		Seed: seed, Adversary: adv, MaxSteps: maxSteps,
+	})
+	if err != nil {
+		return nil, err
+	}
+	inSet, err := Extract(compiled.DecodeStates(res.States))
+	if err != nil {
+		return nil, err
+	}
+	return &AsyncRun{InSet: inSet, TimeUnits: res.TimeUnits, Steps: res.Steps, Lost: res.Lost}, nil
+}
+
+// DiagramEdge is one arrow of the protocol's transition diagram: source
+// and target states plus the transmitted letter (NoLetter for silent
+// self-loops). Figure 1 of the paper draws exactly these arrows.
+type DiagramEdge struct {
+	From, To nfsm.State
+	Emit     nfsm.Letter
+}
+
+// TransitionDiagram derives the protocol's state diagram by exhaustively
+// enumerating δ over every clamped count vector (2⁷ combinations per
+// state under b = 1) and collecting the distinct moves. The result is
+// the machine-checked regeneration of Figure 1; the test suite compares
+// it against the arrow set read off the paper's figure.
+func TransitionDiagram() []DiagramEdge {
+	seen := make(map[DiagramEdge]bool)
+	var edges []DiagramEdge
+	counts := make([]nfsm.Count, numStates)
+	for q := 0; q < numStates; q++ {
+		for mask := 0; mask < 1<<numStates; mask++ {
+			for l := 0; l < numStates; l++ {
+				counts[l] = nfsm.Count((mask >> l) & 1)
+			}
+			for _, mv := range transition(nfsm.State(q), counts) {
+				e := DiagramEdge{From: nfsm.State(q), To: mv.Next, Emit: mv.Emit}
+				if !seen[e] {
+					seen[e] = true
+					edges = append(edges, e)
+				}
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	return edges
+}
+
+// DiagramString renders the derived diagram in a compact arrow notation.
+func DiagramString() string {
+	var b strings.Builder
+	for _, e := range TransitionDiagram() {
+		emit := "ε"
+		if e.Emit != nfsm.NoLetter {
+			emit = stateNames[e.Emit]
+		}
+		fmt.Fprintf(&b, "%s → %s (transmit %s)\n", stateNames[e.From], stateNames[e.To], emit)
+	}
+	return b.String()
+}

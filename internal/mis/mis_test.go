@@ -1,0 +1,348 @@
+package mis
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"stoneage/internal/engine"
+	"stoneage/internal/graph"
+	"stoneage/internal/nfsm"
+	"stoneage/internal/xrand"
+)
+
+func TestProtocolShape(t *testing.T) {
+	p := Protocol()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Audit(0); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumStates() != 7 || p.NumLetters() != 7 || p.B != 1 {
+		t.Fatalf("unexpected shape: |Q|=%d |Σ|=%d b=%d", p.NumStates(), p.NumLetters(), p.B)
+	}
+}
+
+func TestTransitionFigureOne(t *testing.T) {
+	counts := make([]nfsm.Count, 7)
+	zero := func() { counts = make([]nfsm.Count, 7) }
+
+	// DOWN1 with no DOWN2 neighbor → UP0, emitting UP0.
+	zero()
+	mv := transition(Down1, counts)
+	if len(mv) != 1 || mv[0].Next != Up0 || mv[0].Emit != nfsm.Letter(Up0) {
+		t.Fatalf("DOWN1 moves = %v", mv)
+	}
+	// DOWN1 delayed by DOWN2.
+	zero()
+	counts[Down2] = 1
+	mv = transition(Down1, counts)
+	if len(mv) != 1 || mv[0].Next != Down1 || mv[0].Emit != nfsm.NoLetter {
+		t.Fatalf("delayed DOWN1 moves = %v", mv)
+	}
+	// DOWN2 delayed by every UP state.
+	for _, u := range []nfsm.State{Up0, Up1, Up2} {
+		zero()
+		counts[u] = 1
+		mv = transition(Down2, counts)
+		if mv[0].Next != Down2 {
+			t.Fatalf("DOWN2 not delayed by %v", u)
+		}
+	}
+	// DOWN2 with a WIN neighbor → LOSE.
+	zero()
+	counts[Win] = 1
+	mv = transition(Down2, counts)
+	if len(mv) != 1 || mv[0].Next != Lose {
+		t.Fatalf("DOWN2+WIN moves = %v", mv)
+	}
+	// DOWN2 without a WIN neighbor → DOWN1 (next tournament).
+	zero()
+	mv = transition(Down2, counts)
+	if len(mv) != 1 || mv[0].Next != Down1 {
+		t.Fatalf("DOWN2 moves = %v", mv)
+	}
+	// UP_j delay structure: UP0 by UP2 and DOWN1, UP1 by UP0, UP2 by UP1.
+	delays := map[nfsm.State][]nfsm.State{
+		Up0: {Up2, Down1},
+		Up1: {Up0},
+		Up2: {Up1},
+	}
+	for q, ds := range delays {
+		for _, d := range ds {
+			zero()
+			counts[d] = 1
+			mv = transition(q, counts)
+			if len(mv) != 1 || mv[0].Next != q {
+				t.Fatalf("%v not delayed by %v: %v", q, d, mv)
+			}
+		}
+	}
+	// Free UP0: coin between UP1 (heads) and WIN (tails, no UP0/UP1 around).
+	zero()
+	mv = transition(Up0, counts)
+	if len(mv) != 2 || mv[0].Next != Up1 || mv[1].Next != Win {
+		t.Fatalf("UP0 free moves = %v", mv)
+	}
+	// UP0 with an UP1 neighbor: tails goes to DOWN2. (An UP1 neighbor
+	// does not delay UP0.)
+	zero()
+	counts[Up1] = 1
+	mv = transition(Up0, counts)
+	if len(mv) != 2 || mv[0].Next != Up1 || mv[1].Next != Down2 {
+		t.Fatalf("UP0 contended moves = %v", mv)
+	}
+	// WIN and LOSE are sinks.
+	for _, q := range []nfsm.State{Win, Lose} {
+		zero()
+		for l := range counts {
+			counts[l] = 1
+		}
+		mv = transition(q, counts)
+		if len(mv) != 1 || mv[0].Next != q || mv[0].Emit != nfsm.NoLetter {
+			t.Fatalf("sink %v moves = %v", q, mv)
+		}
+	}
+}
+
+func TestSolveSyncProducesValidMIS(t *testing.T) {
+	src := xrand.New(1)
+	workloads := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"single", graph.New(1)},
+		{"isolated", graph.New(20)},
+		{"pair", graph.Path(2)},
+		{"path", graph.Path(64)},
+		{"cycle", graph.Cycle(65)},
+		{"star", graph.Star(33)},
+		{"clique", graph.Clique(24)},
+		{"grid", graph.Grid(8, 9)},
+		{"gnp-sparse", graph.Gnp(100, 0.05, src)},
+		{"gnp-dense", graph.Gnp(80, 0.4, src)},
+		{"tree", graph.RandomTree(100, src)},
+		{"bipartite", graph.CompleteBipartite(10, 15)},
+		{"lattice", graph.ProneuralLattice(6, 6)},
+	}
+	for _, w := range workloads {
+		t.Run(w.name, func(t *testing.T) {
+			for seed := uint64(0); seed < 5; seed++ {
+				run, err := SolveSync(w.g, seed, 0)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if err := w.g.IsMaximalIndependentSet(run.InSet); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+		})
+	}
+}
+
+func TestIsolatedNodesAlwaysWin(t *testing.T) {
+	g := graph.New(10)
+	run, err := SolveSync(g, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, in := range run.InSet {
+		if !in {
+			t.Errorf("isolated node %d not in MIS", v)
+		}
+	}
+}
+
+func TestCliqueExactlyOneWinner(t *testing.T) {
+	g := graph.Clique(16)
+	for seed := uint64(0); seed < 10; seed++ {
+		run, err := SolveSync(g, seed, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		winners := 0
+		for _, in := range run.InSet {
+			if in {
+				winners++
+			}
+		}
+		if winners != 1 {
+			t.Fatalf("seed %d: clique has %d winners", seed, winners)
+		}
+	}
+}
+
+func TestExtractRejectsActiveStates(t *testing.T) {
+	if _, err := Extract([]nfsm.State{Win, Up1}); err == nil {
+		t.Fatal("Extract accepted an active state")
+	}
+}
+
+func TestRunTimeScalesPolylog(t *testing.T) {
+	// Theorem 4.5: O(log² n) rounds. The normalized rounds/log²n ratio
+	// must stay bounded as n grows; we allow generous slack but fail on
+	// anything resembling polynomial growth.
+	const trials = 3
+	ratioAt := func(n int) float64 {
+		total := 0.0
+		src := xrand.New(uint64(n))
+		for s := 0; s < trials; s++ {
+			g := graph.GnpConnected(n, 4.0/float64(n), src)
+			run, err := SolveSync(g, uint64(s), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += float64(run.Rounds)
+		}
+		l := math.Log2(float64(n))
+		return total / trials / (l * l)
+	}
+	small, large := ratioAt(64), ratioAt(1024)
+	if large > 4*small {
+		t.Fatalf("rounds/log²n grew from %.2f to %.2f: not polylog", small, large)
+	}
+}
+
+func TestTournamentEdgeDecay(t *testing.T) {
+	// Lemma 4.3: |E^{i+1}| ≤ c·|E^i| with constant probability; in
+	// aggregate the edge series must decay geometrically. We check the
+	// mean decay ratio is bounded away from 1.
+	src := xrand.New(7)
+	g := graph.Gnp(200, 0.1, src)
+	_, ts, err := SolveSyncInstrumented(g, 11, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts.Edges) == 0 || ts.Edges[0] != g.M() {
+		t.Fatalf("E^1 = %v, want %d", ts.Edges, g.M())
+	}
+	if ts.Nodes[0] != g.N() {
+		t.Fatalf("V^1 = %d, want %d", ts.Nodes[0], g.N())
+	}
+	ratios := ts.DecayRatios()
+	if len(ratios) == 0 {
+		t.Fatal("no decay ratios recorded")
+	}
+	sum := 0.0
+	for _, r := range ratios {
+		if r > 1 {
+			t.Fatalf("edge count increased across tournaments: %v", ts.Edges)
+		}
+		sum += r
+	}
+	if mean := sum / float64(len(ratios)); mean > 0.95 {
+		t.Fatalf("mean edge decay ratio %.3f too close to 1: %v", mean, ts.Edges)
+	}
+	// The series must be monotone non-increasing and reach zero.
+	if ts.Edges[len(ts.Edges)-1] != 0 && len(ratios) > 0 {
+		// Last tournament may still have edges if the final nodes won
+		// simultaneously; the node series must still shrink to a
+		// positive remainder.
+		t.Logf("final tournament still has %d edges", ts.Edges[len(ts.Edges)-1])
+	}
+}
+
+func TestInstrumentedMatchesPlainRun(t *testing.T) {
+	src := xrand.New(9)
+	g := graph.Gnp(60, 0.1, src)
+	plain, err := SolveSync(g, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, _, err := SolveSyncInstrumented(g, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Rounds != inst.Rounds {
+		t.Fatalf("instrumentation changed the execution: %d vs %d rounds", plain.Rounds, inst.Rounds)
+	}
+	for v := range plain.InSet {
+		if plain.InSet[v] != inst.InSet[v] {
+			t.Fatalf("instrumentation changed the output at node %d", v)
+		}
+	}
+}
+
+func TestSolveAsyncAllAdversaries(t *testing.T) {
+	src := xrand.New(13)
+	g := graph.Gnp(24, 0.15, src)
+	for name, adv := range engine.NamedAdversaries(17) {
+		t.Run(name, func(t *testing.T) {
+			run, err := SolveAsync(g, 3, adv, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := g.IsMaximalIndependentSet(run.InSet); err != nil {
+				t.Fatal(err)
+			}
+			if run.TimeUnits <= 0 {
+				t.Error("non-positive run time")
+			}
+		})
+	}
+}
+
+func TestSolveAsyncManySeeds(t *testing.T) {
+	g := graph.Cycle(12)
+	for seed := uint64(0); seed < 8; seed++ {
+		run, err := SolveAsync(g, seed, engine.UniformRandom{Seed: seed + 100}, 0)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := g.IsMaximalIndependentSet(run.InSet); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestTransitionDiagramMatchesFigureOne is the machine-checked
+// regeneration of Figure 1: the arrow set derived by exhaustively
+// enumerating the implemented δ must be exactly the arrow set of the
+// paper's figure (self-loops are the delaying/sink stays; every
+// non-loop arrow transmits its target's letter).
+func TestTransitionDiagramMatchesFigureOne(t *testing.T) {
+	type arrow struct{ from, to nfsm.State }
+	want := map[arrow]bool{
+		// Delaying self-loops (silent).
+		{Down1, Down1}: true, {Down2, Down2}: true,
+		{Up0, Up0}: true, {Up1, Up1}: true, {Up2, Up2}: true,
+		// Output sinks (silent self-loops).
+		{Win, Win}: true, {Lose, Lose}: true,
+		// DOWN1 → UP0.
+		{Down1, Up0}: true,
+		// DOWN2 → DOWN1 (no WIN neighbor) and DOWN2 → LOSE (WIN neighbor).
+		{Down2, Down1}: true, {Down2, Lose}: true,
+		// UP_j → UP_{j+1 mod 3} (heads), → WIN or → DOWN2 (tails).
+		{Up0, Up1}: true, {Up0, Win}: true, {Up0, Down2}: true,
+		{Up1, Up2}: true, {Up1, Win}: true, {Up1, Down2}: true,
+		{Up2, Up0}: true, {Up2, Win}: true, {Up2, Down2}: true,
+	}
+	edges := TransitionDiagram()
+	got := map[arrow]bool{}
+	for _, e := range edges {
+		a := arrow{e.From, e.To}
+		got[a] = true
+		// Figure 1's transmission rule: self-loops are silent, every
+		// state change transmits the target's letter.
+		if e.From == e.To && e.Emit != nfsm.NoLetter {
+			t.Errorf("self-loop at %v transmits", e.From)
+		}
+		if e.From != e.To && e.Emit != nfsm.Letter(e.To) {
+			t.Errorf("arrow %v→%v transmits %v, want the target letter", e.From, e.To, e.Emit)
+		}
+	}
+	for a := range want {
+		if !got[a] {
+			t.Errorf("figure arrow %v→%v missing from the implementation", a.from, a.to)
+		}
+	}
+	for a := range got {
+		if !want[a] {
+			t.Errorf("implementation has arrow %v→%v not present in Figure 1", a.from, a.to)
+		}
+	}
+	if s := DiagramString(); !strings.Contains(s, "DOWN1 → UP0 (transmit UP0)") {
+		t.Errorf("DiagramString missing expected arrow:\n%s", s)
+	}
+}

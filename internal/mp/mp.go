@@ -1,0 +1,109 @@
+// Package mp is the classical synchronous message-passing substrate (the
+// LOCAL model of Linial and Peleg): in every round each node may send a
+// distinct, arbitrarily large message to each neighbor and perform
+// arbitrary local computation. It is the "gold standard" model the paper
+// contrasts the nFSM model against — per-neighbor messages, unbounded
+// local state and unbounded message size are exactly the capabilities
+// requirement (M4) forbids. The baselines of package baseline run here.
+package mp
+
+import (
+	"fmt"
+
+	"stoneage/internal/graph"
+	"stoneage/internal/xrand"
+)
+
+// Node is one process of a message-passing algorithm. Implementations
+// hold arbitrary local state.
+type Node interface {
+	// Init is called once before round 1 with the node's identifier, its
+	// degree, and a private random stream.
+	Init(id, degree int, src *xrand.Source)
+	// Round executes one synchronous round. inbox[i] is the message the
+	// i-th neighbor sent in the previous round (nil if none); the
+	// returned outbox assigns a message per port (nil entries send
+	// nothing; a nil outbox sends nothing at all). done reports that the
+	// node has terminated with an output — a done node stops sending and
+	// its Round is no longer called.
+	Round(round int, inbox []any) (outbox []any, done bool)
+}
+
+// Run executes the algorithm given by the node factory on g until every
+// node is done. It returns the number of rounds used and the final node
+// objects (callers extract outputs by type assertion). maxRounds of zero
+// selects 1<<20.
+func Run(g *graph.Graph, newNode func() Node, seed uint64, maxRounds int) (int, []Node, error) {
+	n := g.N()
+	if maxRounds <= 0 {
+		maxRounds = 1 << 20
+	}
+	nodes := make([]Node, n)
+	for v := 0; v < n; v++ {
+		nodes[v] = newNode()
+		nodes[v].Init(v, g.Degree(v), xrand.NewStream(seed, 0x6d70, uint64(v)))
+	}
+
+	// revPort[v][i] is the port index of v at its i-th neighbor.
+	revPort := make([][]int, n)
+	for v := 0; v < n; v++ {
+		nb := g.Neighbors(v)
+		revPort[v] = make([]int, len(nb))
+		for i, u := range nb {
+			revPort[v][i] = g.PortOf(u, v)
+		}
+	}
+
+	inboxes := make([][]any, n)
+	nextInboxes := make([][]any, n)
+	for v := 0; v < n; v++ {
+		inboxes[v] = make([]any, g.Degree(v))
+		nextInboxes[v] = make([]any, g.Degree(v))
+	}
+	done := make([]bool, n)
+	remaining := n
+
+	for round := 1; round <= maxRounds; round++ {
+		for v := range nextInboxes {
+			for i := range nextInboxes[v] {
+				nextInboxes[v][i] = nil
+			}
+		}
+		for v := 0; v < n; v++ {
+			if done[v] {
+				continue
+			}
+			outbox, fin := nodes[v].Round(round, inboxes[v])
+			if outbox != nil {
+				if len(outbox) != g.Degree(v) {
+					return 0, nil, fmt.Errorf("mp: node %d returned outbox of length %d, degree is %d",
+						v, len(outbox), g.Degree(v))
+				}
+				for i, msg := range outbox {
+					if msg != nil {
+						nextInboxes[g.Neighbors(v)[i]][revPort[v][i]] = msg
+					}
+				}
+			}
+			if fin {
+				done[v] = true
+				remaining--
+			}
+		}
+		inboxes, nextInboxes = nextInboxes, inboxes
+		if remaining == 0 {
+			return round, nodes, nil
+		}
+	}
+	return 0, nil, fmt.Errorf("mp: %d nodes still running after %d rounds", remaining, maxRounds)
+}
+
+// Broadcast is a convenience for algorithms that send the same message on
+// every port (the CONGEST-BC discipline).
+func Broadcast(deg int, msg any) []any {
+	out := make([]any, deg)
+	for i := range out {
+		out[i] = msg
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package mp
+
+import (
+	"testing"
+
+	"stoneage/internal/graph"
+	"stoneage/internal/xrand"
+)
+
+// echoNode broadcasts its id in round 1, records the ids heard in round
+// 2 and terminates.
+type echoNode struct {
+	id    int
+	deg   int
+	heard []int
+}
+
+func (e *echoNode) Init(id, degree int, src *xrand.Source) { e.id, e.deg = id, degree }
+
+func (e *echoNode) Round(round int, inbox []any) ([]any, bool) {
+	if round == 1 {
+		return Broadcast(e.deg, e.id), false
+	}
+	for _, m := range inbox {
+		if id, ok := m.(int); ok {
+			e.heard = append(e.heard, id)
+		}
+	}
+	return nil, true
+}
+
+func TestRunDeliversPerPort(t *testing.T) {
+	g := graph.Star(5)
+	rounds, nodes, err := Run(g, func() Node { return &echoNode{} }, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 2 {
+		t.Fatalf("rounds = %d, want 2", rounds)
+	}
+	center := nodes[0].(*echoNode)
+	if len(center.heard) != 4 {
+		t.Fatalf("center heard %v", center.heard)
+	}
+	leaf := nodes[1].(*echoNode)
+	if len(leaf.heard) != 1 || leaf.heard[0] != 0 {
+		t.Fatalf("leaf heard %v", leaf.heard)
+	}
+}
+
+// directedNode sends a distinct message per port — the capability that
+// distinguishes LOCAL from the nFSM model.
+type directedNode struct {
+	deg  int
+	got  []any
+	done bool
+}
+
+func (d *directedNode) Init(id, degree int, src *xrand.Source) { d.deg = degree }
+
+func (d *directedNode) Round(round int, inbox []any) ([]any, bool) {
+	if round == 1 {
+		out := make([]any, d.deg)
+		for i := range out {
+			out[i] = i * 100 // per-port payload
+		}
+		return out, false
+	}
+	d.got = append([]any(nil), inbox...)
+	return nil, true
+}
+
+func TestRunPerNeighborMessages(t *testing.T) {
+	g := graph.Path(3)
+	_, nodes, err := Run(g, func() Node { return &directedNode{} }, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Middle node 1 has ports {0:node0, 1:node2}. Node 0 sent payload 0
+	// on its only port (toward 1); node 2 likewise.
+	mid := nodes[1].(*directedNode)
+	if mid.got[0] != 0 || mid.got[1] != 0 {
+		t.Fatalf("middle inbox = %v", mid.got)
+	}
+	// Node 0 receives node 1's port-0 payload (0); node 2 receives node
+	// 1's port-1 payload (100).
+	if nodes[0].(*directedNode).got[0] != 0 {
+		t.Fatalf("node0 inbox = %v", nodes[0].(*directedNode).got)
+	}
+	if nodes[2].(*directedNode).got[0] != 100 {
+		t.Fatalf("node2 inbox = %v", nodes[2].(*directedNode).got)
+	}
+}
+
+type badOutboxNode struct{ deg int }
+
+func (b *badOutboxNode) Init(id, degree int, src *xrand.Source) { b.deg = degree }
+func (b *badOutboxNode) Round(round int, inbox []any) ([]any, bool) {
+	return make([]any, b.deg+1), false
+}
+
+func TestRunRejectsWrongOutboxLength(t *testing.T) {
+	if _, _, err := Run(graph.Path(2), func() Node { return &badOutboxNode{} }, 1, 0); err == nil {
+		t.Fatal("oversized outbox accepted")
+	}
+}
+
+type spinNode struct{}
+
+func (spinNode) Init(int, int, *xrand.Source) {}
+func (spinNode) Round(int, []any) ([]any, bool) {
+	return nil, false
+}
+
+func TestRunRoundBudget(t *testing.T) {
+	if _, _, err := Run(graph.Path(2), func() Node { return spinNode{} }, 1, 10); err == nil {
+		t.Fatal("non-terminating algorithm did not error")
+	}
+}
+
+func TestRunSeedsDistinctStreams(t *testing.T) {
+	g := graph.New(2)
+	vals := map[uint64]bool{}
+	_, _, err := Run(g, func() Node { return &coinNode{vals: vals} }, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 2 {
+		t.Fatalf("nodes shared a random stream: %v", vals)
+	}
+}
+
+type coinNode struct{ vals map[uint64]bool }
+
+func (c *coinNode) Init(id, degree int, src *xrand.Source) { c.vals[src.Uint64()] = true }
+func (c *coinNode) Round(int, []any) ([]any, bool)         { return nil, true }

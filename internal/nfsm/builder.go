@@ -1,0 +1,172 @@
+package nfsm
+
+import "fmt"
+
+// Builder constructs literal single-letter-query Protocols incrementally,
+// with named states and letters and per-count transitions, so protocol
+// tables read as specifications instead of nested slice literals.
+//
+//	b := nfsm.NewBuilder("wave", 1)
+//	ping := b.Letter("ping")
+//	quiet := b.Letter("quiet")
+//	idle, source, done := b.State("idle"), b.State("source"), b.State("done")
+//	b.SetInput(idle, source)
+//	b.SetOutput(done)
+//	b.SetInitial(quiet)
+//	b.Query(idle, ping)
+//	b.Stay(idle, 0)
+//	b.Move(idle, 1, done, ping)
+//	b.Query(source, ping)
+//	b.MoveAll(source, done, ping)
+//	b.Query(done, ping)
+//	b.StayAll(done)
+//	p, err := b.Build()
+//
+// Calling Move several times for the same (state, count) accumulates
+// alternatives the executing node chooses among uniformly at random.
+type Builder struct {
+	name     string
+	bound    int
+	states   []string
+	letters  []string
+	input    []State
+	output   map[State]bool
+	initial  Letter
+	hasInit  bool
+	query    map[State]Letter
+	delta    map[State][][]Move
+	buildErr error
+}
+
+// NewBuilder starts a protocol named name with bounding parameter bound.
+func NewBuilder(name string, bound int) *Builder {
+	return &Builder{
+		name:   name,
+		bound:  bound,
+		output: make(map[State]bool),
+		query:  make(map[State]Letter),
+		delta:  make(map[State][][]Move),
+	}
+}
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.buildErr == nil {
+		b.buildErr = fmt.Errorf("nfsm builder(%s): %s", b.name, fmt.Sprintf(format, args...))
+	}
+}
+
+// State registers a new named state and returns its identifier.
+func (b *Builder) State(name string) State {
+	b.states = append(b.states, name)
+	return State(len(b.states) - 1)
+}
+
+// Letter registers a new named letter and returns its identifier.
+func (b *Builder) Letter(name string) Letter {
+	b.letters = append(b.letters, name)
+	return Letter(len(b.letters) - 1)
+}
+
+// SetInput declares Q_I; the first state is the default initial state.
+func (b *Builder) SetInput(states ...State) { b.input = states }
+
+// SetOutput declares the given states as members of Q_O.
+func (b *Builder) SetOutput(states ...State) {
+	for _, q := range states {
+		b.output[q] = true
+	}
+}
+
+// SetInitial declares σ₀.
+func (b *Builder) SetInitial(l Letter) {
+	b.initial = l
+	b.hasInit = true
+}
+
+// Query assigns λ(q) = l.
+func (b *Builder) Query(q State, l Letter) {
+	if _, dup := b.query[q]; dup {
+		b.fail("state %d has two query letters", q)
+		return
+	}
+	b.query[q] = l
+}
+
+// Move adds the option (next, emit) to δ(q, count); count ranges over
+// 0..bound, with bound meaning "≥bound". Use NoLetter for ε.
+func (b *Builder) Move(q State, count int, next State, emit Letter) {
+	if count < 0 || count > b.bound {
+		b.fail("count %d outside [0,%d] at state %d", count, b.bound, q)
+		return
+	}
+	rows := b.delta[q]
+	if rows == nil {
+		rows = make([][]Move, b.bound+1)
+		b.delta[q] = rows
+	}
+	rows[count] = append(rows[count], Move{Next: next, Emit: emit})
+}
+
+// MoveAll adds the option (next, emit) to δ(q, c) for every count c.
+func (b *Builder) MoveAll(q State, next State, emit Letter) {
+	for c := 0; c <= b.bound; c++ {
+		b.Move(q, c, next, emit)
+	}
+}
+
+// Stay makes the node remain in q silently for the given counts.
+func (b *Builder) Stay(q State, counts ...int) {
+	for _, c := range counts {
+		b.Move(q, c, q, NoLetter)
+	}
+}
+
+// StayAll makes q a silent fixpoint for every count (sinks, delays).
+func (b *Builder) StayAll(q State) { b.MoveAll(q, q, NoLetter) }
+
+// Build assembles and validates the protocol.
+func (b *Builder) Build() (*Protocol, error) {
+	if b.buildErr != nil {
+		return nil, b.buildErr
+	}
+	if !b.hasInit {
+		return nil, fmt.Errorf("nfsm builder(%s): initial letter not set", b.name)
+	}
+	p := &Protocol{
+		Name:        b.name,
+		StateNames:  b.states,
+		LetterNames: b.letters,
+		Input:       b.input,
+		Output:      make([]bool, len(b.states)),
+		Initial:     b.initial,
+		B:           b.bound,
+		Query:       make([]Letter, len(b.states)),
+		Delta:       make([][][]Move, len(b.states)),
+	}
+	for q := range b.states {
+		if b.output[State(q)] {
+			p.Output[q] = true
+		}
+		ql, ok := b.query[State(q)]
+		if !ok {
+			return nil, fmt.Errorf("nfsm builder(%s): state %q has no query letter", b.name, b.states[q])
+		}
+		p.Query[q] = ql
+		rows := b.delta[State(q)]
+		if rows == nil {
+			return nil, fmt.Errorf("nfsm builder(%s): state %q has no transitions", b.name, b.states[q])
+		}
+		for c, moves := range rows {
+			if len(moves) == 0 {
+				return nil, fmt.Errorf("nfsm builder(%s): state %q has no move for count %d",
+					b.name, b.states[q], c)
+			}
+			_ = c
+		}
+		p.Delta[q] = rows
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

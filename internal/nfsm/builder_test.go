@@ -1,0 +1,148 @@
+package nfsm
+
+import "testing"
+
+// buildWave assembles the broadcast-wave protocol through the builder.
+func buildWave(t *testing.T) *Protocol {
+	t.Helper()
+	b := NewBuilder("wave", 1)
+	ping := b.Letter("ping")
+	quiet := b.Letter("quiet")
+	idle, source, done := b.State("idle"), b.State("source"), b.State("done")
+	b.SetInput(idle, source)
+	b.SetOutput(done)
+	b.SetInitial(quiet)
+	b.Query(idle, ping)
+	b.Stay(idle, 0)
+	b.Move(idle, 1, done, ping)
+	b.Query(source, ping)
+	b.MoveAll(source, done, ping)
+	b.Query(done, ping)
+	b.StayAll(done)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestBuilderBuildsValidProtocol(t *testing.T) {
+	p := buildWave(t)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumStates() != 3 || p.NumLetters() != 2 || p.B != 1 {
+		t.Fatalf("shape: |Q|=%d |Σ|=%d b=%d", p.NumStates(), p.NumLetters(), p.B)
+	}
+	// Structural equivalence with the handwritten table: idle at count 1
+	// moves to done emitting ping.
+	moves := p.Moves(0, []Count{1, 0})
+	if len(moves) != 1 || moves[0].Next != 2 || moves[0].Emit != 0 {
+		t.Fatalf("idle moves = %v", moves)
+	}
+	moves = p.Moves(0, []Count{0, 0})
+	if len(moves) != 1 || moves[0].Next != 0 || moves[0].Emit != NoLetter {
+		t.Fatalf("idle stay moves = %v", moves)
+	}
+}
+
+func TestBuilderRandomizedAlternatives(t *testing.T) {
+	b := NewBuilder("coin", 1)
+	x := b.Letter("x")
+	flip, heads, tails := b.State("flip"), b.State("heads"), b.State("tails")
+	b.SetInput(flip)
+	b.SetOutput(heads, tails)
+	b.SetInitial(x)
+	b.Query(flip, x)
+	b.MoveAll(flip, heads, NoLetter)
+	b.MoveAll(flip, tails, NoLetter)
+	b.Query(heads, x)
+	b.StayAll(heads)
+	b.Query(tails, x)
+	b.StayAll(tails)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.Moves(flip, []Count{0})); got != 2 {
+		t.Fatalf("flip has %d alternatives, want 2", got)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	t.Run("missing initial", func(t *testing.T) {
+		b := NewBuilder("x", 1)
+		l := b.Letter("l")
+		q := b.State("q")
+		b.SetInput(q)
+		b.Query(q, l)
+		b.StayAll(q)
+		if _, err := b.Build(); err == nil {
+			t.Fatal("missing initial accepted")
+		}
+	})
+	t.Run("missing query", func(t *testing.T) {
+		b := NewBuilder("x", 1)
+		l := b.Letter("l")
+		q := b.State("q")
+		b.SetInput(q)
+		b.SetInitial(l)
+		b.StayAll(q)
+		if _, err := b.Build(); err == nil {
+			t.Fatal("missing query accepted")
+		}
+	})
+	t.Run("missing transitions", func(t *testing.T) {
+		b := NewBuilder("x", 1)
+		l := b.Letter("l")
+		q := b.State("q")
+		b.SetInput(q)
+		b.SetInitial(l)
+		b.Query(q, l)
+		if _, err := b.Build(); err == nil {
+			t.Fatal("missing transitions accepted")
+		}
+	})
+	t.Run("partial counts", func(t *testing.T) {
+		b := NewBuilder("x", 2)
+		l := b.Letter("l")
+		q := b.State("q")
+		b.SetInput(q)
+		b.SetInitial(l)
+		b.Query(q, l)
+		b.Stay(q, 0) // counts 1 and 2 missing
+		if _, err := b.Build(); err == nil {
+			t.Fatal("partial δ accepted")
+		}
+	})
+	t.Run("count out of range", func(t *testing.T) {
+		b := NewBuilder("x", 1)
+		l := b.Letter("l")
+		q := b.State("q")
+		b.Move(q, 5, q, l)
+		if _, err := b.Build(); err == nil {
+			t.Fatal("out-of-range count accepted")
+		}
+	})
+	t.Run("duplicate query", func(t *testing.T) {
+		b := NewBuilder("x", 1)
+		l := b.Letter("l")
+		q := b.State("q")
+		b.Query(q, l)
+		b.Query(q, l)
+		if _, err := b.Build(); err == nil {
+			t.Fatal("duplicate query accepted")
+		}
+	})
+	t.Run("no input", func(t *testing.T) {
+		b := NewBuilder("x", 1)
+		l := b.Letter("l")
+		q := b.State("q")
+		b.SetInitial(l)
+		b.Query(q, l)
+		b.StayAll(q)
+		if _, err := b.Build(); err == nil {
+			t.Fatal("missing input set accepted")
+		}
+	})
+}

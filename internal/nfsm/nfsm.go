@@ -1,0 +1,356 @@
+// Package nfsm defines the paper's computational model: the networked
+// finite state machine (nFSM) protocol of Section 2, and the multi-letter
+// "round protocol" authoring layer that Theorems 3.1 and 3.4 justify.
+//
+// A Protocol is the literal 8-tuple Π = ⟨Q, Q_I, Q_O, Σ, σ₀, b, λ, δ⟩:
+// finite states, input and output state subsets, a finite communication
+// alphabet, an initial letter, the one-two-many bounding parameter b, a
+// query-letter assignment λ and a randomized transition function δ. Every
+// component is of constant size independent of the network — the package
+// validates this is at least structurally respected (no component may
+// depend on a node's degree because the types cannot express it).
+//
+// A RoundProtocol is the convenient layer the paper's Sections 4 and 5 are
+// written in: it assumes a locally synchronous environment and
+// multiple-letter queries (the transition observes the full vector
+// ⟨f_b(#σ)⟩ over σ ∈ Σ). Package synchro compiles a RoundProtocol down to
+// an asynchronous single-letter Protocol exactly as Theorems 3.1/3.4
+// prescribe.
+package nfsm
+
+import (
+	"fmt"
+
+	"stoneage/internal/xrand"
+)
+
+// State indexes the protocol's state set Q.
+type State int
+
+// Letter indexes the protocol's communication alphabet Σ.
+type Letter int
+
+// NoLetter is the empty transmission ε: the node sends nothing and the
+// neighbors' ports are unaffected.
+const NoLetter Letter = -1
+
+// Count is a port-count observation already clamped by f_b: values
+// 0..b-1 are exact, the value b encodes the symbol "≥b".
+type Count int
+
+// ClampCount applies the paper's one-two-many function f_b.
+func ClampCount(x, b int) Count {
+	if x >= b {
+		return Count(b)
+	}
+	return Count(x)
+}
+
+// Move is one entry of the set returned by the transition function δ: the
+// next state and the letter transmitted (NoLetter for ε). When δ returns
+// several moves, the engine picks one uniformly at random.
+type Move struct {
+	Next State
+	Emit Letter
+}
+
+// Machine is the common execution interface implemented by Protocol and
+// RoundProtocol. The engines drive any Machine.
+//
+// Moves must be a pure function of its arguments and must return at least
+// one move for every reachable (state, counts) pair; the slice ordering
+// must be deterministic because the engines derive the uniform choice from
+// a deterministic coin (this is what makes cross-engine comparison of
+// Lemma 6.1 possible).
+type Machine interface {
+	// NumStates returns |Q|.
+	NumStates() int
+	// NumLetters returns |Σ|.
+	NumLetters() int
+	// InitialLetter returns σ₀, the letter pre-loaded in every port.
+	InitialLetter() Letter
+	// Bound returns the one-two-many parameter b ≥ 1.
+	Bound() int
+	// IsOutput reports whether q ∈ Q_O.
+	IsOutput(q State) bool
+	// InputState returns the default initial state (the single input
+	// state for problems without per-node input).
+	InputState() State
+	// Moves returns δ applied to state q and the clamped count vector
+	// (indexed by Letter). Implementations restricted to single-letter
+	// queries read only one entry.
+	Moves(q State, counts []Count) []Move
+}
+
+// SingleQuery is implemented by machines that query exactly one letter per
+// state (the literal model of Section 2). Engines use it to avoid counting
+// letters the machine cannot observe.
+type SingleQuery interface {
+	// QueryLetter returns λ(q).
+	QueryLetter(q State) Letter
+}
+
+// Protocol is the literal nFSM 8-tuple with single-letter queries. Delta
+// is indexed as Delta[q][c] where c ∈ {0..b} is the clamped count of the
+// query letter Query[q]; each entry is the non-empty set of moves.
+type Protocol struct {
+	// Name identifies the protocol in traces and error messages.
+	Name string
+	// StateNames gives |Q| human-readable state names.
+	StateNames []string
+	// LetterNames gives |Σ| human-readable letter names.
+	LetterNames []string
+	// Input is Q_I. Input[0] is the default initial state.
+	Input []State
+	// Output is Q_O as a membership mask of length |Q|.
+	Output []bool
+	// Initial is σ₀.
+	Initial Letter
+	// B is the bounding parameter b ≥ 1.
+	B int
+	// Query is λ: the letter queried in each state.
+	Query []Letter
+	// Delta is δ: Delta[q][c] lists the moves available when residing in
+	// state q and observing clamped count c of letter Query[q].
+	Delta [][][]Move
+}
+
+var _ Machine = (*Protocol)(nil)
+var _ SingleQuery = (*Protocol)(nil)
+
+// NumStates implements Machine.
+func (p *Protocol) NumStates() int { return len(p.StateNames) }
+
+// NumLetters implements Machine.
+func (p *Protocol) NumLetters() int { return len(p.LetterNames) }
+
+// InitialLetter implements Machine.
+func (p *Protocol) InitialLetter() Letter { return p.Initial }
+
+// Bound implements Machine.
+func (p *Protocol) Bound() int { return p.B }
+
+// IsOutput implements Machine.
+func (p *Protocol) IsOutput(q State) bool { return p.Output[q] }
+
+// InputState implements Machine.
+func (p *Protocol) InputState() State { return p.Input[0] }
+
+// QueryLetter implements SingleQuery.
+func (p *Protocol) QueryLetter(q State) Letter { return p.Query[q] }
+
+// Moves implements Machine.
+func (p *Protocol) Moves(q State, counts []Count) []Move {
+	return p.Delta[q][counts[p.Query[q]]]
+}
+
+// Validate checks the protocol's structural well-formedness: every index
+// in range, δ total over Q × {0..b}, non-empty input set, at least one
+// output state reachable structurally. It enumerates the full finite
+// domain, which is possible precisely because requirement (M4) bounds all
+// components by constants.
+func (p *Protocol) Validate() error {
+	nq, nl := p.NumStates(), p.NumLetters()
+	if nq == 0 {
+		return fmt.Errorf("nfsm(%s): empty state set", p.Name)
+	}
+	if nl == 0 {
+		return fmt.Errorf("nfsm(%s): empty alphabet", p.Name)
+	}
+	if p.B < 1 {
+		return fmt.Errorf("nfsm(%s): bounding parameter b = %d < 1", p.Name, p.B)
+	}
+	if p.Initial < 0 || int(p.Initial) >= nl {
+		return fmt.Errorf("nfsm(%s): initial letter %d out of range", p.Name, p.Initial)
+	}
+	if len(p.Input) == 0 {
+		return fmt.Errorf("nfsm(%s): empty input state set", p.Name)
+	}
+	for _, q := range p.Input {
+		if q < 0 || int(q) >= nq {
+			return fmt.Errorf("nfsm(%s): input state %d out of range", p.Name, q)
+		}
+	}
+	if len(p.Output) != nq {
+		return fmt.Errorf("nfsm(%s): output mask length %d != |Q| %d", p.Name, len(p.Output), nq)
+	}
+	if len(p.Query) != nq {
+		return fmt.Errorf("nfsm(%s): query assignment length %d != |Q| %d", p.Name, len(p.Query), nq)
+	}
+	for q, l := range p.Query {
+		if l < 0 || int(l) >= nl {
+			return fmt.Errorf("nfsm(%s): query letter of state %d out of range", p.Name, q)
+		}
+	}
+	if len(p.Delta) != nq {
+		return fmt.Errorf("nfsm(%s): delta has %d state rows, want %d", p.Name, len(p.Delta), nq)
+	}
+	for q := range p.Delta {
+		if len(p.Delta[q]) != p.B+1 {
+			return fmt.Errorf("nfsm(%s): delta[%d] has %d count rows, want b+1 = %d",
+				p.Name, q, len(p.Delta[q]), p.B+1)
+		}
+		for c, moves := range p.Delta[q] {
+			if len(moves) == 0 {
+				return fmt.Errorf("nfsm(%s): delta[%d][%d] is empty (δ must be total)", p.Name, q, c)
+			}
+			for _, mv := range moves {
+				if err := checkMove(mv, nq, nl); err != nil {
+					return fmt.Errorf("nfsm(%s): delta[%d][%d]: %w", p.Name, q, c, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func checkMove(mv Move, nq, nl int) error {
+	if mv.Next < 0 || int(mv.Next) >= nq {
+		return fmt.Errorf("move target state %d out of range", mv.Next)
+	}
+	if mv.Emit != NoLetter && (mv.Emit < 0 || int(mv.Emit) >= nl) {
+		return fmt.Errorf("move emission %d out of range", mv.Emit)
+	}
+	return nil
+}
+
+// RoundProtocol is the multi-letter-query, locally-synchronous authoring
+// layer of Sections 4 and 5. Its transition observes the full clamped
+// count vector. The state set, alphabet and bound remain constant-size;
+// the compilers in package synchro turn it into a literal Protocol.
+type RoundProtocol struct {
+	// Name identifies the protocol.
+	Name string
+	// StateNames gives |Q| state names.
+	StateNames []string
+	// LetterNames gives |Σ| letter names.
+	LetterNames []string
+	// Input is Q_I; Input[0] is the default initial state.
+	Input []State
+	// Output is Q_O as a membership mask of length |Q|.
+	Output []bool
+	// Initial is σ₀.
+	Initial Letter
+	// B is the bounding parameter.
+	B int
+	// Transition is the multi-letter δ: it receives the full clamped
+	// count vector indexed by Letter and returns the non-empty move set.
+	Transition func(q State, counts []Count) []Move
+}
+
+var _ Machine = (*RoundProtocol)(nil)
+
+// NumStates implements Machine.
+func (p *RoundProtocol) NumStates() int { return len(p.StateNames) }
+
+// NumLetters implements Machine.
+func (p *RoundProtocol) NumLetters() int { return len(p.LetterNames) }
+
+// InitialLetter implements Machine.
+func (p *RoundProtocol) InitialLetter() Letter { return p.Initial }
+
+// Bound implements Machine.
+func (p *RoundProtocol) Bound() int { return p.B }
+
+// IsOutput implements Machine.
+func (p *RoundProtocol) IsOutput(q State) bool { return p.Output[q] }
+
+// InputState implements Machine.
+func (p *RoundProtocol) InputState() State { return p.Input[0] }
+
+// Moves implements Machine.
+func (p *RoundProtocol) Moves(q State, counts []Count) []Move {
+	return p.Transition(q, counts)
+}
+
+// Validate checks the statically checkable parts of the round protocol
+// (the transition function itself is exercised by Audit).
+func (p *RoundProtocol) Validate() error {
+	nq, nl := p.NumStates(), p.NumLetters()
+	if nq == 0 || nl == 0 {
+		return fmt.Errorf("nfsm(%s): empty state set or alphabet", p.Name)
+	}
+	if p.B < 1 {
+		return fmt.Errorf("nfsm(%s): bounding parameter b = %d < 1", p.Name, p.B)
+	}
+	if p.Initial < 0 || int(p.Initial) >= nl {
+		return fmt.Errorf("nfsm(%s): initial letter %d out of range", p.Name, p.Initial)
+	}
+	if len(p.Input) == 0 {
+		return fmt.Errorf("nfsm(%s): empty input state set", p.Name)
+	}
+	for _, q := range p.Input {
+		if q < 0 || int(q) >= nq {
+			return fmt.Errorf("nfsm(%s): input state %d out of range", p.Name, q)
+		}
+	}
+	if len(p.Output) != nq {
+		return fmt.Errorf("nfsm(%s): output mask length %d != |Q|", p.Name, len(p.Output))
+	}
+	if p.Transition == nil {
+		return fmt.Errorf("nfsm(%s): nil transition", p.Name)
+	}
+	return nil
+}
+
+// Audit exhaustively enumerates all (state, count-vector) pairs and checks
+// that the transition is total and returns only in-range moves. The domain
+// has |Q|·(b+1)^|Σ| entries, constant per requirement (M4); Audit refuses
+// alphabets for which the enumeration would exceed limit entries (pass 0
+// for the default of ~2 million).
+func (p *RoundProtocol) Audit(limit int) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if limit <= 0 {
+		limit = 2_000_000
+	}
+	nq, nl := p.NumStates(), p.NumLetters()
+	domain := nq
+	for i := 0; i < nl; i++ {
+		domain *= p.B + 1
+		if domain > limit {
+			return fmt.Errorf("nfsm(%s): audit domain exceeds %d entries; use targeted tests", p.Name, limit)
+		}
+	}
+	counts := make([]Count, nl)
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == nl {
+			for q := 0; q < nq; q++ {
+				moves := p.Transition(State(q), counts)
+				if len(moves) == 0 {
+					return fmt.Errorf("nfsm(%s): transition empty at state %d counts %v", p.Name, q, counts)
+				}
+				for _, mv := range moves {
+					if err := checkMove(mv, nq, nl); err != nil {
+						return fmt.Errorf("nfsm(%s): state %d counts %v: %w", p.Name, q, counts, err)
+					}
+				}
+			}
+			return nil
+		}
+		for c := 0; c <= p.B; c++ {
+			counts[i] = Count(c)
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return rec(0)
+}
+
+// PickMove selects one move uniformly at random from moves using the
+// deterministic coin keyed by (seed, node, step). Every engine in this
+// repository routes its randomness through PickMove so that executions of
+// the same protocol on the same graph with the same seed make identical
+// choices regardless of which engine runs them (the Lemma 6.1 cross-check
+// depends on this).
+func PickMove(seed uint64, node, step int, moves []Move) Move {
+	if len(moves) == 1 {
+		return moves[0]
+	}
+	c := xrand.Coin(seed, node, step, 0)
+	return moves[c%uint64(len(moves))]
+}

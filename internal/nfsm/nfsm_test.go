@@ -1,0 +1,227 @@
+package nfsm
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// toyProtocol returns a minimal valid two-state single-letter protocol:
+// state 0 moves to state 1 (output) emitting letter 0 whenever it sees at
+// least one occurrence of letter 0.
+func toyProtocol() *Protocol {
+	return &Protocol{
+		Name:        "toy",
+		StateNames:  []string{"start", "done"},
+		LetterNames: []string{"ping"},
+		Input:       []State{0},
+		Output:      []bool{false, true},
+		Initial:     0,
+		B:           1,
+		Query:       []Letter{0, 0},
+		Delta: [][][]Move{
+			{ // state 0
+				{{Next: 0, Emit: NoLetter}}, // count 0: wait
+				{{Next: 1, Emit: 0}},        // count ≥1: finish
+			},
+			{ // state 1 (sink)
+				{{Next: 1, Emit: NoLetter}},
+				{{Next: 1, Emit: NoLetter}},
+			},
+		},
+	}
+}
+
+func TestProtocolValidateOK(t *testing.T) {
+	if err := toyProtocol().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProtocolValidateRejects(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(p *Protocol)
+	}{
+		{"empty states", func(p *Protocol) { p.StateNames = nil }},
+		{"empty alphabet", func(p *Protocol) { p.LetterNames = nil }},
+		{"bad bound", func(p *Protocol) { p.B = 0 }},
+		{"bad initial", func(p *Protocol) { p.Initial = 5 }},
+		{"no input", func(p *Protocol) { p.Input = nil }},
+		{"input out of range", func(p *Protocol) { p.Input = []State{9} }},
+		{"output mask length", func(p *Protocol) { p.Output = []bool{true} }},
+		{"query length", func(p *Protocol) { p.Query = []Letter{0} }},
+		{"query out of range", func(p *Protocol) { p.Query = []Letter{3, 0} }},
+		{"delta rows", func(p *Protocol) { p.Delta = p.Delta[:1] }},
+		{"delta count rows", func(p *Protocol) { p.Delta[0] = p.Delta[0][:1] }},
+		{"delta empty cell", func(p *Protocol) { p.Delta[1][0] = nil }},
+		{"move state range", func(p *Protocol) { p.Delta[0][0] = []Move{{Next: 7}} }},
+		{"move letter range", func(p *Protocol) { p.Delta[0][0] = []Move{{Next: 0, Emit: 9}} }},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			p := toyProtocol()
+			m.mut(p)
+			if err := p.Validate(); err == nil {
+				t.Fatalf("mutation %q passed validation", m.name)
+			}
+		})
+	}
+}
+
+func TestClampCount(t *testing.T) {
+	cases := []struct {
+		x, b int
+		want Count
+	}{
+		{0, 1, 0}, {1, 1, 1}, {5, 1, 1},
+		{0, 3, 0}, {1, 3, 1}, {2, 3, 2}, {3, 3, 3}, {100, 3, 3},
+	}
+	for _, c := range cases {
+		if got := ClampCount(c.x, c.b); got != c.want {
+			t.Errorf("ClampCount(%d,%d) = %d, want %d", c.x, c.b, got, c.want)
+		}
+	}
+}
+
+func TestProtocolMovesUsesQueryLetter(t *testing.T) {
+	p := toyProtocol()
+	moves := p.Moves(0, []Count{1})
+	if len(moves) != 1 || moves[0].Next != 1 {
+		t.Fatalf("moves = %v", moves)
+	}
+	moves = p.Moves(0, []Count{0})
+	if len(moves) != 1 || moves[0].Next != 0 {
+		t.Fatalf("moves = %v", moves)
+	}
+}
+
+func toyRound() *RoundProtocol {
+	return &RoundProtocol{
+		Name:        "toyround",
+		StateNames:  []string{"a", "b"},
+		LetterNames: []string{"x", "y"},
+		Input:       []State{0},
+		Output:      []bool{false, true},
+		Initial:     0,
+		B:           2,
+		Transition: func(q State, counts []Count) []Move {
+			if q == 1 {
+				return []Move{{Next: 1, Emit: NoLetter}}
+			}
+			if counts[0] >= 1 && counts[1] >= 1 {
+				return []Move{{Next: 1, Emit: 1}}
+			}
+			return []Move{{Next: 0, Emit: 0}}
+		},
+	}
+}
+
+func TestRoundProtocolValidateAndAudit(t *testing.T) {
+	p := toyRound()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Audit(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundProtocolAuditCatchesPartialTransition(t *testing.T) {
+	p := toyRound()
+	p.Transition = func(q State, counts []Count) []Move {
+		if counts[0] == 2 {
+			return nil // not total
+		}
+		return []Move{{Next: 0, Emit: NoLetter}}
+	}
+	err := p.Audit(0)
+	if err == nil || !strings.Contains(err.Error(), "empty") {
+		t.Fatalf("audit error = %v, want totality failure", err)
+	}
+}
+
+func TestRoundProtocolAuditCatchesBadMove(t *testing.T) {
+	p := toyRound()
+	p.Transition = func(q State, counts []Count) []Move {
+		return []Move{{Next: 99, Emit: NoLetter}}
+	}
+	if err := p.Audit(0); err == nil {
+		t.Fatal("audit accepted out-of-range move")
+	}
+}
+
+func TestRoundProtocolAuditDomainLimit(t *testing.T) {
+	p := toyRound()
+	p.LetterNames = make([]string, 30) // (b+1)^30 blows past any limit
+	if err := p.Audit(1000); err == nil || !strings.Contains(err.Error(), "domain") {
+		t.Fatalf("audit error = %v, want domain-limit refusal", err)
+	}
+}
+
+func TestRoundProtocolValidateRejects(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(p *RoundProtocol)
+	}{
+		{"empty states", func(p *RoundProtocol) { p.StateNames = nil }},
+		{"bad bound", func(p *RoundProtocol) { p.B = -1 }},
+		{"bad initial", func(p *RoundProtocol) { p.Initial = 99 }},
+		{"no input", func(p *RoundProtocol) { p.Input = nil }},
+		{"input range", func(p *RoundProtocol) { p.Input = []State{5} }},
+		{"output mask", func(p *RoundProtocol) { p.Output = nil }},
+		{"nil transition", func(p *RoundProtocol) { p.Transition = nil }},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			p := toyRound()
+			m.mut(p)
+			if err := p.Validate(); err == nil {
+				t.Fatalf("mutation %q passed validation", m.name)
+			}
+		})
+	}
+}
+
+func TestPickMoveDeterministic(t *testing.T) {
+	moves := []Move{{Next: 0}, {Next: 1}, {Next: 2}}
+	a := PickMove(7, 3, 11, moves)
+	b := PickMove(7, 3, 11, moves)
+	if a != b {
+		t.Fatal("PickMove is not deterministic")
+	}
+}
+
+func TestPickMoveSingleFastPath(t *testing.T) {
+	moves := []Move{{Next: 5, Emit: 2}}
+	if got := PickMove(0, 0, 0, moves); got != moves[0] {
+		t.Fatalf("PickMove single = %v", got)
+	}
+}
+
+func TestPickMoveRoughlyUniform(t *testing.T) {
+	moves := []Move{{Next: 0}, {Next: 1}}
+	counts := [2]int{}
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		counts[PickMove(42, i, 0, moves).Next]++
+	}
+	if counts[0] < trials*45/100 || counts[0] > trials*55/100 {
+		t.Fatalf("coin counts %v far from fair", counts)
+	}
+}
+
+func TestPickMovePropertyInRange(t *testing.T) {
+	f := func(seed uint64, node, step uint16, k uint8) bool {
+		n := int(k%5) + 1
+		moves := make([]Move, n)
+		for i := range moves {
+			moves[i] = Move{Next: State(i)}
+		}
+		mv := PickMove(seed, int(node), int(step), moves)
+		return int(mv.Next) >= 0 && int(mv.Next) < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

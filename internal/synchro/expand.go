@@ -1,0 +1,179 @@
+package synchro
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+
+	"stoneage/internal/nfsm"
+)
+
+// Expanded is the Theorem 3.4 subround expansion of a multi-letter
+// RoundProtocol: each source round is subdivided into |Σ| subrounds, each
+// dedicated to querying one letter, so every state queries a single
+// letter. The construction relies on the alignment of rounds — during the
+// |Σ|−1 silent subrounds the ports are guaranteed stable only when all
+// nodes advance in lockstep — so an Expanded machine is meant for the
+// synchronous engine. (For asynchronous execution use CompileRound, which
+// folds the Theorem 3.1 synchronizer in.)
+type Expanded struct {
+	name string
+	src  *nfsm.RoundProtocol
+	nl   int
+	b    int
+
+	mu     sync.Mutex
+	states []*edesc
+	index  map[string]nfsm.State
+	inputs []nfsm.State
+}
+
+// edesc is a compiled subround state: underlying state q, subround k
+// (the letter about to be queried), and the counts accumulated for
+// letters < k.
+type edesc struct {
+	q      nfsm.State
+	k      int
+	accv   []int
+	output bool
+	rows   [][]nfsm.Move
+}
+
+var (
+	_ nfsm.Machine     = (*Expanded)(nil)
+	_ nfsm.SingleQuery = (*Expanded)(nil)
+)
+
+// Expand builds the subround expansion of p.
+func Expand(p *nfsm.RoundProtocol) (*Expanded, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("synchro: %w", err)
+	}
+	e := &Expanded{
+		name:  p.Name + "*",
+		src:   p,
+		nl:    p.NumLetters(),
+		b:     p.Bound(),
+		index: make(map[string]nfsm.State),
+	}
+	e.mu.Lock()
+	for _, q := range p.Input {
+		e.inputs = append(e.inputs, e.intern(&edesc{q: q}))
+	}
+	e.mu.Unlock()
+	return e, nil
+}
+
+func (e *Expanded) intern(d *edesc) nfsm.State {
+	buf := make([]byte, 0, 32)
+	buf = strconv.AppendInt(buf, int64(d.q), 10)
+	buf = append(buf, '|')
+	buf = strconv.AppendInt(buf, int64(d.k), 10)
+	buf = append(buf, '/')
+	for _, x := range d.accv {
+		buf = strconv.AppendInt(buf, int64(x), 10)
+		buf = append(buf, ',')
+	}
+	k := string(buf)
+	if s, ok := e.index[k]; ok {
+		return s
+	}
+	d.output = e.src.IsOutput(d.q)
+	d.rows = make([][]nfsm.Move, e.b+1)
+	s := nfsm.State(len(e.states))
+	e.states = append(e.states, d)
+	e.index[k] = s
+	return s
+}
+
+// NumStates implements nfsm.Machine.
+func (e *Expanded) NumStates() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.states)
+}
+
+// NumLetters implements nfsm.Machine: the alphabet is unchanged.
+func (e *Expanded) NumLetters() int { return e.nl }
+
+// InitialLetter implements nfsm.Machine.
+func (e *Expanded) InitialLetter() nfsm.Letter { return e.src.InitialLetter() }
+
+// Bound implements nfsm.Machine.
+func (e *Expanded) Bound() int { return e.b }
+
+// InputState implements nfsm.Machine.
+func (e *Expanded) InputState() nfsm.State { return e.inputs[0] }
+
+// Inputs returns the expanded input states, parallel to the source inputs.
+func (e *Expanded) Inputs() []nfsm.State {
+	return append([]nfsm.State(nil), e.inputs...)
+}
+
+// IsOutput implements nfsm.Machine.
+func (e *Expanded) IsOutput(s nfsm.State) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.states[s].output
+}
+
+// Underlying returns the source state an expanded state simulates.
+func (e *Expanded) Underlying(s nfsm.State) nfsm.State {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.states[s].q
+}
+
+// DecodeStates maps expanded states back to source states.
+func (e *Expanded) DecodeStates(states []nfsm.State) []nfsm.State {
+	out := make([]nfsm.State, len(states))
+	for i, s := range states {
+		out[i] = e.Underlying(s)
+	}
+	return out
+}
+
+// QueryLetter implements nfsm.SingleQuery: subround k queries letter k.
+func (e *Expanded) QueryLetter(s nfsm.State) nfsm.Letter {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return nfsm.Letter(e.states[s].k)
+}
+
+// Moves implements nfsm.Machine.
+func (e *Expanded) Moves(s nfsm.State, counts []nfsm.Count) []nfsm.Move {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	d := e.states[s]
+	cnt := int(counts[d.k])
+	if row := d.rows[cnt]; row != nil {
+		return row
+	}
+	var row []nfsm.Move
+	if d.k+1 < e.nl {
+		accv := make([]int, d.k+1)
+		copy(accv, d.accv)
+		accv[d.k] = cnt
+		row = []nfsm.Move{{Next: e.intern(&edesc{q: d.q, k: d.k + 1, accv: accv}), Emit: nfsm.NoLetter}}
+	} else {
+		// Final subround: assemble the full vector and apply the source δ.
+		full := make([]nfsm.Count, e.nl)
+		for i, v := range d.accv {
+			full[i] = nfsm.Count(v)
+		}
+		full[e.nl-1] = nfsm.Count(cnt)
+		srcMoves := e.src.Moves(d.q, full)
+		row = make([]nfsm.Move, len(srcMoves))
+		for i, mv := range srcMoves {
+			row[i] = nfsm.Move{Next: e.intern(&edesc{q: mv.Next}), Emit: mv.Emit}
+		}
+	}
+	d.rows[cnt] = row
+	return row
+}
+
+// SubroundsPerRound returns the expansion factor, |Σ|.
+func (e *Expanded) SubroundsPerRound() int { return e.nl }
+
+// Name returns the expanded protocol's name.
+func (e *Expanded) Name() string { return e.name }

@@ -1,0 +1,241 @@
+package synchro
+
+import (
+	"testing"
+	"testing/quick"
+
+	"stoneage/internal/engine"
+	"stoneage/internal/graph"
+	"stoneage/internal/nfsm"
+	"stoneage/internal/xrand"
+)
+
+// randomDeterministicProtocol builds a pseudo-random but well-formed,
+// deterministic, always-terminating RoundProtocol: the state index is
+// non-decreasing along every transition and the last state is an output
+// sink, so every node reaches the sink within |Q| rounds. Transitions
+// and emissions are derived from a hash of (state, counts), so the
+// protocol's behaviour genuinely depends on what the neighbors say —
+// which is exactly what exercises the synchronizer's count
+// reconstruction.
+func randomDeterministicProtocol(seed uint64, nq, nl, b int) *nfsm.RoundProtocol {
+	stateNames := make([]string, nq)
+	for i := range stateNames {
+		stateNames[i] = "q"
+	}
+	letterNames := make([]string, nl)
+	for i := range letterNames {
+		letterNames[i] = "l"
+	}
+	output := make([]bool, nq)
+	output[nq-1] = true
+	return &nfsm.RoundProtocol{
+		Name:        "random",
+		StateNames:  stateNames,
+		LetterNames: letterNames,
+		Input:       []nfsm.State{0},
+		Output:      output,
+		Initial:     nfsm.Letter(seed % uint64(nl)),
+		B:           b,
+		Transition: func(q nfsm.State, counts []nfsm.Count) []nfsm.Move {
+			if int(q) == nq-1 {
+				return []nfsm.Move{{Next: q, Emit: nfsm.NoLetter}}
+			}
+			coords := make([]uint64, 0, nl+2)
+			coords = append(coords, seed, uint64(q))
+			for _, c := range counts {
+				coords = append(coords, uint64(c))
+			}
+			h := xrand.Mix(coords...)
+			// Advance by 1 or 2 states (always forward → termination).
+			next := int(q) + 1 + int(h%2)
+			if next >= nq {
+				next = nq - 1
+			}
+			emit := nfsm.Letter(int(h>>8) % (nl + 1))
+			if int(emit) == nl {
+				emit = nfsm.NoLetter
+			}
+			return []nfsm.Move{{Next: nfsm.State(next), Emit: emit}}
+		},
+	}
+}
+
+// TestPropertyCompiledMatchesSyncOnRandomProtocols is the generative
+// synchronizer check: for random deterministic protocols on random
+// graphs, the asynchronous compiled execution must land every node in
+// exactly the state the synchronous execution produces, under multiple
+// adversaries.
+func TestPropertyCompiledMatchesSyncOnRandomProtocols(t *testing.T) {
+	f := func(protoSeed, graphSeed uint64, shape uint8, advPick uint8) bool {
+		nq := 3 + int(shape%4)   // 3..6 states
+		nl := 2 + int(shape/4%3) // 2..4 letters
+		b := 1 + int(shape/16%2) // 1..2
+		n := 3 + int(graphSeed%20)
+		src := randomDeterministicProtocol(protoSeed, nq, nl, b)
+		if err := src.Audit(0); err != nil {
+			t.Fatalf("generated protocol invalid: %v", err)
+		}
+		g := graph.GnpConnected(n, 0.3, xrand.New(graphSeed))
+
+		sres, err := engine.RunSync(src, g, engine.SyncConfig{Seed: 1})
+		if err != nil {
+			t.Fatalf("sync: %v", err)
+		}
+		advs := []engine.Adversary{
+			engine.Synchronous{},
+			engine.UniformRandom{Seed: graphSeed + 1},
+			engine.Skew{Seed: graphSeed + 2},
+			engine.Overwriter{Seed: graphSeed + 3},
+		}
+		c, err := CompileRound(src)
+		if err != nil {
+			t.Fatalf("compile: %v", err)
+		}
+		ares, err := engine.RunAsync(c, g, engine.AsyncConfig{
+			Seed:      1,
+			Adversary: advs[int(advPick)%len(advs)],
+		})
+		if err != nil {
+			t.Fatalf("async: %v", err)
+		}
+		got := c.DecodeStates(ares.States)
+		for v := range sres.States {
+			if got[v] != sres.States[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyExpandedMatchesSyncOnRandomProtocols does the same for the
+// Theorem 3.4 subround expansion on the synchronous engine.
+func TestPropertyExpandedMatchesSyncOnRandomProtocols(t *testing.T) {
+	f := func(protoSeed, graphSeed uint64, shape uint8) bool {
+		nq := 3 + int(shape%4)
+		nl := 2 + int(shape/4%3)
+		n := 3 + int(graphSeed%20)
+		src := randomDeterministicProtocol(protoSeed, nq, nl, 1)
+		g := graph.GnpConnected(n, 0.3, xrand.New(graphSeed))
+
+		sres, err := engine.RunSync(src, g, engine.SyncConfig{Seed: 2})
+		if err != nil {
+			t.Fatalf("sync: %v", err)
+		}
+		e, err := Expand(src)
+		if err != nil {
+			t.Fatalf("expand: %v", err)
+		}
+		eres, err := engine.RunSync(e, g, engine.SyncConfig{Seed: 3})
+		if err != nil {
+			t.Fatalf("expanded: %v", err)
+		}
+		got := e.DecodeStates(eres.States)
+		for v := range sres.States {
+			if got[v] != sres.States[v] {
+				return false
+			}
+		}
+		// The expansion factor is exactly |Σ| for deterministic
+		// protocols (same logical round count).
+		return eres.Rounds == sres.Rounds*nl
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSynchronizationPropertyS1 directly verifies property (S1): during
+// an asynchronous compiled run, whenever a node begins simulating round
+// t, every neighbor is simulating round t−1, t, or t+1. The engine
+// observer counts phase starts per node; Lemma 3.2's pausing analysis
+// promises the offsets never exceed one.
+func TestSynchronizationPropertyS1(t *testing.T) {
+	src := mustMIS(t)
+	g := graph.GnpConnected(24, 0.2, xrand.New(41))
+	for name, adv := range engine.NamedAdversaries(43) {
+		c, err := CompileRound(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rounds := make([]int, g.N())
+		violated := false
+		observer := func(time float64, node, step int, state nfsm.State) {
+			if !c.IsPhaseStart(state) {
+				return
+			}
+			rounds[node]++
+			for _, u := range g.Neighbors(node) {
+				d := rounds[node] - rounds[u]
+				if d < -1 || d > 1 {
+					violated = true
+				}
+			}
+		}
+		_, err = engine.RunAsync(c, g, engine.AsyncConfig{
+			Seed: 2, Adversary: adv, Observer: observer,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if violated {
+			t.Fatalf("%s: synchronization property (S1) violated", name)
+		}
+	}
+}
+
+// mustMIS rebuilds the Figure 1 MIS protocol locally (avoiding an import
+// cycle with package mis, which imports synchro).
+func mustMIS(t *testing.T) *nfsm.RoundProtocol {
+	t.Helper()
+	names := []string{"D1", "D2", "U0", "U1", "U2", "W", "L"}
+	delay := [][]int{{1}, {2, 3, 4}, {4, 0}, {2}, {3}, nil, nil}
+	p := &nfsm.RoundProtocol{
+		Name:        "mis-local",
+		StateNames:  names,
+		LetterNames: names,
+		Input:       []nfsm.State{0},
+		Output:      []bool{false, false, false, false, false, true, true},
+		Initial:     0,
+		B:           1,
+		Transition: func(q nfsm.State, counts []nfsm.Count) []nfsm.Move {
+			stay := []nfsm.Move{{Next: q, Emit: nfsm.NoLetter}}
+			if q >= 5 {
+				return stay
+			}
+			for _, d := range delay[q] {
+				if counts[d] > 0 {
+					return stay
+				}
+			}
+			move := func(next nfsm.State) nfsm.Move {
+				return nfsm.Move{Next: next, Emit: nfsm.Letter(next)}
+			}
+			switch q {
+			case 0:
+				return []nfsm.Move{move(2)}
+			case 1:
+				if counts[5] > 0 {
+					return []nfsm.Move{move(6)}
+				}
+				return []nfsm.Move{move(0)}
+			default:
+				j := q - 2
+				heads := 2 + (j+1)%3
+				tails := nfsm.State(1)
+				if counts[q] == 0 && counts[heads] == 0 {
+					tails = 5
+				}
+				return []nfsm.Move{move(heads), move(tails)}
+			}
+		},
+	}
+	if err := p.Audit(0); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

@@ -1,0 +1,451 @@
+// Package synchro implements the black-box compilers of Section 3 of the
+// paper:
+//
+//   - Compile (Theorem 3.1) transforms a protocol designed for a locally
+//     synchronous environment into one that runs in the fully asynchronous
+//     environment of Section 2, at a constant multiplicative run-time
+//     overhead. It implements the paper's synchronizer literally: messages
+//     are tagged with a trit (round index mod 3) and carry the previous
+//     round's transmission; a *pausing feature* stalls a node while any
+//     port still holds a dirty letter (trit j−2); a *simulation feature*
+//     computes the clamped count of the queried letter over the two clean
+//     generations Γ_{t−1} ∪ Γ_t with the φ₁/φ₂/φ₃ double-read stability
+//     check.
+//
+//   - CompileRound merges Theorem 3.1 with Theorem 3.4 (multiple-letter
+//     queries): the simulation feature scans *every* letter of Σ with the
+//     per-letter stability check, so a multi-letter RoundProtocol — the
+//     layer Sections 4 and 5 are written in — runs directly in the
+//     asynchronous environment.
+//
+//   - Expand (Theorem 3.4 standalone) subdivides each round into |Σ|
+//     subrounds to turn a multi-letter protocol into a single-letter one.
+//     The expansion relies on round alignment and is therefore valid in
+//     the (locally) synchronous engine; for asynchronous execution use
+//     CompileRound.
+//
+// The compiled state space is constant-size (independent of the network,
+// requirement (M4)) but combinatorially large, so compiled machines
+// materialize their states lazily behind the nfsm.Machine interface
+// instead of enumerating Q̂ up front.
+package synchro
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+
+	"stoneage/internal/nfsm"
+)
+
+// Feature identifiers for compiled states.
+const (
+	featPause = iota // pausing feature P_q × {j}
+	featScan1        // simulation feature, first Γ_{t−1} pass (φ₁)
+	featScan2        // simulation feature, Γ_t pass (φ₂)
+	featScan3        // simulation feature, second Γ_{t−1} pass (φ₃)
+)
+
+// cdesc describes one compiled state. The tuple (q, j, prevEmit, feature,
+// sigma, pos, phi1, phi2, acc, phiv) determines the state completely; key
+// is its canonical encoding used for memoization.
+type cdesc struct {
+	q        nfsm.State // underlying protocol state governing this phase
+	j        int        // trit of the simulated round, t mod 3
+	prevEmit int        // the node's port-visible letter as of round t−1
+	feature  int
+	sigma    int   // letter currently being counted (scan features)
+	pos      int   // position within the pausing grid or within a Γ pass
+	phi1     int   // φ₁ (scan2, scan3)
+	phi2     int   // φ₂ (scan3)
+	acc      int   // running clamped sum of the current pass
+	phiv     []int // completed counts for letters < sigma (multi-letter)
+
+	query  nfsm.Letter   // λ̂ of this state, precomputed
+	output bool          // whether the underlying q is an output state
+	rows   [][]nfsm.Move // lazily computed δ̂ rows, indexed by clamped count
+}
+
+// Compiled is the asynchronous protocol Π̂ produced by Compile or
+// CompileRound. It implements nfsm.Machine (and nfsm.SingleQuery: every
+// compiled state queries exactly one letter, as the model of Section 2
+// requires). A Compiled instance is safe for concurrent use by multiple
+// runs.
+type Compiled struct {
+	name    string
+	src     nfsm.Machine
+	single  nfsm.SingleQuery // non-nil for Compile; nil for CompileRound
+	scanAll bool
+	nl      int // |Σ| of the source protocol
+	b       int
+	initial nfsm.Letter // σ̂₀ = (ε, σ₀, 0)
+
+	mu     sync.Mutex
+	states []*cdesc
+	index  map[string]nfsm.State
+	inputs []nfsm.State // compiled input states, parallel to source inputs
+}
+
+var (
+	_ nfsm.Machine     = (*Compiled)(nil)
+	_ nfsm.SingleQuery = (*Compiled)(nil)
+)
+
+// Compile applies the Theorem 3.1 synchronizer to a single-letter-query
+// protocol designed for a locally synchronous environment.
+func Compile(p *nfsm.Protocol) (*Compiled, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("synchro: %w", err)
+	}
+	c := newCompiled(p.Name+"^", p, p, false)
+	return c, nil
+}
+
+// CompileRound applies the merged Theorem 3.1 + Theorem 3.4 compiler to a
+// multi-letter RoundProtocol: the result runs in the asynchronous
+// environment and simulates one round of p per simulation phase.
+func CompileRound(p *nfsm.RoundProtocol) (*Compiled, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("synchro: %w", err)
+	}
+	c := newCompiled(p.Name+"^", p, nil, true)
+	return c, nil
+}
+
+func newCompiled(name string, src nfsm.Machine, single nfsm.SingleQuery, scanAll bool) *Compiled {
+	c := &Compiled{
+		name:    name,
+		src:     src,
+		single:  single,
+		scanAll: scanAll,
+		nl:      src.NumLetters(),
+		b:       src.Bound(),
+		index:   make(map[string]nfsm.State),
+	}
+	c.initial = c.encLetter(-1, int(src.InitialLetter()), 0)
+	// Register compiled input states: round 1 (trit 1), previous emission
+	// σ₀ (the virtual round 0 transmits σ̂₀ = (ε, σ₀, 0), so the round-0
+	// emission is σ₀).
+	c.mu.Lock()
+	in := inputStates(src)
+	for _, q := range in {
+		c.inputs = append(c.inputs, c.pauseStart(q, 1, int(src.InitialLetter())))
+	}
+	c.mu.Unlock()
+	return c
+}
+
+func inputStates(m nfsm.Machine) []nfsm.State {
+	switch p := m.(type) {
+	case *nfsm.Protocol:
+		return p.Input
+	case *nfsm.RoundProtocol:
+		return p.Input
+	default:
+		return []nfsm.State{m.InputState()}
+	}
+}
+
+// encLetter encodes the Σ̂ letter (a, b2, j) where a and b2 range over
+// Σ ∪ {ε} (−1 is ε) and j is the trit.
+func (c *Compiled) encLetter(a, b2, j int) nfsm.Letter {
+	return nfsm.Letter(((a+1)*(c.nl+1)+(b2+1))*3 + j)
+}
+
+// pauseGrid is the number of states in one pausing feature: one per dirty
+// letter (σ, σ′) pair.
+func (c *Compiled) pauseGrid() int { return (c.nl + 1) * (c.nl + 1) }
+
+// key renders the identifying tuple of a descriptor.
+func (d *cdesc) makeKey() string {
+	buf := make([]byte, 0, 48)
+	buf = strconv.AppendInt(buf, int64(d.q), 10)
+	for _, x := range []int{d.j, d.prevEmit, d.feature, d.sigma, d.pos, d.phi1, d.phi2, d.acc} {
+		buf = append(buf, '|')
+		buf = strconv.AppendInt(buf, int64(x), 10)
+	}
+	buf = append(buf, '/')
+	for _, x := range d.phiv {
+		buf = strconv.AppendInt(buf, int64(x), 10)
+		buf = append(buf, ',')
+	}
+	return string(buf)
+}
+
+// intern returns the canonical State for the descriptor, creating it if
+// needed. Callers must hold c.mu.
+func (c *Compiled) intern(d *cdesc) nfsm.State {
+	k := d.makeKey()
+	if s, ok := c.index[k]; ok {
+		return s
+	}
+	d.output = c.src.IsOutput(d.q)
+	d.query = c.queryOf(d)
+	d.rows = make([][]nfsm.Move, c.b+1)
+	s := nfsm.State(len(c.states))
+	c.states = append(c.states, d)
+	c.index[k] = s
+	return s
+}
+
+// queryOf computes λ̂ for a descriptor.
+func (c *Compiled) queryOf(d *cdesc) nfsm.Letter {
+	switch d.feature {
+	case featPause:
+		// Dirty letters carry trit j−2 ≡ j+1 (mod 3).
+		a := d.pos/(c.nl+1) - 1
+		b2 := d.pos%(c.nl+1) - 1
+		return c.encLetter(a, b2, (d.j+1)%3)
+	case featScan1, featScan3:
+		// Γ_{t−1} = {(σ′, σ, j−1) : σ′ ∈ Σ ∪ {ε}}.
+		return c.encLetter(d.pos-1, d.sigma, (d.j+2)%3)
+	case featScan2:
+		// Γ_t = {(σ, σ″, j) : σ″ ∈ Σ ∪ {ε}}.
+		return c.encLetter(d.sigma, d.pos-1, d.j)
+	default:
+		panic("synchro: unknown feature")
+	}
+}
+
+// pauseStart interns the first pausing state of P_q × {j}. Callers must
+// hold c.mu.
+func (c *Compiled) pauseStart(q nfsm.State, j, prevEmit int) nfsm.State {
+	return c.intern(&cdesc{q: q, j: j, prevEmit: prevEmit, feature: featPause})
+}
+
+// scanStart interns the first simulation-feature state for the phase,
+// resetting to letter sigma. Callers must hold c.mu.
+func (c *Compiled) scanStart(d *cdesc, sigma int, phiv []int) nfsm.State {
+	return c.intern(&cdesc{
+		q: d.q, j: d.j, prevEmit: d.prevEmit,
+		feature: featScan1, sigma: sigma, phiv: phiv,
+	})
+}
+
+// firstSigma returns the first letter the simulation feature counts.
+func (c *Compiled) firstSigma(q nfsm.State) int {
+	if c.scanAll {
+		return 0
+	}
+	return int(c.single.QueryLetter(q))
+}
+
+// NumStates implements nfsm.Machine. The value grows as states are
+// materialized; it is an upper bound on every State handed out so far.
+func (c *Compiled) NumStates() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.states)
+}
+
+// NumLetters implements nfsm.Machine: |Σ̂| = 3(|Σ|+1)².
+func (c *Compiled) NumLetters() int { return 3 * (c.nl + 1) * (c.nl + 1) }
+
+// InitialLetter implements nfsm.Machine: σ̂₀ = (ε, σ₀, 0).
+func (c *Compiled) InitialLetter() nfsm.Letter { return c.initial }
+
+// Bound implements nfsm.Machine: the bounding parameter is unchanged.
+func (c *Compiled) Bound() int { return c.b }
+
+// InputState implements nfsm.Machine.
+func (c *Compiled) InputState() nfsm.State { return c.inputs[0] }
+
+// Inputs returns the compiled input states, parallel to the source
+// protocol's input state list. Use it to translate per-node Init vectors.
+func (c *Compiled) Inputs() []nfsm.State {
+	return append([]nfsm.State(nil), c.inputs...)
+}
+
+// InputFor returns the compiled initial state simulating source input
+// state q.
+func (c *Compiled) InputFor(q nfsm.State) (nfsm.State, error) {
+	for i, s := range inputStates(c.src) {
+		if s == q {
+			return c.inputs[i], nil
+		}
+	}
+	return 0, fmt.Errorf("synchro: %d is not an input state of the source protocol", q)
+}
+
+// IsOutput implements nfsm.Machine: a compiled state is an output state
+// exactly when the underlying state is.
+func (c *Compiled) IsOutput(s nfsm.State) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.states[s].output
+}
+
+// Underlying returns the source-protocol state a compiled state simulates.
+func (c *Compiled) Underlying(s nfsm.State) nfsm.State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.states[s].q
+}
+
+// IsPhaseStart reports whether s is the first pausing state of a
+// simulation phase — a node enters such a state exactly once per
+// simulated round, which lets observers count the rounds each node has
+// begun (the synchronization-property tests rely on this).
+func (c *Compiled) IsPhaseStart(s nfsm.State) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d := c.states[s]
+	return d.feature == featPause && d.pos == 0
+}
+
+// DecodeStates maps a vector of compiled states back to source states.
+func (c *Compiled) DecodeStates(states []nfsm.State) []nfsm.State {
+	out := make([]nfsm.State, len(states))
+	for i, s := range states {
+		out[i] = c.Underlying(s)
+	}
+	return out
+}
+
+// QueryLetter implements nfsm.SingleQuery.
+func (c *Compiled) QueryLetter(s nfsm.State) nfsm.Letter {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.states[s].query
+}
+
+// Moves implements nfsm.Machine: δ̂ applied to compiled state s observing
+// the clamped count of its query letter.
+func (c *Compiled) Moves(s nfsm.State, counts []nfsm.Count) []nfsm.Move {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d := c.states[s]
+	cnt := int(counts[d.query])
+	if row := d.rows[cnt]; row != nil {
+		return row
+	}
+	row := c.buildRow(s, d, cnt)
+	d.rows[cnt] = row
+	return row
+}
+
+// buildRow computes the δ̂ row for (state, count). Callers hold c.mu.
+func (c *Compiled) buildRow(s nfsm.State, d *cdesc, cnt int) []nfsm.Move {
+	eps := nfsm.NoLetter
+	switch d.feature {
+	case featPause:
+		if cnt > 0 {
+			// A dirty letter is present: stay put.
+			return []nfsm.Move{{Next: s, Emit: eps}}
+		}
+		if d.pos+1 < c.pauseGrid() {
+			next := c.intern(&cdesc{
+				q: d.q, j: d.j, prevEmit: d.prevEmit,
+				feature: featPause, pos: d.pos + 1,
+			})
+			return []nfsm.Move{{Next: next, Emit: eps}}
+		}
+		// Pausing complete: enter the simulation feature.
+		next := c.scanStart(d, c.firstSigma(d.q), d.phiv)
+		return []nfsm.Move{{Next: next, Emit: eps}}
+
+	case featScan1, featScan2, featScan3:
+		acc := d.acc + cnt
+		if acc > c.b {
+			acc = c.b // f_b(x+y) = min(f_b(x)+f_b(y), b)
+		}
+		if d.pos < c.nl { // more letters in this Γ pass
+			next := c.intern(&cdesc{
+				q: d.q, j: d.j, prevEmit: d.prevEmit,
+				feature: d.feature, sigma: d.sigma, pos: d.pos + 1,
+				phi1: d.phi1, phi2: d.phi2, acc: acc, phiv: d.phiv,
+			})
+			return []nfsm.Move{{Next: next, Emit: eps}}
+		}
+		// Γ pass complete; acc is the pass total.
+		switch d.feature {
+		case featScan1:
+			next := c.intern(&cdesc{
+				q: d.q, j: d.j, prevEmit: d.prevEmit,
+				feature: featScan2, sigma: d.sigma,
+				phi1: acc, phiv: d.phiv,
+			})
+			return []nfsm.Move{{Next: next, Emit: eps}}
+		case featScan2:
+			next := c.intern(&cdesc{
+				q: d.q, j: d.j, prevEmit: d.prevEmit,
+				feature: featScan3, sigma: d.sigma,
+				phi1: d.phi1, phi2: acc, phiv: d.phiv,
+			})
+			return []nfsm.Move{{Next: next, Emit: eps}}
+		default: // featScan3
+			if acc != d.phi1 {
+				// A relevant port changed mid-scan: restart this letter.
+				// φ₁ can only decrease, so this happens at most b times.
+				return []nfsm.Move{{Next: c.scanStart(d, d.sigma, d.phiv), Emit: eps}}
+			}
+			phi := d.phi1 + d.phi2
+			if phi > c.b {
+				phi = c.b
+			}
+			if c.scanAll && d.sigma+1 < c.nl {
+				phiv := make([]int, len(d.phiv)+1)
+				copy(phiv, d.phiv)
+				phiv[len(d.phiv)] = phi
+				return []nfsm.Move{{Next: c.scanStart(d, d.sigma+1, phiv), Emit: eps}}
+			}
+			return c.applyDelta(d, phi)
+		}
+	default:
+		panic("synchro: unknown feature")
+	}
+}
+
+// applyDelta finishes the simulation phase: it evaluates the source δ on
+// the reconstructed counts, and for every source move emits the compiled
+// message M_v(t) and enters the pausing feature of the next round.
+//
+// The components of M_v(t) are the *port-visible* letters of rounds t−1
+// and t: the last letter the node actually transmitted up to that round,
+// with an ε emission leaving the previous letter in place. This is what
+// synchronization property (S2) requires the neighbors to observe — the
+// paper's ports are persistent, so counting per-round raw emissions would
+// lose every letter a temporarily silent node still presents. For
+// protocols that transmit in every round the two notions coincide and
+// this is the paper's construction verbatim. Callers hold c.mu.
+func (c *Compiled) applyDelta(d *cdesc, lastPhi int) []nfsm.Move {
+	counts := make([]nfsm.Count, c.nl)
+	if c.scanAll {
+		for i, v := range d.phiv {
+			counts[i] = nfsm.Count(v)
+		}
+		counts[c.nl-1] = nfsm.Count(lastPhi)
+	} else {
+		counts[d.sigma] = nfsm.Count(lastPhi)
+	}
+	srcMoves := c.src.Moves(d.q, counts)
+	out := make([]nfsm.Move, len(srcMoves))
+	for i, mv := range srcMoves {
+		cur := d.prevEmit // ε emission: the port keeps showing the old letter
+		if mv.Emit != nfsm.NoLetter {
+			cur = int(mv.Emit)
+		}
+		next := c.pauseStart(mv.Next, (d.j+1)%3, cur)
+		out[i] = nfsm.Move{
+			Next: next,
+			Emit: c.encLetter(d.prevEmit, cur, d.j),
+		}
+	}
+	return out
+}
+
+// PhaseSteps returns an upper bound on the number of compiled steps in one
+// simulation phase when no restart occurs: the pausing grid plus the scan
+// passes. The Theorem 3.1 constant-overhead claim is that the async
+// run-time is O(PhaseSteps · rounds); the experiment harness measures the
+// realized ratio.
+func (c *Compiled) PhaseSteps() int {
+	letters := 1
+	if c.scanAll {
+		letters = c.nl
+	}
+	return c.pauseGrid() + letters*3*(c.nl+1)
+}
+
+// Name returns the compiled protocol's name.
+func (c *Compiled) Name() string { return c.name }

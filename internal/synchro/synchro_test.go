@@ -1,0 +1,436 @@
+package synchro
+
+import (
+	"testing"
+
+	"stoneage/internal/engine"
+	"stoneage/internal/graph"
+	"stoneage/internal/nfsm"
+)
+
+// waveProtocol duplicates the single-letter broadcast wave used in the
+// engine tests: sources fire PING and finish; idle nodes finish upon
+// observing PING. It is deterministic, so compiled runs must reproduce
+// the synchronous outcome exactly.
+func waveProtocol() *nfsm.Protocol {
+	stay := func(q nfsm.State) []nfsm.Move { return []nfsm.Move{{Next: q, Emit: nfsm.NoLetter}} }
+	return &nfsm.Protocol{
+		Name:        "wave",
+		StateNames:  []string{"idle", "source", "done"},
+		LetterNames: []string{"ping", "quiet"},
+		Input:       []nfsm.State{0, 1},
+		Output:      []bool{false, false, true},
+		Initial:     1,
+		B:           1,
+		Query:       []nfsm.Letter{0, 0, 0},
+		Delta: [][][]nfsm.Move{
+			{stay(0), {{Next: 2, Emit: 0}}},
+			{{{Next: 2, Emit: 0}}, {{Next: 2, Emit: 0}}},
+			{stay(2), stay(2)},
+		},
+	}
+}
+
+// pairObserver is a deterministic multi-letter RoundProtocol: type-A nodes
+// transmit 'a' and type-B nodes transmit 'b' in round 1; in round 2 every
+// node observes which of the two letters occur among its ports and moves
+// to the output state encoding that pair. States: 0 SA, 1 SB, 2 WAIT,
+// 3..6 observed (a?, b?) pairs as 3 + 2·[a] + [b].
+func pairObserver() *nfsm.RoundProtocol {
+	return &nfsm.RoundProtocol{
+		Name:        "pairobs",
+		StateNames:  []string{"sa", "sb", "wait", "o00", "o01", "o10", "o11"},
+		LetterNames: []string{"a", "b", "z"},
+		Input:       []nfsm.State{0, 1},
+		Output:      []bool{false, false, false, true, true, true, true},
+		Initial:     2, // z
+		B:           1,
+		Transition: func(q nfsm.State, counts []nfsm.Count) []nfsm.Move {
+			switch q {
+			case 0:
+				return []nfsm.Move{{Next: 2, Emit: 0}}
+			case 1:
+				return []nfsm.Move{{Next: 2, Emit: 1}}
+			case 2:
+				out := nfsm.State(3)
+				if counts[0] > 0 {
+					out += 2
+				}
+				if counts[1] > 0 {
+					out++
+				}
+				return []nfsm.Move{{Next: out, Emit: nfsm.NoLetter}}
+			default:
+				return []nfsm.Move{{Next: q, Emit: nfsm.NoLetter}}
+			}
+		},
+	}
+}
+
+// pairObserverWant computes the expected output state of every node given
+// the type assignment (false = A, true = B).
+func pairObserverWant(g *graph.Graph, isB []bool) []nfsm.State {
+	want := make([]nfsm.State, g.N())
+	for v := range want {
+		out := nfsm.State(3)
+		hasA, hasB := false, false
+		for _, u := range g.Neighbors(v) {
+			if isB[u] {
+				hasB = true
+			} else {
+				hasA = true
+			}
+		}
+		if hasA {
+			out += 2
+		}
+		if hasB {
+			out++
+		}
+		want[v] = out
+	}
+	return want
+}
+
+func pairObserverInit(isB []bool) []nfsm.State {
+	init := make([]nfsm.State, len(isB))
+	for v, b := range isB {
+		if b {
+			init[v] = 1
+		}
+	}
+	return init
+}
+
+func compiledInit(t *testing.T, c *Compiled, srcInit []nfsm.State) []nfsm.State {
+	t.Helper()
+	init := make([]nfsm.State, len(srcInit))
+	for v, q := range srcInit {
+		s, err := c.InputFor(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		init[v] = s
+	}
+	return init
+}
+
+func TestCompileRejectsInvalidProtocol(t *testing.T) {
+	p := waveProtocol()
+	p.Query = nil
+	if _, err := Compile(p); err == nil {
+		t.Fatal("invalid protocol compiled")
+	}
+	rp := pairObserver()
+	rp.Transition = nil
+	if _, err := CompileRound(rp); err == nil {
+		t.Fatal("invalid round protocol compiled")
+	}
+}
+
+func TestCompiledWaveAsyncAllAdversaries(t *testing.T) {
+	src := waveProtocol()
+	g := graph.Path(12)
+	srcInit := make([]nfsm.State, 12)
+	srcInit[0] = 1
+	for name, adv := range engine.NamedAdversaries(21) {
+		t.Run(name, func(t *testing.T) {
+			c, err := Compile(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := engine.RunAsync(c, g, engine.AsyncConfig{
+				Seed:      5,
+				Adversary: adv,
+				Init:      compiledInit(t, c, srcInit),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v, q := range c.DecodeStates(res.States) {
+				if q != 2 {
+					t.Errorf("node %d decoded to state %d, want done", v, q)
+				}
+			}
+		})
+	}
+}
+
+func TestCompiledRoundMatchesSyncExactly(t *testing.T) {
+	// The pairObserver protocol is deterministic, so the asynchronous
+	// compiled execution must land every node in the same output state
+	// as the direct synchronous run, under every adversary. This is the
+	// end-to-end check of synchronization property (S2): the compiled
+	// nodes must act on exactly the previous round's messages.
+	src := pairObserver()
+	if err := src.Audit(0); err != nil {
+		t.Fatal(err)
+	}
+	graphs := map[string]*graph.Graph{
+		"path":   graph.Path(9),
+		"star":   graph.Star(7),
+		"cycle":  graph.Cycle(8),
+		"clique": graph.Clique(6),
+		"grid":   graph.Grid(3, 3),
+	}
+	for gname, g := range graphs {
+		isB := make([]bool, g.N())
+		for v := range isB {
+			isB[v] = v%3 == 0
+		}
+		want := pairObserverWant(g, isB)
+		srcInit := pairObserverInit(isB)
+
+		// Direct synchronous run agrees with the analytic expectation.
+		sres, err := engine.RunSync(src, g, engine.SyncConfig{Seed: 1, Init: srcInit})
+		if err != nil {
+			t.Fatalf("%s: sync: %v", gname, err)
+		}
+		for v := range want {
+			if sres.States[v] != want[v] {
+				t.Fatalf("%s: sync node %d = %d, want %d", gname, v, sres.States[v], want[v])
+			}
+		}
+
+		for aname, adv := range engine.NamedAdversaries(33) {
+			c, err := CompileRound(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ares, err := engine.RunAsync(c, g, engine.AsyncConfig{
+				Seed:      9,
+				Adversary: adv,
+				Init:      compiledInit(t, c, srcInit),
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: async: %v", gname, aname, err)
+			}
+			got := c.DecodeStates(ares.States)
+			for v := range want {
+				if got[v] != want[v] {
+					t.Errorf("%s/%s: node %d decoded to %d, want %d", gname, aname, v, got[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+func TestCompiledThresholdCounting(t *testing.T) {
+	// One-two-many counting must survive compilation: with b=2, a
+	// collector surrounded by three emitters observes ≥2 and finishes.
+	collect := &nfsm.RoundProtocol{
+		Name:        "collect2",
+		StateNames:  []string{"collect", "emit", "sent", "done"},
+		LetterNames: []string{"ping", "quiet"},
+		Input:       []nfsm.State{0, 1},
+		Output:      []bool{false, false, true, true},
+		Initial:     1,
+		B:           2,
+		Transition: func(q nfsm.State, counts []nfsm.Count) []nfsm.Move {
+			switch q {
+			case 0:
+				if counts[0] >= 2 {
+					return []nfsm.Move{{Next: 3, Emit: nfsm.NoLetter}}
+				}
+				return []nfsm.Move{{Next: 0, Emit: nfsm.NoLetter}}
+			case 1:
+				return []nfsm.Move{{Next: 2, Emit: 0}}
+			default:
+				return []nfsm.Move{{Next: q, Emit: nfsm.NoLetter}}
+			}
+		},
+	}
+	g := graph.Star(4)
+	srcInit := []nfsm.State{0, 1, 1, 1}
+	c, err := CompileRound(collect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.RunAsync(c, g, engine.AsyncConfig{
+		Seed:      2,
+		Adversary: engine.UniformRandom{Seed: 3},
+		Init:      compiledInit(t, c, srcInit),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := c.Underlying(res.States[0]); q != 3 {
+		t.Fatalf("collector decoded to %d, want done", q)
+	}
+}
+
+func TestCompiledCoinDistributionPreserved(t *testing.T) {
+	coin := &nfsm.RoundProtocol{
+		Name:        "coin",
+		StateNames:  []string{"flip", "heads", "tails"},
+		LetterNames: []string{"x"},
+		Input:       []nfsm.State{0},
+		Output:      []bool{false, true, true},
+		Initial:     0,
+		B:           1,
+		Transition: func(q nfsm.State, counts []nfsm.Count) []nfsm.Move {
+			if q == 0 {
+				return []nfsm.Move{{Next: 1, Emit: nfsm.NoLetter}, {Next: 2, Emit: nfsm.NoLetter}}
+			}
+			return []nfsm.Move{{Next: q, Emit: nfsm.NoLetter}}
+		},
+	}
+	g := graph.New(1000) // isolated nodes
+	c, err := CompileRound(coin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.RunAsync(c, g, engine.AsyncConfig{Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heads := 0
+	for _, q := range c.DecodeStates(res.States) {
+		if q == 1 {
+			heads++
+		}
+	}
+	if heads < 420 || heads > 580 {
+		t.Fatalf("heads = %d of 1000: compiled coin is biased", heads)
+	}
+}
+
+func TestCompiledOverheadConstant(t *testing.T) {
+	// Theorem 3.1: the asynchronous run-time is a constant factor times
+	// the synchronous round count. The wave on P_n takes n rounds, so the
+	// normalized per-round cost must be essentially flat in n.
+	src := waveProtocol()
+	perRound := func(n int) float64 {
+		g := graph.Path(n)
+		srcInit := make([]nfsm.State, n)
+		srcInit[0] = 1
+		c, err := Compile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := engine.RunAsync(c, g, engine.AsyncConfig{
+			Seed: 4,
+			Init: compiledInit(t, c, srcInit),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TimeUnits / float64(n)
+	}
+	small, large := perRound(8), perRound(48)
+	if ratio := large / small; ratio > 1.6 || ratio < 0.4 {
+		t.Fatalf("per-round overhead drifted with n: %.2f vs %.2f (ratio %.2f)", small, large, ratio)
+	}
+}
+
+func TestCompiledPhaseStepsBound(t *testing.T) {
+	c, err := Compile(waveProtocol())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pausing grid (|Σ|+1)² = 9 plus one scan of 3(|Σ|+1) = 9 states.
+	if got, want := c.PhaseSteps(), 18; got != want {
+		t.Fatalf("PhaseSteps = %d, want %d", got, want)
+	}
+	cr, err := CompileRound(pairObserver())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pausing 16 + 3 letters × 3 passes × 4 = 52.
+	if got, want := cr.PhaseSteps(), 52; got != want {
+		t.Fatalf("round PhaseSteps = %d, want %d", got, want)
+	}
+}
+
+func TestCompiledAccessors(t *testing.T) {
+	c, err := Compile(waveProtocol())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "wave^" {
+		t.Errorf("Name = %q", c.Name())
+	}
+	if c.Bound() != 1 {
+		t.Errorf("Bound = %d", c.Bound())
+	}
+	if got, want := c.NumLetters(), 3*3*3; got != want {
+		t.Errorf("NumLetters = %d, want %d", got, want)
+	}
+	if len(c.Inputs()) != 2 {
+		t.Errorf("Inputs = %v", c.Inputs())
+	}
+	if _, err := c.InputFor(2); err == nil {
+		t.Error("InputFor accepted a non-input state")
+	}
+	s, err := c.InputFor(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Underlying(s) != 1 {
+		t.Errorf("Underlying(InputFor(1)) = %d", c.Underlying(s))
+	}
+	if c.IsOutput(s) {
+		t.Error("input state flagged as output")
+	}
+}
+
+func TestExpandedMatchesOriginalOnSync(t *testing.T) {
+	src := pairObserver()
+	g := graph.Grid(3, 4)
+	isB := make([]bool, g.N())
+	for v := range isB {
+		isB[v] = v%2 == 1
+	}
+	want := pairObserverWant(g, isB)
+	srcInit := pairObserverInit(isB)
+
+	e, err := Expand(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := make([]nfsm.State, len(srcInit))
+	for v, q := range srcInit {
+		init[v] = e.Inputs()[q] // inputs parallel to src.Input = {0, 1}
+	}
+	res, err := engine.RunSync(e, g, engine.SyncConfig{Seed: 6, Init: init})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := e.DecodeStates(res.States)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Errorf("node %d decoded to %d, want %d", v, got[v], want[v])
+		}
+	}
+	// The source takes exactly 2 rounds; the expansion multiplies by |Σ|.
+	if wantRounds := 2 * e.SubroundsPerRound(); res.Rounds != wantRounds {
+		t.Errorf("rounds = %d, want %d", res.Rounds, wantRounds)
+	}
+}
+
+func TestExpandRejectsInvalid(t *testing.T) {
+	p := pairObserver()
+	p.Input = nil
+	if _, err := Expand(p); err == nil {
+		t.Fatal("invalid protocol expanded")
+	}
+}
+
+func TestExpandedAccessors(t *testing.T) {
+	e, err := Expand(pairObserver())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Name() != "pairobs*" {
+		t.Errorf("Name = %q", e.Name())
+	}
+	if e.NumLetters() != 3 || e.Bound() != 1 || e.SubroundsPerRound() != 3 {
+		t.Error("basic accessors wrong")
+	}
+	if e.InitialLetter() != 2 {
+		t.Errorf("InitialLetter = %d", e.InitialLetter())
+	}
+	if e.IsOutput(e.InputState()) {
+		t.Error("input flagged as output")
+	}
+}

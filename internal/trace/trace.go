@@ -1,0 +1,143 @@
+// Package trace provides execution-recording observers for the engines:
+// per-round state histograms, full per-node timelines, and CSV export.
+// The experiment harness uses histograms to visualize protocol dynamics
+// (e.g. the active/waiting/colored populations of Section 5); the
+// timelines support debugging and the invariant tests.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"stoneage/internal/nfsm"
+)
+
+// Histogram records, for every round of a synchronous run, how many
+// nodes resided in each state.
+type Histogram struct {
+	// StateNames labels the columns.
+	StateNames []string
+	// Counts[r][q] is the population of state q after round r+1.
+	Counts [][]int
+}
+
+// NewHistogram builds a recorder for a machine with the given state
+// names.
+func NewHistogram(stateNames []string) *Histogram {
+	return &Histogram{StateNames: stateNames}
+}
+
+// Observer returns the engine.SyncConfig observer that feeds the
+// histogram.
+func (h *Histogram) Observer() func(round int, states []nfsm.State) {
+	return func(round int, states []nfsm.State) {
+		row := make([]int, len(h.StateNames))
+		for _, q := range states {
+			if int(q) < len(row) {
+				row[q]++
+			}
+		}
+		h.Counts = append(h.Counts, row)
+	}
+}
+
+// WriteCSV renders the histogram as CSV with a round column.
+func (h *Histogram) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("round")
+	for _, name := range h.StateNames {
+		b.WriteString(",")
+		b.WriteString(csvEscape(name))
+	}
+	b.WriteString("\n")
+	for r, row := range h.Counts {
+		b.WriteString(strconv.Itoa(r + 1))
+		for _, c := range row {
+			b.WriteString(",")
+			b.WriteString(strconv.Itoa(c))
+		}
+		b.WriteString("\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// Timeline records the full per-node state evolution of a synchronous
+// run. Memory is O(rounds·n); intended for small diagnostic runs.
+type Timeline struct {
+	// States[r][v] is node v's state after round r+1.
+	States [][]nfsm.State
+}
+
+// Observer returns the engine.SyncConfig observer that feeds the
+// timeline.
+func (tl *Timeline) Observer() func(round int, states []nfsm.State) {
+	return func(round int, states []nfsm.State) {
+		tl.States = append(tl.States, append([]nfsm.State(nil), states...))
+	}
+}
+
+// ChangedAt returns the rounds (1-based) at which node v changed state.
+func (tl *Timeline) ChangedAt(v int) []int {
+	var out []int
+	for r := 1; r < len(tl.States); r++ {
+		if tl.States[r][v] != tl.States[r-1][v] {
+			out = append(out, r+1)
+		}
+	}
+	return out
+}
+
+// StepLog records asynchronous node steps: (time, node, step, state)
+// tuples in execution order.
+type StepLog struct {
+	// Times, Nodes, Steps and States are parallel slices.
+	Times  []float64
+	Nodes  []int
+	Steps  []int
+	States []nfsm.State
+}
+
+// Observer returns the engine.AsyncConfig observer that feeds the log.
+func (l *StepLog) Observer() func(time float64, node, step int, state nfsm.State) {
+	return func(time float64, node, step int, state nfsm.State) {
+		l.Times = append(l.Times, time)
+		l.Nodes = append(l.Nodes, node)
+		l.Steps = append(l.Steps, step)
+		l.States = append(l.States, state)
+	}
+}
+
+// Len returns the number of recorded steps.
+func (l *StepLog) Len() int { return len(l.Times) }
+
+// WriteCSV renders the step log as CSV.
+func (l *StepLog) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("time,node,step,state\n")
+	for i := range l.Times {
+		fmt.Fprintf(&b, "%g,%d,%d,%d\n", l.Times[i], l.Nodes[i], l.Steps[i], l.States[i])
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// MonotoneTimes reports whether the recorded step times are
+// non-decreasing — a sanity check on the event queue's ordering.
+func (l *StepLog) MonotoneTimes() bool {
+	for i := 1; i < len(l.Times); i++ {
+		if l.Times[i] < l.Times[i-1] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"stoneage/internal/engine"
+	"stoneage/internal/graph"
+	"stoneage/internal/mis"
+	"stoneage/internal/nfsm"
+)
+
+func TestHistogramRecordsRun(t *testing.T) {
+	g := graph.Cycle(20)
+	p := mis.Protocol()
+	h := NewHistogram(p.StateNames)
+	res, err := engine.RunSync(p, g, engine.SyncConfig{Seed: 1, Observer: h.Observer()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Counts) != res.Rounds {
+		t.Fatalf("histogram rows %d != rounds %d", len(h.Counts), res.Rounds)
+	}
+	// Row sums must equal n in every round.
+	for r, row := range h.Counts {
+		sum := 0
+		for _, c := range row {
+			sum += c
+		}
+		if sum != g.N() {
+			t.Fatalf("round %d histogram sums to %d", r+1, sum)
+		}
+	}
+	// Final round: everyone in WIN or LOSE.
+	last := h.Counts[len(h.Counts)-1]
+	if last[mis.Win]+last[mis.Lose] != g.N() {
+		t.Fatalf("final histogram %v not all-output", last)
+	}
+}
+
+func TestHistogramCSV(t *testing.T) {
+	h := NewHistogram([]string{"a", "b,c"})
+	h.Observer()(1, []nfsm.State{0, 1, 1})
+	var sb strings.Builder
+	if err := h.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `round,a,"b,c"`) {
+		t.Fatalf("header = %q", out)
+	}
+	if !strings.Contains(out, "1,1,2") {
+		t.Fatalf("row missing: %q", out)
+	}
+}
+
+func TestTimelineChangedAt(t *testing.T) {
+	var tl Timeline
+	obs := tl.Observer()
+	obs(1, []nfsm.State{0, 0})
+	obs(2, []nfsm.State{0, 1})
+	obs(3, []nfsm.State{2, 1})
+	if got := tl.ChangedAt(0); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("node 0 changes = %v", got)
+	}
+	if got := tl.ChangedAt(1); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("node 1 changes = %v", got)
+	}
+}
+
+func TestTimelineCopiesStates(t *testing.T) {
+	var tl Timeline
+	obs := tl.Observer()
+	states := []nfsm.State{0}
+	obs(1, states)
+	states[0] = 7
+	if tl.States[0][0] != 0 {
+		t.Fatal("timeline aliased the engine's state slice")
+	}
+}
+
+func TestStepLogOnAsyncRun(t *testing.T) {
+	g := graph.Path(6)
+	// A three-step countdown protocol: deterministic, no communication,
+	// terminates after every node takes three steps.
+	countdown := &nfsm.RoundProtocol{
+		Name:        "countdown",
+		StateNames:  []string{"three", "two", "one", "done"},
+		LetterNames: []string{"x"},
+		Input:       []nfsm.State{0},
+		Output:      []bool{false, false, false, true},
+		Initial:     0,
+		B:           1,
+		Transition: func(q nfsm.State, counts []nfsm.Count) []nfsm.Move {
+			if q == 3 {
+				return []nfsm.Move{{Next: q, Emit: nfsm.NoLetter}}
+			}
+			return []nfsm.Move{{Next: q + 1, Emit: nfsm.NoLetter}}
+		},
+	}
+	var log StepLog
+	_, err := engine.RunAsync(countdown, g, engine.AsyncConfig{
+		Seed:      1,
+		Adversary: engine.UniformRandom{Seed: 2},
+		Observer:  log.Observer(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Len() == 0 {
+		t.Fatal("no steps recorded")
+	}
+	if !log.MonotoneTimes() {
+		t.Fatal("step times are not monotone")
+	}
+	var sb strings.Builder
+	if err := log.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "time,node,step,state\n") {
+		t.Fatalf("csv header wrong: %q", sb.String()[:40])
+	}
+}

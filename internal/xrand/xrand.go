@@ -1,0 +1,137 @@
+// Package xrand provides a small, deterministic, splittable pseudo-random
+// number generator used by every stochastic component of the repository.
+//
+// Determinism across engines is a load-bearing property: the synchronous
+// engine (internal/engine), the asynchronous engine, and the rLBA sweep
+// simulator of Lemma 6.1 (internal/lba) must be able to consume *identical*
+// coin-toss sequences so that their executions can be compared step for
+// step in tests. To that end, randomness is derived functionally from
+// (seed, stream, counter) triples via splitmix64 rather than from shared
+// mutable generator state.
+package xrand
+
+// splitmix64 is the finalizer of the SplitMix64 generator (Steele et al.,
+// "Fast Splittable Pseudorandom Number Generators", OOPSLA 2014). It is a
+// bijection on 64-bit integers with excellent avalanche behaviour, which
+// makes hash-derived streams statistically independent for our purposes.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Mix combines an arbitrary number of 64-bit values into a single
+// well-mixed 64-bit value. It is used to derive stream identifiers from
+// structured coordinates such as (seed, node, step).
+func Mix(vs ...uint64) uint64 {
+	h := uint64(0x243f6a8885a308d3) // pi fractional bits, arbitrary non-zero
+	for _, v := range vs {
+		h = splitmix64(h ^ v)
+	}
+	return h
+}
+
+// Source is a deterministic PRNG stream. The zero value is a valid stream
+// (seeded with 0); use New or NewStream for explicit seeding.
+type Source struct {
+	state uint64
+}
+
+// New returns a Source seeded with the given seed.
+func New(seed uint64) *Source {
+	return &Source{state: splitmix64(seed)}
+}
+
+// NewStream returns a Source whose sequence is a pure function of the given
+// coordinates. Two calls with equal coordinates yield identical streams.
+func NewStream(coords ...uint64) *Source {
+	return &Source{state: Mix(coords...)}
+}
+
+// Uint64 returns the next 64 bits of the stream.
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	x := s.state
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Intn returns a uniformly distributed integer in [0, n). n must be > 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		// A zero-sized choice is a programming error in the caller; keep
+		// the failure loud in tests but avoid a panic chain in production
+		// paths by clamping to the only defensible value.
+		panic("xrand: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded rejection sampling.
+	un := uint64(n)
+	v := s.Uint64()
+	hi, lo := mul64(v, un)
+	if lo < un {
+		threshold := (-un) % un
+		for lo < threshold {
+			v = s.Uint64()
+			hi, lo = mul64(v, un)
+		}
+	}
+	return int(hi)
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	a0, a1 := a&mask32, a>>32
+	b0, b1 := b&mask32, b>>32
+	t := a1*b0 + (a0*b0)>>32
+	lo1 := t & mask32
+	hi1 := t >> 32
+	lo1 += a0 * b1
+	hi = a1*b1 + hi1 + lo1>>32
+	lo = a * b
+	return hi, lo
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns a fair coin toss.
+func (s *Source) Bool() bool {
+	return s.Uint64()&1 == 1
+}
+
+// Perm returns a pseudo-random permutation of [0, n) as a slice.
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Geometric returns a sample from the geometric distribution with success
+// probability 1/2: the number of fair-coin tosses up to and including the
+// first head. The support is {1, 2, 3, ...}. This is the distribution of the
+// UP-phase lengths in the paper's MIS tournaments (Section 4).
+func (s *Source) Geometric() int {
+	n := 1
+	for !s.Bool() {
+		n++
+	}
+	return n
+}
+
+// Coin is the deterministic per-(seed,node,step,draw) coin used by the
+// execution engines. Engines that must agree on randomness (Lemma 6.1
+// cross-check) call Coin with identical coordinates.
+func Coin(seed uint64, node, step, draw int) uint64 {
+	return Mix(seed, uint64(node), uint64(step), uint64(draw))
+}
