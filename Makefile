@@ -1,0 +1,21 @@
+# Tier-1 verification and tracked benchmarks.
+
+.PHONY: all build test bench
+
+all: build test
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# bench regenerates BENCH_1.json from the tracked benchmark set
+# (E1 MIS sync, E5 tree coloring, E9 nFSM-simulates-LBA, and the
+# engine ref-vs-compiled ablation), with -benchmem. Override the output
+# file or iteration count with BENCH_OUT / BENCH_TIME.
+BENCH_OUT ?= BENCH_1.json
+BENCH_TIME ?= 20x
+
+bench:
+	sh scripts/bench.sh $(BENCH_OUT) $(BENCH_TIME)

@@ -299,6 +299,38 @@ func BenchmarkCompilePhaseCost(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineCompiledVsRef is the acceptance ablation for the
+// compiled execution core: the reference engine (the seed
+// implementation, kept as RunSyncRef) against the compiled executor on
+// E1's n=1024 instance, plus the pre-bound program that amortizes the
+// δ-tabulation the way the protocol packages do. The differential tests
+// guarantee all three produce bit-identical runs.
+func BenchmarkEngineCompiledVsRef(b *testing.B) {
+	g := graph.GnpConnected(1024, 4.0/1024, xrand.New(1024))
+	b.Run("ref", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.RunSyncRef(mis.Protocol(), g, engine.SyncConfig{Seed: uint64(i)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("compiled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.RunSync(mis.Protocol(), g, engine.SyncConfig{Seed: uint64(i)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("prebound", func(b *testing.B) {
+		code := engine.CompileMachine(mis.Protocol())
+		for i := 0; i < b.N; i++ {
+			if _, err := code.Bind(g).RunSync(engine.SyncConfig{Seed: uint64(i)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkEngineStep measures the raw per-step cost of the two engines
 // (an ablation for the event-queue overhead of the asynchronous engine).
 func BenchmarkEngineStep(b *testing.B) {

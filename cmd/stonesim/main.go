@@ -53,6 +53,7 @@ type options struct {
 	adversary string
 	word      string
 	traceCSV  string
+	workers   int
 }
 
 func run(args []string, w io.Writer) error {
@@ -68,6 +69,7 @@ func run(args []string, w io.Writer) error {
 	fs.StringVar(&opt.adversary, "adversary", "uniform", "async adversary policy")
 	fs.StringVar(&opt.word, "word", "abc", "input word for the lba protocols")
 	fs.StringVar(&opt.traceCSV, "trace", "", "write a per-round state histogram CSV to this file (sync engine only)")
+	fs.IntVar(&opt.workers, "workers", 0, "sync round-loop workers (0 = GOMAXPROCS); results are identical for every value")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -158,7 +160,7 @@ func pickAdversary(opt options) (engine.Adversary, error) {
 // traced wraps a synchronous run of a round protocol with the optional
 // state-histogram CSV recorder.
 func traced(opt options, p *nfsm.RoundProtocol, g *graph.Graph) (*engine.SyncResult, error) {
-	cfg := engine.SyncConfig{Seed: opt.seed}
+	cfg := engine.SyncConfig{Seed: opt.seed, Workers: opt.workers}
 	var hist *trace.Histogram
 	if opt.traceCSV != "" {
 		hist = trace.NewHistogram(p.StateNames)

@@ -9,7 +9,8 @@
 // theorem.
 //
 // The implementation lives under internal/; see DESIGN.md for the system
-// inventory, EXPERIMENTS.md for the measured results, and examples/ for
-// runnable entry points. The benchmarks in bench_test.go regenerate one
-// measurement per experiment.
+// inventory and the compiled execution core's architecture, BENCH_1.json
+// for the tracked benchmark measurements (regenerate with `make bench`),
+// and examples/ for runnable entry points. The benchmarks in
+// bench_test.go regenerate one measurement per experiment.
 package stoneage

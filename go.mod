@@ -1,0 +1,3 @@
+module stoneage
+
+go 1.24.0

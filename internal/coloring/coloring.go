@@ -29,6 +29,7 @@ package coloring
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"stoneage/internal/engine"
 	"stoneage/internal/graph"
@@ -249,13 +250,21 @@ type SyncRun struct {
 	Transmissions int64
 }
 
-// SolveSync runs the protocol on the synchronous engine. The input must
-// be a tree.
+// code lowers the protocol once per process. The 269·4¹² count domain
+// is far beyond the engine's tabulation bound, so the program runs on
+// the dynamic path — it still gains the CSR layout, incremental count
+// maintenance and sharded rounds (the Transition is pure).
+var code = sync.OnceValue(func() *engine.MachineCode {
+	return engine.CompileMachine(Protocol())
+})
+
+// SolveSync runs the protocol on the compiled synchronous engine. The
+// input must be a tree.
 func SolveSync(g *graph.Graph, seed uint64, maxRounds int) (*SyncRun, error) {
 	if !g.IsTree() {
 		return nil, ErrNotATree
 	}
-	res, err := engine.RunSync(Protocol(), g, engine.SyncConfig{Seed: seed, MaxRounds: maxRounds})
+	res, err := code().Bind(g).RunSync(engine.SyncConfig{Seed: seed, MaxRounds: maxRounds})
 	if err != nil {
 		return nil, err
 	}
@@ -340,7 +349,7 @@ func SolveSyncInstrumented(g *graph.Graph, seed uint64, maxRounds int) (*SyncRun
 		census.Waiting = append(census.Waiting, wait)
 		census.Colored = append(census.Colored, col)
 	}
-	res, err := engine.RunSync(Protocol(), g, engine.SyncConfig{
+	res, err := code().Bind(g).RunSync(engine.SyncConfig{
 		Seed: seed, MaxRounds: maxRounds, Observer: observer,
 	})
 	if err != nil {

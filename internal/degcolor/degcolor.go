@@ -24,6 +24,7 @@ package degcolor
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"stoneage/internal/engine"
 	"stoneage/internal/graph"
@@ -130,17 +131,34 @@ type Run struct {
 	Rounds int
 }
 
-// SolveSync colors g with maxDeg+1 colors on the synchronous engine. The
-// graph's maximum degree must not exceed maxDeg.
-func SolveSync(g *graph.Graph, maxDeg int, seed uint64, maxRounds int) (*Run, error) {
-	if g.MaxDegree() > maxDeg {
-		return nil, fmt.Errorf("%w: Δ=%d > %d", ErrDegreeTooLarge, g.MaxDegree(), maxDeg)
+// codes caches the compiled δ-table per degree bound: the tabulation
+// enumerates (1+2(Δ+1))·2^(2(Δ+1)) rows, which is worth amortizing
+// across the runs of an experiment sweep.
+var codes sync.Map // maxDeg int → *engine.MachineCode
+
+func codeFor(maxDeg int) (*engine.MachineCode, error) {
+	if c, ok := codes.Load(maxDeg); ok {
+		return c.(*engine.MachineCode), nil
 	}
 	p, err := Protocol(maxDeg)
 	if err != nil {
 		return nil, err
 	}
-	res, err := engine.RunSync(p, g, engine.SyncConfig{Seed: seed, MaxRounds: maxRounds})
+	c, _ := codes.LoadOrStore(maxDeg, engine.CompileMachine(p))
+	return c.(*engine.MachineCode), nil
+}
+
+// SolveSync colors g with maxDeg+1 colors on the compiled synchronous
+// engine. The graph's maximum degree must not exceed maxDeg.
+func SolveSync(g *graph.Graph, maxDeg int, seed uint64, maxRounds int) (*Run, error) {
+	if g.MaxDegree() > maxDeg {
+		return nil, fmt.Errorf("%w: Δ=%d > %d", ErrDegreeTooLarge, g.MaxDegree(), maxDeg)
+	}
+	code, err := codeFor(maxDeg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := code.Bind(g).RunSync(engine.SyncConfig{Seed: seed, MaxRounds: maxRounds})
 	if err != nil {
 		return nil, err
 	}

@@ -1,7 +1,6 @@
 package engine
 
 import (
-	"container/heap"
 	"fmt"
 
 	"stoneage/internal/graph"
@@ -48,7 +47,7 @@ type AsyncResult struct {
 	States []nfsm.State
 }
 
-// event is a heap entry: either a node step or a port delivery.
+// event is a queue entry: either a node step or a port delivery.
 type event struct {
 	time   float64
 	seq    uint64 // FIFO-stable tiebreak for equal times
@@ -58,30 +57,78 @@ type event struct {
 	step   bool        // true: node step; false: delivery
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
-	}
-	return h[i].seq < h[j].seq
+// eventQueue is a hand-rolled binary min-heap of events ordered by
+// (time, seq). It replaces container/heap to keep events out of
+// interface{} boxes: Push/Pop allocated one escape per event, which
+// dominated RunAsync's allocation profile. The (time, seq) key is a
+// total order (seq is unique), so the pop sequence — and therefore the
+// whole execution — is independent of the heap's internal layout.
+type eventQueue struct {
+	ev []event
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+func (h *eventQueue) len() int { return len(h.ev) }
+
+func (h *eventQueue) less(i, j int) bool {
+	if h.ev[i].time != h.ev[j].time {
+		return h.ev[i].time < h.ev[j].time
+	}
+	return h.ev[i].seq < h.ev[j].seq
+}
+
+func (h *eventQueue) push(e event) {
+	h.ev = append(h.ev, e)
+	i := len(h.ev) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.ev[i], h.ev[parent] = h.ev[parent], h.ev[i]
+		i = parent
+	}
+}
+
+func (h *eventQueue) pop() event {
+	root := h.ev[0]
+	last := len(h.ev) - 1
+	h.ev[0] = h.ev[last]
+	h.ev = h.ev[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < last && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return root
+		}
+		h.ev[i], h.ev[smallest] = h.ev[smallest], h.ev[i]
+		i = smallest
+	}
 }
 
 // RunAsync executes machine m on graph g in the asynchronous environment
-// of Section 2 under the given adversarial policy.
+// of Section 2 under the given adversarial policy. Like RunSync it goes
+// through the compiled fast path; Compile once and call Program.RunAsync
+// to amortize the lowering across runs.
 func RunAsync(m nfsm.Machine, g *graph.Graph, cfg AsyncConfig) (*AsyncResult, error) {
-	n := g.N()
-	states, err := initialStates(m, n, cfg.Init)
+	return Compile(m, g).RunAsync(cfg)
+}
+
+// RunAsync executes the compiled program asynchronously. The event loop
+// is sequential (the adversary's timing makes steps causally dependent),
+// but it shares the synchronous executor's representation: flat δ
+// lookups, the CSR edge order for ports and the flattened reverse-port
+// table for deliveries, and incremental count maintenance in place of
+// per-step port rescans.
+func (p *Program) RunAsync(cfg AsyncConfig) (*AsyncResult, error) {
+	n := p.g.N()
+	states, err := initialStates(p.m, n, cfg.Init)
 	if err != nil {
 		return nil, err
 	}
@@ -94,37 +141,30 @@ func RunAsync(m nfsm.Machine, g *graph.Graph, cfg AsyncConfig) (*AsyncResult, er
 		maxSteps = 1 << 24
 	}
 
-	topo := newPortTopology(g)
-	cnt := newCounter(m)
+	csr := p.csr
+	rc := newRunCounts(p)
+	cbuf := make([]nfsm.Count, p.nl)
 
-	ports := make([][]nfsm.Letter, n)
-	portWriteAt := make([][]float64, n) // time of last write, -inf initially
-	for v := 0; v < n; v++ {
-		deg := g.Degree(v)
-		ports[v] = make([]nfsm.Letter, deg)
-		portWriteAt[v] = make([]float64, deg)
-		for i := range ports[v] {
-			ports[v][i] = m.InitialLetter()
-			portWriteAt[v][i] = -1
-		}
+	// portWriteAt[k] is the time of the last write to the port at CSR
+	// edge slot k (-1 initially); lastDelivery[k] enforces FIFO on the
+	// directed edge at slot k (v → NbrDat[k]).
+	portWriteAt := make([]float64, len(csr.NbrDat))
+	for k := range portWriteAt {
+		portWriteAt[k] = -1
 	}
+	lastDelivery := make([]float64, len(csr.NbrDat))
 
 	stepIndex := make([]int, n)      // steps completed so far per node
 	lastStepAt := make([]float64, n) // time of last completed step
-	// lastDelivery[v][i] enforces FIFO per directed edge v → neighbor i.
-	lastDelivery := make([][]float64, n)
-	for v := 0; v < n; v++ {
-		lastDelivery[v] = make([]float64, g.Degree(v))
-	}
 
 	res := &AsyncResult{States: states}
-	outputs := countOutputs(m, states)
+	outputs := countOutputs(p.m, states)
 	if outputs == n {
 		return res, nil
 	}
 
 	var (
-		h        eventHeap
+		h        eventQueue
 		seq      uint64
 		maxParam float64
 	)
@@ -140,7 +180,7 @@ func RunAsync(m nfsm.Machine, g *graph.Graph, cfg AsyncConfig) (*AsyncResult, er
 	push := func(e event) {
 		e.seq = seq
 		seq++
-		heap.Push(&h, e)
+		h.push(e)
 	}
 
 	for v := 0; v < n; v++ {
@@ -151,30 +191,31 @@ func RunAsync(m nfsm.Machine, g *graph.Graph, cfg AsyncConfig) (*AsyncResult, er
 		push(event{time: l, node: v, step: true})
 	}
 
-	for h.Len() > 0 {
-		e := heap.Pop(&h).(event)
+	for h.len() > 0 {
+		e := h.pop()
 		if !e.step {
 			// Delivery: overwrite the destination port. If the previous
 			// value was written after the destination's last step, it was
 			// never observable — a lost message.
-			if portWriteAt[e.node][e.port] > lastStepAt[e.node] {
+			k := csr.NbrOff[e.node] + int32(e.port)
+			if portWriteAt[k] > lastStepAt[e.node] {
 				res.Lost++
 			}
-			ports[e.node][e.port] = e.letter
-			portWriteAt[e.node][e.port] = e.time
+			rc.setPort(e.node, k, e.letter)
+			portWriteAt[k] = e.time
 			continue
 		}
 
 		v := e.node
 		t := stepIndex[v] + 1
 		q := states[v]
-		moves := m.Moves(q, cnt.counts(q, ports[v]))
+		moves := rc.movesFor(v, q, cbuf)
 		if len(moves) == 0 {
 			return nil, fmt.Errorf("engine: δ empty at node %d state %d step %d", v, q, t)
 		}
 		mv := nfsm.PickMove(cfg.Seed, v, t, moves)
-		if m.IsOutput(mv.Next) != m.IsOutput(q) {
-			if m.IsOutput(mv.Next) {
+		if p.isOutput(mv.Next) != p.isOutput(q) {
+			if p.isOutput(mv.Next) {
 				outputs++
 			} else {
 				outputs--
@@ -190,17 +231,18 @@ func RunAsync(m nfsm.Machine, g *graph.Graph, cfg AsyncConfig) (*AsyncResult, er
 
 		if mv.Emit != nfsm.NoLetter {
 			res.Transmissions++
-			for i, u := range g.Neighbors(v) {
+			for k := csr.NbrOff[v]; k < csr.NbrOff[v+1]; k++ {
+				u := int(csr.NbrDat[k])
 				d, err := useParam(adv.Delay(v, t, u), "delay", v, t)
 				if err != nil {
 					return nil, err
 				}
 				at := e.time + d
-				if at < lastDelivery[v][i] {
-					at = lastDelivery[v][i] // FIFO per directed edge
+				if at < lastDelivery[k] {
+					at = lastDelivery[k] // FIFO per directed edge
 				}
-				lastDelivery[v][i] = at
-				push(event{time: at, node: u, port: topo.rev[v][i], letter: mv.Emit})
+				lastDelivery[k] = at
+				push(event{time: at, node: u, port: int(csr.RevPort[k]), letter: mv.Emit})
 			}
 		}
 
@@ -210,7 +252,7 @@ func RunAsync(m nfsm.Machine, g *graph.Graph, cfg AsyncConfig) (*AsyncResult, er
 			return res, nil
 		}
 		if res.Steps >= maxSteps {
-			return nil, fmt.Errorf("%w: %s after %d steps", ErrNoConvergence, machineName(m), res.Steps)
+			return nil, fmt.Errorf("%w: %s after %d steps", ErrNoConvergence, machineName(p.m), res.Steps)
 		}
 		l, err := useParam(adv.StepLength(v, t+1), "step length", v, t+1)
 		if err != nil {

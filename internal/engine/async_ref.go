@@ -1,0 +1,177 @@
+package engine
+
+import (
+	"container/heap"
+	"fmt"
+
+	"stoneage/internal/graph"
+	"stoneage/internal/nfsm"
+)
+
+// refEventHeap is the container/heap-based queue of the seed engine,
+// kept verbatim for the reference oracle.
+type refEventHeap []event
+
+func (h refEventHeap) Len() int { return len(h) }
+func (h refEventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refEventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *refEventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *refEventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// RunAsyncRef is the reference asynchronous engine: the seed
+// implementation with interface dispatch, per-step port rescans,
+// nested-slice adjacency and the boxing event heap. Like RunSyncRef it
+// exists as the oracle the compiled executor is differentially tested
+// against (TestDifferentialAsyncEngines); use RunAsync everywhere else.
+func RunAsyncRef(m nfsm.Machine, g *graph.Graph, cfg AsyncConfig) (*AsyncResult, error) {
+	n := g.N()
+	states, err := initialStates(m, n, cfg.Init)
+	if err != nil {
+		return nil, err
+	}
+	adv := cfg.Adversary
+	if adv == nil {
+		adv = Synchronous{}
+	}
+	maxSteps := cfg.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 1 << 24
+	}
+
+	topo := newPortTopology(g)
+	cnt := newCounter(m)
+
+	ports := make([][]nfsm.Letter, n)
+	portWriteAt := make([][]float64, n) // time of last write, -inf initially
+	for v := 0; v < n; v++ {
+		deg := g.Degree(v)
+		ports[v] = make([]nfsm.Letter, deg)
+		portWriteAt[v] = make([]float64, deg)
+		for i := range ports[v] {
+			ports[v][i] = m.InitialLetter()
+			portWriteAt[v][i] = -1
+		}
+	}
+
+	stepIndex := make([]int, n)      // steps completed so far per node
+	lastStepAt := make([]float64, n) // time of last completed step
+	// lastDelivery[v][i] enforces FIFO per directed edge v → neighbor i.
+	lastDelivery := make([][]float64, n)
+	for v := 0; v < n; v++ {
+		lastDelivery[v] = make([]float64, g.Degree(v))
+	}
+
+	res := &AsyncResult{States: states}
+	outputs := countOutputs(m, states)
+	if outputs == n {
+		return res, nil
+	}
+
+	var (
+		h        refEventHeap
+		seq      uint64
+		maxParam float64
+	)
+	useParam := func(d float64, kind string, v, t int) (float64, error) {
+		if d <= 0 {
+			return 0, fmt.Errorf("engine: adversary returned non-positive %s %g for node %d step %d", kind, d, v, t)
+		}
+		if d > maxParam {
+			maxParam = d
+		}
+		return d, nil
+	}
+	push := func(e event) {
+		e.seq = seq
+		seq++
+		heap.Push(&h, e)
+	}
+
+	for v := 0; v < n; v++ {
+		l, err := useParam(adv.StepLength(v, 1), "step length", v, 1)
+		if err != nil {
+			return nil, err
+		}
+		push(event{time: l, node: v, step: true})
+	}
+
+	for h.Len() > 0 {
+		e := heap.Pop(&h).(event)
+		if !e.step {
+			// Delivery: overwrite the destination port. If the previous
+			// value was written after the destination's last step, it was
+			// never observable — a lost message.
+			if portWriteAt[e.node][e.port] > lastStepAt[e.node] {
+				res.Lost++
+			}
+			ports[e.node][e.port] = e.letter
+			portWriteAt[e.node][e.port] = e.time
+			continue
+		}
+
+		v := e.node
+		t := stepIndex[v] + 1
+		q := states[v]
+		moves := m.Moves(q, cnt.counts(q, ports[v]))
+		if len(moves) == 0 {
+			return nil, fmt.Errorf("engine: δ empty at node %d state %d step %d", v, q, t)
+		}
+		mv := nfsm.PickMove(cfg.Seed, v, t, moves)
+		if m.IsOutput(mv.Next) != m.IsOutput(q) {
+			if m.IsOutput(mv.Next) {
+				outputs++
+			} else {
+				outputs--
+			}
+		}
+		states[v] = mv.Next
+		stepIndex[v] = t
+		lastStepAt[v] = e.time
+		res.Steps++
+		if cfg.Observer != nil {
+			cfg.Observer(e.time, v, t, mv.Next)
+		}
+
+		if mv.Emit != nfsm.NoLetter {
+			res.Transmissions++
+			for i, u := range g.Neighbors(v) {
+				d, err := useParam(adv.Delay(v, t, u), "delay", v, t)
+				if err != nil {
+					return nil, err
+				}
+				at := e.time + d
+				if at < lastDelivery[v][i] {
+					at = lastDelivery[v][i] // FIFO per directed edge
+				}
+				lastDelivery[v][i] = at
+				push(event{time: at, node: u, port: topo.rev[v][i], letter: mv.Emit})
+			}
+		}
+
+		if outputs == n {
+			res.Time = e.time
+			res.TimeUnits = e.time / maxParam
+			return res, nil
+		}
+		if res.Steps >= maxSteps {
+			return nil, fmt.Errorf("%w: %s after %d steps", ErrNoConvergence, machineName(m), res.Steps)
+		}
+		l, err := useParam(adv.StepLength(v, t+1), "step length", v, t+1)
+		if err != nil {
+			return nil, err
+		}
+		push(event{time: e.time + l, node: v, step: true})
+	}
+	return nil, fmt.Errorf("%w: event queue drained", ErrNoConvergence)
+}

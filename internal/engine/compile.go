@@ -1,0 +1,340 @@
+package engine
+
+import (
+	"stoneage/internal/graph"
+	"stoneage/internal/nfsm"
+)
+
+// progKind selects the δ-lookup strategy a compiled Program uses in the
+// round loop.
+type progKind uint8
+
+const (
+	// progDynamic calls m.Moves per node step: the generic fallback for
+	// machines whose δ cannot be tabulated ahead of time (multi-letter
+	// round protocols with a large count domain, and the lazily
+	// self-interning machines built by package synchro).
+	progDynamic progKind = iota
+	// progFlatSingle serves single-letter-query machines from the flat
+	// table delta[q*(b+1)+c], where c is the clamped count of the query
+	// letter λ(q).
+	progFlatSingle
+	// progFlatMulti serves multi-letter round protocols from the flat
+	// table delta[q*(b+1)^|Σ| + idx], where idx encodes the full clamped
+	// count vector in base b+1. The executors maintain idx incrementally.
+	progFlatMulti
+)
+
+// maxTabulate bounds |Q|·(b+1)^|Σ| for multi-letter tabulation. Beyond
+// it Compile falls back to progDynamic (requirement (M4) makes the bound
+// generous: the paper's protocols fit except the coloring protocol's
+// 269·4¹² domain, which stays dynamic).
+const maxTabulate = 1 << 17
+
+// MachineCode is the graph-independent half of a compiled program: δ
+// packed into flat move tables, the output set as a bitset, query
+// letters as a dense array. A MachineCode is immutable after
+// CompileMachine; Bind attaches it to a graph's CSR snapshot cheaply, so
+// callers that execute one machine on many graphs (or many runs on one
+// graph) tabulate δ exactly once.
+//
+// Lowering is an observational-equivalence refactor, not a semantic one:
+// every table entry is exactly the slice (or a pure recomputation) that
+// m.Moves would return for the same observation, and both executors draw
+// randomness from the same nfsm.PickMove coin, so a compiled program's
+// runs are bit-identical to the reference engine's (the differential
+// tests pin this down).
+type MachineCode struct {
+	m nfsm.Machine
+
+	kind     progKind
+	nq       int // |Q| at compile time (dynamic machines may grow it)
+	nl       int // |Σ|
+	b        int // one-two-many bound
+	initial  nfsm.Letter
+	outMask  []uint64      // flat kinds: Q_O membership bitset
+	query    []nfsm.Letter // progFlatSingle: λ as a dense array
+	delta    [][]nfsm.Move // flat δ rows (see progKind for the indexing)
+	pow      []int32       // progFlatMulti: pow[l] = (b+1)^l
+	pdim     int           // progFlatMulti: (b+1)^|Σ|
+	single   nfsm.SingleQuery
+	parallel bool // compute phase may be sharded across workers
+}
+
+// Program is a MachineCode bound to a specific graph: the flat δ tables
+// plus the CSR adjacency and reverse-port layout the executors walk. A
+// Program is immutable after Compile/Bind and safe for concurrent
+// RunSync/RunAsync calls.
+type Program struct {
+	*MachineCode
+	g   *graph.Graph
+	csr *graph.CSR
+}
+
+// CompileMachine lowers machine m into flat tables. It never fails:
+// machines it cannot tabulate run through the generic fallback, which
+// still benefits from the CSR layout and incremental count maintenance.
+func CompileMachine(m nfsm.Machine) *MachineCode {
+	c := &MachineCode{
+		m:       m,
+		kind:    progDynamic,
+		nq:      m.NumStates(),
+		nl:      m.NumLetters(),
+		b:       m.Bound(),
+		initial: m.InitialLetter(),
+	}
+	if sq, ok := m.(nfsm.SingleQuery); ok {
+		c.single = sq
+	}
+	switch mm := m.(type) {
+	case *nfsm.Protocol:
+		c.lowerProtocol(mm)
+		// A malformed protocol stays dynamic, where the single-query
+		// path uses the lock-free queryOf memo — shard only when the
+		// lowering actually succeeded.
+		c.parallel = c.kind != progDynamic
+	case *nfsm.RoundProtocol:
+		c.lowerRound(mm)
+		// A RoundProtocol's Transition is a pure function by contract,
+		// so even the dynamic fallback may be sharded across workers.
+		c.parallel = true
+	}
+	return c
+}
+
+// Bind attaches the machine code to a graph, building the CSR snapshot.
+// The cost is O(n + m), with no retabulation of δ.
+func (c *MachineCode) Bind(g *graph.Graph) *Program {
+	return &Program{MachineCode: c, g: g, csr: g.CSR()}
+}
+
+// Compile lowers machine m against graph g: CompileMachine followed by
+// Bind.
+func Compile(m nfsm.Machine, g *graph.Graph) *Program {
+	return CompileMachine(m).Bind(g)
+}
+
+// Machine returns the machine the program was compiled from.
+func (c *MachineCode) Machine() nfsm.Machine { return c.m }
+
+// Graph returns the graph the program was compiled against.
+func (p *Program) Graph() *graph.Graph { return p.g }
+
+// lowerProtocol packs a literal single-query protocol: its δ is already
+// a dense table, so the rows are shared, not copied.
+func (c *MachineCode) lowerProtocol(m *nfsm.Protocol) {
+	nq, w := c.nq, c.b+1
+	if len(m.Delta) != nq || len(m.Query) != nq || len(m.Output) != nq {
+		return // malformed: stay dynamic, errors surface at runtime
+	}
+	for _, l := range m.Query {
+		if l < 0 || int(l) >= c.nl {
+			return // the flat path would read out of the node's count block
+		}
+	}
+	rows := make([][]nfsm.Move, nq*w)
+	for q := 0; q < nq; q++ {
+		if len(m.Delta[q]) != w {
+			return
+		}
+		copy(rows[q*w:], m.Delta[q])
+	}
+	c.delta = rows
+	c.query = m.Query
+	c.outMask = outputBitset(nq, m.IsOutput)
+	c.kind = progFlatSingle
+}
+
+// lowerRound tabulates a multi-letter round protocol over its full count
+// domain |Q|·(b+1)^|Σ|, exactly the enumeration RoundProtocol.Audit
+// performs. Domains beyond maxTabulate stay dynamic.
+func (c *MachineCode) lowerRound(m *nfsm.RoundProtocol) {
+	if m.Transition == nil {
+		return
+	}
+	nq, nl, w := c.nq, c.nl, c.b+1
+	pdim := 1
+	for l := 0; l < nl; l++ {
+		pdim *= w
+		if nq*pdim > maxTabulate {
+			return
+		}
+	}
+	defer func() {
+		// A transition that panics on an unreachable count vector cannot
+		// be tabulated; the dynamic path only ever shows it reachable
+		// observations.
+		if recover() != nil {
+			c.kind = progDynamic
+			c.delta = nil
+			c.pow = nil
+		}
+	}()
+	pow := make([]int32, nl)
+	for l := range pow {
+		pow[l] = int32(intPow(w, l))
+	}
+	rows := make([][]nfsm.Move, nq*pdim)
+	counts := make([]nfsm.Count, nl)
+	for idx := 0; idx < pdim; idx++ {
+		rest := idx
+		for l := 0; l < nl; l++ {
+			counts[l] = nfsm.Count(rest % w)
+			rest /= w
+		}
+		for q := 0; q < nq; q++ {
+			rows[q*pdim+idx] = m.Transition(nfsm.State(q), counts)
+		}
+	}
+	c.delta = rows
+	c.pow = pow
+	c.pdim = pdim
+	c.outMask = outputBitset(nq, m.IsOutput)
+	c.kind = progFlatMulti
+}
+
+func intPow(base, exp int) int {
+	r := 1
+	for i := 0; i < exp; i++ {
+		r *= base
+	}
+	return r
+}
+
+func outputBitset(nq int, isOutput func(nfsm.State) bool) []uint64 {
+	mask := make([]uint64, (nq+63)/64)
+	for q := 0; q < nq; q++ {
+		if isOutput(nfsm.State(q)) {
+			mask[q>>6] |= 1 << (uint(q) & 63)
+		}
+	}
+	return mask
+}
+
+// isOutput answers Q_O membership from the bitset for flat programs and
+// from the machine otherwise.
+func (c *MachineCode) isOutput(q nfsm.State) bool {
+	if c.kind != progDynamic {
+		return c.outMask[q>>6]>>(uint(q)&63)&1 == 1
+	}
+	return c.m.IsOutput(q)
+}
+
+// runCounts is the per-run mutable execution state shared by the
+// synchronous and asynchronous executors: the flat port array aligned
+// with the CSR edge order, the per-node raw (unclamped) letter counts,
+// and — for progFlatMulti — the per-node base-(b+1) encoding of the
+// clamped count vector, all maintained incrementally as ports change.
+type runCounts struct {
+	p *Program
+	// portDat[k] is the letter held by the port at CSR edge slot k: for
+	// k in [NbrOff[v], NbrOff[v+1]) it is the last letter delivered to v
+	// from NbrDat[k].
+	portDat []nfsm.Letter
+	// raw[v*|Σ|+l] counts the ports of v currently holding letter l.
+	raw []int32
+	// idx[v] = Σ_l f_b(raw[v][l])·pow[l] (progFlatMulti only).
+	idx []int32
+	// dynQuery memoizes λ(q) for dynamic single-query machines whose
+	// QueryLetter takes a lock (the synchro compilers); -2 marks unknown.
+	dynQuery []nfsm.Letter
+}
+
+func newRunCounts(p *Program) *runCounts {
+	n := p.csr.N()
+	rc := &runCounts{
+		p:       p,
+		portDat: make([]nfsm.Letter, len(p.csr.NbrDat)),
+		raw:     make([]int32, n*p.nl),
+	}
+	for k := range rc.portDat {
+		rc.portDat[k] = p.initial
+	}
+	if p.kind == progFlatMulti {
+		rc.idx = make([]int32, n)
+	}
+	for v := 0; v < n; v++ {
+		deg := int32(p.csr.Degree(v))
+		if deg == 0 {
+			continue
+		}
+		rc.raw[v*p.nl+int(p.initial)] = deg
+		if rc.idx != nil {
+			c := deg
+			if c > int32(p.b) {
+				c = int32(p.b)
+			}
+			rc.idx[v] = c * p.pow[p.initial]
+		}
+	}
+	return rc
+}
+
+// setPort overwrites the port at CSR edge slot k of node v with letter l
+// and maintains the incremental counts. It must only be called with a
+// valid letter (deliveries are never ε).
+func (rc *runCounts) setPort(v int, k int32, l nfsm.Letter) {
+	old := rc.portDat[k]
+	if old == l {
+		return
+	}
+	rc.portDat[k] = l
+	base := v * rc.p.nl
+	io, in := base+int(old), base+int(l)
+	rc.raw[io]--
+	rc.raw[in]++
+	if rc.idx != nil {
+		b := int32(rc.p.b)
+		// f_b moves only while the raw count is within the clamp window.
+		if rc.raw[io] < b {
+			rc.idx[v] -= rc.p.pow[old]
+		}
+		if rc.raw[in] <= b {
+			rc.idx[v] += rc.p.pow[l]
+		}
+	}
+}
+
+// movesFor resolves δ for node v in state q. cbuf is the caller's scratch
+// count vector (used only on the dynamic path; per-worker when sharded).
+func (rc *runCounts) movesFor(v int, q nfsm.State, cbuf []nfsm.Count) []nfsm.Move {
+	p := rc.p
+	switch p.kind {
+	case progFlatSingle:
+		c := rc.raw[v*p.nl+int(p.query[q])]
+		if c > int32(p.b) {
+			c = int32(p.b)
+		}
+		return p.delta[int(q)*(p.b+1)+int(c)]
+	case progFlatMulti:
+		return p.delta[int(q)*p.pdim+int(rc.idx[v])]
+	}
+	base := v * p.nl
+	if p.single != nil {
+		ql := rc.queryOf(q)
+		cbuf[ql] = nfsm.ClampCount(int(rc.raw[base+int(ql)]), p.b)
+		return p.m.Moves(q, cbuf)
+	}
+	for l := 0; l < p.nl; l++ {
+		cbuf[l] = nfsm.ClampCount(int(rc.raw[base+l]), p.b)
+	}
+	return p.m.Moves(q, cbuf)
+}
+
+// queryOf memoizes QueryLetter for dynamic single-query machines (their
+// state sets grow during execution, so the cache grows on demand). Only
+// the sequential executor path reaches it — dynamic single-query
+// machines are never sharded — so the memo needs no lock.
+func (rc *runCounts) queryOf(q nfsm.State) nfsm.Letter {
+	if int(q) < len(rc.dynQuery) {
+		if l := rc.dynQuery[q]; l != -2 {
+			return l
+		}
+	}
+	l := rc.p.single.QueryLetter(q)
+	for len(rc.dynQuery) <= int(q) {
+		rc.dynQuery = append(rc.dynQuery, -2)
+	}
+	rc.dynQuery[q] = l
+	return l
+}

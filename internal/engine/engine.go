@@ -80,6 +80,14 @@ type counter struct {
 	m      nfsm.Machine
 	single nfsm.SingleQuery // nil when the machine queries all letters
 	buf    []nfsm.Count
+	// touched lists the letters the previous multi-letter call wrote, so
+	// the next call clears only those instead of zeroing the full
+	// alphabet buffer (a node's ports can hold at most deg(v) distinct
+	// letters, typically far fewer than |Σ| for compiled machines).
+	// It is per-call scratch, not cross-round state: every call still
+	// recomputes the vector from the ports, so the reference engines
+	// built on this counter remain a direct transcription of the model.
+	touched []nfsm.Letter
 }
 
 func newCounter(m nfsm.Machine) *counter {
@@ -106,11 +114,18 @@ func (c *counter) counts(q nfsm.State, ports []nfsm.Letter) []nfsm.Count {
 		c.buf[ql] = nfsm.ClampCount(n, b)
 		return c.buf
 	}
-	for i := range c.buf {
-		c.buf[i] = 0
+	for _, l := range c.touched {
+		c.buf[l] = 0
 	}
+	c.touched = c.touched[:0]
 	for _, l := range ports {
-		if l >= 0 && int(c.buf[l]) < b {
+		if l < 0 {
+			continue
+		}
+		if c.buf[l] == 0 {
+			c.touched = append(c.touched, l)
+		}
+		if int(c.buf[l]) < b {
 			c.buf[l]++
 		}
 	}

@@ -1,0 +1,390 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"stoneage/internal/nfsm"
+)
+
+// minShard is the smallest per-worker node range the default worker
+// count will create: below it the barrier overhead of a round outweighs
+// the sharded compute. An explicit SyncConfig.Workers bypasses the
+// heuristic.
+const minShard = 256
+
+// shardResult carries one worker's per-phase aggregates back to the
+// coordinator.
+type shardResult struct {
+	tx       int64
+	outDelta int
+	err      error
+}
+
+// RunSync executes the compiled program in the locally synchronous
+// environment. Rounds are two-phase: a compute phase applies δ to every
+// node against the port contents frozen at the end of the previous round,
+// and a deliver phase makes all transmissions visible for the next round.
+// Both phases shard the node range across workers with a barrier in
+// between; because every per-node computation reads only that node's own
+// state and ports and the deliver phase gathers from the frozen emit
+// buffer, the result is bit-identical for every worker count (see
+// DESIGN.md for the argument, and TestDifferentialSyncEngines for the
+// enforcement).
+func (p *Program) RunSync(cfg SyncConfig) (*SyncResult, error) {
+	n := p.g.N()
+	states, err := initialStates(p.m, n, cfg.Init)
+	if err != nil {
+		return nil, err
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 1 << 20
+	}
+
+	rc := newRunCounts(p)
+	emits := make([]nfsm.Letter, n)
+
+	res := &SyncResult{States: states}
+	outputs := countOutputs(p.m, states)
+	if outputs == n {
+		return res, nil
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if max := n / minShard; workers > max {
+			workers = max
+		}
+	}
+	if !p.parallel || workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+
+	exec := &syncExec{p: p, rc: rc, states: states, emits: emits, seed: cfg.Seed}
+	if workers > 1 {
+		stop := exec.startWorkers(workers)
+		defer stop()
+	} else {
+		exec.cbufs = [][]nfsm.Count{make([]nfsm.Count, p.nl)}
+		exec.emitters = make([][]int32, 1)
+	}
+
+	for round := 1; round <= maxRounds; round++ {
+		tx, outDelta, err := exec.computePhase(round)
+		if err != nil {
+			return nil, err
+		}
+		res.Transmissions += tx
+		outputs += outDelta
+		exec.deliverPhase()
+		if cfg.Observer != nil {
+			cfg.Observer(round, states)
+		}
+		if outputs == n {
+			res.Rounds = round
+			return res, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %s after %d rounds", ErrNoConvergence, machineName(p.m), maxRounds)
+}
+
+// syncExec owns the per-run buffers and the optional worker pool of a
+// synchronous execution.
+type syncExec struct {
+	p      *Program
+	rc     *runCounts
+	states []nfsm.State
+	emits  []nfsm.Letter
+	seed   uint64
+	cbufs  [][]nfsm.Count // per-worker dynamic-path scratch
+	// emitters[w] lists the nodes of worker w's shard that transmitted
+	// this round; the deliver phase walks only their edges instead of
+	// rescanning every port of the graph (most rounds of a converging
+	// protocol are mostly silent).
+	emitters [][]int32
+
+	// Worker pool state (nil/empty when sequential).
+	cmds    []chan int // per-worker: round r > 0 computes, -1 delivers
+	wg      sync.WaitGroup
+	lo, hi  []int
+	results []shardResult
+	// buckets[w][s] collects the port writes worker w's emitters address
+	// to shard s (filled at the end of w's compute phase, applied by
+	// worker s's deliver phase). Bucketing keeps the deliver phase at
+	// O(emitted edges) total instead of every worker filtering the full
+	// emitter edge set. shardOf[u] is the shard owning node u.
+	buckets [][][]portWrite
+	shardOf []int32
+}
+
+// portWrite is one routed transmission: set the port at CSR slot `slot`
+// of node `u` to letter `l`.
+type portWrite struct {
+	u, slot int32
+	l       int32
+}
+
+// startWorkers launches w persistent goroutines, each owning the node
+// range [lo[i], hi[i]). The pool amortizes goroutine startup across all
+// rounds of the run; stop() tears it down.
+func (e *syncExec) startWorkers(w int) (stop func()) {
+	n := len(e.states)
+	e.cmds = make([]chan int, w)
+	e.lo = make([]int, w)
+	e.hi = make([]int, w)
+	e.results = make([]shardResult, w)
+	e.cbufs = make([][]nfsm.Count, w)
+	e.emitters = make([][]int32, w)
+	e.buckets = make([][][]portWrite, w)
+	e.shardOf = make([]int32, n)
+	for i := 0; i < w; i++ {
+		e.lo[i] = i * n / w
+		e.hi[i] = (i + 1) * n / w
+		for v := e.lo[i]; v < e.hi[i]; v++ {
+			e.shardOf[v] = int32(i)
+		}
+		e.cbufs[i] = make([]nfsm.Count, e.p.nl)
+		e.buckets[i] = make([][]portWrite, w)
+		e.cmds[i] = make(chan int, 1)
+		go func(i int) {
+			for c := range e.cmds[i] {
+				if c > 0 {
+					tx, d, err := e.compute(e.lo[i], e.hi[i], c, i)
+					e.results[i] = shardResult{tx: tx, outDelta: d, err: err}
+				} else {
+					e.deliverBuckets(i)
+				}
+				e.wg.Done()
+			}
+		}(i)
+	}
+	return func() {
+		for _, c := range e.cmds {
+			close(c)
+		}
+	}
+}
+
+func (e *syncExec) broadcast(code int) {
+	e.wg.Add(len(e.cmds))
+	for _, c := range e.cmds {
+		c <- code
+	}
+	e.wg.Wait()
+}
+
+func (e *syncExec) computePhase(round int) (int64, int, error) {
+	if e.cmds == nil {
+		return e.compute(0, len(e.states), round, 0)
+	}
+	e.broadcast(round)
+	var tx int64
+	var outDelta int
+	for i := range e.results {
+		if err := e.results[i].err; err != nil {
+			return 0, 0, err
+		}
+		tx += e.results[i].tx
+		outDelta += e.results[i].outDelta
+	}
+	return tx, outDelta, nil
+}
+
+func (e *syncExec) deliverPhase() {
+	if e.cmds == nil {
+		e.deliver()
+		return
+	}
+	e.broadcast(-1)
+}
+
+// compute applies δ to every node of [lo, hi): each node observes its
+// clamped counts (frozen since the last deliver phase), draws its move
+// from the node-indexed coin, and buffers its transmission. Writes touch
+// only states[v], emits[v] and the worker's own emitter list, so shards
+// never conflict. The δ lookup is specialized per program kind so the
+// flat paths run without a function call per node.
+func (e *syncExec) compute(lo, hi, round, worker int) (tx int64, outDelta int, err error) {
+	p := e.p
+	states, emits, seed := e.states, e.emits, e.seed
+	mask := p.outMask
+	emitters := e.emitters[worker][:0]
+	defer func() { e.emitters[worker] = emitters }()
+
+	switch p.kind {
+	case progFlatMulti:
+		delta, pdim, idx := p.delta, p.pdim, e.rc.idx
+		for v := lo; v < hi; v++ {
+			q := states[v]
+			moves := delta[int(q)*pdim+int(idx[v])]
+			if len(moves) == 0 {
+				return tx, outDelta, deltaEmptyErr(v, q, round)
+			}
+			mv := nfsm.PickMove(seed, v, round, moves)
+			if mv.Next != q {
+				outDelta += int(mask[mv.Next>>6]>>(uint(mv.Next)&63)&1) - int(mask[q>>6]>>(uint(q)&63)&1)
+				states[v] = mv.Next
+			}
+			if mv.Emit != nfsm.NoLetter {
+				emits[v] = mv.Emit
+				emitters = append(emitters, int32(v))
+				tx++
+			}
+		}
+	case progFlatSingle:
+		delta, query, raw := p.delta, p.query, e.rc.raw
+		nl, b := p.nl, int32(p.b)
+		w := p.b + 1
+		for v := lo; v < hi; v++ {
+			q := states[v]
+			c := raw[v*nl+int(query[q])]
+			if c > b {
+				c = b
+			}
+			moves := delta[int(q)*w+int(c)]
+			if len(moves) == 0 {
+				return tx, outDelta, deltaEmptyErr(v, q, round)
+			}
+			mv := nfsm.PickMove(seed, v, round, moves)
+			if mv.Next != q {
+				outDelta += int(mask[mv.Next>>6]>>(uint(mv.Next)&63)&1) - int(mask[q>>6]>>(uint(q)&63)&1)
+				states[v] = mv.Next
+			}
+			if mv.Emit != nfsm.NoLetter {
+				emits[v] = mv.Emit
+				emitters = append(emitters, int32(v))
+				tx++
+			}
+		}
+	default:
+		cbuf := e.cbufs[worker]
+		for v := lo; v < hi; v++ {
+			q := states[v]
+			moves := e.rc.movesFor(v, q, cbuf)
+			if len(moves) == 0 {
+				return tx, outDelta, deltaEmptyErr(v, q, round)
+			}
+			mv := nfsm.PickMove(seed, v, round, moves)
+			if p.isOutput(mv.Next) != p.isOutput(q) {
+				if p.isOutput(mv.Next) {
+					outDelta++
+				} else {
+					outDelta--
+				}
+			}
+			states[v] = mv.Next
+			if mv.Emit != nfsm.NoLetter {
+				e.emits[v] = mv.Emit
+				emitters = append(emitters, int32(v))
+				tx++
+			}
+		}
+	}
+	if e.cmds != nil {
+		e.route(worker, emitters)
+	}
+	return tx, outDelta, nil
+}
+
+// route buckets the worker's emitted edges by destination shard, still
+// inside the compute phase: worker w walks only its own emitters' edges,
+// and the subsequent deliver phase applies only per-shard buckets, so
+// the total deliver work stays O(emitted edges) at every worker count.
+func (e *syncExec) route(worker int, emitters []int32) {
+	csr := e.p.csr
+	off, nbr, rev := csr.NbrOff, csr.NbrDat, csr.RevPort
+	bk := e.buckets[worker]
+	for s := range bk {
+		bk[s] = bk[s][:0]
+	}
+	for _, v := range emitters {
+		l := int32(e.emits[v])
+		for k := off[v]; k < off[v+1]; k++ {
+			u := nbr[k]
+			s := e.shardOf[u]
+			bk[s] = append(bk[s], portWrite{u: u, slot: off[u] + rev[k], l: l})
+		}
+	}
+}
+
+func deltaEmptyErr(v int, q nfsm.State, round int) error {
+	return fmt.Errorf("engine: δ empty at node %d state %d round %d", v, q, round)
+}
+
+// deliver is the sequential deliver phase: it walks every emitter's
+// edges through the flattened reverse-port table and applies the
+// writes. The body is runCounts.setPort unrolled with its indirections
+// hoisted — this is the hottest loop of the engine.
+func (e *syncExec) deliver() {
+	csr := e.p.csr
+	rc := e.rc
+	off, nbr, rev := csr.NbrOff, csr.NbrDat, csr.RevPort
+	portDat, raw, idx, pow := rc.portDat, rc.raw, rc.idx, e.p.pow
+	nl, b := e.p.nl, int32(e.p.b)
+	for _, lst := range e.emitters {
+		for _, v := range lst {
+			l := e.emits[v]
+			for k := off[v]; k < off[v+1]; k++ {
+				u := nbr[k]
+				dst := off[u] + rev[k]
+				old := portDat[dst]
+				if old == l {
+					continue
+				}
+				portDat[dst] = l
+				base := int(u) * nl
+				io, in := base+int(old), base+int(l)
+				raw[io]--
+				raw[in]++
+				if idx != nil {
+					if raw[io] < b {
+						idx[u] -= pow[old]
+					}
+					if raw[in] <= b {
+						idx[u] += pow[l]
+					}
+				}
+			}
+		}
+	}
+}
+
+// deliverBuckets is the sharded deliver phase: worker `shard` applies
+// exactly the port writes routed to it during the compute phase. Each
+// destination port is written by exactly one worker (ports are owned by
+// their destination node), every port is written at most once per round,
+// and the count updates commute, so the post-round state is identical
+// for every worker count.
+func (e *syncExec) deliverBuckets(shard int) {
+	rc := e.rc
+	portDat, raw, idx, pow := rc.portDat, rc.raw, rc.idx, e.p.pow
+	nl, b := e.p.nl, int32(e.p.b)
+	for w := range e.buckets {
+		for _, d := range e.buckets[w][shard] {
+			l := nfsm.Letter(d.l)
+			old := portDat[d.slot]
+			if old == l {
+				continue
+			}
+			portDat[d.slot] = l
+			base := int(d.u) * nl
+			io, in := base+int(old), base+int(l)
+			raw[io]--
+			raw[in]++
+			if idx != nil {
+				if raw[io] < b {
+					idx[d.u] -= pow[old]
+				}
+				if raw[in] <= b {
+					idx[d.u] += pow[l]
+				}
+			}
+		}
+	}
+}

@@ -24,6 +24,15 @@ type SyncConfig struct {
 	// must not retain or modify it). Used by the analysis
 	// instrumentation of Sections 4 and 5.
 	Observer func(round int, states []nfsm.State)
+	// Workers shards the per-round compute and deliver phases across
+	// goroutines. Zero selects GOMAXPROCS, scaled down so every worker
+	// keeps at least minShard nodes; an explicit positive value is used
+	// as given. The result is bit-identical for every worker count —
+	// every node's move is drawn from the node-indexed deterministic
+	// coin, independent of evaluation order. Machines whose transition
+	// is not known to be pure (e.g. the lazily-interning synchro
+	// compilers) always run on one worker.
+	Workers int
 }
 
 // SyncResult reports a completed synchronous run.
@@ -42,7 +51,23 @@ type SyncResult struct {
 // its ports, applies δ, and all transmissions become visible in the
 // neighbors' ports at the start of the next round. This realizes
 // synchronization properties (S1) and (S2) exactly.
+//
+// RunSync executes through the compiled fast path: it lowers m against g
+// with Compile and runs the flat program. Callers that execute the same
+// machine on the same graph repeatedly should Compile once and invoke
+// Program.RunSync directly to amortize the lowering. The original
+// interpreting engine survives as RunSyncRef; the two are bit-identical
+// (TestDifferentialSyncEngines).
 func RunSync(m nfsm.Machine, g *graph.Graph, cfg SyncConfig) (*SyncResult, error) {
+	return Compile(m, g).RunSync(cfg)
+}
+
+// RunSyncRef is the reference synchronous engine: a direct transcription
+// of the model — interface dispatch into m.Moves, full count-vector
+// recomputation per node per round, nested-slice adjacency. It is kept
+// as the oracle the compiled executor is differentially tested against;
+// use RunSync everywhere else.
+func RunSyncRef(m nfsm.Machine, g *graph.Graph, cfg SyncConfig) (*SyncResult, error) {
 	n := g.N()
 	states, err := initialStates(m, n, cfg.Init)
 	if err != nil {

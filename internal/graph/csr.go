@@ -1,0 +1,65 @@
+package graph
+
+// CSR is a compressed-sparse-row view of the graph: the adjacency lists
+// packed into two flat arrays, plus the flattened reverse-port table the
+// execution engines need to route transmissions. It exists so the hot
+// round loop walks contiguous memory instead of pointer-chasing through
+// nested slices.
+//
+// For every node v the directed edges v → u occupy the index range
+// [NbrOff[v], NbrOff[v+1]) of NbrDat, in the same sorted order as
+// Neighbors(v); the port index of u at v is therefore k - NbrOff[v].
+// RevPort is aligned with NbrDat: for the directed edge at index k from v
+// to u = NbrDat[k], RevPort[k] is the port index of v at u — i.e. the
+// slot of u's port array that v's transmissions land in.
+//
+// A CSR is an immutable snapshot: it does not observe edges added to the
+// graph after it was built.
+type CSR struct {
+	// NbrOff has length N()+1; NbrOff[v] is the first index of node v's
+	// neighbor run in NbrDat.
+	NbrOff []int32
+	// NbrDat has length 2·M(); the concatenated sorted adjacency lists.
+	NbrDat []int32
+	// RevPort has length 2·M(); RevPort[k] is the port of v at NbrDat[k]
+	// for the k-th directed edge v → NbrDat[k].
+	RevPort []int32
+}
+
+// CSR builds the compressed-sparse-row snapshot of the graph in O(n + m),
+// amortized over the rounds of any execution that uses it.
+func (g *Graph) CSR() *CSR {
+	n := g.N()
+	c := &CSR{
+		NbrOff:  make([]int32, n+1),
+		NbrDat:  make([]int32, 2*g.m),
+		RevPort: make([]int32, 2*g.m),
+	}
+	k := 0
+	for v := 0; v < n; v++ {
+		c.NbrOff[v] = int32(k)
+		for _, u := range g.adj[v] {
+			c.NbrDat[k] = int32(u)
+			k++
+		}
+	}
+	c.NbrOff[n] = int32(k)
+	// Reverse ports without per-edge searches: scanning nodes u in
+	// ascending order, the successive occurrences of w across the
+	// adjacency lists visit exactly adj[w] in sorted order, so a cursor
+	// per node tracks where the edge (w → u) lives in w's run.
+	cur := make([]int32, n)
+	for u := 0; u < n; u++ {
+		for i, w := range g.adj[u] {
+			c.RevPort[c.NbrOff[w]+cur[w]] = int32(i)
+			cur[w]++
+		}
+	}
+	return c
+}
+
+// N returns the number of nodes of the snapshot.
+func (c *CSR) N() int { return len(c.NbrOff) - 1 }
+
+// Degree returns the degree of node v in the snapshot.
+func (c *CSR) Degree(v int) int { return int(c.NbrOff[v+1] - c.NbrOff[v]) }

@@ -1,0 +1,65 @@
+package graph
+
+import (
+	"testing"
+
+	"stoneage/internal/xrand"
+)
+
+func checkCSR(t *testing.T, g *Graph) {
+	t.Helper()
+	c := g.CSR()
+	if c.N() != g.N() {
+		t.Fatalf("CSR.N() = %d, want %d", c.N(), g.N())
+	}
+	if len(c.NbrDat) != 2*g.M() || len(c.RevPort) != 2*g.M() {
+		t.Fatalf("CSR arrays have %d/%d entries, want %d", len(c.NbrDat), len(c.RevPort), 2*g.M())
+	}
+	for v := 0; v < g.N(); v++ {
+		nb := g.Neighbors(v)
+		if c.Degree(v) != len(nb) {
+			t.Fatalf("node %d: CSR degree %d != %d", v, c.Degree(v), len(nb))
+		}
+		for i, u := range nb {
+			k := int(c.NbrOff[v]) + i
+			if int(c.NbrDat[k]) != u {
+				t.Fatalf("node %d: NbrDat[%d] = %d, want %d", v, k, c.NbrDat[k], u)
+			}
+			// RevPort must invert the port numbering: following the
+			// reverse port from v's edge to u lands back on v.
+			rp := int(c.RevPort[k])
+			if rp != g.PortOf(u, v) {
+				t.Fatalf("edge %d→%d: RevPort = %d, want %d", v, u, rp, g.PortOf(u, v))
+			}
+			if back := int(c.NbrDat[int(c.NbrOff[u])+rp]); back != v {
+				t.Fatalf("edge %d→%d: reverse port %d points at %d", v, u, rp, back)
+			}
+		}
+	}
+}
+
+func TestCSRMatchesAdjacency(t *testing.T) {
+	graphs := map[string]*Graph{
+		"empty":    New(0),
+		"isolated": New(5),
+		"path":     Path(17),
+		"cycle":    Cycle(12),
+		"star":     Star(9),
+		"clique":   Clique(8),
+		"gnp":      Gnp(64, 0.15, xrand.New(7)),
+		"tree":     RandomTree(40, xrand.New(8)),
+	}
+	for name, g := range graphs {
+		t.Run(name, func(t *testing.T) { checkCSR(t, g) })
+	}
+}
+
+func TestCSRIsASnapshot(t *testing.T) {
+	g := New(4)
+	g.mustAddEdge(0, 1)
+	c := g.CSR()
+	g.mustAddEdge(2, 3)
+	if len(c.NbrDat) != 2 {
+		t.Fatalf("snapshot grew to %d entries after AddEdge", len(c.NbrDat))
+	}
+}

@@ -90,19 +90,18 @@ func Solve(g *graph.Graph, seed uint64, maxRounds int) (*Result, error) {
 	for v := range nodes {
 		nodes[v] = node{mode: modeFree, partner: -1}
 	}
-	// ports[v][i]: last letter delivered from g.Neighbors(v)[i]; the
+	// The port state lives in the graph's CSR layout: the ports of node
+	// v occupy ports[off[v]:off[v+1]] in neighbor order, and the
+	// flattened reverse-port table routes transmissions without the
+	// nested revPort slices the engine used to rebuild per run. The
 	// initial letter is FREE (all nodes start free).
-	ports := make([][]byte, n)
-	revPort := make([][]int, n)
-	for v := 0; v < n; v++ {
-		nb := g.Neighbors(v)
-		ports[v] = make([]byte, len(nb))
-		revPort[v] = make([]int, len(nb))
-		for i, u := range nb {
-			ports[v][i] = letFree
-			revPort[v][i] = g.PortOf(u, v)
-		}
+	csr := g.CSR()
+	off, nbr, rev := csr.NbrOff, csr.NbrDat, csr.RevPort
+	ports := make([]byte, len(nbr))
+	for k := range ports {
+		ports[k] = letFree
 	}
+	var showBuf []int // scratch for portsShowing, reused across nodes
 
 	// Transmission buffers for the current round: target port (-1 for
 	// broadcast, -2 for silence) plus letter.
@@ -130,7 +129,8 @@ func Solve(g *graph.Graph, seed uint64, maxRounds int) (*Result, error) {
 				if nd.mode != modeFree {
 					break
 				}
-				free := portsShowing(ports[v], letFree)
+				free := portsShowing(showBuf[:0], ports[off[v]:off[v+1]], letFree)
+				showBuf = free
 				if len(free) == 0 {
 					nd.mode = modeUnmatched
 					outputs++
@@ -147,7 +147,8 @@ func Solve(g *graph.Graph, seed uint64, maxRounds int) (*Result, error) {
 				if nd.mode != modeListener {
 					break
 				}
-				proposals := portsShowing(ports[v], letPropose)
+				proposals := portsShowing(showBuf[:0], ports[off[v]:off[v+1]], letPropose)
+				showBuf = proposals
 				if len(proposals) == 0 {
 					nd.mode = modeFree
 					break
@@ -158,7 +159,7 @@ func Solve(g *graph.Graph, seed uint64, maxRounds int) (*Result, error) {
 			case 4: // proposers confirm accepted proposals
 				switch nd.mode {
 				case modeProposer:
-					if ports[v][nd.partner] == letAccept {
+					if ports[off[v]+int32(nd.partner)] == letAccept {
 						nd.mode = modeNewlyWed
 						target[v], letter[v] = nd.partner, letConfirm
 					} else {
@@ -173,12 +174,12 @@ func Solve(g *graph.Graph, seed uint64, maxRounds int) (*Result, error) {
 			switch target[v] {
 			case -2:
 			case -1:
-				for i, u := range g.Neighbors(v) {
-					ports[u][revPort[v][i]] = letter[v]
+				for k := off[v]; k < off[v+1]; k++ {
+					ports[off[nbr[k]]+rev[k]] = letter[v]
 				}
 			default:
-				u := g.Neighbors(v)[target[v]]
-				ports[u][revPort[v][target[v]]] = letter[v]
+				k := off[v] + int32(target[v])
+				ports[off[nbr[k]]+rev[k]] = letter[v]
 			}
 		}
 		// Round 4 epilogue for accepters: the CONFIRM letter lands in the
@@ -190,7 +191,7 @@ func Solve(g *graph.Graph, seed uint64, maxRounds int) (*Result, error) {
 				if nd.mode != modeAccepted {
 					continue
 				}
-				if ports[v][nd.partner] == letConfirm {
+				if ports[off[v]+int32(nd.partner)] == letConfirm {
 					nd.mode = modeNewlyWed
 				} else {
 					nd.mode = modeFree
@@ -205,8 +206,7 @@ func Solve(g *graph.Graph, seed uint64, maxRounds int) (*Result, error) {
 	return nil, fmt.Errorf("%w after %d rounds", ErrNoConvergence, maxRounds)
 }
 
-func portsShowing(ports []byte, letter byte) []int {
-	var out []int
+func portsShowing(out []int, ports []byte, letter byte) []int {
 	for i, l := range ports {
 		if l == letter {
 			out = append(out, i)

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"stoneage/internal/engine"
 	"stoneage/internal/graph"
@@ -138,10 +139,17 @@ type SyncRun struct {
 	Transmissions int64
 }
 
-// SolveSync runs the protocol on the synchronous engine and extracts the
-// MIS.
+// code tabulates the protocol's δ once per process: the 7·2⁷ flat move
+// table every SolveSync call binds to its graph (engine.CompileMachine
+// is graph-independent, so the lowering is shared across all runs).
+var code = sync.OnceValue(func() *engine.MachineCode {
+	return engine.CompileMachine(Protocol())
+})
+
+// SolveSync runs the protocol on the compiled synchronous engine and
+// extracts the MIS.
 func SolveSync(g *graph.Graph, seed uint64, maxRounds int) (*SyncRun, error) {
-	res, err := engine.RunSync(Protocol(), g, engine.SyncConfig{Seed: seed, MaxRounds: maxRounds})
+	res, err := code().Bind(g).RunSync(engine.SyncConfig{Seed: seed, MaxRounds: maxRounds})
 	if err != nil {
 		return nil, err
 	}
@@ -198,7 +206,7 @@ func SolveSyncInstrumented(g *graph.Graph, seed uint64, maxRounds int) (*SyncRun
 			prev[v] = states[v]
 		}
 	}
-	res, err := engine.RunSync(Protocol(), g, engine.SyncConfig{
+	res, err := code().Bind(g).RunSync(engine.SyncConfig{
 		Seed: seed, MaxRounds: maxRounds, Observer: observer,
 	})
 	if err != nil {

@@ -112,6 +112,48 @@ func TestPropertyCompiledMatchesSyncOnRandomProtocols(t *testing.T) {
 	}
 }
 
+// TestPropertyCompiledEngineOnSynchroMachines pins the engine's compiled
+// fast path against the synchro machines: both Expand and CompileRound
+// produce lazily self-interning machines that must take the engine's
+// dynamic (sequential) path, and their runs must be bit-identical to the
+// reference engine for random protocols. This is the synchro leg of the
+// engine's differential suite.
+func TestPropertyCompiledEngineOnSynchroMachines(t *testing.T) {
+	f := func(protoSeed, graphSeed uint64, shape uint8) bool {
+		nq := 3 + int(shape%4)
+		nl := 2 + int(shape/4%3)
+		b := 1 + int(shape/16%2)
+		n := 3 + int(graphSeed%20)
+		src := randomDeterministicProtocol(protoSeed, nq, nl, b)
+		g := graph.GnpConnected(n, 0.3, xrand.New(graphSeed))
+		e, err := Expand(src)
+		if err != nil {
+			t.Fatalf("expand: %v", err)
+		}
+		ref, err := engine.RunSyncRef(e, g, engine.SyncConfig{Seed: 1})
+		if err != nil {
+			t.Fatalf("reference: %v", err)
+		}
+		// Workers > 1 must be ignored for interning machines, not raced.
+		got, err := engine.RunSync(e, g, engine.SyncConfig{Seed: 1, Workers: 4})
+		if err != nil {
+			t.Fatalf("compiled: %v", err)
+		}
+		if got.Rounds != ref.Rounds || got.Transmissions != ref.Transmissions {
+			return false
+		}
+		for v := range ref.States {
+			if got.States[v] != ref.States[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
 // TestPropertyExpandedMatchesSyncOnRandomProtocols does the same for the
 // Theorem 3.4 subround expansion on the synchronous engine.
 func TestPropertyExpandedMatchesSyncOnRandomProtocols(t *testing.T) {

@@ -1,0 +1,67 @@
+#!/bin/sh
+# bench.sh — run the tracked benchmark set and write BENCH_<PR>.json.
+#
+# Runs the E1 (MIS sync), E5 (tree coloring) and E9 (nFSM-simulates-LBA)
+# benchmarks plus the engine ref-vs-compiled ablation with -benchmem,
+# and converts the output into a JSON file so future PRs can diff the
+# perf trajectory. CI-friendly: exits non-zero if the benchmarks fail.
+#
+# Usage: scripts/bench.sh [out.json] [benchtime]
+#   out.json   defaults to BENCH_1.json
+#   benchtime  defaults to 20x (per-benchmark iteration count)
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_1.json}"
+BENCHTIME="${2:-20x}"
+PATTERN='BenchmarkMISSync|BenchmarkColoringSync|BenchmarkNFSMSimulatesLBA|BenchmarkEngineCompiledVsRef'
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+# Write to the file first and check go test's own status: piping into
+# tee would let a benchmark failure exit 0 (POSIX sh has no pipefail).
+go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" -benchmem . > "$RAW" 2>&1 || {
+	cat "$RAW"
+	exit 1
+}
+cat "$RAW"
+
+awk -v benchtime="$BENCHTIME" '
+BEGIN { n = 0 }
+/^cpu:/ { cpu = $0; sub(/^cpu: */, "", cpu) }
+/^goos:/ { goos = $2 }
+/^goarch:/ { goarch = $2 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
+    iters = $2
+    line = ""
+    for (i = 3; i + 1 <= NF; i += 2) {
+        val = $i
+        unit = $(i + 1)
+        if (unit == "ns/op")          key = "ns_per_op"
+        else if (unit == "B/op")      key = "bytes_per_op"
+        else if (unit == "allocs/op") key = "allocs_per_op"
+        else {
+            gsub(/"/, "\\\"", unit)
+            key = unit
+        }
+        line = line sprintf("\"%s\": %s, ", key, val)
+    }
+    sub(/, $/, "", line)
+    recs[n++] = sprintf("    {\"name\": \"%s\", \"iterations\": %s, %s}", name, iters, line)
+}
+END {
+    printf "{\n"
+    printf "  \"suite\": \"stoneage tracked benchmarks (E1, E5, E9, engine ablation)\",\n"
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"goos\": \"%s\",\n", goos
+    printf "  \"goarch\": \"%s\",\n", goarch
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"benchmarks\": [\n"
+    for (i = 0; i < n; i++) printf "%s%s\n", recs[i], (i + 1 < n ? "," : "")
+    printf "  ]\n"
+    printf "}\n"
+}' "$RAW" > "$OUT"
+
+echo "wrote $OUT"
