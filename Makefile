@@ -1,6 +1,6 @@
-# Tier-1 verification and tracked benchmarks.
+# Tier-1 verification, CI checks and tracked benchmarks.
 
-.PHONY: all build test bench
+.PHONY: all build test check bench
 
 all: build test
 
@@ -10,11 +10,22 @@ build:
 test:
 	go test ./...
 
-# bench regenerates BENCH_1.json from the tracked benchmark set
-# (E1 MIS sync, E5 tree coloring, E9 nFSM-simulates-LBA, and the
-# engine ref-vs-compiled ablation), with -benchmem. Override the output
-# file or iteration count with BENCH_OUT / BENCH_TIME.
-BENCH_OUT ?= BENCH_1.json
+# check is the CI gate: static analysis, the full test suite under the
+# race detector (the campaign runner and the sharded engine are the
+# concurrency hot spots), and a short end-to-end campaign smoke run
+# through the sweep CLI.
+check: build
+	go vet ./...
+	go test -race ./...
+	go run ./cmd/stonesim sweep -spec examples/specs/smoke.json -q -json /tmp/stonesim-smoke.json
+	@echo "check: OK"
+
+# bench regenerates BENCH_2.json from the tracked benchmark set
+# (E1 MIS sync, E2 MIS async, E3 synchronizer overhead, E5 tree
+# coloring, E9 nFSM-simulates-LBA, the engine ref-vs-compiled and
+# per-step ablations, and the campaign sweep), with -benchmem. Override
+# the output file or iteration count with BENCH_OUT / BENCH_TIME.
+BENCH_OUT ?= BENCH_2.json
 BENCH_TIME ?= 20x
 
 bench:

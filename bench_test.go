@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"stoneage/internal/baseline"
+	"stoneage/internal/campaign"
 	"stoneage/internal/coloring"
 	"stoneage/internal/degcolor"
 	"stoneage/internal/engine"
@@ -349,4 +350,36 @@ func BenchmarkEngineStep(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkCampaignMISSweep measures the campaign layer: a full
+// multi-family MIS sweep (4 families × 2 sizes × 8 trials) through the
+// parallel trial pool, per worker count. The parallel/serial ratio
+// tracks how well trial fan-out scales on the host.
+func BenchmarkCampaignMISSweep(b *testing.B) {
+	spec := campaign.Spec{
+		Protocols: []string{"mis"},
+		Families: []campaign.Family{
+			{Kind: "gnp"}, {Kind: "geometric"}, {Kind: "powerlaw"}, {Kind: "smallworld"},
+		},
+		Sizes:  []int{256, 1024},
+		Trials: 8,
+		Seed:   1,
+	}
+	for _, workers := range []int{1, 0} {
+		name := "workers=max"
+		if workers == 1 {
+			name = "workers=1"
+		}
+		b.Run(name, func(b *testing.B) {
+			sp := spec
+			sp.Workers = workers
+			for i := 0; i < b.N; i++ {
+				sp.Seed = uint64(i + 1)
+				if _, err := campaign.Run(sp); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

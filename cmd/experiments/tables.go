@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"stoneage/internal/baseline"
+	"stoneage/internal/campaign"
 	"stoneage/internal/coloring"
 	"stoneage/internal/engine"
 	"stoneage/internal/graph"
@@ -17,24 +18,13 @@ import (
 	"stoneage/internal/xrand"
 )
 
-// graphFamily is a sized workload generator.
+// graphFamily is a sized workload generator. The measurement
+// experiments (E1, E5) now run as internal/campaign sweeps; this local
+// shape survives for the census experiments (E7) that walk graphs
+// without executing a protocol.
 type graphFamily struct {
 	name string
 	gen  func(n int, src *xrand.Source) *graph.Graph
-}
-
-func misFamilies() []graphFamily {
-	return []graphFamily{
-		{"gnp(d̄=4)", func(n int, src *xrand.Source) *graph.Graph {
-			return graph.GnpConnected(n, 4.0/float64(n), src)
-		}},
-		{"tree", func(n int, src *xrand.Source) *graph.Graph { return graph.RandomTree(n, src) }},
-		{"grid", func(n int, src *xrand.Source) *graph.Graph {
-			side := int(math.Round(math.Sqrt(float64(n))))
-			return graph.Grid(side, side)
-		}},
-		{"cycle", func(n int, src *xrand.Source) *graph.Graph { return graph.Cycle(n) }},
-	}
 }
 
 func treeFamilies() []graphFamily {
@@ -50,6 +40,9 @@ func treeFamilies() []graphFamily {
 
 // expE1 measures the synchronous MIS round count across graph families
 // and sizes, fitting the scaling law. Theorem 4.5 predicts O(log² n).
+// It is a thin caller of a campaign spec: the cross product runs on the
+// parallel trial pool with per-trial deterministic seeds, and every
+// output is validated by the runner.
 func expE1(cfg config) ([]*harness.Table, error) {
 	sizes := harness.GeoSizes(16, 2048, 2)
 	trials := 5
@@ -57,40 +50,51 @@ func expE1(cfg config) ([]*harness.Table, error) {
 		sizes = harness.GeoSizes(16, 256, 2)
 		trials = 3
 	}
+	sp := campaign.Spec{
+		Name:      "E1",
+		Protocols: []string{"mis"},
+		// A fresh graph instance per trial: the table's means average
+		// over the family's randomness as well as the protocol's coins,
+		// matching the pre-campaign measurement semantics.
+		GraphPerTrial: true,
+		Families: []campaign.Family{
+			{Kind: "gnp", Param: campaign.Param(4), Label: "gnp(d̄=4)"},
+			{Kind: "tree"},
+			{Kind: "grid"},
+			{Kind: "cycle"},
+			{Kind: "geometric"},
+			{Kind: "powerlaw"},
+			{Kind: "smallworld"},
+		},
+		Sizes:  sizes,
+		Trials: trials,
+		Seed:   cfg.seed,
+	}
+	res, err := campaign.Run(sp)
+	if err != nil {
+		return nil, err
+	}
 	t := &harness.Table{
 		Title:  "Mean MIS rounds (synchronous engine)",
 		Header: append([]string{"family"}, sizeHeaders(sizes, "rounds/log²n @max", "best fit")...),
 	}
 	chart := map[string][]float64{}
-	for _, fam := range misFamilies() {
-		src := xrand.New(cfg.seed)
-		row := []any{fam.name}
+	for fi, fam := range sp.Families {
+		row := []any{fam.Name()}
 		var ys []float64
-		for _, n := range sizes {
-			total := 0.0
-			for s := 0; s < trials; s++ {
-				g := fam.gen(n, src)
-				run, err := mis.SolveSync(g, cfg.seed+uint64(s), 0)
-				if err != nil {
-					return nil, err
-				}
-				if err := g.IsMaximalIndependentSet(run.InSet); err != nil {
-					return nil, fmt.Errorf("%s n=%d: %w", fam.name, n, err)
-				}
-				total += float64(run.Rounds)
-			}
-			mean := total / float64(trials)
+		for si := range sizes {
+			mean := res.Cells[fi*len(sizes)+si].Rounds.Mean
 			ys = append(ys, mean)
 			row = append(row, mean)
 		}
 		l := math.Log2(float64(sizes[len(sizes)-1]))
 		row = append(row, ys[len(ys)-1]/(l*l), harness.BestLaw(sizes, ys))
-		chart[fam.name] = ys
+		chart[fam.Name()] = ys
 		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes,
 		harness.ASCIIChart("MIS rounds vs n", sizes, chart, 64, 14),
-		"Every run's output was validated as a maximal independent set.",
+		"Every run's output was validated as a maximal independent set (campaign runner).",
 		"Theorem 4.5 claims O(log² n) — an upper bound. The measured growth on these families is even",
 		"milder (≈ c·log n, the rounds/log²n ratio is decreasing), consistent with the bound: the",
 		"log² comes from O(log n) tournaments × O(log n) whp turn-length, and typical turn counts are O(1).")
@@ -274,7 +278,8 @@ func expE4(cfg config) ([]*harness.Table, error) {
 	return []*harness.Table{t}, nil
 }
 
-// expE5 measures the tree 3-coloring round count across tree families.
+// expE5 measures the tree 3-coloring round count across tree families,
+// as a campaign sweep (see expE1).
 func expE5(cfg config) ([]*harness.Table, error) {
 	sizes := harness.GeoSizes(16, 8192, 2)
 	trials := 5
@@ -282,40 +287,47 @@ func expE5(cfg config) ([]*harness.Table, error) {
 		sizes = harness.GeoSizes(16, 512, 2)
 		trials = 3
 	}
+	sp := campaign.Spec{
+		Name:          "E5",
+		Protocols:     []string{"color3"},
+		GraphPerTrial: true, // see expE1
+		Families: []campaign.Family{
+			{Kind: "tree", Label: "random"},
+			{Kind: "path"},
+			{Kind: "star"},
+			{Kind: "binary"},
+			{Kind: "caterpillar"},
+			{Kind: "broom"},
+		},
+		Sizes:  sizes,
+		Trials: trials,
+		Seed:   cfg.seed + 3,
+	}
+	res, err := campaign.Run(sp)
+	if err != nil {
+		return nil, err
+	}
 	t := &harness.Table{
 		Title:  "Mean 3-coloring rounds on trees (synchronous engine)",
 		Header: append([]string{"family"}, sizeHeaders(sizes, "rounds/log n @max", "best fit")...),
 	}
 	chart := map[string][]float64{}
-	for _, fam := range treeFamilies() {
-		src := xrand.New(cfg.seed + 3)
-		row := []any{fam.name}
+	for fi, fam := range sp.Families {
+		row := []any{fam.Name()}
 		var ys []float64
-		for _, n := range sizes {
-			total := 0.0
-			for s := 0; s < trials; s++ {
-				g := fam.gen(n, src)
-				run, err := coloring.SolveSync(g, cfg.seed+uint64(s), 0)
-				if err != nil {
-					return nil, err
-				}
-				if err := g.IsProperColoring(run.Colors, 3); err != nil {
-					return nil, fmt.Errorf("%s n=%d: %w", fam.name, n, err)
-				}
-				total += float64(run.Rounds)
-			}
-			mean := total / float64(trials)
+		for si := range sizes {
+			mean := res.Cells[fi*len(sizes)+si].Rounds.Mean
 			ys = append(ys, mean)
 			row = append(row, mean)
 		}
 		row = append(row, ys[len(ys)-1]/math.Log2(float64(sizes[len(sizes)-1])),
 			harness.BestLaw(sizes, ys))
-		chart[fam.name] = ys
+		chart[fam.Name()] = ys
 		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes,
 		harness.ASCIIChart("3-coloring rounds vs n (trees)", sizes, chart, 64, 14),
-		"Every run's output was validated as a proper 3-coloring.",
+		"Every run's output was validated as a proper 3-coloring (campaign runner).",
 		"Theorem 5.4 claims O(log n); stars finish in O(1) phases (the waiting hierarchy has depth 1).")
 	return []*harness.Table{t}, nil
 }

@@ -8,12 +8,18 @@
 //	stonesim -protocol matching -graph cycle -n 64
 //	stonesim -protocol lba-abc -word aabbcc
 //	stonesim -protocol mis -in graph.txt
+//	stonesim sweep -spec examples/specs/mis-families.json -workers 8
 //
 // Graphs: path, cycle, star, clique, grid, torus, tree, binary,
-// caterpillar, broom, gnp, lattice — or -in <file> (edge-list format).
+// caterpillar, broom, gnp, geometric, powerlaw, smallworld, lattice —
+// or -in <file> (edge-list format).
 // Engines: sync (locally synchronous) or async (compiled through the
 // Theorem 3.1/3.4 synchronizer, with -adversary
 // sync|uniform|skew|overwriter|drift).
+//
+// The sweep subcommand runs a declarative multi-trial campaign
+// (internal/campaign) in parallel and emits aggregate tables, JSON and
+// CSV; see examples/specs for spec files.
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"os"
 	"strings"
 
+	"stoneage/internal/campaign"
 	"stoneage/internal/coloring"
 	"stoneage/internal/engine"
 	"stoneage/internal/graph"
@@ -57,6 +64,9 @@ type options struct {
 }
 
 func run(args []string, w io.Writer) error {
+	if len(args) > 0 && args[0] == "sweep" {
+		return runSweep(args[1:], w)
+	}
 	fs := flag.NewFlagSet("stonesim", flag.ContinueOnError)
 	var opt options
 	fs.StringVar(&opt.protocol, "protocol", "mis", "mis | color3 | matching | lba-abc | lba-palindrome")
@@ -142,6 +152,11 @@ func buildGraph(opt options) (*graph.Graph, error) {
 		return graph.Broom(n), nil
 	case "gnp":
 		return graph.GnpConnected(n, p, src), nil
+	case "geometric", "powerlaw", "smallworld":
+		// The campaign registry is the single source of truth for the
+		// sweep families' default parameters, so single runs generate
+		// exactly the family the sweeps measure.
+		return campaign.BuildGraph(campaign.Family{Kind: opt.graphKind}, n, opt.seed)
 	case "lattice":
 		return graph.ProneuralLattice(side, side), nil
 	default:

@@ -1,10 +1,13 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"stoneage/internal/campaign"
 )
 
 func runCLI(t *testing.T, args ...string) string {
@@ -92,11 +95,109 @@ func TestErrors(t *testing.T) {
 
 func TestAllGraphFamilies(t *testing.T) {
 	for _, fam := range []string{"path", "cycle", "star", "clique", "grid", "torus",
-		"tree", "binary", "caterpillar", "broom", "gnp", "lattice"} {
+		"tree", "binary", "caterpillar", "broom", "gnp", "lattice",
+		"geometric", "powerlaw", "smallworld"} {
 		out := runCLI(t, "-protocol", "mis", "-graph", fam, "-n", "16")
 		if !strings.Contains(out, "valid MIS") {
 			t.Errorf("family %s: output = %q", fam, out)
 		}
+	}
+}
+
+// writeSweepSpec drops a small campaign spec file for the sweep tests.
+func writeSweepSpec(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "spec.json")
+	spec := `{
+		"name": "cli-test",
+		"protocols": ["mis"],
+		"families": [{"kind": "gnp"}, {"kind": "powerlaw"}],
+		"sizes": [16, 32],
+		"trials": 4,
+		"seed": 2
+	}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSweepSubcommand(t *testing.T) {
+	spec := writeSweepSpec(t)
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "out.json")
+	csvPath := filepath.Join(dir, "out.csv")
+	out := runCLI(t, "sweep", "-spec", spec, "-json", jsonPath, "-csv", csvPath)
+	for _, want := range []string{"cli-test", "mis: mean rounds", "powerlaw", "n=32", "4 cells × 4 trials"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("sweep output missing %q:\n%s", want, out)
+		}
+	}
+	jsonData, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(jsonData), `"roundsUnit": "rounds"`) {
+		t.Fatalf("sweep JSON missing units: %.200s", jsonData)
+	}
+	csvData, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csvData), "protocol,family,size,") {
+		t.Fatalf("sweep CSV header = %.80q", csvData)
+	}
+	if got := strings.Count(strings.TrimSpace(string(csvData)), "\n"); got != 4 {
+		t.Fatalf("sweep CSV has %d data rows, want 4", got)
+	}
+}
+
+// TestSweepWorkerInvariance is the CLI-level acceptance check: the same
+// spec at -workers 1 and -workers 4 emits identical JSON aggregates
+// once the machine-dependent wall-clock stats and the workers echo are
+// stripped.
+func TestSweepWorkerInvariance(t *testing.T) {
+	spec := writeSweepSpec(t)
+	dir := t.TempDir()
+	emit := func(workers string) string {
+		path := filepath.Join(dir, "w"+workers+".json")
+		runCLI(t, "sweep", "-spec", spec, "-q", "-workers", workers, "-json", path)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res campaign.Result
+		if err := json.Unmarshal(data, &res); err != nil {
+			t.Fatalf("sweep JSON: %v", err)
+		}
+		res.StripWall()
+		res.Spec.Workers = 0
+		var buf strings.Builder
+		if err := res.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if a, b := emit("1"), emit("4"); a != b {
+		t.Fatalf("sweep aggregates differ between -workers 1 and -workers 4:\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"sweep"}, &sb); err == nil {
+		t.Error("sweep without -spec succeeded")
+	}
+	if err := run([]string{"sweep", "-spec", "/nonexistent/spec.json"}, &sb); err == nil {
+		t.Error("sweep with missing spec file succeeded")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"protocols": ["color3"], "families": [{"kind": "gnp"}], "sizes": [8], "trials": 1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"sweep", "-spec", bad}, &sb); err == nil ||
+		!strings.Contains(err.Error(), "tree families") {
+		t.Errorf("invalid spec error = %v", err)
 	}
 }
 

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"stoneage/internal/campaign"
+)
+
+// runSweep is the `stonesim sweep` subcommand: load a campaign spec,
+// run it in parallel, print the per-protocol tables, and optionally
+// emit the full aggregates as JSON and/or CSV.
+func runSweep(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("stonesim sweep", flag.ContinueOnError)
+	spec := fs.String("spec", "", "campaign spec file (JSON; see examples/specs)")
+	workers := fs.Int("workers", -1, "override the spec's trial worker pool size (0 = GOMAXPROCS, -1 = keep the spec's); aggregates are identical for every value")
+	trials := fs.Int("trials", 0, "override the spec's trial count")
+	seed := fs.Uint64("seed", 0, "override the spec's seed (0 keeps the spec's)")
+	jsonOut := fs.String("json", "", "write the aggregate results as JSON to this file")
+	csvOut := fs.String("csv", "", "write the aggregate results as CSV to this file")
+	quiet := fs.Bool("q", false, "suppress the tables (emitters only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *spec == "" {
+		return fmt.Errorf("sweep: -spec is required (see examples/specs)")
+	}
+	sp, err := campaign.LoadSpec(*spec)
+	if err != nil {
+		return err
+	}
+	if *workers >= 0 {
+		sp.Workers = *workers
+	}
+	if *trials != 0 {
+		sp.Trials = *trials
+	}
+	if *seed != 0 {
+		sp.Seed = *seed
+	}
+
+	start := time.Now()
+	res, err := campaign.Run(sp)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	if !*quiet {
+		for _, t := range res.Tables() {
+			if err := t.Render(w); err != nil {
+				return err
+			}
+		}
+		eff := sp.Workers
+		if eff <= 0 {
+			eff = runtime.GOMAXPROCS(0)
+		}
+		fmt.Fprintf(w, "%d cells × %d trials in %v (workers=%d)\n",
+			len(res.Cells), sp.Trials, elapsed.Round(time.Millisecond), eff)
+	}
+	if *jsonOut != "" {
+		if err := writeTo(*jsonOut, res.WriteJSON); err != nil {
+			return err
+		}
+	}
+	if *csvOut != "" {
+		if err := writeTo(*csvOut, res.WriteCSV); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeTo(path string, emit func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := emit(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -9,8 +9,22 @@
 // theorem.
 //
 // The implementation lives under internal/; see DESIGN.md for the system
-// inventory and the compiled execution core's architecture, BENCH_1.json
-// for the tracked benchmark measurements (regenerate with `make bench`),
-// and examples/ for runnable entry points. The benchmarks in
-// bench_test.go regenerate one measurement per experiment.
+// inventory, the compiled execution core's architecture and the campaign
+// layer, BENCH_2.json for the tracked benchmark measurements (regenerate
+// with `make bench`), and examples/ for runnable entry points. The
+// benchmarks in bench_test.go regenerate one measurement per experiment.
+//
+// Statistical claims are measured as campaigns: internal/campaign runs
+// the declarative cross product protocol × graph family × size with many
+// trials per cell on a parallel worker pool, with per-trial
+// deterministic seeds (aggregates are identical at every worker count).
+// Run one with
+//
+//	go run ./cmd/stonesim sweep -spec examples/specs/mis-families.json
+//
+// which reproduces an MIS round-complexity table over five sparse
+// topology families (G(n,p), random geometric, preferential-attachment
+// power law, small-world rewiring, torus) at three sizes with 32 trials
+// per cell, and emits JSON/CSV via -json/-csv. `make check` runs the CI
+// gate: go vet, the race-detector test suite, and a smoke campaign.
 package stoneage

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureMain runs main() with stdout captured: the example is a
+// straight-line program that terminates the process on any failure, so
+// reaching the end with the expected report shape is the smoke
+// criterion.
+func captureMain(t *testing.T) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- string(data)
+	}()
+	main()
+	w.Close()
+	return <-done
+}
+
+func TestSmoke(t *testing.T) {
+	out := captureMain(t)
+	for _, want := range []string{
+		"proneural cluster: 192 cells",
+		"SOP selection finished",
+		"SOPs",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

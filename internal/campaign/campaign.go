@@ -1,0 +1,334 @@
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stoneage/internal/coloring"
+	"stoneage/internal/engine"
+	"stoneage/internal/graph"
+	"stoneage/internal/harness"
+	"stoneage/internal/matching"
+	"stoneage/internal/mis"
+)
+
+// CellResult aggregates the Trials runs of one
+// (protocol, family, size) cell.
+type CellResult struct {
+	Protocol string `json:"protocol"`
+	Family   string `json:"family"`
+	Size     int    `json:"size"`
+	// N, M, MaxDeg describe the (first) graph instance of the cell.
+	N      int `json:"n"`
+	M      int `json:"m"`
+	MaxDeg int `json:"maxDeg"`
+	Trials int `json:"trials"`
+	// Rounds aggregates the per-trial cost in the engine's own measure:
+	// synchronous rounds, or normalized time units under async (see
+	// Result.RoundsUnit).
+	Rounds harness.Stats `json:"rounds"`
+	// Transmissions aggregates sent letters (sync) or node steps
+	// (async; see Result.TxUnit). The matching protocol's bespoke
+	// engine does not count transmissions, so its cells report zeros
+	// here — unmeasured, not free.
+	Transmissions harness.Stats `json:"transmissions"`
+	// WallMS aggregates per-trial wall-clock milliseconds. Unlike the
+	// other aggregates it depends on the machine and the worker count.
+	WallMS harness.Stats `json:"wallMS"`
+}
+
+// Result is a completed campaign. Cells appear in the deterministic
+// spec order (protocol-major, then family, then size), independent of
+// the worker schedule.
+type Result struct {
+	Spec       Spec         `json:"spec"`
+	RoundsUnit string       `json:"roundsUnit"` // "rounds" | "time-units"
+	TxUnit     string       `json:"txUnit"`     // "transmissions" | "steps"
+	Cells      []CellResult `json:"cells"`
+}
+
+// errCanceled marks trials skipped after another trial already failed;
+// aggregation reports only real errors.
+var errCanceled = fmt.Errorf("campaign: canceled after earlier failure")
+
+// sample is one trial's measurements, plus the descriptive shape of the
+// graph it ran on (so aggregation never has to regenerate a graph).
+type sample struct {
+	rounds float64
+	tx     float64
+	wallMS float64
+	n, m   int
+	maxDeg int
+	err    error
+}
+
+// cell is the runtime state of one spec cell: its coordinates plus the
+// lazily built shared graph and bound program (shared-graph mode only).
+type cell struct {
+	protocol string
+	family   Family
+	size     int
+
+	once sync.Once
+	g    *graph.Graph
+	prog *engine.Program // sync mis/color3 on the shared graph
+	err  error
+}
+
+// Run executes the campaign: every (protocol, family, size, trial)
+// tuple is an independent job fanned out over Spec.Workers goroutines.
+// Per-protocol machine code is compiled once and rebound per graph;
+// with shared graphs (the default) the bind too happens once per cell
+// and all trials run the same immutable engine.Program concurrently.
+// Every trial's output is validated (MIS maximality, proper coloring,
+// maximal matching) before it counts.
+func Run(sp Spec) (*Result, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Graph-independent machine code, shared by every trial of a sync
+	// protocol (matching is not engine-hosted and compiles nothing;
+	// async trials compile per trial — see runAsyncTrial).
+	codes := map[string]*engine.MachineCode{}
+	if sp.engine() == "sync" {
+		for _, p := range sp.Protocols {
+			switch p {
+			case "mis":
+				codes[p] = engine.CompileMachine(mis.Protocol())
+			case "color3":
+				codes[p] = engine.CompileMachine(coloring.Protocol())
+			}
+		}
+	}
+
+	cells := make([]*cell, 0, len(sp.Protocols)*len(sp.Families)*len(sp.Sizes))
+	for _, p := range sp.Protocols {
+		for _, f := range sp.Families {
+			for _, n := range sp.Sizes {
+				cells = append(cells, &cell{protocol: p, family: f, size: n})
+			}
+		}
+	}
+
+	workers := sp.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	jobs := len(cells) * sp.Trials
+	if workers > jobs {
+		workers = jobs
+	}
+
+	samples := make([][]sample, len(cells))
+	for i := range samples {
+		samples[i] = make([]sample, sp.Trials)
+	}
+
+	// A failing trial flips the flag; workers skip the remaining jobs
+	// (marking them canceled) so a doomed sweep fails fast instead of
+	// burning the full grid. The failing worker's sample write
+	// happens-before the flag store, so the real error is always
+	// visible to the aggregation pass.
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range next {
+				cell, trial := j/sp.Trials, j%sp.Trials
+				if failed.Load() {
+					samples[cell][trial] = sample{err: errCanceled}
+					continue
+				}
+				s := runTrial(&sp, codes, cells[cell], trial)
+				samples[cell][trial] = s
+				if s.err != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for j := 0; j < jobs; j++ {
+		next <- j
+	}
+	close(next)
+	wg.Wait()
+
+	// Report the first real failure in deterministic (spec) order.
+	for i, c := range cells {
+		for trial, s := range samples[i] {
+			if s.err != nil && s.err != errCanceled {
+				return nil, fmt.Errorf("campaign: %s/%s/n=%d trial %d: %w",
+					c.protocol, c.family.Name(), c.size, trial, s.err)
+			}
+		}
+	}
+	if failed.Load() {
+		return nil, errCanceled // unreachable: a real error always precedes it
+	}
+
+	res := &Result{Spec: sp, RoundsUnit: "rounds", TxUnit: "transmissions"}
+	if sp.engine() == "async" {
+		res.RoundsUnit, res.TxUnit = "time-units", "steps"
+	}
+	for i, c := range cells {
+		rounds := make([]float64, 0, sp.Trials)
+		tx := make([]float64, 0, sp.Trials)
+		wall := make([]float64, 0, sp.Trials)
+		for _, s := range samples[i] {
+			rounds = append(rounds, s.rounds)
+			tx = append(tx, s.tx)
+			wall = append(wall, s.wallMS)
+		}
+		// The cell's descriptive shape is graph instance 0's — under
+		// shared graphs the instance every trial ran on.
+		first := samples[i][0]
+		res.Cells = append(res.Cells, CellResult{
+			Protocol:      c.protocol,
+			Family:        c.family.Name(),
+			Size:          c.size,
+			N:             first.n,
+			M:             first.m,
+			MaxDeg:        first.maxDeg,
+			Trials:        sp.Trials,
+			Rounds:        harness.Summarize(rounds),
+			Transmissions: harness.Summarize(tx),
+			WallMS:        harness.Summarize(wall),
+		})
+	}
+	return res, nil
+}
+
+// prepare lazily builds the cell's shared graph and, for engine-hosted
+// sync protocols, binds the compiled machine code to it. Safe for
+// concurrent callers; the first one pays the cost.
+func (c *cell) prepare(sp *Spec, codes map[string]*engine.MachineCode) error {
+	c.once.Do(func() {
+		g, err := BuildGraph(c.family, c.size, sp.GraphSeed(c.family, c.size, 0))
+		if err != nil {
+			c.err = err
+			return
+		}
+		c.g = g
+		if code := codes[c.protocol]; code != nil && sp.engine() == "sync" {
+			c.prog = code.Bind(g)
+		}
+	})
+	return c.err
+}
+
+// runTrial executes one trial and validates its output.
+func runTrial(sp *Spec, codes map[string]*engine.MachineCode, c *cell, trial int) sample {
+	var (
+		g    *graph.Graph
+		prog *engine.Program
+	)
+	if sp.GraphPerTrial {
+		var err error
+		g, err = BuildGraph(c.family, c.size, sp.GraphSeed(c.family, c.size, trial))
+		if err != nil {
+			return sample{err: err}
+		}
+		if code := codes[c.protocol]; code != nil && sp.engine() == "sync" {
+			prog = code.Bind(g)
+		}
+	} else {
+		if err := c.prepare(sp, codes); err != nil {
+			return sample{err: err}
+		}
+		g, prog = c.g, c.prog
+	}
+
+	seed := sp.TrialSeed(c.protocol, c.family, c.size, trial)
+	start := time.Now()
+	var s sample
+	if sp.engine() == "async" {
+		s = runAsyncTrial(sp, c.protocol, g, seed)
+	} else {
+		s = runSyncTrial(sp, c.protocol, g, prog, seed)
+	}
+	s.wallMS = float64(time.Since(start)) / float64(time.Millisecond)
+	s.n, s.m, s.maxDeg = g.N(), g.M(), g.MaxDegree()
+	return s
+}
+
+func runSyncTrial(sp *Spec, protocol string, g *graph.Graph, prog *engine.Program, seed uint64) sample {
+	switch protocol {
+	case "mis":
+		res, err := prog.RunSync(engine.SyncConfig{Seed: seed, MaxRounds: sp.MaxRounds, Workers: 1})
+		if err != nil {
+			return sample{err: err}
+		}
+		inSet, err := mis.Extract(res.States)
+		if err == nil {
+			err = g.IsMaximalIndependentSet(inSet)
+		}
+		if err != nil {
+			return sample{err: err}
+		}
+		return sample{rounds: float64(res.Rounds), tx: float64(res.Transmissions)}
+	case "color3":
+		res, err := prog.RunSync(engine.SyncConfig{Seed: seed, MaxRounds: sp.MaxRounds, Workers: 1})
+		if err != nil {
+			return sample{err: err}
+		}
+		colors, err := coloring.Extract(res.States)
+		if err == nil {
+			err = g.IsProperColoring(colors, 3)
+		}
+		if err != nil {
+			return sample{err: err}
+		}
+		return sample{rounds: float64(res.Rounds), tx: float64(res.Transmissions)}
+	case "matching":
+		res, err := matching.Solve(g, seed, sp.MaxRounds)
+		if err != nil {
+			return sample{err: err}
+		}
+		if err := g.IsMaximalMatching(res.Mate); err != nil {
+			return sample{err: err}
+		}
+		return sample{rounds: float64(res.Rounds)}
+	}
+	return sample{err: fmt.Errorf("campaign: unknown protocol %q", protocol)}
+}
+
+// runAsyncTrial compiles the protocol through the Theorem 3.1/3.4
+// synchronizer *per trial* (inside SolveAsync), deliberately not
+// sharing a compiled machine across trials: synchro machines intern
+// their state sets lazily during execution, so a shared machine's
+// state numbering would depend on how the worker schedule interleaves
+// trials — per-trial compilation keeps every trial a pure function of
+// its seed.
+func runAsyncTrial(sp *Spec, protocol string, g *graph.Graph, seed uint64) sample {
+	// The adversary's coins must be oblivious to the protocol's, so its
+	// seed is a distinct derivation of the trial seed.
+	adv := engine.NamedAdversaries(seed ^ saltAdversary)[sp.adversary()]
+	switch protocol {
+	case "mis":
+		res, err := mis.SolveAsync(g, seed, adv, sp.MaxSteps)
+		if err != nil {
+			return sample{err: err}
+		}
+		if err := g.IsMaximalIndependentSet(res.InSet); err != nil {
+			return sample{err: err}
+		}
+		return sample{rounds: res.TimeUnits, tx: float64(res.Steps)}
+	case "color3":
+		res, err := coloring.SolveAsync(g, seed, adv, sp.MaxSteps)
+		if err != nil {
+			return sample{err: err}
+		}
+		if err := g.IsProperColoring(res.Colors, 3); err != nil {
+			return sample{err: err}
+		}
+		return sample{rounds: res.TimeUnits, tx: float64(res.Steps)}
+	}
+	return sample{err: fmt.Errorf("campaign: unknown protocol %q", protocol)}
+}

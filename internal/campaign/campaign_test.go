@@ -1,0 +1,262 @@
+package campaign
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func misSpec(workers int) Spec {
+	return Spec{
+		Name:      "test-mis",
+		Protocols: []string{"mis"},
+		Families: []Family{
+			{Kind: "gnp"}, {Kind: "geometric"}, {Kind: "powerlaw"}, {Kind: "smallworld"},
+		},
+		Sizes:   []int{16, 32, 64},
+		Trials:  8,
+		Seed:    7,
+		Workers: workers,
+	}
+}
+
+// TestWorkerCountInvariance is the campaign acceptance property: the
+// deterministic aggregates (everything but wall time) are identical at
+// every worker count, because each trial's seed is a pure function of
+// its coordinates and cells aggregate in spec order.
+func TestWorkerCountInvariance(t *testing.T) {
+	base, err := Run(misSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.StripWall()
+	for _, workers := range []int{2, 3, 8} {
+		sp := misSpec(workers)
+		got, err := Run(sp)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got.StripWall()
+		// Spec differs in the Workers field only; compare cells.
+		if !reflect.DeepEqual(got.Cells, base.Cells) {
+			t.Fatalf("workers=%d: aggregates diverged from workers=1", workers)
+		}
+	}
+}
+
+// TestTrialSeedIsolation pins the reproducibility contract: a trial's
+// seed depends on its content coordinates, not on list positions, so
+// reordering the spec's protocol/family/size lists moves cells around
+// without changing any cell's aggregates.
+func TestTrialSeedIsolation(t *testing.T) {
+	sp := misSpec(0)
+	a, err := Run(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev := sp
+	rev.Families = []Family{
+		{Kind: "smallworld"}, {Kind: "powerlaw"}, {Kind: "geometric"}, {Kind: "gnp"},
+	}
+	rev.Sizes = []int{64, 32, 16}
+	b, err := Run(rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	find := func(r *Result, family string, size int) CellResult {
+		for _, c := range r.Cells {
+			if c.Family == family && c.Size == size {
+				c.WallMS = CellResult{}.WallMS
+				return c
+			}
+		}
+		t.Fatalf("cell %s/n=%d missing", family, size)
+		return CellResult{}
+	}
+	for _, fam := range []string{"gnp", "geometric", "powerlaw", "smallworld"} {
+		for _, n := range []int{16, 32, 64} {
+			ca, cb := find(a, fam, n), find(b, fam, n)
+			if !reflect.DeepEqual(ca, cb) {
+				t.Fatalf("cell %s/n=%d changed under spec reordering:\n%+v\n%+v", fam, n, ca, cb)
+			}
+		}
+	}
+}
+
+// TestTreeProtocolAndMatching covers the two non-MIS protocols end to
+// end, including the per-trial validation hook.
+func TestTreeProtocolAndMatching(t *testing.T) {
+	res, err := Run(Spec{
+		Protocols: []string{"color3"},
+		Families:  []Family{{Kind: "tree"}, {Kind: "caterpillar"}, {Kind: "star"}},
+		Sizes:     []int{16, 64},
+		Trials:    4,
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 6 {
+		t.Fatalf("got %d cells, want 6", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if c.Rounds.Mean <= 0 || c.Rounds.N != 4 {
+			t.Fatalf("cell %+v has empty aggregates", c)
+		}
+	}
+
+	res, err = Run(Spec{
+		Protocols: []string{"matching"},
+		Families:  []Family{{Kind: "torus"}},
+		Sizes:     []int{49},
+		Trials:    3,
+		Seed:      5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cells[0].Rounds.Mean <= 0 {
+		t.Fatal("matching campaign produced no rounds")
+	}
+}
+
+// TestAsyncCampaign runs a small asynchronous sweep and checks the
+// units switch to the paper's normalized time measure.
+func TestAsyncCampaign(t *testing.T) {
+	res, err := Run(Spec{
+		Protocols: []string{"mis"},
+		Engine:    "async",
+		Adversary: "uniform",
+		Families:  []Family{{Kind: "gnp"}},
+		Sizes:     []int{16},
+		Trials:    3,
+		Seed:      11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RoundsUnit != "time-units" || res.TxUnit != "steps" {
+		t.Fatalf("async units = (%s, %s)", res.RoundsUnit, res.TxUnit)
+	}
+	if res.Cells[0].Rounds.Mean <= 0 {
+		t.Fatal("async campaign produced no time units")
+	}
+}
+
+// TestGraphPerTrial draws a fresh instance per trial and checks the
+// mode changes the aggregates of a random family but not a
+// deterministic one.
+func TestGraphPerTrial(t *testing.T) {
+	sp := Spec{
+		Protocols: []string{"mis"},
+		Families:  []Family{{Kind: "gnp"}, {Kind: "cycle"}},
+		Sizes:     []int{32},
+		Trials:    6,
+		Seed:      9,
+	}
+	shared, err := Run(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.GraphPerTrial = true
+	fresh, err := Run(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Graph instance 0 is the same in both modes, so trial 0 agrees;
+	// later trials see different graphs, so the gnp aggregates should
+	// differ (if they ever collide, the seed below needs changing —
+	// astronomically unlikely).
+	if shared.Cells[0].Rounds == fresh.Cells[0].Rounds &&
+		shared.Cells[0].Transmissions == fresh.Cells[0].Transmissions {
+		t.Fatal("graphPerTrial left gnp aggregates unchanged")
+	}
+	if shared.Cells[1].Rounds != fresh.Cells[1].Rounds {
+		t.Fatal("graphPerTrial changed the deterministic cycle family")
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		sp   Spec
+		want string
+	}{
+		{"no protocols", Spec{Families: []Family{{Kind: "gnp"}}, Sizes: []int{8}, Trials: 1}, "no protocols"},
+		{"unknown protocol", Spec{Protocols: []string{"routing"}, Families: []Family{{Kind: "gnp"}}, Sizes: []int{8}, Trials: 1}, "unknown protocol"},
+		{"unknown family", Spec{Protocols: []string{"mis"}, Families: []Family{{Kind: "hypercube"}}, Sizes: []int{8}, Trials: 1}, "unknown graph family"},
+		{"color3 on non-tree", Spec{Protocols: []string{"color3"}, Families: []Family{{Kind: "gnp"}}, Sizes: []int{8}, Trials: 1}, "needs tree families"},
+		{"matching async", Spec{Protocols: []string{"matching"}, Engine: "async", Families: []Family{{Kind: "gnp"}}, Sizes: []int{8}, Trials: 1}, "sync engine only"},
+		{"bad engine", Spec{Protocols: []string{"mis"}, Engine: "quantum", Families: []Family{{Kind: "gnp"}}, Sizes: []int{8}, Trials: 1}, "unknown engine"},
+		{"bad adversary", Spec{Protocols: []string{"mis"}, Engine: "async", Adversary: "oracle", Families: []Family{{Kind: "gnp"}}, Sizes: []int{8}, Trials: 1}, "unknown adversary"},
+		{"duplicate protocol", Spec{Protocols: []string{"mis", "mis"}, Families: []Family{{Kind: "gnp"}}, Sizes: []int{8}, Trials: 1}, "duplicate protocol"},
+		{"duplicate family", Spec{Protocols: []string{"mis"}, Families: []Family{{Kind: "gnp"}, {Kind: "gnp", Param: Param(4)}}, Sizes: []int{8}, Trials: 1}, "duplicate family"},
+		{"relabeled duplicate family", Spec{Protocols: []string{"mis"}, Families: []Family{{Kind: "gnp"}, {Kind: "gnp", Label: "gnp-2"}}, Sizes: []int{8}, Trials: 1}, "duplicate family"},
+		{"duplicate size", Spec{Protocols: []string{"mis"}, Families: []Family{{Kind: "gnp"}}, Sizes: []int{8, 8}, Trials: 1}, "duplicate size"},
+		{"fractional powerlaw m", Spec{Protocols: []string{"mis"}, Families: []Family{{Kind: "powerlaw", Param: Param(2.5)}}, Sizes: []int{8}, Trials: 1}, "positive integer"},
+		{"smallworld beta > 1", Spec{Protocols: []string{"mis"}, Families: []Family{{Kind: "smallworld", Param: Param(1.5)}}, Sizes: []int{8}, Trials: 1}, "[0,1]"},
+		{"negative gnp degree", Spec{Protocols: []string{"mis"}, Families: []Family{{Kind: "gnp", Param: Param(-1)}}, Sizes: []int{8}, Trials: 1}, "positive"},
+		{"param on parameterless kind", Spec{Protocols: []string{"mis"}, Families: []Family{{Kind: "cycle", Param: Param(7)}}, Sizes: []int{8}, Trials: 1}, "takes no parameter"},
+		{"no sizes", Spec{Protocols: []string{"mis"}, Families: []Family{{Kind: "gnp"}}, Trials: 1}, "no sizes"},
+		{"no trials", Spec{Protocols: []string{"mis"}, Families: []Family{{Kind: "gnp"}}, Sizes: []int{8}}, "trials"},
+	}
+	for _, tc := range cases {
+		err := tc.sp.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestFailFast runs a sweep whose every trial exhausts its round
+// budget: the campaign must surface a real engine error (with cell and
+// trial coordinates), never the internal cancellation marker.
+func TestFailFast(t *testing.T) {
+	_, err := Run(Spec{
+		Protocols: []string{"mis"},
+		Families:  []Family{{Kind: "gnp"}},
+		Sizes:     []int{64},
+		Trials:    16,
+		Seed:      1,
+		MaxRounds: 1,
+	})
+	if err == nil {
+		t.Fatal("MaxRounds=1 sweep succeeded")
+	}
+	if !strings.Contains(err.Error(), "mis/gnp/n=64 trial") ||
+		!strings.Contains(err.Error(), "no output configuration") {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+// TestExplicitZeroParam pins the pointer semantics of Family.Param: an
+// explicit 0 (the β=0 pure small-world lattice) must not be replaced
+// by the kind's default, in the build, the display name, or the seeds.
+func TestExplicitZeroParam(t *testing.T) {
+	zero := Family{Kind: "smallworld", Param: Param(0)}
+	dflt := Family{Kind: "smallworld"}
+	g, err := BuildGraph(zero, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// β=0 is the deterministic ring lattice: every node has degree 4.
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("β=0 lattice node %d has degree %d, want 4", v, g.Degree(v))
+		}
+	}
+	if zero.Name() != "smallworld(0)" {
+		t.Fatalf("explicit-zero name = %q", zero.Name())
+	}
+	sp := Spec{Seed: 1}
+	if sp.TrialSeed("mis", zero, 64, 0) == sp.TrialSeed("mis", dflt, 64, 0) {
+		t.Fatal("β=0 trial seed collides with the default-param cell")
+	}
+}
+
+func TestReadSpecRejectsUnknownFields(t *testing.T) {
+	_, err := ReadSpec(strings.NewReader(`{"protocols":["mis"],"families":[{"kind":"gnp"}],"sizes":[8],"trials":1,"turbo":true}`))
+	if err == nil || !strings.Contains(err.Error(), "turbo") {
+		t.Fatalf("unknown field accepted: %v", err)
+	}
+}

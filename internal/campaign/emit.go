@@ -1,0 +1,99 @@
+package campaign
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"stoneage/internal/harness"
+)
+
+// WriteJSON emits the result as indented JSON. The field and cell order
+// is deterministic (spec order), so two runs of the same spec produce
+// byte-identical output once wall-clock stats are stripped.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// csvHeader is the flat per-cell schema of WriteCSV.
+var csvHeader = []string{
+	"protocol", "family", "size", "n", "m", "maxDeg", "trials",
+	"rounds_mean", "rounds_std", "rounds_min", "rounds_median", "rounds_p90", "rounds_max",
+	"tx_mean", "tx_std", "tx_min", "tx_median", "tx_p90", "tx_max",
+	"wall_ms_mean", "wall_ms_std", "wall_ms_p90",
+}
+
+// WriteCSV emits one row per cell in spec order.
+func (r *Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, c := range r.Cells {
+		row := []string{
+			c.Protocol, c.Family,
+			strconv.Itoa(c.Size), strconv.Itoa(c.N), strconv.Itoa(c.M),
+			strconv.Itoa(c.MaxDeg), strconv.Itoa(c.Trials),
+			f(c.Rounds.Mean), f(c.Rounds.Std), f(c.Rounds.Min), f(c.Rounds.Median), f(c.Rounds.P90), f(c.Rounds.Max),
+			f(c.Transmissions.Mean), f(c.Transmissions.Std), f(c.Transmissions.Min), f(c.Transmissions.Median), f(c.Transmissions.P90), f(c.Transmissions.Max),
+			f(c.WallMS.Mean), f(c.WallMS.Std), f(c.WallMS.P90),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// StripWall zeroes every wall-clock aggregate. Wall time depends on the
+// machine and the worker count; stripping it leaves exactly the
+// deterministic part of the result (used by the golden tests and the
+// worker-invariance checks).
+func (r *Result) StripWall() {
+	for i := range r.Cells {
+		r.Cells[i].WallMS = harness.Stats{}
+	}
+}
+
+// Tables renders the campaign as one fixed-width table per protocol:
+// families as rows, the size ladder as columns, each cell showing
+// mean ± std of the round measure over the trials.
+func (r *Result) Tables() []*harness.Table {
+	var tables []*harness.Table
+	byProto := map[string]*harness.Table{}
+	for _, p := range r.Spec.Protocols {
+		header := []string{"family"}
+		for _, n := range r.Spec.Sizes {
+			header = append(header, fmt.Sprintf("n=%d", n))
+		}
+		title := fmt.Sprintf("%s: mean %s over %d trials (%s engine)",
+			p, r.RoundsUnit, r.Spec.Trials, r.Spec.engine())
+		if r.Spec.Name != "" {
+			title = fmt.Sprintf("%s — %s", r.Spec.Name, title)
+		}
+		t := &harness.Table{Title: title, Header: header}
+		byProto[p] = t
+		tables = append(tables, t)
+	}
+	// Cells arrive protocol-major, family-major, size-minor: walk each
+	// protocol's block row by row.
+	for i := 0; i < len(r.Cells); {
+		c := r.Cells[i]
+		row := []string{c.Family}
+		for range r.Spec.Sizes {
+			cc := r.Cells[i]
+			row = append(row, fmt.Sprintf("%s ± %s",
+				harness.FormatFloat(cc.Rounds.Mean), harness.FormatFloat(cc.Rounds.Std)))
+			i++
+		}
+		t := byProto[c.Protocol]
+		t.Rows = append(t.Rows, row)
+	}
+	return tables
+}

@@ -1,0 +1,99 @@
+package campaign
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// goldenResult runs the fixed campaign the emitter goldens are pinned
+// to. Wall-clock stats are stripped: they are the one machine-dependent
+// part of a result.
+func goldenResult(t *testing.T) *Result {
+	t.Helper()
+	res, err := Run(Spec{
+		Name:      "golden",
+		Protocols: []string{"mis", "matching"},
+		Families:  []Family{{Kind: "gnp"}, {Kind: "smallworld", Param: Param(0.2)}, {Kind: "cycle"}},
+		Sizes:     []int{16, 32},
+		Trials:    5,
+		Seed:      4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.StripWall()
+	return res
+}
+
+// TestGoldenEmitters pins the byte-exact JSON and CSV encodings of a
+// fixed campaign: stable cell ordering (spec order), stable field
+// order, and deterministic aggregates. Regenerate with
+// `go test ./internal/campaign -run Golden -update`.
+func TestGoldenEmitters(t *testing.T) {
+	res := goldenResult(t)
+	emitters := []struct {
+		name string
+		emit func(*Result, *bytes.Buffer) error
+	}{
+		{"result.json", func(r *Result, b *bytes.Buffer) error { return r.WriteJSON(b) }},
+		{"result.csv", func(r *Result, b *bytes.Buffer) error { return r.WriteCSV(b) }},
+	}
+	for _, em := range emitters {
+		t.Run(em.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := em.emit(res, &buf); err != nil {
+				t.Fatal(err)
+			}
+			golden := filepath.Join("testdata", em.name+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (regenerate with -update)", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Fatalf("%s drifted (regenerate with -update if intentional):\n--- got ---\n%s\n--- want ---\n%s",
+					golden, buf.Bytes(), want)
+			}
+		})
+	}
+}
+
+// TestTablesShape checks the terminal renderer: one table per protocol,
+// families as rows, the size ladder as columns.
+func TestTablesShape(t *testing.T) {
+	res := goldenResult(t)
+	tables := res.Tables()
+	if len(tables) != 2 {
+		t.Fatalf("got %d tables, want 2", len(tables))
+	}
+	for i, want := range []string{"mis", "matching"} {
+		tab := tables[i]
+		if len(tab.Rows) != 3 {
+			t.Fatalf("table %d has %d rows, want 3", i, len(tab.Rows))
+		}
+		if len(tab.Header) != 3 { // family + two sizes
+			t.Fatalf("table %d has %d header cells, want 3", i, len(tab.Header))
+		}
+		if tab.Rows[0][0] != "gnp" || tab.Rows[2][0] != "cycle" {
+			t.Fatalf("table %d rows out of spec order: %v", i, tab.Rows)
+		}
+		if want != "" && !contains(tab.Title, want) {
+			t.Fatalf("table %d title %q missing %q", i, tab.Title, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool { return bytes.Contains([]byte(s), []byte(sub)) }

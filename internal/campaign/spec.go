@@ -1,0 +1,387 @@
+// Package campaign turns the repository's one-off experiment runs into
+// declarative, parallel, reproducible sweeps. A Spec names a cross
+// product — protocols × graph families × a size ladder — plus a trial
+// count and an engine; Run fans the trials out over a worker pool,
+// derives every trial's seed deterministically from its coordinates (so
+// trial i is reproducible in isolation and the aggregates are identical
+// at every worker count), reuses the compiled engine.MachineCode across
+// all trials of a protocol, and summarizes each cell into
+// harness.Stats aggregates with JSON/CSV emitters.
+//
+// The paper's claims are statistical — round counts are expectations
+// over coins, graphs and schedules — and a campaign is the unit at
+// which those expectations are measured: every table of
+// cmd/experiments is a campaign, and `stonesim sweep -spec file.json`
+// runs one from the command line.
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"stoneage/internal/engine"
+	"stoneage/internal/graph"
+	"stoneage/internal/xrand"
+)
+
+// Family selects one graph family of a sweep. Param is interpreted per
+// kind (see familyDefs); nil (omitted in JSON) selects the kind's
+// default, and an explicit value — including 0, e.g. the β=0 pure
+// small-world lattice — is taken as given. Label, when set, overrides
+// the display name in tables and emitted rows.
+type Family struct {
+	Kind  string   `json:"kind"`
+	Param *float64 `json:"param,omitempty"`
+	Label string   `json:"label,omitempty"`
+}
+
+// Param wraps a literal parameter value for a Family composed in Go
+// (JSON specs just write the number).
+func Param(v float64) *float64 { return &v }
+
+// param resolves the family's effective parameter.
+func (f Family) param() float64 {
+	if f.Param != nil {
+		return *f.Param
+	}
+	return familyDefs[f.Kind].defaultParam
+}
+
+// Name returns the family's display name.
+func (f Family) Name() string {
+	if f.Label != "" {
+		return f.Label
+	}
+	def, ok := familyDefs[f.Kind]
+	if ok && f.Param != nil && *f.Param != def.defaultParam {
+		return fmt.Sprintf("%s(%g)", f.Kind, *f.Param)
+	}
+	return f.Kind
+}
+
+// familyDef describes one graph family kind: how to build an instance,
+// whether every instance is a tree (the Section 5 coloring protocol is
+// only correct on trees, so Spec.Validate enforces this statically),
+// and — for parameterized kinds — the parameter's valid domain.
+type familyDef struct {
+	tree         bool
+	defaultParam float64
+	paramCheck   func(p float64) error // nil: the kind takes no parameter
+	build        func(n int, param float64, src *xrand.Source) *graph.Graph
+}
+
+// validateParam checks the family's parameter against its kind's
+// domain; parameterless kinds reject an explicit parameter outright (a
+// stray param would silently do nothing while still perturbing seeds).
+// The caller ensures the kind is known.
+func (f Family) validateParam() error {
+	def := familyDefs[f.Kind]
+	if def.paramCheck == nil {
+		if f.Param != nil {
+			return fmt.Errorf("campaign: family %q takes no parameter (got %g)", f.Kind, *f.Param)
+		}
+		return nil
+	}
+	if err := def.paramCheck(f.param()); err != nil {
+		return fmt.Errorf("campaign: family %q: %w", f.Kind, err)
+	}
+	return nil
+}
+
+func side(n int) int { return int(math.Round(math.Sqrt(float64(n)))) }
+
+func positiveParam(what string) func(float64) error {
+	return func(p float64) error {
+		if p <= 0 {
+			return fmt.Errorf("%s must be positive, got %g", what, p)
+		}
+		return nil
+	}
+}
+
+var familyDefs = map[string]familyDef{
+	"gnp": {defaultParam: 4, paramCheck: positiveParam("mean degree"), build: func(n int, p float64, src *xrand.Source) *graph.Graph {
+		return graph.GnpConnected(n, p/float64(n), src)
+	}},
+	"geometric": {defaultParam: 1.5, paramCheck: positiveParam("radius multiplier"), build: func(n int, c float64, src *xrand.Source) *graph.Graph {
+		return graph.RandomGeometric(n, graph.GeometricRadius(n, c), src)
+	}},
+	"powerlaw": {defaultParam: 3, paramCheck: func(p float64) error {
+		if p < 1 || p != math.Trunc(p) {
+			return fmt.Errorf("attachment count must be a positive integer, got %g", p)
+		}
+		return nil
+	}, build: func(n int, m float64, src *xrand.Source) *graph.Graph {
+		return graph.PreferentialAttachment(n, int(m), src)
+	}},
+	"smallworld": {defaultParam: 0.1, paramCheck: func(p float64) error {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("rewiring probability must be in [0,1], got %g", p)
+		}
+		return nil
+	}, build: func(n int, beta float64, src *xrand.Source) *graph.Graph {
+		return graph.SmallWorld(n, 4, beta, src)
+	}},
+	"grid": {build: func(n int, _ float64, _ *xrand.Source) *graph.Graph {
+		return graph.Grid(side(n), side(n))
+	}},
+	"torus": {build: func(n int, _ float64, _ *xrand.Source) *graph.Graph {
+		return graph.Torus(side(n), side(n))
+	}},
+	"lattice": {build: func(n int, _ float64, _ *xrand.Source) *graph.Graph {
+		return graph.ProneuralLattice(side(n), side(n))
+	}},
+	"cycle": {build: func(n int, _ float64, _ *xrand.Source) *graph.Graph {
+		return graph.Cycle(n)
+	}},
+	"clique": {build: func(n int, _ float64, _ *xrand.Source) *graph.Graph {
+		return graph.Clique(n)
+	}},
+	"tree": {tree: true, build: func(n int, _ float64, src *xrand.Source) *graph.Graph {
+		return graph.RandomTree(n, src)
+	}},
+	"path": {tree: true, build: func(n int, _ float64, _ *xrand.Source) *graph.Graph {
+		return graph.Path(n)
+	}},
+	"star": {tree: true, build: func(n int, _ float64, _ *xrand.Source) *graph.Graph {
+		return graph.Star(n)
+	}},
+	"binary": {tree: true, build: func(n int, _ float64, _ *xrand.Source) *graph.Graph {
+		return graph.BinaryTree(n)
+	}},
+	"caterpillar": {tree: true, build: func(n int, _ float64, _ *xrand.Source) *graph.Graph {
+		return graph.Caterpillar(n)
+	}},
+	"broom": {tree: true, build: func(n int, _ float64, _ *xrand.Source) *graph.Graph {
+		return graph.Broom(n)
+	}},
+}
+
+// FamilyKinds returns the known family kinds, sorted.
+func FamilyKinds() []string {
+	out := make([]string, 0, len(familyDefs))
+	for k := range familyDefs {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BuildGraph constructs one instance of the family at size n from the
+// given seed. Deterministic families ignore the seed; every instance is
+// checked against graph.Validate before it is returned.
+func BuildGraph(f Family, n int, seed uint64) (*graph.Graph, error) {
+	def, ok := familyDefs[f.Kind]
+	if !ok {
+		return nil, fmt.Errorf("campaign: unknown graph family %q (known: %v)", f.Kind, FamilyKinds())
+	}
+	if err := f.validateParam(); err != nil {
+		return nil, err
+	}
+	g := def.build(n, f.param(), xrand.NewStream(seed, fnv(f.Kind)))
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("campaign: %s n=%d: %w", f.Name(), n, err)
+	}
+	return g, nil
+}
+
+// Spec is a declarative campaign: the full cross product
+// Protocols × Families × Sizes, with Trials runs per cell.
+type Spec struct {
+	// Name labels the campaign in reports.
+	Name string `json:"name,omitempty"`
+	// Protocols to sweep: "mis", "color3", "matching".
+	Protocols []string `json:"protocols"`
+	// Engine is "sync" (locally synchronous, default) or "async" (the
+	// Theorem 3.1/3.4 synchronizer under an adversary).
+	Engine string `json:"engine,omitempty"`
+	// Adversary names the async scheduling policy (default "uniform");
+	// ignored by the sync engine.
+	Adversary string `json:"adversary,omitempty"`
+	// Families and Sizes span the topology grid.
+	Families []Family `json:"families"`
+	Sizes    []int    `json:"sizes"`
+	// Trials is the number of runs per (protocol, family, size) cell.
+	Trials int `json:"trials"`
+	// Seed keys every derived per-trial seed (see TrialSeed).
+	Seed uint64 `json:"seed,omitempty"`
+	// MaxRounds / MaxSteps bound each trial (0 = engine defaults).
+	MaxRounds int   `json:"maxRounds,omitempty"`
+	MaxSteps  int64 `json:"maxSteps,omitempty"`
+	// GraphPerTrial draws a fresh graph instance for every trial instead
+	// of sharing one instance per cell. Sharing (the default) amortizes
+	// generation and the CSR bind across trials and isolates the
+	// variance of the protocol's coins; per-trial graphs additionally
+	// average over the family's randomness.
+	GraphPerTrial bool `json:"graphPerTrial,omitempty"`
+	// Workers sizes the trial worker pool (0 = GOMAXPROCS). Aggregates
+	// are identical for every value.
+	Workers int `json:"workers,omitempty"`
+}
+
+// knownProtocols maps protocol name → needs-tree restriction.
+var knownProtocols = map[string]struct{ needsTree, syncOnly bool }{
+	"mis":      {},
+	"color3":   {needsTree: true},
+	"matching": {syncOnly: true},
+}
+
+// Validate checks the spec's static well-formedness: known protocols,
+// engine and families; tree-only protocols paired with tree families;
+// positive sizes and trials.
+func (sp *Spec) Validate() error {
+	if len(sp.Protocols) == 0 {
+		return fmt.Errorf("campaign: spec has no protocols")
+	}
+	eng := sp.engine()
+	if eng != "sync" && eng != "async" {
+		return fmt.Errorf("campaign: unknown engine %q (want sync or async)", sp.Engine)
+	}
+	if eng == "async" {
+		if _, ok := engine.NamedAdversaries(0)[sp.adversary()]; !ok {
+			return fmt.Errorf("campaign: unknown adversary %q", sp.adversary())
+		}
+	}
+	seen := map[string]bool{}
+	for _, p := range sp.Protocols {
+		def, ok := knownProtocols[p]
+		if !ok {
+			return fmt.Errorf("campaign: unknown protocol %q (known: mis, color3, matching)", p)
+		}
+		if seen[p] {
+			return fmt.Errorf("campaign: duplicate protocol %q", p)
+		}
+		seen[p] = true
+		if def.syncOnly && eng == "async" {
+			return fmt.Errorf("campaign: protocol %q runs on the sync engine only", p)
+		}
+		for _, f := range sp.Families {
+			fd, ok := familyDefs[f.Kind]
+			if !ok {
+				return fmt.Errorf("campaign: unknown graph family %q (known: %v)", f.Kind, FamilyKinds())
+			}
+			if def.needsTree && !fd.tree {
+				return fmt.Errorf("campaign: protocol %q needs tree families, but %q is not one", p, f.Kind)
+			}
+		}
+	}
+	if len(sp.Families) == 0 {
+		return fmt.Errorf("campaign: spec has no graph families")
+	}
+	// Duplicate families or sizes would run identical cells (seeds are
+	// content-derived), silently double-weighting them in any
+	// downstream averaging. The key deliberately excludes Label — a
+	// label changes only the display name, not the data.
+	seenFam := map[string]bool{}
+	for _, f := range sp.Families {
+		if err := f.validateParam(); err != nil {
+			return err
+		}
+		key := fmt.Sprintf("%s/%g", f.Kind, f.param())
+		if seenFam[key] {
+			return fmt.Errorf("campaign: duplicate family %s", f.Name())
+		}
+		seenFam[key] = true
+	}
+	if len(sp.Sizes) == 0 {
+		return fmt.Errorf("campaign: spec has no sizes")
+	}
+	seenSize := map[int]bool{}
+	for _, n := range sp.Sizes {
+		if n < 1 {
+			return fmt.Errorf("campaign: non-positive size %d", n)
+		}
+		if seenSize[n] {
+			return fmt.Errorf("campaign: duplicate size %d", n)
+		}
+		seenSize[n] = true
+	}
+	if sp.Trials < 1 {
+		return fmt.Errorf("campaign: trials must be >= 1, got %d", sp.Trials)
+	}
+	return nil
+}
+
+func (sp *Spec) engine() string {
+	if sp.Engine == "" {
+		return "sync"
+	}
+	return sp.Engine
+}
+
+func (sp *Spec) adversary() string {
+	if sp.Adversary == "" {
+		return "uniform"
+	}
+	return sp.Adversary
+}
+
+// fnv is FNV-1a over the string, used to fold campaign coordinates into
+// seed derivations without positional coupling (reordering the spec's
+// lists does not change any trial's seed).
+func fnv(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+const (
+	saltTrial     = 0x7472_6961_6c00 // "trial"
+	saltGraph     = 0x6772_6170_6800 // "graph"
+	saltAdversary = 0x6164_7600      // "adv"
+)
+
+// TrialSeed derives the seed of one trial from its content coordinates:
+// it depends on the spec seed, the protocol, the family (kind and
+// parameter), the size and the trial index — not on the position of any
+// of these in the spec's lists or on the worker schedule. A single
+// trial is therefore exactly reproducible in isolation.
+func (sp *Spec) TrialSeed(protocol string, f Family, size, trial int) uint64 {
+	return xrand.Mix(sp.Seed, saltTrial, fnv(protocol), fnv(f.Kind),
+		math.Float64bits(f.param()), uint64(size), uint64(trial))
+}
+
+// GraphSeed derives the seed of the graph instance a trial runs on. It
+// is independent of the protocol, so all protocols of a sweep see the
+// same topology sample. With GraphPerTrial unset every trial of a cell
+// shares instance 0.
+func (sp *Spec) GraphSeed(f Family, size, trial int) uint64 {
+	if !sp.GraphPerTrial {
+		trial = 0
+	}
+	return xrand.Mix(sp.Seed, saltGraph, fnv(f.Kind),
+		math.Float64bits(f.param()), uint64(size), uint64(trial))
+}
+
+// ReadSpec decodes a Spec from JSON, rejecting unknown fields (a typo'd
+// knob silently reverting to a default would invalidate a sweep).
+func ReadSpec(r io.Reader) (Spec, error) {
+	var sp Spec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sp); err != nil {
+		return sp, fmt.Errorf("campaign: decoding spec: %w", err)
+	}
+	return sp, sp.Validate()
+}
+
+// LoadSpec reads a Spec from a JSON file.
+func LoadSpec(path string) (Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Spec{}, err
+	}
+	defer f.Close()
+	sp, err := ReadSpec(f)
+	if err != nil {
+		return sp, fmt.Errorf("%s: %w", path, err)
+	}
+	return sp, nil
+}

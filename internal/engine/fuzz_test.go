@@ -1,0 +1,204 @@
+package engine_test
+
+// The standing fuzz wall: go-native fuzz targets that extend the
+// differential suite of diff_test.go from a fixed case matrix to
+// arbitrary machines, graphs and seeds. Each target decodes a small
+// single-query protocol and a random graph from the fuzz input —
+// correct by construction, so every input exercises the engines — and
+// demands that the compiled executors (RunSync at several worker
+// counts, RunAsync) stay byte-identical to the reference engines
+// (RunSyncRef / RunAsyncRef), including on budget-exhaustion errors.
+//
+// Run continuously with
+//
+//	go test -fuzz FuzzDifferentialSync ./internal/engine
+//	go test -fuzz FuzzDifferentialAsync ./internal/engine
+//
+// Under plain `go test` the seed corpus below runs as regular cases.
+
+import (
+	"testing"
+
+	"stoneage/internal/engine"
+	"stoneage/internal/graph"
+	"stoneage/internal/nfsm"
+	"stoneage/internal/xrand"
+)
+
+// fuzzReader doles out bytes from the fuzz input, wrapping around when
+// it is exhausted (and yielding zeros when it is empty) so every
+// decode succeeds on every input.
+type fuzzReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *fuzzReader) byte() byte {
+	if len(r.data) == 0 {
+		return 0
+	}
+	b := r.data[r.pos%len(r.data)]
+	r.pos++
+	return b
+}
+
+// intn returns a value in [1, n] driven by the input.
+func (r *fuzzReader) intn(n int) int {
+	return int(r.byte())%n + 1
+}
+
+// fuzzProtocol decodes a random but well-formed single-query
+// nfsm.Protocol: every δ row is non-empty, every move's target state
+// and emitted letter are in range, and at least one state is an output
+// sink (so some runs converge; many still exhaust MaxRounds, which the
+// engines must report identically).
+func fuzzProtocol(r *fuzzReader) *nfsm.Protocol {
+	nq := r.intn(5) + 1 // 2..6 states
+	nl := r.intn(4)     // 1..4 letters
+	b := r.intn(3)      // 1..3
+	names := make([]string, nq)
+	letters := make([]string, nl)
+	for q := range names {
+		names[q] = "q" + string(rune('0'+q))
+	}
+	for l := range letters {
+		letters[l] = "l" + string(rune('0'+l))
+	}
+	output := make([]bool, nq)
+	output[nq-1] = true // one guaranteed sink
+	for q := 0; q < nq-1; q++ {
+		output[q] = r.byte()%4 == 0
+	}
+	query := make([]nfsm.Letter, nq)
+	for q := range query {
+		query[q] = nfsm.Letter(int(r.byte()) % nl)
+	}
+	delta := make([][][]nfsm.Move, nq)
+	for q := 0; q < nq; q++ {
+		delta[q] = make([][]nfsm.Move, b+1)
+		for c := 0; c <= b; c++ {
+			if output[q] {
+				// Output states keep their output status (requirement
+				// (M4)-ish sink behaviour keeps convergence detectable).
+				delta[q][c] = []nfsm.Move{{Next: nfsm.State(q), Emit: nfsm.NoLetter}}
+				continue
+			}
+			moves := make([]nfsm.Move, r.intn(3))
+			for i := range moves {
+				next := nfsm.State(int(r.byte()) % nq)
+				emit := nfsm.Letter(int(r.byte())%(nl+1)) - 1 // NoLetter..nl-1
+				moves[i] = nfsm.Move{Next: next, Emit: emit}
+			}
+			delta[q][c] = moves
+		}
+	}
+	return &nfsm.Protocol{
+		Name:        "fuzz",
+		StateNames:  names,
+		LetterNames: letters,
+		Input:       []nfsm.State{0},
+		Output:      output,
+		Initial:     nfsm.Letter(int(r.byte()) % nl),
+		B:           b,
+		Query:       query,
+		Delta:       delta,
+	}
+}
+
+// fuzzGraph decodes a random graph: G(n, p) over a derived stream, with
+// a path fallback so tiny inputs still yield edges.
+func fuzzGraph(r *fuzzReader, gseed uint64) *graph.Graph {
+	n := r.intn(48) + 1 // 2..49
+	switch r.byte() % 4 {
+	case 0:
+		return graph.Path(n)
+	case 1:
+		return graph.Star(n)
+	case 2:
+		return graph.GnpConnected(n, float64(r.intn(8))/float64(n), xrand.New(gseed))
+	default:
+		return graph.Gnp(n, float64(r.intn(8))/float64(n), xrand.New(gseed)) // may be disconnected
+	}
+}
+
+func fuzzSeeds(f *testing.F) {
+	f.Add(uint64(1), uint64(2), []byte{})
+	f.Add(uint64(3), uint64(4), []byte{7, 1, 2, 200, 13, 5, 0, 99, 3})
+	f.Add(uint64(42), uint64(9), []byte{255, 254, 253, 1, 0, 128, 64, 32, 16, 8, 4, 2})
+	f.Add(uint64(11), uint64(12), []byte("stone age distributed computing"))
+}
+
+// FuzzDifferentialSync fuzzes RunSync (compiled, workers ∈ {1, 3})
+// against RunSyncRef.
+func FuzzDifferentialSync(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, seed, gseed uint64, data []byte) {
+		r := &fuzzReader{data: data}
+		m := fuzzProtocol(r)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("fuzzProtocol built an invalid machine: %v", err)
+		}
+		g := fuzzGraph(r, gseed)
+		const maxRounds = 64
+
+		ref, refErr := engine.RunSyncRef(m, g, engine.SyncConfig{Seed: seed, MaxRounds: maxRounds})
+		for _, workers := range []int{1, 3} {
+			got, gotErr := engine.Compile(m, g).RunSync(engine.SyncConfig{Seed: seed, MaxRounds: maxRounds, Workers: workers})
+			if refErr != nil || gotErr != nil {
+				if refErr == nil || gotErr == nil || refErr.Error() != gotErr.Error() {
+					t.Fatalf("workers=%d error mismatch:\nreference: %v\ncompiled:  %v", workers, refErr, gotErr)
+				}
+				continue
+			}
+			if got.Rounds != ref.Rounds || got.Transmissions != ref.Transmissions {
+				t.Fatalf("workers=%d: (rounds, tx) = (%d, %d), reference (%d, %d)",
+					workers, got.Rounds, got.Transmissions, ref.Rounds, ref.Transmissions)
+			}
+			for v := range ref.States {
+				if got.States[v] != ref.States[v] {
+					t.Fatalf("workers=%d: state of node %d = %d, reference %d",
+						workers, v, got.States[v], ref.States[v])
+				}
+			}
+		}
+	})
+}
+
+// FuzzDifferentialAsync fuzzes RunAsync against RunAsyncRef across the
+// adversary policies.
+func FuzzDifferentialAsync(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, seed, gseed uint64, data []byte) {
+		r := &fuzzReader{data: data}
+		m := fuzzProtocol(r)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("fuzzProtocol built an invalid machine: %v", err)
+		}
+		g := fuzzGraph(r, gseed)
+		advName := []string{"sync", "uniform", "skew", "drift"}[r.byte()%4]
+		const maxSteps = 1 << 12
+
+		mkAdv := func() engine.Adversary { return engine.NamedAdversaries(seed + 5)[advName] }
+		ref, refErr := engine.RunAsyncRef(m, g, engine.AsyncConfig{Seed: seed, Adversary: mkAdv(), MaxSteps: maxSteps})
+		got, gotErr := engine.RunAsync(m, g, engine.AsyncConfig{Seed: seed, Adversary: mkAdv(), MaxSteps: maxSteps})
+		if refErr != nil || gotErr != nil {
+			if refErr == nil || gotErr == nil || refErr.Error() != gotErr.Error() {
+				t.Fatalf("error mismatch:\nreference: %v\ncompiled:  %v", refErr, gotErr)
+			}
+			return
+		}
+		if got.Time != ref.Time || got.TimeUnits != ref.TimeUnits {
+			t.Fatalf("(Time, TimeUnits) = (%v, %v), reference (%v, %v)",
+				got.Time, got.TimeUnits, ref.Time, ref.TimeUnits)
+		}
+		if got.Steps != ref.Steps || got.Transmissions != ref.Transmissions || got.Lost != ref.Lost {
+			t.Fatalf("(Steps, Tx, Lost) = (%d, %d, %d), reference (%d, %d, %d)",
+				got.Steps, got.Transmissions, got.Lost, ref.Steps, ref.Transmissions, ref.Lost)
+		}
+		for v := range ref.States {
+			if got.States[v] != ref.States[v] {
+				t.Fatalf("state of node %d = %d, reference %d", v, got.States[v], ref.States[v])
+			}
+		}
+	})
+}

@@ -1,0 +1,162 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+
+	"stoneage/internal/xrand"
+)
+
+// TestFamiliesStructurallyValid runs every sweep family through the
+// structural validator: sorted duplicate-free adjacency, port symmetry,
+// no self-loops, consistent edge count.
+func TestFamiliesStructurallyValid(t *testing.T) {
+	for _, n := range []int{1, 2, 17, 200} {
+		cases := map[string]*Graph{
+			"geometric":  RandomGeometric(n, GeometricRadius(n, 1.5), xrand.New(uint64(n))),
+			"powerlaw":   PreferentialAttachment(n, 3, xrand.New(uint64(n))),
+			"smallworld": SmallWorld(n, 4, 0.2, xrand.New(uint64(n))),
+		}
+		for name, g := range cases {
+			if g.N() != n {
+				t.Errorf("%s: N = %d, want %d", name, g.N(), n)
+			}
+			if err := g.Validate(); err != nil {
+				t.Errorf("%s n=%d: %v", name, n, err)
+			}
+		}
+	}
+}
+
+// TestFamiliesDeterministicPerSeed pins the reproducibility contract:
+// the same seed yields the same graph, different seeds differ (at sizes
+// where collision is implausible).
+func TestFamiliesDeterministicPerSeed(t *testing.T) {
+	gens := map[string]func(seed uint64) *Graph{
+		"geometric": func(s uint64) *Graph {
+			return RandomGeometric(150, GeometricRadius(150, 1.5), xrand.New(s))
+		},
+		"powerlaw": func(s uint64) *Graph {
+			return PreferentialAttachment(150, 3, xrand.New(s))
+		},
+		"smallworld": func(s uint64) *Graph {
+			return SmallWorld(150, 4, 0.3, xrand.New(s))
+		},
+	}
+	for name, gen := range gens {
+		a, b := gen(42), gen(42)
+		if !reflect.DeepEqual(a.Edges(), b.Edges()) {
+			t.Errorf("%s: same seed produced different graphs", name)
+		}
+		c := gen(43)
+		if reflect.DeepEqual(a.Edges(), c.Edges()) {
+			t.Errorf("%s: different seeds produced identical graphs", name)
+		}
+	}
+}
+
+// TestPreferentialAttachmentShape checks the BA invariants: connected
+// by construction, every post-seed node has degree >= m, edge count is
+// exactly clique(m+1) + m·(n-m-1), and the hub degrees dominate (a
+// heavy-tailed distribution has a max degree well above m).
+func TestPreferentialAttachmentShape(t *testing.T) {
+	const n, m = 400, 3
+	g := PreferentialAttachment(n, m, xrand.New(1))
+	if !g.Connected() {
+		t.Fatal("BA graph disconnected")
+	}
+	wantM := m * (m + 1) / 2 // seed clique
+	wantM += m * (n - m - 1)
+	if g.M() != wantM {
+		t.Fatalf("M = %d, want %d", g.M(), wantM)
+	}
+	for v := 0; v < n; v++ {
+		if g.Degree(v) < m {
+			t.Fatalf("node %d has degree %d < m=%d", v, g.Degree(v), m)
+		}
+	}
+	if g.MaxDegree() < 4*m {
+		t.Errorf("max degree %d suspiciously small for a power-law graph", g.MaxDegree())
+	}
+}
+
+// TestSmallWorldShape checks the Watts–Strogatz invariants: the edge
+// count of the k-ring is preserved under rewiring, degrees stay near k,
+// beta=0 reproduces the pure lattice, and the fixed-seed instances used
+// by the campaigns are connected.
+func TestSmallWorldShape(t *testing.T) {
+	const n, k = 120, 4
+	lattice := SmallWorld(n, k, 0, xrand.New(5))
+	if lattice.M() != n*k/2 {
+		t.Fatalf("lattice M = %d, want %d", lattice.M(), n*k/2)
+	}
+	for v := 0; v < n; v++ {
+		if lattice.Degree(v) != k {
+			t.Fatalf("lattice node %d has degree %d, want %d", v, lattice.Degree(v), k)
+		}
+	}
+	for _, seed := range []uint64{1, 2, 3} {
+		g := SmallWorld(n, k, 0.2, xrand.New(seed))
+		if g.M() != n*k/2 {
+			t.Fatalf("seed %d: rewiring changed edge count to %d", seed, g.M())
+		}
+		if !g.Connected() {
+			t.Fatalf("seed %d: rewired small-world graph disconnected", seed)
+		}
+	}
+}
+
+// TestRandomGeometricShape checks the geometric model: a radius
+// comfortably above the connectivity threshold yields connected
+// fixed-seed instances, a tiny radius yields almost no edges, and the
+// bucket-grid edge detection agrees with the O(n²) definition.
+func TestRandomGeometricShape(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		g := RandomGeometric(300, GeometricRadius(300, 2.0), xrand.New(seed))
+		if !g.Connected() {
+			t.Fatalf("seed %d: geometric graph at 2× threshold disconnected", seed)
+		}
+	}
+	sparse := RandomGeometric(300, 0.001, xrand.New(4))
+	if sparse.M() > 2 {
+		t.Fatalf("r=0.001 produced %d edges", sparse.M())
+	}
+
+	// Differential check against the quadratic reference: same points
+	// (same seed/stream), brute-force pair scan.
+	const n = 120
+	r := GeometricRadius(n, 1.5)
+	g := RandomGeometric(n, r, xrand.New(9))
+	src := xrand.New(9)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = src.Float64()
+		ys[i] = src.Float64()
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			dx, dy := xs[u]-xs[v], ys[u]-ys[v]
+			want := dx*dx+dy*dy <= r*r
+			if got := g.HasEdge(u, v); got != want {
+				t.Fatalf("edge (%d,%d): bucket grid says %v, definition says %v", u, v, got, want)
+			}
+		}
+	}
+}
+
+// TestSmallWorldDegenerateSizes exercises the clamping paths.
+func TestSmallWorldDegenerateSizes(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 5} {
+		g := SmallWorld(n, 4, 0.5, xrand.New(7))
+		if err := g.Validate(); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+	}
+	if g := PreferentialAttachment(0, 3, xrand.New(1)); g.N() != 0 {
+		t.Error("BA n=0 not empty")
+	}
+	if g := RandomGeometric(0, 0.5, xrand.New(1)); g.N() != 0 {
+		t.Error("geometric n=0 not empty")
+	}
+}

@@ -5,6 +5,37 @@ import "fmt"
 // This file implements the solution validators: the correctness side of
 // every experiment asserts its protocol output with these checks.
 
+// Validate checks the structural invariants every generator must
+// preserve: adjacency lists sorted and duplicate-free, no self-loops,
+// port symmetry (u appears in adj[v] exactly when v appears in adj[u],
+// so PortOf is total on edges in both directions), and an edge count
+// consistent with the lists. The campaign runner validates every
+// generated graph before handing it to an engine.
+func (g *Graph) Validate() error {
+	degSum := 0
+	for v, nb := range g.adj {
+		degSum += len(nb)
+		for i, u := range nb {
+			if u < 0 || u >= g.N() {
+				return fmt.Errorf("graph: node %d lists out-of-range neighbor %d", v, u)
+			}
+			if u == v {
+				return fmt.Errorf("graph: self-loop at node %d", v)
+			}
+			if i > 0 && nb[i-1] >= u {
+				return fmt.Errorf("graph: adjacency of node %d not sorted/duplicate-free at index %d", v, i)
+			}
+			if g.PortOf(u, v) < 0 {
+				return fmt.Errorf("graph: asymmetric edge: %d lists %d but not vice versa", v, u)
+			}
+		}
+	}
+	if degSum != 2*g.m {
+		return fmt.Errorf("graph: edge count %d inconsistent with degree sum %d", g.m, degSum)
+	}
+	return nil
+}
+
 // IsIndependentSet reports whether the node set given by inSet (length n)
 // is independent: no edge has both endpoints in the set.
 func (g *Graph) IsIndependentSet(inSet []bool) error {

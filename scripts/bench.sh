@@ -2,19 +2,22 @@
 # bench.sh — run the tracked benchmark set and write BENCH_<PR>.json.
 #
 # Runs the E1 (MIS sync), E5 (tree coloring) and E9 (nFSM-simulates-LBA)
-# benchmarks plus the engine ref-vs-compiled ablation with -benchmem,
-# and converts the output into a JSON file so future PRs can diff the
-# perf trajectory. CI-friendly: exits non-zero if the benchmarks fail.
+# benchmarks plus the engine ref-vs-compiled ablation, the
+# async-engine set (E2 MIS under adversaries, E3 synchronizer overhead,
+# the per-step engine ablation) and the campaign sweep benchmark with
+# -benchmem, and converts the output into a JSON file so future PRs can
+# diff the perf trajectory. CI-friendly: exits non-zero if the
+# benchmarks fail.
 #
 # Usage: scripts/bench.sh [out.json] [benchtime]
-#   out.json   defaults to BENCH_1.json
+#   out.json   defaults to BENCH_2.json
 #   benchtime  defaults to 20x (per-benchmark iteration count)
 set -eu
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_1.json}"
+OUT="${1:-BENCH_2.json}"
 BENCHTIME="${2:-20x}"
-PATTERN='BenchmarkMISSync|BenchmarkColoringSync|BenchmarkNFSMSimulatesLBA|BenchmarkEngineCompiledVsRef'
+PATTERN='BenchmarkMISSync|BenchmarkColoringSync|BenchmarkNFSMSimulatesLBA|BenchmarkEngineCompiledVsRef|BenchmarkMISAsync|BenchmarkSynchronizerOverhead|BenchmarkEngineStep|BenchmarkCampaignMISSweep'
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
@@ -53,7 +56,7 @@ BEGIN { n = 0 }
 }
 END {
     printf "{\n"
-    printf "  \"suite\": \"stoneage tracked benchmarks (E1, E5, E9, engine ablation)\",\n"
+    printf "  \"suite\": \"stoneage tracked benchmarks (E1, E2, E3, E5, E9, engine ablations, campaign sweep)\",\n"
     printf "  \"benchtime\": \"%s\",\n", benchtime
     printf "  \"goos\": \"%s\",\n", goos
     printf "  \"goarch\": \"%s\",\n", goarch
