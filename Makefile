@@ -10,22 +10,30 @@ build:
 test:
 	go test ./...
 
-# check is the CI gate: static analysis, the full test suite under the
-# race detector (the campaign runner and the sharded engine are the
-# concurrency hot spots), and a short end-to-end campaign smoke run
-# through the sweep CLI.
+# check is the CI gate: formatting (the whole module must be
+# gofmt-clean, including the protocol registry package), static
+# analysis, the full test suite under the race detector (the campaign
+# runner and the sharded engine are the concurrency hot spots), the
+# registry-driven protocol conformance suite, and a short end-to-end
+# campaign smoke run through the sweep CLI — including the spec that
+# names every registered sweepable protocol.
 check: build
+	@fmt_out="$$(gofmt -l .)"; if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
 	go vet ./...
 	go test -race ./...
+	go test ./internal/protocol -run TestConformance -count=1
 	go run ./cmd/stonesim sweep -spec examples/specs/smoke.json -q -json /tmp/stonesim-smoke.json
+	go run ./cmd/stonesim sweep -spec examples/specs/all-protocols.json -q
 	@echo "check: OK"
 
-# bench regenerates BENCH_2.json from the tracked benchmark set
+# bench regenerates BENCH_3.json from the tracked benchmark set
 # (E1 MIS sync, E2 MIS async, E3 synchronizer overhead, E5 tree
 # coloring, E9 nFSM-simulates-LBA, the engine ref-vs-compiled and
-# per-step ablations, and the campaign sweep), with -benchmem. Override
-# the output file or iteration count with BENCH_OUT / BENCH_TIME.
-BENCH_OUT ?= BENCH_2.json
+# per-step ablations, the campaign sweep, and the registry-generated
+# protocol matrix), with -benchmem. Override the output file or
+# iteration count with BENCH_OUT / BENCH_TIME.
+BENCH_OUT ?= BENCH_3.json
 BENCH_TIME ?= 20x
 
 bench:

@@ -12,7 +12,6 @@ import (
 	"math"
 	"testing"
 
-	"stoneage/internal/baseline"
 	"stoneage/internal/campaign"
 	"stoneage/internal/coloring"
 	"stoneage/internal/degcolor"
@@ -21,8 +20,12 @@ import (
 	"stoneage/internal/lba"
 	"stoneage/internal/matching"
 	"stoneage/internal/mis"
+	"stoneage/internal/protocol"
 	"stoneage/internal/synchro"
 	"stoneage/internal/xrand"
+
+	// Link the full protocol set so BenchmarkProtocolMatrix covers it.
+	_ "stoneage/internal/protocol/std"
 )
 
 // BenchmarkMISSync is E1: synchronous MIS across network sizes.
@@ -183,44 +186,37 @@ func BenchmarkNFSMSimulatesLBA(b *testing.B) {
 	b.ReportMetric(float64(rounds), "rounds")
 }
 
-// BenchmarkBaselines is E10: the classical comparison points.
-func BenchmarkBaselines(b *testing.B) {
-	g := graph.GnpConnected(256, 8.0/256, xrand.New(8))
-	algos := map[string]func(seed uint64) (int, error){
-		"luby": func(seed uint64) (int, error) {
-			_, r, err := baseline.LubyMIS(g, seed, 0)
-			return r, err
-		},
-		"abi": func(seed uint64) (int, error) {
-			_, r, err := baseline.ABIMIS(g, seed, 0)
-			return r, err
-		},
-		"bitstream": func(seed uint64) (int, error) {
-			_, r, err := baseline.BitStreamMIS(g, seed, 1<<20)
-			return r, err
-		},
-		"beeping": func(seed uint64) (int, error) {
-			_, r, err := baseline.BeepMIS(g, seed, 1<<20)
-			return r, err
-		},
-		"nfsm": func(seed uint64) (int, error) {
-			run, err := mis.SolveSync(g, seed, 0)
-			if err != nil {
-				return 0, err
-			}
-			return run.Rounds, nil
-		},
-	}
-	for _, name := range []string{"luby", "abi", "bitstream", "beeping", "nfsm"} {
-		run := algos[name]
-		b.Run(name, func(b *testing.B) {
+// BenchmarkProtocolMatrix is E10 generalized: instead of a hand-kept
+// algorithm map, the benchmark matrix is generated from the protocol
+// registry — every registered protocol (the paper's nFSM machines, the
+// extended-model matching, and the classical baselines it is compared
+// against) runs once per iteration on a capability-compatible 256-node
+// instance through the shared registry runner. A protocol registered
+// anywhere in the binary joins the matrix with no bench edits.
+func BenchmarkProtocolMatrix(b *testing.B) {
+	gnp := graph.GnpConnected(256, 4.0/256, xrand.New(8))
+	tree := graph.RandomTree(256, xrand.New(8))
+	path := graph.Path(256)
+	for _, d := range protocol.All() {
+		g := gnp
+		switch {
+		case d.Caps.Has(protocol.CapNeedsPath):
+			g = path
+		case d.Caps.Has(protocol.CapNeedsTree):
+			g = tree
+		}
+		bound, err := d.Bind(g, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(d.Name, func(b *testing.B) {
 			rounds := 0
 			for i := 0; i < b.N; i++ {
-				r, err := run(uint64(i))
+				run, err := bound.RunSync(protocol.SyncConfig{Seed: uint64(i)})
 				if err != nil {
 					b.Fatal(err)
 				}
-				rounds = r
+				rounds = run.Rounds
 			}
 			b.ReportMetric(float64(rounds), "rounds")
 		})

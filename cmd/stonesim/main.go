@@ -1,13 +1,21 @@
 // Command stonesim runs a stone-age protocol on a generated or loaded
-// graph and prints the output and run metrics.
+// graph and prints the output and run metrics. The graph protocols are
+// resolved through the unified registry (internal/protocol): any
+// registered protocol — the paper's nFSM machines, the extended-model
+// matching, the classical baselines — runs through the same pipeline,
+// and `stonesim protocols` lists them with capabilities and parameter
+// domains.
 //
 // Usage:
 //
 //	stonesim -protocol mis   -graph gnp -n 128 -p 0.05 -engine async -adversary uniform
 //	stonesim -protocol color3 -graph tree -n 200 -engine sync
 //	stonesim -protocol matching -graph cycle -n 64
+//	stonesim -protocol luby -graph torus -n 64
+//	stonesim -protocol degcolor -param maxdeg=6 -graph torus -n 64
 //	stonesim -protocol lba-abc -word aabbcc
 //	stonesim -protocol mis -in graph.txt
+//	stonesim protocols -json
 //	stonesim sweep -spec examples/specs/mis-families.json -workers 8
 //
 // Graphs: path, cycle, star, clique, grid, torus, tree, binary,
@@ -15,7 +23,8 @@
 // or -in <file> (edge-list format).
 // Engines: sync (locally synchronous) or async (compiled through the
 // Theorem 3.1/3.4 synchronizer, with -adversary
-// sync|uniform|skew|overwriter|drift).
+// sync|uniform|skew|overwriter|drift); sync-only protocols (bespoke
+// engines) reject -engine async.
 //
 // The sweep subcommand runs a declarative multi-trial campaign
 // (internal/campaign) in parallel and emits aggregate tables, JSON and
@@ -28,18 +37,19 @@ import (
 	"io"
 	"math"
 	"os"
+	"strconv"
 	"strings"
 
 	"stoneage/internal/campaign"
-	"stoneage/internal/coloring"
 	"stoneage/internal/engine"
 	"stoneage/internal/graph"
 	"stoneage/internal/lba"
-	"stoneage/internal/matching"
-	"stoneage/internal/mis"
-	"stoneage/internal/nfsm"
+	"stoneage/internal/protocol"
 	"stoneage/internal/trace"
 	"stoneage/internal/xrand"
+
+	// Link the full built-in protocol set into the registry.
+	_ "stoneage/internal/protocol/std"
 )
 
 func main() {
@@ -51,6 +61,7 @@ func main() {
 
 type options struct {
 	protocol  string
+	params    string
 	graphKind string
 	inFile    string
 	n         int
@@ -63,13 +74,41 @@ type options struct {
 	workers   int
 }
 
+// parseParams turns the -param flag ("name=value[,name=value]") into
+// protocol arguments; domain validation happens in the registry.
+func parseParams(s string) (protocol.Args, error) {
+	if s == "" {
+		return nil, nil
+	}
+	args := protocol.Args{}
+	for _, kv := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("-param entry %q is not name=value", kv)
+		}
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-param %s: %v", name, err)
+		}
+		args[strings.TrimSpace(name)] = v
+	}
+	return args, nil
+}
+
 func run(args []string, w io.Writer) error {
-	if len(args) > 0 && args[0] == "sweep" {
-		return runSweep(args[1:], w)
+	if len(args) > 0 {
+		switch args[0] {
+		case "sweep":
+			return runSweep(args[1:], w)
+		case "protocols":
+			return runProtocols(args[1:], w)
+		}
 	}
 	fs := flag.NewFlagSet("stonesim", flag.ContinueOnError)
 	var opt options
-	fs.StringVar(&opt.protocol, "protocol", "mis", "mis | color3 | matching | lba-abc | lba-palindrome")
+	fs.StringVar(&opt.protocol, "protocol", "mis",
+		strings.Join(protocol.Names(), " | ")+" | lba-abc | lba-palindrome")
+	fs.StringVar(&opt.params, "param", "", "protocol parameters, name=value[,name=value] (domains: stonesim protocols)")
 	fs.StringVar(&opt.graphKind, "graph", "gnp", "graph family")
 	fs.StringVar(&opt.inFile, "in", "", "read the graph from an edge-list file instead of generating")
 	fs.IntVar(&opt.n, "n", 64, "number of nodes")
@@ -78,7 +117,7 @@ func run(args []string, w io.Writer) error {
 	fs.StringVar(&opt.eng, "engine", "sync", "sync | async")
 	fs.StringVar(&opt.adversary, "adversary", "uniform", "async adversary policy")
 	fs.StringVar(&opt.word, "word", "abc", "input word for the lba protocols")
-	fs.StringVar(&opt.traceCSV, "trace", "", "write a per-round state histogram CSV to this file (sync engine only)")
+	fs.StringVar(&opt.traceCSV, "trace", "", "write a per-round state histogram CSV to this file (sync engine, engine-hosted protocols only)")
 	fs.IntVar(&opt.workers, "workers", 0, "sync round-loop workers (0 = GOMAXPROCS); results are identical for every value")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -88,22 +127,80 @@ func run(args []string, w io.Writer) error {
 		return runLBA(opt, w)
 	}
 
+	d, err := protocol.Lookup(opt.protocol)
+	if err != nil {
+		return err
+	}
 	g, err := buildGraph(opt)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "graph: %s  n=%d m=%d Δ=%d\n", describeGraph(opt), g.N(), g.M(), g.MaxDegree())
+	return runProtocol(opt, d, g, w)
+}
 
-	switch opt.protocol {
-	case "mis":
-		return runMIS(opt, g, w)
-	case "color3":
-		return runColor(opt, g, w)
-	case "matching":
-		return runMatching(opt, g, w)
-	default:
-		return fmt.Errorf("unknown protocol %q", opt.protocol)
+// runProtocol is the single registry-driven execution pipeline: bind
+// (with any -param arguments), run on the selected engine, validate the
+// output with the descriptor's checker, and print the metrics and the
+// output summary.
+func runProtocol(opt options, d *protocol.Descriptor, g *graph.Graph, w io.Writer) error {
+	args, err := parseParams(opt.params)
+	if err != nil {
+		return err
 	}
+	bound, err := d.Bind(g, args)
+	if err != nil {
+		return err
+	}
+	var run *protocol.Run
+	switch opt.eng {
+	case "sync":
+		cfg := protocol.SyncConfig{Seed: opt.seed, Workers: opt.workers}
+		var hist *trace.Histogram
+		if opt.traceCSV != "" {
+			names := bound.StateNames()
+			if names == nil {
+				return fmt.Errorf("protocol %q does not support -trace (bespoke engine)", d.Name)
+			}
+			hist = trace.NewHistogram(names)
+			cfg.Observer = hist.Observer()
+		}
+		if run, err = bound.RunSync(cfg); err != nil {
+			return err
+		}
+		if hist != nil {
+			if err := writeTraceCSV(opt.traceCSV, hist); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(w, "%s: %d rounds, %d transmissions\n", d.Name, run.Rounds, run.Transmissions)
+	case "async":
+		adv, err := pickAdversary(opt)
+		if err != nil {
+			return err
+		}
+		if run, err = bound.RunAsync(protocol.AsyncConfig{Seed: opt.seed, Adversary: adv}); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s: %.1f time units, %d steps, %d lost messages (adversary %s)\n",
+			d.Name, run.TimeUnits, run.Steps, run.Lost, opt.adversary)
+	default:
+		return fmt.Errorf("unknown engine %q", opt.eng)
+	}
+	if err := bound.Check(run.Output); err != nil {
+		return fmt.Errorf("output validation: %w", err)
+	}
+	fmt.Fprintf(w, "valid %s\n", run.Output.Summary())
+	return nil
+}
+
+func writeTraceCSV(path string, hist *trace.Histogram) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return hist.WriteCSV(f)
 }
 
 func describeGraph(opt options) string {
@@ -172,130 +269,6 @@ func pickAdversary(opt options) (engine.Adversary, error) {
 	return adv, nil
 }
 
-// traced wraps a synchronous run of a round protocol with the optional
-// state-histogram CSV recorder.
-func traced(opt options, p *nfsm.RoundProtocol, g *graph.Graph) (*engine.SyncResult, error) {
-	cfg := engine.SyncConfig{Seed: opt.seed, Workers: opt.workers}
-	var hist *trace.Histogram
-	if opt.traceCSV != "" {
-		hist = trace.NewHistogram(p.StateNames)
-		cfg.Observer = hist.Observer()
-	}
-	res, err := engine.RunSync(p, g, cfg)
-	if err != nil {
-		return nil, err
-	}
-	if hist != nil {
-		f, err := os.Create(opt.traceCSV)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		if err := hist.WriteCSV(f); err != nil {
-			return nil, err
-		}
-	}
-	return res, nil
-}
-
-func runMIS(opt options, g *graph.Graph, w io.Writer) error {
-	var inSet []bool
-	switch opt.eng {
-	case "sync":
-		res, err := traced(opt, mis.Protocol(), g)
-		if err != nil {
-			return err
-		}
-		inSet, err = mis.Extract(res.States)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "mis: %d rounds, %d transmissions\n", res.Rounds, res.Transmissions)
-	case "async":
-		adv, err := pickAdversary(opt)
-		if err != nil {
-			return err
-		}
-		res, err := mis.SolveAsync(g, opt.seed, adv, 0)
-		if err != nil {
-			return err
-		}
-		inSet = res.InSet
-		fmt.Fprintf(w, "mis: %.1f time units, %d steps, %d lost messages (adversary %s)\n",
-			res.TimeUnits, res.Steps, res.Lost, opt.adversary)
-	default:
-		return fmt.Errorf("unknown engine %q", opt.eng)
-	}
-	if err := g.IsMaximalIndependentSet(inSet); err != nil {
-		return fmt.Errorf("output validation: %w", err)
-	}
-	size := 0
-	for _, in := range inSet {
-		if in {
-			size++
-		}
-	}
-	fmt.Fprintf(w, "valid MIS of size %d: %s\n", size, maskString(inSet))
-	return nil
-}
-
-func runColor(opt options, g *graph.Graph, w io.Writer) error {
-	var colors []int
-	switch opt.eng {
-	case "sync":
-		if !g.IsTree() {
-			return coloring.ErrNotATree
-		}
-		res, err := traced(opt, coloring.Protocol(), g)
-		if err != nil {
-			return err
-		}
-		colors, err = coloring.Extract(res.States)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "color3: %d rounds (%d phases)\n", res.Rounds, (res.Rounds+3)/4)
-	case "async":
-		adv, err := pickAdversary(opt)
-		if err != nil {
-			return err
-		}
-		res, err := coloring.SolveAsync(g, opt.seed, adv, 0)
-		if err != nil {
-			return err
-		}
-		colors = res.Colors
-		fmt.Fprintf(w, "color3: %.1f time units, %d steps (adversary %s)\n",
-			res.TimeUnits, res.Steps, opt.adversary)
-	default:
-		return fmt.Errorf("unknown engine %q", opt.eng)
-	}
-	if err := g.IsProperColoring(colors, 3); err != nil {
-		return fmt.Errorf("output validation: %w", err)
-	}
-	fmt.Fprintf(w, "valid 3-coloring: %v\n", head(colors, 32))
-	return nil
-}
-
-func runMatching(opt options, g *graph.Graph, w io.Writer) error {
-	res, err := matching.Solve(g, opt.seed, 0)
-	if err != nil {
-		return err
-	}
-	if err := g.IsMaximalMatching(res.Mate); err != nil {
-		return fmt.Errorf("output validation: %w", err)
-	}
-	matched := 0
-	for _, m := range res.Mate {
-		if m != -1 {
-			matched++
-		}
-	}
-	fmt.Fprintf(w, "matching: %d rounds (%d phases), %d edges matched — valid maximal matching\n",
-		res.Rounds, res.Phases, matched/2)
-	return nil
-}
-
 func runLBA(opt options, w io.Writer) error {
 	var (
 		tm    *lba.TM
@@ -351,27 +324,4 @@ func runLBA(opt options, w io.Writer) error {
 	fmt.Fprintf(w, "%s(%q) = %s  (direct: %d TM steps; path network of %d FSMs: %d rounds)\n",
 		tm.Name, opt.word, verdict, direct.Steps, len(input), path.Rounds)
 	return nil
-}
-
-func maskString(mask []bool) string {
-	var b strings.Builder
-	for i, in := range mask {
-		if i == 64 {
-			b.WriteString("…")
-			break
-		}
-		if in {
-			b.WriteByte('1')
-		} else {
-			b.WriteByte('0')
-		}
-	}
-	return b.String()
-}
-
-func head(xs []int, k int) []int {
-	if len(xs) <= k {
-		return xs
-	}
-	return xs[:k]
 }

@@ -2,12 +2,17 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"stoneage/internal/campaign"
+	"stoneage/internal/graph"
+	"stoneage/internal/protocol"
+	"stoneage/internal/xrand"
 )
 
 func runCLI(t *testing.T, args ...string) string {
@@ -83,13 +88,147 @@ func TestErrors(t *testing.T) {
 		{"-protocol", "mis", "-engine", "nope"},
 		{"-protocol", "mis", "-engine", "async", "-adversary", "nope"},
 		{"-protocol", "lba-abc", "-word", "xyz"},
-		{"-protocol", "color3", "-graph", "cycle", "-n", "9"}, // not a tree
+		{"-protocol", "color3", "-graph", "cycle", "-n", "9"},            // not a tree
+		{"-protocol", "colevishkin", "-graph", "tree", "-n", "9"},        // not a path
+		{"-protocol", "matching", "-graph", "cycle", "-engine", "async"}, // sync-only
+		{"-protocol", "luby", "-graph", "cycle", "-trace", "/tmp/x"},     // bespoke engine: no trace
 		{"-in", "/nonexistent/file"},
 	}
 	for _, args := range cases {
 		if err := run(args, &sb); err == nil {
 			t.Errorf("args %v succeeded, want error", args)
 		}
+	}
+}
+
+// TestRegistryProtocolsRunThroughCLI drives every registered protocol
+// through the generic CLI pipeline on a capability-compatible graph —
+// no per-protocol CLI code exists to diverge.
+func TestRegistryProtocolsRunThroughCLI(t *testing.T) {
+	for _, d := range protocol.All() {
+		fam := "gnp"
+		switch {
+		case d.Caps.Has(protocol.CapNeedsPath):
+			fam = "path"
+		case d.Caps.Has(protocol.CapNeedsTree):
+			fam = "tree"
+		}
+		out := runCLI(t, "-protocol", d.Name, "-graph", fam, "-n", "24")
+		if !strings.Contains(out, "valid ") {
+			t.Errorf("%s: output = %q", d.Name, out)
+		}
+	}
+}
+
+// TestParamFlag drives the registry's parameter surface from the CLI:
+// -param reaches ParamDef/ResolveArgs, and out-of-domain or unknown
+// values surface the registry's errors.
+func TestParamFlag(t *testing.T) {
+	out := runCLI(t, "-protocol", "degcolor", "-param", "maxdeg=6", "-graph", "torus", "-n", "25")
+	if !strings.Contains(out, "valid ") || !strings.Contains(out, "-coloring") {
+		t.Fatalf("output = %q", out)
+	}
+	var sb strings.Builder
+	for _, args := range [][]string{
+		{"-protocol", "degcolor", "-param", "maxdeg=99", "-graph", "torus", "-n", "25"}, // outside domain
+		{"-protocol", "degcolor", "-param", "turbo=1", "-graph", "torus", "-n", "25"},   // unknown name
+		{"-protocol", "degcolor", "-param", "maxdeg", "-graph", "torus", "-n", "25"},    // malformed
+		{"-protocol", "degcolor", "-param", "maxdeg=2", "-graph", "torus", "-n", "25"},  // Δ=4 > 2
+	} {
+		if err := run(args, &sb); err == nil {
+			t.Errorf("args %v succeeded, want error", args)
+		}
+	}
+}
+
+func TestProtocolsSubcommand(t *testing.T) {
+	out := runCLI(t, "protocols")
+	for _, want := range []string{"mis", "color3", "tree-only", "matching", "sync-only",
+		"colevishkin", "path-only", "maxdeg∈[0,16]"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("protocols output missing %q:\n%s", want, out)
+		}
+	}
+	var infos []struct {
+		Name         string   `json:"name"`
+		Summary      string   `json:"summary"`
+		Capabilities []string `json:"capabilities"`
+	}
+	if err := json.Unmarshal([]byte(runCLI(t, "protocols", "-json")), &infos); err != nil {
+		t.Fatalf("protocols -json: %v", err)
+	}
+	if len(infos) < 10 {
+		t.Fatalf("protocols -json lists only %d protocols", len(infos))
+	}
+	found := false
+	for _, info := range infos {
+		if info.Name == "color3" {
+			found = true
+			if len(info.Capabilities) != 1 || info.Capabilities[0] != "tree-only" {
+				t.Fatalf("color3 capabilities = %v", info.Capabilities)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("color3 missing from protocols -json")
+	}
+}
+
+// censusOutput is the toy protocol's own output type: protocols whose
+// output is not one of the registry's shared vocabulary types bring
+// their own (with Summary and a matching Mutate).
+type censusOutput []bool
+
+func (c censusOutput) Summary() string {
+	return fmt.Sprintf("census of %d nodes", len(c))
+}
+
+// registerCLIToy registers a trivial bespoke protocol once: the
+// acceptance check that one Register call is all it takes for a new
+// protocol to appear in `stonesim protocols` and run through the CLI.
+var registerCLIToy = sync.OnceValue(func() string {
+	name := "toy-census"
+	protocol.Register(&protocol.Descriptor{
+		Name:    name,
+		Summary: "test-only: one-round full-membership census",
+		Caps:    protocol.CapSyncOnly,
+		Solve: func(_ protocol.Args, g *graph.Graph, _ uint64, _ int) (*protocol.Run, error) {
+			out := make(censusOutput, g.N())
+			for v := range out {
+				out[v] = true
+			}
+			return &protocol.Run{Output: out, Rounds: 1}, nil
+		},
+		Check: func(_ protocol.Args, g *graph.Graph, out protocol.Output) error {
+			for v, in := range out.(censusOutput) {
+				if !in {
+					return fmt.Errorf("toy-census: node %d missing", v)
+				}
+			}
+			return nil
+		},
+		Mutate: func(_ protocol.Args, _ *graph.Graph, out protocol.Output, src *xrand.Source) protocol.Output {
+			c := out.(censusOutput)
+			mut := make(censusOutput, len(c))
+			copy(mut, c)
+			mut[src.Intn(len(mut))] = false
+			return mut
+		},
+	})
+	return name
+})
+
+// TestToyProtocolAppearsEverywhere registers a toy protocol with a
+// single Register call and checks it shows up in `stonesim protocols`
+// and runs through the generic pipeline with zero CLI edits.
+func TestToyProtocolAppearsEverywhere(t *testing.T) {
+	name := registerCLIToy()
+	if !strings.Contains(runCLI(t, "protocols"), name) {
+		t.Fatalf("%s missing from stonesim protocols", name)
+	}
+	out := runCLI(t, "-protocol", name, "-graph", "cycle", "-n", "8")
+	if !strings.Contains(out, "valid census of 8 nodes") {
+		t.Fatalf("toy run output = %q", out)
 	}
 }
 

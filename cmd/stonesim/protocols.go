@@ -1,0 +1,78 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+
+	"stoneage/internal/harness"
+	"stoneage/internal/protocol"
+)
+
+// runProtocols is the `stonesim protocols` subcommand: list every
+// registered protocol with its capabilities, parameter domains and
+// summary, straight from the registry — a protocol registered anywhere
+// in the binary appears here with no CLI edits.
+func runProtocols(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("stonesim protocols", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit the protocol list as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("protocols: unexpected argument %q", fs.Arg(0))
+	}
+	if *jsonOut {
+		return writeProtocolsJSON(w)
+	}
+	t := &harness.Table{
+		Title:  "registered protocols",
+		Header: []string{"protocol", "capabilities", "parameters", "summary"},
+	}
+	for _, d := range protocol.All() {
+		t.AddRow(d.Name, d.Caps.String(), paramDomains(d), d.Summary)
+	}
+	return t.Render(w)
+}
+
+// paramDomains renders a descriptor's parameter domains compactly,
+// e.g. "maxdeg∈[0,16] (default 0)".
+func paramDomains(d *protocol.Descriptor) string {
+	if len(d.Params) == 0 {
+		return "-"
+	}
+	parts := make([]string, len(d.Params))
+	for i, p := range d.Params {
+		parts[i] = fmt.Sprintf("%s∈[%g,%g] (default %g)", p.Name, p.Min, p.Max, p.Default)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// protocolInfo is the JSON schema of one registry entry.
+type protocolInfo struct {
+	Name         string              `json:"name"`
+	Summary      string              `json:"summary"`
+	Capabilities []string            `json:"capabilities"`
+	Params       []protocol.ParamDef `json:"params,omitempty"`
+}
+
+func writeProtocolsJSON(w io.Writer) error {
+	var infos []protocolInfo
+	for _, d := range protocol.All() {
+		caps := d.Caps.List()
+		if caps == nil {
+			caps = []string{}
+		}
+		infos = append(infos, protocolInfo{
+			Name:         d.Name,
+			Summary:      d.Summary,
+			Capabilities: caps,
+			Params:       d.Params,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(infos)
+}

@@ -9,10 +9,22 @@
 // theorem.
 //
 // The implementation lives under internal/; see DESIGN.md for the system
-// inventory, the compiled execution core's architecture and the campaign
-// layer, BENCH_2.json for the tracked benchmark measurements (regenerate
-// with `make bench`), and examples/ for runnable entry points. The
-// benchmarks in bench_test.go regenerate one measurement per experiment.
+// inventory, the compiled execution core's architecture, the campaign
+// layer and the protocol registry, BENCH_3.json for the tracked
+// benchmark measurements (regenerate with `make bench`), and examples/
+// for runnable entry points. The benchmarks in bench_test.go regenerate
+// one measurement per experiment.
+//
+// Every protocol — the paper's nFSM machines (internal/mis,
+// internal/coloring, internal/degcolor), the extended-model matching
+// (internal/matching), and the classical baselines (internal/baseline)
+// — self-registers a capability-typed descriptor in the unified
+// registry internal/protocol (machine constructor, output decoder,
+// validator, parameter domains, shared compile cache). Clients resolve
+// behavior through the registry, never through concrete packages:
+// `stonesim protocols` lists the set, `stonesim -protocol <name>` runs
+// any entry, campaign specs sweep any subset, and adding a protocol is
+// a single protocol.Register call.
 //
 // Statistical claims are measured as campaigns: internal/campaign runs
 // the declarative cross product protocol × graph family × size with many
@@ -25,6 +37,9 @@
 // which reproduces an MIS round-complexity table over five sparse
 // topology families (G(n,p), random geometric, preferential-attachment
 // power law, small-world rewiring, torus) at three sizes with 32 trials
-// per cell, and emits JSON/CSV via -json/-csv. `make check` runs the CI
-// gate: go vet, the race-detector test suite, and a smoke campaign.
+// per cell, and emits JSON/CSV via -json/-csv
+// (examples/specs/all-protocols.json sweeps every registered protocol).
+// `make check` runs the CI gate: gofmt, go vet, the race-detector test
+// suite, the registry conformance suite, and the smoke and
+// all-protocols campaigns.
 package stoneage

@@ -1,0 +1,98 @@
+package baseline
+
+import (
+	"stoneage/internal/graph"
+	"stoneage/internal/protocol"
+)
+
+// This file self-registers the classical baselines in the protocol
+// registry so the campaign runner, the stonesim CLI and the benchmark
+// matrix can sweep them next to the nFSM protocols without knowing
+// their packages. Every baseline exploits capabilities the nFSM model
+// forbids, which the capability bits record: node identifiers
+// (CapNeedsIDs), and — all of them — global synchrony with no
+// synchronizer route (CapSyncOnly).
+
+// misSolver adapts the ([]bool, rounds, error) baseline signature.
+func misSolver(run func(g *graph.Graph, seed uint64, maxRounds int) ([]bool, int, error)) func(protocol.Args, *graph.Graph, uint64, int) (*protocol.Run, error) {
+	return func(_ protocol.Args, g *graph.Graph, seed uint64, maxRounds int) (*protocol.Run, error) {
+		inSet, rounds, err := run(g, seed, maxRounds)
+		if err != nil {
+			return nil, err
+		}
+		return &protocol.Run{Output: protocol.Mask(inSet), Rounds: rounds}, nil
+	}
+}
+
+func checkMIS(_ protocol.Args, g *graph.Graph, out protocol.Output) error {
+	return g.IsMaximalIndependentSet(out.(protocol.Mask))
+}
+
+func checkColoring(k int) func(protocol.Args, *graph.Graph, protocol.Output) error {
+	return func(_ protocol.Args, g *graph.Graph, out protocol.Output) error {
+		return g.IsProperColoring(out.(protocol.Colors), k)
+	}
+}
+
+var (
+	_ = protocol.Register(&protocol.Descriptor{
+		Name:    "luby",
+		Summary: "Luby's MIS in the message-passing model (classical comparison point)",
+		Caps:    protocol.CapSyncOnly | protocol.CapNeedsIDs,
+		Solve:   misSolver(LubyMIS),
+		Check:   checkMIS,
+		Mutate:  protocol.FlipMask,
+	})
+	_ = protocol.Register(&protocol.Descriptor{
+		Name:    "abi",
+		Summary: "Alon–Babai–Itai MIS in the message-passing model",
+		Caps:    protocol.CapSyncOnly | protocol.CapNeedsIDs,
+		Solve:   misSolver(ABIMIS),
+		Check:   checkMIS,
+		Mutate:  protocol.FlipMask,
+	})
+	_ = protocol.Register(&protocol.Descriptor{
+		Name:    "bitstream",
+		Summary: "bit-streaming MIS tournament (Métivier et al.) — O(1) bits per round",
+		Caps:    protocol.CapSyncOnly | protocol.CapNeedsIDs,
+		Solve:   misSolver(BitStreamMIS),
+		Check:   checkMIS,
+		Mutate:  protocol.FlipMask,
+	})
+	_ = protocol.Register(&protocol.Descriptor{
+		Name:    "beeping",
+		Summary: "beeping-model MIS (Afek et al. spirit) with multiplicative backoff",
+		Caps:    protocol.CapSyncOnly,
+		Solve:   misSolver(BeepMIS),
+		Check:   checkMIS,
+		Mutate:  protocol.FlipMask,
+	})
+	_ = protocol.Register(&protocol.Descriptor{
+		Name:    "colevishkin",
+		Summary: "Cole–Vishkin deterministic 3-coloring of directed paths in O(log* n) rounds",
+		Caps:    protocol.CapSyncOnly | protocol.CapNeedsIDs | protocol.CapNeedsPath,
+		Solve: func(_ protocol.Args, g *graph.Graph, _ uint64, maxRounds int) (*protocol.Run, error) {
+			colors, rounds, err := ColeVishkinPath(g, maxRounds)
+			if err != nil {
+				return nil, err
+			}
+			return &protocol.Run{Output: protocol.Colors(colors), Rounds: rounds}, nil
+		},
+		Check:  checkColoring(3),
+		Mutate: protocol.ClashColor,
+	})
+	_ = protocol.Register(&protocol.Descriptor{
+		Name:    "twocolor",
+		Summary: "Θ(diameter) BFS 2-coloring of trees in the message-passing model",
+		Caps:    protocol.CapSyncOnly | protocol.CapNeedsIDs | protocol.CapNeedsTree,
+		Solve: func(_ protocol.Args, g *graph.Graph, _ uint64, maxRounds int) (*protocol.Run, error) {
+			colors, rounds, err := TwoColorTree(g, maxRounds)
+			if err != nil {
+				return nil, err
+			}
+			return &protocol.Run{Output: protocol.Colors(colors), Rounds: rounds}, nil
+		},
+		Check:  checkColoring(2),
+		Mutate: protocol.ClashColor,
+	})
+)

@@ -7,12 +7,9 @@ import (
 	"sync/atomic"
 	"time"
 
-	"stoneage/internal/coloring"
 	"stoneage/internal/engine"
-	"stoneage/internal/graph"
 	"stoneage/internal/harness"
-	"stoneage/internal/matching"
-	"stoneage/internal/mis"
+	"stoneage/internal/protocol"
 )
 
 // CellResult aggregates the Trials runs of one
@@ -31,9 +28,9 @@ type CellResult struct {
 	// Result.RoundsUnit).
 	Rounds harness.Stats `json:"rounds"`
 	// Transmissions aggregates sent letters (sync) or node steps
-	// (async; see Result.TxUnit). The matching protocol's bespoke
-	// engine does not count transmissions, so its cells report zeros
-	// here — unmeasured, not free.
+	// (async; see Result.TxUnit). Bespoke engines (matching, the
+	// baselines) do not count transmissions, so their cells report
+	// zeros here — unmeasured, not free.
 	Transmissions harness.Stats `json:"transmissions"`
 	// WallMS aggregates per-trial wall-clock milliseconds. Unlike the
 	// other aggregates it depends on the machine and the worker count.
@@ -65,51 +62,41 @@ type sample struct {
 	err    error
 }
 
-// cell is the runtime state of one spec cell: its coordinates plus the
-// lazily built shared graph and bound program (shared-graph mode only).
+// cell is the runtime state of one spec cell: its coordinates, the
+// registry descriptor, and the lazily bound shared protocol program
+// (shared-graph mode only; a protocol.Bound pairs the graph with the
+// descriptor's cached machine code bound to its CSR layout).
 type cell struct {
-	protocol string
-	family   Family
-	size     int
+	desc   *protocol.Descriptor
+	family Family
+	size   int
 
-	once sync.Once
-	g    *graph.Graph
-	prog *engine.Program // sync mis/color3 on the shared graph
-	err  error
+	once  sync.Once
+	bound *protocol.Bound
+	err   error
 }
 
 // Run executes the campaign: every (protocol, family, size, trial)
 // tuple is an independent job fanned out over Spec.Workers goroutines.
-// Per-protocol machine code is compiled once and rebound per graph;
-// with shared graphs (the default) the bind too happens once per cell
-// and all trials run the same immutable engine.Program concurrently.
-// Every trial's output is validated (MIS maximality, proper coloring,
-// maximal matching) before it counts.
+// Protocol behavior is resolved entirely through the registry: machine
+// code is compiled once per protocol in the descriptor's cache, bound
+// once per cell to the shared graph (all trials run the same immutable
+// program concurrently), and every trial's output is validated by the
+// descriptor's Check before it counts.
 func Run(sp Spec) (*Result, error) {
 	if err := sp.Validate(); err != nil {
 		return nil, err
 	}
 
-	// Graph-independent machine code, shared by every trial of a sync
-	// protocol (matching is not engine-hosted and compiles nothing;
-	// async trials compile per trial — see runAsyncTrial).
-	codes := map[string]*engine.MachineCode{}
-	if sp.engine() == "sync" {
-		for _, p := range sp.Protocols {
-			switch p {
-			case "mis":
-				codes[p] = engine.CompileMachine(mis.Protocol())
-			case "color3":
-				codes[p] = engine.CompileMachine(coloring.Protocol())
-			}
-		}
-	}
-
 	cells := make([]*cell, 0, len(sp.Protocols)*len(sp.Families)*len(sp.Sizes))
 	for _, p := range sp.Protocols {
+		d, err := protocol.Lookup(p) // Validate already vouched for it
+		if err != nil {
+			return nil, err
+		}
 		for _, f := range sp.Families {
 			for _, n := range sp.Sizes {
-				cells = append(cells, &cell{protocol: p, family: f, size: n})
+				cells = append(cells, &cell{desc: d, family: f, size: n})
 			}
 		}
 	}
@@ -146,7 +133,7 @@ func Run(sp Spec) (*Result, error) {
 					samples[cell][trial] = sample{err: errCanceled}
 					continue
 				}
-				s := runTrial(&sp, codes, cells[cell], trial)
+				s := runTrial(&sp, cells[cell], trial)
 				samples[cell][trial] = s
 				if s.err != nil {
 					failed.Store(true)
@@ -165,7 +152,7 @@ func Run(sp Spec) (*Result, error) {
 		for trial, s := range samples[i] {
 			if s.err != nil && s.err != errCanceled {
 				return nil, fmt.Errorf("campaign: %s/%s/n=%d trial %d: %w",
-					c.protocol, c.family.Name(), c.size, trial, s.err)
+					c.desc.Name, c.family.Name(), c.size, trial, s.err)
 			}
 		}
 	}
@@ -190,7 +177,7 @@ func Run(sp Spec) (*Result, error) {
 		// shared graphs the instance every trial ran on.
 		first := samples[i][0]
 		res.Cells = append(res.Cells, CellResult{
-			Protocol:      c.protocol,
+			Protocol:      c.desc.Name,
 			Family:        c.family.Name(),
 			Size:          c.size,
 			N:             first.n,
@@ -205,130 +192,75 @@ func Run(sp Spec) (*Result, error) {
 	return res, nil
 }
 
-// prepare lazily builds the cell's shared graph and, for engine-hosted
-// sync protocols, binds the compiled machine code to it. Safe for
-// concurrent callers; the first one pays the cost.
-func (c *cell) prepare(sp *Spec, codes map[string]*engine.MachineCode) error {
+// prepare lazily binds the cell's protocol to its shared graph. Safe
+// for concurrent callers; the first one pays the cost.
+func (c *cell) prepare(sp *Spec) (*protocol.Bound, error) {
 	c.once.Do(func() {
 		g, err := BuildGraph(c.family, c.size, sp.GraphSeed(c.family, c.size, 0))
 		if err != nil {
 			c.err = err
 			return
 		}
-		c.g = g
-		if code := codes[c.protocol]; code != nil && sp.engine() == "sync" {
-			c.prog = code.Bind(g)
-		}
+		c.bound, c.err = c.desc.Bind(g, nil)
 	})
-	return c.err
+	return c.bound, c.err
 }
 
-// runTrial executes one trial and validates its output.
-func runTrial(sp *Spec, codes map[string]*engine.MachineCode, c *cell, trial int) sample {
+// runTrial executes one trial through the registry's shared runner and
+// validates its output with the descriptor's Check.
+func runTrial(sp *Spec, c *cell, trial int) sample {
 	var (
-		g    *graph.Graph
-		prog *engine.Program
+		bound *protocol.Bound
+		err   error
 	)
 	if sp.GraphPerTrial {
-		var err error
-		g, err = BuildGraph(c.family, c.size, sp.GraphSeed(c.family, c.size, trial))
-		if err != nil {
-			return sample{err: err}
+		g, gerr := BuildGraph(c.family, c.size, sp.GraphSeed(c.family, c.size, trial))
+		if gerr != nil {
+			return sample{err: gerr}
 		}
-		if code := codes[c.protocol]; code != nil && sp.engine() == "sync" {
-			prog = code.Bind(g)
-		}
+		bound, err = c.desc.Bind(g, nil)
 	} else {
-		if err := c.prepare(sp, codes); err != nil {
-			return sample{err: err}
-		}
-		g, prog = c.g, c.prog
+		bound, err = c.prepare(sp)
+	}
+	if err != nil {
+		return sample{err: err}
 	}
 
-	seed := sp.TrialSeed(c.protocol, c.family, c.size, trial)
+	seed := sp.TrialSeed(c.desc.Name, c.family, c.size, trial)
 	start := time.Now()
-	var s sample
+	var (
+		run *protocol.Run
+	)
 	if sp.engine() == "async" {
-		s = runAsyncTrial(sp, c.protocol, g, seed)
+		// The adversary's coins must be oblivious to the protocol's, so
+		// its seed is a distinct derivation of the trial seed. The
+		// registry runner compiles the Theorem 3.1/3.4 machine per
+		// trial, deliberately: synchro machines intern their state sets
+		// lazily during execution, so a shared machine's state numbering
+		// would depend on how the worker schedule interleaves trials.
+		adv := engine.NamedAdversaries(seed ^ saltAdversary)[sp.adversary()]
+		run, err = bound.RunAsync(protocol.AsyncConfig{
+			Seed: seed, Adversary: adv, MaxSteps: sp.MaxSteps,
+		})
 	} else {
-		s = runSyncTrial(sp, c.protocol, g, prog, seed)
+		run, err = bound.RunSync(protocol.SyncConfig{
+			Seed: seed, MaxRounds: sp.MaxRounds, Workers: 1,
+		})
 	}
-	s.wallMS = float64(time.Since(start)) / float64(time.Millisecond)
+	if err == nil {
+		err = bound.Check(run.Output)
+	}
+	if err != nil {
+		return sample{err: err}
+	}
+
+	s := sample{wallMS: float64(time.Since(start)) / float64(time.Millisecond)}
+	if sp.engine() == "async" {
+		s.rounds, s.tx = run.TimeUnits, float64(run.Steps)
+	} else {
+		s.rounds, s.tx = float64(run.Rounds), float64(run.Transmissions)
+	}
+	g := bound.Graph()
 	s.n, s.m, s.maxDeg = g.N(), g.M(), g.MaxDegree()
 	return s
-}
-
-func runSyncTrial(sp *Spec, protocol string, g *graph.Graph, prog *engine.Program, seed uint64) sample {
-	switch protocol {
-	case "mis":
-		res, err := prog.RunSync(engine.SyncConfig{Seed: seed, MaxRounds: sp.MaxRounds, Workers: 1})
-		if err != nil {
-			return sample{err: err}
-		}
-		inSet, err := mis.Extract(res.States)
-		if err == nil {
-			err = g.IsMaximalIndependentSet(inSet)
-		}
-		if err != nil {
-			return sample{err: err}
-		}
-		return sample{rounds: float64(res.Rounds), tx: float64(res.Transmissions)}
-	case "color3":
-		res, err := prog.RunSync(engine.SyncConfig{Seed: seed, MaxRounds: sp.MaxRounds, Workers: 1})
-		if err != nil {
-			return sample{err: err}
-		}
-		colors, err := coloring.Extract(res.States)
-		if err == nil {
-			err = g.IsProperColoring(colors, 3)
-		}
-		if err != nil {
-			return sample{err: err}
-		}
-		return sample{rounds: float64(res.Rounds), tx: float64(res.Transmissions)}
-	case "matching":
-		res, err := matching.Solve(g, seed, sp.MaxRounds)
-		if err != nil {
-			return sample{err: err}
-		}
-		if err := g.IsMaximalMatching(res.Mate); err != nil {
-			return sample{err: err}
-		}
-		return sample{rounds: float64(res.Rounds)}
-	}
-	return sample{err: fmt.Errorf("campaign: unknown protocol %q", protocol)}
-}
-
-// runAsyncTrial compiles the protocol through the Theorem 3.1/3.4
-// synchronizer *per trial* (inside SolveAsync), deliberately not
-// sharing a compiled machine across trials: synchro machines intern
-// their state sets lazily during execution, so a shared machine's
-// state numbering would depend on how the worker schedule interleaves
-// trials — per-trial compilation keeps every trial a pure function of
-// its seed.
-func runAsyncTrial(sp *Spec, protocol string, g *graph.Graph, seed uint64) sample {
-	// The adversary's coins must be oblivious to the protocol's, so its
-	// seed is a distinct derivation of the trial seed.
-	adv := engine.NamedAdversaries(seed ^ saltAdversary)[sp.adversary()]
-	switch protocol {
-	case "mis":
-		res, err := mis.SolveAsync(g, seed, adv, sp.MaxSteps)
-		if err != nil {
-			return sample{err: err}
-		}
-		if err := g.IsMaximalIndependentSet(res.InSet); err != nil {
-			return sample{err: err}
-		}
-		return sample{rounds: res.TimeUnits, tx: float64(res.Steps)}
-	case "color3":
-		res, err := coloring.SolveAsync(g, seed, adv, sp.MaxSteps)
-		if err != nil {
-			return sample{err: err}
-		}
-		if err := g.IsProperColoring(res.Colors, 3); err != nil {
-			return sample{err: err}
-		}
-		return sample{rounds: res.TimeUnits, tx: float64(res.Steps)}
-	}
-	return sample{err: fmt.Errorf("campaign: unknown protocol %q", protocol)}
 }

@@ -1,9 +1,18 @@
 package campaign
 
 import (
+	"fmt"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
+
+	"stoneage/internal/graph"
+	"stoneage/internal/nfsm"
+	"stoneage/internal/protocol"
+
+	// The campaign speaks only registry names; link the built-in set.
+	_ "stoneage/internal/protocol/std"
 )
 
 func misSpec(workers int) Spec {
@@ -185,8 +194,6 @@ func TestSpecValidation(t *testing.T) {
 		{"no protocols", Spec{Families: []Family{{Kind: "gnp"}}, Sizes: []int{8}, Trials: 1}, "no protocols"},
 		{"unknown protocol", Spec{Protocols: []string{"routing"}, Families: []Family{{Kind: "gnp"}}, Sizes: []int{8}, Trials: 1}, "unknown protocol"},
 		{"unknown family", Spec{Protocols: []string{"mis"}, Families: []Family{{Kind: "hypercube"}}, Sizes: []int{8}, Trials: 1}, "unknown graph family"},
-		{"color3 on non-tree", Spec{Protocols: []string{"color3"}, Families: []Family{{Kind: "gnp"}}, Sizes: []int{8}, Trials: 1}, "needs tree families"},
-		{"matching async", Spec{Protocols: []string{"matching"}, Engine: "async", Families: []Family{{Kind: "gnp"}}, Sizes: []int{8}, Trials: 1}, "sync engine only"},
 		{"bad engine", Spec{Protocols: []string{"mis"}, Engine: "quantum", Families: []Family{{Kind: "gnp"}}, Sizes: []int{8}, Trials: 1}, "unknown engine"},
 		{"bad adversary", Spec{Protocols: []string{"mis"}, Engine: "async", Adversary: "oracle", Families: []Family{{Kind: "gnp"}}, Sizes: []int{8}, Trials: 1}, "unknown adversary"},
 		{"duplicate protocol", Spec{Protocols: []string{"mis", "mis"}, Families: []Family{{Kind: "gnp"}}, Sizes: []int{8}, Trials: 1}, "duplicate protocol"},
@@ -204,6 +211,139 @@ func TestSpecValidation(t *testing.T) {
 		err := tc.sp.Validate()
 		if err == nil || !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: error %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestSpecValidationFromRegistryCaps derives the capability-mismatch
+// cases from the registry itself instead of a hardcoded protocol map:
+// every tree-only protocol must be rejected on a non-tree family, every
+// path-only protocol on a tree-but-not-path family, and every sync-only
+// protocol on the async engine — including protocols registered after
+// this test was written.
+func TestSpecValidationFromRegistryCaps(t *testing.T) {
+	base := func(p string) Spec {
+		return Spec{Protocols: []string{p}, Families: []Family{{Kind: "gnp"}}, Sizes: []int{8}, Trials: 1}
+	}
+	covered := 0
+	for _, d := range protocol.All() {
+		if d.Caps.Has(protocol.CapNeedsTree) || d.Caps.Has(protocol.CapNeedsPath) {
+			sp := base(d.Name)
+			want := "needs tree families"
+			if d.Caps.Has(protocol.CapNeedsPath) {
+				want = "needs path families"
+				sp.Families = []Family{{Kind: "star"}} // a tree, but not a path
+			}
+			if err := sp.Validate(); err == nil || !strings.Contains(err.Error(), want) {
+				t.Errorf("%s × %s: error %v, want containing %q", d.Name, sp.Families[0].Kind, err, want)
+			}
+			covered++
+		}
+		if d.Caps.Has(protocol.CapSyncOnly) {
+			sp := base(d.Name)
+			sp.Engine = "async"
+			sp.Families = []Family{{Kind: "path"}} // family always compatible
+			if err := sp.Validate(); err == nil || !strings.Contains(err.Error(), "sync engine only") {
+				t.Errorf("%s async: error %v, want sync-only rejection", d.Name, err)
+			}
+			covered++
+		}
+	}
+	if covered < 5 {
+		t.Fatalf("registry yielded only %d capability cases; std protocols missing?", covered)
+	}
+}
+
+// registerCampaignToy registers a trivial single-round protocol once.
+// It exists to prove the drop-in contract: one Register call makes a
+// protocol sweepable with zero campaign edits.
+var registerCampaignToy = sync.OnceValue(func() string {
+	name := "toy-beacon"
+	protocol.Register(&protocol.Descriptor{
+		Name:    name,
+		Summary: "test-only: every node outputs after one beacon round",
+		Machine: func(protocol.Args) (*nfsm.RoundProtocol, error) {
+			return &nfsm.RoundProtocol{
+				Name:        name,
+				StateNames:  []string{"start", "done"},
+				LetterNames: []string{"beacon"},
+				Input:       []nfsm.State{0},
+				Output:      []bool{false, true},
+				Initial:     0,
+				B:           1,
+				Transition: func(q nfsm.State, _ []nfsm.Count) []nfsm.Move {
+					if q == 1 {
+						return []nfsm.Move{{Next: 1, Emit: nfsm.NoLetter}}
+					}
+					return []nfsm.Move{{Next: 1, Emit: 0}}
+				},
+			}, nil
+		},
+		Decode: func(_ protocol.Args, states []nfsm.State) (protocol.Output, error) {
+			mask := make(protocol.Mask, len(states))
+			for v, q := range states {
+				mask[v] = q == 1
+			}
+			return mask, nil
+		},
+		Check: func(_ protocol.Args, _ *graph.Graph, out protocol.Output) error {
+			for v, done := range out.(protocol.Mask) {
+				if !done {
+					return fmt.Errorf("toy-beacon: node %d never finished", v)
+				}
+			}
+			return nil
+		},
+		Mutate: protocol.FlipMask,
+	})
+	return name
+})
+
+// TestRegistryDropIn is the acceptance check for the refactor's point:
+// a protocol added with a single Register call sweeps through the
+// campaign — spec validation, cell binding, execution and output
+// checking — without any campaign edits.
+func TestRegistryDropIn(t *testing.T) {
+	name := registerCampaignToy()
+	res, err := Run(Spec{
+		Protocols: []string{name, "mis"},
+		Families:  []Family{{Kind: "gnp"}, {Kind: "cycle"}},
+		Sizes:     []int{16},
+		Trials:    3,
+		Seed:      13,
+		Engine:    "async", // the toy is engine-hosted, so async works too
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 4 || res.Cells[0].Protocol != name {
+		t.Fatalf("unexpected cells: %+v", res.Cells)
+	}
+}
+
+// TestSweepEveryRegisteredProtocol runs one spec naming every
+// registered protocol over the path family (the one family every
+// capability set accepts) — the acceptance criterion that the registry
+// is the single source of protocol truth for the sweep pipeline.
+func TestSweepEveryRegisteredProtocol(t *testing.T) {
+	sp := Spec{
+		Name:      "all-protocols",
+		Protocols: protocol.Names(),
+		Families:  []Family{{Kind: "path"}},
+		Sizes:     []int{17},
+		Trials:    2,
+		Seed:      3,
+	}
+	res, err := Run(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != len(sp.Protocols) {
+		t.Fatalf("%d cells for %d protocols", len(res.Cells), len(sp.Protocols))
+	}
+	for _, c := range res.Cells {
+		if c.Rounds.N != 2 {
+			t.Fatalf("cell %s has %d samples, want 2", c.Protocol, c.Rounds.N)
 		}
 	}
 }

@@ -25,6 +25,7 @@ import (
 
 	"stoneage/internal/engine"
 	"stoneage/internal/graph"
+	"stoneage/internal/protocol"
 	"stoneage/internal/xrand"
 )
 
@@ -64,11 +65,13 @@ func (f Family) Name() string {
 }
 
 // familyDef describes one graph family kind: how to build an instance,
-// whether every instance is a tree (the Section 5 coloring protocol is
-// only correct on trees, so Spec.Validate enforces this statically),
-// and — for parameterized kinds — the parameter's valid domain.
+// whether every instance is a tree or a graph.Path-ordered path
+// (tree-only and path-only protocol capabilities are checked against
+// these flags statically in Spec.Validate), and — for parameterized
+// kinds — the parameter's valid domain.
 type familyDef struct {
 	tree         bool
+	path         bool
 	defaultParam float64
 	paramCheck   func(p float64) error // nil: the kind takes no parameter
 	build        func(n int, param float64, src *xrand.Source) *graph.Graph
@@ -144,7 +147,7 @@ var familyDefs = map[string]familyDef{
 	"tree": {tree: true, build: func(n int, _ float64, src *xrand.Source) *graph.Graph {
 		return graph.RandomTree(n, src)
 	}},
-	"path": {tree: true, build: func(n int, _ float64, _ *xrand.Source) *graph.Graph {
+	"path": {tree: true, path: true, build: func(n int, _ float64, _ *xrand.Source) *graph.Graph {
 		return graph.Path(n)
 	}},
 	"star": {tree: true, build: func(n int, _ float64, _ *xrand.Source) *graph.Graph {
@@ -194,7 +197,9 @@ func BuildGraph(f Family, n int, seed uint64) (*graph.Graph, error) {
 type Spec struct {
 	// Name labels the campaign in reports.
 	Name string `json:"name,omitempty"`
-	// Protocols to sweep: "mis", "color3", "matching".
+	// Protocols to sweep, by registry name (see protocol.Names();
+	// `stonesim protocols` lists them with capabilities and parameter
+	// domains).
 	Protocols []string `json:"protocols"`
 	// Engine is "sync" (locally synchronous, default) or "async" (the
 	// Theorem 3.1/3.4 synchronizer under an adversary).
@@ -223,16 +228,13 @@ type Spec struct {
 	Workers int `json:"workers,omitempty"`
 }
 
-// knownProtocols maps protocol name → needs-tree restriction.
-var knownProtocols = map[string]struct{ needsTree, syncOnly bool }{
-	"mis":      {},
-	"color3":   {needsTree: true},
-	"matching": {syncOnly: true},
-}
-
-// Validate checks the spec's static well-formedness: known protocols,
-// engine and families; tree-only protocols paired with tree families;
-// positive sizes and trials.
+// Validate checks the spec's static well-formedness: protocols found in
+// the registry, known engine and families; capability compatibility
+// (tree-only and path-only protocols paired with tree/path families,
+// sync-only protocols kept off the async engine); positive sizes and
+// trials. The protocol registry is the single source of protocol truth:
+// a protocol registered anywhere in the process is sweepable here with
+// no campaign edits.
 func (sp *Spec) Validate() error {
 	if len(sp.Protocols) == 0 {
 		return fmt.Errorf("campaign: spec has no protocols")
@@ -248,15 +250,15 @@ func (sp *Spec) Validate() error {
 	}
 	seen := map[string]bool{}
 	for _, p := range sp.Protocols {
-		def, ok := knownProtocols[p]
-		if !ok {
-			return fmt.Errorf("campaign: unknown protocol %q (known: mis, color3, matching)", p)
+		d, err := protocol.Lookup(p)
+		if err != nil {
+			return fmt.Errorf("campaign: %w", err)
 		}
 		if seen[p] {
 			return fmt.Errorf("campaign: duplicate protocol %q", p)
 		}
 		seen[p] = true
-		if def.syncOnly && eng == "async" {
+		if d.Caps.Has(protocol.CapSyncOnly) && eng == "async" {
 			return fmt.Errorf("campaign: protocol %q runs on the sync engine only", p)
 		}
 		for _, f := range sp.Families {
@@ -264,7 +266,10 @@ func (sp *Spec) Validate() error {
 			if !ok {
 				return fmt.Errorf("campaign: unknown graph family %q (known: %v)", f.Kind, FamilyKinds())
 			}
-			if def.needsTree && !fd.tree {
+			switch {
+			case d.Caps.Has(protocol.CapNeedsPath) && !fd.path:
+				return fmt.Errorf("campaign: protocol %q needs path families, but %q is not one", p, f.Kind)
+			case d.Caps.Has(protocol.CapNeedsTree) && !fd.tree:
 				return fmt.Errorf("campaign: protocol %q needs tree families, but %q is not one", p, f.Kind)
 			}
 		}

@@ -29,12 +29,11 @@ package coloring
 import (
 	"errors"
 	"fmt"
-	"sync"
 
 	"stoneage/internal/engine"
 	"stoneage/internal/graph"
 	"stoneage/internal/nfsm"
-	"stoneage/internal/synchro"
+	"stoneage/internal/protocol"
 )
 
 // ErrNotATree is returned when the input graph is not a tree.
@@ -250,12 +249,28 @@ type SyncRun struct {
 	Transmissions int64
 }
 
-// code lowers the protocol once per process. The 269·4¹² count domain
-// is far beyond the engine's tabulation bound, so the program runs on
-// the dynamic path — it still gains the CSR layout, incremental count
-// maintenance and sharded rounds (the Transition is pure).
-var code = sync.OnceValue(func() *engine.MachineCode {
-	return engine.CompileMachine(Protocol())
+// desc self-registers the protocol. The registry lowers it once per
+// process; its 269·4¹² count domain is far beyond the engine's
+// tabulation bound, so the program runs on the dynamic path — it still
+// gains the CSR layout, incremental count maintenance and sharded
+// rounds (the Transition is pure). The tree-only capability makes the
+// campaign and the CLI reject non-tree inputs statically.
+var desc = protocol.Register(&protocol.Descriptor{
+	Name:    "color3",
+	Summary: "3-coloring of undirected trees in O(log n) rounds (Section 5)",
+	Caps:    protocol.CapNeedsTree,
+	Machine: func(protocol.Args) (*nfsm.RoundProtocol, error) { return Protocol(), nil },
+	Decode: func(_ protocol.Args, states []nfsm.State) (protocol.Output, error) {
+		colors, err := Extract(states)
+		if err != nil {
+			return nil, err
+		}
+		return protocol.Colors(colors), nil
+	},
+	Check: func(_ protocol.Args, g *graph.Graph, out protocol.Output) error {
+		return g.IsProperColoring(out.(protocol.Colors), 3)
+	},
+	Mutate: protocol.ClashColor,
 })
 
 // SolveSync runs the protocol on the compiled synchronous engine. The
@@ -264,19 +279,15 @@ func SolveSync(g *graph.Graph, seed uint64, maxRounds int) (*SyncRun, error) {
 	if !g.IsTree() {
 		return nil, ErrNotATree
 	}
-	res, err := code().Bind(g).RunSync(engine.SyncConfig{Seed: seed, MaxRounds: maxRounds})
-	if err != nil {
-		return nil, err
-	}
-	colors, err := Extract(res.States)
+	run, err := desc.SolveSync(g, nil, protocol.SyncConfig{Seed: seed, MaxRounds: maxRounds})
 	if err != nil {
 		return nil, err
 	}
 	return &SyncRun{
-		Colors:        colors,
-		Rounds:        res.Rounds,
-		Phases:        (res.Rounds + 3) / 4,
-		Transmissions: res.Transmissions,
+		Colors:        run.Output.(protocol.Colors),
+		Rounds:        run.Rounds,
+		Phases:        (run.Rounds + 3) / 4,
+		Transmissions: run.Transmissions,
 	}, nil
 }
 
@@ -291,27 +302,24 @@ type AsyncRun struct {
 	Steps int64
 }
 
-// SolveAsync compiles the protocol and runs it asynchronously under the
-// given adversary. The input must be a tree.
+// SolveAsync compiles the protocol through the registry's Theorem
+// 3.1/3.4 route and runs it asynchronously under the given adversary.
+// The input must be a tree.
 func SolveAsync(g *graph.Graph, seed uint64, adv engine.Adversary, maxSteps int64) (*AsyncRun, error) {
 	if !g.IsTree() {
 		return nil, ErrNotATree
 	}
-	compiled, err := synchro.CompileRound(Protocol())
-	if err != nil {
-		return nil, err
-	}
-	res, err := engine.RunAsync(compiled, g, engine.AsyncConfig{
+	run, err := desc.SolveAsync(g, nil, protocol.AsyncConfig{
 		Seed: seed, Adversary: adv, MaxSteps: maxSteps,
 	})
 	if err != nil {
 		return nil, err
 	}
-	colors, err := Extract(compiled.DecodeStates(res.States))
-	if err != nil {
-		return nil, err
-	}
-	return &AsyncRun{Colors: colors, TimeUnits: res.TimeUnits, Steps: res.Steps}, nil
+	return &AsyncRun{
+		Colors:    run.Output.(protocol.Colors),
+		TimeUnits: run.TimeUnits,
+		Steps:     run.Steps,
+	}, nil
 }
 
 // ActiveCensus instruments a synchronous run: for every phase it records
@@ -349,18 +357,14 @@ func SolveSyncInstrumented(g *graph.Graph, seed uint64, maxRounds int) (*SyncRun
 		census.Waiting = append(census.Waiting, wait)
 		census.Colored = append(census.Colored, col)
 	}
-	res, err := code().Bind(g).RunSync(engine.SyncConfig{
+	res, err := desc.SolveSync(g, nil, protocol.SyncConfig{
 		Seed: seed, MaxRounds: maxRounds, Observer: observer,
 	})
 	if err != nil {
 		return nil, nil, err
 	}
-	colors, err := Extract(res.States)
-	if err != nil {
-		return nil, nil, err
-	}
 	run := &SyncRun{
-		Colors:        colors,
+		Colors:        res.Output.(protocol.Colors),
 		Rounds:        res.Rounds,
 		Phases:        (res.Rounds + 3) / 4,
 		Transmissions: res.Transmissions,

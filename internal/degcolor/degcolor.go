@@ -24,17 +24,21 @@ package degcolor
 import (
 	"errors"
 	"fmt"
-	"sync"
 
 	"stoneage/internal/engine"
 	"stoneage/internal/graph"
 	"stoneage/internal/nfsm"
-	"stoneage/internal/synchro"
+	"stoneage/internal/protocol"
 )
 
 // ErrDegreeTooLarge is returned when the input graph exceeds the
 // protocol's compiled-in degree bound.
 var ErrDegreeTooLarge = errors.New("degcolor: graph degree exceeds the protocol's bound")
+
+// MaxDegreeBound caps the universal degree constant Δ: the compiled
+// δ-table enumerates (1+2(Δ+1))·2^(2(Δ+1)) rows, which stays inside the
+// engine's tabulation budget up to here.
+const MaxDegreeBound = 16
 
 // Protocol builds the (Δ+1)-coloring round protocol for the universal
 // degree constant maxDeg ≥ 1. The palette is {1..maxDeg+1}.
@@ -43,8 +47,8 @@ var ErrDegreeTooLarge = errors.New("degcolor: graph degree exceeds the protocol'
 // palette+1..2·palette = colored output sinks.
 // Letters: PROP_c (0..palette−1) then COLOR_c (palette..2·palette−1).
 func Protocol(maxDeg int) (*nfsm.RoundProtocol, error) {
-	if maxDeg < 1 || maxDeg > 16 {
-		return nil, fmt.Errorf("degcolor: degree bound %d outside [1,16]", maxDeg)
+	if maxDeg < 1 || maxDeg > MaxDegreeBound {
+		return nil, fmt.Errorf("degcolor: degree bound %d outside [1,%d]", maxDeg, MaxDegreeBound)
 	}
 	palette := maxDeg + 1
 	numStates := 1 + 2*palette
@@ -131,67 +135,84 @@ type Run struct {
 	Rounds int
 }
 
-// codes caches the compiled δ-table per degree bound: the tabulation
-// enumerates (1+2(Δ+1))·2^(2(Δ+1)) rows, which is worth amortizing
-// across the runs of an experiment sweep.
-var codes sync.Map // maxDeg int → *engine.MachineCode
-
-func codeFor(maxDeg int) (*engine.MachineCode, error) {
-	if c, ok := codes.Load(maxDeg); ok {
-		return c.(*engine.MachineCode), nil
-	}
-	p, err := Protocol(maxDeg)
-	if err != nil {
-		return nil, err
-	}
-	c, _ := codes.LoadOrStore(maxDeg, engine.CompileMachine(p))
-	return c.(*engine.MachineCode), nil
-}
+// desc self-registers the protocol. The registry caches the compiled
+// δ-table per degree bound — the tabulation enumerates
+// (1+2(Δ+1))·2^(2(Δ+1)) rows, which is worth amortizing across the runs
+// of an experiment sweep — keyed by the resolved "maxdeg" argument. A
+// maxdeg of 0 (the default) derives the bound from the bound graph's Δ,
+// which is what makes the protocol sweepable over bounded-degree graph
+// families without per-family spec knobs.
+var desc = protocol.Register(&protocol.Descriptor{
+	Name:    "degcolor",
+	Summary: "(Δ+1)-coloring of bounded-degree graphs — the palette-race extension beyond Section 5",
+	Params: []protocol.ParamDef{{
+		Name:    "maxdeg",
+		Desc:    "universal degree bound Δ (0 derives Δ from the bound graph)",
+		Default: 0, Min: 0, Max: MaxDegreeBound, Integer: true,
+	}},
+	Prepare: func(args protocol.Args, g *graph.Graph) (protocol.Args, error) {
+		maxDeg := int(args["maxdeg"])
+		if maxDeg == 0 {
+			maxDeg = g.MaxDegree()
+			if maxDeg < 1 {
+				maxDeg = 1
+			}
+			if maxDeg > MaxDegreeBound {
+				return nil, fmt.Errorf("%w: Δ=%d > %d", ErrDegreeTooLarge, g.MaxDegree(), MaxDegreeBound)
+			}
+			args["maxdeg"] = float64(maxDeg)
+		}
+		if g.MaxDegree() > maxDeg {
+			return nil, fmt.Errorf("%w: Δ=%d > %d", ErrDegreeTooLarge, g.MaxDegree(), maxDeg)
+		}
+		return args, nil
+	},
+	Machine: func(args protocol.Args) (*nfsm.RoundProtocol, error) {
+		return Protocol(int(args["maxdeg"]))
+	},
+	Decode: func(args protocol.Args, states []nfsm.State) (protocol.Output, error) {
+		colors, err := Extract(int(args["maxdeg"]), states)
+		if err != nil {
+			return nil, err
+		}
+		return protocol.Colors(colors), nil
+	},
+	Check: func(args protocol.Args, g *graph.Graph, out protocol.Output) error {
+		return g.IsProperColoring(out.(protocol.Colors), int(args["maxdeg"])+1)
+	},
+	Mutate: protocol.ClashColor,
+})
 
 // SolveSync colors g with maxDeg+1 colors on the compiled synchronous
 // engine. The graph's maximum degree must not exceed maxDeg.
 func SolveSync(g *graph.Graph, maxDeg int, seed uint64, maxRounds int) (*Run, error) {
+	if maxDeg < 1 || maxDeg > MaxDegreeBound {
+		return nil, fmt.Errorf("degcolor: degree bound %d outside [1,%d]", maxDeg, MaxDegreeBound)
+	}
 	if g.MaxDegree() > maxDeg {
 		return nil, fmt.Errorf("%w: Δ=%d > %d", ErrDegreeTooLarge, g.MaxDegree(), maxDeg)
 	}
-	code, err := codeFor(maxDeg)
+	run, err := desc.SolveSync(g, protocol.Args{"maxdeg": float64(maxDeg)},
+		protocol.SyncConfig{Seed: seed, MaxRounds: maxRounds})
 	if err != nil {
 		return nil, err
 	}
-	res, err := code.Bind(g).RunSync(engine.SyncConfig{Seed: seed, MaxRounds: maxRounds})
-	if err != nil {
-		return nil, err
-	}
-	colors, err := Extract(maxDeg, res.States)
-	if err != nil {
-		return nil, err
-	}
-	return &Run{Colors: colors, Rounds: res.Rounds}, nil
+	return &Run{Colors: run.Output.(protocol.Colors), Rounds: run.Rounds}, nil
 }
 
 // SolveAsync colors g asynchronously through the Theorem 3.1/3.4
 // compiler.
 func SolveAsync(g *graph.Graph, maxDeg int, seed uint64, adv engine.Adversary, maxSteps int64) (*Run, error) {
+	if maxDeg < 1 || maxDeg > MaxDegreeBound {
+		return nil, fmt.Errorf("degcolor: degree bound %d outside [1,%d]", maxDeg, MaxDegreeBound)
+	}
 	if g.MaxDegree() > maxDeg {
 		return nil, fmt.Errorf("%w: Δ=%d > %d", ErrDegreeTooLarge, g.MaxDegree(), maxDeg)
 	}
-	p, err := Protocol(maxDeg)
+	run, err := desc.SolveAsync(g, protocol.Args{"maxdeg": float64(maxDeg)},
+		protocol.AsyncConfig{Seed: seed, Adversary: adv, MaxSteps: maxSteps})
 	if err != nil {
 		return nil, err
 	}
-	compiled, err := synchro.CompileRound(p)
-	if err != nil {
-		return nil, err
-	}
-	res, err := engine.RunAsync(compiled, g, engine.AsyncConfig{
-		Seed: seed, Adversary: adv, MaxSteps: maxSteps,
-	})
-	if err != nil {
-		return nil, err
-	}
-	colors, err := Extract(maxDeg, compiled.DecodeStates(res.States))
-	if err != nil {
-		return nil, err
-	}
-	return &Run{Colors: colors, Rounds: 0}, nil
+	return &Run{Colors: run.Output.(protocol.Colors), Rounds: 0}, nil
 }

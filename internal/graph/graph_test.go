@@ -94,6 +94,58 @@ func TestGeneratorShapes(t *testing.T) {
 	}
 }
 
+// TestClassicGeneratorsValidate runs the structural checker over every
+// classic generator of generators.go, including the degenerate small
+// sizes (the new-family tests of families_test.go already validate the
+// random families at scale): sorted duplicate-free adjacency, no
+// self-loops, port symmetry, consistent edge count.
+func TestClassicGeneratorsValidate(t *testing.T) {
+	src := xrand.New(5)
+	cases := map[string]*Graph{
+		"path1":        Path(1),
+		"path5":        Path(5),
+		"cycle1":       Cycle(1),
+		"cycle2":       Cycle(2),
+		"cycle7":       Cycle(7),
+		"star1":        Star(1),
+		"star2":        Star(2),
+		"star9":        Star(9),
+		"clique1":      Clique(1),
+		"clique2":      Clique(2),
+		"clique6":      Clique(6),
+		"grid1x1":      Grid(1, 1),
+		"grid1x5":      Grid(1, 5),
+		"grid3x4":      Grid(3, 4),
+		"torus1x1":     Torus(1, 1),
+		"torus2x2":     Torus(2, 2),
+		"torus2x5":     Torus(2, 5),
+		"torus4x5":     Torus(4, 5),
+		"tree1":        RandomTree(1, src),
+		"tree64":       RandomTree(64, src),
+		"binary1":      BinaryTree(1),
+		"binary12":     BinaryTree(12),
+		"caterpillar2": Caterpillar(2),
+		"caterpillar9": Caterpillar(9),
+		"broom3":       Broom(3),
+		"broom10":      Broom(10),
+		"bipartite1x1": CompleteBipartite(1, 1),
+		"bipartite3x4": CompleteBipartite(3, 4),
+		"nearregular":  NearRegular(60, 5, src),
+		"lattice1x1":   ProneuralLattice(1, 1),
+		"lattice5x5":   ProneuralLattice(5, 5),
+		"gnp":          Gnp(40, 0.2, src),
+		"gnpdense":     Gnp(25, 0.9, src),
+		"gnpconnected": GnpConnected(40, 0.05, src),
+	}
+	for name, g := range cases {
+		t.Run(name, func(t *testing.T) {
+			if err := g.Validate(); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		})
+	}
+}
+
 func TestTorusIsFourRegular(t *testing.T) {
 	g := Torus(4, 5)
 	for v := 0; v < g.N(); v++ {

@@ -36,6 +36,26 @@ func (g *Graph) Validate() error {
 	return nil
 }
 
+// IsPathOrdered reports whether g is the Path generator's ordering:
+// node i adjacent to exactly i−1 and i+1. Path-only protocols (e.g.
+// Cole–Vishkin, which derives the parent port from it) validate their
+// input with this check.
+func (g *Graph) IsPathOrdered() error {
+	n := g.N()
+	if n == 0 {
+		return fmt.Errorf("graph: empty graph is not a path")
+	}
+	if g.m != n-1 {
+		return fmt.Errorf("graph: %d edges on %d nodes is not a path", g.m, n)
+	}
+	for v := 0; v+1 < n; v++ {
+		if !g.HasEdge(v, v+1) {
+			return fmt.Errorf("graph: missing path edge (%d,%d); need graph.Path ordering", v, v+1)
+		}
+	}
+	return nil
+}
+
 // IsIndependentSet reports whether the node set given by inSet (length n)
 // is independent: no edge has both endpoints in the set.
 func (g *Graph) IsIndependentSet(inSet []bool) error {

@@ -36,8 +36,30 @@ import (
 	"fmt"
 
 	"stoneage/internal/graph"
+	"stoneage/internal/protocol"
 	"stoneage/internal/xrand"
 )
+
+// The protocol self-registers with its bespoke engine: Solve below is
+// not hosted on the nFSM engines (the port-aware extension has no
+// synchronizer route), so the descriptor is sync-only and the shared
+// runner dispatches straight to it.
+var _ = protocol.Register(&protocol.Descriptor{
+	Name:    "matching",
+	Summary: "maximal matching under the extended nFSM model (targeted transmission + port memory)",
+	Caps:    protocol.CapSyncOnly | protocol.CapExtended,
+	Solve: func(_ protocol.Args, g *graph.Graph, seed uint64, maxRounds int) (*protocol.Run, error) {
+		res, err := Solve(g, seed, maxRounds)
+		if err != nil {
+			return nil, err
+		}
+		return &protocol.Run{Output: protocol.Mate(res.Mate), Rounds: res.Rounds}, nil
+	},
+	Check: func(_ protocol.Args, g *graph.Graph, out protocol.Output) error {
+		return g.IsMaximalMatching(out.(protocol.Mate))
+	},
+	Mutate: protocol.BreakMate,
+})
 
 // ErrNoConvergence mirrors the engine's budget error.
 var ErrNoConvergence = errors.New("matching: no output configuration within budget")

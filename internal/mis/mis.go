@@ -14,12 +14,11 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 
 	"stoneage/internal/engine"
 	"stoneage/internal/graph"
 	"stoneage/internal/nfsm"
-	"stoneage/internal/synchro"
+	"stoneage/internal/protocol"
 )
 
 // The states of Figure 1. The communication alphabet is identical to the
@@ -139,25 +138,39 @@ type SyncRun struct {
 	Transmissions int64
 }
 
-// code tabulates the protocol's δ once per process: the 7·2⁷ flat move
-// table every SolveSync call binds to its graph (engine.CompileMachine
-// is graph-independent, so the lowering is shared across all runs).
-var code = sync.OnceValue(func() *engine.MachineCode {
-	return engine.CompileMachine(Protocol())
+// desc self-registers the protocol: the registry compiles and caches
+// the 7·2⁷ flat move table once per process, and every client — the
+// SolveSync/SolveAsync entry points below, the campaign runner, the
+// stonesim CLI, the benchmark matrix — reaches the protocol through it.
+var desc = protocol.Register(&protocol.Descriptor{
+	Name:    "mis",
+	Summary: "maximal independent set — the 7-state tournament of Figure 1 (Section 4)",
+	Machine: func(protocol.Args) (*nfsm.RoundProtocol, error) { return Protocol(), nil },
+	Decode: func(_ protocol.Args, states []nfsm.State) (protocol.Output, error) {
+		inSet, err := Extract(states)
+		if err != nil {
+			return nil, err
+		}
+		return protocol.Mask(inSet), nil
+	},
+	Check: func(_ protocol.Args, g *graph.Graph, out protocol.Output) error {
+		return g.IsMaximalIndependentSet(out.(protocol.Mask))
+	},
+	Mutate: protocol.FlipMask,
 })
 
 // SolveSync runs the protocol on the compiled synchronous engine and
 // extracts the MIS.
 func SolveSync(g *graph.Graph, seed uint64, maxRounds int) (*SyncRun, error) {
-	res, err := code().Bind(g).RunSync(engine.SyncConfig{Seed: seed, MaxRounds: maxRounds})
+	run, err := desc.SolveSync(g, nil, protocol.SyncConfig{Seed: seed, MaxRounds: maxRounds})
 	if err != nil {
 		return nil, err
 	}
-	inSet, err := Extract(res.States)
-	if err != nil {
-		return nil, err
-	}
-	return &SyncRun{InSet: inSet, Rounds: res.Rounds, Transmissions: res.Transmissions}, nil
+	return &SyncRun{
+		InSet:         run.Output.(protocol.Mask),
+		Rounds:        run.Rounds,
+		Transmissions: run.Transmissions,
+	}, nil
 }
 
 // Tournaments instruments a synchronous run with the Section 4 analysis
@@ -206,16 +219,13 @@ func SolveSyncInstrumented(g *graph.Graph, seed uint64, maxRounds int) (*SyncRun
 			prev[v] = states[v]
 		}
 	}
-	res, err := code().Bind(g).RunSync(engine.SyncConfig{
+	res, err := desc.SolveSync(g, nil, protocol.SyncConfig{
 		Seed: seed, MaxRounds: maxRounds, Observer: observer,
 	})
 	if err != nil {
 		return nil, nil, err
 	}
-	inSet, err := Extract(res.States)
-	if err != nil {
-		return nil, nil, err
-	}
+	inSet := res.Output.(protocol.Mask)
 
 	maxT := 0
 	for _, t := range tourn {
@@ -255,24 +265,22 @@ type AsyncRun struct {
 	Lost int64
 }
 
-// SolveAsync compiles the protocol with synchro.CompileRound and runs it
-// on the asynchronous engine under the given adversary.
+// SolveAsync compiles the protocol through the registry's Theorem
+// 3.1/3.4 route and runs it on the asynchronous engine under the given
+// adversary.
 func SolveAsync(g *graph.Graph, seed uint64, adv engine.Adversary, maxSteps int64) (*AsyncRun, error) {
-	compiled, err := synchro.CompileRound(Protocol())
-	if err != nil {
-		return nil, err
-	}
-	res, err := engine.RunAsync(compiled, g, engine.AsyncConfig{
+	run, err := desc.SolveAsync(g, nil, protocol.AsyncConfig{
 		Seed: seed, Adversary: adv, MaxSteps: maxSteps,
 	})
 	if err != nil {
 		return nil, err
 	}
-	inSet, err := Extract(compiled.DecodeStates(res.States))
-	if err != nil {
-		return nil, err
-	}
-	return &AsyncRun{InSet: inSet, TimeUnits: res.TimeUnits, Steps: res.Steps, Lost: res.Lost}, nil
+	return &AsyncRun{
+		InSet:     run.Output.(protocol.Mask),
+		TimeUnits: run.TimeUnits,
+		Steps:     run.Steps,
+		Lost:      run.Lost,
+	}, nil
 }
 
 // DiagramEdge is one arrow of the protocol's transition diagram: source

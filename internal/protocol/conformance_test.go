@@ -1,0 +1,146 @@
+package protocol_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"stoneage/internal/engine"
+	"stoneage/internal/graph"
+	"stoneage/internal/nfsm"
+	"stoneage/internal/protocol"
+	"stoneage/internal/xrand"
+
+	// Link the full built-in protocol set into the registry: the
+	// conformance suite covers whatever is registered, so a protocol
+	// added anywhere is tested here with zero suite edits.
+	_ "stoneage/internal/protocol/std"
+)
+
+// ladderFor picks a small graph ladder compatible with the protocol's
+// capability set: path-only protocols get paths, tree-only protocols a
+// tree mix, everything else a general mix.
+func ladderFor(d *protocol.Descriptor) []*graph.Graph {
+	switch {
+	case d.Caps.Has(protocol.CapNeedsPath):
+		return []*graph.Graph{graph.Path(2), graph.Path(9), graph.Path(33)}
+	case d.Caps.Has(protocol.CapNeedsTree):
+		return []*graph.Graph{
+			graph.Path(8), graph.Star(9), graph.BinaryTree(15),
+			graph.RandomTree(24, xrand.New(7)),
+		}
+	default:
+		return []*graph.Graph{
+			graph.GnpConnected(20, 0.2, xrand.New(3)),
+			graph.Cycle(11), graph.Torus(4, 4), graph.New(1),
+		}
+	}
+}
+
+// TestConformance is the registry-driven conformance suite: for every
+// registered protocol it runs the synchronous engine (and the
+// asynchronous one when the capability set allows it) over a small
+// graph ladder, asserts the descriptor's validator accepts the real
+// output, and asserts it rejects a mutated (bit-flipped) copy.
+func TestConformance(t *testing.T) {
+	registerConformanceToy()
+	for _, d := range protocol.All() {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			t.Parallel()
+			for gi, g := range ladderFor(d) {
+				bound, err := d.Bind(g, nil)
+				if err != nil {
+					t.Fatalf("graph %d: bind: %v", gi, err)
+				}
+				for seed := uint64(0); seed < 3; seed++ {
+					run, err := bound.RunSync(protocol.SyncConfig{Seed: seed})
+					if err != nil {
+						t.Fatalf("graph %d seed %d: %v", gi, seed, err)
+					}
+					if err := bound.Check(run.Output); err != nil {
+						t.Fatalf("graph %d seed %d: real output rejected: %v", gi, seed, err)
+					}
+					mut := bound.Mutate(run.Output, xrand.NewStream(seed, uint64(gi)))
+					if mut == nil {
+						t.Fatalf("graph %d seed %d: Mutate returned nil", gi, seed)
+					}
+					if err := bound.Check(mut); err == nil {
+						t.Fatalf("graph %d seed %d: mutated output %v accepted", gi, seed, mut)
+					}
+				}
+				if !d.Caps.Has(protocol.CapSyncOnly) && g.N() <= 24 {
+					adv := engine.NamedAdversaries(99)["uniform"]
+					run, err := bound.RunAsync(protocol.AsyncConfig{Seed: 1, Adversary: adv})
+					if err != nil {
+						t.Fatalf("graph %d async: %v", gi, err)
+					}
+					if err := bound.Check(run.Output); err != nil {
+						t.Fatalf("graph %d async: real output rejected: %v", gi, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// registerConformanceToy adds a toy protocol with a single Register
+// call — the acceptance criterion that a drop-in protocol needs no
+// edits anywhere: the conformance loop above picks it up from All()
+// exactly like the built-ins.
+var registerConformanceToy = sync.OnceFunc(func() {
+	protocol.Register(&protocol.Descriptor{
+		Name:    "toy-flood",
+		Summary: "test-only: one-round beacon flood, every node terminates",
+		Machine: func(protocol.Args) (*nfsm.RoundProtocol, error) {
+			return &nfsm.RoundProtocol{
+				Name:        "toy-flood",
+				StateNames:  []string{"start", "done"},
+				LetterNames: []string{"beacon"},
+				Input:       []nfsm.State{0},
+				Output:      []bool{false, true},
+				Initial:     0,
+				B:           1,
+				Transition: func(q nfsm.State, _ []nfsm.Count) []nfsm.Move {
+					if q == 1 {
+						return []nfsm.Move{{Next: 1, Emit: nfsm.NoLetter}}
+					}
+					return []nfsm.Move{{Next: 1, Emit: 0}}
+				},
+			}, nil
+		},
+		Decode: func(_ protocol.Args, states []nfsm.State) (protocol.Output, error) {
+			mask := make(protocol.Mask, len(states))
+			for v, q := range states {
+				mask[v] = q == 1
+			}
+			return mask, nil
+		},
+		Check: func(_ protocol.Args, _ *graph.Graph, out protocol.Output) error {
+			for v, done := range out.(protocol.Mask) {
+				if !done {
+					return fmt.Errorf("toy-flood: node %d never finished", v)
+				}
+			}
+			return nil
+		},
+		Mutate: protocol.FlipMask,
+	})
+})
+
+// TestToyProtocolIsDiscoverable pins the drop-in contract at the
+// registry level: after the single Register call the toy resolves via
+// Lookup and enumerates via All()/Names() — which is exactly what the
+// campaign, the CLI and `stonesim protocols` consume.
+func TestToyProtocolIsDiscoverable(t *testing.T) {
+	registerConformanceToy()
+	if _, err := protocol.Lookup("toy-flood"); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range protocol.Names() {
+		if name == "toy-flood" {
+			return
+		}
+	}
+	t.Fatal("toy-flood missing from Names()")
+}

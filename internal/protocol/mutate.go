@@ -1,0 +1,73 @@
+package protocol
+
+import (
+	"stoneage/internal/graph"
+	"stoneage/internal/xrand"
+)
+
+// This file holds the shared Mutate oracles: each returns a minimally
+// corrupted copy of a valid output that the protocol's Check must
+// reject. The conformance suite runs them against every registered
+// protocol, so they are written to break *any* valid output of their
+// type, not just a lucky instance.
+
+// FlipMask flips one random bit of a membership mask. Any single flip
+// breaks an MIS: removing a member leaves it (or a neighbor) dominated
+// by nobody; adding one violates independence (the added node was
+// dominated by maximality).
+func FlipMask(_ Args, _ *graph.Graph, out Output, src *xrand.Source) Output {
+	m := out.(Mask)
+	if len(m) == 0 {
+		return nil
+	}
+	mut := make(Mask, len(m))
+	copy(mut, m)
+	v := src.Intn(len(mut))
+	mut[v] = !mut[v]
+	return mut
+}
+
+// ClashColor recolors one random node to a neighbor's color (an
+// adjacent clash), or — for isolated nodes — to 0, outside every
+// palette.
+func ClashColor(_ Args, g *graph.Graph, out Output, src *xrand.Source) Output {
+	c := out.(Colors)
+	if len(c) == 0 {
+		return nil
+	}
+	mut := make(Colors, len(c))
+	copy(mut, c)
+	v := src.Intn(len(mut))
+	nb := g.Neighbors(v)
+	if len(nb) == 0 {
+		mut[v] = 0
+	} else {
+		mut[v] = mut[nb[src.Intn(len(nb))]]
+	}
+	return mut
+}
+
+// BreakMate corrupts a matching: it severs one matched pair
+// asymmetrically (mate[v] kept, mate[partner] cleared), or — in a
+// matching with no matched pair — self-matches node 0 (never an edge).
+func BreakMate(_ Args, _ *graph.Graph, out Output, src *xrand.Source) Output {
+	m := out.(Mate)
+	if len(m) == 0 {
+		return nil
+	}
+	mut := make(Mate, len(m))
+	copy(mut, m)
+	var matched []int
+	for v, u := range mut {
+		if u != -1 {
+			matched = append(matched, v)
+		}
+	}
+	if len(matched) == 0 {
+		mut[0] = 0
+		return mut
+	}
+	v := matched[src.Intn(len(matched))]
+	mut[mut[v]] = -1
+	return mut
+}

@@ -1,0 +1,334 @@
+// Package protocol is the unified protocol registry: the single place
+// where the repository's stone-age protocols — the paper's nFSM
+// machines, the extended-model matching protocol, and the classical
+// message-passing/beeping baselines — describe themselves to every
+// client. A Descriptor carries a protocol's behavioral interface
+// (capabilities, machine constructor, output decoder, output validator,
+// parameter domains); Register/Lookup/All make the set discoverable.
+//
+// The paper's whole point is that one model expresses MIS, coloring,
+// matching and tree protocols uniformly, and clients should depend on
+// that uniform interface, never on a concrete package: the campaign
+// runner, the stonesim CLI and the benchmark matrix all enumerate this
+// registry, so adding a protocol is one Register call — no edits to
+// campaign, CLI, or benches.
+//
+// Protocol packages self-register from a package-level variable
+// initializer; clients that speak only registry names link the full
+// built-in set by importing stoneage/internal/protocol/std for side
+// effects.
+package protocol
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"stoneage/internal/graph"
+	"stoneage/internal/nfsm"
+	"stoneage/internal/xrand"
+)
+
+// Caps is a protocol's capability/requirement bitmask. Clients derive
+// static compatibility checks from it (campaign spec validation, CLI
+// engine selection) instead of hardcoding per-protocol knowledge.
+type Caps uint32
+
+const (
+	// CapNeedsTree marks protocols correct only on trees (the Section 5
+	// palette argument fails on general graphs).
+	CapNeedsTree Caps = 1 << iota
+	// CapNeedsPath marks protocols correct only on graph.Path-ordered
+	// paths (implies tree); e.g. Cole–Vishkin's directed-path coloring.
+	CapNeedsPath
+	// CapSyncOnly marks protocols with no asynchronous route: bespoke
+	// engines the Theorem 3.1/3.4 synchronizer cannot host.
+	CapSyncOnly
+	// CapNeedsIDs marks protocols that read node identifiers — local
+	// state the nFSM requirement (M4) forbids (the baselines).
+	CapNeedsIDs
+	// CapExtended marks protocols in the extended nFSM model (targeted
+	// transmission and port memory, as the matching protocol needs).
+	CapExtended
+)
+
+// capNames orders the capability labels for display.
+var capNames = []struct {
+	cap  Caps
+	name string
+}{
+	{CapNeedsTree, "tree-only"},
+	{CapNeedsPath, "path-only"},
+	{CapSyncOnly, "sync-only"},
+	{CapNeedsIDs, "needs-ids"},
+	{CapExtended, "extended-model"},
+}
+
+// Has reports whether every capability of f is set.
+func (c Caps) Has(f Caps) bool { return c&f == f }
+
+// List returns the set capability labels in display order.
+func (c Caps) List() []string {
+	var out []string
+	for _, cn := range capNames {
+		if c.Has(cn.cap) {
+			out = append(out, cn.name)
+		}
+	}
+	return out
+}
+
+// String renders the capability set compactly ("-" when empty).
+func (c Caps) String() string {
+	l := c.List()
+	if len(l) == 0 {
+		return "-"
+	}
+	return strings.Join(l, ",")
+}
+
+// ParamDef declares one named protocol parameter and its valid domain.
+// The registry validates supplied arguments against it; `stonesim
+// protocols` prints it.
+type ParamDef struct {
+	Name    string  `json:"name"`
+	Desc    string  `json:"desc"`
+	Default float64 `json:"default"`
+	Min     float64 `json:"min"`
+	Max     float64 `json:"max"`
+	// Integer requires whole-number values.
+	Integer bool `json:"integer,omitempty"`
+}
+
+// Args maps parameter name → value. Nil selects every default.
+// ResolveArgs always returns a fresh map, so Prepare hooks may mutate
+// their argument in place.
+type Args map[string]float64
+
+// Output is a protocol's decoded final output. The concrete types below
+// cover the repository's output vocabulary; a protocol may also define
+// its own.
+type Output interface {
+	// Summary renders a short human-readable description, e.g.
+	// "MIS of size 12: 0101…".
+	Summary() string
+}
+
+// Mask is a maximal-independent-set membership output — its Summary
+// labels it as an MIS, which every registered user of the type (mis and
+// the MIS baselines) is. A protocol whose mask means something else
+// should define its own Output type rather than inherit the label.
+type Mask []bool
+
+// Summary implements Output.
+func (m Mask) Summary() string {
+	size := 0
+	var b strings.Builder
+	for i, in := range m {
+		if in {
+			size++
+		}
+		if i < 64 {
+			if in {
+				b.WriteByte('1')
+			} else {
+				b.WriteByte('0')
+			}
+		} else if i == 64 {
+			b.WriteString("…")
+		}
+	}
+	return fmt.Sprintf("MIS of size %d: %s", size, b.String())
+}
+
+// Colors is a node-coloring output with colors in {1..k}.
+type Colors []int
+
+// Summary implements Output.
+func (c Colors) Summary() string {
+	k := 0
+	for _, col := range c {
+		if col > k {
+			k = col
+		}
+	}
+	head := []int(c)
+	if len(head) > 32 {
+		head = head[:32]
+	}
+	return fmt.Sprintf("%d-coloring: %v", k, head)
+}
+
+// Mate is a matching output: Mate[v] is v's partner, or -1.
+type Mate []int
+
+// Summary implements Output.
+func (m Mate) Summary() string {
+	matched := 0
+	for _, u := range m {
+		if u != -1 {
+			matched++
+		}
+	}
+	return fmt.Sprintf("maximal matching (%d edges)", matched/2)
+}
+
+// Run reports one protocol execution in the engine's own measure:
+// Rounds/Transmissions for the synchronous engines, TimeUnits/Steps
+// (plus adversarially Lost messages) for the asynchronous one. Bespoke
+// engines that do not count transmissions leave the field zero —
+// unmeasured, not free.
+type Run struct {
+	Output        Output
+	Rounds        int
+	Transmissions int64
+	TimeUnits     float64
+	Steps         int64
+	Lost          int64
+}
+
+// Descriptor is one registered protocol: its identity, capabilities,
+// parameter domains, and behavior. Exactly one of Machine (engine-hosted
+// nFSM protocols; the shared runners compile, cache, bind and decode) or
+// Solve (bespoke synchronous engines) must be set.
+type Descriptor struct {
+	// Name is the registry key ("mis", "color3", …).
+	Name string
+	// Summary is a one-line description for listings.
+	Summary string
+	// Caps declares requirements and model extensions.
+	Caps Caps
+	// Params declares the parameter domains (may be nil).
+	Params []ParamDef
+
+	// Machine constructs the protocol's round machine from resolved
+	// arguments. The registry compiles it to engine.MachineCode lazily,
+	// once per distinct argument vector, shared by all runs.
+	Machine func(args Args) (*nfsm.RoundProtocol, error)
+	// Decode extracts the protocol's output from a final state vector
+	// (required with Machine).
+	Decode func(args Args, states []nfsm.State) (Output, error)
+
+	// Solve runs a bespoke synchronous engine (required without
+	// Machine; such protocols are implicitly CapSyncOnly).
+	Solve func(args Args, g *graph.Graph, seed uint64, maxRounds int) (*Run, error)
+
+	// Prepare optionally resolves graph-dependent arguments at bind
+	// time (e.g. deriving a degree bound from the graph) and performs
+	// protocol-specific input validation. It may mutate and return args.
+	Prepare func(args Args, g *graph.Graph) (Args, error)
+
+	// Check validates an output against the graph it was computed on.
+	Check func(args Args, g *graph.Graph, out Output) error
+	// Mutate returns a corrupted copy of a valid output that Check must
+	// reject — the conformance suite's bit-flip oracle.
+	Mutate func(args Args, g *graph.Graph, out Output, src *xrand.Source) Output
+
+	// codes caches compiled machine code per resolved argument vector:
+	// the per-protocol lazy once-compiled cache that replaced the
+	// package-local caches mis, coloring and degcolor used to keep.
+	codes sync.Map // argsKey string → *codeEntry
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]*Descriptor{}
+)
+
+// Register adds d to the registry and returns it (so protocol packages
+// can keep a handle from a package-level variable initializer). It
+// panics on a duplicate name or a structurally invalid descriptor:
+// registration happens at init time, where a panic is a build-breaking
+// programming error, not a runtime condition.
+func Register(d *Descriptor) *Descriptor {
+	if err := d.validate(); err != nil {
+		panic(fmt.Sprintf("protocol.Register: %v", err))
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[d.Name]; dup {
+		panic(fmt.Sprintf("protocol.Register: duplicate protocol %q", d.Name))
+	}
+	registry[d.Name] = d
+	return d
+}
+
+func (d *Descriptor) validate() error {
+	if d == nil {
+		return fmt.Errorf("nil descriptor")
+	}
+	if d.Name == "" {
+		return fmt.Errorf("descriptor has no name")
+	}
+	if (d.Machine == nil) == (d.Solve == nil) {
+		return fmt.Errorf("protocol %q must set exactly one of Machine and Solve", d.Name)
+	}
+	if d.Machine != nil && d.Decode == nil {
+		return fmt.Errorf("protocol %q sets Machine without Decode", d.Name)
+	}
+	if d.Solve != nil && !d.Caps.Has(CapSyncOnly) {
+		return fmt.Errorf("protocol %q has a bespoke engine but is not sync-only", d.Name)
+	}
+	if d.Check == nil {
+		return fmt.Errorf("protocol %q has no output Check", d.Name)
+	}
+	if d.Mutate == nil {
+		return fmt.Errorf("protocol %q has no Mutate (conformance oracle)", d.Name)
+	}
+	seen := map[string]bool{}
+	for _, p := range d.Params {
+		if p.Name == "" || seen[p.Name] {
+			return fmt.Errorf("protocol %q has an unnamed or duplicate parameter", d.Name)
+		}
+		seen[p.Name] = true
+		if p.Min > p.Max {
+			return fmt.Errorf("protocol %q parameter %q has empty domain [%g,%g]", d.Name, p.Name, p.Min, p.Max)
+		}
+		if p.Default < p.Min || p.Default > p.Max {
+			return fmt.Errorf("protocol %q parameter %q default %g outside [%g,%g]",
+				d.Name, p.Name, p.Default, p.Min, p.Max)
+		}
+	}
+	return nil
+}
+
+// Lookup returns the descriptor registered under name.
+func Lookup(name string) (*Descriptor, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	d, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown protocol %q (registered: %s)",
+			name, strings.Join(namesLocked(), ", "))
+	}
+	return d, nil
+}
+
+// All returns every registered descriptor, sorted by name.
+func All() []*Descriptor {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]*Descriptor, 0, len(registry))
+	for _, d := range registry {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Names returns every registered protocol name, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return namesLocked()
+}
+
+func namesLocked() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

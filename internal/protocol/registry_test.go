@@ -1,0 +1,161 @@
+package protocol_test
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"stoneage/internal/graph"
+	"stoneage/internal/protocol"
+	"stoneage/internal/xrand"
+)
+
+func TestLookupUnknownListsRegistered(t *testing.T) {
+	_, err := protocol.Lookup("routing")
+	if err == nil || !strings.Contains(err.Error(), "unknown protocol") ||
+		!strings.Contains(err.Error(), "mis") {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestAllSortedAndConsistentWithNames(t *testing.T) {
+	all := protocol.All()
+	names := protocol.Names()
+	if len(all) != len(names) {
+		t.Fatalf("All() has %d entries, Names() %d", len(all), len(names))
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("Names() not sorted: %v", names)
+	}
+	for i, d := range all {
+		if d.Name != names[i] {
+			t.Fatalf("All()[%d] = %s, Names()[%d] = %s", i, d.Name, i, names[i])
+		}
+	}
+}
+
+func TestRegisterRejectsInvalidDescriptors(t *testing.T) {
+	expectPanic := func(name string, d *protocol.Descriptor) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: Register did not panic", name)
+			}
+		}()
+		protocol.Register(d)
+	}
+	valid := func() *protocol.Descriptor {
+		return &protocol.Descriptor{
+			Name: "reg-test",
+			Solve: func(protocol.Args, *graph.Graph, uint64, int) (*protocol.Run, error) {
+				return &protocol.Run{Output: protocol.Mask{true}}, nil
+			},
+			Caps:   protocol.CapSyncOnly,
+			Check:  func(protocol.Args, *graph.Graph, protocol.Output) error { return nil },
+			Mutate: protocol.FlipMask,
+		}
+	}
+
+	d := valid()
+	d.Name = ""
+	expectPanic("empty name", d)
+
+	d = valid()
+	d.Name = "mis" // already taken by the std set
+	expectPanic("duplicate name", d)
+
+	d = valid()
+	d.Solve = nil // neither Machine nor Solve
+	expectPanic("no engine", d)
+
+	d = valid()
+	d.Caps = 0 // bespoke engine must be sync-only
+	expectPanic("bespoke not sync-only", d)
+
+	d = valid()
+	d.Check = nil
+	expectPanic("no check", d)
+
+	d = valid()
+	d.Mutate = nil
+	expectPanic("no mutate", d)
+
+	d = valid()
+	d.Params = []protocol.ParamDef{{Name: "p", Default: 5, Min: 0, Max: 1}}
+	expectPanic("default outside domain", d)
+}
+
+func TestResolveArgsDomains(t *testing.T) {
+	d, err := protocol.Lookup("degcolor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	args, err := d.ResolveArgs(nil)
+	if err != nil || args["maxdeg"] != 0 {
+		t.Fatalf("defaults: args=%v err=%v", args, err)
+	}
+	if _, err := d.ResolveArgs(protocol.Args{"maxdeg": 99}); err == nil ||
+		!strings.Contains(err.Error(), "outside") {
+		t.Fatalf("out-of-domain accepted: %v", err)
+	}
+	if _, err := d.ResolveArgs(protocol.Args{"maxdeg": 2.5}); err == nil ||
+		!strings.Contains(err.Error(), "integer") {
+		t.Fatalf("fractional integer param accepted: %v", err)
+	}
+	if _, err := d.ResolveArgs(protocol.Args{"turbo": 1}); err == nil ||
+		!strings.Contains(err.Error(), "unknown parameter") {
+		t.Fatalf("unknown param accepted: %v", err)
+	}
+}
+
+func TestCapsString(t *testing.T) {
+	if got := protocol.Caps(0).String(); got != "-" {
+		t.Fatalf("empty caps = %q", got)
+	}
+	c := protocol.CapNeedsTree | protocol.CapSyncOnly
+	if got := c.String(); got != "tree-only,sync-only" {
+		t.Fatalf("caps = %q", got)
+	}
+	if !c.Has(protocol.CapNeedsTree) || c.Has(protocol.CapNeedsPath) {
+		t.Fatal("Has misbehaves")
+	}
+}
+
+// TestMachineCodeCacheIsShared pins the collapse of the per-package
+// compile caches: two binds of the same protocol at the same argument
+// vector share one compiled program's machine code (same underlying
+// tables — observable as identical behavior and no error), and the
+// degcolor cache is keyed per degree bound.
+func TestMachineCodeCacheIsShared(t *testing.T) {
+	d, err := protocol.Lookup("mis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.GnpConnected(16, 0.2, xrand.New(1))
+	r1, err := d.SolveSync(g, nil, protocol.SyncConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := d.SolveSync(g, nil, protocol.SyncConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Rounds != r2.Rounds || r1.Transmissions != r2.Transmissions {
+		t.Fatalf("repeat run diverged: %+v vs %+v", r1, r2)
+	}
+}
+
+// TestPathShapeEnforced pins the path-only capability check: a tree
+// that is not a path must be rejected at bind time.
+func TestPathShapeEnforced(t *testing.T) {
+	d, err := protocol.Lookup("colevishkin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Bind(graph.Star(5), nil); err == nil {
+		t.Fatal("star accepted by a path-only protocol")
+	}
+	if _, err := d.Bind(graph.Path(5), nil); err != nil {
+		t.Fatalf("path rejected: %v", err)
+	}
+}

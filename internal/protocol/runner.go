@@ -1,0 +1,295 @@
+package protocol
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"stoneage/internal/engine"
+	"stoneage/internal/graph"
+	"stoneage/internal/nfsm"
+	"stoneage/internal/synchro"
+	"stoneage/internal/xrand"
+)
+
+// This file is the shared generic runner every protocol's
+// SolveSync/SolveAsync entry point routes through: argument resolution
+// against the declared domains, capability checks against the bound
+// graph, the once-per-argument-vector MachineCode cache, and the
+// sync/async executors (the async path compiles through the Theorem
+// 3.1/3.4 synchronizer per run — synchro machines intern their state
+// sets lazily during execution, so sharing one across concurrent runs
+// would make state numbering schedule-dependent).
+
+// SyncConfig parameterizes a synchronous protocol run.
+type SyncConfig struct {
+	// Seed keys every random choice.
+	Seed uint64
+	// MaxRounds bounds the run (0 = engine default).
+	MaxRounds int
+	// Workers shards the engine's round loop (0 = GOMAXPROCS); results
+	// are bit-identical for every value. Bespoke engines ignore it.
+	Workers int
+	// Observer, when non-nil, sees every round's state vector.
+	// Engine-hosted protocols only.
+	Observer func(round int, states []nfsm.State)
+}
+
+// AsyncConfig parameterizes an asynchronous protocol run.
+type AsyncConfig struct {
+	// Seed keys the protocol's random choices.
+	Seed uint64
+	// Adversary schedules steps and message delays (nil = synchronous).
+	Adversary engine.Adversary
+	// MaxSteps bounds the run (0 = engine default).
+	MaxSteps int64
+}
+
+// ResolveArgs fills defaults for missing parameters and validates every
+// supplied value against its declared domain. It always returns a fresh
+// map (callers and Prepare hooks may mutate the result freely).
+func (d *Descriptor) ResolveArgs(args Args) (Args, error) {
+	out := make(Args, len(d.Params))
+	for _, p := range d.Params {
+		out[p.Name] = p.Default
+	}
+	for name, v := range args {
+		p := d.paramDef(name)
+		if p == nil {
+			return nil, fmt.Errorf("protocol %s: unknown parameter %q (known: %s)",
+				d.Name, name, strings.Join(d.paramNames(), ", "))
+		}
+		if v < p.Min || v > p.Max {
+			return nil, fmt.Errorf("protocol %s: parameter %s = %g outside [%g,%g]",
+				d.Name, name, v, p.Min, p.Max)
+		}
+		if p.Integer && v != float64(int64(v)) {
+			return nil, fmt.Errorf("protocol %s: parameter %s = %g must be an integer",
+				d.Name, name, v)
+		}
+		out[name] = v
+	}
+	return out, nil
+}
+
+func (d *Descriptor) paramDef(name string) *ParamDef {
+	for i := range d.Params {
+		if d.Params[i].Name == name {
+			return &d.Params[i]
+		}
+	}
+	return nil
+}
+
+func (d *Descriptor) paramNames() []string {
+	out := make([]string, len(d.Params))
+	for i, p := range d.Params {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// argsKey canonicalizes a resolved argument vector into the cache key.
+func argsKey(args Args) string {
+	if len(args) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(args))
+	for name := range args {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		fmt.Fprintf(&b, "%s=%g;", name, args[name])
+	}
+	return b.String()
+}
+
+// codeEntry is one lazily compiled machine-code cache slot.
+type codeEntry struct {
+	once sync.Once
+	code *engine.MachineCode
+	err  error
+}
+
+// machineCode returns the compiled code for the resolved argument
+// vector, compiling at most once per distinct vector across the whole
+// process (concurrent first callers block on the same sync.Once).
+func (d *Descriptor) machineCode(args Args) (*engine.MachineCode, error) {
+	v, _ := d.codes.LoadOrStore(argsKey(args), &codeEntry{})
+	e := v.(*codeEntry)
+	e.once.Do(func() {
+		m, err := d.Machine(args)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.code = engine.CompileMachine(m)
+	})
+	return e.code, e.err
+}
+
+// Bound is a protocol bound to one graph: arguments resolved (including
+// graph-derived ones), capabilities checked, and — for engine-hosted
+// protocols — the compiled machine code bound to the graph's CSR
+// layout. The sync program is built lazily on the first RunSync (an
+// async-only caller never pays the compile or the O(n+m) bind) and then
+// shared: a Bound is safe for concurrent runs, so a campaign cell binds
+// once and its trials share it.
+type Bound struct {
+	d    *Descriptor
+	g    *graph.Graph
+	args Args
+
+	progOnce sync.Once
+	prog     *engine.Program // nil for bespoke engines
+	progErr  error
+}
+
+// Bind resolves args against the parameter domains, enforces the
+// graph-shape capabilities (tree-only, path-only), and runs the Prepare
+// hook. The cached machine code is attached on first synchronous use.
+func (d *Descriptor) Bind(g *graph.Graph, args Args) (*Bound, error) {
+	resolved, err := d.ResolveArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case d.Caps.Has(CapNeedsPath):
+		if err := g.IsPathOrdered(); err != nil {
+			return nil, fmt.Errorf("protocol %s: %w", d.Name, err)
+		}
+	case d.Caps.Has(CapNeedsTree):
+		if !g.IsTree() {
+			return nil, fmt.Errorf("protocol %s: input graph is not a tree", d.Name)
+		}
+	}
+	if d.Prepare != nil {
+		if resolved, err = d.Prepare(resolved, g); err != nil {
+			return nil, err
+		}
+	}
+	return &Bound{d: d, g: g, args: resolved}, nil
+}
+
+// program lazily binds the descriptor's cached machine code to the
+// graph, once per Bound (concurrent first callers block on the Once).
+func (b *Bound) program() (*engine.Program, error) {
+	b.progOnce.Do(func() {
+		code, err := b.d.machineCode(b.args)
+		if err != nil {
+			b.progErr = err
+			return
+		}
+		b.prog = code.Bind(b.g)
+	})
+	return b.prog, b.progErr
+}
+
+// Descriptor returns the bound protocol's descriptor.
+func (b *Bound) Descriptor() *Descriptor { return b.d }
+
+// Graph returns the graph the protocol is bound to.
+func (b *Bound) Graph() *graph.Graph { return b.g }
+
+// Args returns the resolved argument vector (callers must not mutate).
+func (b *Bound) Args() Args { return b.args }
+
+// StateNames returns the bound machine's state names, or nil for
+// bespoke engines (used by the CLI's trace histogram).
+func (b *Bound) StateNames() []string {
+	if b.d.Machine == nil {
+		return nil
+	}
+	m, err := b.d.Machine(b.args)
+	if err != nil {
+		return nil
+	}
+	return m.StateNames
+}
+
+// RunSync executes one synchronous run. Engine-hosted protocols run on
+// the compiled engine through the lazily bound shared program; bespoke
+// protocols run their own Solve.
+func (b *Bound) RunSync(cfg SyncConfig) (*Run, error) {
+	if b.d.Machine == nil {
+		if cfg.Observer != nil {
+			return nil, fmt.Errorf("protocol %s: observer unsupported (bespoke engine)", b.d.Name)
+		}
+		return b.d.Solve(b.args, b.g, cfg.Seed, cfg.MaxRounds)
+	}
+	prog, err := b.program()
+	if err != nil {
+		return nil, err
+	}
+	res, err := prog.RunSync(engine.SyncConfig{
+		Seed: cfg.Seed, MaxRounds: cfg.MaxRounds,
+		Workers: cfg.Workers, Observer: cfg.Observer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out, err := b.d.Decode(b.args, res.States)
+	if err != nil {
+		return nil, err
+	}
+	return &Run{Output: out, Rounds: res.Rounds, Transmissions: res.Transmissions}, nil
+}
+
+// RunAsync compiles the protocol through the Theorem 3.1/3.4
+// synchronizer and executes it on the asynchronous engine under the
+// configured adversary. The compile happens per run, deliberately: it
+// keeps every run a pure function of its seed (see the file comment).
+func (b *Bound) RunAsync(cfg AsyncConfig) (*Run, error) {
+	if b.d.Caps.Has(CapSyncOnly) {
+		return nil, fmt.Errorf("protocol %s runs on the sync engine only", b.d.Name)
+	}
+	m, err := b.d.Machine(b.args)
+	if err != nil {
+		return nil, err
+	}
+	compiled, err := synchro.CompileRound(m)
+	if err != nil {
+		return nil, err
+	}
+	res, err := engine.RunAsync(compiled, b.g, engine.AsyncConfig{
+		Seed: cfg.Seed, Adversary: cfg.Adversary, MaxSteps: cfg.MaxSteps,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out, err := b.d.Decode(b.args, compiled.DecodeStates(res.States))
+	if err != nil {
+		return nil, err
+	}
+	return &Run{Output: out, TimeUnits: res.TimeUnits, Steps: res.Steps, Lost: res.Lost}, nil
+}
+
+// Check validates out against the bound graph.
+func (b *Bound) Check(out Output) error { return b.d.Check(b.args, b.g, out) }
+
+// Mutate returns a corrupted copy of out that Check must reject.
+func (b *Bound) Mutate(out Output, src *xrand.Source) Output {
+	return b.d.Mutate(b.args, b.g, out, src)
+}
+
+// SolveSync binds and runs in one step — the convenience route the
+// protocol packages' own SolveSync entry points use.
+func (d *Descriptor) SolveSync(g *graph.Graph, args Args, cfg SyncConfig) (*Run, error) {
+	b, err := d.Bind(g, args)
+	if err != nil {
+		return nil, err
+	}
+	return b.RunSync(cfg)
+}
+
+// SolveAsync binds and runs asynchronously in one step.
+func (d *Descriptor) SolveAsync(g *graph.Graph, args Args, cfg AsyncConfig) (*Run, error) {
+	b, err := d.Bind(g, args)
+	if err != nil {
+		return nil, err
+	}
+	return b.RunAsync(cfg)
+}

@@ -1,0 +1,18 @@
+// Package std links the full built-in protocol set into the registry.
+// Protocol implementations self-register from package-level variable
+// initializers, so importing them for side effects is all a client
+// needs; clients that already import a concrete protocol package (the
+// experiment tables, the examples) get its registration for free, while
+// registry-only clients — the stonesim CLI, the campaign tests, the
+// benchmark matrix — import this package once:
+//
+//	import _ "stoneage/internal/protocol/std"
+package std
+
+import (
+	_ "stoneage/internal/baseline" // luby, abi, bitstream, beeping, colevishkin, twocolor
+	_ "stoneage/internal/coloring" // color3
+	_ "stoneage/internal/degcolor" // degcolor
+	_ "stoneage/internal/matching" // matching
+	_ "stoneage/internal/mis"      // mis
+)

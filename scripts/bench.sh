@@ -4,20 +4,22 @@
 # Runs the E1 (MIS sync), E5 (tree coloring) and E9 (nFSM-simulates-LBA)
 # benchmarks plus the engine ref-vs-compiled ablation, the
 # async-engine set (E2 MIS under adversaries, E3 synchronizer overhead,
-# the per-step engine ablation) and the campaign sweep benchmark with
+# the per-step engine ablation), the campaign sweep benchmark, and the
+# registry-generated protocol matrix (one sub-benchmark per protocol in
+# internal/protocol's registry, graphs chosen by capability) with
 # -benchmem, and converts the output into a JSON file so future PRs can
 # diff the perf trajectory. CI-friendly: exits non-zero if the
 # benchmarks fail.
 #
 # Usage: scripts/bench.sh [out.json] [benchtime]
-#   out.json   defaults to BENCH_2.json
+#   out.json   defaults to BENCH_3.json
 #   benchtime  defaults to 20x (per-benchmark iteration count)
 set -eu
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_2.json}"
+OUT="${1:-BENCH_3.json}"
 BENCHTIME="${2:-20x}"
-PATTERN='BenchmarkMISSync|BenchmarkColoringSync|BenchmarkNFSMSimulatesLBA|BenchmarkEngineCompiledVsRef|BenchmarkMISAsync|BenchmarkSynchronizerOverhead|BenchmarkEngineStep|BenchmarkCampaignMISSweep'
+PATTERN='BenchmarkMISSync|BenchmarkColoringSync|BenchmarkNFSMSimulatesLBA|BenchmarkEngineCompiledVsRef|BenchmarkMISAsync|BenchmarkSynchronizerOverhead|BenchmarkEngineStep|BenchmarkCampaignMISSweep|BenchmarkProtocolMatrix'
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
