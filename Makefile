@@ -10,13 +10,16 @@ build:
 test:
 	go test ./...
 
-# check is the CI gate: formatting (the whole module must be
+# check is the CI gate (run on every push/PR by
+# .github/workflows/ci.yml): formatting (the whole module must be
 # gofmt-clean, including the protocol registry package), static
 # analysis, the full test suite under the race detector (the campaign
 # runner and the sharded engine are the concurrency hot spots), the
-# registry-driven protocol conformance suite, and a short end-to-end
-# campaign smoke run through the sweep CLI — including the spec that
-# names every registered sweepable protocol.
+# registry-driven protocol conformance suite, and short end-to-end
+# campaign runs through the sweep CLI — the smoke spec, the spec that
+# names every registered sweepable protocol, and the dynamic-network
+# recovery sweep (trials cut down for speed; every trial's output is
+# still validated against its final graph).
 check: build
 	@fmt_out="$$(gofmt -l .)"; if [ -n "$$fmt_out" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
@@ -25,15 +28,18 @@ check: build
 	go test ./internal/protocol -run TestConformance -count=1
 	go run ./cmd/stonesim sweep -spec examples/specs/smoke.json -q -json /tmp/stonesim-smoke.json
 	go run ./cmd/stonesim sweep -spec examples/specs/all-protocols.json -q
+	go run ./cmd/stonesim sweep -spec examples/specs/churn-mis.json -q -trials 4
 	@echo "check: OK"
 
-# bench regenerates BENCH_3.json from the tracked benchmark set
+# bench regenerates BENCH_4.json from the tracked benchmark set
 # (E1 MIS sync, E2 MIS async, E3 synchronizer overhead, E5 tree
 # coloring, E9 nFSM-simulates-LBA, the engine ref-vs-compiled and
 # per-step ablations, the campaign sweep, and the registry-generated
-# protocol matrix), with -benchmem. Override the output file or
-# iteration count with BENCH_OUT / BENCH_TIME.
-BENCH_OUT ?= BENCH_3.json
+# protocol matrix), with -benchmem, then diffs ns/op against the
+# previous BENCH_N.json and warns on >15% regressions. Override the
+# output file or iteration count with BENCH_OUT / BENCH_TIME, the
+# comparison baseline with BENCH_PREV (BENCH_PREV=none skips it).
+BENCH_OUT ?= BENCH_4.json
 BENCH_TIME ?= 20x
 
 bench:

@@ -10,6 +10,8 @@
 //
 //	stonesim -protocol mis   -graph gnp -n 128 -p 0.05 -engine async -adversary uniform
 //	stonesim -protocol color3 -graph tree -n 200 -engine sync
+//	stonesim -protocol ssmis -graph gnp -n 256 -scenario '{"kind":"churn","rate":3}'
+//	stonesim -protocol mis -graph torus -n 64 -scenario '{"kind":"crash","frac":0.3}' -trace hist.csv
 //	stonesim -protocol matching -graph cycle -n 64
 //	stonesim -protocol luby -graph torus -n 64
 //	stonesim -protocol degcolor -param maxdeg=6 -graph torus -n 64
@@ -26,12 +28,22 @@
 // sync|uniform|skew|overwriter|drift); sync-only protocols (bespoke
 // engines) reject -engine async.
 //
+// The -scenario flag makes a single run dynamic: a scenario.Def as
+// JSON (one-shot region crash, Poisson edge churn, staggered wake-up)
+// is generated against the run's graph and seed, the engines apply the
+// mutation batches mid-run, recovery is reported, outputs validate
+// against the final graph, and -trace histograms carry perturbation
+// markers.
+//
 // The sweep subcommand runs a declarative multi-trial campaign
 // (internal/campaign) in parallel and emits aggregate tables, JSON and
-// CSV; see examples/specs for spec files.
+// CSV; see examples/specs for spec files (the `scenarios` field sweeps
+// dynamic-network scenarios as a campaign axis, e.g.
+// examples/specs/churn-mis.json).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -45,6 +57,7 @@ import (
 	"stoneage/internal/graph"
 	"stoneage/internal/lba"
 	"stoneage/internal/protocol"
+	"stoneage/internal/scenario"
 	"stoneage/internal/trace"
 	"stoneage/internal/xrand"
 
@@ -72,6 +85,7 @@ type options struct {
 	word      string
 	traceCSV  string
 	workers   int
+	scenario  string
 }
 
 // parseParams turns the -param flag ("name=value[,name=value]") into
@@ -119,6 +133,8 @@ func run(args []string, w io.Writer) error {
 	fs.StringVar(&opt.word, "word", "abc", "input word for the lba protocols")
 	fs.StringVar(&opt.traceCSV, "trace", "", "write a per-round state histogram CSV to this file (sync engine, engine-hosted protocols only)")
 	fs.IntVar(&opt.workers, "workers", 0, "sync round-loop workers (0 = GOMAXPROCS); results are identical for every value")
+	fs.StringVar(&opt.scenario, "scenario", "",
+		`dynamic-network scenario as JSON, e.g. '{"kind":"churn","rate":2}' (kinds: none, crash, churn, wake; engine-hosted protocols only)`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -152,10 +168,14 @@ func runProtocol(opt options, d *protocol.Descriptor, g *graph.Graph, w io.Write
 	if err != nil {
 		return err
 	}
+	sc, err := parseScenario(opt, g)
+	if err != nil {
+		return err
+	}
 	var run *protocol.Run
 	switch opt.eng {
 	case "sync":
-		cfg := protocol.SyncConfig{Seed: opt.seed, Workers: opt.workers}
+		cfg := protocol.SyncConfig{Seed: opt.seed, Workers: opt.workers, Scenario: sc}
 		var hist *trace.Histogram
 		if opt.traceCSV != "" {
 			names := bound.StateNames()
@@ -169,6 +189,9 @@ func runProtocol(opt options, d *protocol.Descriptor, g *graph.Graph, w io.Write
 			return err
 		}
 		if hist != nil {
+			for _, at := range run.PerturbedAt {
+				hist.Marks = append(hist.Marks, int(at))
+			}
 			if err := writeTraceCSV(opt.traceCSV, hist); err != nil {
 				return err
 			}
@@ -179,7 +202,7 @@ func runProtocol(opt options, d *protocol.Descriptor, g *graph.Graph, w io.Write
 		if err != nil {
 			return err
 		}
-		if run, err = bound.RunAsync(protocol.AsyncConfig{Seed: opt.seed, Adversary: adv}); err != nil {
+		if run, err = bound.RunAsync(protocol.AsyncConfig{Seed: opt.seed, Adversary: adv, Scenario: sc}); err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "%s: %.1f time units, %d steps, %d lost messages (adversary %s)\n",
@@ -187,11 +210,46 @@ func runProtocol(opt options, d *protocol.Descriptor, g *graph.Graph, w io.Write
 	default:
 		return fmt.Errorf("unknown engine %q", opt.eng)
 	}
-	if err := bound.Check(run.Output); err != nil {
+	if run.Perturbations() > 0 {
+		unit := "rounds"
+		if opt.eng == "async" {
+			unit = "time units"
+		}
+		fmt.Fprintf(w, "dynamic: %d perturbations, recovered in %s %s (final graph: n=%d m=%d)\n",
+			run.Perturbations(), formatRecovery(run.Recovery), unit,
+			run.FinalGraph.N(), run.FinalGraph.M())
+	}
+	if err := bound.CheckRun(run); err != nil {
 		return fmt.Errorf("output validation: %w", err)
 	}
 	fmt.Fprintf(w, "valid %s\n", run.Output.Summary())
 	return nil
+}
+
+// parseScenario decodes the -scenario flag (a scenario.Def as JSON) and
+// generates the concrete schedule against the run's graph and seed.
+func parseScenario(opt options, g *graph.Graph) (*scenario.Scenario, error) {
+	if opt.scenario == "" {
+		return nil, nil
+	}
+	var def scenario.Def
+	dec := json.NewDecoder(strings.NewReader(opt.scenario))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&def); err != nil {
+		return nil, fmt.Errorf("-scenario: %v", err)
+	}
+	sc, err := def.Generate(g, opt.seed^0x73636e) // distinct from the protocol's coins
+	if err != nil {
+		return nil, fmt.Errorf("-scenario: %w", err)
+	}
+	return sc, nil
+}
+
+func formatRecovery(v float64) string {
+	if v == math.Trunc(v) {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
 }
 
 func writeTraceCSV(path string, hist *trace.Histogram) error {

@@ -24,6 +24,18 @@ func runCLI(t *testing.T, args ...string) string {
 	return sb.String()
 }
 
+// runCLIErr runs a CLI invocation that must fail and returns the error
+// text.
+func runCLIErr(t *testing.T, args ...string) string {
+	t.Helper()
+	var sb strings.Builder
+	err := run(args, &sb)
+	if err == nil {
+		t.Fatalf("stonesim %v succeeded, want error (output %q)", args, sb.String())
+	}
+	return err.Error()
+}
+
 func TestMISSync(t *testing.T) {
 	out := runCLI(t, "-protocol", "mis", "-graph", "gnp", "-n", "32", "-engine", "sync")
 	if !strings.Contains(out, "valid MIS") {
@@ -283,11 +295,70 @@ func TestSweepSubcommand(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.HasPrefix(string(csvData), "protocol,family,size,") {
+	if !strings.HasPrefix(string(csvData), "protocol,scenario,family,size,") {
 		t.Fatalf("sweep CSV header = %.80q", csvData)
 	}
 	if got := strings.Count(strings.TrimSpace(string(csvData)), "\n"); got != 4 {
 		t.Fatalf("sweep CSV has %d data rows, want 4", got)
+	}
+}
+
+// TestScenarioFlag runs a dynamic single run end to end: the -scenario
+// JSON generates a churn schedule, the run reports perturbations and
+// recovery, the output validates against the final graph, and the
+// -trace histogram carries the perturbed marker column.
+func TestScenarioFlag(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "hist.csv")
+	out := runCLI(t, "-protocol", "ssmis", "-graph", "gnp", "-n", "48", "-seed", "5",
+		"-scenario", `{"kind":"churn","rate":2,"count":2,"every":16}`,
+		"-trace", tracePath)
+	for _, want := range []string{"dynamic: 2 perturbations", "recovered in", "valid MIS"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("scenario run output missing %q:\n%s", want, out)
+		}
+	}
+	hist, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(hist)), "\n")
+	if !strings.HasSuffix(lines[0], ",perturbed") {
+		t.Fatalf("trace header = %q", lines[0])
+	}
+	marks := 0
+	for _, l := range lines[1:] {
+		if strings.HasSuffix(l, ",1") {
+			marks++
+		}
+	}
+	if marks != 2 {
+		t.Fatalf("trace carries %d perturbation markers, want 2", marks)
+	}
+
+	if out := runCLIErr(t, "-protocol", "matching", "-graph", "gnp", "-n", "16",
+		"-scenario", `{"kind":"crash"}`); !strings.Contains(out, "bespoke engine") {
+		t.Fatalf("bespoke scenario error = %q", out)
+	}
+	if out := runCLIErr(t, "-protocol", "mis", "-graph", "gnp", "-n", "16",
+		"-scenario", `{"kind":"quake"}`); !strings.Contains(out, "unknown kind") {
+		t.Fatalf("bad scenario error = %q", out)
+	}
+}
+
+// TestChurnMISSpec pins the shipped dynamic-network spec: the sweep
+// must run clean (every trial's output checked against its final
+// graph) and report recovery tables for both mis and ssmis. Trials are
+// cut down to keep the test fast; the aggregates still exercise the
+// full protocol × scenario × family × size grid.
+func TestChurnMISSpec(t *testing.T) {
+	out := runCLI(t, "sweep", "-spec", "../../examples/specs/churn-mis.json", "-trials", "2")
+	for _, want := range []string{
+		"mis: mean recovery rounds", "ssmis: mean recovery rounds",
+		"@churn", "@crash", "@wake", "@none",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("churn-mis sweep missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -10,27 +10,37 @@
 //
 // The implementation lives under internal/; see DESIGN.md for the system
 // inventory, the compiled execution core's architecture, the campaign
-// layer and the protocol registry, BENCH_3.json for the tracked
-// benchmark measurements (regenerate with `make bench`), and examples/
-// for runnable entry points. The benchmarks in bench_test.go regenerate
-// one measurement per experiment.
+// layer, the protocol registry and the dynamic-network layer,
+// BENCH_4.json for the tracked benchmark measurements (regenerate with
+// `make bench`, which also warns on >15% ns/op regressions against the
+// previous snapshot), and examples/ for runnable entry points. The
+// benchmarks in bench_test.go regenerate one measurement per experiment.
 //
 // Every protocol — the paper's nFSM machines (internal/mis,
 // internal/coloring, internal/degcolor), the extended-model matching
-// (internal/matching), and the classical baselines (internal/baseline)
-// — self-registers a capability-typed descriptor in the unified
-// registry internal/protocol (machine constructor, output decoder,
-// validator, parameter domains, shared compile cache). Clients resolve
-// behavior through the registry, never through concrete packages:
-// `stonesim protocols` lists the set, `stonesim -protocol <name>` runs
-// any entry, campaign specs sweep any subset, and adding a protocol is
-// a single protocol.Register call.
+// (internal/matching), the self-stabilizing MIS (internal/ssmis), and
+// the classical baselines (internal/baseline) — self-registers a
+// capability-typed descriptor in the unified registry internal/protocol
+// (machine constructor, output decoder, validator, parameter domains,
+// shared compile cache). Clients resolve behavior through the registry,
+// never through concrete packages: `stonesim protocols` lists the set,
+// `stonesim -protocol <name>` runs any entry, campaign specs sweep any
+// subset, and adding a protocol is a single protocol.Register call.
+//
+// Networks need not be static: internal/scenario schedules timed
+// mutation batches (edge churn, region crashes and restarts, staggered
+// wake-up) that every engine entry point applies mid-run, carrying
+// surviving node and port state across topology re-binds, resetting
+// perturbed nodes per capability-resolved policies, validating outputs
+// against the final graph, and reporting a recovery-time metric. A
+// dynamic reference engine pins the fast one differentially, exactly as
+// in the static case.
 //
 // Statistical claims are measured as campaigns: internal/campaign runs
-// the declarative cross product protocol × graph family × size with many
-// trials per cell on a parallel worker pool, with per-trial
-// deterministic seeds (aggregates are identical at every worker count).
-// Run one with
+// the declarative cross product protocol × scenario × graph family ×
+// size with many trials per cell on a parallel worker pool, with
+// per-trial deterministic seeds (aggregates are identical at every
+// worker count). Run one with
 //
 //	go run ./cmd/stonesim sweep -spec examples/specs/mis-families.json
 //
@@ -38,8 +48,11 @@
 // topology families (G(n,p), random geometric, preferential-attachment
 // power law, small-world rewiring, torus) at three sizes with 32 trials
 // per cell, and emits JSON/CSV via -json/-csv
-// (examples/specs/all-protocols.json sweeps every registered protocol).
-// `make check` runs the CI gate: gofmt, go vet, the race-detector test
-// suite, the registry conformance suite, and the smoke and
-// all-protocols campaigns.
+// (examples/specs/all-protocols.json sweeps every registered protocol;
+// examples/specs/churn-mis.json measures recovery under churn, crashes
+// and staggered wake-up — see examples/specs/README.md for the spec
+// format). `make check` runs the CI gate (also run on every push and
+// pull request by .github/workflows/ci.yml): gofmt, go vet, the
+// race-detector test suite, the registry conformance suite, and the
+// smoke and all-protocols campaigns.
 package stoneage

@@ -10,12 +10,16 @@ import (
 	"stoneage/internal/engine"
 	"stoneage/internal/harness"
 	"stoneage/internal/protocol"
+	"stoneage/internal/scenario"
 )
 
 // CellResult aggregates the Trials runs of one
-// (protocol, family, size) cell.
+// (protocol, scenario, family, size) cell.
 type CellResult struct {
 	Protocol string `json:"protocol"`
+	// Scenario names the cell's dynamic-network scenario; empty for the
+	// static axis.
+	Scenario string `json:"scenario,omitempty"`
 	Family   string `json:"family"`
 	Size     int    `json:"size"`
 	// N, M, MaxDeg describe the (first) graph instance of the cell.
@@ -32,14 +36,22 @@ type CellResult struct {
 	// baselines) do not count transmissions, so their cells report
 	// zeros here — unmeasured, not free.
 	Transmissions harness.Stats `json:"transmissions"`
+	// Recovery aggregates the per-trial recovery-time metric of dynamic
+	// cells: rounds (sync) or time units (async) from the last
+	// perturbation to the final valid output configuration. All zero
+	// for static cells.
+	Recovery harness.Stats `json:"recovery"`
+	// Perturbations aggregates the number of mutation batches each
+	// trial's scenario applied. All zero for static cells.
+	Perturbations harness.Stats `json:"perturbations"`
 	// WallMS aggregates per-trial wall-clock milliseconds. Unlike the
 	// other aggregates it depends on the machine and the worker count.
 	WallMS harness.Stats `json:"wallMS"`
 }
 
 // Result is a completed campaign. Cells appear in the deterministic
-// spec order (protocol-major, then family, then size), independent of
-// the worker schedule.
+// spec order (protocol-major, then scenario, then family, then size),
+// independent of the worker schedule.
 type Result struct {
 	Spec       Spec         `json:"spec"`
 	RoundsUnit string       `json:"roundsUnit"` // "rounds" | "time-units"
@@ -54,12 +66,14 @@ var errCanceled = fmt.Errorf("campaign: canceled after earlier failure")
 // sample is one trial's measurements, plus the descriptive shape of the
 // graph it ran on (so aggregation never has to regenerate a graph).
 type sample struct {
-	rounds float64
-	tx     float64
-	wallMS float64
-	n, m   int
-	maxDeg int
-	err    error
+	rounds   float64
+	tx       float64
+	recovery float64
+	perturb  float64
+	wallMS   float64
+	n, m     int
+	maxDeg   int
+	err      error
 }
 
 // cell is the runtime state of one spec cell: its coordinates, the
@@ -68,6 +82,7 @@ type sample struct {
 // descriptor's cached machine code bound to its CSR layout).
 type cell struct {
 	desc   *protocol.Descriptor
+	scn    scenario.Def
 	family Family
 	size   int
 
@@ -76,8 +91,9 @@ type cell struct {
 	err   error
 }
 
-// Run executes the campaign: every (protocol, family, size, trial)
-// tuple is an independent job fanned out over Spec.Workers goroutines.
+// Run executes the campaign: every (protocol, scenario, family, size,
+// trial) tuple is an independent job fanned out over Spec.Workers
+// goroutines.
 // Protocol behavior is resolved entirely through the registry: machine
 // code is compiled once per protocol in the descriptor's cache, bound
 // once per cell to the shared graph (all trials run the same immutable
@@ -88,15 +104,18 @@ func Run(sp Spec) (*Result, error) {
 		return nil, err
 	}
 
-	cells := make([]*cell, 0, len(sp.Protocols)*len(sp.Families)*len(sp.Sizes))
+	scns := sp.scenarioAxis()
+	cells := make([]*cell, 0, len(sp.Protocols)*len(scns)*len(sp.Families)*len(sp.Sizes))
 	for _, p := range sp.Protocols {
 		d, err := protocol.Lookup(p) // Validate already vouched for it
 		if err != nil {
 			return nil, err
 		}
-		for _, f := range sp.Families {
-			for _, n := range sp.Sizes {
-				cells = append(cells, &cell{desc: d, family: f, size: n})
+		for _, s := range scns {
+			for _, f := range sp.Families {
+				for _, n := range sp.Sizes {
+					cells = append(cells, &cell{desc: d, scn: s, family: f, size: n})
+				}
 			}
 		}
 	}
@@ -151,8 +170,11 @@ func Run(sp Spec) (*Result, error) {
 	for i, c := range cells {
 		for trial, s := range samples[i] {
 			if s.err != nil && s.err != errCanceled {
-				return nil, fmt.Errorf("campaign: %s/%s/n=%d trial %d: %w",
-					c.desc.Name, c.family.Name(), c.size, trial, s.err)
+				where := fmt.Sprintf("%s/%s/n=%d", c.desc.Name, c.family.Name(), c.size)
+				if !c.scn.None() {
+					where = fmt.Sprintf("%s/%s@%s/n=%d", c.desc.Name, c.family.Name(), c.scn.Name(), c.size)
+				}
+				return nil, fmt.Errorf("campaign: %s trial %d: %w", where, trial, s.err)
 			}
 		}
 	}
@@ -167,16 +189,20 @@ func Run(sp Spec) (*Result, error) {
 	for i, c := range cells {
 		rounds := make([]float64, 0, sp.Trials)
 		tx := make([]float64, 0, sp.Trials)
+		recovery := make([]float64, 0, sp.Trials)
+		perturb := make([]float64, 0, sp.Trials)
 		wall := make([]float64, 0, sp.Trials)
 		for _, s := range samples[i] {
 			rounds = append(rounds, s.rounds)
 			tx = append(tx, s.tx)
+			recovery = append(recovery, s.recovery)
+			perturb = append(perturb, s.perturb)
 			wall = append(wall, s.wallMS)
 		}
 		// The cell's descriptive shape is graph instance 0's — under
 		// shared graphs the instance every trial ran on.
 		first := samples[i][0]
-		res.Cells = append(res.Cells, CellResult{
+		cr := CellResult{
 			Protocol:      c.desc.Name,
 			Family:        c.family.Name(),
 			Size:          c.size,
@@ -187,7 +213,13 @@ func Run(sp Spec) (*Result, error) {
 			Rounds:        harness.Summarize(rounds),
 			Transmissions: harness.Summarize(tx),
 			WallMS:        harness.Summarize(wall),
-		})
+		}
+		if !c.scn.None() {
+			cr.Scenario = c.scn.Name()
+			cr.Recovery = harness.Summarize(recovery)
+			cr.Perturbations = harness.Summarize(perturb)
+		}
+		res.Cells = append(res.Cells, cr)
 	}
 	return res, nil
 }
@@ -226,6 +258,17 @@ func runTrial(sp *Spec, c *cell, trial int) sample {
 		return sample{err: err}
 	}
 
+	// A dynamic cell generates its own scenario instance per trial from
+	// the content-derived scenario seed, against the trial's graph (the
+	// churn generator needs the edge set to produce valid flips).
+	var sc *scenario.Scenario
+	if !c.scn.None() {
+		sc, err = c.scn.Generate(bound.Graph(), sp.ScenarioSeed(c.scn, c.family, c.size, trial))
+		if err != nil {
+			return sample{err: err}
+		}
+	}
+
 	seed := sp.TrialSeed(c.desc.Name, c.family, c.size, trial)
 	start := time.Now()
 	var (
@@ -240,15 +283,18 @@ func runTrial(sp *Spec, c *cell, trial int) sample {
 		// would depend on how the worker schedule interleaves trials.
 		adv := engine.NamedAdversaries(seed ^ saltAdversary)[sp.adversary()]
 		run, err = bound.RunAsync(protocol.AsyncConfig{
-			Seed: seed, Adversary: adv, MaxSteps: sp.MaxSteps,
+			Seed: seed, Adversary: adv, MaxSteps: sp.MaxSteps, Scenario: sc,
 		})
 	} else {
 		run, err = bound.RunSync(protocol.SyncConfig{
-			Seed: seed, MaxRounds: sp.MaxRounds, Workers: 1,
+			Seed: seed, MaxRounds: sp.MaxRounds, Workers: 1, Scenario: sc,
 		})
 	}
 	if err == nil {
-		err = bound.Check(run.Output)
+		// Dynamic runs are validated against the graph the run ended
+		// on (the post-mutation topology), static runs against the
+		// bound graph.
+		err = bound.CheckRun(run)
 	}
 	if err != nil {
 		return sample{err: err}
@@ -260,6 +306,7 @@ func runTrial(sp *Spec, c *cell, trial int) sample {
 	} else {
 		s.rounds, s.tx = float64(run.Rounds), float64(run.Transmissions)
 	}
+	s.recovery, s.perturb = run.Recovery, float64(run.Perturbations())
 	g := bound.Graph()
 	s.n, s.m, s.maxDeg = g.N(), g.M(), g.MaxDegree()
 	return s

@@ -10,6 +10,7 @@ import (
 	"stoneage/internal/graph"
 	"stoneage/internal/nfsm"
 	"stoneage/internal/protocol"
+	"stoneage/internal/scenario"
 
 	// The campaign speaks only registry names; link the built-in set.
 	_ "stoneage/internal/protocol/std"
@@ -391,6 +392,134 @@ func TestExplicitZeroParam(t *testing.T) {
 	sp := Spec{Seed: 1}
 	if sp.TrialSeed("mis", zero, 64, 0) == sp.TrialSeed("mis", dflt, 64, 0) {
 		t.Fatal("β=0 trial seed collides with the default-param cell")
+	}
+}
+
+// scenarioSpec is the dynamic-axis fixture: mis (restart-based
+// recovery) and ssmis (self-stabilizing, no reset) against the static
+// baseline, a crash wave and Poisson churn.
+func scenarioSpec(workers int) Spec {
+	return Spec{
+		Name:      "test-dynamic",
+		Protocols: []string{"mis", "ssmis"},
+		Families:  []Family{{Kind: "gnp"}},
+		Sizes:     []int{24, 48},
+		Scenarios: []scenario.Def{
+			{Kind: "none"},
+			{Kind: "crash", Frac: 0.3, At: scenario.Round(4), Every: 8},
+			{Kind: "churn", Rate: 2, Count: 3, At: scenario.Round(4), Every: 24},
+		},
+		Trials:    6,
+		Seed:      17,
+		MaxRounds: 1 << 14,
+		Workers:   workers,
+	}
+}
+
+// TestScenarioAxis runs the dynamic cross product end to end: cells
+// carry their scenario name, dynamic cells report recovery and
+// perturbation aggregates (validated per trial against the final
+// graph), and the static axis stays bit-identical to a spec without a
+// scenarios field at all.
+func TestScenarioAxis(t *testing.T) {
+	res, err := Run(scenarioSpec(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 protocols × 3 scenarios × 1 family × 2 sizes.
+	if len(res.Cells) != 12 {
+		t.Fatalf("got %d cells, want 12", len(res.Cells))
+	}
+	static := scenarioSpec(0)
+	static.Scenarios = nil
+	base, err := Run(static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi := 0
+	for _, c := range res.Cells {
+		if c.Scenario == "" {
+			// Static cells: bit-identical to the scenario-free sweep.
+			b := base.Cells[bi]
+			bi++
+			if c.Rounds != b.Rounds || c.Transmissions != b.Transmissions {
+				t.Fatalf("static cell %s/%s/n=%d diverges from the scenario-free sweep", c.Protocol, c.Family, c.Size)
+			}
+			if c.Recovery.N != 0 || c.Perturbations.N != 0 {
+				t.Fatalf("static cell %s/n=%d reports recovery stats", c.Protocol, c.Size)
+			}
+			continue
+		}
+		if c.Recovery.N != 6 || c.Recovery.Mean <= 0 {
+			t.Fatalf("dynamic cell %s@%s/n=%d recovery = %+v", c.Protocol, c.Scenario, c.Size, c.Recovery)
+		}
+		if c.Perturbations.Mean <= 0 {
+			t.Fatalf("dynamic cell %s@%s/n=%d has no perturbations", c.Protocol, c.Scenario, c.Size)
+		}
+	}
+	if bi != len(base.Cells) {
+		t.Fatalf("matched %d static cells, want %d", bi, len(base.Cells))
+	}
+}
+
+// TestScenarioWorkerInvariance extends the campaign's acceptance
+// property to the dynamic axis: content-derived scenario seeds keep the
+// aggregates bit-identical at every worker count.
+func TestScenarioWorkerInvariance(t *testing.T) {
+	base, err := Run(scenarioSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.StripWall()
+	for _, workers := range []int{3, 8} {
+		got, err := Run(scenarioSpec(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got.StripWall()
+		if !reflect.DeepEqual(got.Cells, base.Cells) {
+			t.Fatalf("workers=%d: dynamic aggregates diverged from workers=1", workers)
+		}
+	}
+}
+
+// TestScenarioSpecValidation covers the dynamic-axis rejection cases.
+func TestScenarioSpecValidation(t *testing.T) {
+	base := func(p string, defs ...scenario.Def) Spec {
+		return Spec{
+			Protocols: []string{p}, Families: []Family{{Kind: "gnp"}},
+			Sizes: []int{8}, Trials: 1, Scenarios: defs,
+		}
+	}
+	cases := []struct {
+		name string
+		sp   Spec
+		want string
+	}{
+		{"bespoke engine", base("matching", scenario.Def{Kind: "crash"}), "bespoke engine"},
+		{"unknown kind", base("mis", scenario.Def{Kind: "meteor"}), "unknown kind"},
+		{"bad frac", base("mis", scenario.Def{Kind: "crash", Frac: 2}), "frac"},
+		{"bad reset", base("mis", scenario.Def{Kind: "churn", Reset: "later"}), "reset policy"},
+		{"duplicate scenario", base("mis", scenario.Def{Kind: "crash"}, scenario.Def{Kind: "crash", Label: "again"}), "duplicate scenario"},
+	}
+	tree := base("color3", scenario.Def{Kind: "churn"})
+	tree.Families = []Family{{Kind: "tree"}}
+	cases = append(cases, struct {
+		name string
+		sp   Spec
+		want string
+	}{"tree protocol under churn", tree, "churns the topology"})
+	for _, tc := range cases {
+		err := tc.sp.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+	// Liveness-only scenarios are fine for shape-constrained protocols.
+	ok := base("color3", scenario.Def{Kind: "crash"})
+	ok.Families = []Family{{Kind: "tree"}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("crash scenario on a tree protocol rejected: %v", err)
 	}
 }
 

@@ -19,11 +19,15 @@ func (r *Result) WriteJSON(w io.Writer) error {
 	return enc.Encode(r)
 }
 
-// csvHeader is the flat per-cell schema of WriteCSV.
+// csvHeader is the flat per-cell schema of WriteCSV. The scenario and
+// recovery columns are part of the uniform schema: static cells carry
+// an empty scenario name and zero recovery aggregates.
 var csvHeader = []string{
-	"protocol", "family", "size", "n", "m", "maxDeg", "trials",
+	"protocol", "scenario", "family", "size", "n", "m", "maxDeg", "trials",
 	"rounds_mean", "rounds_std", "rounds_min", "rounds_median", "rounds_p90", "rounds_max",
 	"tx_mean", "tx_std", "tx_min", "tx_median", "tx_p90", "tx_max",
+	"recovery_mean", "recovery_std", "recovery_min", "recovery_median", "recovery_p90", "recovery_max",
+	"perturbations_mean",
 	"wall_ms_mean", "wall_ms_std", "wall_ms_p90",
 }
 
@@ -36,11 +40,13 @@ func (r *Result) WriteCSV(w io.Writer) error {
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 	for _, c := range r.Cells {
 		row := []string{
-			c.Protocol, c.Family,
+			c.Protocol, c.Scenario, c.Family,
 			strconv.Itoa(c.Size), strconv.Itoa(c.N), strconv.Itoa(c.M),
 			strconv.Itoa(c.MaxDeg), strconv.Itoa(c.Trials),
 			f(c.Rounds.Mean), f(c.Rounds.Std), f(c.Rounds.Min), f(c.Rounds.Median), f(c.Rounds.P90), f(c.Rounds.Max),
 			f(c.Transmissions.Mean), f(c.Transmissions.Std), f(c.Transmissions.Min), f(c.Transmissions.Median), f(c.Transmissions.P90), f(c.Transmissions.Max),
+			f(c.Recovery.Mean), f(c.Recovery.Std), f(c.Recovery.Min), f(c.Recovery.Median), f(c.Recovery.P90), f(c.Recovery.Max),
+			f(c.Perturbations.Mean),
 			f(c.WallMS.Mean), f(c.WallMS.Std), f(c.WallMS.P90),
 		}
 		if err := cw.Write(row); err != nil {
@@ -62,16 +68,37 @@ func (r *Result) StripWall() {
 }
 
 // Tables renders the campaign as one fixed-width table per protocol:
-// families as rows, the size ladder as columns, each cell showing
-// mean ± std of the round measure over the trials.
+// (scenario, family) pairs as rows, the size ladder as columns, each
+// cell showing mean ± std of the round measure over the trials. Sweeps
+// with a dynamic axis get one extra recovery table per protocol — the
+// same grid over the recovery-time metric, dynamic rows only.
 func (r *Result) Tables() []*harness.Table {
+	dynamic := false
+	for _, c := range r.Cells {
+		if c.Scenario != "" {
+			dynamic = true
+			break
+		}
+	}
+	rowLabel := func(c CellResult) string {
+		if c.Scenario == "" && !dynamic {
+			return c.Family
+		}
+		scn := c.Scenario
+		if scn == "" {
+			scn = "none"
+		}
+		return fmt.Sprintf("%s @%s", c.Family, scn)
+	}
+	header := []string{"family"}
+	for _, n := range r.Spec.Sizes {
+		header = append(header, fmt.Sprintf("n=%d", n))
+	}
+
 	var tables []*harness.Table
 	byProto := map[string]*harness.Table{}
+	recovery := map[string]*harness.Table{}
 	for _, p := range r.Spec.Protocols {
-		header := []string{"family"}
-		for _, n := range r.Spec.Sizes {
-			header = append(header, fmt.Sprintf("n=%d", n))
-		}
 		title := fmt.Sprintf("%s: mean %s over %d trials (%s engine)",
 			p, r.RoundsUnit, r.Spec.Trials, r.Spec.engine())
 		if r.Spec.Name != "" {
@@ -80,20 +107,42 @@ func (r *Result) Tables() []*harness.Table {
 		t := &harness.Table{Title: title, Header: header}
 		byProto[p] = t
 		tables = append(tables, t)
+		if dynamic {
+			unit := "recovery rounds"
+			if r.RoundsUnit == "time-units" {
+				unit = "recovery time-units"
+			}
+			rt := &harness.Table{
+				Title:  fmt.Sprintf("%s: mean %s (last perturbation → valid output)", p, unit),
+				Header: header,
+			}
+			recovery[p] = rt
+			tables = append(tables, rt)
+		}
 	}
-	// Cells arrive protocol-major, family-major, size-minor: walk each
-	// protocol's block row by row.
+	// Cells arrive protocol-major, then scenario, then family, with the
+	// size ladder innermost: walk each protocol's block row by row.
 	for i := 0; i < len(r.Cells); {
 		c := r.Cells[i]
-		row := []string{c.Family}
+		row := []string{rowLabel(c)}
+		var recRow []string
+		if c.Scenario != "" {
+			recRow = []string{rowLabel(c)}
+		}
 		for range r.Spec.Sizes {
 			cc := r.Cells[i]
 			row = append(row, fmt.Sprintf("%s ± %s",
 				harness.FormatFloat(cc.Rounds.Mean), harness.FormatFloat(cc.Rounds.Std)))
+			if recRow != nil {
+				recRow = append(recRow, fmt.Sprintf("%s ± %s",
+					harness.FormatFloat(cc.Recovery.Mean), harness.FormatFloat(cc.Recovery.Std)))
+			}
 			i++
 		}
-		t := byProto[c.Protocol]
-		t.Rows = append(t.Rows, row)
+		byProto[c.Protocol].Rows = append(byProto[c.Protocol].Rows, row)
+		if recRow != nil {
+			recovery[c.Protocol].Rows = append(recovery[c.Protocol].Rows, recRow)
+		}
 	}
 	return tables
 }

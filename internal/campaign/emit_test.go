@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"stoneage/internal/scenario"
 )
 
 var update = flag.Bool("update", false, "rewrite the golden files")
@@ -97,3 +99,86 @@ func TestTablesShape(t *testing.T) {
 }
 
 func contains(s, sub string) bool { return bytes.Contains([]byte(s), []byte(sub)) }
+
+// dynamicGoldenResult is the scenario-axis counterpart of goldenResult:
+// a fixed dynamic sweep whose emitter encodings are pinned byte-exactly
+// (scenario column, recovery and perturbation aggregates included).
+func dynamicGoldenResult(t *testing.T) *Result {
+	t.Helper()
+	res, err := Run(Spec{
+		Name:      "golden-dynamic",
+		Protocols: []string{"mis", "ssmis"},
+		Families:  []Family{{Kind: "gnp"}},
+		Sizes:     []int{24},
+		Scenarios: []scenario.Def{
+			{Kind: "none"},
+			{Kind: "churn", Rate: 2, Count: 2, At: scenario.Round(4), Every: 16},
+		},
+		Trials:    4,
+		Seed:      8,
+		MaxRounds: 1 << 14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.StripWall()
+	return res
+}
+
+// TestGoldenDynamicEmitters pins the emitter encodings of a dynamic
+// sweep. Regenerate with `go test ./internal/campaign -run Golden
+// -update`.
+func TestGoldenDynamicEmitters(t *testing.T) {
+	res := dynamicGoldenResult(t)
+	emitters := []struct {
+		name string
+		emit func(*Result, *bytes.Buffer) error
+	}{
+		{"dynamic.json", func(r *Result, b *bytes.Buffer) error { return r.WriteJSON(b) }},
+		{"dynamic.csv", func(r *Result, b *bytes.Buffer) error { return r.WriteCSV(b) }},
+	}
+	for _, em := range emitters {
+		t.Run(em.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := em.emit(res, &buf); err != nil {
+				t.Fatal(err)
+			}
+			golden := filepath.Join("testdata", em.name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (regenerate with -update)", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Fatalf("%s drifted (regenerate with -update if intentional):\n--- got ---\n%s\n--- want ---\n%s",
+					golden, buf.Bytes(), want)
+			}
+		})
+	}
+}
+
+// TestDynamicTablesShape checks the renderer over a dynamic sweep: per
+// protocol one rounds table plus one recovery table, rows labeled
+// family @scenario, and the recovery table carrying only dynamic rows.
+func TestDynamicTablesShape(t *testing.T) {
+	res := dynamicGoldenResult(t)
+	tables := res.Tables()
+	if len(tables) != 4 { // (rounds + recovery) × two protocols
+		t.Fatalf("got %d tables, want 4", len(tables))
+	}
+	rounds, recovery := tables[0], tables[1]
+	if len(rounds.Rows) != 2 || rounds.Rows[0][0] != "gnp @none" || rounds.Rows[1][0] != "gnp @churn" {
+		t.Fatalf("rounds rows: %v", rounds.Rows)
+	}
+	if len(recovery.Rows) != 1 || recovery.Rows[0][0] != "gnp @churn" {
+		t.Fatalf("recovery rows: %v", recovery.Rows)
+	}
+	if !contains(recovery.Title, "recovery") {
+		t.Fatalf("recovery table title %q", recovery.Title)
+	}
+}

@@ -1,12 +1,14 @@
 // Package campaign turns the repository's one-off experiment runs into
 // declarative, parallel, reproducible sweeps. A Spec names a cross
-// product — protocols × graph families × a size ladder — plus a trial
-// count and an engine; Run fans the trials out over a worker pool,
-// derives every trial's seed deterministically from its coordinates (so
-// trial i is reproducible in isolation and the aggregates are identical
-// at every worker count), reuses the compiled engine.MachineCode across
-// all trials of a protocol, and summarizes each cell into
-// harness.Stats aggregates with JSON/CSV emitters.
+// product — protocols × dynamic-network scenarios × graph families × a
+// size ladder — plus a trial count and an engine; Run fans the trials
+// out over a worker pool, derives every trial's seeds (protocol coins,
+// graph instance, scenario schedule) deterministically from its
+// coordinates (so trial i is reproducible in isolation and the
+// aggregates are identical at every worker count), reuses the compiled
+// engine.MachineCode across all trials of a protocol, and summarizes
+// each cell into harness.Stats aggregates — including recovery-time
+// stats for dynamic cells — with JSON/CSV emitters.
 //
 // The paper's claims are statistical — round counts are expectations
 // over coins, graphs and schedules — and a campaign is the unit at
@@ -26,6 +28,7 @@ import (
 	"stoneage/internal/engine"
 	"stoneage/internal/graph"
 	"stoneage/internal/protocol"
+	"stoneage/internal/scenario"
 	"stoneage/internal/xrand"
 )
 
@@ -217,6 +220,17 @@ type Spec struct {
 	// MaxRounds / MaxSteps bound each trial (0 = engine defaults).
 	MaxRounds int   `json:"maxRounds,omitempty"`
 	MaxSteps  int64 `json:"maxSteps,omitempty"`
+	// Scenarios is the dynamic-network axis: each entry is a scenario
+	// generator (one-shot region crash, Poisson edge churn, staggered
+	// wake-up, or the static "none" baseline) swept against every
+	// (protocol, family, size) cell. Empty means one static axis —
+	// exactly the pre-scenario campaign. Every trial generates its own
+	// scenario instance from a content-derived seed (ScenarioSeed), so
+	// aggregates stay bit-identical at any worker count. Requires
+	// engine-hosted protocols; topology-churning kinds are rejected for
+	// tree-only and path-only protocols (the mutations would break the
+	// graph shape the protocol needs).
+	Scenarios []scenario.Def `json:"scenarios,omitempty"`
 	// GraphPerTrial draws a fresh graph instance for every trial instead
 	// of sharing one instance per cell. Sharing (the default) amortizes
 	// generation and the CSR bind across trials and isolates the
@@ -273,6 +287,17 @@ func (sp *Spec) Validate() error {
 				return fmt.Errorf("campaign: protocol %q needs tree families, but %q is not one", p, f.Kind)
 			}
 		}
+		for _, s := range sp.Scenarios {
+			if s.None() {
+				continue
+			}
+			if d.Machine == nil {
+				return fmt.Errorf("campaign: protocol %q cannot run scenario %q (bespoke engine, no scenario hook)", p, s.Name())
+			}
+			if s.Kind == "churn" && (d.Caps.Has(protocol.CapNeedsTree) || d.Caps.Has(protocol.CapNeedsPath)) {
+				return fmt.Errorf("campaign: protocol %q needs a fixed graph shape, but scenario %q churns the topology", p, s.Name())
+			}
+		}
 	}
 	if len(sp.Families) == 0 {
 		return fmt.Errorf("campaign: spec has no graph families")
@@ -305,10 +330,31 @@ func (sp *Spec) Validate() error {
 		}
 		seenSize[n] = true
 	}
+	seenScn := map[string]bool{}
+	for _, s := range sp.Scenarios {
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("campaign: %w", err)
+		}
+		if seenScn[s.Key()] {
+			return fmt.Errorf("campaign: duplicate scenario %s", s.Name())
+		}
+		seenScn[s.Key()] = true
+	}
 	if sp.Trials < 1 {
 		return fmt.Errorf("campaign: trials must be >= 1, got %d", sp.Trials)
 	}
 	return nil
+}
+
+// scenarioAxis returns the scenario axis of the cross product: the
+// spec's scenarios, or the single static baseline when none are given
+// (which reproduces the pre-scenario campaign bit for bit — the
+// implicit "none" does not perturb any seed derivation).
+func (sp *Spec) scenarioAxis() []scenario.Def {
+	if len(sp.Scenarios) == 0 {
+		return []scenario.Def{{}}
+	}
+	return sp.Scenarios
 }
 
 func (sp *Spec) engine() string {
@@ -325,22 +371,16 @@ func (sp *Spec) adversary() string {
 	return sp.Adversary
 }
 
-// fnv is FNV-1a over the string, used to fold campaign coordinates into
-// seed derivations without positional coupling (reordering the spec's
-// lists does not change any trial's seed).
-func fnv(s string) uint64 {
-	h := uint64(0xcbf29ce484222325)
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
-		h *= 0x100000001b3
-	}
-	return h
-}
+// fnv folds campaign coordinates into seed derivations without
+// positional coupling (reordering the spec's lists does not change any
+// trial's seed).
+var fnv = xrand.FNV
 
 const (
 	saltTrial     = 0x7472_6961_6c00 // "trial"
 	saltGraph     = 0x6772_6170_6800 // "graph"
 	saltAdversary = 0x6164_7600      // "adv"
+	saltScenario  = 0x7363_6e00      // "scn"
 )
 
 // TrialSeed derives the seed of one trial from its content coordinates:
@@ -362,6 +402,18 @@ func (sp *Spec) GraphSeed(f Family, size, trial int) uint64 {
 		trial = 0
 	}
 	return xrand.Mix(sp.Seed, saltGraph, fnv(f.Kind),
+		math.Float64bits(f.param()), uint64(size), uint64(trial))
+}
+
+// ScenarioSeed derives the seed of the scenario instance one trial runs
+// under. Like TrialSeed it is a pure function of content coordinates —
+// the spec seed, the scenario's generator key, the family, the size and
+// the trial index — so trial i's churn schedule is reproducible in
+// isolation and independent of the worker schedule. It is independent
+// of the protocol: every protocol of a sweep faces the same sequence of
+// perturbations, which is what makes their recovery columns comparable.
+func (sp *Spec) ScenarioSeed(s scenario.Def, f Family, size, trial int) uint64 {
+	return xrand.Mix(sp.Seed, saltScenario, fnv(s.Key()), fnv(f.Kind),
 		math.Float64bits(f.param()), uint64(size), uint64(trial))
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"stoneage/internal/graph"
 	"stoneage/internal/nfsm"
+	"stoneage/internal/scenario"
 )
 
 // AsyncConfig parameterizes an asynchronous run.
@@ -25,6 +26,16 @@ type AsyncConfig struct {
 	// event time, the node, its step index and its new state. Used by
 	// analysis instrumentation (e.g. the synchronization-property tests).
 	Observer func(time float64, node, step int, state nfsm.State)
+	// Scenario, when non-nil and non-empty, makes the run dynamic: each
+	// mutation batch is applied at absolute time Batch.At, before any
+	// event scheduled at or after that time. Surviving node and port
+	// state (letters, FIFO horizons, write times) is carried across
+	// topology re-binds; deliveries in flight on a removed edge are
+	// dropped; crashed nodes stop stepping and restarted ones resume
+	// from a reboot. The reset policy must be concrete (the protocol
+	// layer resolves ResetAuto). Nil or empty scenarios take the
+	// unchanged static path.
+	Scenario *scenario.Scenario
 }
 
 // AsyncResult reports a completed asynchronous run.
@@ -45,6 +56,20 @@ type AsyncResult struct {
 	Lost int64
 	// States is the final state of every node.
 	States []nfsm.State
+
+	// PerturbedAt lists the absolute times of a dynamic run's mutation
+	// batches. Nil for static runs.
+	PerturbedAt []float64
+	// RecoveryTime is the absolute time from the last perturbation to
+	// the final output configuration (0 when nothing was perturbed);
+	// RecoveryTimeUnits is the same span in the paper's normalized
+	// measure.
+	RecoveryTime      float64
+	RecoveryTimeUnits float64
+	// FinalGraph is the post-mutation topology of a dynamic run — the
+	// graph any output validator must be checked against. Nil for
+	// static runs.
+	FinalGraph *graph.Graph
 }
 
 // event is a queue entry: either a node step or a port delivery.
@@ -127,6 +152,9 @@ func RunAsync(m nfsm.Machine, g *graph.Graph, cfg AsyncConfig) (*AsyncResult, er
 // table for deliveries, and incremental count maintenance in place of
 // per-step port rescans.
 func (p *Program) RunAsync(cfg AsyncConfig) (*AsyncResult, error) {
+	if !cfg.Scenario.Empty() {
+		return p.runAsyncScenario(cfg)
+	}
 	n := p.g.N()
 	states, err := initialStates(p.m, n, cfg.Init)
 	if err != nil {

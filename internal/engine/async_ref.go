@@ -35,6 +35,9 @@ func (h *refEventHeap) Pop() interface{} {
 // exists as the oracle the compiled executor is differentially tested
 // against (TestDifferentialAsyncEngines); use RunAsync everywhere else.
 func RunAsyncRef(m nfsm.Machine, g *graph.Graph, cfg AsyncConfig) (*AsyncResult, error) {
+	if !cfg.Scenario.Empty() {
+		return runAsyncRefScenario(m, g, cfg)
+	}
 	n := g.N()
 	states, err := initialStates(m, n, cfg.Init)
 	if err != nil {

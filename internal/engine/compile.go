@@ -241,10 +241,17 @@ type runCounts struct {
 }
 
 func newRunCounts(p *Program) *runCounts {
-	n := p.csr.N()
+	return newRunCountsCSR(p, p.csr)
+}
+
+// newRunCountsCSR builds the run state against an explicit CSR snapshot:
+// the dynamic execution path starts from the bound snapshot but rebinds
+// to fresh snapshots as the scenario mutates the topology.
+func newRunCountsCSR(p *Program, csr *graph.CSR) *runCounts {
+	n := csr.N()
 	rc := &runCounts{
 		p:       p,
-		portDat: make([]nfsm.Letter, len(p.csr.NbrDat)),
+		portDat: make([]nfsm.Letter, len(csr.NbrDat)),
 		raw:     make([]int32, n*p.nl),
 	}
 	for k := range rc.portDat {
@@ -254,7 +261,7 @@ func newRunCounts(p *Program) *runCounts {
 		rc.idx = make([]int32, n)
 	}
 	for v := 0; v < n; v++ {
-		deg := int32(p.csr.Degree(v))
+		deg := int32(csr.Degree(v))
 		if deg == 0 {
 			continue
 		}
@@ -268,6 +275,72 @@ func newRunCounts(p *Program) *runCounts {
 		}
 	}
 	return rc
+}
+
+// rebind re-aligns the run state with a new CSR snapshot after a
+// topology mutation, carrying the letter of every surviving directed
+// edge across the slot renumbering (remap comes from graph.RemapPorts)
+// and rebuilding the count aggregates from the remapped ports. New
+// edges start at the initial letter, exactly like a port at round 0.
+func (rc *runCounts) rebind(csr *graph.CSR, remap []int32) {
+	p := rc.p
+	old := rc.portDat
+	rc.portDat = make([]nfsm.Letter, len(csr.NbrDat))
+	for k := range rc.portDat {
+		if o := remap[k]; o >= 0 {
+			rc.portDat[k] = old[o]
+		} else {
+			rc.portDat[k] = p.initial
+		}
+	}
+	for i := range rc.raw {
+		rc.raw[i] = 0
+	}
+	n := csr.N()
+	for v := 0; v < n; v++ {
+		base := v * p.nl
+		for k := csr.NbrOff[v]; k < csr.NbrOff[v+1]; k++ {
+			rc.raw[base+int(rc.portDat[k])]++
+		}
+		if rc.idx != nil {
+			rc.idx[v] = rc.encodeIdx(base)
+		}
+	}
+}
+
+// resetNode clears node v's local memory: every port back to the
+// initial letter with the count aggregates rebuilt. This is the engine
+// half of a node reboot (restart, wake, or a scenario reset policy);
+// the caller resets the state vector.
+func (rc *runCounts) resetNode(v int, csr *graph.CSR) {
+	p := rc.p
+	base := v * p.nl
+	for l := 0; l < p.nl; l++ {
+		rc.raw[base+l] = 0
+	}
+	deg := int32(csr.Degree(v))
+	for k := csr.NbrOff[v]; k < csr.NbrOff[v+1]; k++ {
+		rc.portDat[k] = p.initial
+	}
+	rc.raw[base+int(p.initial)] = deg
+	if rc.idx != nil {
+		rc.idx[v] = rc.encodeIdx(base)
+	}
+}
+
+// encodeIdx recomputes the base-(b+1) clamped-count encoding of one
+// node's raw count block (progFlatMulti only).
+func (rc *runCounts) encodeIdx(base int) int32 {
+	p := rc.p
+	var idx int32
+	for l := 0; l < p.nl; l++ {
+		c := rc.raw[base+l]
+		if c > int32(p.b) {
+			c = int32(p.b)
+		}
+		idx += c * p.pow[l]
+	}
+	return idx
 }
 
 // setPort overwrites the port at CSR edge slot k of node v with letter l

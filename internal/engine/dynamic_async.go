@@ -1,0 +1,390 @@
+package engine
+
+import (
+	"fmt"
+
+	"stoneage/internal/graph"
+	"stoneage/internal/nfsm"
+	"stoneage/internal/scenario"
+)
+
+// This file is the fast dynamic asynchronous executor. The static
+// engine's event loop is extended with the scenario hook: mutation
+// batches apply at absolute times (before any event scheduled at or
+// after them), crashed nodes stop stepping (their pending step events
+// are invalidated by a per-node epoch), restarted and woken nodes
+// resume from a reboot on a fresh step schedule, and per-edge state —
+// port letters, last-write times, FIFO horizons — is carried across
+// topology re-binds by directed-edge identity. Deliveries are addressed
+// by (from, to) rather than by port slot, because slots renumber at
+// every re-bind; a delivery whose edge was removed mid-flight is
+// dropped, the way a dying link loses its traffic. The independent
+// reference implementation lives in dynamic_async_ref.go.
+
+// dynEvent is a dynamic-run queue entry: a node step or a delivery
+// addressed by directed edge.
+type dynEvent struct {
+	time   float64
+	seq    uint64
+	node   int         // stepping node, or the delivery's destination
+	from   int         // delivery only: the transmitting node
+	letter nfsm.Letter // delivery only
+	epoch  uint32      // step only: liveness epoch at scheduling time
+	step   bool
+}
+
+// dynQueue is the (time, seq)-ordered binary min-heap of dynamic
+// events; same layout discipline as eventQueue, separate type so the
+// static hot path's event struct stays as small as it is.
+type dynQueue struct {
+	ev []dynEvent
+}
+
+func (h *dynQueue) len() int { return len(h.ev) }
+
+func (h *dynQueue) less(i, j int) bool {
+	if h.ev[i].time != h.ev[j].time {
+		return h.ev[i].time < h.ev[j].time
+	}
+	return h.ev[i].seq < h.ev[j].seq
+}
+
+func (h *dynQueue) push(e dynEvent) {
+	h.ev = append(h.ev, e)
+	i := len(h.ev) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.ev[i], h.ev[parent] = h.ev[parent], h.ev[i]
+		i = parent
+	}
+}
+
+func (h *dynQueue) pop() dynEvent {
+	root := h.ev[0]
+	last := len(h.ev) - 1
+	h.ev[0] = h.ev[last]
+	h.ev = h.ev[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < last && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return root
+		}
+		h.ev[i], h.ev[smallest] = h.ev[smallest], h.ev[i]
+		i = smallest
+	}
+}
+
+// portSlot returns the CSR slot of node to's port from node from, or -1
+// when {from, to} is not an edge of the snapshot (binary search over
+// to's sorted run).
+func portSlot(csr *graph.CSR, to, from int) int32 {
+	lo, hi := csr.NbrOff[to], csr.NbrOff[to+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if csr.NbrDat[mid] < int32(from) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < csr.NbrOff[to+1] && csr.NbrDat[lo] == int32(from) {
+		return lo
+	}
+	return -1
+}
+
+// runAsyncScenario executes the compiled program asynchronously under a
+// dynamic-network scenario.
+func (p *Program) runAsyncScenario(cfg AsyncConfig) (*AsyncResult, error) {
+	sc := cfg.Scenario
+	if err := prepScenario(sc, p.g); err != nil {
+		return nil, err
+	}
+	g := p.g.Clone()
+	n := g.N()
+	states, err := initialStates(p.m, n, cfg.Init)
+	if err != nil {
+		return nil, err
+	}
+	adv := cfg.Adversary
+	if adv == nil {
+		adv = Synchronous{}
+	}
+	maxSteps := cfg.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 1 << 24
+	}
+
+	cur := p.csr
+	rc := newRunCountsCSR(p, cur)
+	cbuf := make([]nfsm.Count, p.nl)
+	live := scenario.NewLiveness(n, sc.Asleep)
+
+	// Per directed-edge-slot state, remapped at every re-bind:
+	// portWriteAt[k] is the last write time of the receiver-side port at
+	// slot k (-1 = never); lastDelivery[k] is the FIFO horizon of the
+	// sender-side directed edge at slot k.
+	portWriteAt := make([]float64, len(cur.NbrDat))
+	for k := range portWriteAt {
+		portWriteAt[k] = -1
+	}
+	lastDelivery := make([]float64, len(cur.NbrDat))
+
+	epoch := make([]uint32, n)
+	stepIndex := make([]int, n)
+	lastStepAt := make([]float64, n)
+
+	// Post-perturbation settling window (the asynchronous analogue of
+	// the synchronous engines' two-stable-rounds rule): after a batch,
+	// termination additionally requires every awake node to have taken
+	// at least two steps, so a configuration that merely has not yet
+	// observed the perturbation is not mistaken for terminal. Unlike the
+	// synchronous window this is a heuristic — adversarial delays can
+	// outlast any fixed step budget — but it closes the common race.
+	stepsSince := make([]int, n)
+	lagging := 0
+
+	res := &AsyncResult{States: states, FinalGraph: g}
+	outputs := 0
+	for v := 0; v < n; v++ {
+		if live.Awake(v) && p.isOutput(states[v]) {
+			outputs++
+		}
+	}
+
+	var (
+		h        dynQueue
+		seq      uint64
+		maxParam float64
+	)
+	useParam := func(d float64, kind string, v, t int) (float64, error) {
+		if d <= 0 {
+			return 0, fmt.Errorf("engine: adversary returned non-positive %s %g for node %d step %d", kind, d, v, t)
+		}
+		if d > maxParam {
+			maxParam = d
+		}
+		return d, nil
+	}
+	push := func(e dynEvent) {
+		e.seq = seq
+		seq++
+		h.push(e)
+	}
+	scheduleStep := func(v int, after float64) error {
+		t := stepIndex[v] + 1
+		l, err := useParam(adv.StepLength(v, t), "step length", v, t)
+		if err != nil {
+			return err
+		}
+		push(dynEvent{time: after + l, node: v, epoch: epoch[v], step: true})
+		return nil
+	}
+	timeUnits := func(t float64) float64 {
+		if maxParam == 0 {
+			return 0
+		}
+		return t / maxParam
+	}
+
+	resetNode := func(v int) {
+		states[v] = resetStateOf(p.m, cfg.Init, v)
+		rc.resetNode(v, cur)
+		for k := cur.NbrOff[v]; k < cur.NbrOff[v+1]; k++ {
+			portWriteAt[k] = -1
+		}
+	}
+
+	applyBatch := func(b scenario.Batch) error {
+		topo := false
+		var started []int
+		for _, m := range b.Muts {
+			st, err := live.Apply(m)
+			if err != nil {
+				return err
+			}
+			started = append(started, st...)
+			if m.Kind == graph.MutCrashNode {
+				epoch[m.U]++ // invalidate the pending step event
+			}
+			if err := m.Apply(g); err != nil {
+				return err
+			}
+			topo = topo || m.Topological()
+		}
+		if topo {
+			next := g.CSR()
+			remap := graph.RemapPorts(cur, next)
+			rc.rebind(next, remap)
+			pw := make([]float64, len(next.NbrDat))
+			ld := make([]float64, len(next.NbrDat))
+			for k := range pw {
+				if o := remap[k]; o >= 0 {
+					pw[k] = portWriteAt[o]
+					ld[k] = lastDelivery[o]
+				} else {
+					pw[k] = -1
+				}
+			}
+			portWriteAt, lastDelivery = pw, ld
+			cur = next
+		}
+		for _, v := range b.ResetSet(sc.Reset, g) {
+			if live.Awake(v) {
+				resetNode(v)
+			}
+		}
+		for _, v := range started {
+			resetNode(v)
+		}
+		outputs = 0
+		for v := 0; v < n; v++ {
+			if live.Awake(v) && p.isOutput(states[v]) {
+				outputs++
+			}
+		}
+		for v := range stepsSince {
+			stepsSince[v] = 0
+		}
+		lagging = live.NumAwake()
+		// Rebooted nodes resume stepping from the batch time.
+		for _, v := range started {
+			if err := scheduleStep(v, b.At); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for v := 0; v < n; v++ {
+		if !live.Awake(v) {
+			continue
+		}
+		if err := scheduleStep(v, 0); err != nil {
+			return nil, err
+		}
+	}
+
+	nextBatch := 0
+	lastPerturb := 0.0
+	if nextBatch == len(sc.Batches) && outputs == live.NumAwake() {
+		return res, nil
+	}
+
+	for {
+		// A due batch precedes every event scheduled at or after it.
+		if nextBatch < len(sc.Batches) && (h.len() == 0 || h.ev[0].time >= sc.Batches[nextBatch].At) {
+			b := sc.Batches[nextBatch]
+			if err := applyBatch(b); err != nil {
+				return nil, err
+			}
+			nextBatch++
+			lastPerturb = b.At
+			res.PerturbedAt = append(res.PerturbedAt, b.At)
+			if nextBatch == len(sc.Batches) && outputs == live.NumAwake() && lagging == 0 {
+				// Only reachable with no awake nodes left (a batch sets
+				// lagging to the awake count): vacuous convergence.
+				res.Time = b.At
+				res.TimeUnits = timeUnits(b.At)
+				return res, nil
+			}
+			continue
+		}
+		if h.len() == 0 {
+			break
+		}
+		e := h.pop()
+		if !e.step {
+			// Delivery: resolve the port from the current snapshot; a
+			// removed edge drops its in-flight traffic.
+			k := portSlot(cur, e.node, e.from)
+			if k < 0 {
+				continue
+			}
+			if portWriteAt[k] > lastStepAt[e.node] {
+				res.Lost++
+			}
+			rc.setPort(e.node, k, e.letter)
+			portWriteAt[k] = e.time
+			continue
+		}
+		if e.epoch != epoch[e.node] {
+			continue // scheduled before a crash: the node never took it
+		}
+
+		v := e.node
+		t := stepIndex[v] + 1
+		q := states[v]
+		moves := rc.movesFor(v, q, cbuf)
+		if len(moves) == 0 {
+			return nil, fmt.Errorf("engine: δ empty at node %d state %d step %d", v, q, t)
+		}
+		mv := nfsm.PickMove(cfg.Seed, v, t, moves)
+		if p.isOutput(mv.Next) != p.isOutput(q) {
+			if p.isOutput(mv.Next) {
+				outputs++
+			} else {
+				outputs--
+			}
+		}
+		states[v] = mv.Next
+		stepIndex[v] = t
+		lastStepAt[v] = e.time
+		res.Steps++
+		if stepsSince[v] < 2 {
+			stepsSince[v]++
+			if stepsSince[v] == 2 && lagging > 0 {
+				lagging--
+			}
+		}
+		if cfg.Observer != nil {
+			cfg.Observer(e.time, v, t, mv.Next)
+		}
+
+		if mv.Emit != nfsm.NoLetter {
+			res.Transmissions++
+			for k := cur.NbrOff[v]; k < cur.NbrOff[v+1]; k++ {
+				u := int(cur.NbrDat[k])
+				d, err := useParam(adv.Delay(v, t, u), "delay", v, t)
+				if err != nil {
+					return nil, err
+				}
+				at := e.time + d
+				if at < lastDelivery[k] {
+					at = lastDelivery[k] // FIFO per directed edge
+				}
+				lastDelivery[k] = at
+				push(dynEvent{time: at, node: u, from: v, letter: mv.Emit})
+			}
+		}
+
+		if nextBatch == len(sc.Batches) && outputs == live.NumAwake() &&
+			(lagging == 0 || len(res.PerturbedAt) == 0) {
+			res.Time = e.time
+			res.TimeUnits = timeUnits(e.time)
+			if len(res.PerturbedAt) > 0 {
+				res.RecoveryTime = e.time - lastPerturb
+				res.RecoveryTimeUnits = timeUnits(res.RecoveryTime)
+			}
+			return res, nil
+		}
+		if res.Steps >= maxSteps {
+			return nil, fmt.Errorf("%w: %s after %d steps", ErrNoConvergence, machineName(p.m), res.Steps)
+		}
+		if err := scheduleStep(v, e.time); err != nil {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("%w: event queue drained", ErrNoConvergence)
+}

@@ -1,0 +1,323 @@
+package engine
+
+import (
+	"container/heap"
+	"fmt"
+
+	"stoneage/internal/graph"
+	"stoneage/internal/nfsm"
+	"stoneage/internal/scenario"
+)
+
+// This file is the dynamic reference engine for the asynchronous
+// environment: the same scenario semantics as runAsyncScenario,
+// implemented independently in the seed engine's style — nested-slice
+// ports and timing state in adjacency order, interface dispatch,
+// per-step count recomputation, container/heap event queue, and a
+// from-scratch rebuild of every nested structure at each mutation
+// batch (with per-edge state carried by looking ports up through the
+// previous graph). The differential suites compare it bit for bit with
+// the fast executor.
+
+// refDynHeap is the container/heap-boxed queue of dynamic events.
+type refDynHeap []dynEvent
+
+func (h refDynHeap) Len() int { return len(h) }
+func (h refDynHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refDynHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *refDynHeap) Push(x interface{}) { *h = append(*h, x.(dynEvent)) }
+func (h *refDynHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// runAsyncRefScenario executes machine m on g under cfg.Scenario with
+// the reference representation.
+func runAsyncRefScenario(m nfsm.Machine, g0 *graph.Graph, cfg AsyncConfig) (*AsyncResult, error) {
+	sc := cfg.Scenario
+	if err := prepScenario(sc, g0); err != nil {
+		return nil, err
+	}
+	g := g0.Clone()
+	n := g.N()
+	states, err := initialStates(m, n, cfg.Init)
+	if err != nil {
+		return nil, err
+	}
+	adv := cfg.Adversary
+	if adv == nil {
+		adv = Synchronous{}
+	}
+	maxSteps := cfg.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 1 << 24
+	}
+
+	cnt := newCounter(m)
+	live := scenario.NewLiveness(n, sc.Asleep)
+
+	// All per-port state in adjacency order: ports[v][i] pairs with
+	// g.Neighbors(v)[i]; lastDelivery[v][i] is the FIFO horizon of the
+	// directed edge v → Neighbors(v)[i].
+	ports := make([][]nfsm.Letter, n)
+	portWriteAt := make([][]float64, n)
+	lastDelivery := make([][]float64, n)
+	for v := 0; v < n; v++ {
+		deg := g.Degree(v)
+		ports[v] = make([]nfsm.Letter, deg)
+		portWriteAt[v] = make([]float64, deg)
+		lastDelivery[v] = make([]float64, deg)
+		for i := range ports[v] {
+			ports[v][i] = m.InitialLetter()
+			portWriteAt[v][i] = -1
+		}
+	}
+
+	epoch := make([]uint32, n)
+	stepIndex := make([]int, n)
+	lastStepAt := make([]float64, n)
+
+	// Post-perturbation settling window; see runAsyncScenario.
+	stepsSince := make([]int, n)
+	lagging := 0
+
+	res := &AsyncResult{States: states, FinalGraph: g}
+	outputs := 0
+	for v := 0; v < n; v++ {
+		if live.Awake(v) && m.IsOutput(states[v]) {
+			outputs++
+		}
+	}
+
+	var (
+		h        refDynHeap
+		seq      uint64
+		maxParam float64
+	)
+	useParam := func(d float64, kind string, v, t int) (float64, error) {
+		if d <= 0 {
+			return 0, fmt.Errorf("engine: adversary returned non-positive %s %g for node %d step %d", kind, d, v, t)
+		}
+		if d > maxParam {
+			maxParam = d
+		}
+		return d, nil
+	}
+	push := func(e dynEvent) {
+		e.seq = seq
+		seq++
+		heap.Push(&h, e)
+	}
+	scheduleStep := func(v int, after float64) error {
+		t := stepIndex[v] + 1
+		l, err := useParam(adv.StepLength(v, t), "step length", v, t)
+		if err != nil {
+			return err
+		}
+		push(dynEvent{time: after + l, node: v, epoch: epoch[v], step: true})
+		return nil
+	}
+	timeUnits := func(t float64) float64 {
+		if maxParam == 0 {
+			return 0
+		}
+		return t / maxParam
+	}
+
+	resetNode := func(v int) {
+		states[v] = resetStateOf(m, cfg.Init, v)
+		for i := range ports[v] {
+			ports[v][i] = m.InitialLetter()
+			portWriteAt[v][i] = -1
+		}
+	}
+
+	applyBatch := func(b scenario.Batch) error {
+		prev := g.Clone()
+		topoChanged := false
+		var started []int
+		for _, mu := range b.Muts {
+			st, err := live.Apply(mu)
+			if err != nil {
+				return err
+			}
+			started = append(started, st...)
+			if mu.Kind == graph.MutCrashNode {
+				epoch[mu.U]++
+			}
+			if err := mu.Apply(g); err != nil {
+				return err
+			}
+			topoChanged = topoChanged || mu.Topological()
+		}
+		if topoChanged {
+			nextPorts := make([][]nfsm.Letter, n)
+			nextWrite := make([][]float64, n)
+			nextFIFO := make([][]float64, n)
+			for v := 0; v < n; v++ {
+				nb := g.Neighbors(v)
+				nextPorts[v] = make([]nfsm.Letter, len(nb))
+				nextWrite[v] = make([]float64, len(nb))
+				nextFIFO[v] = make([]float64, len(nb))
+				for i, u := range nb {
+					if o := prev.PortOf(v, u); o >= 0 {
+						nextPorts[v][i] = ports[v][o]
+						nextWrite[v][i] = portWriteAt[v][o]
+						nextFIFO[v][i] = lastDelivery[v][o]
+					} else {
+						nextPorts[v][i] = m.InitialLetter()
+						nextWrite[v][i] = -1
+					}
+				}
+			}
+			ports, portWriteAt, lastDelivery = nextPorts, nextWrite, nextFIFO
+		}
+		for _, v := range b.ResetSet(sc.Reset, g) {
+			if live.Awake(v) {
+				resetNode(v)
+			}
+		}
+		for _, v := range started {
+			resetNode(v)
+		}
+		outputs = 0
+		for v := 0; v < n; v++ {
+			if live.Awake(v) && m.IsOutput(states[v]) {
+				outputs++
+			}
+		}
+		for v := range stepsSince {
+			stepsSince[v] = 0
+		}
+		lagging = live.NumAwake()
+		for _, v := range started {
+			if err := scheduleStep(v, b.At); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for v := 0; v < n; v++ {
+		if !live.Awake(v) {
+			continue
+		}
+		if err := scheduleStep(v, 0); err != nil {
+			return nil, err
+		}
+	}
+
+	nextBatch := 0
+	lastPerturb := 0.0
+	if nextBatch == len(sc.Batches) && outputs == live.NumAwake() {
+		return res, nil
+	}
+
+	for {
+		if nextBatch < len(sc.Batches) && (h.Len() == 0 || h[0].time >= sc.Batches[nextBatch].At) {
+			b := sc.Batches[nextBatch]
+			if err := applyBatch(b); err != nil {
+				return nil, err
+			}
+			nextBatch++
+			lastPerturb = b.At
+			res.PerturbedAt = append(res.PerturbedAt, b.At)
+			if nextBatch == len(sc.Batches) && outputs == live.NumAwake() && lagging == 0 {
+				res.Time = b.At
+				res.TimeUnits = timeUnits(b.At)
+				return res, nil
+			}
+			continue
+		}
+		if h.Len() == 0 {
+			break
+		}
+		e := heap.Pop(&h).(dynEvent)
+		if !e.step {
+			i := g.PortOf(e.node, e.from)
+			if i < 0 {
+				continue // edge removed mid-flight: traffic lost with it
+			}
+			if portWriteAt[e.node][i] > lastStepAt[e.node] {
+				res.Lost++
+			}
+			ports[e.node][i] = e.letter
+			portWriteAt[e.node][i] = e.time
+			continue
+		}
+		if e.epoch != epoch[e.node] {
+			continue
+		}
+
+		v := e.node
+		t := stepIndex[v] + 1
+		q := states[v]
+		moves := m.Moves(q, cnt.counts(q, ports[v]))
+		if len(moves) == 0 {
+			return nil, fmt.Errorf("engine: δ empty at node %d state %d step %d", v, q, t)
+		}
+		mv := nfsm.PickMove(cfg.Seed, v, t, moves)
+		if m.IsOutput(mv.Next) != m.IsOutput(q) {
+			if m.IsOutput(mv.Next) {
+				outputs++
+			} else {
+				outputs--
+			}
+		}
+		states[v] = mv.Next
+		stepIndex[v] = t
+		lastStepAt[v] = e.time
+		res.Steps++
+		if stepsSince[v] < 2 {
+			stepsSince[v]++
+			if stepsSince[v] == 2 && lagging > 0 {
+				lagging--
+			}
+		}
+		if cfg.Observer != nil {
+			cfg.Observer(e.time, v, t, mv.Next)
+		}
+
+		if mv.Emit != nfsm.NoLetter {
+			res.Transmissions++
+			for i, u := range g.Neighbors(v) {
+				d, err := useParam(adv.Delay(v, t, u), "delay", v, t)
+				if err != nil {
+					return nil, err
+				}
+				at := e.time + d
+				if at < lastDelivery[v][i] {
+					at = lastDelivery[v][i]
+				}
+				lastDelivery[v][i] = at
+				push(dynEvent{time: at, node: u, from: v, letter: mv.Emit})
+			}
+		}
+
+		if nextBatch == len(sc.Batches) && outputs == live.NumAwake() &&
+			(lagging == 0 || len(res.PerturbedAt) == 0) {
+			res.Time = e.time
+			res.TimeUnits = timeUnits(e.time)
+			if len(res.PerturbedAt) > 0 {
+				res.RecoveryTime = e.time - lastPerturb
+				res.RecoveryTimeUnits = timeUnits(res.RecoveryTime)
+			}
+			return res, nil
+		}
+		if res.Steps >= maxSteps {
+			return nil, fmt.Errorf("%w: %s after %d steps", ErrNoConvergence, machineName(m), res.Steps)
+		}
+		if err := scheduleStep(v, e.time); err != nil {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("%w: event queue drained", ErrNoConvergence)
+}

@@ -1,0 +1,201 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"stoneage/internal/graph"
+	"stoneage/internal/nfsm"
+	"stoneage/internal/scenario"
+)
+
+// This file is the fast dynamic synchronous executor: the compiled
+// engine's round loop extended with the scenario hook. Between rounds
+// it applies mutation batches — carrying surviving node state and the
+// letter of every surviving port across CSR re-binds (graph.RemapPorts
+// keys per-edge state by the directed edge, not its slot), resetting
+// perturbed nodes per the scenario's reset policy, and tracking node
+// liveness — and on the way out it reports the recovery-time metric.
+// The naive counterpart in dynamic_sync_ref.go implements the same
+// semantics from scratch on the seed engine's representation; the
+// differential and fuzz suites (dynamic_test.go, fuzz_test.go) pin the
+// two to each other, which is what licenses trusting this one.
+
+// errResetAuto rejects unresolved reset policies: the engines do not
+// know protocol capabilities, so scenario.ResetAuto must be resolved by
+// the protocol layer (or the caller) before a run starts.
+var errResetAuto = errors.New("engine: scenario reset policy auto must be resolved before execution")
+
+// prepScenario validates the scenario against the bound graph and
+// rejects unresolved reset policies. Both engines of each environment
+// run it first, so invalid scenarios fail identically everywhere.
+func prepScenario(sc *scenario.Scenario, g *graph.Graph) error {
+	if sc.Reset == scenario.ResetAuto {
+		return errResetAuto
+	}
+	return sc.Validate(g)
+}
+
+// resetStateOf returns the state a rebooted node v resumes from: its
+// per-node input when the run was configured with one, the machine's
+// default input state otherwise.
+func resetStateOf(m nfsm.Machine, init []nfsm.State, v int) nfsm.State {
+	if init != nil {
+		return init[v]
+	}
+	return m.InputState()
+}
+
+// runSyncScenario executes the compiled program with a dynamic-network
+// scenario. The loop is sequential: trial-level parallelism (the
+// campaign runner) is where dynamic sweeps get their concurrency.
+func (p *Program) runSyncScenario(cfg SyncConfig) (*SyncResult, error) {
+	sc := cfg.Scenario
+	if err := prepScenario(sc, p.g); err != nil {
+		return nil, err
+	}
+	g := p.g.Clone()
+	n := g.N()
+	states, err := initialStates(p.m, n, cfg.Init)
+	if err != nil {
+		return nil, err
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 1 << 20
+	}
+
+	cur := p.csr
+	rc := newRunCountsCSR(p, cur)
+	cbuf := make([]nfsm.Count, p.nl)
+	live := scenario.NewLiveness(n, sc.Asleep)
+	emits := make([]nfsm.Letter, n)
+	var emitters []int32
+
+	res := &SyncResult{States: states, FinalGraph: g}
+	outputs := 0
+	for v := 0; v < n; v++ {
+		if live.Awake(v) && p.isOutput(states[v]) {
+			outputs++
+		}
+	}
+	nextBatch := 0
+	lastPerturb := 0
+	// stable counts consecutive rounds ending in an awake output
+	// configuration. After a perturbation, termination requires TWO such
+	// rounds: a batch leaves fresh ports holding the initial letter for
+	// one round, so a configuration can look terminal before the
+	// perturbation's effects have propagated — one confirmation round
+	// closes exactly that window (every awake node re-transmits and
+	// every port is delivered real letters in between).
+	stable := 0
+	if nextBatch == len(sc.Batches) && outputs == live.NumAwake() {
+		return res, nil
+	}
+
+	// applyBatch mutates graph and liveness, re-binds the layout on
+	// topology change, and resets the policy's node set plus every
+	// restarted/woken node.
+	applyBatch := func(b scenario.Batch) error {
+		topo := false
+		var started []int
+		for _, m := range b.Muts {
+			st, err := live.Apply(m)
+			if err != nil {
+				return err
+			}
+			started = append(started, st...)
+			if err := m.Apply(g); err != nil {
+				return err
+			}
+			topo = topo || m.Topological()
+		}
+		if topo {
+			next := g.CSR()
+			rc.rebind(next, graph.RemapPorts(cur, next))
+			cur = next
+		}
+		for _, v := range b.ResetSet(sc.Reset, g) {
+			if live.Awake(v) {
+				states[v] = resetStateOf(p.m, cfg.Init, v)
+				rc.resetNode(v, cur)
+			}
+		}
+		for _, v := range started {
+			states[v] = resetStateOf(p.m, cfg.Init, v)
+			rc.resetNode(v, cur)
+		}
+		outputs = 0
+		for v := 0; v < n; v++ {
+			if live.Awake(v) && p.isOutput(states[v]) {
+				outputs++
+			}
+		}
+		return nil
+	}
+
+	for round := 1; round <= maxRounds; round++ {
+		for nextBatch < len(sc.Batches) && int(sc.Batches[nextBatch].At) < round {
+			if err := applyBatch(sc.Batches[nextBatch]); err != nil {
+				return nil, err
+			}
+			nextBatch++
+			lastPerturb = round - 1
+			res.PerturbedAt = append(res.PerturbedAt, round-1)
+		}
+
+		// Compute phase over the awake nodes against the frozen ports.
+		emitters = emitters[:0]
+		for v := 0; v < n; v++ {
+			if !live.Awake(v) {
+				continue
+			}
+			q := states[v]
+			moves := rc.movesFor(v, q, cbuf)
+			if len(moves) == 0 {
+				return nil, deltaEmptyErr(v, q, round)
+			}
+			mv := nfsm.PickMove(cfg.Seed, v, round, moves)
+			if p.isOutput(mv.Next) != p.isOutput(q) {
+				if p.isOutput(mv.Next) {
+					outputs++
+				} else {
+					outputs--
+				}
+			}
+			states[v] = mv.Next
+			if mv.Emit != nfsm.NoLetter {
+				emits[v] = mv.Emit
+				emitters = append(emitters, int32(v))
+			}
+		}
+
+		// Deliver phase: ports of every neighbor are link-endpoint
+		// memory and receive the letter regardless of the neighbor's
+		// liveness (a reboot clears them anyway).
+		for _, v := range emitters {
+			l := emits[v]
+			res.Transmissions++
+			for k := cur.NbrOff[v]; k < cur.NbrOff[v+1]; k++ {
+				rc.setPort(int(cur.NbrDat[k]), cur.NbrOff[cur.NbrDat[k]]+cur.RevPort[k], l)
+			}
+		}
+
+		if cfg.Observer != nil {
+			cfg.Observer(round, states)
+		}
+		if nextBatch == len(sc.Batches) && outputs == live.NumAwake() {
+			stable++
+		} else {
+			stable = 0
+		}
+		if stable >= 2 || (stable >= 1 && len(res.PerturbedAt) == 0) {
+			res.Rounds = round
+			if len(res.PerturbedAt) > 0 {
+				res.RecoveryRounds = round - lastPerturb
+			}
+			return res, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %s after %d rounds", ErrNoConvergence, machineName(p.m), maxRounds)
+}

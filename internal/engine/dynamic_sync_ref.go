@@ -1,0 +1,189 @@
+package engine
+
+import (
+	"fmt"
+
+	"stoneage/internal/graph"
+	"stoneage/internal/nfsm"
+	"stoneage/internal/scenario"
+)
+
+// This file is the dynamic reference engine for the locally synchronous
+// environment: a direct, slow, obviously-correct transcription of the
+// dynamic-network semantics in the seed engine's representation —
+// nested-slice ports in adjacency order, interface dispatch into
+// m.Moves, full count recomputation per node per round, and a
+// from-scratch rebuild of every derived structure at each mutation
+// batch. It shares no executor code with runSyncScenario (only the
+// scenario policy definitions), so the differential and fuzz suites
+// comparing the two really do pin the fast path's re-binding,
+// port-carrying and liveness handling against an independent
+// implementation.
+
+// runSyncRefScenario executes machine m on g under cfg.Scenario with
+// the reference representation.
+func runSyncRefScenario(m nfsm.Machine, g0 *graph.Graph, cfg SyncConfig) (*SyncResult, error) {
+	sc := cfg.Scenario
+	if err := prepScenario(sc, g0); err != nil {
+		return nil, err
+	}
+	g := g0.Clone()
+	n := g.N()
+	states, err := initialStates(m, n, cfg.Init)
+	if err != nil {
+		return nil, err
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 1 << 20
+	}
+
+	topo := newPortTopology(g)
+	cnt := newCounter(m)
+	live := scenario.NewLiveness(n, sc.Asleep)
+
+	// ports[v][i] holds the last letter delivered from g.Neighbors(v)[i].
+	ports := make([][]nfsm.Letter, n)
+	for v := 0; v < n; v++ {
+		ports[v] = make([]nfsm.Letter, g.Degree(v))
+		for i := range ports[v] {
+			ports[v][i] = m.InitialLetter()
+		}
+	}
+
+	res := &SyncResult{States: states, FinalGraph: g}
+	outputs := 0
+	for v := 0; v < n; v++ {
+		if live.Awake(v) && m.IsOutput(states[v]) {
+			outputs++
+		}
+	}
+	nextBatch := 0
+	lastPerturb := 0
+	// Two consecutive stable rounds are required after a perturbation;
+	// see the confirmation-window comment in runSyncScenario.
+	stable := 0
+	if nextBatch == len(sc.Batches) && outputs == live.NumAwake() {
+		return res, nil
+	}
+
+	resetNode := func(v int) {
+		states[v] = resetStateOf(m, cfg.Init, v)
+		for i := range ports[v] {
+			ports[v][i] = m.InitialLetter()
+		}
+	}
+
+	applyBatch := func(b scenario.Batch) error {
+		prev := g.Clone()
+		topoChanged := false
+		var started []int
+		for _, mu := range b.Muts {
+			st, err := live.Apply(mu)
+			if err != nil {
+				return err
+			}
+			started = append(started, st...)
+			if err := mu.Apply(g); err != nil {
+				return err
+			}
+			topoChanged = topoChanged || mu.Topological()
+		}
+		if topoChanged {
+			// Rebuild the port arrays by directed-edge identity: a
+			// surviving port keeps its letter, found through the
+			// previous graph's port numbering; new ports start at the
+			// initial letter.
+			next := make([][]nfsm.Letter, n)
+			for v := 0; v < n; v++ {
+				nb := g.Neighbors(v)
+				next[v] = make([]nfsm.Letter, len(nb))
+				for i, u := range nb {
+					if o := prev.PortOf(v, u); o >= 0 {
+						next[v][i] = ports[v][o]
+					} else {
+						next[v][i] = m.InitialLetter()
+					}
+				}
+			}
+			ports = next
+			topo = newPortTopology(g)
+		}
+		for _, v := range b.ResetSet(sc.Reset, g) {
+			if live.Awake(v) {
+				resetNode(v)
+			}
+		}
+		for _, v := range started {
+			resetNode(v)
+		}
+		outputs = 0
+		for v := 0; v < n; v++ {
+			if live.Awake(v) && m.IsOutput(states[v]) {
+				outputs++
+			}
+		}
+		return nil
+	}
+
+	emits := make([]nfsm.Letter, n)
+	for round := 1; round <= maxRounds; round++ {
+		for nextBatch < len(sc.Batches) && int(sc.Batches[nextBatch].At) < round {
+			if err := applyBatch(sc.Batches[nextBatch]); err != nil {
+				return nil, err
+			}
+			nextBatch++
+			lastPerturb = round - 1
+			res.PerturbedAt = append(res.PerturbedAt, round-1)
+		}
+
+		for v := 0; v < n; v++ {
+			emits[v] = nfsm.NoLetter
+			if !live.Awake(v) {
+				continue
+			}
+			q := states[v]
+			moves := m.Moves(q, cnt.counts(q, ports[v]))
+			if len(moves) == 0 {
+				return nil, fmt.Errorf("engine: δ empty at node %d state %d round %d", v, q, round)
+			}
+			mv := nfsm.PickMove(cfg.Seed, v, round, moves)
+			if m.IsOutput(mv.Next) != m.IsOutput(q) {
+				if m.IsOutput(mv.Next) {
+					outputs++
+				} else {
+					outputs--
+				}
+			}
+			states[v] = mv.Next
+			emits[v] = mv.Emit
+		}
+		for v := 0; v < n; v++ {
+			l := emits[v]
+			if l == nfsm.NoLetter {
+				continue
+			}
+			res.Transmissions++
+			for i, u := range g.Neighbors(v) {
+				ports[u][topo.rev[v][i]] = l
+			}
+		}
+
+		if cfg.Observer != nil {
+			cfg.Observer(round, states)
+		}
+		if nextBatch == len(sc.Batches) && outputs == live.NumAwake() {
+			stable++
+		} else {
+			stable = 0
+		}
+		if stable >= 2 || (stable >= 1 && len(res.PerturbedAt) == 0) {
+			res.Rounds = round
+			if len(res.PerturbedAt) > 0 {
+				res.RecoveryRounds = round - lastPerturb
+			}
+			return res, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %s after %d rounds", ErrNoConvergence, machineName(m), maxRounds)
+}

@@ -1,13 +1,16 @@
 package engine_test
 
 // The standing fuzz wall: go-native fuzz targets that extend the
-// differential suite of diff_test.go from a fixed case matrix to
-// arbitrary machines, graphs and seeds. Each target decodes a small
-// single-query protocol and a random graph from the fuzz input —
-// correct by construction, so every input exercises the engines — and
-// demands that the compiled executors (RunSync at several worker
-// counts, RunAsync) stay byte-identical to the reference engines
-// (RunSyncRef / RunAsyncRef), including on budget-exhaustion errors.
+// differential suites of diff_test.go and dynamic_test.go from fixed
+// case matrices to arbitrary machines, graphs, scenarios and seeds.
+// Each target decodes a small single-query protocol, a random graph
+// and a random dynamic-network scenario (edge churn, crashes and
+// restarts, staggered wake-up, every reset policy) from the fuzz
+// input — correct by construction, so every input exercises the
+// engines — and demands that the compiled executors (RunSync at
+// several worker counts, RunAsync) stay byte-identical to the
+// reference engines (RunSyncRef / RunAsyncRef), including recovery
+// metrics, perturbation logs and budget-exhaustion errors.
 //
 // Run continuously with
 //
@@ -22,6 +25,7 @@ import (
 	"stoneage/internal/engine"
 	"stoneage/internal/graph"
 	"stoneage/internal/nfsm"
+	"stoneage/internal/scenario"
 	"stoneage/internal/xrand"
 )
 
@@ -121,6 +125,93 @@ func fuzzGraph(r *fuzzReader, gseed uint64) *graph.Graph {
 	}
 }
 
+// fuzzScenario decodes a random but valid dynamic-network scenario:
+// liveness preconditions hold (only awake nodes crash, only crashed
+// ones restart, only asleep ones wake) and edge flips track the
+// evolving edge set, so every decoded scenario passes validation and
+// the run exercises the dynamic engines rather than the error path.
+// Roughly half of all inputs decode an empty scenario (no batches, no
+// asleep nodes), keeping the static path under fuzz too.
+func fuzzScenario(r *fuzzReader, g *graph.Graph) *scenario.Scenario {
+	n := g.N()
+	// 1..4 maps onto the concrete policies (ResetAuto is rejected by
+	// the engines and resolved upstream, so it is not fuzzed here).
+	sc := &scenario.Scenario{Name: "fuzz", Reset: scenario.ResetPolicy(r.intn(4))}
+	const (
+		awake byte = iota
+		asleep
+		crashed
+	)
+	status := make([]byte, n)
+	if r.byte()%2 == 0 {
+		for v := 0; v < n; v++ {
+			if r.byte()%8 == 0 {
+				sc.Asleep = append(sc.Asleep, v)
+				status[v] = asleep
+			}
+		}
+	}
+	// pick scans for a node with the wanted status, starting at a
+	// fuzz-chosen offset so every node is reachable.
+	pick := func(want byte) int {
+		off := int(r.byte()) % n
+		for i := 0; i < n; i++ {
+			if v := (off + i) % n; status[v] == want {
+				return v
+			}
+		}
+		return -1
+	}
+	sim := g.Clone()
+	at := 0
+	for i := int(r.byte()) % 4; i > 0; i-- {
+		at += r.intn(6) - 1 // 0..5 rounds after the previous batch
+		var muts []graph.Mutation
+		for j := r.intn(3); j > 0; j-- {
+			switch r.byte() % 4 {
+			case 0, 1: // flip a node pair
+				if n < 2 {
+					continue
+				}
+				u, v := int(r.byte())%n, int(r.byte())%n
+				if u == v {
+					continue
+				}
+				if u > v {
+					u, v = v, u
+				}
+				m := graph.Mutation{Kind: graph.MutAddEdge, U: u, V: v}
+				if sim.HasEdge(u, v) {
+					m.Kind = graph.MutRemoveEdge
+				}
+				if err := m.Apply(sim); err != nil {
+					panic("fuzzScenario: " + err.Error())
+				}
+				muts = append(muts, m)
+			case 2: // crash an awake node
+				if v := pick(awake); v >= 0 {
+					status[v] = crashed
+					muts = append(muts, graph.Mutation{Kind: graph.MutCrashNode, U: v})
+				}
+			case 3: // revive: restart a crashed node or wake an asleep one
+				if r.byte()%2 == 0 {
+					if v := pick(crashed); v >= 0 {
+						status[v] = awake
+						muts = append(muts, graph.Mutation{Kind: graph.MutRestartNode, U: v})
+					}
+				} else if v := pick(asleep); v >= 0 {
+					status[v] = awake
+					muts = append(muts, graph.Mutation{Kind: graph.MutWakeNode, U: v})
+				}
+			}
+		}
+		if len(muts) > 0 {
+			sc.Batches = append(sc.Batches, scenario.Batch{At: float64(at), Muts: muts})
+		}
+	}
+	return sc
+}
+
 func fuzzSeeds(f *testing.F) {
 	f.Add(uint64(1), uint64(2), []byte{})
 	f.Add(uint64(3), uint64(4), []byte{7, 1, 2, 200, 13, 5, 0, 99, 3})
@@ -139,25 +230,48 @@ func FuzzDifferentialSync(f *testing.F) {
 			t.Fatalf("fuzzProtocol built an invalid machine: %v", err)
 		}
 		g := fuzzGraph(r, gseed)
+		sc := fuzzScenario(r, g)
 		const maxRounds = 64
 
-		ref, refErr := engine.RunSyncRef(m, g, engine.SyncConfig{Seed: seed, MaxRounds: maxRounds})
+		ref, refErr := engine.RunSyncRef(m, g, engine.SyncConfig{Seed: seed, MaxRounds: maxRounds, Scenario: sc})
 		for _, workers := range []int{1, 3} {
-			got, gotErr := engine.Compile(m, g).RunSync(engine.SyncConfig{Seed: seed, MaxRounds: maxRounds, Workers: workers})
+			got, gotErr := engine.Compile(m, g).RunSync(engine.SyncConfig{Seed: seed, MaxRounds: maxRounds, Workers: workers, Scenario: sc})
 			if refErr != nil || gotErr != nil {
 				if refErr == nil || gotErr == nil || refErr.Error() != gotErr.Error() {
 					t.Fatalf("workers=%d error mismatch:\nreference: %v\ncompiled:  %v", workers, refErr, gotErr)
 				}
 				continue
 			}
-			if got.Rounds != ref.Rounds || got.Transmissions != ref.Transmissions {
-				t.Fatalf("workers=%d: (rounds, tx) = (%d, %d), reference (%d, %d)",
-					workers, got.Rounds, got.Transmissions, ref.Rounds, ref.Transmissions)
+			if got.Rounds != ref.Rounds || got.Transmissions != ref.Transmissions || got.RecoveryRounds != ref.RecoveryRounds {
+				t.Fatalf("workers=%d: (rounds, tx, recovery) = (%d, %d, %d), reference (%d, %d, %d)",
+					workers, got.Rounds, got.Transmissions, got.RecoveryRounds,
+					ref.Rounds, ref.Transmissions, ref.RecoveryRounds)
+			}
+			if len(got.PerturbedAt) != len(ref.PerturbedAt) {
+				t.Fatalf("workers=%d: %d perturbations, reference %d",
+					workers, len(got.PerturbedAt), len(ref.PerturbedAt))
+			}
+			for i := range got.PerturbedAt {
+				if got.PerturbedAt[i] != ref.PerturbedAt[i] {
+					t.Fatalf("workers=%d: perturbation %d at round %d, reference %d",
+						workers, i, got.PerturbedAt[i], ref.PerturbedAt[i])
+				}
 			}
 			for v := range ref.States {
 				if got.States[v] != ref.States[v] {
 					t.Fatalf("workers=%d: state of node %d = %d, reference %d",
 						workers, v, got.States[v], ref.States[v])
+				}
+			}
+			if (got.FinalGraph == nil) != (ref.FinalGraph == nil) {
+				t.Fatalf("workers=%d: FinalGraph presence diverges", workers)
+			}
+			if got.FinalGraph != nil {
+				if err := got.FinalGraph.Validate(); err != nil {
+					t.Fatalf("workers=%d: final graph invalid: %v", workers, err)
+				}
+				if got.FinalGraph.N() != ref.FinalGraph.N() || got.FinalGraph.M() != ref.FinalGraph.M() {
+					t.Fatalf("workers=%d: final graph shape diverges", workers)
 				}
 			}
 		}
@@ -175,21 +289,32 @@ func FuzzDifferentialAsync(f *testing.F) {
 			t.Fatalf("fuzzProtocol built an invalid machine: %v", err)
 		}
 		g := fuzzGraph(r, gseed)
+		sc := fuzzScenario(r, g)
 		advName := []string{"sync", "uniform", "skew", "drift"}[r.byte()%4]
 		const maxSteps = 1 << 12
 
 		mkAdv := func() engine.Adversary { return engine.NamedAdversaries(seed + 5)[advName] }
-		ref, refErr := engine.RunAsyncRef(m, g, engine.AsyncConfig{Seed: seed, Adversary: mkAdv(), MaxSteps: maxSteps})
-		got, gotErr := engine.RunAsync(m, g, engine.AsyncConfig{Seed: seed, Adversary: mkAdv(), MaxSteps: maxSteps})
+		ref, refErr := engine.RunAsyncRef(m, g, engine.AsyncConfig{Seed: seed, Adversary: mkAdv(), MaxSteps: maxSteps, Scenario: sc})
+		got, gotErr := engine.RunAsync(m, g, engine.AsyncConfig{Seed: seed, Adversary: mkAdv(), MaxSteps: maxSteps, Scenario: sc})
 		if refErr != nil || gotErr != nil {
 			if refErr == nil || gotErr == nil || refErr.Error() != gotErr.Error() {
 				t.Fatalf("error mismatch:\nreference: %v\ncompiled:  %v", refErr, gotErr)
 			}
 			return
 		}
-		if got.Time != ref.Time || got.TimeUnits != ref.TimeUnits {
-			t.Fatalf("(Time, TimeUnits) = (%v, %v), reference (%v, %v)",
-				got.Time, got.TimeUnits, ref.Time, ref.TimeUnits)
+		if got.Time != ref.Time || got.TimeUnits != ref.TimeUnits ||
+			got.RecoveryTime != ref.RecoveryTime || got.RecoveryTimeUnits != ref.RecoveryTimeUnits {
+			t.Fatalf("(Time, TimeUnits, Recovery, RecoveryUnits) = (%v, %v, %v, %v), reference (%v, %v, %v, %v)",
+				got.Time, got.TimeUnits, got.RecoveryTime, got.RecoveryTimeUnits,
+				ref.Time, ref.TimeUnits, ref.RecoveryTime, ref.RecoveryTimeUnits)
+		}
+		if len(got.PerturbedAt) != len(ref.PerturbedAt) {
+			t.Fatalf("%d perturbations, reference %d", len(got.PerturbedAt), len(ref.PerturbedAt))
+		}
+		for i := range got.PerturbedAt {
+			if got.PerturbedAt[i] != ref.PerturbedAt[i] {
+				t.Fatalf("perturbation %d at %v, reference %v", i, got.PerturbedAt[i], ref.PerturbedAt[i])
+			}
 		}
 		if got.Steps != ref.Steps || got.Transmissions != ref.Transmissions || got.Lost != ref.Lost {
 			t.Fatalf("(Steps, Tx, Lost) = (%d, %d, %d), reference (%d, %d, %d)",

@@ -33,6 +33,9 @@ type shardResult struct {
 // DESIGN.md for the argument, and TestDifferentialSyncEngines for the
 // enforcement).
 func (p *Program) RunSync(cfg SyncConfig) (*SyncResult, error) {
+	if !cfg.Scenario.Empty() {
+		return p.runSyncScenario(cfg)
+	}
 	n := p.g.N()
 	states, err := initialStates(p.m, n, cfg.Init)
 	if err != nil {

@@ -5,6 +5,7 @@ import (
 
 	"stoneage/internal/graph"
 	"stoneage/internal/nfsm"
+	"stoneage/internal/scenario"
 )
 
 // SyncConfig parameterizes a locally synchronous run.
@@ -31,19 +32,42 @@ type SyncConfig struct {
 	// every node's move is drawn from the node-indexed deterministic
 	// coin, independent of evaluation order. Machines whose transition
 	// is not known to be pure (e.g. the lazily-interning synchro
-	// compilers) always run on one worker.
+	// compilers) always run on one worker. Dynamic runs (Scenario set)
+	// are sequential; Workers is ignored there.
 	Workers int
+	// Scenario, when non-nil and non-empty, makes the run dynamic: the
+	// engine applies each mutation batch after round int(Batch.At)
+	// completes, carries surviving node and port state across topology
+	// re-binds, resets perturbed nodes per the scenario's reset policy
+	// (which must be concrete — the protocol layer resolves ResetAuto),
+	// and reports recovery metrics. Nil or empty scenarios take the
+	// unchanged static path.
+	Scenario *scenario.Scenario
 }
 
 // SyncResult reports a completed synchronous run.
 type SyncResult struct {
 	// Rounds is the number of rounds until the first output
-	// configuration.
+	// configuration (for a dynamic run: the first output configuration
+	// of the awake nodes after the last mutation batch).
 	Rounds int
 	// Transmissions counts non-ε letter transmissions.
 	Transmissions int64
 	// States is the final state of every node.
 	States []nfsm.State
+
+	// PerturbedAt lists, for a dynamic run, the round each mutation
+	// batch was applied after (batch i applied between rounds
+	// PerturbedAt[i] and PerturbedAt[i]+1). Nil for static runs.
+	PerturbedAt []int
+	// RecoveryRounds is the recovery-time metric of a dynamic run: the
+	// rounds from the last perturbation to the final valid output
+	// configuration (0 when nothing was perturbed).
+	RecoveryRounds int
+	// FinalGraph is the post-mutation topology of a dynamic run — the
+	// graph any output validator must be checked against. Nil for
+	// static runs (the input graph is the final graph).
+	FinalGraph *graph.Graph
 }
 
 // RunSync executes machine m on graph g in a locally synchronous
@@ -68,6 +92,9 @@ func RunSync(m nfsm.Machine, g *graph.Graph, cfg SyncConfig) (*SyncResult, error
 // as the oracle the compiled executor is differentially tested against;
 // use RunSync everywhere else.
 func RunSyncRef(m nfsm.Machine, g *graph.Graph, cfg SyncConfig) (*SyncResult, error) {
+	if !cfg.Scenario.Empty() {
+		return runSyncRefScenario(m, g, cfg)
+	}
 	n := g.N()
 	states, err := initialStates(m, n, cfg.Init)
 	if err != nil {

@@ -58,6 +58,42 @@ func (g *Graph) CSR() *CSR {
 	return c
 }
 
+// RemapPorts aligns an old CSR snapshot with a new one after a topology
+// mutation: it returns, for every directed-edge slot k of the new
+// snapshot, the slot the same directed edge occupied in the old
+// snapshot, or -1 for an edge that did not exist before. This is the
+// port-identity carrier of the dynamic execution path — per-edge state
+// (the letter a port holds, its last write time, its FIFO horizon) is
+// keyed by the directed edge, not by its slot, so surviving edges keep
+// their state across a rebind even though sorted-insertion shifts their
+// slot indices.
+//
+// Both snapshots must cover the same node-id space. The adjacency runs
+// are sorted, so a single merge walk per node aligns them in O(n + m)
+// with no per-edge searches.
+func RemapPorts(old, cur *CSR) []int32 {
+	if old.N() != cur.N() {
+		panic("graph: RemapPorts across different node-id spaces")
+	}
+	remap := make([]int32, len(cur.NbrDat))
+	for v := 0; v < cur.N(); v++ {
+		o, oEnd := old.NbrOff[v], old.NbrOff[v+1]
+		for k := cur.NbrOff[v]; k < cur.NbrOff[v+1]; k++ {
+			u := cur.NbrDat[k]
+			for o < oEnd && old.NbrDat[o] < u {
+				o++
+			}
+			if o < oEnd && old.NbrDat[o] == u {
+				remap[k] = o
+				o++
+			} else {
+				remap[k] = -1
+			}
+		}
+	}
+	return remap
+}
+
 // N returns the number of nodes of the snapshot.
 func (c *CSR) N() int { return len(c.NbrOff) - 1 }
 

@@ -26,6 +26,12 @@ func (g *Graph) Encode(w io.Writer) error {
 	return bw.Flush()
 }
 
+// maxDecodeNodes bounds the node count Decode accepts. The header
+// allocates adjacency storage proportional to its claim, so without a
+// cap a 10-byte malformed input can demand gigabytes; 1<<26 nodes is
+// far beyond any instance the engines can execute anyway.
+const maxDecodeNodes = 1 << 26
+
 // Decode parses a graph in edge-list format.
 func Decode(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
@@ -47,6 +53,9 @@ func Decode(r io.Reader) (*Graph, error) {
 			if err != nil || n < 0 {
 				return nil, fmt.Errorf("graph: line %d: bad node count %q", line, fields[1])
 			}
+			if n > maxDecodeNodes {
+				return nil, fmt.Errorf("graph: line %d: node count %d exceeds limit %d", line, n, maxDecodeNodes)
+			}
 			g = New(n)
 			continue
 		}
@@ -67,6 +76,12 @@ func Decode(r io.Reader) (*Graph, error) {
 	}
 	if g == nil {
 		return nil, fmt.Errorf("graph: missing header line")
+	}
+	// Decoded graphs feed the same engines as generated ones; hold them
+	// to the same structural contract (sorted duplicate-free adjacency,
+	// port symmetry, consistent edge count) before anything binds them.
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: decoded graph invalid: %w", err)
 	}
 	return g, nil
 }

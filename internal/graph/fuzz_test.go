@@ -1,0 +1,60 @@
+package graph_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"stoneage/internal/graph"
+)
+
+// FuzzDecode hardens the edge-list parser against malformed input: on
+// arbitrary bytes Decode must return cleanly (graph or error, never a
+// panic), every successfully decoded graph must satisfy the structural
+// Validate contract, and Encode∘Decode must be the identity on it.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte("n 3\n0 1\n1 2\n"))
+	f.Add([]byte("# comment\nn 0\n"))
+	f.Add([]byte("n 2\n0 1\n0 1\n"))   // duplicate edge
+	f.Add([]byte("n 2\n1 1\n"))        // self-loop
+	f.Add([]byte("n 2\n0 7\n"))        // out of range
+	f.Add([]byte("n -1\n"))            // bad count
+	f.Add([]byte("0 1\n"))             // missing header
+	f.Add([]byte("n 4\n0 1 2\n"))      // wrong arity
+	f.Add([]byte("n 99999999999\n"))   // allocation-bomb header
+	f.Add([]byte("n 3\n\n #x\n2 0\n")) // blanks and comments
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := graph.Decode(bytes.NewReader(data))
+		if err != nil {
+			if g != nil {
+				t.Fatalf("Decode returned both a graph and error %v", err)
+			}
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("decoded graph fails Validate: %v", err)
+		}
+		var enc strings.Builder
+		if err := g.Encode(&enc); err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		back, err := graph.Decode(strings.NewReader(enc.String()))
+		if err != nil {
+			t.Fatalf("re-decoding encoded graph: %v", err)
+		}
+		if back.N() != g.N() || back.M() != g.M() {
+			t.Fatalf("roundtrip shape (%d,%d) != (%d,%d)", back.N(), back.M(), g.N(), g.M())
+		}
+		for v := 0; v < g.N(); v++ {
+			a, b := g.Neighbors(v), back.Neighbors(v)
+			if len(a) != len(b) {
+				t.Fatalf("roundtrip degree of %d: %d != %d", v, len(b), len(a))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("roundtrip neighbor %d of %d: %d != %d", i, v, b[i], a[i])
+				}
+			}
+		}
+	})
+}

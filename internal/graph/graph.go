@@ -80,6 +80,29 @@ func (g *Graph) AddEdge(u, v int) error {
 	return nil
 }
 
+// RemoveEdge deletes the undirected edge {u, v}. Removing an absent edge
+// (or an out-of-range endpoint) is an error: the dynamic-network layer
+// treats a redundant removal as a scenario bug, not a no-op.
+func (g *Graph) RemoveEdge(u, v int) error {
+	n := g.N()
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, n)
+	}
+	if !g.HasEdge(u, v) {
+		return fmt.Errorf("graph: removing absent edge (%d,%d)", u, v)
+	}
+	g.remove(u, v)
+	g.remove(v, u)
+	g.m--
+	return nil
+}
+
+func (g *Graph) remove(u, v int) {
+	nb := g.adj[u]
+	i := sort.SearchInts(nb, v)
+	g.adj[u] = append(nb[:i], nb[i+1:]...)
+}
+
 // mustAddEdge is the internal generator helper: generators construct edges
 // they know to be fresh and in range.
 func (g *Graph) mustAddEdge(u, v int) {

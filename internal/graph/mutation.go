@@ -1,0 +1,119 @@
+package graph
+
+import "fmt"
+
+// This file defines the topology-mutation vocabulary of the dynamic
+// network layer (internal/scenario schedules mutations; the engines
+// apply them between rounds / at absolute times). The nFSM paper's
+// networks are "highly dynamic and error-prone"; a Mutation is one
+// atomic perturbation of that kind.
+//
+// The node-id space is fixed for the lifetime of a run: mutations add
+// and remove edges and toggle node liveness, but never renumber nodes.
+// Liveness (crash/restart/wake) is execution state, not topology — a
+// crashed node keeps its incident edges (its neighbors' ports retain
+// whatever it last transmitted, stale) — so the liveness kinds validate
+// their node id here and are interpreted by the engines.
+
+// MutationKind enumerates the perturbation vocabulary.
+type MutationKind uint8
+
+const (
+	// MutAddEdge inserts the edge {U, V}. Both new ports start at the
+	// machine's initial letter, exactly like a port at round 0.
+	MutAddEdge MutationKind = iota
+	// MutRemoveEdge deletes the edge {U, V}; both ports disappear and
+	// their letters leave the endpoints' counts.
+	MutRemoveEdge
+	// MutCrashNode halts node U: it stops taking steps and transmits
+	// nothing. Its state and its neighbors' ports from it freeze.
+	MutCrashNode
+	// MutRestartNode reboots a crashed node U: it resumes from the
+	// machine's input state with all of its own ports reset to the
+	// initial letter (a reboot clears local memory, ports included).
+	MutRestartNode
+	// MutWakeNode starts a node U that has been asleep since round 0
+	// (scenario.Scenario.Asleep); semantics of the start are identical
+	// to MutRestartNode, but waking a node that was never asleep — or
+	// restarting one that never crashed — is a scenario bug, and the
+	// two kinds keep that validation distinct.
+	MutWakeNode
+)
+
+// String names the kind for error messages and traces.
+func (k MutationKind) String() string {
+	switch k {
+	case MutAddEdge:
+		return "add-edge"
+	case MutRemoveEdge:
+		return "remove-edge"
+	case MutCrashNode:
+		return "crash"
+	case MutRestartNode:
+		return "restart"
+	case MutWakeNode:
+		return "wake"
+	}
+	return fmt.Sprintf("mutation(%d)", uint8(k))
+}
+
+// Mutation is one atomic perturbation. U and V are the edge endpoints
+// for the edge kinds; the liveness kinds use U alone (V must be 0).
+type Mutation struct {
+	Kind MutationKind `json:"kind"`
+	U    int          `json:"u"`
+	V    int          `json:"v,omitempty"`
+}
+
+// String renders the mutation compactly.
+func (m Mutation) String() string {
+	switch m.Kind {
+	case MutAddEdge, MutRemoveEdge:
+		return fmt.Sprintf("%s(%d,%d)", m.Kind, m.U, m.V)
+	default:
+		return fmt.Sprintf("%s(%d)", m.Kind, m.U)
+	}
+}
+
+// Touches returns the nodes whose local neighborhood the mutation
+// perturbs: both endpoints for the edge kinds, the node itself for
+// restart/wake. A crash touches nothing — the crashed node stops
+// executing and is reset at restart, and its neighbors' views merely go
+// stale, which is exactly the error-proneness protocols must tolerate.
+func (m Mutation) Touches() []int {
+	switch m.Kind {
+	case MutAddEdge, MutRemoveEdge:
+		return []int{m.U, m.V}
+	case MutRestartNode, MutWakeNode:
+		return []int{m.U}
+	}
+	return nil
+}
+
+// Topological reports whether the mutation changes the edge set (and
+// therefore forces the engines down the CSR rebind path; liveness-only
+// batches take the patch path and keep the layout).
+func (m Mutation) Topological() bool {
+	return m.Kind == MutAddEdge || m.Kind == MutRemoveEdge
+}
+
+// Apply applies the mutation's topological effect to g, validating node
+// ranges for every kind. Liveness kinds leave the graph untouched (the
+// engines interpret them against their own liveness state).
+func (m Mutation) Apply(g *Graph) error {
+	switch m.Kind {
+	case MutAddEdge:
+		return g.AddEdge(m.U, m.V)
+	case MutRemoveEdge:
+		return g.RemoveEdge(m.U, m.V)
+	case MutCrashNode, MutRestartNode, MutWakeNode:
+		if m.U < 0 || m.U >= g.N() {
+			return fmt.Errorf("graph: %s node %d out of range [0,%d)", m.Kind, m.U, g.N())
+		}
+		if m.V != 0 {
+			return fmt.Errorf("graph: %s carries a stray second node %d", m.Kind, m.V)
+		}
+		return nil
+	}
+	return fmt.Errorf("graph: unknown mutation kind %d", m.Kind)
+}

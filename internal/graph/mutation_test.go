@@ -1,0 +1,216 @@
+package graph_test
+
+import (
+	"strings"
+	"testing"
+
+	"stoneage/internal/graph"
+	"stoneage/internal/xrand"
+)
+
+func TestRemoveEdge(t *testing.T) {
+	g := graph.New(4)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {0, 3}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.RemoveEdge(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 3 || g.HasEdge(1, 2) || g.HasEdge(2, 1) {
+		t.Fatalf("edge (1,2) survived removal: m=%d", g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.RemoveEdge(1, 2); err == nil {
+		t.Fatal("second removal of (1,2) should fail")
+	}
+	if err := g.RemoveEdge(0, 9); err == nil {
+		t.Fatal("out-of-range removal should fail")
+	}
+	// Re-adding after removal restores the edge.
+	if err := g.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 4 || !g.HasEdge(1, 2) {
+		t.Fatal("re-add after removal failed")
+	}
+}
+
+func TestMutationApply(t *testing.T) {
+	g := graph.Path(5)
+	cases := []struct {
+		m  graph.Mutation
+		ok bool
+	}{
+		{graph.Mutation{Kind: graph.MutAddEdge, U: 0, V: 4}, true},
+		{graph.Mutation{Kind: graph.MutAddEdge, U: 0, V: 1}, false}, // duplicate
+		{graph.Mutation{Kind: graph.MutAddEdge, U: 2, V: 2}, false}, // self-loop
+		{graph.Mutation{Kind: graph.MutRemoveEdge, U: 1, V: 2}, true},
+		{graph.Mutation{Kind: graph.MutRemoveEdge, U: 1, V: 2}, false}, // absent
+		{graph.Mutation{Kind: graph.MutCrashNode, U: 3}, true},
+		{graph.Mutation{Kind: graph.MutCrashNode, U: 7}, false}, // out of range
+		{graph.Mutation{Kind: graph.MutRestartNode, U: 3}, true},
+		{graph.Mutation{Kind: graph.MutWakeNode, U: 0}, true},
+		{graph.Mutation{Kind: graph.MutWakeNode, U: 0, V: 2}, false}, // stray V
+		{graph.Mutation{Kind: graph.MutationKind(99), U: 0}, false},
+	}
+	for _, c := range cases {
+		err := c.m.Apply(g)
+		if (err == nil) != c.ok {
+			t.Errorf("%s: error = %v, want ok=%v", c.m, err, c.ok)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 4 { // path had 4 edges: +1 (chord) −1 (removal)
+		t.Fatalf("m = %d after mutations, want 4", g.M())
+	}
+}
+
+func TestMutationTouchesAndString(t *testing.T) {
+	add := graph.Mutation{Kind: graph.MutAddEdge, U: 1, V: 2}
+	if got := add.Touches(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("add.Touches() = %v", got)
+	}
+	if got := (graph.Mutation{Kind: graph.MutCrashNode, U: 3}).Touches(); got != nil {
+		t.Fatalf("crash.Touches() = %v, want nil", got)
+	}
+	if got := (graph.Mutation{Kind: graph.MutRestartNode, U: 3}).Touches(); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("restart.Touches() = %v", got)
+	}
+	if !add.Topological() || (graph.Mutation{Kind: graph.MutWakeNode}).Topological() {
+		t.Fatal("Topological misclassifies kinds")
+	}
+	if s := add.String(); !strings.Contains(s, "add-edge") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+// TestRemapPorts pins the port-identity contract: after an arbitrary
+// add/remove batch, every directed edge that exists in both snapshots
+// maps to the slot holding the same (from, to) pair, and new edges map
+// to -1.
+func TestRemapPorts(t *testing.T) {
+	src := xrand.New(7)
+	for trial := 0; trial < 50; trial++ {
+		g := graph.Gnp(20, 0.2, src)
+		old := g.CSR()
+		gOld := g.Clone()
+
+		// Random batch: flip ~6 node pairs.
+		for i := 0; i < 6; i++ {
+			u, v := src.Intn(20), src.Intn(20)
+			if u == v {
+				continue
+			}
+			if g.HasEdge(u, v) {
+				if err := g.RemoveEdge(u, v); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				if err := g.AddEdge(u, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		cur := g.CSR()
+		remap := graph.RemapPorts(old, cur)
+
+		for v := 0; v < g.N(); v++ {
+			nb := g.Neighbors(v)
+			for i, u := range nb {
+				k := int(cur.NbrOff[v]) + i
+				if cur.NbrDat[k] != int32(u) {
+					t.Fatalf("CSR slot %d of node %d holds %d, want %d", i, v, cur.NbrDat[k], u)
+				}
+				if gOld.HasEdge(v, u) {
+					o := remap[k]
+					if o < 0 {
+						t.Fatalf("surviving edge %d→%d mapped to -1", v, u)
+					}
+					if int(old.NbrDat[o]) != u || o < old.NbrOff[v] || o >= old.NbrOff[v+1] {
+						t.Fatalf("edge %d→%d remapped to slot %d holding %d→%d",
+							v, u, o, v, old.NbrDat[o])
+					}
+				} else if remap[k] != -1 {
+					t.Fatalf("new edge %d→%d mapped to old slot %d", v, u, remap[k])
+				}
+			}
+		}
+	}
+}
+
+// TestInducedSubgraphInvariants pins the port/relabel contract of
+// InducedSubgraph: the orig mapping is strictly increasing (so relative
+// port order of surviving neighbors is preserved), degrees match the
+// kept-neighbor counts, every subgraph edge pulls back to an original
+// edge and vice versa, and the result passes Validate.
+func TestInducedSubgraphInvariants(t *testing.T) {
+	src := xrand.New(11)
+	for trial := 0; trial < 40; trial++ {
+		n := 5 + src.Intn(30)
+		g := graph.Gnp(n, 0.25, src)
+		keep := make([]bool, n)
+		for v := range keep {
+			keep[v] = src.Intn(3) > 0
+		}
+		sub, orig := g.InducedSubgraph(keep)
+		if err := sub.Validate(); err != nil {
+			t.Fatalf("induced subgraph invalid: %v", err)
+		}
+		for i := 1; i < len(orig); i++ {
+			if orig[i-1] >= orig[i] {
+				t.Fatalf("orig not strictly increasing at %d: %v", i, orig)
+			}
+		}
+		for i, v := range orig {
+			if !keep[v] {
+				t.Fatalf("orig[%d] = %d was not kept", i, v)
+			}
+			// Degree = number of kept neighbors of the original node.
+			kept := 0
+			for _, u := range g.Neighbors(v) {
+				if keep[u] {
+					kept++
+				}
+			}
+			if sub.Degree(i) != kept {
+				t.Fatalf("degree of %d (orig %d) = %d, want %d", i, v, sub.Degree(i), kept)
+			}
+			// Port order: successive sub-neighbors pull back to
+			// successive kept original neighbors, in the same order.
+			prev := -1
+			for port, u := range sub.Neighbors(i) {
+				ou := orig[u]
+				if !g.HasEdge(v, ou) {
+					t.Fatalf("sub edge (%d,%d) pulls back to non-edge (%d,%d)", i, u, v, ou)
+				}
+				if ou <= prev {
+					t.Fatalf("port %d of %d breaks relative order: orig %d after %d", port, i, ou, prev)
+				}
+				prev = ou
+			}
+		}
+		// Every original edge with both endpoints kept appears in sub.
+		newID := make(map[int]int, len(orig))
+		for i, v := range orig {
+			newID[v] = i
+		}
+		want := 0
+		for _, e := range g.Edges() {
+			if keep[e[0]] && keep[e[1]] {
+				want++
+				if !sub.HasEdge(newID[e[0]], newID[e[1]]) {
+					t.Fatalf("kept edge (%d,%d) missing from subgraph", e[0], e[1])
+				}
+			}
+		}
+		if sub.M() != want {
+			t.Fatalf("sub.M() = %d, want %d", sub.M(), want)
+		}
+	}
+}

@@ -51,6 +51,13 @@ const (
 	// CapExtended marks protocols in the extended nFSM model (targeted
 	// transmission and port memory, as the matching protocol needs).
 	CapExtended
+	// CapSelfStabilizing marks protocols that re-converge to a valid
+	// output from arbitrary perturbed configurations (stale ports,
+	// reset neighbors, changed topology) with no coordinated restart.
+	// The dynamic execution layer keys its default reset discipline on
+	// it: self-stabilizing protocols run scenarios under
+	// scenario.ResetNone, everything else under scenario.ResetAll.
+	CapSelfStabilizing
 )
 
 // capNames orders the capability labels for display.
@@ -63,6 +70,7 @@ var capNames = []struct {
 	{CapSyncOnly, "sync-only"},
 	{CapNeedsIDs, "needs-ids"},
 	{CapExtended, "extended-model"},
+	{CapSelfStabilizing, "self-stabilizing"},
 }
 
 // Has reports whether every capability of f is set.
@@ -186,7 +194,20 @@ type Run struct {
 	TimeUnits     float64
 	Steps         int64
 	Lost          int64
+
+	// Dynamic-run extras (zero/nil for static runs). PerturbedAt lists
+	// when each mutation batch was applied — rounds (sync) or absolute
+	// times (async); Recovery is the recovery-time metric — rounds or
+	// time units from the last perturbation to the valid output
+	// configuration; FinalGraph is the post-mutation topology the
+	// output must be validated against.
+	PerturbedAt []float64
+	Recovery    float64
+	FinalGraph  *graph.Graph
 }
+
+// Perturbations is the number of mutation batches the run applied.
+func (r *Run) Perturbations() int { return len(r.PerturbedAt) }
 
 // Descriptor is one registered protocol: its identity, capabilities,
 // parameter domains, and behavior. Exactly one of Machine (engine-hosted

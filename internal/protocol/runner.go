@@ -9,6 +9,7 @@ import (
 	"stoneage/internal/engine"
 	"stoneage/internal/graph"
 	"stoneage/internal/nfsm"
+	"stoneage/internal/scenario"
 	"stoneage/internal/synchro"
 	"stoneage/internal/xrand"
 )
@@ -34,6 +35,12 @@ type SyncConfig struct {
 	// Observer, when non-nil, sees every round's state vector.
 	// Engine-hosted protocols only.
 	Observer func(round int, states []nfsm.State)
+	// Scenario, when non-nil and non-empty, makes the run dynamic
+	// (engine-hosted protocols only). A scenario.ResetAuto policy is
+	// resolved here against the protocol's capabilities:
+	// self-stabilizing protocols run under ResetNone, the rest under
+	// ResetAll.
+	Scenario *scenario.Scenario
 }
 
 // AsyncConfig parameterizes an asynchronous protocol run.
@@ -44,6 +51,10 @@ type AsyncConfig struct {
 	Adversary engine.Adversary
 	// MaxSteps bounds the run (0 = engine default).
 	MaxSteps int64
+	// Scenario, when non-nil and non-empty, makes the run dynamic;
+	// batch times are absolute asynchronous times. ResetAuto resolves
+	// as in SyncConfig.
+	Scenario *scenario.Scenario
 }
 
 // ResolveArgs fills defaults for missing parameters and validates every
@@ -210,10 +221,37 @@ func (b *Bound) StateNames() []string {
 	return m.StateNames
 }
 
+// resolveScenario normalizes a run's scenario: empty scenarios drop to
+// nil (the static path), bespoke engines reject dynamic runs (no
+// scenario hook), and a ResetAuto policy resolves against the
+// protocol's capabilities — self-stabilizing protocols need no reset at
+// all, while for terminating protocols a global restart is the one
+// discipline that provably re-converges on the new graph.
+func (b *Bound) resolveScenario(sc *scenario.Scenario) (*scenario.Scenario, error) {
+	if sc.Empty() {
+		return nil, nil
+	}
+	if b.d.Machine == nil {
+		return nil, fmt.Errorf("protocol %s: dynamic scenarios unsupported (bespoke engine)", b.d.Name)
+	}
+	if sc.Reset == scenario.ResetAuto {
+		if b.d.Caps.Has(CapSelfStabilizing) {
+			sc = sc.WithReset(scenario.ResetNone)
+		} else {
+			sc = sc.WithReset(scenario.ResetAll)
+		}
+	}
+	return sc, nil
+}
+
 // RunSync executes one synchronous run. Engine-hosted protocols run on
 // the compiled engine through the lazily bound shared program; bespoke
 // protocols run their own Solve.
 func (b *Bound) RunSync(cfg SyncConfig) (*Run, error) {
+	sc, err := b.resolveScenario(cfg.Scenario)
+	if err != nil {
+		return nil, err
+	}
 	if b.d.Machine == nil {
 		if cfg.Observer != nil {
 			return nil, fmt.Errorf("protocol %s: observer unsupported (bespoke engine)", b.d.Name)
@@ -227,6 +265,7 @@ func (b *Bound) RunSync(cfg SyncConfig) (*Run, error) {
 	res, err := prog.RunSync(engine.SyncConfig{
 		Seed: cfg.Seed, MaxRounds: cfg.MaxRounds,
 		Workers: cfg.Workers, Observer: cfg.Observer,
+		Scenario: sc,
 	})
 	if err != nil {
 		return nil, err
@@ -235,7 +274,15 @@ func (b *Bound) RunSync(cfg SyncConfig) (*Run, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Run{Output: out, Rounds: res.Rounds, Transmissions: res.Transmissions}, nil
+	var perturbed []float64
+	for _, r := range res.PerturbedAt {
+		perturbed = append(perturbed, float64(r))
+	}
+	return &Run{
+		Output: out, Rounds: res.Rounds, Transmissions: res.Transmissions,
+		PerturbedAt: perturbed, Recovery: float64(res.RecoveryRounds),
+		FinalGraph: res.FinalGraph,
+	}, nil
 }
 
 // RunAsync compiles the protocol through the Theorem 3.1/3.4
@@ -245,6 +292,10 @@ func (b *Bound) RunSync(cfg SyncConfig) (*Run, error) {
 func (b *Bound) RunAsync(cfg AsyncConfig) (*Run, error) {
 	if b.d.Caps.Has(CapSyncOnly) {
 		return nil, fmt.Errorf("protocol %s runs on the sync engine only", b.d.Name)
+	}
+	sc, err := b.resolveScenario(cfg.Scenario)
+	if err != nil {
+		return nil, err
 	}
 	m, err := b.d.Machine(b.args)
 	if err != nil {
@@ -256,6 +307,7 @@ func (b *Bound) RunAsync(cfg AsyncConfig) (*Run, error) {
 	}
 	res, err := engine.RunAsync(compiled, b.g, engine.AsyncConfig{
 		Seed: cfg.Seed, Adversary: cfg.Adversary, MaxSteps: cfg.MaxSteps,
+		Scenario: sc,
 	})
 	if err != nil {
 		return nil, err
@@ -264,11 +316,28 @@ func (b *Bound) RunAsync(cfg AsyncConfig) (*Run, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Run{Output: out, TimeUnits: res.TimeUnits, Steps: res.Steps, Lost: res.Lost}, nil
+	return &Run{
+		Output: out, TimeUnits: res.TimeUnits, Steps: res.Steps, Lost: res.Lost,
+		PerturbedAt: append([]float64(nil), res.PerturbedAt...), Recovery: res.RecoveryTimeUnits,
+		FinalGraph: res.FinalGraph,
+	}, nil
 }
 
 // Check validates out against the bound graph.
 func (b *Bound) Check(out Output) error { return b.d.Check(b.args, b.g, out) }
+
+// CheckRun validates a run's output against the graph the run actually
+// ended on: the post-mutation FinalGraph for dynamic runs, the bound
+// graph for static ones. Every client of dynamic execution must
+// validate through this (checking a churned run against the bind-time
+// topology would be checking the wrong network).
+func (b *Bound) CheckRun(run *Run) error {
+	g := b.g
+	if run.FinalGraph != nil {
+		g = run.FinalGraph
+	}
+	return b.d.Check(b.args, g, run.Output)
+}
 
 // Mutate returns a corrupted copy of out that Check must reject.
 func (b *Bound) Mutate(out Output, src *xrand.Source) Output {

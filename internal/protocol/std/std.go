@@ -15,4 +15,5 @@ import (
 	_ "stoneage/internal/degcolor" // degcolor
 	_ "stoneage/internal/matching" // matching
 	_ "stoneage/internal/mis"      // mis
+	_ "stoneage/internal/ssmis"    // ssmis
 )

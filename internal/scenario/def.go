@@ -1,0 +1,364 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"stoneage/internal/graph"
+	"stoneage/internal/xrand"
+)
+
+// Def is a declarative scenario generator: the JSON-friendly form the
+// campaign Spec's `scenarios` axis and the stonesim CLI use. A Def
+// plus a concrete graph plus a seed deterministically yields a
+// Scenario — the campaign derives the seed from the trial's content
+// coordinates, so aggregates are bit-identical at every worker count.
+//
+// Kinds:
+//
+//   - "none": the static baseline — no perturbation (lets one spec
+//     sweep static and dynamic cells side by side).
+//   - "crash": a one-shot region crash. A BFS region of ⌈Frac·n⌉ nodes
+//     around a random root crashes after round At and restarts after
+//     round At+Every.
+//   - "churn": Poisson edge churn. Count batches, the first after
+//     round At and then every Every rounds; each batch flips
+//     max(1, Poisson(Rate)) node pairs — present edges are removed,
+//     absent ones added.
+//   - "wake": staggered wake-up. Only a random ⌈Frac·n⌉ seed group is
+//     awake at round 0; the rest sleep and wake in Count waves, the
+//     first after round At and then every Every rounds.
+type Def struct {
+	Kind string `json:"kind"`
+	// Frac is the region fraction (crash) or the initially awake
+	// fraction (wake); (0, 1], default 0.25.
+	Frac float64 `json:"frac,omitempty"`
+	// Rate is the mean number of edge flips per churn batch; > 0,
+	// default 2.
+	Rate float64 `json:"rate,omitempty"`
+	// At is the round the first batch follows (>= 0; engines apply a
+	// batch between rounds At and At+1). Nil (omitted in JSON) selects
+	// the default of 4; an explicit 0 — perturb before round 1 — is
+	// taken as given (pointer semantics, like campaign.Family.Param).
+	At *int `json:"at,omitempty"`
+	// Every is the round gap between successive batches (>= 1, default
+	// 8); for "crash" it is the downtime before the restart batch.
+	Every int `json:"every,omitempty"`
+	// Count is the number of churn batches or wake waves (>= 1,
+	// default 3). Ignored by "crash" (always crash + restart).
+	Count int `json:"count,omitempty"`
+	// Reset names the reset policy ("" = auto: none for
+	// self-stabilizing protocols, all for the rest).
+	Reset string `json:"reset,omitempty"`
+	// Label overrides the display name.
+	Label string `json:"label,omitempty"`
+}
+
+// None reports whether the def is the static baseline (empty kind is
+// treated as "none" so a zero Def is valid).
+func (d Def) None() bool { return d.Kind == "" || d.Kind == "none" }
+
+func (d Def) frac() float64 {
+	if d.Frac == 0 {
+		return 0.25
+	}
+	return d.Frac
+}
+
+func (d Def) rate() float64 {
+	if d.Rate == 0 {
+		return 2
+	}
+	return d.Rate
+}
+
+// Round wraps a literal first-batch round for a Def composed in Go
+// (JSON specs just write the number).
+func Round(v int) *int { return &v }
+
+func (d Def) at() int {
+	if d.At == nil {
+		return 4
+	}
+	return *d.At
+}
+
+func (d Def) every() int {
+	if d.Every == 0 {
+		return 8
+	}
+	return d.Every
+}
+
+func (d Def) count() int {
+	if d.Count == 0 {
+		return 3
+	}
+	return d.Count
+}
+
+// Name returns the def's display name. A non-default reset policy is
+// part of the name: two defs differing only in reset are distinct axis
+// entries (Key separates them), so their rows must be tellable apart
+// in tables and CSV without a Label.
+func (d Def) Name() string {
+	if d.Label != "" {
+		return d.Label
+	}
+	if d.None() {
+		return "none"
+	}
+	if d.Reset != "" && d.Reset != "auto" {
+		return fmt.Sprintf("%s/reset=%s", d.Kind, d.Reset)
+	}
+	return d.Kind
+}
+
+// Key canonicalizes the def's content for seed derivation and
+// duplicate detection: exactly the fields that change the resolved
+// scenario (generation or execution) participate — resolved to their
+// effective values, so "" and "auto" resets collapse, defaults equal
+// their explicit spellings, and fields the kind ignores (frac for
+// churn, rate/count for crash, rate for wake) are excluded. The
+// display label does not participate.
+func (d Def) Key() string {
+	if d.None() {
+		return "none"
+	}
+	reset, err := ParseReset(d.Reset)
+	if err != nil {
+		reset = ResetAuto // unreachable after Validate; keep Key total
+	}
+	switch d.Kind {
+	case "crash":
+		return fmt.Sprintf("crash/f=%g/at=%d/ev=%d/rs=%s", d.frac(), d.at(), d.every(), reset)
+	case "wake":
+		return fmt.Sprintf("wake/f=%g/at=%d/ev=%d/ct=%d/rs=%s", d.frac(), d.at(), d.every(), d.count(), reset)
+	}
+	return fmt.Sprintf("churn/r=%g/at=%d/ev=%d/ct=%d/rs=%s", d.rate(), d.at(), d.every(), d.count(), reset)
+}
+
+// Validate checks the def's static well-formedness.
+func (d Def) Validate() error {
+	switch {
+	case d.None():
+		if d.Frac != 0 || d.Rate != 0 || d.At != nil || d.Every != 0 || d.Count != 0 || d.Reset != "" {
+			return fmt.Errorf("scenario: kind %q takes no parameters", d.Name())
+		}
+		return nil
+	case d.Kind != "crash" && d.Kind != "churn" && d.Kind != "wake":
+		return fmt.Errorf("scenario: unknown kind %q (want none, crash, churn or wake)", d.Kind)
+	}
+	// Fields a kind ignores must be unset: a stray parameter would
+	// silently do nothing while suggesting it shaped the scenario (same
+	// rationale as the campaign families' stray-param rejection).
+	switch d.Kind {
+	case "churn":
+		if d.Frac != 0 {
+			return fmt.Errorf("scenario churn: frac is not a churn parameter (got %g)", d.Frac)
+		}
+	case "crash":
+		if d.Rate != 0 || d.Count != 0 {
+			return fmt.Errorf("scenario crash: rate/count are not crash parameters")
+		}
+	case "wake":
+		if d.Rate != 0 {
+			return fmt.Errorf("scenario wake: rate is not a wake parameter (got %g)", d.Rate)
+		}
+	}
+	if f := d.frac(); f <= 0 || f > 1 {
+		return fmt.Errorf("scenario %s: frac %g outside (0,1]", d.Kind, f)
+	}
+	if d.Kind == "churn" && d.rate() <= 0 {
+		return fmt.Errorf("scenario churn: rate %g must be positive", d.rate())
+	}
+	if d.at() < 0 {
+		return fmt.Errorf("scenario %s: at %d must be >= 0", d.Kind, d.at())
+	}
+	if d.every() < 1 {
+		return fmt.Errorf("scenario %s: every %d must be >= 1", d.Kind, d.Every)
+	}
+	if d.count() < 1 {
+		return fmt.Errorf("scenario %s: count %d must be >= 1", d.Kind, d.Count)
+	}
+	if _, err := ParseReset(d.Reset); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Generate builds the concrete scenario for one run on g. The result is
+// a pure function of (d, g, seed); it always validates against g and —
+// by construction of every kind — ends with all nodes awake, so final
+// outputs are decodable and checkable against the final graph.
+func (d Def) Generate(g *graph.Graph, seed uint64) (*Scenario, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	reset, err := ParseReset(d.Reset)
+	if err != nil {
+		return nil, err
+	}
+	if d.None() {
+		return &Scenario{Name: "none"}, nil
+	}
+	src := xrand.NewStream(seed, xrand.FNV("scenario"), xrand.FNV(d.Kind))
+	s := &Scenario{Name: d.Name(), Reset: reset}
+	n := g.N()
+	switch d.Kind {
+	case "crash":
+		if n == 0 {
+			break
+		}
+		region := bfsRegion(g, src.Intn(n), regionSize(d.frac(), n), src)
+		crash := make([]graph.Mutation, len(region))
+		restart := make([]graph.Mutation, len(region))
+		for i, v := range region {
+			crash[i] = graph.Mutation{Kind: graph.MutCrashNode, U: v}
+			restart[i] = graph.Mutation{Kind: graph.MutRestartNode, U: v}
+		}
+		s.Batches = []Batch{
+			{At: float64(d.at()), Muts: crash},
+			{At: float64(d.at() + d.every()), Muts: restart},
+		}
+	case "churn":
+		sim := g.Clone()
+		for i := 0; i < d.count(); i++ {
+			k := poisson(d.rate(), src)
+			if k < 1 {
+				k = 1
+			}
+			muts := make([]graph.Mutation, 0, k)
+			for j := 0; j < k; j++ {
+				if m, ok := flipPair(sim, src); ok {
+					muts = append(muts, m)
+				}
+			}
+			if len(muts) == 0 {
+				continue
+			}
+			s.Batches = append(s.Batches, Batch{At: float64(d.at() + i*d.every()), Muts: muts})
+		}
+	case "wake":
+		if n < 2 {
+			break // a single node is its own seed group; nothing to wake
+		}
+		perm := src.Perm(n)
+		awake := regionSize(d.frac(), n)
+		rest := perm[awake:]
+		s.Asleep = append([]int(nil), rest...)
+		sort.Ints(s.Asleep)
+		waves := d.count()
+		if waves > len(rest) {
+			waves = len(rest)
+		}
+		for i := 0; i < waves; i++ {
+			lo, hi := i*len(rest)/waves, (i+1)*len(rest)/waves
+			muts := make([]graph.Mutation, 0, hi-lo)
+			for _, v := range rest[lo:hi] {
+				muts = append(muts, graph.Mutation{Kind: graph.MutWakeNode, U: v})
+			}
+			s.Batches = append(s.Batches, Batch{At: float64(d.at() + i*d.every()), Muts: muts})
+		}
+	}
+	if err := s.Validate(g); err != nil {
+		return nil, fmt.Errorf("scenario %s: generator bug: %w", d.Name(), err)
+	}
+	return s, nil
+}
+
+// regionSize is ⌈frac·n⌉ clamped to [1, n].
+func regionSize(frac float64, n int) int {
+	k := int(math.Ceil(frac * float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// bfsRegion grows a breadth-first region of size k around root,
+// breaking out through random restarts when the component is exhausted
+// (so disconnected graphs still yield a k-node region).
+func bfsRegion(g *graph.Graph, root, k int, src *xrand.Source) []int {
+	n := g.N()
+	seen := make([]bool, n)
+	var region []int
+	queue := []int{root}
+	seen[root] = true
+	for len(region) < k {
+		if len(queue) == 0 {
+			// Component exhausted: restart from a random unseen node.
+			v := -1
+			for _, u := range src.Perm(n) {
+				if !seen[u] {
+					v = u
+					break
+				}
+			}
+			if v < 0 {
+				break
+			}
+			seen[v] = true
+			queue = append(queue, v)
+			continue
+		}
+		v := queue[0]
+		queue = queue[1:]
+		region = append(region, v)
+		for _, u := range g.Neighbors(v) {
+			if !seen[u] {
+				seen[u] = true
+				queue = append(queue, u)
+			}
+		}
+	}
+	sort.Ints(region)
+	return region
+}
+
+// flipPair picks a uniformly random node pair and returns the mutation
+// that toggles it, applying it to sim so later flips see the updated
+// edge set. It reports false when no legal pair exists (n < 2).
+func flipPair(sim *graph.Graph, src *xrand.Source) (graph.Mutation, bool) {
+	n := sim.N()
+	if n < 2 {
+		return graph.Mutation{}, false
+	}
+	u := src.Intn(n)
+	v := src.Intn(n - 1)
+	if v >= u {
+		v++
+	}
+	if u > v {
+		u, v = v, u
+	}
+	m := graph.Mutation{Kind: graph.MutAddEdge, U: u, V: v}
+	if sim.HasEdge(u, v) {
+		m.Kind = graph.MutRemoveEdge
+	}
+	if err := m.Apply(sim); err != nil {
+		panic("scenario: flipPair generated an inapplicable mutation: " + err.Error())
+	}
+	return m, true
+}
+
+// poisson draws a Poisson(mean) sample via Knuth's product method
+// (mean is small — a handful of flips per batch).
+func poisson(mean float64, src *xrand.Source) int {
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= src.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 1024 { // guard absurd means
+			return k
+		}
+	}
+}

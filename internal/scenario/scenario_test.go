@@ -1,0 +1,258 @@
+package scenario
+
+import (
+	"testing"
+
+	"stoneage/internal/graph"
+	"stoneage/internal/xrand"
+)
+
+func TestParseReset(t *testing.T) {
+	for s, want := range map[string]ResetPolicy{
+		"": ResetAuto, "auto": ResetAuto, "none": ResetNone,
+		"touched": ResetTouched, "neighborhood": ResetNeighborhood, "all": ResetAll,
+	} {
+		got, err := ParseReset(s)
+		if err != nil || got != want {
+			t.Errorf("ParseReset(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseReset("everything"); err == nil {
+		t.Fatal("ParseReset accepted an unknown policy")
+	}
+}
+
+func TestScenarioValidate(t *testing.T) {
+	g := graph.Path(6)
+	bad := []Scenario{
+		{Asleep: []int{9}},
+		{Asleep: []int{1, 1}},
+		{Batches: []Batch{{At: -1}}},
+		{Batches: []Batch{{At: 5}, {At: 3}}}, // out of order
+		{Batches: []Batch{{At: 1, Muts: []graph.Mutation{{Kind: graph.MutRemoveEdge, U: 0, V: 5}}}}},
+		{Batches: []Batch{{At: 1, Muts: []graph.Mutation{{Kind: graph.MutRestartNode, U: 2}}}}}, // never crashed
+		{Batches: []Batch{{At: 1, Muts: []graph.Mutation{{Kind: graph.MutWakeNode, U: 2}}}}},    // not asleep
+		{Batches: []Batch{{At: 1, Muts: []graph.Mutation{
+			{Kind: graph.MutCrashNode, U: 2}, {Kind: graph.MutCrashNode, U: 2}}}}}, // double crash
+	}
+	for i, s := range bad {
+		if err := s.Validate(g); err == nil {
+			t.Errorf("bad scenario %d validated", i)
+		}
+	}
+	good := Scenario{
+		Asleep: []int{4},
+		Batches: []Batch{
+			{At: 2, Muts: []graph.Mutation{{Kind: graph.MutCrashNode, U: 0}, {Kind: graph.MutAddEdge, U: 1, V: 3}}},
+			{At: 5, Muts: []graph.Mutation{{Kind: graph.MutRestartNode, U: 0}, {Kind: graph.MutWakeNode, U: 4}}},
+			{At: 5, Muts: []graph.Mutation{{Kind: graph.MutRemoveEdge, U: 1, V: 3}}},
+		},
+	}
+	if err := good.Validate(g); err != nil {
+		t.Fatalf("good scenario rejected: %v", err)
+	}
+	// Validation must not mutate the argument graph.
+	if g.M() != 5 || g.HasEdge(1, 3) {
+		t.Fatal("Validate mutated the input graph")
+	}
+}
+
+func TestResetSet(t *testing.T) {
+	g := graph.Path(6) // 0-1-2-3-4-5
+	b := Batch{Muts: []graph.Mutation{
+		{Kind: graph.MutAddEdge, U: 1, V: 3},
+		{Kind: graph.MutRestartNode, U: 5},
+		{Kind: graph.MutCrashNode, U: 0}, // crash touches nothing
+	}}
+	if got := b.ResetSet(ResetNone, g); got != nil {
+		t.Fatalf("ResetNone = %v", got)
+	}
+	if got := b.ResetSet(ResetTouched, g); !equalInts(got, []int{1, 3, 5}) {
+		t.Fatalf("ResetTouched = %v, want [1 3 5]", got)
+	}
+	// Neighborhood on the post-mutation graph: with chord {1,3} present,
+	// N[{1,3,5}] = {0,1,2,3,4,5}.
+	gg := g.Clone()
+	if err := gg.AddEdge(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.ResetSet(ResetNeighborhood, gg); !equalInts(got, []int{0, 1, 2, 3, 4, 5}) {
+		t.Fatalf("ResetNeighborhood = %v", got)
+	}
+	if got := b.ResetSet(ResetAll, g); len(got) != 6 {
+		t.Fatalf("ResetAll = %v", got)
+	}
+}
+
+func TestLiveness(t *testing.T) {
+	l := NewLiveness(4, []int{2})
+	if l.NumAwake() != 3 || l.Awake(2) {
+		t.Fatalf("initial liveness wrong: awake=%d", l.NumAwake())
+	}
+	if _, err := l.Apply(graph.Mutation{Kind: graph.MutCrashNode, U: 2}); err == nil {
+		t.Fatal("crashed an asleep node")
+	}
+	started, err := l.Apply(graph.Mutation{Kind: graph.MutWakeNode, U: 2})
+	if err != nil || len(started) != 1 || started[0] != 2 || !l.Awake(2) || l.NumAwake() != 4 {
+		t.Fatalf("wake: started=%v err=%v awake=%d", started, err, l.NumAwake())
+	}
+	if _, err := l.Apply(graph.Mutation{Kind: graph.MutCrashNode, U: 0}); err != nil || l.NumAwake() != 3 {
+		t.Fatalf("crash failed: %v", err)
+	}
+	started, err = l.Apply(graph.Mutation{Kind: graph.MutRestartNode, U: 0})
+	if err != nil || len(started) != 1 || started[0] != 0 {
+		t.Fatalf("restart: started=%v err=%v", started, err)
+	}
+}
+
+func TestDefValidate(t *testing.T) {
+	bad := []Def{
+		{Kind: "quake"},
+		{Kind: "none", Frac: 0.5},
+		{Kind: "crash", Frac: 1.5},
+		{Kind: "churn", Rate: -1},
+		{Kind: "wake", At: Round(-2)},
+		{Kind: "crash", Every: -1},
+		{Kind: "churn", Count: -3},
+		{Kind: "crash", Reset: "sometimes"},
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("bad def %d (%+v) validated", i, d)
+		}
+	}
+	good := []Def{
+		{}, {Kind: "none"},
+		{Kind: "crash"}, {Kind: "crash", Frac: 0.5, At: Round(2), Every: 4, Reset: "all"},
+		{Kind: "churn", Rate: 3, Count: 5},
+		{Kind: "wake", Frac: 0.1, Every: 2},
+	}
+	for i, d := range good {
+		if err := d.Validate(); err != nil {
+			t.Errorf("good def %d: %v", i, err)
+		}
+	}
+}
+
+// TestGenerate checks every kind's structural guarantees on a spread of
+// graphs: the scenario validates, is deterministic in the seed, and
+// ends with all nodes awake.
+func TestGenerate(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.Path(1),
+		graph.Path(12),
+		graph.Gnp(40, 0.1, xrand.New(3)),
+		graph.Star(9),
+	}
+	defs := []Def{
+		{Kind: "none"},
+		{Kind: "crash", Frac: 0.3},
+		{Kind: "churn", Rate: 2, Count: 4, Every: 3},
+		{Kind: "wake", Frac: 0.25, Count: 3, Every: 2},
+	}
+	for _, g := range graphs {
+		for _, d := range defs {
+			s1, err := d.Generate(g, 42)
+			if err != nil {
+				t.Fatalf("%s on n=%d: %v", d.Name(), g.N(), err)
+			}
+			s2, err := d.Generate(g, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(s1.Batches) != len(s2.Batches) || len(s1.Asleep) != len(s2.Asleep) {
+				t.Fatalf("%s: generation not deterministic", d.Name())
+			}
+			for i := range s1.Batches {
+				if len(s1.Batches[i].Muts) != len(s2.Batches[i].Muts) || s1.Batches[i].At != s2.Batches[i].At {
+					t.Fatalf("%s: batch %d differs across identical generations", d.Name(), i)
+				}
+			}
+			if d.None() != s1.Empty() && g.N() > 1 {
+				t.Fatalf("%s on n=%d: empty=%v", d.Name(), g.N(), s1.Empty())
+			}
+			// All-awake-at-end guarantee: count liveness transitions.
+			down := len(s1.Asleep)
+			for _, b := range s1.Batches {
+				for _, m := range b.Muts {
+					switch m.Kind {
+					case graph.MutCrashNode:
+						down++
+					case graph.MutRestartNode, graph.MutWakeNode:
+						down--
+					}
+				}
+			}
+			if down != 0 {
+				t.Fatalf("%s on n=%d: %d nodes left non-awake at the end", d.Name(), g.N(), down)
+			}
+		}
+	}
+}
+
+func TestDefKeyAndName(t *testing.T) {
+	a := Def{Kind: "churn", Rate: 2}
+	b := Def{Kind: "churn", Rate: 3}
+	if a.Key() == b.Key() {
+		t.Fatal("different defs share a key")
+	}
+	if a.Key() != (Def{Kind: "churn", Rate: 2, Label: "x"}).Key() {
+		t.Fatal("label must not perturb the key")
+	}
+	if (Def{}).Key() != "none" || (Def{Kind: "none"}).Name() != "none" {
+		t.Fatal("zero def is not canonical none")
+	}
+	if (Def{Kind: "crash", Label: "blackout"}).Name() != "blackout" {
+		t.Fatal("label does not override the name")
+	}
+	// Defs differing only in reset are distinct axis entries; both the
+	// key AND the display name must separate them, or their campaign
+	// rows would be indistinguishable.
+	all := Def{Kind: "churn", Reset: "all"}
+	none := Def{Kind: "churn", Reset: "none"}
+	if all.Key() == none.Key() || all.Name() == none.Name() {
+		t.Fatalf("reset-distinct defs collide: names %q / %q", all.Name(), none.Name())
+	}
+	if none.Name() != "churn/reset=none" {
+		t.Fatalf("Name() = %q", none.Name())
+	}
+	if (Def{Kind: "churn", Reset: "auto"}).Name() != "churn" {
+		t.Fatal("auto reset must not clutter the name")
+	}
+}
+
+// TestExplicitZeroAt pins the pointer semantics of Def.At: an explicit
+// 0 — perturb before round 1 — must not be coerced to the default.
+func TestExplicitZeroAt(t *testing.T) {
+	g := graph.Path(12)
+	zero := Def{Kind: "crash", At: Round(0), Every: 4}
+	sc, err := zero.Generate(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Batches[0].At != 0 {
+		t.Fatalf("explicit at=0 generated first batch at %g", sc.Batches[0].At)
+	}
+	dflt, err := Def{Kind: "crash", Every: 4}.Generate(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dflt.Batches[0].At != 4 {
+		t.Fatalf("default at generated first batch at %g, want 4", dflt.Batches[0].At)
+	}
+	if zero.Key() == (Def{Kind: "crash", Every: 4}).Key() {
+		t.Fatal("at=0 def shares a key with the default")
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,139 @@
+// Package ssmis implements a self-stabilizing maximal-independent-set
+// protocol in the round-protocol model: a continuous claim/backoff
+// process in the style of the classical randomized MIS stabilizations
+// (Luby-like claims, coin-flip conflict resolution), written as an
+// nFSM round protocol with four states, a two-letter alphabet and
+// b = 1.
+//
+// Unlike the paper's Figure 1 tournament — whose WIN/LOSE states are
+// absorbing sinks, so a topology change after convergence can strand an
+// invalid configuration forever — no state here is a sink: every node
+// transmits its current claim every round, and the stable states react
+// the moment a neighbor's claim contradicts them. That is what makes
+// the protocol genuinely self-stabilizing: from ANY combination of
+// states and stale port contents, one round refreshes every port (all
+// nodes emit every round) and the process re-converges with no reset.
+// The dynamic execution layer exploits exactly this: ssmis runs
+// topology-churn scenarios under scenario.ResetNone, where the paper's
+// mis needs a global restart (scenario.ResetAll).
+//
+// Stability argument (why a terminating configuration is an MIS): the
+// engine stops when every node is in InStable or OutStable. A node
+// enters or keeps InStable only when it counted zero IN claims, and a
+// node claiming IN always emitted the IN letter in the round before —
+// so two adjacent InStable nodes are impossible (independence). A node
+// enters OutStable only when it counted at least one IN claim; the
+// claiming neighbor ended that round claiming IN (had it backed off it
+// would be in the non-output OutUnstable and the engine would not have
+// stopped), so every OutStable node has an InStable neighbor
+// (maximality, and domination is by an actual member).
+package ssmis
+
+import (
+	"fmt"
+
+	"stoneage/internal/graph"
+	"stoneage/internal/nfsm"
+	"stoneage/internal/protocol"
+)
+
+// The four states: the In/Out claim crossed with whether the last
+// observation confirmed it (stable states are the output set).
+const (
+	InUnstable nfsm.State = iota
+	OutUnstable
+	InStable
+	OutStable
+
+	numStates = 4
+)
+
+// The two-letter alphabet: a node's transmitted claim.
+const (
+	letIn nfsm.Letter = iota
+	letOut
+)
+
+var stateNames = []string{"IN?", "OUT?", "IN", "OUT"}
+
+func transition(q nfsm.State, counts []nfsm.Count) []nfsm.Move {
+	inNeighbor := counts[letIn] > 0
+	if q == InUnstable || q == InStable {
+		if inNeighbor {
+			// Conflict: back off with probability 1/2, else insist.
+			return []nfsm.Move{
+				{Next: OutUnstable, Emit: letOut},
+				{Next: InUnstable, Emit: letIn},
+			}
+		}
+		return []nfsm.Move{{Next: InStable, Emit: letIn}}
+	}
+	if inNeighbor {
+		return []nfsm.Move{{Next: OutStable, Emit: letOut}}
+	}
+	// No claimed neighbor: try to join with probability 1/2.
+	return []nfsm.Move{
+		{Next: InUnstable, Emit: letIn},
+		{Next: OutUnstable, Emit: letOut},
+	}
+}
+
+// Protocol returns the self-stabilizing MIS round protocol.
+func Protocol() *nfsm.RoundProtocol {
+	return &nfsm.RoundProtocol{
+		Name:        "ssmis",
+		StateNames:  stateNames,
+		LetterNames: []string{"in", "out"},
+		Input:       []nfsm.State{OutUnstable},
+		Output:      []bool{false, false, true, true},
+		Initial:     letOut,
+		B:           1,
+		Transition:  transition,
+	}
+}
+
+// Extract converts a final state vector into the MIS membership mask.
+func Extract(states []nfsm.State) (protocol.Mask, error) {
+	mask := make(protocol.Mask, len(states))
+	for v, q := range states {
+		switch q {
+		case InStable:
+			mask[v] = true
+		case OutStable:
+		default:
+			name := "?"
+			if int(q) >= 0 && int(q) < len(stateNames) {
+				name = stateNames[q]
+			}
+			return nil, fmt.Errorf("ssmis: node %d ended in non-output state %s", v, name)
+		}
+	}
+	return mask, nil
+}
+
+// desc self-registers the protocol with the SelfStabilizing capability:
+// the dynamic execution layer runs its scenarios under
+// scenario.ResetNone, and campaigns can compare its churn recovery
+// against the restart-based recovery of the paper's mis.
+var desc = protocol.Register(&protocol.Descriptor{
+	Name:    "ssmis",
+	Summary: "self-stabilizing MIS — continuous claim/backoff, recovers from churn with no reset",
+	Caps:    protocol.CapSelfStabilizing,
+	Machine: func(protocol.Args) (*nfsm.RoundProtocol, error) { return Protocol(), nil },
+	Decode: func(_ protocol.Args, states []nfsm.State) (protocol.Output, error) {
+		return Extract(states)
+	},
+	Check: func(_ protocol.Args, g *graph.Graph, out protocol.Output) error {
+		return g.IsMaximalIndependentSet(out.(protocol.Mask))
+	},
+	Mutate: protocol.FlipMask,
+})
+
+// SolveSync runs the protocol on the compiled synchronous engine.
+func SolveSync(g *graph.Graph, seed uint64, maxRounds int) (protocol.Mask, int, error) {
+	run, err := desc.SolveSync(g, nil, protocol.SyncConfig{Seed: seed, MaxRounds: maxRounds})
+	if err != nil {
+		return nil, 0, err
+	}
+	return run.Output.(protocol.Mask), run.Rounds, nil
+}

@@ -1,0 +1,198 @@
+package ssmis_test
+
+import (
+	"testing"
+
+	"stoneage/internal/engine"
+	"stoneage/internal/graph"
+	"stoneage/internal/protocol"
+	"stoneage/internal/scenario"
+	"stoneage/internal/ssmis"
+	"stoneage/internal/xrand"
+
+	// The auto-reset test compares against mis, which registers via std.
+	_ "stoneage/internal/protocol/std"
+)
+
+func TestAudit(t *testing.T) {
+	if err := ssmis.Protocol().Audit(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConvergesToMIS runs the protocol statically over a family mix and
+// asserts every terminating configuration is a valid MIS.
+func TestConvergesToMIS(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.New(1),
+		graph.Path(2),
+		graph.Star(16),
+		graph.Cycle(31),
+		graph.Clique(12),
+		graph.GnpConnected(128, 4.0/128, xrand.New(4)),
+		graph.Torus(8, 8),
+	}
+	for gi, g := range graphs {
+		for seed := uint64(0); seed < 5; seed++ {
+			mask, rounds, err := ssmis.SolveSync(g, seed, 4096)
+			if err != nil {
+				t.Fatalf("graph %d seed %d: %v", gi, seed, err)
+			}
+			if err := g.IsMaximalIndependentSet(mask); err != nil {
+				t.Fatalf("graph %d seed %d: %v", gi, seed, err)
+			}
+			if g.N() > 1 && rounds < 1 {
+				t.Fatalf("graph %d seed %d: implausible round count %d", gi, seed, rounds)
+			}
+		}
+	}
+}
+
+// TestSelfStabilizesUnderChurnWithoutReset is the capability's
+// substance: under Poisson edge churn with scenario.ResetNone — no node
+// is ever reset, perturbed nodes keep their states and stale ports —
+// the protocol still ends on a valid MIS of the final graph, for every
+// seed tried. (The paper's mis cannot do this: its sinks are absorbing,
+// which is why its descriptor runs scenarios under ResetAll.)
+func TestSelfStabilizesUnderChurnWithoutReset(t *testing.T) {
+	d, err := protocol.Lookup("ssmis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Caps.Has(protocol.CapSelfStabilizing) {
+		t.Fatal("ssmis is not marked self-stabilizing")
+	}
+	def := scenario.Def{Kind: "churn", Rate: 3, Count: 5, At: scenario.Round(3), Every: 9, Reset: "none"}
+	for seed := uint64(1); seed <= 8; seed++ {
+		g := graph.GnpConnected(64, 4.0/64, xrand.New(seed))
+		sc, err := def.Generate(g, seed*101)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound, err := d.Bind(g, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run, err := bound.RunSync(protocol.SyncConfig{Seed: seed, MaxRounds: 8192, Scenario: sc})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if run.Perturbations() != len(sc.Batches) {
+			t.Fatalf("seed %d: %d perturbations, want %d", seed, run.Perturbations(), len(sc.Batches))
+		}
+		if err := bound.CheckRun(run); err != nil {
+			t.Fatalf("seed %d: output not an MIS of the final graph: %v", seed, err)
+		}
+		// The bind-time graph differs from the final one after churn;
+		// validating against it would be checking the wrong network.
+		if run.FinalGraph == nil {
+			t.Fatalf("seed %d: dynamic run reports no final graph", seed)
+		}
+	}
+}
+
+// TestAutoResetResolution pins the capability-keyed resolution: a
+// scenario with ResetAuto runs ssmis under ResetNone (bit-identical to
+// an explicit none) and mis under ResetAll (bit-identical to an
+// explicit all).
+func TestAutoResetResolution(t *testing.T) {
+	g := graph.GnpConnected(48, 4.0/48, xrand.New(6))
+	def := scenario.Def{Kind: "churn", Rate: 2, Count: 3, At: scenario.Round(4), Every: 12}
+	sc, err := def.Generate(g, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Reset != scenario.ResetAuto {
+		t.Fatalf("generated scenario reset = %v, want auto", sc.Reset)
+	}
+	for name, explicit := range map[string]scenario.ResetPolicy{
+		"ssmis": scenario.ResetNone,
+		"mis":   scenario.ResetAll,
+	} {
+		d, err := protocol.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound, err := d.Bind(g, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		auto, err := bound.RunSync(protocol.SyncConfig{Seed: 3, MaxRounds: 8192, Scenario: sc})
+		if err != nil {
+			t.Fatalf("%s auto: %v", name, err)
+		}
+		want, err := bound.RunSync(protocol.SyncConfig{Seed: 3, MaxRounds: 8192, Scenario: sc.WithReset(explicit)})
+		if err != nil {
+			t.Fatalf("%s explicit: %v", name, err)
+		}
+		if auto.Rounds != want.Rounds || auto.Transmissions != want.Transmissions || auto.Recovery != want.Recovery {
+			t.Fatalf("%s: auto (%d, %d, %g) != explicit %v (%d, %d, %g)",
+				name, auto.Rounds, auto.Transmissions, auto.Recovery,
+				explicit, want.Rounds, want.Transmissions, want.Recovery)
+		}
+	}
+}
+
+// TestAsyncDynamic exercises the synchronizer route under a dynamic
+// scenario: ssmis compiled through Theorem 3.1/3.4, churned, no reset,
+// valid MIS of the final graph.
+func TestAsyncDynamic(t *testing.T) {
+	d, err := protocol.Lookup("ssmis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.GnpConnected(24, 4.0/24, xrand.New(8))
+	// Async batch times are absolute times, not rounds: scale out so
+	// the synchronizer has room to simulate rounds between batches.
+	sc := &scenario.Scenario{
+		Name:  "async-churn",
+		Reset: scenario.ResetNone,
+		Batches: []scenario.Batch{
+			{At: 40, Muts: flips(g, 3, 17)},
+		},
+	}
+	bound, err := d.Bind(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := bound.RunAsync(protocol.AsyncConfig{
+		Seed:      5,
+		Adversary: engine.NamedAdversaries(31)["uniform"],
+		MaxSteps:  1 << 22,
+		Scenario:  sc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Perturbations() != 1 || run.FinalGraph == nil {
+		t.Fatalf("perturbations=%d finalGraph=%v", run.Perturbations(), run.FinalGraph)
+	}
+	if err := bound.CheckRun(run); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// flips builds k valid edge toggles against a clone of g.
+func flips(g *graph.Graph, k int, seed uint64) []graph.Mutation {
+	sim := g.Clone()
+	src := xrand.New(seed)
+	var muts []graph.Mutation
+	for len(muts) < k {
+		u, v := src.Intn(g.N()), src.Intn(g.N())
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		m := graph.Mutation{Kind: graph.MutAddEdge, U: u, V: v}
+		if sim.HasEdge(u, v) {
+			m.Kind = graph.MutRemoveEdge
+		}
+		if err := m.Apply(sim); err != nil {
+			panic(err)
+		}
+		muts = append(muts, m)
+	}
+	return muts
+}

@@ -21,6 +21,12 @@ type Histogram struct {
 	StateNames []string
 	// Counts[r][q] is the population of state q after round r+1.
 	Counts [][]int
+	// Marks lists perturbation rounds of a dynamic run, in the
+	// engine's convention (engine.SyncResult.PerturbedAt): an entry r
+	// means a mutation batch was applied between rounds r and r+1.
+	// WriteCSV renders them as the "perturbed" column, flagging the
+	// first round executed after each perturbation.
+	Marks []int
 }
 
 // NewHistogram builds a recorder for a machine with the given state
@@ -43,13 +49,22 @@ func (h *Histogram) Observer() func(round int, states []nfsm.State) {
 	}
 }
 
-// WriteCSV renders the histogram as CSV with a round column.
+// WriteCSV renders the histogram as CSV with a round column; dynamic
+// runs (Marks non-empty) additionally carry a perturbed column that is
+// 1 on the first round executed after each mutation batch.
 func (h *Histogram) WriteCSV(w io.Writer) error {
+	marked := make(map[int]bool, len(h.Marks))
+	for _, r := range h.Marks {
+		marked[r+1] = true
+	}
 	var b strings.Builder
 	b.WriteString("round")
 	for _, name := range h.StateNames {
 		b.WriteString(",")
 		b.WriteString(csvEscape(name))
+	}
+	if len(h.Marks) > 0 {
+		b.WriteString(",perturbed")
 	}
 	b.WriteString("\n")
 	for r, row := range h.Counts {
@@ -57,6 +72,13 @@ func (h *Histogram) WriteCSV(w io.Writer) error {
 		for _, c := range row {
 			b.WriteString(",")
 			b.WriteString(strconv.Itoa(c))
+		}
+		if len(h.Marks) > 0 {
+			if marked[r+1] {
+				b.WriteString(",1")
+			} else {
+				b.WriteString(",0")
+			}
 		}
 		b.WriteString("\n")
 	}

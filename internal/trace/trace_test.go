@@ -54,6 +54,43 @@ func TestHistogramCSV(t *testing.T) {
 	}
 }
 
+// TestHistogramPerturbationMarkers checks the dynamic-run column: a
+// mark at round r (engine convention: batch applied between rounds r
+// and r+1) flags the CSV row of round r+1, and static histograms carry
+// no perturbed column at all.
+func TestHistogramPerturbationMarkers(t *testing.T) {
+	h := NewHistogram([]string{"a", "b"})
+	obs := h.Observer()
+	for r := 1; r <= 4; r++ {
+		obs(r, []nfsm.State{0, 1})
+	}
+	h.Marks = []int{0, 2} // batches before round 1 and before round 3
+	var sb strings.Builder
+	if err := h.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if lines[0] != "round,a,b,perturbed" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	want := []string{"1,1,1,1", "2,1,1,0", "3,1,1,1", "4,1,1,0"}
+	for i, w := range want {
+		if lines[i+1] != w {
+			t.Fatalf("row %d = %q, want %q", i+1, lines[i+1], w)
+		}
+	}
+
+	static := NewHistogram([]string{"a", "b"})
+	static.Observer()(1, []nfsm.State{0, 1})
+	sb.Reset()
+	if err := static.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "perturbed") {
+		t.Fatalf("static histogram grew a perturbed column: %q", sb.String())
+	}
+}
+
 func TestTimelineChangedAt(t *testing.T) {
 	var tl Timeline
 	obs := tl.Observer()

@@ -21,6 +21,20 @@ func splitmix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
+// FNV returns the FNV-1a hash of s. It folds string coordinates
+// (protocol names, family kinds, scenario keys) into seed derivations
+// without positional coupling; collision avoidance between different
+// derivation families comes from the distinct salts mixed alongside
+// it, not from the hash itself.
+func FNV(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
 // Mix combines an arbitrary number of 64-bit values into a single
 // well-mixed 64-bit value. It is used to derive stream identifiers from
 // structured coordinates such as (seed, node, step).
