@@ -26,12 +26,13 @@ check: build
 	go vet ./...
 	go test -race ./...
 	go test ./internal/protocol -run TestConformance -count=1
+	go test ./internal/engine -run 'TestAllocs|TestLadder|TestDelivPool' -count=1
 	go run ./cmd/stonesim sweep -spec examples/specs/smoke.json -q -json /tmp/stonesim-smoke.json
 	go run ./cmd/stonesim sweep -spec examples/specs/all-protocols.json -q
 	go run ./cmd/stonesim sweep -spec examples/specs/churn-mis.json -q -trials 4
 	@echo "check: OK"
 
-# bench regenerates BENCH_4.json from the tracked benchmark set
+# bench regenerates BENCH_5.json from the tracked benchmark set
 # (E1 MIS sync, E2 MIS async, E3 synchronizer overhead, E5 tree
 # coloring, E9 nFSM-simulates-LBA, the engine ref-vs-compiled and
 # per-step ablations, the campaign sweep, and the registry-generated
@@ -39,7 +40,7 @@ check: build
 # previous BENCH_N.json and warns on >15% regressions. Override the
 # output file or iteration count with BENCH_OUT / BENCH_TIME, the
 # comparison baseline with BENCH_PREV (BENCH_PREV=none skips it).
-BENCH_OUT ?= BENCH_4.json
+BENCH_OUT ?= BENCH_5.json
 BENCH_TIME ?= 20x
 
 bench:

@@ -85,6 +85,7 @@ type options struct {
 	word      string
 	traceCSV  string
 	workers   int
+	trials    int
 	scenario  string
 }
 
@@ -133,6 +134,7 @@ func run(args []string, w io.Writer) error {
 	fs.StringVar(&opt.word, "word", "abc", "input word for the lba protocols")
 	fs.StringVar(&opt.traceCSV, "trace", "", "write a per-round state histogram CSV to this file (sync engine, engine-hosted protocols only)")
 	fs.IntVar(&opt.workers, "workers", 0, "sync round-loop workers (0 = GOMAXPROCS); results are identical for every value")
+	fs.IntVar(&opt.trials, "trials", 1, "repeat the run over derived seeds, reusing one scratch arena, and report per-trial metrics")
 	fs.StringVar(&opt.scenario, "scenario", "",
 		`dynamic-network scenario as JSON, e.g. '{"kind":"churn","rate":2}' (kinds: none, crash, churn, wake; engine-hosted protocols only)`)
 	if err := fs.Parse(args); err != nil {
@@ -172,43 +174,58 @@ func runProtocol(opt options, d *protocol.Descriptor, g *graph.Graph, w io.Write
 	if err != nil {
 		return err
 	}
+	// Repeated trials share one scratch arena — the same zero-alloc
+	// reuse discipline the campaign workers run with — so a CLI
+	// micro-sweep over seeds costs barely more than its first trial.
+	trials := opt.trials
+	if trials < 1 {
+		trials = 1
+	}
+	scratch := protocol.NewScratch()
 	var run *protocol.Run
-	switch opt.eng {
-	case "sync":
-		cfg := protocol.SyncConfig{Seed: opt.seed, Workers: opt.workers, Scenario: sc}
-		var hist *trace.Histogram
-		if opt.traceCSV != "" {
-			names := bound.StateNames()
-			if names == nil {
-				return fmt.Errorf("protocol %q does not support -trace (bespoke engine)", d.Name)
-			}
-			hist = trace.NewHistogram(names)
-			cfg.Observer = hist.Observer()
+	for trial := 0; trial < trials; trial++ {
+		seed := opt.seed + uint64(trial)
+		label := ""
+		if trials > 1 {
+			label = fmt.Sprintf("trial %d (seed %d): ", trial, seed)
 		}
-		if run, err = bound.RunSync(cfg); err != nil {
-			return err
-		}
-		if hist != nil {
-			for _, at := range run.PerturbedAt {
-				hist.Marks = append(hist.Marks, int(at))
+		switch opt.eng {
+		case "sync":
+			cfg := protocol.SyncConfig{Seed: seed, Workers: opt.workers, Scenario: sc}
+			var hist *trace.Histogram
+			if opt.traceCSV != "" && trial == 0 {
+				names := bound.StateNames()
+				if names == nil {
+					return fmt.Errorf("protocol %q does not support -trace (bespoke engine)", d.Name)
+				}
+				hist = trace.NewHistogram(names)
+				cfg.Observer = hist.Observer()
 			}
-			if err := writeTraceCSV(opt.traceCSV, hist); err != nil {
+			if run, err = bound.RunSyncReusing(cfg, scratch); err != nil {
 				return err
 			}
+			if hist != nil {
+				for _, at := range run.PerturbedAt {
+					hist.Marks = append(hist.Marks, int(at))
+				}
+				if err := writeTraceCSV(opt.traceCSV, hist); err != nil {
+					return err
+				}
+			}
+			fmt.Fprintf(w, "%s%s: %d rounds, %d transmissions\n", label, d.Name, run.Rounds, run.Transmissions)
+		case "async":
+			adv, err := pickAdversary(opt)
+			if err != nil {
+				return err
+			}
+			if run, err = bound.RunAsyncReusing(protocol.AsyncConfig{Seed: seed, Adversary: adv, Scenario: sc}, scratch); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%s%s: %.1f time units, %d steps, %d lost messages (adversary %s)\n",
+				label, d.Name, run.TimeUnits, run.Steps, run.Lost, opt.adversary)
+		default:
+			return fmt.Errorf("unknown engine %q", opt.eng)
 		}
-		fmt.Fprintf(w, "%s: %d rounds, %d transmissions\n", d.Name, run.Rounds, run.Transmissions)
-	case "async":
-		adv, err := pickAdversary(opt)
-		if err != nil {
-			return err
-		}
-		if run, err = bound.RunAsync(protocol.AsyncConfig{Seed: opt.seed, Adversary: adv, Scenario: sc}); err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "%s: %.1f time units, %d steps, %d lost messages (adversary %s)\n",
-			d.Name, run.TimeUnits, run.Steps, run.Lost, opt.adversary)
-	default:
-		return fmt.Errorf("unknown engine %q", opt.eng)
 	}
 	if run.Perturbations() > 0 {
 		unit := "rounds"

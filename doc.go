@@ -9,12 +9,20 @@
 // theorem.
 //
 // The implementation lives under internal/; see DESIGN.md for the system
-// inventory, the compiled execution core's architecture, the campaign
-// layer, the protocol registry and the dynamic-network layer,
-// BENCH_4.json for the tracked benchmark measurements (regenerate with
-// `make bench`, which also warns on >15% ns/op regressions against the
-// previous snapshot), and examples/ for runnable entry points. The
-// benchmarks in bench_test.go regenerate one measurement per experiment.
+// inventory, the compiled execution core's architecture, the
+// asynchronous scheduler (a ladder event queue with pooled per-edge
+// delivery FIFOs and silent-chain parking that replays skipped steps
+// bit-identically to the reference engine), the campaign layer, the
+// protocol registry and the dynamic-network layer, BENCH_5.json for
+// the tracked benchmark measurements (regenerate with `make bench`,
+// which also warns on >15% ns/op regressions against the previous
+// snapshot — in CI the warnings become workflow annotations), and
+// examples/ for runnable entry points. The benchmarks in bench_test.go
+// regenerate one measurement per experiment. Tight run loops — the
+// campaign workers, `stonesim run -trials`, the benchmarks — reuse
+// per-worker scratch arenas (engine.Scratch / protocol.Scratch), which
+// makes steady-state execution allocation-free; testing.AllocsPerRun
+// guards in internal/engine pin that in `make check`.
 //
 // Every protocol — the paper's nFSM machines (internal/mis,
 // internal/coloring, internal/degcolor), the extended-model matching
@@ -53,6 +61,7 @@
 // and staggered wake-up — see examples/specs/README.md for the spec
 // format). `make check` runs the CI gate (also run on every push and
 // pull request by .github/workflows/ci.yml): gofmt, go vet, the
-// race-detector test suite, the registry conformance suite, and the
-// smoke and all-protocols campaigns.
+// race-detector test suite, the allocation-regression and ladder-queue
+// suites, the registry conformance suite, and the smoke and
+// all-protocols campaigns.
 package stoneage

@@ -139,20 +139,32 @@ func Run(sp Spec) (*Result, error) {
 	// burning the full grid. The failing worker's sample write
 	// happens-before the flag store, so the real error is always
 	// visible to the aggregation pass.
+	//
+	// Jobs are claimed off an atomic counter (no producer goroutine, no
+	// channel handoff per trial), and each worker owns one scratch
+	// arena reused across every trial it runs — with the shared
+	// immutable per-cell programs, a worker's steady state allocates
+	// almost nothing, which is what lets trial fan-out scale with cores
+	// instead of serializing on the allocator and GC.
 	var failed atomic.Bool
 	var wg sync.WaitGroup
-	next := make(chan int)
+	var next atomic.Int64
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for j := range next {
+			scratch := protocol.NewScratch()
+			for {
+				j := int(next.Add(1)) - 1
+				if j >= jobs {
+					return
+				}
 				cell, trial := j/sp.Trials, j%sp.Trials
 				if failed.Load() {
 					samples[cell][trial] = sample{err: errCanceled}
 					continue
 				}
-				s := runTrial(&sp, cells[cell], trial)
+				s := runTrial(&sp, cells[cell], trial, scratch)
 				samples[cell][trial] = s
 				if s.err != nil {
 					failed.Store(true)
@@ -160,10 +172,6 @@ func Run(sp Spec) (*Result, error) {
 			}
 		}()
 	}
-	for j := 0; j < jobs; j++ {
-		next <- j
-	}
-	close(next)
 	wg.Wait()
 
 	// Report the first real failure in deterministic (spec) order.
@@ -239,8 +247,9 @@ func (c *cell) prepare(sp *Spec) (*protocol.Bound, error) {
 }
 
 // runTrial executes one trial through the registry's shared runner and
-// validates its output with the descriptor's Check.
-func runTrial(sp *Spec, c *cell, trial int) sample {
+// validates its output with the descriptor's Check. scratch is the
+// calling worker's reusable arena.
+func runTrial(sp *Spec, c *cell, trial int, scratch *protocol.Scratch) sample {
 	var (
 		bound *protocol.Bound
 		err   error
@@ -277,18 +286,20 @@ func runTrial(sp *Spec, c *cell, trial int) sample {
 	if sp.engine() == "async" {
 		// The adversary's coins must be oblivious to the protocol's, so
 		// its seed is a distinct derivation of the trial seed. The
-		// registry runner compiles the Theorem 3.1/3.4 machine per
-		// trial, deliberately: synchro machines intern their state sets
-		// lazily during execution, so a shared machine's state numbering
-		// would depend on how the worker schedule interleaves trials.
+		// Theorem 3.1/3.4 machine is compiled once in the registry cache
+		// and shared by every trial; which trial interns a compiled
+		// state first depends on the worker schedule, but the numbering
+		// is invisible post-decode, so aggregates stay bit-identical at
+		// every worker count (TestWorkerCountInvariance and
+		// TestScenarioWorkerInvariance pin this).
 		adv := engine.NamedAdversaries(seed ^ saltAdversary)[sp.adversary()]
-		run, err = bound.RunAsync(protocol.AsyncConfig{
+		run, err = bound.RunAsyncReusing(protocol.AsyncConfig{
 			Seed: seed, Adversary: adv, MaxSteps: sp.MaxSteps, Scenario: sc,
-		})
+		}, scratch)
 	} else {
-		run, err = bound.RunSync(protocol.SyncConfig{
+		run, err = bound.RunSyncReusing(protocol.SyncConfig{
 			Seed: seed, MaxRounds: sp.MaxRounds, Workers: 1, Scenario: sc,
-		})
+		}, scratch)
 	}
 	if err == nil {
 		// Dynamic runs are validated against the graph the run ended

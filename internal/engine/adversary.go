@@ -16,6 +16,48 @@ type Adversary interface {
 	Delay(from, step, to int) float64
 }
 
+// TieFree is an optional Adversary capability gating the asynchronous
+// executor's parking fast path (silent-chain virtualization and spin
+// replay). An adversary may declare TieFreeTimes when
+//
+//   - every delivery delay carries independent random mantissa entropy
+//     (values of the form k/2⁵³ with k drawn from the full 53-bit
+//     range), so a delivery almost surely never shares its exact
+//     float64 time with any step; and
+//   - every node's step length is either fresh-entropy per step (its
+//     step times then almost surely never tie anything) or constant
+//     for that node, with distinct constants distinguishable in the
+//     top 44 bits of their float64 representation.
+//
+// Under this contract the only event pairs that can share an exact
+// time are steps of constant-step-length nodes, and the reference
+// engine's push-order tie-break for those is derivable without
+// materializing every push: larger current step length first (its push
+// happened strictly earlier), node index on equal lengths (equal-length
+// chains recurse to the initial pushes, which are in node order). The
+// executor encodes exactly that into the step events' tie keys (see
+// stepKey), so parking — which elides and reorders pushes — still pops
+// the reference engine's sequence event for event. Policies whose step
+// lengths vary per step over commensurable values (Synchronous, Drift)
+// must not declare it. Networks must stay below 2²⁰ nodes (the tie
+// key's index field); the differential and fuzz walls would surface
+// any violation as a mismatch against the reference engine.
+type TieFree interface {
+	TieFreeTimes() bool
+}
+
+// StepBatcher is an optional Adversary fast path: StepLengths fills
+// buf[i] with StepLength(node, from+i) for consecutive step indices.
+// Implementations must be bit-identical to per-call StepLength — the
+// executor mixes the two freely (batching the parked-node replay loop,
+// calling StepLength elsewhere) and the differential tests compare the
+// resulting runs against the reference engine's per-call sequence.
+// Hoisting the per-node part of the hash derivation out of the loop is
+// what makes replaying millions of skipped steps cheap.
+type StepBatcher interface {
+	StepLengths(node, from int, buf []float64)
+}
+
 // Synchronous is the degenerate policy in which every step lasts exactly
 // one time unit and every delivery takes exactly one time unit. It is the
 // natural baseline for overhead measurements.
@@ -45,7 +87,26 @@ type UniformRandom struct {
 	MinDelay, MaxDelay float64
 }
 
-var _ Adversary = UniformRandom{}
+var (
+	_ Adversary   = UniformRandom{}
+	_ TieFree     = UniformRandom{}
+	_ StepBatcher = UniformRandom{}
+)
+
+// TieFreeTimes implements TieFree: every parameter is a fresh 53-bit
+// uniform draw.
+func (UniformRandom) TieFreeTimes() bool { return true }
+
+// StepLengths implements StepBatcher, bit-identical to StepLength with
+// the (seed, salt, node) prefix of the hash chain hoisted out of the
+// loop.
+func (a UniformRandom) StepLengths(node, from int, buf []float64) {
+	pre := xrand.Mix(a.Seed, 0x5745, uint64(node))
+	for i := range buf {
+		u := float64(xrand.MixWord(pre, uint64(from+i))>>11+1) / (1 << 53)
+		buf[i] = scaled(u, a.MinStep, a.MaxStep)
+	}
+}
 
 func scaled(u, lo, hi float64) float64 {
 	if hi <= 0 {
@@ -78,7 +139,15 @@ type Skew struct {
 	Ratio float64
 }
 
-var _ Adversary = Skew{}
+var (
+	_ Adversary = Skew{}
+	_ TieFree   = Skew{}
+)
+
+// TieFreeTimes implements TieFree: step lengths are per-node constants
+// (Ratio for the fast half, 1 for the slow half) and delays carry
+// fresh 53-bit entropy.
+func (Skew) TieFreeTimes() bool { return true }
 
 // StepLength implements Adversary.
 func (a Skew) StepLength(node, step int) float64 {
@@ -107,7 +176,33 @@ type Overwriter struct {
 	Seed uint64
 }
 
-var _ Adversary = Overwriter{}
+var (
+	_ Adversary   = Overwriter{}
+	_ TieFree     = Overwriter{}
+	_ StepBatcher = Overwriter{}
+)
+
+// TieFreeTimes implements TieFree: delays always carry a fresh 53-bit
+// jitter term, and step lengths are per-node either fresh-entropy
+// (even nodes) or the constant 1 (odd nodes) — the constant-length
+// clause of the contract. Odd nodes therefore tie at integer times
+// constantly, which is exactly what the step tie keys reproduce.
+func (Overwriter) TieFreeTimes() bool { return true }
+
+// StepLengths implements StepBatcher (bit-identical to StepLength).
+func (a Overwriter) StepLengths(node, from int, buf []float64) {
+	if node%2 != 0 {
+		for i := range buf {
+			buf[i] = 1
+		}
+		return
+	}
+	pre := xrand.Mix(a.Seed, 0x6f77, uint64(node))
+	for i := range buf {
+		u := float64(xrand.MixWord(pre, uint64(from+i))>>11+1) / (1 << 53)
+		buf[i] = 0.01 + 0.005*u
+	}
+}
 
 // StepLength implements Adversary.
 func (a Overwriter) StepLength(node, step int) float64 {

@@ -1,0 +1,130 @@
+package engine
+
+// Allocation-regression guards: the compiled synchronous executor and
+// the ladder-queue asynchronous core promise (near-)zero steady-state
+// allocation when reusing a scratch arena. These tests pin that with
+// testing.AllocsPerRun so a regression — a buffer that stopped being
+// reused, an event that started escaping, a δ row rebuilt per step —
+// fails `make check` instead of silently eroding the perf work. The
+// bounds are small integers, not zeros: a run legitimately allocates
+// its result struct, the returned state vector, and (async, dynamic
+// machines) the occasional lazily interned δ row when a fresh seed
+// steers execution into an unvisited corner of the compiled state
+// space.
+
+import (
+	"testing"
+
+	"stoneage/internal/graph"
+	"stoneage/internal/nfsm"
+	"stoneage/internal/synchro"
+	"stoneage/internal/xrand"
+)
+
+// allocProtocol is a small multi-letter round protocol that tabulates
+// to progFlatMulti (the compiled sync fast path).
+func allocProtocol() *nfsm.RoundProtocol {
+	return miniRound()
+}
+
+func TestAllocsSyncCompiled(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	g := graph.GnpConnected(256, 4.0/256, xrand.New(17))
+	prog := Compile(allocProtocol(), g)
+	scr := NewScratch()
+	seed := uint64(0)
+	run := func() {
+		seed++
+		if _, err := prog.RunSyncReusing(SyncConfig{Seed: seed, Workers: 1}, scr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the arena
+	allocs := testing.AllocsPerRun(20, run)
+	// Steady state: the result struct, the returned States vector, and
+	// slack for the testing harness itself.
+	const maxAllocs = 8
+	if allocs > maxAllocs {
+		t.Fatalf("compiled sync run allocates %.1f objects/op, want ≤ %d", allocs, maxAllocs)
+	}
+}
+
+func TestAllocsAsyncLadder(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	g := graph.GnpConnected(24, 0.2, xrand.New(18))
+	compiled, err := synchro.CompileRound(allocProtocol())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := Compile(compiled, g)
+	scr := NewScratch()
+	seed := uint64(0)
+	run := func() {
+		seed++
+		if _, err := prog.RunAsyncReusing(AsyncConfig{Seed: seed, Adversary: UniformRandom{Seed: seed}}, scr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm both the scratch arena and the shared machine's interned
+	// state space across several seeds.
+	for i := 0; i < 8; i++ {
+		run()
+	}
+	allocs := testing.AllocsPerRun(20, run)
+	// Steady state: result + States + a handful of lazily interned δ
+	// rows for execution corners fresh seeds keep discovering.
+	const maxAllocs = 64
+	if allocs > maxAllocs {
+		t.Fatalf("async ladder run allocates %.1f objects/op, want ≤ %d", allocs, maxAllocs)
+	}
+}
+
+// TestAllocsLadderOps pins the queue itself: pushes and pops on a
+// warmed ladder must not allocate at all, and neither may the pooled
+// delivery FIFOs.
+func TestAllocsLadderOps(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	var l ladder
+	var d delivPool
+	// Pre-draw the offsets so every cycle replays the same sequence and
+	// the closure body itself allocates nothing.
+	src := xrand.New(19)
+	offs := make([]float64, 512)
+	for i := range offs {
+		offs[i] = float64(src.Uint64()%1024) / 64
+	}
+	cycle := func() {
+		l.reset()
+		d.reset(16)
+		now := 0.0
+		for i := 0; i < 512; i++ {
+			l.push(qevent{time: now + offs[i], seq: uint64(i)})
+			if i%3 == 0 {
+				if e, ok := l.pop(); ok {
+					now = e.time
+				}
+			}
+			k := int32(i % 16)
+			if d.enqueue(k, now+1, uint64(i), 1) {
+				_ = k
+			} else if i%5 == 0 {
+				d.delivered(k)
+			}
+		}
+		for {
+			if _, ok := l.pop(); !ok {
+				break
+			}
+		}
+	}
+	cycle() // grow all backing storage to the high-water mark
+	if allocs := testing.AllocsPerRun(10, cycle); allocs > 0 {
+		t.Fatalf("warmed ladder/pool cycle allocates %.1f objects/op, want 0", allocs)
+	}
+}

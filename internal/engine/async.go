@@ -2,11 +2,40 @@ package engine
 
 import (
 	"fmt"
+	"math"
 
 	"stoneage/internal/graph"
 	"stoneage/internal/nfsm"
 	"stoneage/internal/scenario"
 )
+
+// stepKey is the tie key of a step event under a TieFree adversary,
+// replacing the push-order seq counter the reference engine breaks
+// ties with. Parking elides and reorders pushes, so push order is no
+// longer available — but under the TieFree contract the only events
+// that can share an exact time are steps of constant-step-length
+// nodes, and for those the reference's push order is derivable: the
+// node with the larger current step length pushed earlier (its
+// previous step was earlier), and equal lengths recurse down identical
+// chains to the initial pushes, which are in node order. Packing the
+// inverted float bits of the length (descending) over the node index
+// (ascending) therefore reproduces the reference's tie order exactly.
+// The low 20 bits hold the node, so lengths must be distinguishable in
+// their top 44 bits and n must stay below 2^20 — both documented in
+// TieFree.
+// The chain-walk window bounds the lookahead of a single park decision:
+// a longer silent chain is virtualized in checkpoint windows (the cap
+// branch schedules a real step mid-chain, which is always sound). The
+// window adapts per node between these bounds — see
+// asyncScratch.walkCap.
+const (
+	walkCapMin = 16
+	walkCapMax = 256
+)
+
+func stepKey(l float64, node int32) uint64 {
+	return ^math.Float64bits(l)&^uint64(0xFFFFF) | uint64(uint32(node))&0xFFFFF
+}
 
 // AsyncConfig parameterizes an asynchronous run.
 type AsyncConfig struct {
@@ -24,7 +53,10 @@ type AsyncConfig struct {
 	Init []nfsm.State
 	// Observer, when non-nil, is invoked after every node step with the
 	// event time, the node, its step index and its new state. Used by
-	// analysis instrumentation (e.g. the synchronization-property tests).
+	// analysis instrumentation (e.g. the synchronization-property
+	// tests). Setting an observer disables the self-loop parking fast
+	// path: every step is then materialized so the observer sees the
+	// full stream.
 	Observer func(time float64, node, step int, state nfsm.State)
 	// Scenario, when non-nil and non-empty, makes the run dynamic: each
 	// mutation batch is applied at absolute time Batch.At, before any
@@ -72,7 +104,9 @@ type AsyncResult struct {
 	FinalGraph *graph.Graph
 }
 
-// event is a queue entry: either a node step or a port delivery.
+// event is the seed engine's queue entry, kept for the reference oracle
+// in async_ref.go (the rewritten executor uses the ladder queue's
+// qevent).
 type event struct {
 	time   float64
 	seq    uint64 // FIFO-stable tiebreak for equal times
@@ -80,61 +114,6 @@ type event struct {
 	port   int         // delivery only
 	letter nfsm.Letter // delivery only
 	step   bool        // true: node step; false: delivery
-}
-
-// eventQueue is a hand-rolled binary min-heap of events ordered by
-// (time, seq). It replaces container/heap to keep events out of
-// interface{} boxes: Push/Pop allocated one escape per event, which
-// dominated RunAsync's allocation profile. The (time, seq) key is a
-// total order (seq is unique), so the pop sequence — and therefore the
-// whole execution — is independent of the heap's internal layout.
-type eventQueue struct {
-	ev []event
-}
-
-func (h *eventQueue) len() int { return len(h.ev) }
-
-func (h *eventQueue) less(i, j int) bool {
-	if h.ev[i].time != h.ev[j].time {
-		return h.ev[i].time < h.ev[j].time
-	}
-	return h.ev[i].seq < h.ev[j].seq
-}
-
-func (h *eventQueue) push(e event) {
-	h.ev = append(h.ev, e)
-	i := len(h.ev) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !h.less(i, parent) {
-			break
-		}
-		h.ev[i], h.ev[parent] = h.ev[parent], h.ev[i]
-		i = parent
-	}
-}
-
-func (h *eventQueue) pop() event {
-	root := h.ev[0]
-	last := len(h.ev) - 1
-	h.ev[0] = h.ev[last]
-	h.ev = h.ev[:last]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < last && h.less(l, smallest) {
-			smallest = l
-		}
-		if r < last && h.less(r, smallest) {
-			smallest = r
-		}
-		if smallest == i {
-			return root
-		}
-		h.ev[i], h.ev[smallest] = h.ev[smallest], h.ev[i]
-		i = smallest
-	}
 }
 
 // RunAsync executes machine m on graph g in the asynchronous environment
@@ -145,15 +124,39 @@ func RunAsync(m nfsm.Machine, g *graph.Graph, cfg AsyncConfig) (*AsyncResult, er
 	return Compile(m, g).RunAsync(cfg)
 }
 
-// RunAsync executes the compiled program asynchronously. The event loop
-// is sequential (the adversary's timing makes steps causally dependent),
-// but it shares the synchronous executor's representation: flat δ
-// lookups, the CSR edge order for ports and the flattened reverse-port
-// table for deliveries, and incremental count maintenance in place of
-// per-step port rescans.
+// RunAsync executes the compiled program asynchronously with a private
+// scratch arena. Callers that execute many runs should allocate one
+// Scratch per worker and call RunAsyncReusing.
 func (p *Program) RunAsync(cfg AsyncConfig) (*AsyncResult, error) {
+	return p.RunAsyncReusing(cfg, nil)
+}
+
+// RunAsyncReusing executes the compiled program asynchronously. The
+// event loop is sequential (the adversary's timing makes steps causally
+// dependent), but it shares the synchronous executor's representation:
+// flat δ lookups, the CSR edge order for ports and the flattened
+// reverse-port table for deliveries, and incremental count maintenance
+// in place of per-step port rescans.
+//
+// Events are ordered by the (time, seq) total order in a two-tier
+// ladder queue; in-flight deliveries beyond each directed edge's
+// earliest outstanding one wait in a pooled per-edge FIFO rather than
+// in the queue. Under a TieFree adversary, a node whose current δ row
+// is a lone ε self-loop is "parked": its spin steps leave the queue
+// entirely and are replayed arithmetically when a delivery next touches
+// the node (or when the run ends), consuming exactly the adversary
+// parameters and step counts the materialized steps would have — the
+// differential and fuzz walls check the executor is bit-identical to
+// the reference engine either way.
+//
+// scr may be nil (a private arena is allocated); reusing one across
+// runs makes steady-state execution allocation-free.
+func (p *Program) RunAsyncReusing(cfg AsyncConfig, scr *Scratch) (*AsyncResult, error) {
 	if !cfg.Scenario.Empty() {
-		return p.runAsyncScenario(cfg)
+		return p.runAsyncScenario(cfg, scr)
+	}
+	if scr == nil {
+		scr = NewScratch()
 	}
 	n := p.g.N()
 	states, err := initialStates(p.m, n, cfg.Init)
@@ -170,20 +173,87 @@ func (p *Program) RunAsync(cfg AsyncConfig) (*AsyncResult, error) {
 	}
 
 	csr := p.csr
-	rc := newRunCounts(p)
-	cbuf := make([]nfsm.Count, p.nl)
+	ne := len(csr.NbrDat)
+	scr.bind(p.MachineCode)
+	rc := &scr.rc
+	rc.reset(p, csr)
+	ds := &scr.ds
+	ds.init(p.MachineCode)
+	as := scr.async()
 
 	// portWriteAt[k] is the time of the last write to the port at CSR
 	// edge slot k (-1 initially); lastDelivery[k] enforces FIFO on the
 	// directed edge at slot k (v → NbrDat[k]).
-	portWriteAt := make([]float64, len(csr.NbrDat))
-	for k := range portWriteAt {
-		portWriteAt[k] = -1
-	}
-	lastDelivery := make([]float64, len(csr.NbrDat))
+	as.portWriteAt = grow(as.portWriteAt, ne, -1)
+	as.lastDelivery = grow(as.lastDelivery, ne, 0)
+	portWriteAt, lastDelivery := as.portWriteAt, as.lastDelivery
 
-	stepIndex := make([]int, n)      // steps completed so far per node
-	lastStepAt := make([]float64, n) // time of last completed step
+	as.stepIndex = grow(as.stepIndex, n, 0)
+	as.lastStepAt = grow(as.lastStepAt, n, 0)
+	stepIndex, lastStepAt := as.stepIndex, as.lastStepAt
+
+	lq := &as.lq
+	lq.reset()
+	dp := &as.dp
+	dp.reset(ne)
+
+	// Parking is sound only when no skipped step can tie exactly with a
+	// delivery (see TieFree); observers must see every step
+	// materialized, and the step tie key reserves 20 bits for the node
+	// index, so larger networks run fully materialized.
+	canPark := cfg.Observer == nil && n < 1<<20
+	if tf, ok := adv.(TieFree); !ok || !tf.TieFreeTimes() {
+		canPark = false
+	}
+	var parked []bool
+	var epochs []uint32
+	var pendingReal []bool
+	if canPark {
+		as.parked = grow(as.parked, n, false)
+		as.virtTime = grow(as.virtTime, n, 0)
+		as.virtIndex = grow(as.virtIndex, n, 0)
+		as.virtLen = grow(as.virtLen, n, 0)
+		as.epochs = grow(as.epochs, n, 0)
+		as.pendingReal = grow(as.pendingReal, n, false)
+		if cap(as.walkCap) < n {
+			as.walkCap = make([]int32, n)
+		}
+		as.walkCap = as.walkCap[:n]
+		for v := range as.walkCap {
+			as.walkCap[v] = walkCapMin
+		}
+		parked, epochs, pendingReal = as.parked, as.epochs, as.pendingReal
+	}
+	parkedCount := 0
+	batcher, _ := adv.(StepBatcher)
+	// stepLen returns StepLength(v, t), batched per node when the
+	// adversary supports it: one hash-prefix derivation serves
+	// stepLenBatch consecutive steps of a node, and each value is read
+	// bit-identically to the per-call sequence the reference engine
+	// draws (the function is pure, so reads are free to repeat).
+	stepLen := func(v, t int) float64 {
+		if batcher == nil {
+			return adv.StepLength(v, t)
+		}
+		idx := t - as.stepFrom[v]
+		base := v * stepLenBatch
+		if idx < 0 || idx >= stepLenBatch {
+			batcher.StepLengths(v, t, as.stepLens[base:base+stepLenBatch])
+			as.stepFrom[v] = t
+			idx = 0
+		}
+		return as.stepLens[base+idx]
+	}
+	if batcher != nil {
+		if cap(as.stepLens) < n*stepLenBatch {
+			as.stepLens = make([]float64, n*stepLenBatch)
+		}
+		as.stepLens = as.stepLens[:n*stepLenBatch]
+		as.stepFrom = grow(as.stepFrom, n, 0)
+		for v := range as.stepFrom {
+			as.stepFrom[v] = -2 * stepLenBatch // nothing cached yet
+		}
+	}
 
 	res := &AsyncResult{States: states}
 	outputs := countOutputs(p.m, states)
@@ -192,64 +262,298 @@ func (p *Program) RunAsync(cfg AsyncConfig) (*AsyncResult, error) {
 	}
 
 	var (
-		h        eventQueue
 		seq      uint64
 		maxParam float64
 	)
-	useParam := func(d float64, kind string, v, t int) (float64, error) {
-		if d <= 0 {
-			return 0, fmt.Errorf("engine: adversary returned non-positive %s %g for node %d step %d", kind, d, v, t)
+
+	// replay advances parked node v through every skipped step strictly
+	// before `until`, exactly as the reference engine would have
+	// processed them. The node's ports are untouched since it parked
+	// (any delivery unparks first), so its evolution is deterministic:
+	// singleton silent rows chain until they reach a self-loop, which
+	// then spins arithmetically. Each skipped step advances the state,
+	// step index and last-step time, counts toward Steps and the
+	// budget, and consumes its successor's step length (updating
+	// maxParam) — bit-identical to materialized execution.
+	// tieKey 0 replays strictly before `until`; a terminating step's
+	// own key additionally includes a virtual step landing exactly on
+	// `until` whose reference-order position precedes it.
+	replay := func(v int, until float64, tieKey uint64) error {
+		vt, vi := as.virtTime[v], as.virtIndex[v]
+		lastL := as.virtLen[v] // length of the pending step at vt
+		if vt > until || (vt == until && stepKey(lastL, int32(v)) >= tieKey) {
+			return nil
 		}
-		if d > maxParam {
-			maxParam = d
+		steps := res.Steps
+		mp := maxParam
+		last := lastStepAt[v]
+		cs := states[v]
+		for vt < until {
+			nx, kind := rc.silentNext(v, cs, ds)
+			if kind == rowSilentSelf {
+				// Self-loop: spin to the horizon in one tight loop.
+				buf := as.stepBuf[:]
+				bi, bn := 0, 0
+				for vt < until {
+					last = vt
+					steps++
+					if steps >= maxSteps {
+						res.Steps = steps
+						return fmt.Errorf("%w: %s after %d steps", ErrNoConvergence, machineName(p.m), steps)
+					}
+					var l float64
+					if batcher != nil {
+						if bi == bn {
+							batcher.StepLengths(v, vi+1, buf)
+							bi, bn = 0, len(buf)
+						}
+						l = buf[bi]
+						bi++
+					} else {
+						l = adv.StepLength(v, vi+1)
+					}
+					if l <= 0 {
+						return fmt.Errorf("engine: adversary returned non-positive step length %g for node %d step %d", l, v, vi+1)
+					}
+					if l > mp {
+						mp = l
+					}
+					vt += l
+					vi++
+					lastL = l
+				}
+				break
+			}
+			// Chain hop: one deterministic silent step.
+			last = vt
+			steps++
+			if steps >= maxSteps {
+				res.Steps = steps
+				return fmt.Errorf("%w: %s after %d steps", ErrNoConvergence, machineName(p.m), steps)
+			}
+			var l float64
+			if batcher != nil {
+				if idx := vi + 1 - as.stepFrom[v]; uint(idx) < stepLenBatch {
+					l = as.stepLens[v*stepLenBatch+idx]
+				} else {
+					l = stepLen(v, vi+1)
+				}
+			} else {
+				l = adv.StepLength(v, vi+1)
+			}
+			if l <= 0 {
+				return fmt.Errorf("engine: adversary returned non-positive step length %g for node %d step %d", l, v, vi+1)
+			}
+			if l > mp {
+				mp = l
+			}
+			vt += l
+			vi++
+			lastL = l
+			cs = nx
 		}
-		return d, nil
+		if vt == until && stepKey(lastL, int32(v)) < tieKey {
+			// A virtual step lands exactly on the terminating event's
+			// time and precedes it in the reference's tie order:
+			// process that one step too (its successor is strictly
+			// later, so exactly one).
+			nx, kind := rc.silentNext(v, cs, ds)
+			last = vt
+			steps++
+			if steps >= maxSteps {
+				res.Steps = steps
+				return fmt.Errorf("%w: %s after %d steps", ErrNoConvergence, machineName(p.m), steps)
+			}
+			l := stepLen(v, vi+1)
+			if l <= 0 {
+				return fmt.Errorf("engine: adversary returned non-positive step length %g for node %d step %d", l, v, vi+1)
+			}
+			if l > mp {
+				mp = l
+			}
+			vt += l
+			vi++
+			lastL = l
+			if kind == rowSilentHop {
+				cs = nx
+			}
+		}
+		as.virtTime[v], as.virtIndex[v] = vt, vi
+		as.virtLen[v] = lastL
+		states[v] = cs
+		res.Steps = steps
+		maxParam = mp
+		lastStepAt[v] = last
+		stepIndex[v] = vi - 1
+		return nil
 	}
-	push := func(e event) {
-		e.seq = seq
-		seq++
-		h.push(e)
+
+	// schedule decides how node v proceeds from state q with pending
+	// step ti at absolute time tt. It walks the deterministic silent
+	// chain ahead of the node (ports frozen until the next delivery, so
+	// the walk is exact): a self-loop parks the node with no event at
+	// all; a branching, transmitting or output-flipping row gets a real
+	// event at its precomputed time, with the chain before it left
+	// virtual for replay. The walk reads future step lengths but
+	// commits nothing — lengths enter maxParam only when replay (or
+	// materialized processing) consumes them, exactly when the
+	// reference engine would.
+	// l0 is the length of the pending step at (ti, tt) — the step tie
+	// key the reference engine's push order implies (see stepKey).
+	schedule := func(v int, q nfsm.State, ti int, tt float64, l0 float64) {
+		if !canPark {
+			lq.push(qevent{time: tt, seq: seq, node: int32(v), step: true})
+			seq++
+			return
+		}
+		as.virtTime[v], as.virtIndex[v] = tt, ti
+		as.virtLen[v] = l0
+		cs := q
+		chainCap := int(as.walkCap[v])
+		for hop := 0; ; hop++ {
+			nx, kind := rc.silentNext(v, cs, ds)
+			if kind == rowSilentSelf {
+				// Spins until a delivery changes what it observes.
+				parked[v] = true
+				parkedCount++
+				return
+			}
+			if kind != rowSilentHop || hop >= chainCap {
+				// Real event (branching/transmitting row, or checkpoint
+				// on a long chain); replay reconstructs the virtual
+				// steps before it.
+				lq.push(qevent{time: tt, seq: stepKey(l0, int32(v)), node: int32(v), epoch: epochs[v], step: true})
+				pendingReal[v] = true
+				if ti > as.virtIndex[v] {
+					// Steps were virtualized ahead of the event. The
+					// state alone cannot tell (a silent cycle returns
+					// to its start state), so compare the step index.
+					parked[v] = true
+					parkedCount++
+				}
+				return
+			}
+			var l float64
+			if batcher != nil {
+				if idx := ti + 1 - as.stepFrom[v]; uint(idx) < stepLenBatch {
+					l = as.stepLens[v*stepLenBatch+idx]
+				} else {
+					l = stepLen(v, ti+1)
+				}
+			} else {
+				l = adv.StepLength(v, ti+1)
+			}
+			if l <= 0 {
+				// The reference engine errors when this step consumes
+				// the length; materialize it and let replay get there.
+				lq.push(qevent{time: tt, seq: stepKey(l0, int32(v)), node: int32(v), epoch: epochs[v], step: true})
+				pendingReal[v] = true
+				if ti > as.virtIndex[v] {
+					parked[v] = true
+					parkedCount++
+				}
+				return
+			}
+			cs = nx
+			tt += l
+			ti++
+			l0 = l
+		}
 	}
 
 	for v := 0; v < n; v++ {
-		l, err := useParam(adv.StepLength(v, 1), "step length", v, 1)
-		if err != nil {
-			return nil, err
+		l := adv.StepLength(v, 1)
+		if l <= 0 {
+			return nil, fmt.Errorf("engine: adversary returned non-positive step length %g for node %d step %d", l, v, 1)
 		}
-		push(event{time: l, node: v, step: true})
+		if l > maxParam {
+			maxParam = l
+		}
+		schedule(v, states[v], 1, l, l)
 	}
 
-	for h.len() > 0 {
-		e := h.pop()
+	for {
+		e, ok := lq.pop()
+		if !ok {
+			if parkedCount > 0 {
+				// Every remaining event is a parked node's silent
+				// self-loop spin: the reference engine keeps spinning
+				// them (self-loops cannot produce an output
+				// configuration) until the step budget aborts the run.
+				return nil, fmt.Errorf("%w: %s after %d steps", ErrNoConvergence, machineName(p.m), maxSteps)
+			}
+			return nil, fmt.Errorf("%w: event queue drained", ErrNoConvergence)
+		}
+		v := int(e.node)
 		if !e.step {
 			// Delivery: overwrite the destination port. If the previous
 			// value was written after the destination's last step, it was
 			// never observable — a lost message.
-			k := csr.NbrOff[e.node] + int32(e.port)
-			if portWriteAt[k] > lastStepAt[e.node] {
+			k := e.aux
+			if parkedCount > 0 && parked[v] {
+				if err := replay(v, e.time, 0); err != nil {
+					return nil, err
+				}
+			}
+			if portWriteAt[k] > lastStepAt[v] {
 				res.Lost++
 			}
-			rc.setPort(e.node, k, e.letter)
+			rc.setPort(v, k, nfsm.Letter(e.letter))
 			portWriteAt[k] = e.time
+			if nx, pending := dp.delivered(k); pending {
+				lq.push(qevent{time: nx.time, seq: nx.seq, node: e.node, aux: k, letter: nx.letter})
+			}
+			if canPark && parked[v] {
+				// The write may have changed what the node observes:
+				// invalidate the precomputed chain and re-decide from
+				// the landed state.
+				parked[v] = false
+				parkedCount--
+				if pendingReal[v] {
+					epochs[v]++
+					pendingReal[v] = false
+				}
+				as.walkCap[v] = walkCapMin
+				schedule(v, states[v], as.virtIndex[v], as.virtTime[v], as.virtLen[v])
+			}
 			continue
 		}
+		if canPark {
+			if e.epoch != epochs[v] {
+				continue // invalidated by a mid-chain delivery
+			}
+			if parked[v] {
+				if err := replay(v, e.time, e.seq); err != nil {
+					return nil, err
+				}
+				parked[v] = false
+				parkedCount--
+			}
+			pendingReal[v] = false
+		}
 
-		v := e.node
 		t := stepIndex[v] + 1
 		q := states[v]
-		moves := rc.movesFor(v, q, cbuf)
+		moves := rc.movesFor(v, q, ds)
 		if len(moves) == 0 {
 			return nil, fmt.Errorf("engine: δ empty at node %d state %d step %d", v, q, t)
 		}
-		mv := nfsm.PickMove(cfg.Seed, v, t, moves)
-		if p.isOutput(mv.Next) != p.isOutput(q) {
-			if p.isOutput(mv.Next) {
-				outputs++
-			} else {
-				outputs--
-			}
+		var mv nfsm.Move
+		if len(moves) == 1 {
+			mv = moves[0]
+		} else {
+			mv = nfsm.PickMove(cfg.Seed, v, t, moves)
 		}
-		states[v] = mv.Next
+		if mv.Next != q {
+			if p.isOutputDS(mv.Next, ds) != p.isOutputDS(q, ds) {
+				if p.isOutputDS(mv.Next, ds) {
+					outputs++
+				} else {
+					outputs--
+				}
+			}
+			states[v] = mv.Next
+		}
 		stepIndex[v] = t
 		lastStepAt[v] = e.time
 		res.Steps++
@@ -259,22 +563,50 @@ func (p *Program) RunAsync(cfg AsyncConfig) (*AsyncResult, error) {
 
 		if mv.Emit != nfsm.NoLetter {
 			res.Transmissions++
+			emit := int32(mv.Emit)
 			for k := csr.NbrOff[v]; k < csr.NbrOff[v+1]; k++ {
-				u := int(csr.NbrDat[k])
-				d, err := useParam(adv.Delay(v, t, u), "delay", v, t)
-				if err != nil {
-					return nil, err
+				u := csr.NbrDat[k]
+				d := adv.Delay(v, t, int(u))
+				if d <= 0 {
+					return nil, fmt.Errorf("engine: adversary returned non-positive delay %g for node %d step %d", d, v, t)
+				}
+				if d > maxParam {
+					maxParam = d
 				}
 				at := e.time + d
 				if at < lastDelivery[k] {
 					at = lastDelivery[k] // FIFO per directed edge
 				}
 				lastDelivery[k] = at
-				push(event{time: at, node: u, port: int(csr.RevPort[k]), letter: mv.Emit})
+				dst := csr.NbrOff[u] + csr.RevPort[k]
+				sq := seq
+				seq++
+				if dp.enqueue(dst, at, sq, emit) {
+					lq.push(qevent{time: at, seq: sq, node: u, aux: dst, letter: emit})
+				}
 			}
 		}
 
 		if outputs == n {
+			if parkedCount > 0 {
+				// Flush the parked nodes' skipped steps (all strictly
+				// before the terminating event under a TieFree
+				// adversary) so States, Steps, maxParam and the budget
+				// reflect exactly what the reference engine processed.
+				// The terminating step itself is uncounted during the
+				// flush: the reference checks termination before the
+				// budget, so a run ending exactly on the budget's last
+				// step succeeds.
+				res.Steps--
+				for w := 0; w < n; w++ {
+					if parked[w] {
+						if err := replay(w, e.time, e.seq); err != nil {
+							return nil, err
+						}
+					}
+				}
+				res.Steps++
+			}
 			res.Time = e.time
 			res.TimeUnits = e.time / maxParam
 			return res, nil
@@ -282,11 +614,20 @@ func (p *Program) RunAsync(cfg AsyncConfig) (*AsyncResult, error) {
 		if res.Steps >= maxSteps {
 			return nil, fmt.Errorf("%w: %s after %d steps", ErrNoConvergence, machineName(p.m), res.Steps)
 		}
-		l, err := useParam(adv.StepLength(v, t+1), "step length", v, t+1)
-		if err != nil {
-			return nil, err
+		if canPark && len(moves) == 1 && mv.Emit == nfsm.NoLetter {
+			// A materialized silent step is a checkpoint reached
+			// undisturbed: open the node's walk window fully (it closes
+			// again on the next delivery invalidation, keeping re-walks
+			// cheap where deliveries are frequent).
+			as.walkCap[v] = walkCapMax
 		}
-		push(event{time: e.time + l, node: v, step: true})
+		l := stepLen(v, t+1)
+		if l <= 0 {
+			return nil, fmt.Errorf("engine: adversary returned non-positive step length %g for node %d step %d", l, v, t+1)
+		}
+		if l > maxParam {
+			maxParam = l
+		}
+		schedule(v, mv.Next, t+1, e.time+l, l)
 	}
-	return nil, fmt.Errorf("%w: event queue drained", ErrNoConvergence)
 }

@@ -59,6 +59,17 @@ type MachineCode struct {
 	pdim     int           // progFlatMulti: (b+1)^|Σ|
 	single   nfsm.SingleQuery
 	parallel bool // compute phase may be sharded across workers
+
+	// dynPack marks a multi-letter dynamic-fallback machine whose
+	// (state, clamped-count-vector) observations pack into a uint64, so
+	// the executors can memoize δ rows in a flat-keyed map instead of
+	// calling Transition per node step (the coloring protocol's
+	// 269·4¹² domain is far too large to tabulate but visits only a
+	// few thousand distinct observations per run). Restricted to
+	// RoundProtocols: their state set is fixed and their Transition is
+	// pure by contract.
+	dynPack     bool
+	dynPackBits uint
 }
 
 // Program is a MachineCode bound to a specific graph: the flat δ tables
@@ -98,8 +109,29 @@ func CompileMachine(m nfsm.Machine) *MachineCode {
 		// A RoundProtocol's Transition is a pure function by contract,
 		// so even the dynamic fallback may be sharded across workers.
 		c.parallel = true
+		if c.kind == progDynamic && c.single == nil {
+			c.packable()
+		}
 	}
 	return c
+}
+
+// packable decides whether the dynamic fallback's observations fit a
+// packed uint64 memo key: the state in the high bits, then one
+// fixed-width field per letter holding the clamped count.
+func (c *MachineCode) packable() {
+	bits := uint(1)
+	for 1<<bits <= c.b {
+		bits++
+	}
+	qbits := uint(1)
+	for 1<<qbits < c.nq {
+		qbits++
+	}
+	if uint(c.nl)*bits+qbits <= 64 {
+		c.dynPack = true
+		c.dynPackBits = bits
+	}
 }
 
 // Bind attaches the machine code to a graph, building the CSR snapshot.
@@ -238,31 +270,55 @@ type runCounts struct {
 	// dynQuery memoizes λ(q) for dynamic single-query machines whose
 	// QueryLetter takes a lock (the synchro compilers); -2 marks unknown.
 	dynQuery []nfsm.Letter
+	// idxBuf backs idx across resets (idx itself is nil for non-flat
+	// kinds, so the capacity is kept separately).
+	idxBuf []int32
 }
 
-func newRunCounts(p *Program) *runCounts {
-	return newRunCountsCSR(p, p.csr)
-}
-
-// newRunCountsCSR builds the run state against an explicit CSR snapshot:
-// the dynamic execution path starts from the bound snapshot but rebinds
-// to fresh snapshots as the scenario mutates the topology.
 func newRunCountsCSR(p *Program, csr *graph.CSR) *runCounts {
+	rc := &runCounts{}
+	rc.reset(p, csr)
+	return rc
+}
+
+// reset (re)initializes the run state against a CSR snapshot, reusing
+// any backing storage a previous run left behind — the heart of the
+// Scratch zero-allocation reuse path. The dynamic execution path starts
+// from the bound snapshot but rebinds to fresh snapshots as the
+// scenario mutates the topology. The dynQuery memo survives resets; it
+// is machine- not run-keyed (Scratch.bind clears it when the machine
+// changes).
+func (rc *runCounts) reset(p *Program, csr *graph.CSR) {
+	rc.p = p
 	n := csr.N()
-	rc := &runCounts{
-		p:       p,
-		portDat: make([]nfsm.Letter, len(csr.NbrDat)),
-		raw:     make([]int32, n*p.nl),
+	ne := len(csr.NbrDat)
+	if cap(rc.portDat) < ne {
+		rc.portDat = make([]nfsm.Letter, ne)
+	}
+	rc.portDat = rc.portDat[:ne]
+	if cap(rc.raw) < n*p.nl {
+		rc.raw = make([]int32, n*p.nl)
+	}
+	rc.raw = rc.raw[:n*p.nl]
+	for i := range rc.raw {
+		rc.raw[i] = 0
+	}
+	rc.idx = nil
+	if p.kind == progFlatMulti {
+		if cap(rc.idxBuf) < n {
+			rc.idxBuf = make([]int32, n)
+		}
+		rc.idx = rc.idxBuf[:n]
 	}
 	for k := range rc.portDat {
 		rc.portDat[k] = p.initial
 	}
-	if p.kind == progFlatMulti {
-		rc.idx = make([]int32, n)
-	}
 	for v := 0; v < n; v++ {
 		deg := int32(csr.Degree(v))
 		if deg == 0 {
+			if rc.idx != nil {
+				rc.idx[v] = 0
+			}
 			continue
 		}
 		rc.raw[v*p.nl+int(p.initial)] = deg
@@ -274,7 +330,6 @@ func newRunCountsCSR(p *Program, csr *graph.CSR) *runCounts {
 			rc.idx[v] = c * p.pow[p.initial]
 		}
 	}
-	return rc
 }
 
 // rebind re-aligns the run state with a new CSR snapshot after a
@@ -368,9 +423,216 @@ func (rc *runCounts) setPort(v int, k int32, l nfsm.Letter) {
 	}
 }
 
-// movesFor resolves δ for node v in state q. cbuf is the caller's scratch
-// count vector (used only on the dynamic path; per-worker when sharded).
-func (rc *runCounts) movesFor(v int, q nfsm.State, cbuf []nfsm.Count) []nfsm.Move {
+// dynScratch is the per-worker dynamic-fallback scratch: the count
+// vector handed to Machine.Moves, plus δ-row and Q_O-membership memos
+// that keep the steady state out of the machine's own code (the synchro
+// compilers guard their lazily interned state sets with a mutex that
+// would otherwise be taken several times per node step). The memos are
+// machine-keyed, not run-keyed: Machine.Moves is a pure function of
+// (state, counts) by interface contract and interned state identities
+// are stable, so rows survive across runs of the same MachineCode
+// (Scratch.bind invalidates on machine change). Each worker owns its
+// own dynScratch — the memos are written without synchronization.
+type dynScratch struct {
+	cbuf []nfsm.Count
+	// srows memoizes single-query dynamic δ rows at q*(b+1)+c; srkind
+	// classifies the same rows for the chain walker (see rowKind).
+	srows  [][]nfsm.Move
+	srkind []int8
+	// mrows memoizes multi-letter dynamic δ rows by packed observation
+	// key (dynPack machines only). An open-addressing table beats a Go
+	// map here: the lookup is two array reads on the hot path and the
+	// storage is reusable. mcalls counts multi-letter resolutions: the
+	// memo only engages past dynMemoThreshold, so short runs on fresh
+	// arenas (a few thousand node-rounds) never pay the table build —
+	// it exists for the long ones, where a Transition call per node
+	// step is an allocation storm.
+	mrows  rowTab
+	mcalls int
+	// out memoizes IsOutput for dynamic machines: -1 unknown, else 0/1.
+	out []int8
+}
+
+// rowTab is a linear-probing hash table from packed observation keys to
+// δ rows. No deletions; presence is a non-nil row.
+type rowTab struct {
+	keys []uint64
+	vals [][]nfsm.Move
+	n    int
+}
+
+func (t *rowTab) lookup(key uint64) ([]nfsm.Move, bool) {
+	if len(t.keys) == 0 {
+		return nil, false
+	}
+	mask := uint64(len(t.keys) - 1)
+	h := key * 0x9e3779b97f4a7c15
+	i := (h ^ h>>29) & mask
+	for {
+		if t.vals[i] == nil {
+			return nil, false
+		}
+		if t.keys[i] == key {
+			return t.vals[i], true
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (t *rowTab) insert(key uint64, row []nfsm.Move) {
+	if 4*(t.n+1) > 3*len(t.keys) {
+		t.grow()
+	}
+	mask := uint64(len(t.keys) - 1)
+	h := key * 0x9e3779b97f4a7c15
+	i := (h ^ h>>29) & mask
+	for t.vals[i] != nil {
+		if t.keys[i] == key {
+			t.vals[i] = row
+			return
+		}
+		i = (i + 1) & mask
+	}
+	t.keys[i] = key
+	t.vals[i] = row
+	t.n++
+}
+
+func (t *rowTab) grow() {
+	size := 256
+	if len(t.keys) > 0 {
+		size = 2 * len(t.keys)
+	}
+	oldK, oldV := t.keys, t.vals
+	t.keys = make([]uint64, size)
+	t.vals = make([][]nfsm.Move, size)
+	t.n = 0
+	for i, v := range oldV {
+		if v != nil {
+			t.insert(oldK[i], v)
+		}
+	}
+}
+
+func (t *rowTab) clear() {
+	for i := range t.vals {
+		t.vals[i] = nil
+	}
+	t.n = 0
+}
+
+func (ds *dynScratch) init(c *MachineCode) {
+	if cap(ds.cbuf) < c.nl {
+		ds.cbuf = make([]nfsm.Count, c.nl)
+	}
+	ds.cbuf = ds.cbuf[:c.nl]
+}
+
+// invalidate drops the machine-keyed memos (the scratch moved to a
+// different machine).
+func (ds *dynScratch) invalidate() {
+	ds.srows = ds.srows[:0]
+	ds.srkind = ds.srkind[:0]
+	ds.mrows.clear()
+	ds.mcalls = 0
+	ds.out = ds.out[:0]
+}
+
+// dynMemoThreshold is the number of multi-letter δ resolutions a scratch
+// arena sees before the packed-key memo engages.
+const dynMemoThreshold = 8192
+
+// Row classifications for the asynchronous chain walker. Zero is
+// reserved for "not yet classified" so the memo's zero value is inert.
+const (
+	rowUnknown    int8 = iota
+	rowBranches        // several moves, a transmission, or an output flip
+	rowSilentHop       // lone silent same-output-class move to another state
+	rowSilentSelf      // lone silent self-loop
+)
+
+// classifyRow classifies a δ row for state q (see the row constants).
+func (c *MachineCode) classifyRow(row []nfsm.Move, q nfsm.State, ds *dynScratch) int8 {
+	if len(row) != 1 || row[0].Emit != nfsm.NoLetter ||
+		c.isOutputDS(row[0].Next, ds) != c.isOutputDS(q, ds) {
+		return rowBranches
+	}
+	if row[0].Next == q {
+		return rowSilentSelf
+	}
+	return rowSilentHop
+}
+
+// silentNext resolves δ for node v in state q and classifies the row in
+// one step, memoizing the classification for single-query dynamic
+// machines (the synchronizer compilations the asynchronous engine
+// executes) so a chain-walk hop costs a few array loads.
+func (rc *runCounts) silentNext(v int, q nfsm.State, ds *dynScratch) (nfsm.State, int8) {
+	p := rc.p
+	if p.kind == progDynamic && p.single != nil {
+		ql := rc.queryOf(q)
+		cc := rc.raw[v*p.nl+int(ql)]
+		if cc > int32(p.b) {
+			cc = int32(p.b)
+		}
+		mi := int(q)*(p.b+1) + int(cc)
+		if mi < len(ds.srkind) {
+			if k := ds.srkind[mi]; k != rowUnknown {
+				if k == rowBranches {
+					return 0, k
+				}
+				return ds.srows[mi][0].Next, k
+			}
+		}
+		row := rc.movesFor(v, q, ds) // fills ds.srows[mi]
+		k := p.classifyRow(row, q, ds)
+		for len(ds.srkind) < len(ds.srows) {
+			ds.srkind = append(ds.srkind, 0)
+		}
+		ds.srkind[mi] = k
+		if k == rowBranches {
+			return 0, k
+		}
+		return row[0].Next, k
+	}
+	row := rc.movesFor(v, q, ds)
+	if len(row) == 0 {
+		return 0, rowBranches
+	}
+	k := p.classifyRow(row, q, ds)
+	if k == rowBranches {
+		return 0, k
+	}
+	return row[0].Next, k
+}
+
+// isOutputDS answers Q_O membership like isOutput, but memoizes dynamic
+// machines' answers in the caller's scratch so the hot loops do not
+// take the machine's lock per step.
+func (c *MachineCode) isOutputDS(q nfsm.State, ds *dynScratch) bool {
+	if c.kind != progDynamic {
+		return c.outMask[q>>6]>>(uint(q)&63)&1 == 1
+	}
+	if i := int(q); i < len(ds.out) {
+		if o := ds.out[i]; o >= 0 {
+			return o == 1
+		}
+	}
+	o := c.m.IsOutput(q)
+	for len(ds.out) <= int(q) {
+		ds.out = append(ds.out, -1)
+	}
+	if o {
+		ds.out[q] = 1
+	} else {
+		ds.out[q] = 0
+	}
+	return o
+}
+
+// movesFor resolves δ for node v in state q. ds is the caller's dynamic
+// scratch (per-worker when sharded); the flat paths never touch it.
+func (rc *runCounts) movesFor(v int, q nfsm.State, ds *dynScratch) []nfsm.Move {
 	p := rc.p
 	switch p.kind {
 	case progFlatSingle:
@@ -385,13 +647,48 @@ func (rc *runCounts) movesFor(v int, q nfsm.State, cbuf []nfsm.Count) []nfsm.Mov
 	base := v * p.nl
 	if p.single != nil {
 		ql := rc.queryOf(q)
-		cbuf[ql] = nfsm.ClampCount(int(rc.raw[base+int(ql)]), p.b)
-		return p.m.Moves(q, cbuf)
+		c := rc.raw[base+int(ql)]
+		if c > int32(p.b) {
+			c = int32(p.b)
+		}
+		mi := int(q)*(p.b+1) + int(c)
+		if mi < len(ds.srows) {
+			if row := ds.srows[mi]; row != nil {
+				return row
+			}
+		}
+		ds.cbuf[ql] = nfsm.Count(c)
+		row := p.m.Moves(q, ds.cbuf)
+		for len(ds.srows) <= mi {
+			ds.srows = append(ds.srows, nil)
+		}
+		ds.srows[mi] = row
+		return row
+	}
+	if p.dynPack {
+		ds.mcalls++
+		if ds.mcalls > dynMemoThreshold {
+			key := uint64(q)
+			for l := 0; l < p.nl; l++ {
+				c := rc.raw[base+l]
+				if c > int32(p.b) {
+					c = int32(p.b)
+				}
+				key = key<<p.dynPackBits | uint64(c)
+				ds.cbuf[l] = nfsm.Count(c)
+			}
+			if row, ok := ds.mrows.lookup(key); ok {
+				return row
+			}
+			row := p.m.Moves(q, ds.cbuf)
+			ds.mrows.insert(key, row)
+			return row
+		}
 	}
 	for l := 0; l < p.nl; l++ {
-		cbuf[l] = nfsm.ClampCount(int(rc.raw[base+l]), p.b)
+		ds.cbuf[l] = nfsm.ClampCount(int(rc.raw[base+l]), p.b)
 	}
-	return p.m.Moves(q, cbuf)
+	return p.m.Moves(q, ds.cbuf)
 }
 
 // queryOf memoizes QueryLetter for dynamic single-query machines (their

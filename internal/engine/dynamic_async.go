@@ -21,8 +21,9 @@ import (
 // dropped, the way a dying link loses its traffic. The independent
 // reference implementation lives in dynamic_async_ref.go.
 
-// dynEvent is a dynamic-run queue entry: a node step or a delivery
-// addressed by directed edge.
+// dynEvent is the seed dynamic engine's queue entry, kept for the
+// reference oracle in dynamic_async_ref.go (the rewritten executor uses
+// the ladder queue's qevent, carrying the sender in aux).
 type dynEvent struct {
 	time   float64
 	seq    uint64
@@ -31,58 +32,6 @@ type dynEvent struct {
 	letter nfsm.Letter // delivery only
 	epoch  uint32      // step only: liveness epoch at scheduling time
 	step   bool
-}
-
-// dynQueue is the (time, seq)-ordered binary min-heap of dynamic
-// events; same layout discipline as eventQueue, separate type so the
-// static hot path's event struct stays as small as it is.
-type dynQueue struct {
-	ev []dynEvent
-}
-
-func (h *dynQueue) len() int { return len(h.ev) }
-
-func (h *dynQueue) less(i, j int) bool {
-	if h.ev[i].time != h.ev[j].time {
-		return h.ev[i].time < h.ev[j].time
-	}
-	return h.ev[i].seq < h.ev[j].seq
-}
-
-func (h *dynQueue) push(e dynEvent) {
-	h.ev = append(h.ev, e)
-	i := len(h.ev) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !h.less(i, parent) {
-			break
-		}
-		h.ev[i], h.ev[parent] = h.ev[parent], h.ev[i]
-		i = parent
-	}
-}
-
-func (h *dynQueue) pop() dynEvent {
-	root := h.ev[0]
-	last := len(h.ev) - 1
-	h.ev[0] = h.ev[last]
-	h.ev = h.ev[:last]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < last && h.less(l, smallest) {
-			smallest = l
-		}
-		if r < last && h.less(r, smallest) {
-			smallest = r
-		}
-		if smallest == i {
-			return root
-		}
-		h.ev[i], h.ev[smallest] = h.ev[smallest], h.ev[i]
-		i = smallest
-	}
 }
 
 // portSlot returns the CSR slot of node to's port from node from, or -1
@@ -105,11 +54,19 @@ func portSlot(csr *graph.CSR, to, from int) int32 {
 }
 
 // runAsyncScenario executes the compiled program asynchronously under a
-// dynamic-network scenario.
-func (p *Program) runAsyncScenario(cfg AsyncConfig) (*AsyncResult, error) {
+// dynamic-network scenario. It shares the static executor's ladder
+// queue (deliveries are pushed directly — the per-edge FIFO pools would
+// need remapping across re-binds for no benefit on this colder path)
+// and its scratch-arena reuse for the queue, counts and dynamic-machine
+// memos; the per-slot arrays are still rebuilt at every topology
+// re-bind, exactly as the remap semantics require.
+func (p *Program) runAsyncScenario(cfg AsyncConfig, scr *Scratch) (*AsyncResult, error) {
 	sc := cfg.Scenario
 	if err := prepScenario(sc, p.g); err != nil {
 		return nil, err
+	}
+	if scr == nil {
+		scr = NewScratch()
 	}
 	g := p.g.Clone()
 	n := g.N()
@@ -127,8 +84,11 @@ func (p *Program) runAsyncScenario(cfg AsyncConfig) (*AsyncResult, error) {
 	}
 
 	cur := p.csr
-	rc := newRunCountsCSR(p, cur)
-	cbuf := make([]nfsm.Count, p.nl)
+	scr.bind(p.MachineCode)
+	rc := &scr.rc
+	rc.reset(p, cur)
+	ds := &scr.ds
+	ds.init(p.MachineCode)
 	live := scenario.NewLiveness(n, sc.Asleep)
 
 	// Per directed-edge-slot state, remapped at every re-bind:
@@ -163,8 +123,9 @@ func (p *Program) runAsyncScenario(cfg AsyncConfig) (*AsyncResult, error) {
 		}
 	}
 
+	h := &scr.async().lq
+	h.reset()
 	var (
-		h        dynQueue
 		seq      uint64
 		maxParam float64
 	)
@@ -177,7 +138,7 @@ func (p *Program) runAsyncScenario(cfg AsyncConfig) (*AsyncResult, error) {
 		}
 		return d, nil
 	}
-	push := func(e dynEvent) {
+	push := func(e qevent) {
 		e.seq = seq
 		seq++
 		h.push(e)
@@ -188,7 +149,7 @@ func (p *Program) runAsyncScenario(cfg AsyncConfig) (*AsyncResult, error) {
 		if err != nil {
 			return err
 		}
-		push(dynEvent{time: after + l, node: v, epoch: epoch[v], step: true})
+		push(qevent{time: after + l, node: int32(v), epoch: epoch[v], step: true})
 		return nil
 	}
 	timeUnits := func(t float64) float64 {
@@ -284,7 +245,8 @@ func (p *Program) runAsyncScenario(cfg AsyncConfig) (*AsyncResult, error) {
 
 	for {
 		// A due batch precedes every event scheduled at or after it.
-		if nextBatch < len(sc.Batches) && (h.len() == 0 || h.ev[0].time >= sc.Batches[nextBatch].At) {
+		nextAt, nonEmpty := h.peekTime()
+		if nextBatch < len(sc.Batches) && (!nonEmpty || nextAt >= sc.Batches[nextBatch].At) {
 			b := sc.Batches[nextBatch]
 			if err := applyBatch(b); err != nil {
 				return nil, err
@@ -301,21 +263,22 @@ func (p *Program) runAsyncScenario(cfg AsyncConfig) (*AsyncResult, error) {
 			}
 			continue
 		}
-		if h.len() == 0 {
+		e, ok := h.pop()
+		if !ok {
 			break
 		}
-		e := h.pop()
 		if !e.step {
 			// Delivery: resolve the port from the current snapshot; a
 			// removed edge drops its in-flight traffic.
-			k := portSlot(cur, e.node, e.from)
+			v := int(e.node)
+			k := portSlot(cur, v, int(e.aux))
 			if k < 0 {
 				continue
 			}
-			if portWriteAt[k] > lastStepAt[e.node] {
+			if portWriteAt[k] > lastStepAt[v] {
 				res.Lost++
 			}
-			rc.setPort(e.node, k, e.letter)
+			rc.setPort(v, k, nfsm.Letter(e.letter))
 			portWriteAt[k] = e.time
 			continue
 		}
@@ -323,10 +286,10 @@ func (p *Program) runAsyncScenario(cfg AsyncConfig) (*AsyncResult, error) {
 			continue // scheduled before a crash: the node never took it
 		}
 
-		v := e.node
+		v := int(e.node)
 		t := stepIndex[v] + 1
 		q := states[v]
-		moves := rc.movesFor(v, q, cbuf)
+		moves := rc.movesFor(v, q, ds)
 		if len(moves) == 0 {
 			return nil, fmt.Errorf("engine: δ empty at node %d state %d step %d", v, q, t)
 		}
@@ -365,7 +328,7 @@ func (p *Program) runAsyncScenario(cfg AsyncConfig) (*AsyncResult, error) {
 					at = lastDelivery[k] // FIFO per directed edge
 				}
 				lastDelivery[k] = at
-				push(dynEvent{time: at, node: u, from: v, letter: mv.Emit})
+				push(qevent{time: at, node: int32(u), aux: int32(v), letter: int32(mv.Emit)})
 			}
 		}
 

@@ -48,11 +48,16 @@ func resetStateOf(m nfsm.Machine, init []nfsm.State, v int) nfsm.State {
 
 // runSyncScenario executes the compiled program with a dynamic-network
 // scenario. The loop is sequential: trial-level parallelism (the
-// campaign runner) is where dynamic sweeps get their concurrency.
-func (p *Program) runSyncScenario(cfg SyncConfig) (*SyncResult, error) {
+// campaign runner) is where dynamic sweeps get their concurrency; each
+// worker's scratch arena is reused here exactly as on the static path
+// (scr may be nil for a private one).
+func (p *Program) runSyncScenario(cfg SyncConfig, scr *Scratch) (*SyncResult, error) {
 	sc := cfg.Scenario
 	if err := prepScenario(sc, p.g); err != nil {
 		return nil, err
+	}
+	if scr == nil {
+		scr = NewScratch()
 	}
 	g := p.g.Clone()
 	n := g.N()
@@ -66,11 +71,18 @@ func (p *Program) runSyncScenario(cfg SyncConfig) (*SyncResult, error) {
 	}
 
 	cur := p.csr
-	rc := newRunCountsCSR(p, cur)
-	cbuf := make([]nfsm.Count, p.nl)
+	scr.bind(p.MachineCode)
+	rc := &scr.rc
+	rc.reset(p, cur)
+	ds := &scr.ds
+	ds.init(p.MachineCode)
 	live := scenario.NewLiveness(n, sc.Asleep)
-	emits := make([]nfsm.Letter, n)
-	var emitters []int32
+	if cap(scr.emits) < n {
+		scr.emits = make([]nfsm.Letter, n)
+	}
+	emits := scr.emits[:n]
+	emitters := scr.emitters[:0]
+	defer func() { scr.emitters = emitters[:0] }()
 
 	res := &SyncResult{States: states, FinalGraph: g}
 	outputs := 0
@@ -151,7 +163,7 @@ func (p *Program) runSyncScenario(cfg SyncConfig) (*SyncResult, error) {
 				continue
 			}
 			q := states[v]
-			moves := rc.movesFor(v, q, cbuf)
+			moves := rc.movesFor(v, q, ds)
 			if len(moves) == 0 {
 				return nil, deltaEmptyErr(v, q, round)
 			}

@@ -217,6 +217,14 @@ func fuzzSeeds(f *testing.F) {
 	f.Add(uint64(3), uint64(4), []byte{7, 1, 2, 200, 13, 5, 0, 99, 3})
 	f.Add(uint64(42), uint64(9), []byte{255, 254, 253, 1, 0, 128, 64, 32, 16, 8, 4, 2})
 	f.Add(uint64(11), uint64(12), []byte("stone age distributed computing"))
+	// Overwriter-style re-queue-heavy schedules: byte streams biased
+	// toward 4 mod 5 (the async target's adversary selector) with
+	// protocols whose silent self-loops and multi-state chains park and
+	// replay millions of skipped steps against the budget.
+	f.Add(uint64(7), uint64(70), []byte{4, 9, 14, 19, 24, 4, 9, 14, 19, 24, 4, 9, 14})
+	f.Add(uint64(8), uint64(80), []byte{4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4})
+	f.Add(uint64(9), uint64(90), []byte{104, 4, 54, 204, 4, 154, 4, 14, 4, 64, 4, 114, 4})
+	f.Add(uint64(10), uint64(100), []byte{49, 99, 149, 199, 249, 44, 94, 144, 194, 244, 39, 89, 139})
 }
 
 // FuzzDifferentialSync fuzzes RunSync (compiled, workers ∈ {1, 3})
@@ -290,7 +298,12 @@ func FuzzDifferentialAsync(f *testing.F) {
 		}
 		g := fuzzGraph(r, gseed)
 		sc := fuzzScenario(r, g)
-		advName := []string{"sync", "uniform", "skew", "drift"}[r.byte()%4]
+		// overwriter joins the pool deliberately: its two-orders-of-
+		// magnitude speed skew creates exactly the re-queue storms the
+		// ladder queue's parking fast path absorbs, so the differential
+		// wall exercises chain virtualization, checkpoint windows and
+		// replay under a tight step budget.
+		advName := []string{"sync", "uniform", "skew", "drift", "overwriter"}[r.byte()%5]
 		const maxSteps = 1 << 12
 
 		mkAdv := func() engine.Adversary { return engine.NamedAdversaries(seed + 5)[advName] }

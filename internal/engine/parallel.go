@@ -33,8 +33,21 @@ type shardResult struct {
 // DESIGN.md for the argument, and TestDifferentialSyncEngines for the
 // enforcement).
 func (p *Program) RunSync(cfg SyncConfig) (*SyncResult, error) {
+	return p.RunSyncReusing(cfg, nil)
+}
+
+// RunSyncReusing executes the compiled program synchronously, reusing
+// the scratch arena's counters, buffers and dynamic-machine memos
+// across runs (scr may be nil for a private arena). The worker pool is
+// still per-run; tight trial loops run with Workers == 1 per worker
+// goroutine and parallelize across trials instead, which is what the
+// campaign runner does.
+func (p *Program) RunSyncReusing(cfg SyncConfig, scr *Scratch) (*SyncResult, error) {
 	if !cfg.Scenario.Empty() {
-		return p.runSyncScenario(cfg)
+		return p.runSyncScenario(cfg, scr)
+	}
+	if scr == nil {
+		scr = NewScratch()
 	}
 	n := p.g.N()
 	states, err := initialStates(p.m, n, cfg.Init)
@@ -46,8 +59,14 @@ func (p *Program) RunSync(cfg SyncConfig) (*SyncResult, error) {
 		maxRounds = 1 << 20
 	}
 
-	rc := newRunCounts(p)
-	emits := make([]nfsm.Letter, n)
+	scr.bind(p.MachineCode)
+	rc := &scr.rc
+	rc.reset(p, p.csr)
+	scr.ds.init(p.MachineCode)
+	if cap(scr.emits) < n {
+		scr.emits = make([]nfsm.Letter, n)
+	}
+	emits := scr.emits[:n]
 
 	res := &SyncResult{States: states}
 	outputs := countOutputs(p.m, states)
@@ -74,8 +93,9 @@ func (p *Program) RunSync(cfg SyncConfig) (*SyncResult, error) {
 		stop := exec.startWorkers(workers)
 		defer stop()
 	} else {
-		exec.cbufs = [][]nfsm.Count{make([]nfsm.Count, p.nl)}
-		exec.emitters = make([][]int32, 1)
+		exec.dss = []*dynScratch{&scr.ds}
+		exec.emitters = [][]int32{scr.emitters[:0]}
+		defer func() { scr.emitters = exec.emitters[0][:0] }()
 	}
 
 	for round := 1; round <= maxRounds; round++ {
@@ -105,7 +125,7 @@ type syncExec struct {
 	states []nfsm.State
 	emits  []nfsm.Letter
 	seed   uint64
-	cbufs  [][]nfsm.Count // per-worker dynamic-path scratch
+	dss    []*dynScratch // per-worker dynamic-path scratch (counts + δ-row memos)
 	// emitters[w] lists the nodes of worker w's shard that transmitted
 	// this round; the deliver phase walks only their edges instead of
 	// rescanning every port of the graph (most rounds of a converging
@@ -142,7 +162,7 @@ func (e *syncExec) startWorkers(w int) (stop func()) {
 	e.lo = make([]int, w)
 	e.hi = make([]int, w)
 	e.results = make([]shardResult, w)
-	e.cbufs = make([][]nfsm.Count, w)
+	e.dss = make([]*dynScratch, w)
 	e.emitters = make([][]int32, w)
 	e.buckets = make([][][]portWrite, w)
 	e.shardOf = make([]int32, n)
@@ -152,7 +172,8 @@ func (e *syncExec) startWorkers(w int) (stop func()) {
 		for v := e.lo[i]; v < e.hi[i]; v++ {
 			e.shardOf[v] = int32(i)
 		}
-		e.cbufs[i] = make([]nfsm.Count, e.p.nl)
+		e.dss[i] = &dynScratch{}
+		e.dss[i].init(e.p.MachineCode)
 		e.buckets[i] = make([][]portWrite, w)
 		e.cmds[i] = make(chan int, 1)
 		go func(i int) {
@@ -266,16 +287,16 @@ func (e *syncExec) compute(lo, hi, round, worker int) (tx int64, outDelta int, e
 			}
 		}
 	default:
-		cbuf := e.cbufs[worker]
+		ds := e.dss[worker]
 		for v := lo; v < hi; v++ {
 			q := states[v]
-			moves := e.rc.movesFor(v, q, cbuf)
+			moves := e.rc.movesFor(v, q, ds)
 			if len(moves) == 0 {
 				return tx, outDelta, deltaEmptyErr(v, q, round)
 			}
 			mv := nfsm.PickMove(seed, v, round, moves)
-			if p.isOutput(mv.Next) != p.isOutput(q) {
-				if p.isOutput(mv.Next) {
+			if p.isOutputDS(mv.Next, ds) != p.isOutputDS(q, ds) {
+				if p.isOutputDS(mv.Next, ds) {
 					outDelta++
 				} else {
 					outDelta--

@@ -1,0 +1,7 @@
+//go:build !race
+
+package engine
+
+// raceEnabled reports whether the race detector instruments this build
+// (allocation-count pinning is meaningless under -race).
+const raceEnabled = false

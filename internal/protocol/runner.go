@@ -17,11 +17,22 @@ import (
 // This file is the shared generic runner every protocol's
 // SolveSync/SolveAsync entry point routes through: argument resolution
 // against the declared domains, capability checks against the bound
-// graph, the once-per-argument-vector MachineCode cache, and the
-// sync/async executors (the async path compiles through the Theorem
-// 3.1/3.4 synchronizer per run — synchro machines intern their state
-// sets lazily during execution, so sharing one across concurrent runs
-// would make state numbering schedule-dependent).
+// graph, the once-per-argument-vector MachineCode cache (one entry each
+// for the synchronous machine and its Theorem 3.1/3.4 synchronizer
+// compilation), and the sync/async executors.
+//
+// The synchronizer-compiled machine is cached and shared across runs
+// and goroutines. Synchro machines intern their state sets lazily
+// during execution, so the *numbering* of compiled states depends on
+// which run interned them first — but nothing observable does: moves
+// are chosen by index from rows whose length and order are
+// interning-invariant, emitted letters and output membership are
+// properties of the state descriptor, and every consumer decodes final
+// states back to source states through the same machine instance. The
+// differential wall (compiled vs reference engine) runs on shared
+// machines and stays bit-identical. Sharing is what lets a campaign
+// worker's trials — and repeated SolveAsync calls — skip the state
+// re-interning that used to dominate the async allocation profile.
 
 // SyncConfig parameterizes a synchronous protocol run.
 type SyncConfig struct {
@@ -118,19 +129,33 @@ func argsKey(args Args) string {
 	return b.String()
 }
 
-// codeEntry is one lazily compiled machine-code cache slot.
+// codeEntry is one lazily compiled machine-code cache slot: the
+// synchronous machine's code, and — separately, because async-only and
+// sync-only callers should not pay for both — the synchronizer-compiled
+// asynchronous machine with its code.
 type codeEntry struct {
 	once sync.Once
 	code *engine.MachineCode
 	err  error
+
+	asyncOnce sync.Once
+	asyncM    *synchro.Compiled
+	asyncCode *engine.MachineCode
+	asyncErr  error
+}
+
+// codeEntryFor returns the (possibly empty) cache slot for the resolved
+// argument vector.
+func (d *Descriptor) codeEntryFor(args Args) *codeEntry {
+	v, _ := d.codes.LoadOrStore(argsKey(args), &codeEntry{})
+	return v.(*codeEntry)
 }
 
 // machineCode returns the compiled code for the resolved argument
 // vector, compiling at most once per distinct vector across the whole
 // process (concurrent first callers block on the same sync.Once).
 func (d *Descriptor) machineCode(args Args) (*engine.MachineCode, error) {
-	v, _ := d.codes.LoadOrStore(argsKey(args), &codeEntry{})
-	e := v.(*codeEntry)
+	e := d.codeEntryFor(args)
 	e.once.Do(func() {
 		m, err := d.Machine(args)
 		if err != nil {
@@ -140,6 +165,29 @@ func (d *Descriptor) machineCode(args Args) (*engine.MachineCode, error) {
 		e.code = engine.CompileMachine(m)
 	})
 	return e.code, e.err
+}
+
+// asyncMachineCode returns the Theorem 3.1/3.4 synchronizer compilation
+// of the protocol plus its machine code, compiled at most once per
+// distinct argument vector. The returned machine is shared by every
+// run (see the file comment for why that is observationally sound).
+func (d *Descriptor) asyncMachineCode(args Args) (*synchro.Compiled, *engine.MachineCode, error) {
+	e := d.codeEntryFor(args)
+	e.asyncOnce.Do(func() {
+		m, err := d.Machine(args)
+		if err != nil {
+			e.asyncErr = err
+			return
+		}
+		compiled, err := synchro.CompileRound(m)
+		if err != nil {
+			e.asyncErr = err
+			return
+		}
+		e.asyncM = compiled
+		e.asyncCode = engine.CompileMachine(compiled)
+	})
+	return e.asyncM, e.asyncCode, e.asyncErr
 }
 
 // Bound is a protocol bound to one graph: arguments resolved (including
@@ -157,6 +205,29 @@ type Bound struct {
 	progOnce sync.Once
 	prog     *engine.Program // nil for bespoke engines
 	progErr  error
+
+	asyncOnce sync.Once
+	asyncProg *engine.Program
+	asyncM    *synchro.Compiled
+	asyncErr  error
+}
+
+// Scratch is a reusable per-worker execution arena threaded down to the
+// engine: one per goroutine, reused across every run that goroutine
+// executes (the campaign worker loop holds one per worker). Not safe
+// for concurrent use.
+type Scratch struct {
+	Eng *engine.Scratch
+}
+
+// NewScratch returns a fresh arena.
+func NewScratch() *Scratch { return &Scratch{Eng: engine.NewScratch()} }
+
+func (s *Scratch) engine() *engine.Scratch {
+	if s == nil {
+		return nil
+	}
+	return s.Eng
 }
 
 // Bind resolves args against the parameter domains, enforces the
@@ -248,6 +319,13 @@ func (b *Bound) resolveScenario(sc *scenario.Scenario) (*scenario.Scenario, erro
 // the compiled engine through the lazily bound shared program; bespoke
 // protocols run their own Solve.
 func (b *Bound) RunSync(cfg SyncConfig) (*Run, error) {
+	return b.RunSyncReusing(cfg, nil)
+}
+
+// RunSyncReusing executes one synchronous run reusing the given scratch
+// arena (nil runs with a private one). Callers looping over runs — one
+// scratch per worker goroutine — skip nearly all per-run allocation.
+func (b *Bound) RunSyncReusing(cfg SyncConfig, s *Scratch) (*Run, error) {
 	sc, err := b.resolveScenario(cfg.Scenario)
 	if err != nil {
 		return nil, err
@@ -262,11 +340,11 @@ func (b *Bound) RunSync(cfg SyncConfig) (*Run, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := prog.RunSync(engine.SyncConfig{
+	res, err := prog.RunSyncReusing(engine.SyncConfig{
 		Seed: cfg.Seed, MaxRounds: cfg.MaxRounds,
 		Workers: cfg.Workers, Observer: cfg.Observer,
 		Scenario: sc,
-	})
+	}, s.engine())
 	if err != nil {
 		return nil, err
 	}
@@ -285,11 +363,31 @@ func (b *Bound) RunSync(cfg SyncConfig) (*Run, error) {
 	}, nil
 }
 
-// RunAsync compiles the protocol through the Theorem 3.1/3.4
-// synchronizer and executes it on the asynchronous engine under the
-// configured adversary. The compile happens per run, deliberately: it
-// keeps every run a pure function of its seed (see the file comment).
+// asyncProgram lazily binds the descriptor's cached synchronizer
+// compilation to the graph, once per Bound.
+func (b *Bound) asyncProgram() (*engine.Program, *synchro.Compiled, error) {
+	b.asyncOnce.Do(func() {
+		m, code, err := b.d.asyncMachineCode(b.args)
+		if err != nil {
+			b.asyncErr = err
+			return
+		}
+		b.asyncM = m
+		b.asyncProg = code.Bind(b.g)
+	})
+	return b.asyncProg, b.asyncM, b.asyncErr
+}
+
+// RunAsync executes the protocol on the asynchronous engine under the
+// configured adversary, through the descriptor's cached Theorem 3.1/3.4
+// synchronizer compilation (shared across runs; see the file comment).
 func (b *Bound) RunAsync(cfg AsyncConfig) (*Run, error) {
+	return b.RunAsyncReusing(cfg, nil)
+}
+
+// RunAsyncReusing is RunAsync with a reusable scratch arena (nil runs
+// with a private one).
+func (b *Bound) RunAsyncReusing(cfg AsyncConfig, s *Scratch) (*Run, error) {
 	if b.d.Caps.Has(CapSyncOnly) {
 		return nil, fmt.Errorf("protocol %s runs on the sync engine only", b.d.Name)
 	}
@@ -297,18 +395,14 @@ func (b *Bound) RunAsync(cfg AsyncConfig) (*Run, error) {
 	if err != nil {
 		return nil, err
 	}
-	m, err := b.d.Machine(b.args)
+	prog, compiled, err := b.asyncProgram()
 	if err != nil {
 		return nil, err
 	}
-	compiled, err := synchro.CompileRound(m)
-	if err != nil {
-		return nil, err
-	}
-	res, err := engine.RunAsync(compiled, b.g, engine.AsyncConfig{
+	res, err := prog.RunAsyncReusing(engine.AsyncConfig{
 		Seed: cfg.Seed, Adversary: cfg.Adversary, MaxSteps: cfg.MaxSteps,
 		Scenario: sc,
-	})
+	}, s.engine())
 	if err != nil {
 		return nil, err
 	}

@@ -47,8 +47,10 @@ const (
 )
 
 // cdesc describes one compiled state. The tuple (q, j, prevEmit, feature,
-// sigma, pos, phi1, phi2, acc, phiv) determines the state completely; key
-// is its canonical encoding used for memoization.
+// sigma, pos, phi1, phi2, acc, phiv) determines the state completely; its
+// packed (or, for wide alphabets, string) encoding keys the memoization.
+// Descriptors are stored by value in the machine's state table; δ̂ rows
+// live in a parallel flat table indexed state·(b+1)+count.
 type cdesc struct {
 	q        nfsm.State // underlying protocol state governing this phase
 	j        int        // trit of the simulated round, t mod 3
@@ -61,9 +63,8 @@ type cdesc struct {
 	acc      int   // running clamped sum of the current pass
 	phiv     []int // completed counts for letters < sigma (multi-letter)
 
-	query  nfsm.Letter   // λ̂ of this state, precomputed
-	output bool          // whether the underlying q is an output state
-	rows   [][]nfsm.Move // lazily computed δ̂ rows, indexed by clamped count
+	query  nfsm.Letter // λ̂ of this state, precomputed
+	output bool        // whether the underlying q is an output state
 }
 
 // Compiled is the asynchronous protocol Π̂ produced by Compile or
@@ -81,9 +82,28 @@ type Compiled struct {
 	initial nfsm.Letter // σ̂₀ = (ε, σ₀, 0)
 
 	mu     sync.Mutex
-	states []*cdesc
+	states []cdesc
+	// rows holds the lazily computed δ̂ rows at state·(b+1)+count; the
+	// move storage itself comes from moveSlab, so interning and row
+	// construction stop allocating once the visited state space has
+	// been materialized (runs with fresh seeds keep exploring new
+	// corners of Q̂, and this machinery sits on the asynchronous
+	// engine's per-step path).
+	rows [][]nfsm.Move
+	// pindex interns descriptors by packed uint64 key when every field
+	// fits (packOK); index is the general string-key fallback.
+	pindex map[uint64]nfsm.State
 	index  map[string]nfsm.State
-	inputs []nfsm.State // compiled input states, parallel to source inputs
+	packOK bool
+	qb     uint // unused in packing itself; kept for the width audit
+	lb     uint // bits per letter field
+	pb     uint // bits for the pause-grid / scan position
+	bb     uint // bits per clamped-count field
+	// moveSlab chunk-allocates δ̂ row storage; rows are sub-slices with
+	// capacity clipped to their length, and a chunk is never moved once
+	// handed out.
+	moveSlab []nfsm.Move
+	inputs   []nfsm.State // compiled input states, parallel to source inputs
 }
 
 var (
@@ -120,8 +140,8 @@ func newCompiled(name string, src nfsm.Machine, single nfsm.SingleQuery, scanAll
 		scanAll: scanAll,
 		nl:      src.NumLetters(),
 		b:       src.Bound(),
-		index:   make(map[string]nfsm.State),
 	}
+	c.packPlan(src.NumStates())
 	c.initial = c.encLetter(-1, int(src.InitialLetter()), 0)
 	// Register compiled input states: round 1 (trit 1), previous emission
 	// σ₀ (the virtual round 0 transmits σ̂₀ = (ε, σ₀, 0), so the round-0
@@ -156,6 +176,82 @@ func (c *Compiled) encLetter(a, b2, j int) nfsm.Letter {
 // letter (σ, σ′) pair.
 func (c *Compiled) pauseGrid() int { return (c.nl + 1) * (c.nl + 1) }
 
+// widthOf returns the bits needed to hold values 0..max.
+func widthOf(max int) uint {
+	w := uint(1)
+	for 1<<w <= max {
+		w++
+	}
+	return w
+}
+
+// packPlan decides whether descriptors pack injectively into a uint64
+// intern key: the underlying state, trit, previous emission, feature,
+// scan letter, position, the three φ accumulators, and |Σ|−1 fixed-slot
+// completed counts (their number is implied by sigma, so fixed slots
+// stay injective). Wide alphabets fall back to string keys.
+func (c *Compiled) packPlan(srcStates int) {
+	c.lb = widthOf(c.nl - 1)
+	c.pb = widthOf(c.pauseGrid() - 1)
+	c.bb = widthOf(c.b)
+	c.qb = widthOf(srcStates - 1)
+	extra := 0
+	if c.nl > 1 {
+		extra = (c.nl - 1) * int(c.bb)
+	}
+	total := int(c.qb) + 2 + int(c.lb) + 2 + int(c.lb) + int(c.pb) + 3*int(c.bb) + extra
+	if total <= 64 {
+		c.packOK = true
+		c.pindex = make(map[uint64]nfsm.State)
+	} else {
+		c.index = make(map[string]nfsm.State)
+	}
+}
+
+// packKey encodes a descriptor into its uint64 intern key (packOK only).
+func (c *Compiled) packKey(d *cdesc) uint64 {
+	k := uint64(d.q)
+	k = k<<2 | uint64(d.j)
+	k = k<<c.lb | uint64(d.prevEmit)
+	k = k<<2 | uint64(d.feature)
+	k = k<<c.lb | uint64(d.sigma)
+	k = k<<c.pb | uint64(d.pos)
+	k = k<<c.bb | uint64(d.phi1)
+	k = k<<c.bb | uint64(d.phi2)
+	k = k<<c.bb | uint64(d.acc)
+	for i := 0; i < c.nl-1; i++ {
+		var v int
+		if i < len(d.phiv) {
+			v = d.phiv[i]
+		}
+		k = k<<c.bb | uint64(v)
+	}
+	return k
+}
+
+// rowSlab returns stable storage for an n-move δ̂ row: a sub-slice of the
+// current chunk with capacity clipped to its length (appends within a
+// chunk never move it, so handed-out rows stay valid forever).
+func (c *Compiled) rowSlab(n int) []nfsm.Move {
+	if len(c.moveSlab)+n > cap(c.moveSlab) {
+		sz := 4096
+		if n > sz {
+			sz = n
+		}
+		c.moveSlab = make([]nfsm.Move, 0, sz)
+	}
+	lo := len(c.moveSlab)
+	c.moveSlab = c.moveSlab[:lo+n]
+	return c.moveSlab[lo : lo+n : lo+n]
+}
+
+// row1 slab-allocates a singleton row.
+func (c *Compiled) row1(m nfsm.Move) []nfsm.Move {
+	r := c.rowSlab(1)
+	r[0] = m
+	return r
+}
+
 // key renders the identifying tuple of a descriptor.
 func (d *cdesc) makeKey() string {
 	buf := make([]byte, 0, 48)
@@ -173,18 +269,38 @@ func (d *cdesc) makeKey() string {
 }
 
 // intern returns the canonical State for the descriptor, creating it if
-// needed. Callers must hold c.mu.
-func (c *Compiled) intern(d *cdesc) nfsm.State {
+// needed. Hits allocate nothing (descriptors are passed by value and
+// keys are packed integers when the alphabet permits). Callers must
+// hold c.mu.
+func (c *Compiled) intern(d cdesc) nfsm.State {
+	if c.packOK {
+		k := c.packKey(&d)
+		if s, ok := c.pindex[k]; ok {
+			return s
+		}
+		s := c.addState(d)
+		c.pindex[k] = s
+		return s
+	}
 	k := d.makeKey()
 	if s, ok := c.index[k]; ok {
 		return s
 	}
+	s := c.addState(d)
+	c.index[k] = s
+	return s
+}
+
+// addState appends a new descriptor and its empty δ̂ row block. Callers
+// must hold c.mu.
+func (c *Compiled) addState(d cdesc) nfsm.State {
 	d.output = c.src.IsOutput(d.q)
-	d.query = c.queryOf(d)
-	d.rows = make([][]nfsm.Move, c.b+1)
+	d.query = c.queryOf(&d)
 	s := nfsm.State(len(c.states))
 	c.states = append(c.states, d)
-	c.index[k] = s
+	for i := 0; i <= c.b; i++ {
+		c.rows = append(c.rows, nil)
+	}
 	return s
 }
 
@@ -210,13 +326,13 @@ func (c *Compiled) queryOf(d *cdesc) nfsm.Letter {
 // pauseStart interns the first pausing state of P_q × {j}. Callers must
 // hold c.mu.
 func (c *Compiled) pauseStart(q nfsm.State, j, prevEmit int) nfsm.State {
-	return c.intern(&cdesc{q: q, j: j, prevEmit: prevEmit, feature: featPause})
+	return c.intern(cdesc{q: q, j: j, prevEmit: prevEmit, feature: featPause})
 }
 
 // scanStart interns the first simulation-feature state for the phase,
 // resetting to letter sigma. Callers must hold c.mu.
 func (c *Compiled) scanStart(d *cdesc, sigma int, phiv []int) nfsm.State {
-	return c.intern(&cdesc{
+	return c.intern(cdesc{
 		q: d.q, j: d.j, prevEmit: d.prevEmit,
 		feature: featScan1, sigma: sigma, phiv: phiv,
 	})
@@ -289,7 +405,7 @@ func (c *Compiled) Underlying(s nfsm.State) nfsm.State {
 func (c *Compiled) IsPhaseStart(s nfsm.State) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	d := c.states[s]
+	d := &c.states[s]
 	return d.feature == featPause && d.pos == 0
 }
 
@@ -314,35 +430,41 @@ func (c *Compiled) QueryLetter(s nfsm.State) nfsm.Letter {
 func (c *Compiled) Moves(s nfsm.State, counts []nfsm.Count) []nfsm.Move {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	d := c.states[s]
-	cnt := int(counts[d.query])
-	if row := d.rows[cnt]; row != nil {
+	cnt := int(counts[c.states[s].query])
+	ri := int(s)*(c.b+1) + cnt
+	if row := c.rows[ri]; row != nil {
 		return row
 	}
-	row := c.buildRow(s, d, cnt)
-	d.rows[cnt] = row
+	row := c.buildRow(s, cnt)
+	// buildRow may have interned states and grown c.rows; indexed
+	// assignment into the pre-existing prefix stays valid.
+	c.rows[ri] = row
 	return row
 }
 
-// buildRow computes the δ̂ row for (state, count). Callers hold c.mu.
-func (c *Compiled) buildRow(s nfsm.State, d *cdesc, cnt int) []nfsm.Move {
+// buildRow computes the δ̂ row for (state, count). It works on a value
+// copy of the descriptor: interning the successor state may grow the
+// state table, which would invalidate a pointer into it. Callers hold
+// c.mu.
+func (c *Compiled) buildRow(s nfsm.State, cnt int) []nfsm.Move {
+	d := c.states[s]
 	eps := nfsm.NoLetter
 	switch d.feature {
 	case featPause:
 		if cnt > 0 {
 			// A dirty letter is present: stay put.
-			return []nfsm.Move{{Next: s, Emit: eps}}
+			return c.row1(nfsm.Move{Next: s, Emit: eps})
 		}
 		if d.pos+1 < c.pauseGrid() {
-			next := c.intern(&cdesc{
+			next := c.intern(cdesc{
 				q: d.q, j: d.j, prevEmit: d.prevEmit,
 				feature: featPause, pos: d.pos + 1,
 			})
-			return []nfsm.Move{{Next: next, Emit: eps}}
+			return c.row1(nfsm.Move{Next: next, Emit: eps})
 		}
 		// Pausing complete: enter the simulation feature.
-		next := c.scanStart(d, c.firstSigma(d.q), d.phiv)
-		return []nfsm.Move{{Next: next, Emit: eps}}
+		next := c.scanStart(&d, c.firstSigma(d.q), d.phiv)
+		return c.row1(nfsm.Move{Next: next, Emit: eps})
 
 	case featScan1, featScan2, featScan3:
 		acc := d.acc + cnt
@@ -350,34 +472,34 @@ func (c *Compiled) buildRow(s nfsm.State, d *cdesc, cnt int) []nfsm.Move {
 			acc = c.b // f_b(x+y) = min(f_b(x)+f_b(y), b)
 		}
 		if d.pos < c.nl { // more letters in this Γ pass
-			next := c.intern(&cdesc{
+			next := c.intern(cdesc{
 				q: d.q, j: d.j, prevEmit: d.prevEmit,
 				feature: d.feature, sigma: d.sigma, pos: d.pos + 1,
 				phi1: d.phi1, phi2: d.phi2, acc: acc, phiv: d.phiv,
 			})
-			return []nfsm.Move{{Next: next, Emit: eps}}
+			return c.row1(nfsm.Move{Next: next, Emit: eps})
 		}
 		// Γ pass complete; acc is the pass total.
 		switch d.feature {
 		case featScan1:
-			next := c.intern(&cdesc{
+			next := c.intern(cdesc{
 				q: d.q, j: d.j, prevEmit: d.prevEmit,
 				feature: featScan2, sigma: d.sigma,
 				phi1: acc, phiv: d.phiv,
 			})
-			return []nfsm.Move{{Next: next, Emit: eps}}
+			return c.row1(nfsm.Move{Next: next, Emit: eps})
 		case featScan2:
-			next := c.intern(&cdesc{
+			next := c.intern(cdesc{
 				q: d.q, j: d.j, prevEmit: d.prevEmit,
 				feature: featScan3, sigma: d.sigma,
 				phi1: d.phi1, phi2: acc, phiv: d.phiv,
 			})
-			return []nfsm.Move{{Next: next, Emit: eps}}
+			return c.row1(nfsm.Move{Next: next, Emit: eps})
 		default: // featScan3
 			if acc != d.phi1 {
 				// A relevant port changed mid-scan: restart this letter.
 				// φ₁ can only decrease, so this happens at most b times.
-				return []nfsm.Move{{Next: c.scanStart(d, d.sigma, d.phiv), Emit: eps}}
+				return c.row1(nfsm.Move{Next: c.scanStart(&d, d.sigma, d.phiv), Emit: eps})
 			}
 			phi := d.phi1 + d.phi2
 			if phi > c.b {
@@ -387,9 +509,9 @@ func (c *Compiled) buildRow(s nfsm.State, d *cdesc, cnt int) []nfsm.Move {
 				phiv := make([]int, len(d.phiv)+1)
 				copy(phiv, d.phiv)
 				phiv[len(d.phiv)] = phi
-				return []nfsm.Move{{Next: c.scanStart(d, d.sigma+1, phiv), Emit: eps}}
+				return c.row1(nfsm.Move{Next: c.scanStart(&d, d.sigma+1, phiv), Emit: eps})
 			}
-			return c.applyDelta(d, phi)
+			return c.applyDelta(&d, phi)
 		}
 	default:
 		panic("synchro: unknown feature")
@@ -419,7 +541,7 @@ func (c *Compiled) applyDelta(d *cdesc, lastPhi int) []nfsm.Move {
 		counts[d.sigma] = nfsm.Count(lastPhi)
 	}
 	srcMoves := c.src.Moves(d.q, counts)
-	out := make([]nfsm.Move, len(srcMoves))
+	out := c.rowSlab(len(srcMoves))
 	for i, mv := range srcMoves {
 		cur := d.prevEmit // ε emission: the port keeps showing the old letter
 		if mv.Emit != nfsm.NoLetter {

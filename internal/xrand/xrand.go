@@ -46,6 +46,13 @@ func Mix(vs ...uint64) uint64 {
 	return h
 }
 
+// MixWord extends a Mix fold by one value: MixWord(Mix(a, b), c) ==
+// Mix(a, b, c). Hot loops that vary only the last coordinate hoist the
+// prefix fold and pay a single splitmix64 round per iteration.
+func MixWord(h, v uint64) uint64 {
+	return splitmix64(h ^ v)
+}
+
 // Source is a deterministic PRNG stream. The zero value is a valid stream
 // (seeded with 0); use New or NewStream for explicit seeding.
 type Source struct {
