@@ -17,9 +17,10 @@ test:
 # runner and the sharded engine are the concurrency hot spots), the
 # registry-driven protocol conformance suite, and short end-to-end
 # campaign runs through the sweep CLI — the smoke spec, the spec that
-# names every registered sweepable protocol, and the dynamic-network
-# recovery sweep (trials cut down for speed; every trial's output is
-# still validated against its final graph).
+# names every registered sweepable protocol, the dynamic-network
+# recovery sweep, and the unreliable-channel robustness sweep (trials
+# cut down for speed; every trial's output is still validated against
+# its final graph, with Byzantine nodes excluded).
 check: build
 	@fmt_out="$$(gofmt -l .)"; if [ -n "$$fmt_out" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
@@ -30,6 +31,7 @@ check: build
 	go run ./cmd/stonesim sweep -spec examples/specs/smoke.json -q -json /tmp/stonesim-smoke.json
 	go run ./cmd/stonesim sweep -spec examples/specs/all-protocols.json -q
 	go run ./cmd/stonesim sweep -spec examples/specs/churn-mis.json -q -trials 4
+	go run ./cmd/stonesim sweep -spec examples/specs/lossy-mis.json -q -trials 4
 	@echo "check: OK"
 
 # bench regenerates BENCH_5.json from the tracked benchmark set
@@ -40,7 +42,7 @@ check: build
 # previous BENCH_N.json and warns on >15% regressions. Override the
 # output file or iteration count with BENCH_OUT / BENCH_TIME, the
 # comparison baseline with BENCH_PREV (BENCH_PREV=none skips it).
-BENCH_OUT ?= BENCH_5.json
+BENCH_OUT ?= BENCH_6.json
 BENCH_TIME ?= 20x
 
 bench:

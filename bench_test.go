@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"stoneage/internal/campaign"
+	"stoneage/internal/channel"
 	"stoneage/internal/coloring"
 	"stoneage/internal/degcolor"
 	"stoneage/internal/engine"
@@ -76,6 +77,54 @@ func BenchmarkMISAsync(b *testing.B) {
 				tu = run.TimeUnits
 			}
 			b.ReportMetric(tu, "time-units")
+		})
+	}
+}
+
+// BenchmarkChannelOverhead measures the unreliable-channel axis tax on
+// the asynchronous hot loop. The reliable sub-benchmark runs with a nil
+// model — the exact code path every channel-free caller takes, so its
+// ns/op pins the axis's zero-overhead claim against BenchmarkMISAsync
+// in the previous snapshot. The dup and stack sub-benchmarks price the
+// per-transmission Expand call for a single policy and a composed one
+// (both pathologies the compiled protocol tolerates, so every variant
+// converges and the runs stay comparable).
+func BenchmarkChannelOverhead(b *testing.B) {
+	g := graph.GnpConnected(32, 0.125, xrand.New(3))
+	d, err := protocol.Lookup("mis")
+	if err != nil {
+		b.Fatal(err)
+	}
+	bound, err := d.Bind(g, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	models := []struct {
+		name  string
+		model channel.Model
+	}{
+		{"reliable", nil},
+		{"dup", channel.Duplicate{Rate: 0.3, MaxCopies: 3, Seed: 11}},
+		{"stack", channel.Stack{
+			channel.Duplicate{Rate: 0.3, MaxCopies: 3, Seed: 11},
+			channel.Reorder{Window: 0.5, Seed: 12},
+		}},
+	}
+	adv := engine.NamedAdversaries(9)["uniform"]
+	for _, m := range models {
+		b.Run(m.name, func(b *testing.B) {
+			scratch := protocol.NewScratch()
+			dups := int64(0)
+			for i := 0; i < b.N; i++ {
+				run, err := bound.RunAsyncReusing(protocol.AsyncConfig{
+					Seed: uint64(i), Adversary: adv, Channel: m.model,
+				}, scratch)
+				if err != nil {
+					b.Fatal(err)
+				}
+				dups = run.Duplicated
+			}
+			b.ReportMetric(float64(dups), "duplicated")
 		})
 	}
 }

@@ -11,6 +11,8 @@
 //	stonesim -protocol mis   -graph gnp -n 128 -p 0.05 -engine async -adversary uniform
 //	stonesim -protocol color3 -graph tree -n 200 -engine sync
 //	stonesim -protocol ssmis -graph gnp -n 256 -scenario '{"kind":"churn","rate":3}'
+//	stonesim -protocol ssmis -graph gnp -n 256 -channel '{"drop":0.2,"dup":0.1}'
+//	stonesim -protocol mis -graph torus -n 64 -channel '{"byz":[{"behavior":"babble","frac":0.05}]}'
 //	stonesim -protocol mis -graph torus -n 64 -scenario '{"kind":"crash","frac":0.3}' -trace hist.csv
 //	stonesim -protocol matching -graph cycle -n 64
 //	stonesim -protocol luby -graph torus -n 64
@@ -35,6 +37,13 @@
 // against the final graph, and -trace histograms carry perturbation
 // markers.
 //
+// The -channel flag makes the links unreliable: a channel.Def as JSON
+// (loss, duplication, reordering, corruption rates, plus an optional
+// Byzantine node set) is instantiated against the run's seed, every
+// transmission is filtered through it in both engines, and the run
+// reports the per-pathology event counts. Byzantine nodes babble on
+// their own; their outputs are excluded from validation.
+//
 // The sweep subcommand runs a declarative multi-trial campaign
 // (internal/campaign) in parallel and emits aggregate tables, JSON and
 // CSV; see examples/specs for spec files (the `scenarios` field sweeps
@@ -53,6 +62,7 @@ import (
 	"strings"
 
 	"stoneage/internal/campaign"
+	"stoneage/internal/channel"
 	"stoneage/internal/engine"
 	"stoneage/internal/graph"
 	"stoneage/internal/lba"
@@ -87,6 +97,7 @@ type options struct {
 	workers   int
 	trials    int
 	scenario  string
+	channel   string
 }
 
 // parseParams turns the -param flag ("name=value[,name=value]") into
@@ -137,6 +148,8 @@ func run(args []string, w io.Writer) error {
 	fs.IntVar(&opt.trials, "trials", 1, "repeat the run over derived seeds, reusing one scratch arena, and report per-trial metrics")
 	fs.StringVar(&opt.scenario, "scenario", "",
 		`dynamic-network scenario as JSON, e.g. '{"kind":"churn","rate":2}' (kinds: none, crash, churn, wake; engine-hosted protocols only)`)
+	fs.StringVar(&opt.channel, "channel", "",
+		`unreliable-channel model as JSON, e.g. '{"drop":0.2,"byz":[{"behavior":"babble","frac":0.05}]}' (engine-hosted protocols only)`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -174,6 +187,18 @@ func runProtocol(opt options, d *protocol.Descriptor, g *graph.Graph, w io.Write
 	if err != nil {
 		return err
 	}
+	model, byz, err := parseChannel(opt, g)
+	if err != nil {
+		return err
+	}
+	if len(byz) > 0 {
+		// Byzantine nodes ride on the scenario layer; synthesize an empty
+		// scenario when -scenario was not given so the engines see them.
+		if sc == nil {
+			sc = &scenario.Scenario{Reset: scenario.ResetAuto}
+		}
+		sc.Byzantine = byz
+	}
 	// Repeated trials share one scratch arena — the same zero-alloc
 	// reuse discipline the campaign workers run with — so a CLI
 	// micro-sweep over seeds costs barely more than its first trial.
@@ -191,7 +216,7 @@ func runProtocol(opt options, d *protocol.Descriptor, g *graph.Graph, w io.Write
 		}
 		switch opt.eng {
 		case "sync":
-			cfg := protocol.SyncConfig{Seed: seed, Workers: opt.workers, Scenario: sc}
+			cfg := protocol.SyncConfig{Seed: seed, Workers: opt.workers, Scenario: sc, Channel: model}
 			var hist *trace.Histogram
 			if opt.traceCSV != "" && trial == 0 {
 				names := bound.StateNames()
@@ -218,7 +243,7 @@ func runProtocol(opt options, d *protocol.Descriptor, g *graph.Graph, w io.Write
 			if err != nil {
 				return err
 			}
-			if run, err = bound.RunAsyncReusing(protocol.AsyncConfig{Seed: seed, Adversary: adv, Scenario: sc}, scratch); err != nil {
+			if run, err = bound.RunAsyncReusing(protocol.AsyncConfig{Seed: seed, Adversary: adv, Scenario: sc, Channel: model}, scratch); err != nil {
 				return err
 			}
 			fmt.Fprintf(w, "%s%s: %.1f time units, %d steps, %d lost messages (adversary %s)\n",
@@ -226,6 +251,10 @@ func runProtocol(opt options, d *protocol.Descriptor, g *graph.Graph, w io.Write
 		default:
 			return fmt.Errorf("unknown engine %q", opt.eng)
 		}
+	}
+	if model != nil || len(byz) > 0 {
+		fmt.Fprintf(w, "channel: %d dropped, %d duplicated, %d reordered, %d corrupted, %d severed; %d byzantine nodes\n",
+			run.Dropped, run.Duplicated, run.Reordered, run.Corrupted, run.Severed, len(run.Byzantine))
 	}
 	if run.Perturbations() > 0 {
 		unit := "rounds"
@@ -260,6 +289,26 @@ func parseScenario(opt options, g *graph.Graph) (*scenario.Scenario, error) {
 		return nil, fmt.Errorf("-scenario: %w", err)
 	}
 	return sc, nil
+}
+
+// parseChannel decodes the -channel flag (a channel.Def as JSON) and
+// instantiates the link model and the Byzantine node set against the
+// run's graph and seed.
+func parseChannel(opt options, g *graph.Graph) (channel.Model, []channel.ByzNode, error) {
+	if opt.channel == "" {
+		return nil, nil, nil
+	}
+	var def channel.Def
+	dec := json.NewDecoder(strings.NewReader(opt.channel))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&def); err != nil {
+		return nil, nil, fmt.Errorf("-channel: %v", err)
+	}
+	if err := def.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("-channel: %w", err)
+	}
+	seed := opt.seed ^ 0x6368616e // distinct from the protocol's and the scenario's coins
+	return def.Model(seed), def.Byzantine(g.N(), seed), nil
 }
 
 func formatRecovery(v float64) string {

@@ -156,7 +156,7 @@ func TestParamFlag(t *testing.T) {
 func TestProtocolsSubcommand(t *testing.T) {
 	out := runCLI(t, "protocols")
 	for _, want := range []string{"mis", "color3", "tree-only", "matching", "sync-only",
-		"colevishkin", "path-only", "maxdeg∈[0,16]"} {
+		"colevishkin", "path-only", "maxdeg∈[0,16]", "tolerates", "loss,dup,reorder"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("protocols output missing %q:\n%s", want, out)
 		}
@@ -165,6 +165,7 @@ func TestProtocolsSubcommand(t *testing.T) {
 		Name         string   `json:"name"`
 		Summary      string   `json:"summary"`
 		Capabilities []string `json:"capabilities"`
+		Tolerates    []string `json:"tolerates"`
 	}
 	if err := json.Unmarshal([]byte(runCLI(t, "protocols", "-json")), &infos); err != nil {
 		t.Fatalf("protocols -json: %v", err)
@@ -295,7 +296,7 @@ func TestSweepSubcommand(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.HasPrefix(string(csvData), "protocol,scenario,family,size,") {
+	if !strings.HasPrefix(string(csvData), "protocol,scenario,channel,family,size,") {
 		t.Fatalf("sweep CSV header = %.80q", csvData)
 	}
 	if got := strings.Count(strings.TrimSpace(string(csvData)), "\n"); got != 4 {
@@ -345,6 +346,42 @@ func TestScenarioFlag(t *testing.T) {
 	}
 }
 
+// TestChannelFlag runs lossy and Byzantine single runs end to end: the
+// -channel JSON builds the model (and, for byz entries, the node set),
+// the run reports the intervention counters, and the output still
+// validates — ssmis declares tolerance for exactly these pathologies.
+func TestChannelFlag(t *testing.T) {
+	out := runCLI(t, "-protocol", "ssmis", "-graph", "gnp", "-n", "48", "-seed", "5",
+		"-channel", `{"drop":0.2,"dup":0.2}`)
+	for _, want := range []string{"channel:", "dropped", "duplicated", "valid MIS"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("channel run output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, " 0 dropped") {
+		t.Fatalf("20%% drop run dropped nothing:\n%s", out)
+	}
+
+	out = runCLI(t, "-protocol", "ssmis", "-graph", "cycle", "-n", "24", "-seed", "3",
+		"-channel", `{"byz":[{"behavior":"silent","frac":0.1}]}`)
+	if !strings.Contains(out, "3 byzantine nodes") || !strings.Contains(out, "valid MIS") {
+		t.Fatalf("byzantine run output:\n%s", out)
+	}
+
+	if out := runCLIErr(t, "-protocol", "matching", "-graph", "gnp", "-n", "16",
+		"-channel", `{"drop":0.1}`); !strings.Contains(out, "unreliable channels unsupported") {
+		t.Fatalf("bespoke channel error = %q", out)
+	}
+	if out := runCLIErr(t, "-protocol", "mis", "-graph", "gnp", "-n", "16",
+		"-channel", `{"drop":2}`); !strings.Contains(out, "drop") {
+		t.Fatalf("bad channel error = %q", out)
+	}
+	if out := runCLIErr(t, "-protocol", "mis", "-graph", "gnp", "-n", "16",
+		"-channel", `{"dorp":0.1}`); !strings.Contains(out, "unknown field") {
+		t.Fatalf("unknown-field channel error = %q", out)
+	}
+}
+
 // TestChurnMISSpec pins the shipped dynamic-network spec: the sweep
 // must run clean (every trial's output checked against its final
 // graph) and report recovery tables for both mis and ssmis. Trials are
@@ -358,6 +395,22 @@ func TestChurnMISSpec(t *testing.T) {
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("churn-mis sweep missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestLossyMISSpec pins the shipped robustness spec: the sweep must
+// run clean (pathology trials are rate samples, never fatal) and
+// render one survival table per protocol next to the usual rounds
+// tables.
+func TestLossyMISSpec(t *testing.T) {
+	out := runCLI(t, "sweep", "-spec", "../../examples/specs/lossy-mis.json", "-trials", "1")
+	for _, want := range []string{
+		"mis: converged/valid rate", "ssmis: converged/valid rate",
+		"ch=none", "ch=drop-10", "ch=byz-babble",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("lossy-mis sweep missing %q:\n%s", want, out)
 		}
 	}
 }

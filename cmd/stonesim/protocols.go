@@ -29,10 +29,10 @@ func runProtocols(args []string, w io.Writer) error {
 	}
 	t := &harness.Table{
 		Title:  "registered protocols",
-		Header: []string{"protocol", "capabilities", "parameters", "summary"},
+		Header: []string{"protocol", "capabilities", "tolerates", "parameters", "summary"},
 	}
 	for _, d := range protocol.All() {
-		t.AddRow(d.Name, d.Caps.String(), paramDomains(d), d.Summary)
+		t.AddRow(d.Name, d.Caps.String(), d.Caps.TolString(), paramDomains(d), d.Summary)
 	}
 	return t.Render(w)
 }
@@ -55,6 +55,7 @@ type protocolInfo struct {
 	Name         string              `json:"name"`
 	Summary      string              `json:"summary"`
 	Capabilities []string            `json:"capabilities"`
+	Tolerates    []string            `json:"tolerates"`
 	Params       []protocol.ParamDef `json:"params,omitempty"`
 }
 
@@ -65,10 +66,15 @@ func writeProtocolsJSON(w io.Writer) error {
 		if caps == nil {
 			caps = []string{}
 		}
+		tols := d.Caps.Tolerances()
+		if tols == nil {
+			tols = []string{}
+		}
 		infos = append(infos, protocolInfo{
 			Name:         d.Name,
 			Summary:      d.Summary,
 			Capabilities: caps,
+			Tolerates:    tols,
 			Params:       d.Params,
 		})
 	}

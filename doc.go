@@ -13,7 +13,8 @@
 // asynchronous scheduler (a ladder event queue with pooled per-edge
 // delivery FIFOs and silent-chain parking that replays skipped steps
 // bit-identically to the reference engine), the campaign layer, the
-// protocol registry and the dynamic-network layer, BENCH_5.json for
+// protocol registry, the dynamic-network layer and the
+// unreliable-channel axis, BENCH_6.json for
 // the tracked benchmark measurements (regenerate with `make bench`,
 // which also warns on >15% ns/op regressions against the previous
 // snapshot — in CI the warnings become workflow annotations), and
@@ -44,6 +45,17 @@
 // dynamic reference engine pins the fast one differentially, exactly as
 // in the static case.
 //
+// Channels need not be reliable either: internal/channel composes
+// deterministic content-seeded models of message loss, duplication,
+// bounded reordering and in-alphabet corruption that both engine pairs
+// apply to every transmission (bit-identically, via one shared
+// expansion helper), plus Byzantine node behaviors (silent, stuck-at,
+// babbling) that replace a node's machine and are excluded from output
+// validation on the honest-induced subgraph. Protocols declare measured
+// tolerances as capabilities (`stonesim protocols` prints them);
+// docs/robustness-matrix.md records which protocol survives, degrades
+// or breaks under each pathology and names the test behind each cell.
+//
 // Statistical claims are measured as campaigns: internal/campaign runs
 // the declarative cross product protocol × scenario × graph family ×
 // size with many trials per cell on a parallel worker pool, with
@@ -58,10 +70,12 @@
 // per cell, and emits JSON/CSV via -json/-csv
 // (examples/specs/all-protocols.json sweeps every registered protocol;
 // examples/specs/churn-mis.json measures recovery under churn, crashes
-// and staggered wake-up — see examples/specs/README.md for the spec
-// format). `make check` runs the CI gate (also run on every push and
-// pull request by .github/workflows/ci.yml): gofmt, go vet, the
-// race-detector test suite, the allocation-regression and ladder-queue
-// suites, the registry conformance suite, and the smoke and
-// all-protocols campaigns.
+// and staggered wake-up; examples/specs/lossy-mis.json measures
+// robustness under unreliable channels and Byzantine nodes — see
+// examples/specs/README.md for the spec format). `make check` runs the
+// CI gate (also run on every push and pull request by
+// .github/workflows/ci.yml): gofmt, go vet, the race-detector test
+// suite, the allocation-regression and ladder-queue suites, the
+// registry conformance suite, and the smoke, all-protocols,
+// churn-recovery and channel-robustness campaigns.
 package stoneage

@@ -1,12 +1,14 @@
 package campaign
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"stoneage/internal/channel"
 	"stoneage/internal/engine"
 	"stoneage/internal/harness"
 	"stoneage/internal/protocol"
@@ -14,14 +16,17 @@ import (
 )
 
 // CellResult aggregates the Trials runs of one
-// (protocol, scenario, family, size) cell.
+// (protocol, scenario, channel, family, size) cell.
 type CellResult struct {
 	Protocol string `json:"protocol"`
 	// Scenario names the cell's dynamic-network scenario; empty for the
 	// static axis.
 	Scenario string `json:"scenario,omitempty"`
-	Family   string `json:"family"`
-	Size     int    `json:"size"`
+	// Channel names the cell's unreliable-channel definition; empty for
+	// the reliable axis.
+	Channel string `json:"channel,omitempty"`
+	Family  string `json:"family"`
+	Size    int    `json:"size"`
 	// N, M, MaxDeg describe the (first) graph instance of the cell.
 	N      int `json:"n"`
 	M      int `json:"m"`
@@ -47,6 +52,24 @@ type CellResult struct {
 	// WallMS aggregates per-trial wall-clock milliseconds. Unlike the
 	// other aggregates it depends on the machine and the worker count.
 	WallMS harness.Stats `json:"wallMS"`
+
+	// ConvergedRate and ValidRate are the robustness measurements of a
+	// channel cell: the fraction of trials that reached an output
+	// configuration within the step/round budget, and the fraction
+	// whose output passed the protocol's validator (on the
+	// honest-induced subgraph when Byzantine nodes are present). A
+	// pathological channel never hard-fails a cell — degradation is
+	// recorded here instead. Both are 1 on the reliable axis, where any
+	// failure aborts the campaign as before. The cost and channel
+	// aggregates below summarize converged trials only.
+	ConvergedRate float64 `json:"convergedRate"`
+	ValidRate     float64 `json:"validRate"`
+	// Dropped/Duplicated/Reordered/Corrupted aggregate the per-trial
+	// channel-model event counts (all zero on the reliable axis).
+	Dropped    harness.Stats `json:"dropped,omitzero"`
+	Duplicated harness.Stats `json:"duplicated,omitzero"`
+	Reordered  harness.Stats `json:"reordered,omitzero"`
+	Corrupted  harness.Stats `json:"corrupted,omitzero"`
 }
 
 // Result is a completed campaign. Cells appear in the deterministic
@@ -65,15 +88,23 @@ var errCanceled = fmt.Errorf("campaign: canceled after earlier failure")
 
 // sample is one trial's measurements, plus the descriptive shape of the
 // graph it ran on (so aggregation never has to regenerate a graph).
+// converged and valid are 1/0 indicators; cost measurements of a
+// non-converged trial are meaningless and excluded from aggregation.
 type sample struct {
-	rounds   float64
-	tx       float64
-	recovery float64
-	perturb  float64
-	wallMS   float64
-	n, m     int
-	maxDeg   int
-	err      error
+	rounds    float64
+	tx        float64
+	recovery  float64
+	perturb   float64
+	wallMS    float64
+	converged float64
+	valid     float64
+	dropped   float64
+	dup       float64
+	reordered float64
+	corrupted float64
+	n, m      int
+	maxDeg    int
+	err       error
 }
 
 // cell is the runtime state of one spec cell: its coordinates, the
@@ -83,6 +114,7 @@ type sample struct {
 type cell struct {
 	desc   *protocol.Descriptor
 	scn    scenario.Def
+	ch     channel.Def
 	family Family
 	size   int
 
@@ -105,16 +137,19 @@ func Run(sp Spec) (*Result, error) {
 	}
 
 	scns := sp.scenarioAxis()
-	cells := make([]*cell, 0, len(sp.Protocols)*len(scns)*len(sp.Families)*len(sp.Sizes))
+	chans := sp.channelAxis()
+	cells := make([]*cell, 0, len(sp.Protocols)*len(scns)*len(chans)*len(sp.Families)*len(sp.Sizes))
 	for _, p := range sp.Protocols {
 		d, err := protocol.Lookup(p) // Validate already vouched for it
 		if err != nil {
 			return nil, err
 		}
 		for _, s := range scns {
-			for _, f := range sp.Families {
-				for _, n := range sp.Sizes {
-					cells = append(cells, &cell{desc: d, scn: s, family: f, size: n})
+			for _, ch := range chans {
+				for _, f := range sp.Families {
+					for _, n := range sp.Sizes {
+						cells = append(cells, &cell{desc: d, scn: s, ch: ch, family: f, size: n})
+					}
 				}
 			}
 		}
@@ -182,6 +217,9 @@ func Run(sp Spec) (*Result, error) {
 				if !c.scn.None() {
 					where = fmt.Sprintf("%s/%s@%s/n=%d", c.desc.Name, c.family.Name(), c.scn.Name(), c.size)
 				}
+				if !c.ch.None() {
+					where = fmt.Sprintf("%s ch=%s", where, c.ch.Name())
+				}
 				return nil, fmt.Errorf("campaign: %s trial %d: %w", where, trial, s.err)
 			}
 		}
@@ -200,12 +238,25 @@ func Run(sp Spec) (*Result, error) {
 		recovery := make([]float64, 0, sp.Trials)
 		perturb := make([]float64, 0, sp.Trials)
 		wall := make([]float64, 0, sp.Trials)
+		var dropped, dup, reordered, corrupted []float64
+		conv, valid := 0.0, 0.0
 		for _, s := range samples[i] {
+			conv += s.converged
+			valid += s.valid
+			wall = append(wall, s.wallMS)
+			if s.converged == 0 {
+				continue // cost of a non-converged trial is meaningless
+			}
 			rounds = append(rounds, s.rounds)
 			tx = append(tx, s.tx)
 			recovery = append(recovery, s.recovery)
 			perturb = append(perturb, s.perturb)
-			wall = append(wall, s.wallMS)
+			if !c.ch.None() {
+				dropped = append(dropped, s.dropped)
+				dup = append(dup, s.dup)
+				reordered = append(reordered, s.reordered)
+				corrupted = append(corrupted, s.corrupted)
+			}
 		}
 		// The cell's descriptive shape is graph instance 0's — under
 		// shared graphs the instance every trial ran on.
@@ -221,11 +272,20 @@ func Run(sp Spec) (*Result, error) {
 			Rounds:        harness.Summarize(rounds),
 			Transmissions: harness.Summarize(tx),
 			WallMS:        harness.Summarize(wall),
+			ConvergedRate: conv / float64(sp.Trials),
+			ValidRate:     valid / float64(sp.Trials),
 		}
 		if !c.scn.None() {
 			cr.Scenario = c.scn.Name()
 			cr.Recovery = harness.Summarize(recovery)
 			cr.Perturbations = harness.Summarize(perturb)
+		}
+		if !c.ch.None() {
+			cr.Channel = c.ch.Name()
+			cr.Dropped = harness.Summarize(dropped)
+			cr.Duplicated = harness.Summarize(dup)
+			cr.Reordered = harness.Summarize(reordered)
+			cr.Corrupted = harness.Summarize(corrupted)
 		}
 		res.Cells = append(res.Cells, cr)
 	}
@@ -278,6 +338,22 @@ func runTrial(sp *Spec, c *cell, trial int, scratch *protocol.Scratch) sample {
 		}
 	}
 
+	// A channel cell derives its wire model and Byzantine node draw from
+	// the content-derived channel seed. Byzantine nodes ride the
+	// scenario (per-trial instances, so the mutation is private); a
+	// byz-only cell synthesizes one with the protocol-resolved reset.
+	var model channel.Model
+	if !c.ch.None() {
+		chSeed := sp.ChannelSeed(c.ch, c.family, c.size, trial)
+		model = c.ch.Model(chSeed)
+		if byz := c.ch.Byzantine(bound.Graph().N(), chSeed); len(byz) > 0 {
+			if sc == nil {
+				sc = &scenario.Scenario{Reset: scenario.ResetAuto}
+			}
+			sc.Byzantine = byz
+		}
+	}
+
 	seed := sp.TrialSeed(c.desc.Name, c.family, c.size, trial)
 	start := time.Now()
 	var (
@@ -295,30 +371,44 @@ func runTrial(sp *Spec, c *cell, trial int, scratch *protocol.Scratch) sample {
 		adv := engine.NamedAdversaries(seed ^ saltAdversary)[sp.adversary()]
 		run, err = bound.RunAsyncReusing(protocol.AsyncConfig{
 			Seed: seed, Adversary: adv, MaxSteps: sp.MaxSteps, Scenario: sc,
+			Channel: model,
 		}, scratch)
 	} else {
 		run, err = bound.RunSyncReusing(protocol.SyncConfig{
 			Seed: seed, MaxRounds: sp.MaxRounds, Workers: 1, Scenario: sc,
+			Channel: model,
 		}, scratch)
 	}
-	if err == nil {
-		// Dynamic runs are validated against the graph the run ended
-		// on (the post-mutation topology), static runs against the
-		// bound graph.
-		err = bound.CheckRun(run)
-	}
+	s := sample{wallMS: float64(time.Since(start)) / float64(time.Millisecond)}
+	g := bound.Graph()
+	s.n, s.m, s.maxDeg = g.N(), g.M(), g.MaxDegree()
 	if err != nil {
+		// A pathological channel is expected to starve some protocols of
+		// convergence — that is the robustness measurement, not a sweep
+		// failure. Anything else (and any reliable-axis error) aborts.
+		if !c.ch.None() && errors.Is(err, engine.ErrNoConvergence) {
+			return s
+		}
 		return sample{err: err}
 	}
-
-	s := sample{wallMS: float64(time.Since(start)) / float64(time.Millisecond)}
+	s.converged = 1
+	// Dynamic runs are validated against the graph the run ended on
+	// (the post-mutation topology), static runs against the bound
+	// graph; Byzantine nodes are excluded either way.
+	if cerr := bound.CheckRun(run); cerr != nil {
+		if c.ch.None() {
+			return sample{err: cerr}
+		}
+	} else {
+		s.valid = 1
+	}
 	if sp.engine() == "async" {
 		s.rounds, s.tx = run.TimeUnits, float64(run.Steps)
 	} else {
 		s.rounds, s.tx = float64(run.Rounds), float64(run.Transmissions)
 	}
 	s.recovery, s.perturb = run.Recovery, float64(run.Perturbations())
-	g := bound.Graph()
-	s.n, s.m, s.maxDeg = g.N(), g.M(), g.MaxDegree()
+	s.dropped, s.dup = float64(run.Dropped), float64(run.Duplicated)
+	s.reordered, s.corrupted = float64(run.Reordered), float64(run.Corrupted)
 	return s
 }

@@ -1,0 +1,144 @@
+package campaign
+
+// The channel-axis suite: unreliable channels as a campaign dimension.
+// Reliable cells must stay bit-identical to a channel-free sweep, cells
+// under pathology must aggregate survival (converged/valid rates)
+// instead of hard-failing, and — the axis's acceptance property — the
+// aggregates must be bit-identical at every worker count, because every
+// trial's channel model derives from content coordinates, not from
+// which worker ran it.
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"stoneage/internal/channel"
+)
+
+// channelSpec sweeps a terminating and a self-stabilizing protocol
+// across the reliable baseline, wire pathologies and a Byzantine
+// population.
+func channelSpec(workers int) Spec {
+	return Spec{
+		Name:      "test-channel",
+		Protocols: []string{"mis", "ssmis"},
+		Families:  []Family{{Kind: "gnp"}},
+		Sizes:     []int{24, 48},
+		Channels: []channel.Def{
+			{},
+			{Drop: 0.2, Dup: 0.1, Label: "lossy"},
+			{Byz: []channel.ByzDef{{Behavior: channel.BehaviorBabble, Frac: 0.1}}, Label: "byz"},
+		},
+		Trials:    6,
+		Seed:      23,
+		MaxRounds: 1 << 13,
+		Workers:   workers,
+	}
+}
+
+// TestChannelAxis runs the channel cross product end to end.
+func TestChannelAxis(t *testing.T) {
+	res, err := Run(channelSpec(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 12 {
+		t.Fatalf("got %d cells, want 12", len(res.Cells))
+	}
+	reliable := channelSpec(0)
+	reliable.Channels = nil
+	base, err := Run(reliable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi := 0
+	for _, c := range res.Cells {
+		if c.ConvergedRate < 0 || c.ConvergedRate > 1 || c.ValidRate > c.ConvergedRate {
+			t.Fatalf("cell %s ch=%q: rates (%g, %g) out of order", c.Protocol, c.Channel, c.ConvergedRate, c.ValidRate)
+		}
+		if c.Channel == "" {
+			// Reliable cells: bit-identical to the channel-free sweep and
+			// at unit survival.
+			b := base.Cells[bi]
+			bi++
+			if c.Rounds != b.Rounds || c.Transmissions != b.Transmissions {
+				t.Fatalf("reliable cell %s/%s/n=%d diverges from the channel-free sweep", c.Protocol, c.Family, c.Size)
+			}
+			if c.ConvergedRate != 1 || c.ValidRate != 1 {
+				t.Fatalf("reliable cell %s/n=%d rates (%g, %g), want (1, 1)", c.Protocol, c.Size, c.ConvergedRate, c.ValidRate)
+			}
+			if c.Dropped.N != 0 || c.Duplicated.N != 0 {
+				t.Fatalf("reliable cell %s/n=%d reports channel events", c.Protocol, c.Size)
+			}
+			continue
+		}
+		if c.Channel == "lossy" && c.ConvergedRate > 0 && c.Dropped.Mean <= 0 {
+			t.Fatalf("lossy cell %s/n=%d converged without dropping anything", c.Protocol, c.Size)
+		}
+	}
+	if bi != len(base.Cells) {
+		t.Fatalf("matched %d reliable cells, want %d", bi, len(base.Cells))
+	}
+	// The self-stabilizing protocol must actually survive the loss cell
+	// it declares tolerance for (the robustness matrix's campaign row).
+	for _, c := range res.Cells {
+		if c.Protocol == "ssmis" && c.Channel == "lossy" && c.ValidRate == 0 {
+			t.Fatalf("ssmis lossy cell n=%d: valid rate 0", c.Size)
+		}
+	}
+}
+
+// TestChannelWorkerInvariance is the axis's acceptance property:
+// identical aggregates at every worker count.
+func TestChannelWorkerInvariance(t *testing.T) {
+	base, err := Run(channelSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.StripWall()
+	for _, workers := range []int{3, 8} {
+		got, err := Run(channelSpec(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got.StripWall()
+		if !reflect.DeepEqual(got.Cells, base.Cells) {
+			t.Fatalf("workers=%d: channel aggregates diverged from workers=1", workers)
+		}
+	}
+}
+
+// TestChannelSpecValidation covers the channel-axis rejection cases.
+func TestChannelSpecValidation(t *testing.T) {
+	base := func(p string, defs ...channel.Def) Spec {
+		return Spec{
+			Protocols: []string{p}, Families: []Family{{Kind: "gnp"}},
+			Sizes: []int{8}, Trials: 1, Channels: defs,
+		}
+	}
+	cases := []struct {
+		name string
+		sp   Spec
+		want string
+	}{
+		{"bespoke engine", base("matching", channel.Def{Drop: 0.1}), "bespoke engine"},
+		{"bad rate", base("mis", channel.Def{Drop: 1.5}), "drop"},
+		{"fanout bomb", base("mis", channel.Def{Dup: 0.5, DupMax: 99}), "dupMax"},
+		{"bad behavior", base("mis", channel.Def{Byz: []channel.ByzDef{{Behavior: "weird", Frac: 0.1}}}), "behavior"},
+		{"duplicate channel", base("mis", channel.Def{Drop: 0.1}, channel.Def{Drop: 0.1, Label: "again"}), "duplicate channel"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.sp.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate() = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+	// A bespoke protocol with only the reliable baseline is fine.
+	ok := base("matching", channel.Def{})
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("reliable-only channel axis rejected for bespoke protocol: %v", err)
+	}
+}

@@ -19,15 +19,19 @@ func (r *Result) WriteJSON(w io.Writer) error {
 	return enc.Encode(r)
 }
 
-// csvHeader is the flat per-cell schema of WriteCSV. The scenario and
-// recovery columns are part of the uniform schema: static cells carry
-// an empty scenario name and zero recovery aggregates.
+// csvHeader is the flat per-cell schema of WriteCSV. The scenario,
+// channel, recovery and robustness columns are part of the uniform
+// schema: static cells carry an empty scenario name and zero recovery
+// aggregates; reliable cells carry an empty channel name, unit
+// converged/valid rates and zero channel-event aggregates.
 var csvHeader = []string{
-	"protocol", "scenario", "family", "size", "n", "m", "maxDeg", "trials",
+	"protocol", "scenario", "channel", "family", "size", "n", "m", "maxDeg", "trials",
 	"rounds_mean", "rounds_std", "rounds_min", "rounds_median", "rounds_p90", "rounds_max",
 	"tx_mean", "tx_std", "tx_min", "tx_median", "tx_p90", "tx_max",
 	"recovery_mean", "recovery_std", "recovery_min", "recovery_median", "recovery_p90", "recovery_max",
 	"perturbations_mean",
+	"converged_rate", "valid_rate",
+	"dropped_mean", "duplicated_mean", "reordered_mean", "corrupted_mean",
 	"wall_ms_mean", "wall_ms_std", "wall_ms_p90",
 }
 
@@ -40,13 +44,15 @@ func (r *Result) WriteCSV(w io.Writer) error {
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 	for _, c := range r.Cells {
 		row := []string{
-			c.Protocol, c.Scenario, c.Family,
+			c.Protocol, c.Scenario, c.Channel, c.Family,
 			strconv.Itoa(c.Size), strconv.Itoa(c.N), strconv.Itoa(c.M),
 			strconv.Itoa(c.MaxDeg), strconv.Itoa(c.Trials),
 			f(c.Rounds.Mean), f(c.Rounds.Std), f(c.Rounds.Min), f(c.Rounds.Median), f(c.Rounds.P90), f(c.Rounds.Max),
 			f(c.Transmissions.Mean), f(c.Transmissions.Std), f(c.Transmissions.Min), f(c.Transmissions.Median), f(c.Transmissions.P90), f(c.Transmissions.Max),
 			f(c.Recovery.Mean), f(c.Recovery.Std), f(c.Recovery.Min), f(c.Recovery.Median), f(c.Recovery.P90), f(c.Recovery.Max),
 			f(c.Perturbations.Mean),
+			f(c.ConvergedRate), f(c.ValidRate),
+			f(c.Dropped.Mean), f(c.Duplicated.Mean), f(c.Reordered.Mean), f(c.Corrupted.Mean),
 			f(c.WallMS.Mean), f(c.WallMS.Std), f(c.WallMS.P90),
 		}
 		if err := cw.Write(row); err != nil {
@@ -68,27 +74,40 @@ func (r *Result) StripWall() {
 }
 
 // Tables renders the campaign as one fixed-width table per protocol:
-// (scenario, family) pairs as rows, the size ladder as columns, each
-// cell showing mean ± std of the round measure over the trials. Sweeps
-// with a dynamic axis get one extra recovery table per protocol — the
-// same grid over the recovery-time metric, dynamic rows only.
+// (scenario, channel, family) tuples as rows, the size ladder as
+// columns, each cell showing mean ± std of the round measure over the
+// trials. Sweeps with a dynamic axis get one extra recovery table per
+// protocol — the same grid over the recovery-time metric, dynamic rows
+// only — and sweeps with a channel axis get one survival table per
+// protocol: converged-rate/valid-rate per cell.
 func (r *Result) Tables() []*harness.Table {
 	dynamic := false
+	unreliable := false
 	for _, c := range r.Cells {
 		if c.Scenario != "" {
 			dynamic = true
-			break
+		}
+		if c.Channel != "" {
+			unreliable = true
 		}
 	}
 	rowLabel := func(c CellResult) string {
-		if c.Scenario == "" && !dynamic {
-			return c.Family
+		label := c.Family
+		if c.Scenario != "" || dynamic {
+			scn := c.Scenario
+			if scn == "" {
+				scn = "none"
+			}
+			label = fmt.Sprintf("%s @%s", label, scn)
 		}
-		scn := c.Scenario
-		if scn == "" {
-			scn = "none"
+		if unreliable {
+			ch := c.Channel
+			if ch == "" {
+				ch = "none"
+			}
+			label = fmt.Sprintf("%s ch=%s", label, ch)
 		}
-		return fmt.Sprintf("%s @%s", c.Family, scn)
+		return label
 	}
 	header := []string{"family"}
 	for _, n := range r.Spec.Sizes {
@@ -98,6 +117,7 @@ func (r *Result) Tables() []*harness.Table {
 	var tables []*harness.Table
 	byProto := map[string]*harness.Table{}
 	recovery := map[string]*harness.Table{}
+	survival := map[string]*harness.Table{}
 	for _, p := range r.Spec.Protocols {
 		title := fmt.Sprintf("%s: mean %s over %d trials (%s engine)",
 			p, r.RoundsUnit, r.Spec.Trials, r.Spec.engine())
@@ -119,15 +139,27 @@ func (r *Result) Tables() []*harness.Table {
 			recovery[p] = rt
 			tables = append(tables, rt)
 		}
+		if unreliable {
+			st := &harness.Table{
+				Title:  fmt.Sprintf("%s: converged/valid rate under channel pathology", p),
+				Header: header,
+			}
+			survival[p] = st
+			tables = append(tables, st)
+		}
 	}
-	// Cells arrive protocol-major, then scenario, then family, with the
-	// size ladder innermost: walk each protocol's block row by row.
+	// Cells arrive protocol-major, then scenario, then channel, then
+	// family, with the size ladder innermost: walk each protocol's block
+	// row by row.
 	for i := 0; i < len(r.Cells); {
 		c := r.Cells[i]
 		row := []string{rowLabel(c)}
-		var recRow []string
+		var recRow, surRow []string
 		if c.Scenario != "" {
 			recRow = []string{rowLabel(c)}
+		}
+		if unreliable {
+			surRow = []string{rowLabel(c)}
 		}
 		for range r.Spec.Sizes {
 			cc := r.Cells[i]
@@ -137,11 +169,18 @@ func (r *Result) Tables() []*harness.Table {
 				recRow = append(recRow, fmt.Sprintf("%s ± %s",
 					harness.FormatFloat(cc.Recovery.Mean), harness.FormatFloat(cc.Recovery.Std)))
 			}
+			if surRow != nil {
+				surRow = append(surRow, fmt.Sprintf("%s/%s",
+					harness.FormatFloat(cc.ConvergedRate), harness.FormatFloat(cc.ValidRate)))
+			}
 			i++
 		}
 		byProto[c.Protocol].Rows = append(byProto[c.Protocol].Rows, row)
 		if recRow != nil {
 			recovery[c.Protocol].Rows = append(recovery[c.Protocol].Rows, recRow)
+		}
+		if surRow != nil {
+			survival[c.Protocol].Rows = append(survival[c.Protocol].Rows, surRow)
 		}
 	}
 	return tables

@@ -25,6 +25,7 @@ import (
 	"os"
 	"sort"
 
+	"stoneage/internal/channel"
 	"stoneage/internal/engine"
 	"stoneage/internal/graph"
 	"stoneage/internal/protocol"
@@ -231,6 +232,18 @@ type Spec struct {
 	// tree-only and path-only protocols (the mutations would break the
 	// graph shape the protocol needs).
 	Scenarios []scenario.Def `json:"scenarios,omitempty"`
+	// Channels is the unreliable-channel axis: each entry is a channel
+	// definition (loss, duplication, reordering, corruption rates plus
+	// Byzantine node populations — see channel.Def) swept against every
+	// (protocol, scenario, family, size) cell. Empty means one reliable
+	// axis — exactly the pre-channel campaign. Every trial derives its
+	// own channel seed (ChannelSeed) from content coordinates, so
+	// aggregates stay bit-identical at any worker count. Unlike every
+	// other axis, a pathological channel cell never hard-fails on
+	// non-convergence or an invalid output: the cell's ConvergedRate and
+	// ValidRate record how often the protocol survived, which is the
+	// robustness measurement itself. Requires engine-hosted protocols.
+	Channels []channel.Def `json:"channels,omitempty"`
 	// GraphPerTrial draws a fresh graph instance for every trial instead
 	// of sharing one instance per cell. Sharing (the default) amortizes
 	// generation and the CSR bind across trials and isolates the
@@ -298,6 +311,14 @@ func (sp *Spec) Validate() error {
 				return fmt.Errorf("campaign: protocol %q needs a fixed graph shape, but scenario %q churns the topology", p, s.Name())
 			}
 		}
+		for _, ch := range sp.Channels {
+			if ch.None() {
+				continue
+			}
+			if d.Machine == nil {
+				return fmt.Errorf("campaign: protocol %q cannot run channel %q (bespoke engine, no channel hook)", p, ch.Name())
+			}
+		}
 	}
 	if len(sp.Families) == 0 {
 		return fmt.Errorf("campaign: spec has no graph families")
@@ -340,6 +361,16 @@ func (sp *Spec) Validate() error {
 		}
 		seenScn[s.Key()] = true
 	}
+	seenCh := map[string]bool{}
+	for _, ch := range sp.Channels {
+		if err := ch.Validate(); err != nil {
+			return fmt.Errorf("campaign: %w", err)
+		}
+		if seenCh[ch.Key()] {
+			return fmt.Errorf("campaign: duplicate channel %s", ch.Name())
+		}
+		seenCh[ch.Key()] = true
+	}
 	if sp.Trials < 1 {
 		return fmt.Errorf("campaign: trials must be >= 1, got %d", sp.Trials)
 	}
@@ -355,6 +386,16 @@ func (sp *Spec) scenarioAxis() []scenario.Def {
 		return []scenario.Def{{}}
 	}
 	return sp.Scenarios
+}
+
+// channelAxis returns the channel axis of the cross product: the spec's
+// channels, or the single reliable baseline when none are given (the
+// implicit "none" does not perturb any seed derivation).
+func (sp *Spec) channelAxis() []channel.Def {
+	if len(sp.Channels) == 0 {
+		return []channel.Def{{}}
+	}
+	return sp.Channels
 }
 
 func (sp *Spec) engine() string {
@@ -381,6 +422,7 @@ const (
 	saltGraph     = 0x6772_6170_6800 // "graph"
 	saltAdversary = 0x6164_7600      // "adv"
 	saltScenario  = 0x7363_6e00      // "scn"
+	saltChannel   = 0x6368_616e00    // "chan"
 )
 
 // TrialSeed derives the seed of one trial from its content coordinates:
@@ -414,6 +456,16 @@ func (sp *Spec) GraphSeed(f Family, size, trial int) uint64 {
 // perturbations, which is what makes their recovery columns comparable.
 func (sp *Spec) ScenarioSeed(s scenario.Def, f Family, size, trial int) uint64 {
 	return xrand.Mix(sp.Seed, saltScenario, fnv(s.Key()), fnv(f.Kind),
+		math.Float64bits(f.param()), uint64(size), uint64(trial))
+}
+
+// ChannelSeed derives the seed keying one trial's channel model and
+// Byzantine node draw. Like ScenarioSeed it is a pure function of
+// content coordinates and independent of the protocol: every protocol
+// of a sweep faces identical per-trial channel pathology, which is what
+// makes their survival columns comparable.
+func (sp *Spec) ChannelSeed(ch channel.Def, f Family, size, trial int) uint64 {
+	return xrand.Mix(sp.Seed, saltChannel, fnv(ch.Key()), fnv(f.Kind),
 		math.Float64bits(f.param()), uint64(size), uint64(trial))
 }
 

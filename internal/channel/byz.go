@@ -1,0 +1,96 @@
+package channel
+
+import (
+	"fmt"
+
+	"stoneage/internal/nfsm"
+	"stoneage/internal/xrand"
+)
+
+// Byzantine behavior kinds. A ByzNode is plain data (JSON-friendly,
+// comparable) rather than an interface so scenarios and fuzz inputs can
+// carry it verbatim; the Silent/StuckAt/RandomBabbler constructors are
+// the composition vocabulary.
+const (
+	// BehaviorSilent never transmits: a crashed-looking node that still
+	// occupies its ports (neighbors keep their stale letters forever).
+	BehaviorSilent = "silent"
+	// BehaviorStuck transmits one fixed letter at every step.
+	BehaviorStuck = "stuck"
+	// BehaviorBabble transmits an independent uniformly random letter at
+	// every step.
+	BehaviorBabble = "babble"
+)
+
+// ByzNode assigns one Byzantine behavior to one node. A Byzantine node
+// never executes its machine: it holds its input state, emits the
+// behavior's letter at every step (sync round or async step), is
+// counted in Steps/Transmissions like any node, and is excluded from
+// output-configuration detection and output validation. Its emissions
+// ride the run's channel model like honest traffic, and scenario
+// mutations (crash, restart, wake) apply to it normally.
+type ByzNode struct {
+	// Node is the faulty node.
+	Node int `json:"node"`
+	// Behavior is one of the Behavior* kinds.
+	Behavior string `json:"behavior"`
+	// Letter is the fixed letter for BehaviorStuck.
+	Letter nfsm.Letter `json:"letter,omitempty"`
+	// Seed keys BehaviorBabble's letter stream.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// Silent returns a silent Byzantine node.
+func Silent(node int) ByzNode { return ByzNode{Node: node, Behavior: BehaviorSilent} }
+
+// StuckAt returns a node stuck transmitting one letter.
+func StuckAt(node int, letter nfsm.Letter) ByzNode {
+	return ByzNode{Node: node, Behavior: BehaviorStuck, Letter: letter}
+}
+
+// RandomBabbler returns a node transmitting random letters.
+func RandomBabbler(node int, seed uint64) ByzNode {
+	return ByzNode{Node: node, Behavior: BehaviorBabble, Seed: seed}
+}
+
+// Emit returns the letter the node transmits at its step t
+// (nfsm.NoLetter = transmit nothing). Deterministic in (b, t, nl).
+func (b ByzNode) Emit(t, nl int) nfsm.Letter {
+	switch b.Behavior {
+	case BehaviorStuck:
+		return b.Letter
+	case BehaviorBabble:
+		return nfsm.Letter(xrand.Mix(b.Seed, saltBabble, uint64(b.Node), uint64(t)) % uint64(nl))
+	}
+	return nfsm.NoLetter
+}
+
+// Validate checks the behavior against a node count and alphabet size.
+// Engines call it with the protocol's alphabet at run start, so both
+// executors reject an ill-formed Byzantine set identically.
+func (b ByzNode) Validate(n, nl int) error {
+	if b.Node < 0 || b.Node >= n {
+		return fmt.Errorf("channel: byzantine node %d out of range [0,%d)", b.Node, n)
+	}
+	switch b.Behavior {
+	case BehaviorSilent, BehaviorBabble:
+	case BehaviorStuck:
+		if int(b.Letter) < 0 || int(b.Letter) >= nl {
+			return fmt.Errorf("channel: byzantine node %d stuck at letter %d outside alphabet [0,%d)", b.Node, b.Letter, nl)
+		}
+	default:
+		return fmt.Errorf("channel: byzantine node %d has unknown behavior %q (want %s, %s or %s)",
+			b.Node, b.Behavior, BehaviorSilent, BehaviorStuck, BehaviorBabble)
+	}
+	return nil
+}
+
+// String names the behavior for results and error messages.
+func (b ByzNode) String() string {
+	switch b.Behavior {
+	case BehaviorStuck:
+		return fmt.Sprintf("%s(%d)@%d", b.Behavior, b.Letter, b.Node)
+	default:
+		return fmt.Sprintf("%s@%d", b.Behavior, b.Node)
+	}
+}

@@ -1,0 +1,302 @@
+package channel
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"stoneage/internal/nfsm"
+)
+
+// TestCorruptStaysInAlphabet exhausts the corruption decision over many
+// coordinates and every alphabet size: the flipped letter must always be
+// a *different* valid letter — never ε, never out of range — and a
+// one-letter alphabet must never flip at all.
+func TestCorruptStaysInAlphabet(t *testing.T) {
+	for nl := 1; nl <= 5; nl++ {
+		c := Corrupt{Rate: 1, Seed: 7}
+		var st Stats
+		var buf []Fate
+		for from := 0; from < 8; from++ {
+			for step := 0; step < 64; step++ {
+				in := nfsm.Letter(step % nl)
+				buf = Expand(c, from, step, from+1, in, nl, buf, &st)
+				if len(buf) != 1 {
+					t.Fatalf("nl=%d: corrupt fan-out %d, want 1", nl, len(buf))
+				}
+				got := buf[0].Letter
+				if got == nfsm.NoLetter || int(got) < 0 || int(got) >= nl {
+					t.Fatalf("nl=%d: corrupted letter %d outside the alphabet", nl, got)
+				}
+				if nl == 1 && got != in {
+					t.Fatalf("one-letter alphabet: corrupt flipped %d to %d", in, got)
+				}
+				if nl > 1 && got == in {
+					t.Fatalf("nl=%d from=%d step=%d: rate-1 corruption left the letter unchanged", nl, from, step)
+				}
+			}
+		}
+		if nl == 1 && st.Corrupted != 0 {
+			t.Fatalf("one-letter alphabet counted %d corruptions", st.Corrupted)
+		}
+	}
+}
+
+// TestExpandDeterminism pins the obliviousness contract: the same
+// (model, coordinates) must yield the same fates on every call, and the
+// buffer reuse idiom must not leak state between transmissions.
+func TestExpandDeterminism(t *testing.T) {
+	m := Stack{
+		Duplicate{Rate: 0.5, MaxCopies: 4, Seed: 1},
+		Drop{Rate: 0.3, Seed: 2},
+		Reorder{Window: 2, Seed: 3},
+		Corrupt{Rate: 0.2, Seed: 4},
+	}
+	var st1, st2 Stats
+	var b1, b2 []Fate
+	for step := 0; step < 200; step++ {
+		b1 = Expand(m, 3, step, 5, nfsm.Letter(step%3), 3, b1, &st1)
+		b2 = Expand(m, 3, step, 5, nfsm.Letter(step%3), 3, b2, &st2)
+		if len(b1) != len(b2) {
+			t.Fatalf("step %d: fan-out %d vs %d across identical calls", step, len(b1), len(b2))
+		}
+		for i := range b1 {
+			if b1[i] != b2[i] {
+				t.Fatalf("step %d copy %d: fate %+v vs %+v", step, i, b1[i], b2[i])
+			}
+		}
+		if len(b1) > m.MaxFanout() {
+			t.Fatalf("step %d: fan-out %d exceeds MaxFanout %d", step, len(b1), m.MaxFanout())
+		}
+	}
+	if st1 != st2 {
+		t.Fatalf("stats diverged across identical transmission sequences: %+v vs %+v", st1, st2)
+	}
+	if st1.Dropped == 0 || st1.Duplicated == 0 || st1.Corrupted == 0 {
+		t.Fatalf("stack exercised nothing: %+v", st1)
+	}
+}
+
+// TestStackComposition checks that duplicates created by an early layer
+// are processed per copy by later layers: with rate-1 duplication and
+// rate-1 corruption every delivered copy is corrupted, and the
+// duplicated count matches the extra copies.
+func TestStackComposition(t *testing.T) {
+	m := Stack{
+		Duplicate{Rate: 1, MaxCopies: 2, Seed: 5},
+		Corrupt{Rate: 1, Seed: 6},
+	}
+	var st Stats
+	fates := Expand(m, 0, 1, 1, 0, 3, nil, &st)
+	if len(fates) != 2 {
+		t.Fatalf("fan-out %d, want 2", len(fates))
+	}
+	for i, f := range fates {
+		if f.Letter == 0 {
+			t.Errorf("copy %d not corrupted", i)
+		}
+	}
+	if st.Duplicated != 1 || st.Corrupted != 2 {
+		t.Errorf("stats %+v, want Duplicated=1 Corrupted=2", st)
+	}
+}
+
+// TestByzEmit pins the behaviors: Silent never emits, StuckAt always
+// emits its letter, and a babbler emits a deterministic in-alphabet
+// stream that varies with time.
+func TestByzEmit(t *testing.T) {
+	const nl = 3
+	if l := Silent(0).Emit(7, nl); l != nfsm.NoLetter {
+		t.Errorf("Silent emitted %d", l)
+	}
+	if l := StuckAt(0, 2).Emit(7, nl); l != 2 {
+		t.Errorf("StuckAt(2) emitted %d", l)
+	}
+	b := RandomBabbler(0, 11)
+	seen := map[nfsm.Letter]bool{}
+	for step := 0; step < 64; step++ {
+		l := b.Emit(step, nl)
+		if l == nfsm.NoLetter || int(l) < 0 || int(l) >= nl {
+			t.Fatalf("babbler emitted %d outside the alphabet", l)
+		}
+		if l != b.Emit(step, nl) {
+			t.Fatalf("babbler is not deterministic at step %d", step)
+		}
+		seen[l] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("babbler emitted only %d distinct letters over 64 steps", len(seen))
+	}
+}
+
+// TestDefValidate walks the rejection surface, including the
+// allocation-hardening bounds a hostile decoded Def must not pass.
+func TestDefValidate(t *testing.T) {
+	bad := []Def{
+		{Drop: -0.1},
+		{Drop: 1.5},
+		{Dup: 2},
+		{Corrupt: -1},
+		{Reorder: -1},
+		{DupMax: 3},            // dupMax without dup
+		{Dup: 0.5, DupMax: 1},  // below 2
+		{Dup: 0.5, DupMax: 99}, // fan-out bomb
+		{Byz: []ByzDef{{Behavior: "chaotic", Frac: 0.1}}},
+		{Byz: []ByzDef{{Behavior: BehaviorSilent, Frac: 0}}},
+		{Byz: []ByzDef{{Behavior: BehaviorSilent, Frac: 0.6}, {Behavior: BehaviorBabble, Frac: 0.6}}},
+		{Byz: []ByzDef{{Behavior: BehaviorSilent, Frac: 0.1, Letter: 2}}},
+		{Byz: []ByzDef{{Behavior: BehaviorStuck, Frac: 0.1, Letter: -1}}},
+		{Byz: []ByzDef{
+			{Behavior: BehaviorSilent, Frac: 0.1}, {Behavior: BehaviorSilent, Frac: 0.1},
+			{Behavior: BehaviorSilent, Frac: 0.1}, {Behavior: BehaviorSilent, Frac: 0.1},
+			{Behavior: BehaviorSilent, Frac: 0.1},
+		}},
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("case %d (%+v): Validate accepted an invalid def", i, d)
+		}
+	}
+	good := []Def{
+		{},
+		{Drop: 0.2, Dup: 0.1, Reorder: 1.5, Corrupt: 0.05},
+		{Dup: 1, DupMax: 8},
+		{Byz: []ByzDef{{Behavior: BehaviorStuck, Frac: 0.2, Letter: 1}}},
+	}
+	for i, d := range good {
+		if err := d.Validate(); err != nil {
+			t.Errorf("case %d: Validate rejected a valid def: %v", i, err)
+		}
+	}
+}
+
+// TestDefKeyAndName checks that Key covers exactly the model-relevant
+// content (label excluded, dupMax resolved) and Name prefers the label.
+func TestDefKeyAndName(t *testing.T) {
+	if k := (Def{}).Key(); k != "none" {
+		t.Errorf("zero def key = %q", k)
+	}
+	a := Def{Drop: 0.2, Label: "lossy"}
+	b := Def{Drop: 0.2}
+	if a.Key() != b.Key() {
+		t.Errorf("label changed the key: %q vs %q", a.Key(), b.Key())
+	}
+	if a.Name() != "lossy" || b.Name() != "drop=0.2" {
+		t.Errorf("names = %q, %q", a.Name(), b.Name())
+	}
+	c := Def{Dup: 0.5}
+	d := Def{Dup: 0.5, DupMax: 3}
+	if c.Key() == d.Key() {
+		t.Error("dupMax is model-relevant but did not change the key")
+	}
+}
+
+// TestDefModel checks the wire-policy lowering: the zero def and
+// byzantine-only defs yield nil (the engines' fast path), single
+// pathologies yield the single policy, several stack.
+func TestDefModel(t *testing.T) {
+	if m := (Def{}).Model(1); m != nil {
+		t.Errorf("zero def model = %v", m)
+	}
+	byzOnly := Def{Byz: []ByzDef{{Behavior: BehaviorSilent, Frac: 0.1}}}
+	if m := byzOnly.Model(1); m != nil {
+		t.Errorf("byzantine-only def model = %v", m)
+	}
+	if m := (Def{Drop: 0.3}).Model(1); m == nil || m.Reorders() {
+		t.Errorf("drop def model = %v", m)
+	}
+	m := Def{Drop: 0.3, Dup: 0.2, Reorder: 1, Corrupt: 0.1}.Model(1)
+	if m == nil || !m.Reorders() {
+		t.Fatalf("full def model = %v", m)
+	}
+	if !strings.Contains(m.String(), "drop") || !strings.Contains(m.String(), "reorder") {
+		t.Errorf("full def model string %q missing layers", m)
+	}
+}
+
+// TestDefByzantine checks the population assignment: disjoint groups,
+// sorted by node, sized ⌈frac·n⌉, deterministic in (def, n, seed).
+func TestDefByzantine(t *testing.T) {
+	d := Def{Byz: []ByzDef{
+		{Behavior: BehaviorSilent, Frac: 0.25},
+		{Behavior: BehaviorStuck, Frac: 0.25, Letter: 1},
+	}}
+	const n = 16
+	byz := d.Byzantine(n, 3)
+	if len(byz) != 8 {
+		t.Fatalf("got %d byzantine nodes, want 8", len(byz))
+	}
+	seen := map[int]bool{}
+	for i, z := range byz {
+		if z.Node < 0 || z.Node >= n {
+			t.Fatalf("node %d out of range", z.Node)
+		}
+		if seen[z.Node] {
+			t.Fatalf("node %d assigned twice", z.Node)
+		}
+		seen[z.Node] = true
+		if i > 0 && byz[i-1].Node > z.Node {
+			t.Fatal("byzantine set not sorted by node")
+		}
+	}
+	again := d.Byzantine(n, 3)
+	for i := range byz {
+		if byz[i].Node != again[i].Node || byz[i].Behavior != again[i].Behavior {
+			t.Fatal("byzantine assignment is not deterministic")
+		}
+	}
+	other := d.Byzantine(n, 4)
+	same := true
+	for i := range byz {
+		if byz[i].Node != other[i].Node {
+			same = false
+		}
+	}
+	if same {
+		t.Error("seed does not vary the byzantine assignment")
+	}
+	if got := (Def{}).Byzantine(n, 3); got != nil {
+		t.Errorf("zero def assigned byzantine nodes: %v", got)
+	}
+}
+
+// FuzzDecodeChannel hardens the JSON surface the campaign spec and the
+// stonesim -channel flag expose: whatever bytes arrive, decoding plus
+// Validate must never panic, and every def that validates must resolve
+// to a model within the fan-out bound and a byzantine set within n.
+func FuzzDecodeChannel(f *testing.F) {
+	f.Add([]byte(`{"drop":0.2,"dup":0.1,"dupMax":3,"reorder":1.5,"corrupt":0.05}`))
+	f.Add([]byte(`{"byz":[{"behavior":"babble","frac":0.5}]}`))
+	f.Add([]byte(`{"dup":1,"dupMax":8}`))
+	f.Add([]byte(`{"drop":1e308,"reorder":-1}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var d Def
+		if err := json.Unmarshal(data, &d); err != nil {
+			return
+		}
+		if err := d.Validate(); err != nil {
+			return
+		}
+		m := d.Model(1)
+		if m != nil {
+			if m.MaxFanout() > maxLayerFanout {
+				t.Fatalf("validated def %+v fans out %d > %d", d, m.MaxFanout(), maxLayerFanout)
+			}
+			var st Stats
+			fates := Expand(m, 0, 1, 1, 0, 2, nil, &st)
+			if len(fates) > m.MaxFanout() {
+				t.Fatalf("expand emitted %d copies, MaxFanout %d", len(fates), m.MaxFanout())
+			}
+		}
+		const n = 32
+		byz := d.Byzantine(n, 2)
+		if len(byz) > n {
+			t.Fatalf("byzantine set %d exceeds n=%d", len(byz), n)
+		}
+		for _, z := range byz {
+			if err := z.Validate(n, 2); err != nil {
+				t.Fatalf("validated def produced invalid byz node: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,233 @@
+package channel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"stoneage/internal/nfsm"
+	"stoneage/internal/xrand"
+)
+
+// Def is a declarative channel-model generator: the JSON-friendly form
+// the campaign Spec's `channels` axis and the stonesim -channel flag
+// use. A Def plus a seed deterministically yields a Model (and, given a
+// node count, a Byzantine node set) — the campaign derives the seed
+// from the trial's content coordinates, so aggregates stay bit-identical
+// at every worker count.
+//
+// The zero Def is the reliable baseline: no wire pathology, no
+// Byzantine nodes. Wire policies stack in the fixed order
+// duplicate → drop → reorder → corrupt: duplicates are created first so
+// every copy is independently lost, delayed and corrupted downstream.
+type Def struct {
+	// Drop is the per-copy loss probability in [0, 1].
+	Drop float64 `json:"drop,omitempty"`
+	// Dup is the duplication probability in [0, 1].
+	Dup float64 `json:"dup,omitempty"`
+	// DupMax bounds total copies per duplicated transmission
+	// (2..8, default 2; meaningful only with dup > 0).
+	DupMax int `json:"dupMax,omitempty"`
+	// Reorder is the extra-delay window (>= 0) in adversary time units.
+	Reorder float64 `json:"reorder,omitempty"`
+	// Corrupt is the per-copy corruption probability in [0, 1].
+	Corrupt float64 `json:"corrupt,omitempty"`
+	// Byz assigns Byzantine behaviors to random node fractions.
+	Byz []ByzDef `json:"byz,omitempty"`
+	// Label overrides the display name.
+	Label string `json:"label,omitempty"`
+}
+
+// ByzDef declares one Byzantine population: a behavior applied to a
+// random ⌈Frac·n⌉-node group. Groups within one Def are disjoint.
+type ByzDef struct {
+	// Behavior is one of the Behavior* kinds.
+	Behavior string `json:"behavior"`
+	// Frac is the node fraction in (0, 1].
+	Frac float64 `json:"frac"`
+	// Letter is the fixed letter for BehaviorStuck.
+	Letter int `json:"letter,omitempty"`
+}
+
+// None reports whether the def is the reliable baseline.
+func (d Def) None() bool {
+	return d.Drop == 0 && d.Dup == 0 && d.DupMax == 0 &&
+		d.Reorder == 0 && d.Corrupt == 0 && len(d.Byz) == 0
+}
+
+func (d Def) dupMax() int {
+	if d.DupMax == 0 {
+		return 2
+	}
+	return d.DupMax
+}
+
+// Name returns the def's display name: the label if set, otherwise a
+// compact rendering of the active pathologies ("none" for the reliable
+// baseline).
+func (d Def) Name() string {
+	if d.Label != "" {
+		return d.Label
+	}
+	if d.None() {
+		return "none"
+	}
+	var parts []string
+	if d.Drop > 0 {
+		parts = append(parts, fmt.Sprintf("drop=%g", d.Drop))
+	}
+	if d.Dup > 0 {
+		parts = append(parts, fmt.Sprintf("dup=%g", d.Dup))
+	}
+	if d.Reorder > 0 {
+		parts = append(parts, fmt.Sprintf("reorder=%g", d.Reorder))
+	}
+	if d.Corrupt > 0 {
+		parts = append(parts, fmt.Sprintf("corrupt=%g", d.Corrupt))
+	}
+	for _, b := range d.Byz {
+		parts = append(parts, fmt.Sprintf("byz=%s:%g", b.Behavior, b.Frac))
+	}
+	return strings.Join(parts, ",")
+}
+
+// Key canonicalizes the def's content for seed derivation and duplicate
+// detection: exactly the fields that change the resolved model
+// participate, resolved to their effective values (dupMax defaults to
+// its explicit spelling; dupMax without dup is rejected by Validate).
+// The display label does not participate.
+func (d Def) Key() string {
+	if d.None() {
+		return "none"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "drop=%g/dup=%g", d.Drop, d.Dup)
+	if d.Dup > 0 {
+		fmt.Fprintf(&b, "/max=%d", d.dupMax())
+	}
+	fmt.Fprintf(&b, "/re=%g/co=%g", d.Reorder, d.Corrupt)
+	for _, z := range d.Byz {
+		fmt.Fprintf(&b, "/byz=%s:%g", z.Behavior, z.Frac)
+		if z.Behavior == BehaviorStuck {
+			fmt.Fprintf(&b, ":%d", z.Letter)
+		}
+	}
+	return b.String()
+}
+
+// Validate checks the def's static well-formedness, including the
+// allocation-hardening bounds (DupMax and the Byzantine population
+// count) that keep a hostile decoded Def from becoming a fan-out or
+// allocation bomb.
+func (d Def) Validate() error {
+	rates := []struct {
+		name string
+		p    float64
+	}{{"drop", d.Drop}, {"dup", d.Dup}, {"corrupt", d.Corrupt}}
+	for _, r := range rates {
+		if math.IsNaN(r.p) || r.p < 0 || r.p > 1 {
+			return fmt.Errorf("channel: %s %g outside [0,1]", r.name, r.p)
+		}
+	}
+	if math.IsNaN(d.Reorder) || math.IsInf(d.Reorder, 0) || d.Reorder < 0 {
+		return fmt.Errorf("channel: reorder window %g must be finite and >= 0", d.Reorder)
+	}
+	if d.DupMax != 0 && d.Dup == 0 {
+		return fmt.Errorf("channel: dupMax without dup does nothing (got dupMax=%d)", d.DupMax)
+	}
+	if d.DupMax != 0 && (d.DupMax < 2 || d.DupMax > maxLayerFanout) {
+		return fmt.Errorf("channel: dupMax %d outside [2,%d]", d.DupMax, maxLayerFanout)
+	}
+	if len(d.Byz) > 4 {
+		return fmt.Errorf("channel: %d byzantine populations (max 4)", len(d.Byz))
+	}
+	total := 0.0
+	for i, z := range d.Byz {
+		switch z.Behavior {
+		case BehaviorSilent, BehaviorBabble:
+			if z.Letter != 0 {
+				return fmt.Errorf("channel: byz[%d] letter is not a %s parameter", i, z.Behavior)
+			}
+		case BehaviorStuck:
+			if z.Letter < 0 {
+				return fmt.Errorf("channel: byz[%d] stuck letter %d negative", i, z.Letter)
+			}
+		default:
+			return fmt.Errorf("channel: byz[%d] unknown behavior %q (want %s, %s or %s)",
+				i, z.Behavior, BehaviorSilent, BehaviorStuck, BehaviorBabble)
+		}
+		if math.IsNaN(z.Frac) || z.Frac <= 0 || z.Frac > 1 {
+			return fmt.Errorf("channel: byz[%d] frac %g outside (0,1]", i, z.Frac)
+		}
+		total += z.Frac
+	}
+	if total > 1 {
+		return fmt.Errorf("channel: byzantine fractions sum to %g > 1", total)
+	}
+	return nil
+}
+
+// Model builds the def's wire model, each layer keyed from seed. It
+// returns nil when the def has no wire pathology (Byzantine-only defs
+// run over reliable links), which engines treat as the zero-overhead
+// fast path.
+func (d Def) Model(seed uint64) Model {
+	var s Stack
+	if d.Dup > 0 {
+		s = append(s, Duplicate{Rate: d.Dup, MaxCopies: d.dupMax(), Seed: xrand.Mix(seed, saltDupHit)})
+	}
+	if d.Drop > 0 {
+		s = append(s, Drop{Rate: d.Drop, Seed: xrand.Mix(seed, saltDrop)})
+	}
+	if d.Reorder > 0 {
+		s = append(s, Reorder{Window: d.Reorder, Seed: xrand.Mix(seed, saltReorder)})
+	}
+	if d.Corrupt > 0 {
+		s = append(s, Corrupt{Rate: d.Corrupt, Seed: xrand.Mix(seed, saltCorrupt)})
+	}
+	switch len(s) {
+	case 0:
+		return nil
+	case 1:
+		return s[0]
+	}
+	return s
+}
+
+// Byzantine assigns the def's Byzantine populations to concrete nodes:
+// disjoint groups of ⌈frac·n⌉ nodes drawn off one seed-derived
+// permutation, returned sorted by node. Babbler seeds derive from the
+// same seed, so the whole faulty set is a pure function of (d, n, seed).
+func (d Def) Byzantine(n int, seed uint64) []ByzNode {
+	if len(d.Byz) == 0 || n == 0 {
+		return nil
+	}
+	src := xrand.NewStream(seed, xrand.FNV("channel-byz"))
+	perm := src.Perm(n)
+	var out []ByzNode
+	next := 0
+	for _, z := range d.Byz {
+		k := int(math.Ceil(z.Frac * float64(n)))
+		if k < 1 {
+			k = 1
+		}
+		if k > n-next {
+			k = n - next
+		}
+		for i := 0; i < k; i++ {
+			v := perm[next]
+			next++
+			switch z.Behavior {
+			case BehaviorStuck:
+				out = append(out, StuckAt(v, nfsm.Letter(z.Letter)))
+			case BehaviorBabble:
+				out = append(out, RandomBabbler(v, src.Uint64()))
+			default:
+				out = append(out, Silent(v))
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}

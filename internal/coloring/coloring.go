@@ -258,7 +258,9 @@ type SyncRun struct {
 var desc = protocol.Register(&protocol.Descriptor{
 	Name:    "color3",
 	Summary: "3-coloring of undirected trees in O(log n) rounds (Section 5)",
-	Caps:    protocol.CapNeedsTree,
+	// Duplicated copies land back-to-back on overwrite-only ports, so
+	// duplication alone cannot change what a node observes.
+	Caps:    protocol.CapNeedsTree | protocol.CapToleratesDup,
 	Machine: func(protocol.Args) (*nfsm.RoundProtocol, error) { return Protocol(), nil },
 	Decode: func(_ protocol.Args, states []nfsm.State) (protocol.Output, error) {
 		colors, err := Extract(states)

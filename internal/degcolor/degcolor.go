@@ -145,6 +145,9 @@ type Run struct {
 var desc = protocol.Register(&protocol.Descriptor{
 	Name:    "degcolor",
 	Summary: "(Δ+1)-coloring of bounded-degree graphs — the palette-race extension beyond Section 5",
+	// Duplication is invisible to overwrite-only ports under FIFO
+	// delivery; the palette race does not survive loss or reordering.
+	Caps: protocol.CapToleratesDup,
 	Params: []protocol.ParamDef{{
 		Name:    "maxdeg",
 		Desc:    "universal degree bound Δ (0 derives Δ from the bound graph)",

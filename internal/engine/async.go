@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"stoneage/internal/channel"
 	"stoneage/internal/graph"
 	"stoneage/internal/nfsm"
 	"stoneage/internal/scenario"
@@ -68,6 +69,14 @@ type AsyncConfig struct {
 	// layer resolves ResetAuto). Nil or empty scenarios take the
 	// unchanged static path.
 	Scenario *scenario.Scenario
+	// Channel, when non-nil, subjects every transmission to an
+	// unreliable-link model: each per-neighbor copy is expanded through
+	// the model into zero or more delivered fates (dropped, duplicated,
+	// extra-delayed, corrupted — see package channel). A reordering
+	// model voids the per-edge FIFO guarantee (and the pooled-FIFO and
+	// parking fast paths); a nil Channel is the unchanged zero-overhead
+	// reliable path.
+	Channel channel.Model
 }
 
 // AsyncResult reports a completed asynchronous run.
@@ -85,7 +94,22 @@ type AsyncResult struct {
 	// Lost counts deliveries that overwrote a port value which the
 	// destination node had not yet observed in any step — messages the
 	// adversary destroyed, as permitted by the model (no buffering).
+	// This is pure paper semantics: channel drops and removed-edge
+	// drops are counted separately below.
 	Lost int64
+	// Dropped, Duplicated and Corrupted count the channel model's
+	// interventions (zero without one): copies eliminated, extra copies
+	// created, letters flipped. Reordered counts deliveries scheduled
+	// before an already-scheduled delivery on the same directed edge —
+	// the overtakes a reordering model actually caused.
+	Dropped    int64
+	Duplicated int64
+	Reordered  int64
+	Corrupted  int64
+	// Severed counts in-flight deliveries dropped because a scenario
+	// mutation removed their edge before arrival (previously conflated
+	// with nothing — they vanished uncounted).
+	Severed int64
 	// States is the final state of every node.
 	States []nfsm.State
 
@@ -197,11 +221,24 @@ func (p *Program) RunAsyncReusing(cfg AsyncConfig, scr *Scratch) (*AsyncResult, 
 	dp := &as.dp
 	dp.reset(ne)
 
+	// model/chStats/usePool: the unreliable-channel axis. The pooled
+	// per-edge FIFO stays exact under non-reordering models (every fate
+	// has Extra == 0, so the FIFO clamp keeps per-edge enqueue times
+	// nondecreasing — duplicates land back-to-back in send order); a
+	// reordering model bypasses the pool and pushes every copy straight
+	// into the queue.
+	model := cfg.Channel
+	reorders := model != nil && model.Reorders()
+	usePool := !reorders
+	var chStats channel.Stats
+
 	// Parking is sound only when no skipped step can tie exactly with a
 	// delivery (see TieFree); observers must see every step
 	// materialized, and the step tie key reserves 20 bits for the node
-	// index, so larger networks run fully materialized.
-	canPark := cfg.Observer == nil && n < 1<<20
+	// index, so larger networks run fully materialized. Channel models
+	// multiply and drop deliveries, which the silent-chain walk cannot
+	// anticipate, so channel runs also materialize every step.
+	canPark := cfg.Observer == nil && model == nil && n < 1<<20
 	if tf, ok := adv.(TieFree); !ok || !tf.TieFreeTimes() {
 		canPark = false
 	}
@@ -573,16 +610,47 @@ func (p *Program) RunAsyncReusing(cfg AsyncConfig, scr *Scratch) (*AsyncResult, 
 				if d > maxParam {
 					maxParam = d
 				}
-				at := e.time + d
-				if at < lastDelivery[k] {
-					at = lastDelivery[k] // FIFO per directed edge
+				if model == nil {
+					at := e.time + d
+					if at < lastDelivery[k] {
+						at = lastDelivery[k] // FIFO per directed edge
+					}
+					lastDelivery[k] = at
+					dst := csr.NbrOff[u] + csr.RevPort[k]
+					sq := seq
+					seq++
+					if dp.enqueue(dst, at, sq, emit) {
+						lq.push(qevent{time: at, seq: sq, node: u, aux: dst, letter: emit})
+					}
+					continue
 				}
-				lastDelivery[k] = at
+				fates := channel.Expand(model, v, t, int(u), mv.Emit, p.nl, as.chBuf, &chStats)
+				as.chBuf = fates
 				dst := csr.NbrOff[u] + csr.RevPort[k]
-				sq := seq
-				seq++
-				if dp.enqueue(dst, at, sq, emit) {
-					lq.push(qevent{time: at, seq: sq, node: u, aux: dst, letter: emit})
+				for _, f := range fates {
+					at := e.time + d + f.Extra
+					if reorders {
+						// No FIFO clamp: count the overtakes instead.
+						if at < lastDelivery[k] {
+							res.Reordered++
+						} else {
+							lastDelivery[k] = at
+						}
+					} else {
+						if at < lastDelivery[k] {
+							at = lastDelivery[k] // FIFO per directed edge
+						}
+						lastDelivery[k] = at
+					}
+					sq := seq
+					seq++
+					if usePool {
+						if dp.enqueue(dst, at, sq, int32(f.Letter)) {
+							lq.push(qevent{time: at, seq: sq, node: u, aux: dst, letter: int32(f.Letter)})
+						}
+					} else {
+						lq.push(qevent{time: at, seq: sq, node: u, aux: dst, letter: int32(f.Letter)})
+					}
 				}
 			}
 		}
@@ -609,6 +677,7 @@ func (p *Program) RunAsyncReusing(cfg AsyncConfig, scr *Scratch) (*AsyncResult, 
 			}
 			res.Time = e.time
 			res.TimeUnits = e.time / maxParam
+			res.Dropped, res.Duplicated, res.Corrupted = chStats.Dropped, chStats.Duplicated, chStats.Corrupted
 			return res, nil
 		}
 		if res.Steps >= maxSteps {

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 
+	"stoneage/internal/channel"
 	"stoneage/internal/graph"
 	"stoneage/internal/nfsm"
 )
@@ -54,6 +55,16 @@ func RunAsyncRef(m nfsm.Machine, g *graph.Graph, cfg AsyncConfig) (*AsyncResult,
 
 	topo := newPortTopology(g)
 	cnt := newCounter(m)
+
+	// Channel model state: fates expand through the exact helper the
+	// compiled executor uses, so both engines see identical channel
+	// decisions. A reordering model voids the per-edge FIFO clamp; the
+	// clamp-free horizon is tracked only to count overtakes.
+	model := cfg.Channel
+	reorders := model != nil && model.Reorders()
+	var chStats channel.Stats
+	var chBuf []channel.Fate
+	nl := m.NumLetters()
 
 	ports := make([][]nfsm.Letter, n)
 	portWriteAt := make([][]float64, n) // time of last write, -inf initially
@@ -153,18 +164,39 @@ func RunAsyncRef(m nfsm.Machine, g *graph.Graph, cfg AsyncConfig) (*AsyncResult,
 				if err != nil {
 					return nil, err
 				}
-				at := e.time + d
-				if at < lastDelivery[v][i] {
-					at = lastDelivery[v][i] // FIFO per directed edge
+				if model == nil {
+					at := e.time + d
+					if at < lastDelivery[v][i] {
+						at = lastDelivery[v][i] // FIFO per directed edge
+					}
+					lastDelivery[v][i] = at
+					push(event{time: at, node: u, port: topo.rev[v][i], letter: mv.Emit})
+					continue
 				}
-				lastDelivery[v][i] = at
-				push(event{time: at, node: u, port: topo.rev[v][i], letter: mv.Emit})
+				chBuf = channel.Expand(model, v, t, u, mv.Emit, nl, chBuf, &chStats)
+				for _, f := range chBuf {
+					at := e.time + d + f.Extra
+					if reorders {
+						if at < lastDelivery[v][i] {
+							res.Reordered++
+						} else {
+							lastDelivery[v][i] = at
+						}
+					} else {
+						if at < lastDelivery[v][i] {
+							at = lastDelivery[v][i] // FIFO per directed edge
+						}
+						lastDelivery[v][i] = at
+					}
+					push(event{time: at, node: u, port: topo.rev[v][i], letter: f.Letter})
+				}
 			}
 		}
 
 		if outputs == n {
 			res.Time = e.time
 			res.TimeUnits = e.time / maxParam
+			res.Dropped, res.Duplicated, res.Corrupted = chStats.Dropped, chStats.Duplicated, chStats.Corrupted
 			return res, nil
 		}
 		if res.Steps >= maxSteps {

@@ -3,10 +3,35 @@ package engine
 import (
 	"fmt"
 
+	"stoneage/internal/channel"
 	"stoneage/internal/graph"
 	"stoneage/internal/nfsm"
 	"stoneage/internal/scenario"
 )
+
+// byzIndex maps each node to its position in the scenario's Byzantine
+// list (-1 for honest nodes), validating every behavior against the
+// node count and alphabet size. Both executors of each engine pair call
+// it, so an ill-formed Byzantine set fails identically everywhere.
+func byzIndex(byz []channel.ByzNode, n, nl int) ([]int32, error) {
+	if len(byz) == 0 {
+		return nil, nil
+	}
+	idx := make([]int32, n)
+	for v := range idx {
+		idx[v] = -1
+	}
+	for i, b := range byz {
+		if err := b.Validate(n, nl); err != nil {
+			return nil, err
+		}
+		if idx[b.Node] >= 0 {
+			return nil, fmt.Errorf("engine: duplicate byzantine node %d", b.Node)
+		}
+		idx[b.Node] = int32(i)
+	}
+	return idx, nil
+}
 
 // This file is the fast dynamic asynchronous executor. The static
 // engine's event loop is extended with the scenario hook: mutation
@@ -90,6 +115,19 @@ func (p *Program) runAsyncScenario(cfg AsyncConfig, scr *Scratch) (*AsyncResult,
 	ds := &scr.ds
 	ds.init(p.MachineCode)
 	live := scenario.NewLiveness(n, sc.Asleep)
+	byz, err := byzIndex(sc.Byzantine, n, p.nl)
+	if err != nil {
+		return nil, err
+	}
+	isByz := func(v int) bool { return byz != nil && byz[v] >= 0 }
+
+	// Channel model (nil = reliable links). Dynamic runs push deliveries
+	// straight into the queue, so only the FIFO clamp depends on whether
+	// the model reorders.
+	model := cfg.Channel
+	reorders := model != nil && model.Reorders()
+	var chStats channel.Stats
+	var chBuf []channel.Fate
 
 	// Per directed-edge-slot state, remapped at every re-bind:
 	// portWriteAt[k] is the last write time of the receiver-side port at
@@ -116,12 +154,24 @@ func (p *Program) runAsyncScenario(cfg AsyncConfig, scr *Scratch) (*AsyncResult,
 	lagging := 0
 
 	res := &AsyncResult{States: states, FinalGraph: g}
-	outputs := 0
-	for v := 0; v < n; v++ {
-		if live.Awake(v) && p.isOutput(states[v]) {
-			outputs++
+	// Byzantine nodes never reach an output state: termination is every
+	// awake *honest* node in an output state. target() is that count.
+	outputs, awakeByz := 0, 0
+	countLive := func() {
+		outputs, awakeByz = 0, 0
+		for v := 0; v < n; v++ {
+			if !live.Awake(v) {
+				continue
+			}
+			if isByz(v) {
+				awakeByz++
+			} else if p.isOutput(states[v]) {
+				outputs++
+			}
 		}
 	}
+	countLive()
+	target := func() int { return live.NumAwake() - awakeByz }
 
 	h := &scr.async().lq
 	h.reset()
@@ -209,12 +259,7 @@ func (p *Program) runAsyncScenario(cfg AsyncConfig, scr *Scratch) (*AsyncResult,
 		for _, v := range started {
 			resetNode(v)
 		}
-		outputs = 0
-		for v := 0; v < n; v++ {
-			if live.Awake(v) && p.isOutput(states[v]) {
-				outputs++
-			}
-		}
+		countLive()
 		for v := range stepsSince {
 			stepsSince[v] = 0
 		}
@@ -239,7 +284,7 @@ func (p *Program) runAsyncScenario(cfg AsyncConfig, scr *Scratch) (*AsyncResult,
 
 	nextBatch := 0
 	lastPerturb := 0.0
-	if nextBatch == len(sc.Batches) && outputs == live.NumAwake() {
+	if nextBatch == len(sc.Batches) && outputs == target() {
 		return res, nil
 	}
 
@@ -254,11 +299,12 @@ func (p *Program) runAsyncScenario(cfg AsyncConfig, scr *Scratch) (*AsyncResult,
 			nextBatch++
 			lastPerturb = b.At
 			res.PerturbedAt = append(res.PerturbedAt, b.At)
-			if nextBatch == len(sc.Batches) && outputs == live.NumAwake() && lagging == 0 {
+			if nextBatch == len(sc.Batches) && outputs == target() && lagging == 0 {
 				// Only reachable with no awake nodes left (a batch sets
 				// lagging to the awake count): vacuous convergence.
 				res.Time = b.At
 				res.TimeUnits = timeUnits(b.At)
+				res.Dropped, res.Duplicated, res.Corrupted = chStats.Dropped, chStats.Duplicated, chStats.Corrupted
 				return res, nil
 			}
 			continue
@@ -269,10 +315,13 @@ func (p *Program) runAsyncScenario(cfg AsyncConfig, scr *Scratch) (*AsyncResult,
 		}
 		if !e.step {
 			// Delivery: resolve the port from the current snapshot; a
-			// removed edge drops its in-flight traffic.
+			// removed edge drops its in-flight traffic (counted as
+			// Severed, distinct from paper-semantics Lost overwrites and
+			// from channel Dropped).
 			v := int(e.node)
 			k := portSlot(cur, v, int(e.aux))
 			if k < 0 {
+				res.Severed++
 				continue
 			}
 			if portWriteAt[k] > lastStepAt[v] {
@@ -289,19 +338,28 @@ func (p *Program) runAsyncScenario(cfg AsyncConfig, scr *Scratch) (*AsyncResult,
 		v := int(e.node)
 		t := stepIndex[v] + 1
 		q := states[v]
-		moves := rc.movesFor(v, q, ds)
-		if len(moves) == 0 {
-			return nil, fmt.Errorf("engine: δ empty at node %d state %d step %d", v, q, t)
-		}
-		mv := nfsm.PickMove(cfg.Seed, v, t, moves)
-		if p.isOutput(mv.Next) != p.isOutput(q) {
-			if p.isOutput(mv.Next) {
-				outputs++
-			} else {
-				outputs--
+		emit := nfsm.NoLetter
+		if isByz(v) {
+			// Byzantine node: never runs δ (its state stays put), emits
+			// whatever its behavior dictates; the step is still counted
+			// and its traffic rides the channel like any other.
+			emit = sc.Byzantine[byz[v]].Emit(t, p.nl)
+		} else {
+			moves := rc.movesFor(v, q, ds)
+			if len(moves) == 0 {
+				return nil, fmt.Errorf("engine: δ empty at node %d state %d step %d", v, q, t)
 			}
+			mv := nfsm.PickMove(cfg.Seed, v, t, moves)
+			if p.isOutput(mv.Next) != p.isOutput(q) {
+				if p.isOutput(mv.Next) {
+					outputs++
+				} else {
+					outputs--
+				}
+			}
+			states[v] = mv.Next
+			emit = mv.Emit
 		}
-		states[v] = mv.Next
 		stepIndex[v] = t
 		lastStepAt[v] = e.time
 		res.Steps++
@@ -312,10 +370,10 @@ func (p *Program) runAsyncScenario(cfg AsyncConfig, scr *Scratch) (*AsyncResult,
 			}
 		}
 		if cfg.Observer != nil {
-			cfg.Observer(e.time, v, t, mv.Next)
+			cfg.Observer(e.time, v, t, states[v])
 		}
 
-		if mv.Emit != nfsm.NoLetter {
+		if emit != nfsm.NoLetter {
 			res.Transmissions++
 			for k := cur.NbrOff[v]; k < cur.NbrOff[v+1]; k++ {
 				u := int(cur.NbrDat[k])
@@ -323,16 +381,36 @@ func (p *Program) runAsyncScenario(cfg AsyncConfig, scr *Scratch) (*AsyncResult,
 				if err != nil {
 					return nil, err
 				}
-				at := e.time + d
-				if at < lastDelivery[k] {
-					at = lastDelivery[k] // FIFO per directed edge
+				if model == nil {
+					at := e.time + d
+					if at < lastDelivery[k] {
+						at = lastDelivery[k] // FIFO per directed edge
+					}
+					lastDelivery[k] = at
+					push(qevent{time: at, node: int32(u), aux: int32(v), letter: int32(emit)})
+					continue
 				}
-				lastDelivery[k] = at
-				push(qevent{time: at, node: int32(u), aux: int32(v), letter: int32(mv.Emit)})
+				chBuf = channel.Expand(model, v, t, u, emit, p.nl, chBuf, &chStats)
+				for _, f := range chBuf {
+					at := e.time + d + f.Extra
+					if reorders {
+						if at < lastDelivery[k] {
+							res.Reordered++ // an overtake on this edge
+						} else {
+							lastDelivery[k] = at
+						}
+					} else {
+						if at < lastDelivery[k] {
+							at = lastDelivery[k] // FIFO per directed edge
+						}
+						lastDelivery[k] = at
+					}
+					push(qevent{time: at, node: int32(u), aux: int32(v), letter: int32(f.Letter)})
+				}
 			}
 		}
 
-		if nextBatch == len(sc.Batches) && outputs == live.NumAwake() &&
+		if nextBatch == len(sc.Batches) && outputs == target() &&
 			(lagging == 0 || len(res.PerturbedAt) == 0) {
 			res.Time = e.time
 			res.TimeUnits = timeUnits(e.time)
@@ -340,6 +418,7 @@ func (p *Program) runAsyncScenario(cfg AsyncConfig, scr *Scratch) (*AsyncResult,
 				res.RecoveryTime = e.time - lastPerturb
 				res.RecoveryTimeUnits = timeUnits(res.RecoveryTime)
 			}
+			res.Dropped, res.Duplicated, res.Corrupted = chStats.Dropped, chStats.Duplicated, chStats.Corrupted
 			return res, nil
 		}
 		if res.Steps >= maxSteps {

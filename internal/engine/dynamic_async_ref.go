@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 
+	"stoneage/internal/channel"
 	"stoneage/internal/graph"
 	"stoneage/internal/nfsm"
 	"stoneage/internal/scenario"
@@ -63,6 +64,17 @@ func runAsyncRefScenario(m nfsm.Machine, g0 *graph.Graph, cfg AsyncConfig) (*Asy
 
 	cnt := newCounter(m)
 	live := scenario.NewLiveness(n, sc.Asleep)
+	nl := m.NumLetters()
+	byz, err := byzIndex(sc.Byzantine, n, nl)
+	if err != nil {
+		return nil, err
+	}
+	isByz := func(v int) bool { return byz != nil && byz[v] >= 0 }
+
+	model := cfg.Channel
+	reorders := model != nil && model.Reorders()
+	var chStats channel.Stats
+	var chBuf []channel.Fate
 
 	// All per-port state in adjacency order: ports[v][i] pairs with
 	// g.Neighbors(v)[i]; lastDelivery[v][i] is the FIFO horizon of the
@@ -90,12 +102,22 @@ func runAsyncRefScenario(m nfsm.Machine, g0 *graph.Graph, cfg AsyncConfig) (*Asy
 	lagging := 0
 
 	res := &AsyncResult{States: states, FinalGraph: g}
-	outputs := 0
-	for v := 0; v < n; v++ {
-		if live.Awake(v) && m.IsOutput(states[v]) {
-			outputs++
+	outputs, awakeByz := 0, 0
+	countLive := func() {
+		outputs, awakeByz = 0, 0
+		for v := 0; v < n; v++ {
+			if !live.Awake(v) {
+				continue
+			}
+			if isByz(v) {
+				awakeByz++
+			} else if m.IsOutput(states[v]) {
+				outputs++
+			}
 		}
 	}
+	countLive()
+	target := func() int { return live.NumAwake() - awakeByz }
 
 	var (
 		h        refDynHeap
@@ -188,12 +210,7 @@ func runAsyncRefScenario(m nfsm.Machine, g0 *graph.Graph, cfg AsyncConfig) (*Asy
 		for _, v := range started {
 			resetNode(v)
 		}
-		outputs = 0
-		for v := 0; v < n; v++ {
-			if live.Awake(v) && m.IsOutput(states[v]) {
-				outputs++
-			}
-		}
+		countLive()
 		for v := range stepsSince {
 			stepsSince[v] = 0
 		}
@@ -217,7 +234,7 @@ func runAsyncRefScenario(m nfsm.Machine, g0 *graph.Graph, cfg AsyncConfig) (*Asy
 
 	nextBatch := 0
 	lastPerturb := 0.0
-	if nextBatch == len(sc.Batches) && outputs == live.NumAwake() {
+	if nextBatch == len(sc.Batches) && outputs == target() {
 		return res, nil
 	}
 
@@ -230,9 +247,10 @@ func runAsyncRefScenario(m nfsm.Machine, g0 *graph.Graph, cfg AsyncConfig) (*Asy
 			nextBatch++
 			lastPerturb = b.At
 			res.PerturbedAt = append(res.PerturbedAt, b.At)
-			if nextBatch == len(sc.Batches) && outputs == live.NumAwake() && lagging == 0 {
+			if nextBatch == len(sc.Batches) && outputs == target() && lagging == 0 {
 				res.Time = b.At
 				res.TimeUnits = timeUnits(b.At)
+				res.Dropped, res.Duplicated, res.Corrupted = chStats.Dropped, chStats.Duplicated, chStats.Corrupted
 				return res, nil
 			}
 			continue
@@ -244,7 +262,8 @@ func runAsyncRefScenario(m nfsm.Machine, g0 *graph.Graph, cfg AsyncConfig) (*Asy
 		if !e.step {
 			i := g.PortOf(e.node, e.from)
 			if i < 0 {
-				continue // edge removed mid-flight: traffic lost with it
+				res.Severed++ // edge removed mid-flight: traffic lost with it
+				continue
 			}
 			if portWriteAt[e.node][i] > lastStepAt[e.node] {
 				res.Lost++
@@ -260,19 +279,25 @@ func runAsyncRefScenario(m nfsm.Machine, g0 *graph.Graph, cfg AsyncConfig) (*Asy
 		v := e.node
 		t := stepIndex[v] + 1
 		q := states[v]
-		moves := m.Moves(q, cnt.counts(q, ports[v]))
-		if len(moves) == 0 {
-			return nil, fmt.Errorf("engine: δ empty at node %d state %d step %d", v, q, t)
-		}
-		mv := nfsm.PickMove(cfg.Seed, v, t, moves)
-		if m.IsOutput(mv.Next) != m.IsOutput(q) {
-			if m.IsOutput(mv.Next) {
-				outputs++
-			} else {
-				outputs--
+		emit := nfsm.NoLetter
+		if isByz(v) {
+			emit = sc.Byzantine[byz[v]].Emit(t, nl)
+		} else {
+			moves := m.Moves(q, cnt.counts(q, ports[v]))
+			if len(moves) == 0 {
+				return nil, fmt.Errorf("engine: δ empty at node %d state %d step %d", v, q, t)
 			}
+			mv := nfsm.PickMove(cfg.Seed, v, t, moves)
+			if m.IsOutput(mv.Next) != m.IsOutput(q) {
+				if m.IsOutput(mv.Next) {
+					outputs++
+				} else {
+					outputs--
+				}
+			}
+			states[v] = mv.Next
+			emit = mv.Emit
 		}
-		states[v] = mv.Next
 		stepIndex[v] = t
 		lastStepAt[v] = e.time
 		res.Steps++
@@ -283,26 +308,46 @@ func runAsyncRefScenario(m nfsm.Machine, g0 *graph.Graph, cfg AsyncConfig) (*Asy
 			}
 		}
 		if cfg.Observer != nil {
-			cfg.Observer(e.time, v, t, mv.Next)
+			cfg.Observer(e.time, v, t, states[v])
 		}
 
-		if mv.Emit != nfsm.NoLetter {
+		if emit != nfsm.NoLetter {
 			res.Transmissions++
 			for i, u := range g.Neighbors(v) {
 				d, err := useParam(adv.Delay(v, t, u), "delay", v, t)
 				if err != nil {
 					return nil, err
 				}
-				at := e.time + d
-				if at < lastDelivery[v][i] {
-					at = lastDelivery[v][i]
+				if model == nil {
+					at := e.time + d
+					if at < lastDelivery[v][i] {
+						at = lastDelivery[v][i]
+					}
+					lastDelivery[v][i] = at
+					push(dynEvent{time: at, node: u, from: v, letter: emit})
+					continue
 				}
-				lastDelivery[v][i] = at
-				push(dynEvent{time: at, node: u, from: v, letter: mv.Emit})
+				chBuf = channel.Expand(model, v, t, u, emit, nl, chBuf, &chStats)
+				for _, f := range chBuf {
+					at := e.time + d + f.Extra
+					if reorders {
+						if at < lastDelivery[v][i] {
+							res.Reordered++
+						} else {
+							lastDelivery[v][i] = at
+						}
+					} else {
+						if at < lastDelivery[v][i] {
+							at = lastDelivery[v][i]
+						}
+						lastDelivery[v][i] = at
+					}
+					push(dynEvent{time: at, node: u, from: v, letter: f.Letter})
+				}
 			}
 		}
 
-		if nextBatch == len(sc.Batches) && outputs == live.NumAwake() &&
+		if nextBatch == len(sc.Batches) && outputs == target() &&
 			(lagging == 0 || len(res.PerturbedAt) == 0) {
 			res.Time = e.time
 			res.TimeUnits = timeUnits(e.time)
@@ -310,6 +355,7 @@ func runAsyncRefScenario(m nfsm.Machine, g0 *graph.Graph, cfg AsyncConfig) (*Asy
 				res.RecoveryTime = e.time - lastPerturb
 				res.RecoveryTimeUnits = timeUnits(res.RecoveryTime)
 			}
+			res.Dropped, res.Duplicated, res.Corrupted = chStats.Dropped, chStats.Duplicated, chStats.Corrupted
 			return res, nil
 		}
 		if res.Steps >= maxSteps {

@@ -3,11 +3,23 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"math"
 
+	"stoneage/internal/channel"
 	"stoneage/internal/graph"
 	"stoneage/internal/nfsm"
 	"stoneage/internal/scenario"
 )
+
+// syncPend is a channel-delayed synchronous delivery: a reordering
+// model's extra delay rounds up to whole rounds, and the letter lands
+// in the deliver phase of round due (resolving the destination port
+// against the topology of that round — a removed edge severs it).
+type syncPend struct {
+	due      int
+	from, to int32
+	letter   nfsm.Letter
+}
 
 // This file is the fast dynamic synchronous executor: the compiled
 // engine's round loop extended with the scenario hook. Between rounds
@@ -53,6 +65,10 @@ func resetStateOf(m nfsm.Machine, init []nfsm.State, v int) nfsm.State {
 // (scr may be nil for a private one).
 func (p *Program) runSyncScenario(cfg SyncConfig, scr *Scratch) (*SyncResult, error) {
 	sc := cfg.Scenario
+	if sc == nil {
+		// A channel model alone routes here; run the empty scenario.
+		sc = &scenario.Scenario{Reset: scenario.ResetNone}
+	}
 	if err := prepScenario(sc, p.g); err != nil {
 		return nil, err
 	}
@@ -77,6 +93,11 @@ func (p *Program) runSyncScenario(cfg SyncConfig, scr *Scratch) (*SyncResult, er
 	ds := &scr.ds
 	ds.init(p.MachineCode)
 	live := scenario.NewLiveness(n, sc.Asleep)
+	byz, err := byzIndex(sc.Byzantine, n, p.nl)
+	if err != nil {
+		return nil, err
+	}
+	isByz := func(v int) bool { return byz != nil && byz[v] >= 0 }
 	if cap(scr.emits) < n {
 		scr.emits = make([]nfsm.Letter, n)
 	}
@@ -84,13 +105,38 @@ func (p *Program) runSyncScenario(cfg SyncConfig, scr *Scratch) (*SyncResult, er
 	emitters := scr.emitters[:0]
 	defer func() { scr.emitters = emitters[:0] }()
 
+	// Channel model (nil = reliable links). Only a reordering model can
+	// defer a delivery past its send round, so the pending list and the
+	// per-edge horizon map stay empty otherwise.
+	model := cfg.Channel
+	reorders := model != nil && model.Reorders()
+	var chStats channel.Stats
+	var chBuf []channel.Fate
+	var pend []syncPend
+	var horizon map[uint64]int
+	if reorders {
+		horizon = make(map[uint64]int)
+	}
+
 	res := &SyncResult{States: states, FinalGraph: g}
-	outputs := 0
-	for v := 0; v < n; v++ {
-		if live.Awake(v) && p.isOutput(states[v]) {
-			outputs++
+	// Byzantine nodes never reach an output state: termination is every
+	// awake honest node in an output state. target() is that count.
+	outputs, awakeByz := 0, 0
+	countLive := func() {
+		outputs, awakeByz = 0, 0
+		for v := 0; v < n; v++ {
+			if !live.Awake(v) {
+				continue
+			}
+			if isByz(v) {
+				awakeByz++
+			} else if p.isOutput(states[v]) {
+				outputs++
+			}
 		}
 	}
+	countLive()
+	target := func() int { return live.NumAwake() - awakeByz }
 	nextBatch := 0
 	lastPerturb := 0
 	// stable counts consecutive rounds ending in an awake output
@@ -101,7 +147,7 @@ func (p *Program) runSyncScenario(cfg SyncConfig, scr *Scratch) (*SyncResult, er
 	// closes exactly that window (every awake node re-transmits and
 	// every port is delivered real letters in between).
 	stable := 0
-	if nextBatch == len(sc.Batches) && outputs == live.NumAwake() {
+	if nextBatch == len(sc.Batches) && outputs == target() {
 		return res, nil
 	}
 
@@ -137,12 +183,7 @@ func (p *Program) runSyncScenario(cfg SyncConfig, scr *Scratch) (*SyncResult, er
 			states[v] = resetStateOf(p.m, cfg.Init, v)
 			rc.resetNode(v, cur)
 		}
-		outputs = 0
-		for v := 0; v < n; v++ {
-			if live.Awake(v) && p.isOutput(states[v]) {
-				outputs++
-			}
-		}
+		countLive()
 		return nil
 	}
 
@@ -160,6 +201,16 @@ func (p *Program) runSyncScenario(cfg SyncConfig, scr *Scratch) (*SyncResult, er
 		emitters = emitters[:0]
 		for v := 0; v < n; v++ {
 			if !live.Awake(v) {
+				continue
+			}
+			if isByz(v) {
+				// Byzantine node: never runs δ (its state stays put),
+				// emits whatever its behavior dictates; its traffic
+				// rides the channel like any other.
+				if l := sc.Byzantine[byz[v]].Emit(round, p.nl); l != nfsm.NoLetter {
+					emits[v] = l
+					emitters = append(emitters, int32(v))
+				}
 				continue
 			}
 			q := states[v]
@@ -184,19 +235,59 @@ func (p *Program) runSyncScenario(cfg SyncConfig, scr *Scratch) (*SyncResult, er
 
 		// Deliver phase: ports of every neighbor are link-endpoint
 		// memory and receive the letter regardless of the neighbor's
-		// liveness (a reboot clears them anyway).
+		// liveness (a reboot clears them anyway). Deliveries deferred by
+		// a reordering channel land first, so the round's own traffic
+		// overwrites stale letters, never the other way around.
+		if model != nil && len(pend) > 0 {
+			keep := pend[:0]
+			for _, pd := range pend {
+				if pd.due != round {
+					keep = append(keep, pd)
+					continue
+				}
+				if k := portSlot(cur, int(pd.to), int(pd.from)); k >= 0 {
+					rc.setPort(int(pd.to), k, pd.letter)
+				} else {
+					res.Severed++ // edge removed before the due round
+				}
+			}
+			pend = keep
+		}
 		for _, v := range emitters {
 			l := emits[v]
 			res.Transmissions++
+			if model == nil {
+				for k := cur.NbrOff[v]; k < cur.NbrOff[v+1]; k++ {
+					rc.setPort(int(cur.NbrDat[k]), cur.NbrOff[cur.NbrDat[k]]+cur.RevPort[k], l)
+				}
+				continue
+			}
 			for k := cur.NbrOff[v]; k < cur.NbrOff[v+1]; k++ {
-				rc.setPort(int(cur.NbrDat[k]), cur.NbrOff[cur.NbrDat[k]]+cur.RevPort[k], l)
+				u := int(cur.NbrDat[k])
+				chBuf = channel.Expand(model, int(v), round, u, l, p.nl, chBuf, &chStats)
+				for _, f := range chBuf {
+					delay := int(math.Ceil(f.Extra))
+					if reorders {
+						key := uint64(uint32(v))<<32 | uint64(uint32(u))
+						if due := round + delay; due < horizon[key] {
+							res.Reordered++ // an overtake on this edge
+						} else {
+							horizon[key] = due
+						}
+					}
+					if delay == 0 {
+						rc.setPort(u, cur.NbrOff[u]+cur.RevPort[k], f.Letter)
+					} else {
+						pend = append(pend, syncPend{due: round + delay, from: v, to: int32(u), letter: f.Letter})
+					}
+				}
 			}
 		}
 
 		if cfg.Observer != nil {
 			cfg.Observer(round, states)
 		}
-		if nextBatch == len(sc.Batches) && outputs == live.NumAwake() {
+		if nextBatch == len(sc.Batches) && outputs == target() {
 			stable++
 		} else {
 			stable = 0
@@ -206,6 +297,7 @@ func (p *Program) runSyncScenario(cfg SyncConfig, scr *Scratch) (*SyncResult, er
 			if len(res.PerturbedAt) > 0 {
 				res.RecoveryRounds = round - lastPerturb
 			}
+			res.Dropped, res.Duplicated, res.Corrupted = chStats.Dropped, chStats.Duplicated, chStats.Corrupted
 			return res, nil
 		}
 	}

@@ -2,7 +2,9 @@ package engine
 
 import (
 	"fmt"
+	"math"
 
+	"stoneage/internal/channel"
 	"stoneage/internal/graph"
 	"stoneage/internal/nfsm"
 	"stoneage/internal/scenario"
@@ -24,6 +26,10 @@ import (
 // the reference representation.
 func runSyncRefScenario(m nfsm.Machine, g0 *graph.Graph, cfg SyncConfig) (*SyncResult, error) {
 	sc := cfg.Scenario
+	if sc == nil {
+		// A channel model alone routes here; run the empty scenario.
+		sc = &scenario.Scenario{Reset: scenario.ResetNone}
+	}
 	if err := prepScenario(sc, g0); err != nil {
 		return nil, err
 	}
@@ -41,6 +47,24 @@ func runSyncRefScenario(m nfsm.Machine, g0 *graph.Graph, cfg SyncConfig) (*SyncR
 	topo := newPortTopology(g)
 	cnt := newCounter(m)
 	live := scenario.NewLiveness(n, sc.Asleep)
+	nl := m.NumLetters()
+	byz, err := byzIndex(sc.Byzantine, n, nl)
+	if err != nil {
+		return nil, err
+	}
+	isByz := func(v int) bool { return byz != nil && byz[v] >= 0 }
+
+	// Channel model state; see runSyncScenario — fates expand through
+	// the exact helper the compiled executor uses.
+	model := cfg.Channel
+	reorders := model != nil && model.Reorders()
+	var chStats channel.Stats
+	var chBuf []channel.Fate
+	var pend []syncPend
+	var horizon map[uint64]int
+	if reorders {
+		horizon = make(map[uint64]int)
+	}
 
 	// ports[v][i] holds the last letter delivered from g.Neighbors(v)[i].
 	ports := make([][]nfsm.Letter, n)
@@ -52,18 +76,30 @@ func runSyncRefScenario(m nfsm.Machine, g0 *graph.Graph, cfg SyncConfig) (*SyncR
 	}
 
 	res := &SyncResult{States: states, FinalGraph: g}
-	outputs := 0
-	for v := 0; v < n; v++ {
-		if live.Awake(v) && m.IsOutput(states[v]) {
-			outputs++
+	// Byzantine nodes never reach an output state: termination is every
+	// awake honest node in an output state.
+	outputs, awakeByz := 0, 0
+	countLive := func() {
+		outputs, awakeByz = 0, 0
+		for v := 0; v < n; v++ {
+			if !live.Awake(v) {
+				continue
+			}
+			if isByz(v) {
+				awakeByz++
+			} else if m.IsOutput(states[v]) {
+				outputs++
+			}
 		}
 	}
+	countLive()
+	target := func() int { return live.NumAwake() - awakeByz }
 	nextBatch := 0
 	lastPerturb := 0
 	// Two consecutive stable rounds are required after a perturbation;
 	// see the confirmation-window comment in runSyncScenario.
 	stable := 0
-	if nextBatch == len(sc.Batches) && outputs == live.NumAwake() {
+	if nextBatch == len(sc.Batches) && outputs == target() {
 		return res, nil
 	}
 
@@ -117,12 +153,7 @@ func runSyncRefScenario(m nfsm.Machine, g0 *graph.Graph, cfg SyncConfig) (*SyncR
 		for _, v := range started {
 			resetNode(v)
 		}
-		outputs = 0
-		for v := 0; v < n; v++ {
-			if live.Awake(v) && m.IsOutput(states[v]) {
-				outputs++
-			}
-		}
+		countLive()
 		return nil
 	}
 
@@ -142,6 +173,11 @@ func runSyncRefScenario(m nfsm.Machine, g0 *graph.Graph, cfg SyncConfig) (*SyncR
 			if !live.Awake(v) {
 				continue
 			}
+			if isByz(v) {
+				// Byzantine node: never runs δ, emits per its behavior.
+				emits[v] = sc.Byzantine[byz[v]].Emit(round, nl)
+				continue
+			}
 			q := states[v]
 			moves := m.Moves(q, cnt.counts(q, ports[v]))
 			if len(moves) == 0 {
@@ -158,21 +194,60 @@ func runSyncRefScenario(m nfsm.Machine, g0 *graph.Graph, cfg SyncConfig) (*SyncR
 			states[v] = mv.Next
 			emits[v] = mv.Emit
 		}
+		// Channel-deferred deliveries land before the round's own
+		// traffic; see runSyncScenario.
+		if model != nil && len(pend) > 0 {
+			keep := pend[:0]
+			for _, pd := range pend {
+				if pd.due != round {
+					keep = append(keep, pd)
+					continue
+				}
+				if i := g.PortOf(int(pd.to), int(pd.from)); i >= 0 {
+					ports[pd.to][i] = pd.letter
+				} else {
+					res.Severed++ // edge removed before the due round
+				}
+			}
+			pend = keep
+		}
 		for v := 0; v < n; v++ {
 			l := emits[v]
 			if l == nfsm.NoLetter {
 				continue
 			}
 			res.Transmissions++
+			if model == nil {
+				for i, u := range g.Neighbors(v) {
+					ports[u][topo.rev[v][i]] = l
+				}
+				continue
+			}
 			for i, u := range g.Neighbors(v) {
-				ports[u][topo.rev[v][i]] = l
+				chBuf = channel.Expand(model, v, round, u, l, nl, chBuf, &chStats)
+				for _, f := range chBuf {
+					delay := int(math.Ceil(f.Extra))
+					if reorders {
+						key := uint64(uint32(v))<<32 | uint64(uint32(u))
+						if due := round + delay; due < horizon[key] {
+							res.Reordered++
+						} else {
+							horizon[key] = due
+						}
+					}
+					if delay == 0 {
+						ports[u][topo.rev[v][i]] = f.Letter
+					} else {
+						pend = append(pend, syncPend{due: round + delay, from: int32(v), to: int32(u), letter: f.Letter})
+					}
+				}
 			}
 		}
 
 		if cfg.Observer != nil {
 			cfg.Observer(round, states)
 		}
-		if nextBatch == len(sc.Batches) && outputs == live.NumAwake() {
+		if nextBatch == len(sc.Batches) && outputs == target() {
 			stable++
 		} else {
 			stable = 0
@@ -182,6 +257,7 @@ func runSyncRefScenario(m nfsm.Machine, g0 *graph.Graph, cfg SyncConfig) (*SyncR
 			if len(res.PerturbedAt) > 0 {
 				res.RecoveryRounds = round - lastPerturb
 			}
+			res.Dropped, res.Duplicated, res.Corrupted = chStats.Dropped, chStats.Duplicated, chStats.Corrupted
 			return res, nil
 		}
 	}

@@ -3,14 +3,17 @@ package engine_test
 // The standing fuzz wall: go-native fuzz targets that extend the
 // differential suites of diff_test.go and dynamic_test.go from fixed
 // case matrices to arbitrary machines, graphs, scenarios and seeds.
-// Each target decodes a small single-query protocol, a random graph
-// and a random dynamic-network scenario (edge churn, crashes and
-// restarts, staggered wake-up, every reset policy) from the fuzz
+// Each target decodes a small single-query protocol, a random graph,
+// a random dynamic-network scenario (edge churn, crashes and
+// restarts, staggered wake-up, every reset policy) and a random
+// unreliable-channel configuration (quantized loss/duplication/
+// reordering/corruption rates plus Byzantine node sets) from the fuzz
 // input — correct by construction, so every input exercises the
 // engines — and demands that the compiled executors (RunSync at
 // several worker counts, RunAsync) stay byte-identical to the
 // reference engines (RunSyncRef / RunAsyncRef), including recovery
-// metrics, perturbation logs and budget-exhaustion errors.
+// metrics, channel counters, perturbation logs and budget-exhaustion
+// errors.
 //
 // Run continuously with
 //
@@ -22,6 +25,7 @@ package engine_test
 import (
 	"testing"
 
+	"stoneage/internal/channel"
 	"stoneage/internal/engine"
 	"stoneage/internal/graph"
 	"stoneage/internal/nfsm"
@@ -212,6 +216,47 @@ func fuzzScenario(r *fuzzReader, g *graph.Graph) *scenario.Scenario {
 	return sc
 }
 
+// fuzzChannel decodes a random but valid unreliable-channel
+// configuration: a quantized channel.Def (rates off a small grid, so
+// the interesting regimes — reliable, moderately lossy, total loss —
+// all appear) plus a Byzantine node set over the machine's alphabet.
+// Roughly half of all inputs decode no channel at all, keeping the
+// reliable fast path under fuzz too.
+func fuzzChannel(r *fuzzReader, g *graph.Graph, nl int, seed uint64) (channel.Model, []channel.ByzNode) {
+	if r.byte()%2 == 0 {
+		return nil, nil
+	}
+	def := channel.Def{
+		Drop:    []float64{0, 0.25, 0.5, 1}[r.byte()%4],
+		Dup:     []float64{0, 0.5}[r.byte()%2],
+		Reorder: []float64{0, 0.5, 2}[r.byte()%3],
+		Corrupt: []float64{0, 0.25}[r.byte()%2],
+	}
+	if def.Dup > 0 {
+		def.DupMax = 2 + int(r.byte())%3 // 2..4
+	}
+	if err := def.Validate(); err != nil {
+		panic("fuzzChannel built an invalid def: " + err.Error())
+	}
+	var byz []channel.ByzNode
+	if r.byte()%2 == 0 {
+		for v := 0; v < g.N(); v++ {
+			if r.byte()%16 != 0 {
+				continue
+			}
+			switch r.byte() % 3 {
+			case 0:
+				byz = append(byz, channel.Silent(v))
+			case 1:
+				byz = append(byz, channel.StuckAt(v, nfsm.Letter(int(r.byte())%nl)))
+			default:
+				byz = append(byz, channel.RandomBabbler(v, seed+uint64(v)))
+			}
+		}
+	}
+	return def.Model(seed), byz
+}
+
 func fuzzSeeds(f *testing.F) {
 	f.Add(uint64(1), uint64(2), []byte{})
 	f.Add(uint64(3), uint64(4), []byte{7, 1, 2, 200, 13, 5, 0, 99, 3})
@@ -225,6 +270,13 @@ func fuzzSeeds(f *testing.F) {
 	f.Add(uint64(8), uint64(80), []byte{4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4})
 	f.Add(uint64(9), uint64(90), []byte{104, 4, 54, 204, 4, 154, 4, 14, 4, 64, 4, 114, 4})
 	f.Add(uint64(10), uint64(100), []byte{49, 99, 149, 199, 249, 44, 94, 144, 194, 244, 39, 89, 139})
+	// Channel-heavy inputs: odd first-draw parity at the fuzzChannel
+	// decision point plus varied rate bytes, so the seed corpus already
+	// exercises loss, duplication, reordering, corruption and Byzantine
+	// sets against both engines.
+	f.Add(uint64(13), uint64(130), []byte{1, 3, 5, 7, 9, 11, 13, 15, 0, 16, 32, 48, 64, 80, 96})
+	f.Add(uint64(14), uint64(140), []byte{2, 1, 3, 1, 2, 1, 0, 0, 16, 0, 16, 0, 16, 0, 16, 0})
+	f.Add(uint64(15), uint64(150), []byte{255, 1, 127, 63, 31, 15, 7, 3, 1, 0, 0, 0, 16, 16, 16})
 }
 
 // FuzzDifferentialSync fuzzes RunSync (compiled, workers ∈ {1, 3})
@@ -239,11 +291,13 @@ func FuzzDifferentialSync(f *testing.F) {
 		}
 		g := fuzzGraph(r, gseed)
 		sc := fuzzScenario(r, g)
+		model, byz := fuzzChannel(r, g, m.NumLetters(), seed+17)
+		sc.Byzantine = byz
 		const maxRounds = 64
 
-		ref, refErr := engine.RunSyncRef(m, g, engine.SyncConfig{Seed: seed, MaxRounds: maxRounds, Scenario: sc})
+		ref, refErr := engine.RunSyncRef(m, g, engine.SyncConfig{Seed: seed, MaxRounds: maxRounds, Scenario: sc, Channel: model})
 		for _, workers := range []int{1, 3} {
-			got, gotErr := engine.Compile(m, g).RunSync(engine.SyncConfig{Seed: seed, MaxRounds: maxRounds, Workers: workers, Scenario: sc})
+			got, gotErr := engine.Compile(m, g).RunSync(engine.SyncConfig{Seed: seed, MaxRounds: maxRounds, Workers: workers, Scenario: sc, Channel: model})
 			if refErr != nil || gotErr != nil {
 				if refErr == nil || gotErr == nil || refErr.Error() != gotErr.Error() {
 					t.Fatalf("workers=%d error mismatch:\nreference: %v\ncompiled:  %v", workers, refErr, gotErr)
@@ -254,6 +308,13 @@ func FuzzDifferentialSync(f *testing.F) {
 				t.Fatalf("workers=%d: (rounds, tx, recovery) = (%d, %d, %d), reference (%d, %d, %d)",
 					workers, got.Rounds, got.Transmissions, got.RecoveryRounds,
 					ref.Rounds, ref.Transmissions, ref.RecoveryRounds)
+			}
+			if got.Dropped != ref.Dropped || got.Duplicated != ref.Duplicated ||
+				got.Reordered != ref.Reordered || got.Corrupted != ref.Corrupted ||
+				got.Severed != ref.Severed {
+				t.Fatalf("workers=%d: channel counters (%d,%d,%d,%d,%d), reference (%d,%d,%d,%d,%d)",
+					workers, got.Dropped, got.Duplicated, got.Reordered, got.Corrupted, got.Severed,
+					ref.Dropped, ref.Duplicated, ref.Reordered, ref.Corrupted, ref.Severed)
 			}
 			if len(got.PerturbedAt) != len(ref.PerturbedAt) {
 				t.Fatalf("workers=%d: %d perturbations, reference %d",
@@ -298,6 +359,8 @@ func FuzzDifferentialAsync(f *testing.F) {
 		}
 		g := fuzzGraph(r, gseed)
 		sc := fuzzScenario(r, g)
+		model, byz := fuzzChannel(r, g, m.NumLetters(), seed+17)
+		sc.Byzantine = byz
 		// overwriter joins the pool deliberately: its two-orders-of-
 		// magnitude speed skew creates exactly the re-queue storms the
 		// ladder queue's parking fast path absorbs, so the differential
@@ -307,8 +370,8 @@ func FuzzDifferentialAsync(f *testing.F) {
 		const maxSteps = 1 << 12
 
 		mkAdv := func() engine.Adversary { return engine.NamedAdversaries(seed + 5)[advName] }
-		ref, refErr := engine.RunAsyncRef(m, g, engine.AsyncConfig{Seed: seed, Adversary: mkAdv(), MaxSteps: maxSteps, Scenario: sc})
-		got, gotErr := engine.RunAsync(m, g, engine.AsyncConfig{Seed: seed, Adversary: mkAdv(), MaxSteps: maxSteps, Scenario: sc})
+		ref, refErr := engine.RunAsyncRef(m, g, engine.AsyncConfig{Seed: seed, Adversary: mkAdv(), MaxSteps: maxSteps, Scenario: sc, Channel: model})
+		got, gotErr := engine.RunAsync(m, g, engine.AsyncConfig{Seed: seed, Adversary: mkAdv(), MaxSteps: maxSteps, Scenario: sc, Channel: model})
 		if refErr != nil || gotErr != nil {
 			if refErr == nil || gotErr == nil || refErr.Error() != gotErr.Error() {
 				t.Fatalf("error mismatch:\nreference: %v\ncompiled:  %v", refErr, gotErr)
@@ -332,6 +395,13 @@ func FuzzDifferentialAsync(f *testing.F) {
 		if got.Steps != ref.Steps || got.Transmissions != ref.Transmissions || got.Lost != ref.Lost {
 			t.Fatalf("(Steps, Tx, Lost) = (%d, %d, %d), reference (%d, %d, %d)",
 				got.Steps, got.Transmissions, got.Lost, ref.Steps, ref.Transmissions, ref.Lost)
+		}
+		if got.Dropped != ref.Dropped || got.Duplicated != ref.Duplicated ||
+			got.Reordered != ref.Reordered || got.Corrupted != ref.Corrupted ||
+			got.Severed != ref.Severed {
+			t.Fatalf("channel counters (%d,%d,%d,%d,%d), reference (%d,%d,%d,%d,%d)",
+				got.Dropped, got.Duplicated, got.Reordered, got.Corrupted, got.Severed,
+				ref.Dropped, ref.Duplicated, ref.Reordered, ref.Corrupted, ref.Severed)
 		}
 		for v := range ref.States {
 			if got.States[v] != ref.States[v] {

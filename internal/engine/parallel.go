@@ -43,7 +43,7 @@ func (p *Program) RunSync(cfg SyncConfig) (*SyncResult, error) {
 // goroutine and parallelize across trials instead, which is what the
 // campaign runner does.
 func (p *Program) RunSyncReusing(cfg SyncConfig, scr *Scratch) (*SyncResult, error) {
-	if !cfg.Scenario.Empty() {
+	if !cfg.Scenario.Empty() || cfg.Channel != nil {
 		return p.runSyncScenario(cfg, scr)
 	}
 	if scr == nil {

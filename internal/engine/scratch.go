@@ -1,6 +1,9 @@
 package engine
 
-import "stoneage/internal/nfsm"
+import (
+	"stoneage/internal/channel"
+	"stoneage/internal/nfsm"
+)
 
 // Scratch is a reusable per-execution arena. A run needs per-node and
 // per-directed-edge working state — port letters, count aggregates,
@@ -61,6 +64,10 @@ type asyncScratch struct {
 	// v's lengths for steps stepFrom[v]..stepFrom[v]+stepLenBatch-1.
 	stepLens []float64
 	stepFrom []int
+
+	// chBuf is the channel-model fate expansion buffer (channel runs
+	// only; the zero-model fast path never touches it).
+	chBuf []channel.Fate
 
 	// walkCap is the per-node adaptive chain-walk window: opened fully
 	// once a checkpoint is reached undisturbed, reset to the minimum

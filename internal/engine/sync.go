@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 
+	"stoneage/internal/channel"
 	"stoneage/internal/graph"
 	"stoneage/internal/nfsm"
 	"stoneage/internal/scenario"
@@ -43,6 +44,14 @@ type SyncConfig struct {
 	// and reports recovery metrics. Nil or empty scenarios take the
 	// unchanged static path.
 	Scenario *scenario.Scenario
+	// Channel, when non-nil, subjects every transmission to an
+	// unreliable-link model, realized as a per-round port filter: each
+	// per-neighbor copy is expanded through the model into zero or more
+	// delivered fates (dropped, duplicated, corrupted, or — for a
+	// reordering model — delayed by whole rounds; see package channel).
+	// Channel runs are sequential like dynamic runs; a nil Channel is
+	// the unchanged path.
+	Channel channel.Model
 }
 
 // SyncResult reports a completed synchronous run.
@@ -68,6 +77,18 @@ type SyncResult struct {
 	// graph any output validator must be checked against. Nil for
 	// static runs (the input graph is the final graph).
 	FinalGraph *graph.Graph
+
+	// Channel-model bookkeeping (all zero when no model is configured).
+	// Dropped, Duplicated and Corrupted count the model's per-copy
+	// decisions; Reordered counts deliveries scheduled for an earlier
+	// round than an already-scheduled one on the same directed edge;
+	// Severed counts delayed deliveries whose edge was removed before
+	// their due round.
+	Dropped    int64
+	Duplicated int64
+	Reordered  int64
+	Corrupted  int64
+	Severed    int64
 }
 
 // RunSync executes machine m on graph g in a locally synchronous
@@ -92,7 +113,7 @@ func RunSync(m nfsm.Machine, g *graph.Graph, cfg SyncConfig) (*SyncResult, error
 // as the oracle the compiled executor is differentially tested against;
 // use RunSync everywhere else.
 func RunSyncRef(m nfsm.Machine, g *graph.Graph, cfg SyncConfig) (*SyncResult, error) {
-	if !cfg.Scenario.Empty() {
+	if !cfg.Scenario.Empty() || cfg.Channel != nil {
 		return runSyncRefScenario(m, g, cfg)
 	}
 	n := g.N()

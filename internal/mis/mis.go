@@ -145,6 +145,10 @@ type SyncRun struct {
 var desc = protocol.Register(&protocol.Descriptor{
 	Name:    "mis",
 	Summary: "maximal independent set — the 7-state tournament of Figure 1 (Section 4)",
+	// Duplication is invisible to an overwrite-only port under FIFO
+	// delivery (TestSyncChannelDupTolerated); the tournament handshake
+	// does not survive loss, reordering or Byzantine silence.
+	Caps:    protocol.CapToleratesDup,
 	Machine: func(protocol.Args) (*nfsm.RoundProtocol, error) { return Protocol(), nil },
 	Decode: func(_ protocol.Args, states []nfsm.State) (protocol.Output, error) {
 		inSet, err := Extract(states)

@@ -1,0 +1,142 @@
+package protocol_test
+
+// Protocol-layer contract of the unreliable-channel axis: channel
+// models and Byzantine sets thread through SyncConfig/AsyncConfig into
+// the engines, the Run surfaces the event counters and the Byzantine
+// node list, CheckRun validates on the honest-induced subgraph, and
+// bespoke engines reject channels statically.
+
+import (
+	"strings"
+	"testing"
+
+	"stoneage/internal/channel"
+	"stoneage/internal/graph"
+	"stoneage/internal/protocol"
+	"stoneage/internal/scenario"
+	"stoneage/internal/xrand"
+)
+
+// TestRunSyncChannelCounters checks that a lossy sync run reports its
+// channel interventions on the Run and still validates (ssmis declares
+// loss tolerance; the robustness matrix's sync/loss cell).
+func TestRunSyncChannelCounters(t *testing.T) {
+	d, err := protocol.Lookup("ssmis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.GnpConnected(48, 5.0/48, xrand.New(1))
+	b, err := d.Bind(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := b.RunSync(protocol.SyncConfig{
+		Seed:    3,
+		Channel: channel.Drop{Rate: 0.25, Seed: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Dropped == 0 {
+		t.Error("lossy run reported zero dropped copies")
+	}
+	if run.Duplicated != 0 || run.Corrupted != 0 || run.Reordered != 0 {
+		t.Errorf("drop-only run reported (dup, corrupt, reorder) = (%d, %d, %d)",
+			run.Duplicated, run.Corrupted, run.Reordered)
+	}
+	if len(run.Byzantine) != 0 {
+		t.Errorf("no byzantine nodes configured, run lists %v", run.Byzantine)
+	}
+	if err := b.CheckRun(run); err != nil {
+		t.Errorf("ssmis did not survive 25%% loss: %v", err)
+	}
+}
+
+// TestCheckRunExcludesByzantine checks the validation contract: a
+// Byzantine node is excluded from the output check (its decoded value
+// is arbitrary), while the honest nodes validate on the honest-induced
+// subgraph — and the Run reports exactly the configured node set.
+func TestCheckRunExcludesByzantine(t *testing.T) {
+	d, err := protocol.Lookup("ssmis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Cycle(12)
+	b, err := d.Bind(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &scenario.Scenario{
+		Reset:     scenario.ResetAuto,
+		Byzantine: []channel.ByzNode{channel.Silent(5)},
+	}
+	run, err := b.RunSync(protocol.SyncConfig{Seed: 2, Scenario: sc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Byzantine) != 1 || run.Byzantine[0] != 5 {
+		t.Fatalf("run.Byzantine = %v, want [5]", run.Byzantine)
+	}
+	if err := b.CheckRun(run); err != nil {
+		t.Errorf("honest nodes did not validate with byzantine node excluded: %v", err)
+	}
+	// The full-graph check must NOT be what ran: node 5 never executed
+	// the protocol, so its decoded output is meaningless by contract.
+	if err := b.Check(run.Output); err == nil {
+		t.Log("full-graph check happened to pass; exclusion still verified via CheckRun")
+	}
+}
+
+// TestBespokeRejectsChannel checks the static rejection: bespoke
+// (Solve-hosted) protocols have no engine hook for a channel model, so
+// the runner must fail fast rather than silently run reliably.
+func TestBespokeRejectsChannel(t *testing.T) {
+	d, err := protocol.Lookup("matching")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.Bind(graph.Cycle(8), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = b.RunSync(protocol.SyncConfig{
+		Seed:    1,
+		Channel: channel.Drop{Rate: 0.1, Seed: 2},
+	})
+	if err == nil || !strings.Contains(err.Error(), "unreliable channels unsupported") {
+		t.Fatalf("bespoke engine accepted a channel model: %v", err)
+	}
+}
+
+// TestToleranceCaps checks the declarative metadata: the tolerance
+// capabilities render in Tolerances/TolString and stay disjoint from
+// the execution capabilities in String.
+func TestToleranceCaps(t *testing.T) {
+	d, err := protocol.Lookup("ssmis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tols := d.Caps.Tolerances()
+	want := []string{"loss", "dup", "reorder"}
+	if len(tols) != len(want) {
+		t.Fatalf("ssmis tolerances = %v, want %v", tols, want)
+	}
+	for i := range want {
+		if tols[i] != want[i] {
+			t.Fatalf("ssmis tolerances = %v, want %v", tols, want)
+		}
+	}
+	if s := d.Caps.TolString(); s != "loss,dup,reorder" {
+		t.Errorf("TolString = %q", s)
+	}
+	if strings.Contains(d.Caps.String(), "loss") {
+		t.Errorf("execution capability string %q leaked a tolerance", d.Caps.String())
+	}
+	mis, err := protocol.Lookup("mis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := mis.Caps.TolString(); s != "dup" {
+		t.Errorf("mis TolString = %q", s)
+	}
+}

@@ -58,6 +58,31 @@ const (
 	// it: self-stabilizing protocols run scenarios under
 	// scenario.ResetNone, everything else under scenario.ResetAll.
 	CapSelfStabilizing
+
+	// The CapTolerates* bits below are declarative robustness metadata:
+	// each declares that the protocol's output invariant survives the
+	// named channel pathology (at the rates the robustness matrix pins —
+	// see docs/robustness-matrix.md, where every declared cell is backed
+	// by a named deterministic test). They gate nothing at run time: the
+	// campaign layer records convergence/validity rates under every
+	// channel model regardless, so an undeclared protocol can still be
+	// measured degrading.
+
+	// CapToleratesLoss: converges to a valid output despite independent
+	// message loss (the overwrite-port semantics make a dropped letter
+	// indistinguishable from one overwritten before being read).
+	CapToleratesLoss
+	// CapToleratesDup: valid output despite duplicated deliveries.
+	CapToleratesDup
+	// CapToleratesReorder: valid output despite per-edge reordering.
+	CapToleratesReorder
+	// CapToleratesCorrupt: valid output despite letters flipped in
+	// transit to other valid alphabet letters.
+	CapToleratesCorrupt
+	// CapToleratesByzantine: honest nodes still reach a valid output
+	// (validated on the honest-induced subgraph) despite Byzantine
+	// neighbors emitting arbitrary letters.
+	CapToleratesByzantine
 )
 
 // capNames orders the capability labels for display.
@@ -73,8 +98,42 @@ var capNames = []struct {
 	{CapSelfStabilizing, "self-stabilizing"},
 }
 
+// tolNames orders the tolerance labels for display, separately from
+// capNames so existing capability listings stay stable.
+var tolNames = []struct {
+	cap  Caps
+	name string
+}{
+	{CapToleratesLoss, "loss"},
+	{CapToleratesDup, "dup"},
+	{CapToleratesReorder, "reorder"},
+	{CapToleratesCorrupt, "corrupt"},
+	{CapToleratesByzantine, "byzantine"},
+}
+
 // Has reports whether every capability of f is set.
 func (c Caps) Has(f Caps) bool { return c&f == f }
+
+// Tolerances returns the declared channel-pathology tolerance labels in
+// display order (nil when none are declared).
+func (c Caps) Tolerances() []string {
+	var out []string
+	for _, tn := range tolNames {
+		if c.Has(tn.cap) {
+			out = append(out, tn.name)
+		}
+	}
+	return out
+}
+
+// TolString renders the tolerance set compactly ("-" when empty).
+func (c Caps) TolString() string {
+	l := c.Tolerances()
+	if len(l) == 0 {
+		return "-"
+	}
+	return strings.Join(l, ",")
+}
 
 // List returns the set capability labels in display order.
 func (c Caps) List() []string {
@@ -204,6 +263,18 @@ type Run struct {
 	PerturbedAt []float64
 	Recovery    float64
 	FinalGraph  *graph.Graph
+
+	// Channel-model bookkeeping (all zero for reliable runs); see the
+	// engine result types for exact semantics.
+	Dropped    int64
+	Duplicated int64
+	Reordered  int64
+	Corrupted  int64
+	Severed    int64
+	// Byzantine lists the run's Byzantine node ids (nil when none).
+	// CheckRun validates the output on the honest-induced subgraph —
+	// Byzantine nodes answer to no invariant.
+	Byzantine []int
 }
 
 // Perturbations is the number of mutation batches the run applied.

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 
+	"stoneage/internal/channel"
 	"stoneage/internal/engine"
 	"stoneage/internal/graph"
 	"stoneage/internal/nfsm"
@@ -52,6 +53,10 @@ type SyncConfig struct {
 	// self-stabilizing protocols run under ResetNone, the rest under
 	// ResetAll.
 	Scenario *scenario.Scenario
+	// Channel, when non-nil, subjects every transmission to an
+	// unreliable-link model (engine-hosted protocols only; see package
+	// channel).
+	Channel channel.Model
 }
 
 // AsyncConfig parameterizes an asynchronous protocol run.
@@ -66,6 +71,9 @@ type AsyncConfig struct {
 	// batch times are absolute asynchronous times. ResetAuto resolves
 	// as in SyncConfig.
 	Scenario *scenario.Scenario
+	// Channel, when non-nil, subjects every transmission to an
+	// unreliable-link model (see package channel).
+	Channel channel.Model
 }
 
 // ResolveArgs fills defaults for missing parameters and validates every
@@ -334,6 +342,9 @@ func (b *Bound) RunSyncReusing(cfg SyncConfig, s *Scratch) (*Run, error) {
 		if cfg.Observer != nil {
 			return nil, fmt.Errorf("protocol %s: observer unsupported (bespoke engine)", b.d.Name)
 		}
+		if cfg.Channel != nil {
+			return nil, fmt.Errorf("protocol %s: unreliable channels unsupported (bespoke engine)", b.d.Name)
+		}
 		return b.d.Solve(b.args, b.g, cfg.Seed, cfg.MaxRounds)
 	}
 	prog, err := b.program()
@@ -343,12 +354,16 @@ func (b *Bound) RunSyncReusing(cfg SyncConfig, s *Scratch) (*Run, error) {
 	res, err := prog.RunSyncReusing(engine.SyncConfig{
 		Seed: cfg.Seed, MaxRounds: cfg.MaxRounds,
 		Workers: cfg.Workers, Observer: cfg.Observer,
-		Scenario: sc,
+		Scenario: sc, Channel: cfg.Channel,
 	}, s.engine())
 	if err != nil {
 		return nil, err
 	}
-	out, err := b.d.Decode(b.args, res.States)
+	states, err := b.maskByzStates(res.States, sc)
+	if err != nil {
+		return nil, err
+	}
+	out, err := b.d.Decode(b.args, states)
 	if err != nil {
 		return nil, err
 	}
@@ -360,7 +375,56 @@ func (b *Bound) RunSyncReusing(cfg SyncConfig, s *Scratch) (*Run, error) {
 		Output: out, Rounds: res.Rounds, Transmissions: res.Transmissions,
 		PerturbedAt: perturbed, Recovery: float64(res.RecoveryRounds),
 		FinalGraph: res.FinalGraph,
+		Dropped:    res.Dropped, Duplicated: res.Duplicated, Reordered: res.Reordered,
+		Corrupted: res.Corrupted, Severed: res.Severed,
+		Byzantine: byzNodes(sc),
 	}, nil
+}
+
+// maskByzStates substitutes the machine's first output state at every
+// Byzantine node before decoding. A Byzantine node never runs the
+// protocol, so its engine state is whatever it started in — often not
+// an output state, which a strict Decode rightly rejects. The
+// substituted value is arbitrary by construction; CheckRun restricts
+// validation to the honest-induced subgraph, so it never participates
+// in an invariant.
+func (b *Bound) maskByzStates(states []nfsm.State, sc *scenario.Scenario) ([]nfsm.State, error) {
+	if sc == nil || len(sc.Byzantine) == 0 {
+		return states, nil
+	}
+	m, err := b.d.Machine(b.args)
+	if err != nil {
+		return nil, err
+	}
+	q0 := -1
+	for q, out := range m.Output {
+		if out {
+			q0 = q
+			break
+		}
+	}
+	if q0 < 0 {
+		return nil, fmt.Errorf("protocol %s: machine has no output state", b.d.Name)
+	}
+	masked := append([]nfsm.State(nil), states...)
+	for _, z := range sc.Byzantine {
+		if z.Node >= 0 && z.Node < len(masked) {
+			masked[z.Node] = nfsm.State(q0)
+		}
+	}
+	return masked, nil
+}
+
+// byzNodes extracts the Byzantine node ids of a resolved scenario.
+func byzNodes(sc *scenario.Scenario) []int {
+	if sc == nil || len(sc.Byzantine) == 0 {
+		return nil
+	}
+	out := make([]int, len(sc.Byzantine))
+	for i, b := range sc.Byzantine {
+		out[i] = b.Node
+	}
+	return out
 }
 
 // asyncProgram lazily binds the descriptor's cached synchronizer
@@ -401,12 +465,16 @@ func (b *Bound) RunAsyncReusing(cfg AsyncConfig, s *Scratch) (*Run, error) {
 	}
 	res, err := prog.RunAsyncReusing(engine.AsyncConfig{
 		Seed: cfg.Seed, Adversary: cfg.Adversary, MaxSteps: cfg.MaxSteps,
-		Scenario: sc,
+		Scenario: sc, Channel: cfg.Channel,
 	}, s.engine())
 	if err != nil {
 		return nil, err
 	}
-	out, err := b.d.Decode(b.args, compiled.DecodeStates(res.States))
+	states, err := b.maskByzStates(compiled.DecodeStates(res.States), sc)
+	if err != nil {
+		return nil, err
+	}
+	out, err := b.d.Decode(b.args, states)
 	if err != nil {
 		return nil, err
 	}
@@ -414,6 +482,9 @@ func (b *Bound) RunAsyncReusing(cfg AsyncConfig, s *Scratch) (*Run, error) {
 		Output: out, TimeUnits: res.TimeUnits, Steps: res.Steps, Lost: res.Lost,
 		PerturbedAt: append([]float64(nil), res.PerturbedAt...), Recovery: res.RecoveryTimeUnits,
 		FinalGraph: res.FinalGraph,
+		Dropped:    res.Dropped, Duplicated: res.Duplicated, Reordered: res.Reordered,
+		Corrupted: res.Corrupted, Severed: res.Severed,
+		Byzantine: byzNodes(sc),
 	}, nil
 }
 
@@ -424,13 +495,56 @@ func (b *Bound) Check(out Output) error { return b.d.Check(b.args, b.g, out) }
 // ended on: the post-mutation FinalGraph for dynamic runs, the bound
 // graph for static ones. Every client of dynamic execution must
 // validate through this (checking a churned run against the bind-time
-// topology would be checking the wrong network).
+// topology would be checking the wrong network). Byzantine nodes are
+// excluded: the output is restricted to the honest nodes and checked on
+// the honest-induced subgraph, since no invariant binds a node that
+// never ran the protocol.
 func (b *Bound) CheckRun(run *Run) error {
 	g := b.g
 	if run.FinalGraph != nil {
 		g = run.FinalGraph
 	}
-	return b.d.Check(b.args, g, run.Output)
+	if len(run.Byzantine) == 0 {
+		return b.d.Check(b.args, g, run.Output)
+	}
+	keep := make([]bool, g.N())
+	for i := range keep {
+		keep[i] = true
+	}
+	for _, v := range run.Byzantine {
+		if v >= 0 && v < len(keep) {
+			keep[v] = false
+		}
+	}
+	sub, orig := g.InducedSubgraph(keep)
+	out, err := restrictOutput(run.Output, orig)
+	if err != nil {
+		return fmt.Errorf("protocol %s: %w", b.d.Name, err)
+	}
+	return b.d.Check(b.args, sub, out)
+}
+
+// restrictOutput projects an output onto the honest node set (orig maps
+// subgraph ids to original ids). Only per-node outputs with no
+// cross-node references restrict soundly; a matching's Mate entries
+// point at original ids, so Byzantine exclusion is not supported there.
+func restrictOutput(out Output, orig []int) (Output, error) {
+	switch o := out.(type) {
+	case Mask:
+		sub := make(Mask, len(orig))
+		for i, v := range orig {
+			sub[i] = o[v]
+		}
+		return sub, nil
+	case Colors:
+		sub := make(Colors, len(orig))
+		for i, v := range orig {
+			sub[i] = o[v]
+		}
+		return sub, nil
+	default:
+		return nil, fmt.Errorf("byzantine validation unsupported for output type %T", out)
+	}
 }
 
 // Mutate returns a corrupted copy of out that Check must reject.

@@ -17,6 +17,7 @@ import (
 	"math"
 	"sort"
 
+	"stoneage/internal/channel"
 	"stoneage/internal/graph"
 )
 
@@ -140,12 +141,18 @@ type Scenario struct {
 	Reset ResetPolicy `json:"reset,omitempty"`
 	// Batches is the mutation schedule, sorted by non-decreasing At.
 	Batches []Batch `json:"batches"`
+	// Byzantine lists faulty nodes and their wire behaviors: such a node
+	// never executes its machine, emits its behavior's letter at every
+	// step, and is excluded from output detection and validation (see
+	// channel.ByzNode). Only the dynamic executors host Byzantine nodes,
+	// so a scenario with them is never Empty.
+	Byzantine []channel.ByzNode `json:"byzantine,omitempty"`
 }
 
 // Empty reports whether the scenario perturbs nothing; engines route
 // empty (or nil) scenarios through the unchanged static execution path.
 func (s *Scenario) Empty() bool {
-	return s == nil || (len(s.Batches) == 0 && len(s.Asleep) == 0)
+	return s == nil || (len(s.Batches) == 0 && len(s.Asleep) == 0 && len(s.Byzantine) == 0)
 }
 
 // LastAt returns the time of the final batch (0 when there is none).
@@ -187,6 +194,21 @@ func (s *Scenario) Validate(g *graph.Graph) error {
 		}
 		seen[v] = true
 		status[v] = statusAsleep
+	}
+	byz := make(map[int]bool, len(s.Byzantine))
+	for _, b := range s.Byzantine {
+		if b.Node < 0 || b.Node >= n {
+			return fmt.Errorf("scenario %s: byzantine node %d out of range [0,%d)", s.Name, b.Node, n)
+		}
+		if byz[b.Node] {
+			return fmt.Errorf("scenario %s: duplicate byzantine node %d", s.Name, b.Node)
+		}
+		byz[b.Node] = true
+		// Alphabet-dependent checks (stuck letters in range) happen in
+		// the engines, which know the protocol's alphabet size.
+		if b.Behavior != channel.BehaviorSilent && b.Behavior != channel.BehaviorStuck && b.Behavior != channel.BehaviorBabble {
+			return fmt.Errorf("scenario %s: byzantine node %d has unknown behavior %q", s.Name, b.Node, b.Behavior)
+		}
 	}
 	sim := g.Clone()
 	prev := math.Inf(-1)

@@ -114,11 +114,17 @@ func Extract(states []nfsm.State) (protocol.Mask, error) {
 // desc self-registers the protocol with the SelfStabilizing capability:
 // the dynamic execution layer runs its scenarios under
 // scenario.ResetNone, and campaigns can compare its churn recovery
-// against the restart-based recovery of the paper's mis.
+// against the restart-based recovery of the paper's mis. The tolerance
+// capabilities record what the robustness matrix's named tests verify:
+// continuous claim/backoff survives message loss and bounded
+// reordering on the sync engine (a lost claim is re-sent, a stale one
+// is re-overwritten), and duplication everywhere (copies land
+// back-to-back on an overwrite-only port).
 var desc = protocol.Register(&protocol.Descriptor{
 	Name:    "ssmis",
 	Summary: "self-stabilizing MIS — continuous claim/backoff, recovers from churn with no reset",
-	Caps:    protocol.CapSelfStabilizing,
+	Caps: protocol.CapSelfStabilizing |
+		protocol.CapToleratesLoss | protocol.CapToleratesDup | protocol.CapToleratesReorder,
 	Machine: func(protocol.Args) (*nfsm.RoundProtocol, error) { return Protocol(), nil },
 	Decode: func(_ protocol.Args, states []nfsm.State) (protocol.Output, error) {
 		return Extract(states)
