@@ -20,7 +20,9 @@ test:
 # names every registered sweepable protocol, the dynamic-network
 # recovery sweep, and the unreliable-channel robustness sweep (trials
 # cut down for speed; every trial's output is still validated against
-# its final graph, with Byzantine nodes excluded).
+# its final graph, with Byzantine nodes excluded). The lossy spec
+# carries the engine axis, so the gate exercises the sync engine, the
+# α synchronizer and the loss-tolerant αβ hybrid on every channel.
 check: build
 	@fmt_out="$$(gofmt -l .)"; if [ -n "$$fmt_out" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
@@ -34,15 +36,16 @@ check: build
 	go run ./cmd/stonesim sweep -spec examples/specs/lossy-mis.json -q -trials 4
 	@echo "check: OK"
 
-# bench regenerates BENCH_5.json from the tracked benchmark set
-# (E1 MIS sync, E2 MIS async, E3 synchronizer overhead, E5 tree
-# coloring, E9 nFSM-simulates-LBA, the engine ref-vs-compiled and
-# per-step ablations, the campaign sweep, and the registry-generated
-# protocol matrix), with -benchmem, then diffs ns/op against the
-# previous BENCH_N.json and warns on >15% regressions. Override the
-# output file or iteration count with BENCH_OUT / BENCH_TIME, the
-# comparison baseline with BENCH_PREV (BENCH_PREV=none skips it).
-BENCH_OUT ?= BENCH_6.json
+# bench regenerates BENCH_7.json from the tracked benchmark set
+# (E1 MIS sync, E2 MIS async, E3 synchronizer overhead, the αβ
+# tolerant-synchronizer overhead, E5 tree coloring, E9
+# nFSM-simulates-LBA, the engine ref-vs-compiled and per-step
+# ablations, the campaign sweep, and the registry-generated protocol
+# matrix), with -benchmem, then diffs ns/op against the previous
+# BENCH_N.json and warns on >15% regressions. Override the output file
+# or iteration count with BENCH_OUT / BENCH_TIME, the comparison
+# baseline with BENCH_PREV (BENCH_PREV=none skips it).
+BENCH_OUT ?= BENCH_7.json
 BENCH_TIME ?= 20x
 
 bench:

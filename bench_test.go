@@ -153,6 +153,56 @@ func BenchmarkSynchronizerOverhead(b *testing.B) {
 	})
 }
 
+// BenchmarkTolerantSynchroOverhead measures the αβ-hybrid tax: the
+// loss-tolerant compilation vs the plain α synchronizer on a reliable
+// channel, run the way trials run in anger — the protocol bound once
+// (each compilation cached in its own registry slot) and a scratch
+// arena reused across runs. The tolerant machine never fires a
+// re-pulse here (no loss), but its stall states tick timers instead of
+// self-looping in place, so it pays real time units; the reported
+// ratio is that overhead, and the ns/op comparison against the alpha
+// sub-benchmark rides the bench-compare gate.
+func BenchmarkTolerantSynchroOverhead(b *testing.B) {
+	g := graph.GnpConnected(48, 4.0/48, xrand.New(4))
+	d, err := protocol.Lookup("mis")
+	if err != nil {
+		b.Fatal(err)
+	}
+	bound, err := d.Bind(g, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	adv := engine.NamedAdversaries(9)["uniform"]
+	alphaTU := 0.0
+	for _, variant := range []struct {
+		name    string
+		synchro string
+	}{
+		{"alpha", ""},
+		{"tolerant", protocol.SynchroTolerant},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			scratch := protocol.NewScratch()
+			tu := 0.0
+			for i := 0; i < b.N; i++ {
+				run, err := bound.RunAsyncReusing(protocol.AsyncConfig{
+					Seed: uint64(i), Adversary: adv, Synchro: variant.synchro,
+				}, scratch)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tu = run.TimeUnits
+			}
+			b.ReportMetric(tu, "TU")
+			if variant.name == "alpha" {
+				alphaTU = tu
+			} else if alphaTU > 0 {
+				b.ReportMetric(tu/alphaTU, "TU-ratio-vs-alpha")
+			}
+		})
+	}
+}
+
 // BenchmarkMultiLetterExpansion is E4: the Theorem 3.4 subround factor.
 func BenchmarkMultiLetterExpansion(b *testing.B) {
 	g := graph.GnpConnected(64, 4.0/64, xrand.New(5))

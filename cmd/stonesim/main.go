@@ -28,7 +28,11 @@
 // Engines: sync (locally synchronous) or async (compiled through the
 // Theorem 3.1/3.4 synchronizer, with -adversary
 // sync|uniform|skew|overwriter|drift); sync-only protocols (bespoke
-// engines) reject -engine async.
+// engines) reject -engine async. Under -engine async, -synchro selects
+// the compilation: alpha (the paper's α-synchronizer, default) or
+// tolerant (the loss-tolerant αβ hybrid, which re-pulses the current
+// generation on a bounded stall timeout and survives lossy channels —
+// e.g. `-engine async -synchro tolerant -channel '{"drop":0.1}'`).
 //
 // The -scenario flag makes a single run dynamic: a scenario.Def as
 // JSON (one-shot region crash, Poisson edge churn, staggered wake-up)
@@ -92,6 +96,7 @@ type options struct {
 	seed      uint64
 	eng       string
 	adversary string
+	synchro   string
 	word      string
 	traceCSV  string
 	workers   int
@@ -142,6 +147,8 @@ func run(args []string, w io.Writer) error {
 	fs.Uint64Var(&opt.seed, "seed", 1, "random seed")
 	fs.StringVar(&opt.eng, "engine", "sync", "sync | async")
 	fs.StringVar(&opt.adversary, "adversary", "uniform", "async adversary policy")
+	fs.StringVar(&opt.synchro, "synchro", "alpha",
+		"async synchronizer: alpha (Theorem 3.1/3.4) | tolerant (loss-tolerant αβ hybrid)")
 	fs.StringVar(&opt.word, "word", "abc", "input word for the lba protocols")
 	fs.StringVar(&opt.traceCSV, "trace", "", "write a per-round state histogram CSV to this file (sync engine, engine-hosted protocols only)")
 	fs.IntVar(&opt.workers, "workers", 0, "sync round-loop workers (0 = GOMAXPROCS); results are identical for every value")
@@ -243,18 +250,21 @@ func runProtocol(opt options, d *protocol.Descriptor, g *graph.Graph, w io.Write
 			if err != nil {
 				return err
 			}
-			if run, err = bound.RunAsyncReusing(protocol.AsyncConfig{Seed: seed, Adversary: adv, Scenario: sc, Channel: model}, scratch); err != nil {
+			if run, err = bound.RunAsyncReusing(protocol.AsyncConfig{
+				Seed: seed, Adversary: adv, Scenario: sc, Channel: model,
+				Synchro: opt.synchro,
+			}, scratch); err != nil {
 				return err
 			}
-			fmt.Fprintf(w, "%s%s: %.1f time units, %d steps, %d lost messages (adversary %s)\n",
-				label, d.Name, run.TimeUnits, run.Steps, run.Lost, opt.adversary)
+			fmt.Fprintf(w, "%s%s: %.1f time units, %d steps, %d lost messages (adversary %s, synchro %s)\n",
+				label, d.Name, run.TimeUnits, run.Steps, run.Lost, opt.adversary, opt.synchro)
 		default:
 			return fmt.Errorf("unknown engine %q", opt.eng)
 		}
 	}
 	if model != nil || len(byz) > 0 {
-		fmt.Fprintf(w, "channel: %d dropped, %d duplicated, %d reordered, %d corrupted, %d severed; %d byzantine nodes\n",
-			run.Dropped, run.Duplicated, run.Reordered, run.Corrupted, run.Severed, len(run.Byzantine))
+		fmt.Fprintf(w, "channel: %d dropped, %d duplicated, %d delayed, %d reordered, %d corrupted, %d severed; %d byzantine nodes\n",
+			run.Dropped, run.Duplicated, run.Delayed, run.Reordered, run.Corrupted, run.Severed, len(run.Byzantine))
 	}
 	if run.Perturbations() > 0 {
 		unit := "rounds"

@@ -296,7 +296,7 @@ func TestSweepSubcommand(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.HasPrefix(string(csvData), "protocol,scenario,channel,family,size,") {
+	if !strings.HasPrefix(string(csvData), "protocol,engine,scenario,channel,family,size,") {
 		t.Fatalf("sweep CSV header = %.80q", csvData)
 	}
 	if got := strings.Count(strings.TrimSpace(string(csvData)), "\n"); got != 4 {
@@ -379,6 +379,43 @@ func TestChannelFlag(t *testing.T) {
 	if out := runCLIErr(t, "-protocol", "mis", "-graph", "gnp", "-n", "16",
 		"-channel", `{"dorp":0.1}`); !strings.Contains(out, "unknown field") {
 		t.Fatalf("unknown-field channel error = %q", out)
+	}
+}
+
+// TestByzChannelWithScenario pins the flag combination the channel and
+// scenario layers share: a byz-only -channel must merge its Byzantine
+// nodes into the user's -scenario rather than clobbering it (or being
+// clobbered), so the run is simultaneously dynamic and Byzantine.
+func TestByzChannelWithScenario(t *testing.T) {
+	out := runCLI(t, "-protocol", "ssmis", "-graph", "gnp", "-n", "48", "-seed", "5",
+		"-scenario", `{"kind":"churn","rate":2,"count":2,"every":16}`,
+		"-channel", `{"byz":[{"behavior":"silent","frac":0.1}]}`)
+	for _, want := range []string{"dynamic: 2 perturbations", "5 byzantine nodes", "valid MIS"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("byz+scenario run output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTolerantSynchroFlag runs the loss-tolerant αβ hybrid from the
+// command line: mis under 10% loss converges with -synchro tolerant
+// (the plain α compilation deadlocks there — TestTolerantSurvivesLoss
+// pins that at the synchro layer), and an unknown synchronizer name is
+// rejected.
+func TestTolerantSynchroFlag(t *testing.T) {
+	out := runCLI(t, "-protocol", "mis", "-graph", "cycle", "-n", "16", "-seed", "41",
+		"-engine", "async", "-synchro", "tolerant", "-channel", `{"drop":0.1}`)
+	for _, want := range []string{"synchro tolerant", "valid MIS", "dropped"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("tolerant run output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, " 0 dropped") {
+		t.Fatalf("10%% drop run dropped nothing:\n%s", out)
+	}
+	if out := runCLIErr(t, "-protocol", "mis", "-graph", "cycle", "-n", "8",
+		"-engine", "async", "-synchro", "bogus"); !strings.Contains(out, "unknown synchronizer") {
+		t.Fatalf("bad synchro error = %q", out)
 	}
 }
 

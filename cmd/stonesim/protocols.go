@@ -32,7 +32,7 @@ func runProtocols(args []string, w io.Writer) error {
 		Header: []string{"protocol", "capabilities", "tolerates", "parameters", "summary"},
 	}
 	for _, d := range protocol.All() {
-		t.AddRow(d.Name, d.Caps.String(), d.Caps.TolString(), paramDomains(d), d.Summary)
+		t.AddRow(d.Name, d.Caps.String(), d.TolString(), paramDomains(d), d.Summary)
 	}
 	return t.Render(w)
 }
@@ -66,7 +66,7 @@ func writeProtocolsJSON(w io.Writer) error {
 		if caps == nil {
 			caps = []string{}
 		}
-		tols := d.Caps.Tolerances()
+		tols := d.Tolerances()
 		if tols == nil {
 			tols = []string{}
 		}

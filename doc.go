@@ -13,8 +13,9 @@
 // asynchronous scheduler (a ladder event queue with pooled per-edge
 // delivery FIFOs and silent-chain parking that replays skipped steps
 // bit-identically to the reference engine), the campaign layer, the
-// protocol registry, the dynamic-network layer and the
-// unreliable-channel axis, BENCH_6.json for
+// protocol registry, the dynamic-network layer, the
+// unreliable-channel axis and the loss-tolerant αβ synchronizer,
+// BENCH_7.json for
 // the tracked benchmark measurements (regenerate with `make bench`,
 // which also warns on >15% ns/op regressions against the previous
 // snapshot — in CI the warnings become workflow annotations), and
@@ -52,9 +53,16 @@
 // expansion helper), plus Byzantine node behaviors (silent, stuck-at,
 // babbling) that replace a node's machine and are excluded from output
 // validation on the honest-induced subgraph. Protocols declare measured
-// tolerances as capabilities (`stonesim protocols` prints them);
-// docs/robustness-matrix.md records which protocol survives, degrades
-// or breaks under each pathology and names the test behind each cell.
+// tolerances as capabilities with window bounds where relevant
+// (`stonesim protocols` prints them); docs/robustness-matrix.md records
+// which protocol survives, degrades or breaks under each pathology and
+// names the test behind each cell. For lossy links the async engine
+// offers a second compilation mode: the loss-tolerant αβ hybrid
+// synchronizer (internal/synchro CompileTolerant) re-pulses the current
+// generation's letter after a bounded stall timeout, turning the
+// α-synchronizer's loss deadlock into mere delay — select it with
+// `stonesim -engine async -synchro tolerant` or a campaign `engines`
+// axis (sync | async | async-tolerant).
 //
 // Statistical claims are measured as campaigns: internal/campaign runs
 // the declarative cross product protocol × scenario × graph family ×

@@ -16,9 +16,13 @@ import (
 )
 
 // CellResult aggregates the Trials runs of one
-// (protocol, scenario, channel, family, size) cell.
+// (protocol, engine, scenario, channel, family, size) cell.
 type CellResult struct {
 	Protocol string `json:"protocol"`
+	// Engine names the cell's execution engine (sync, async or
+	// async-tolerant); empty when the spec runs a single implicit
+	// engine, so pre-axis results are unchanged.
+	Engine string `json:"engine,omitempty"`
 	// Scenario names the cell's dynamic-network scenario; empty for the
 	// static axis.
 	Scenario string `json:"scenario,omitempty"`
@@ -64,10 +68,15 @@ type CellResult struct {
 	// aggregates below summarize converged trials only.
 	ConvergedRate float64 `json:"convergedRate"`
 	ValidRate     float64 `json:"validRate"`
-	// Dropped/Duplicated/Reordered/Corrupted aggregate the per-trial
-	// channel-model event counts (all zero on the reliable axis).
+	// Dropped/Duplicated/Delayed/Reordered/Corrupted aggregate the
+	// per-trial channel-model event counts (all zero on the reliable
+	// axis). Delayed counts attempted reorders (copies assigned extra
+	// delay); Reordered counts the attempts that materialized as
+	// overtakes — under the self-pacing α-synchronizer the former can
+	// be large while the latter stays 0.
 	Dropped    harness.Stats `json:"dropped,omitzero"`
 	Duplicated harness.Stats `json:"duplicated,omitzero"`
+	Delayed    harness.Stats `json:"delayed,omitzero"`
 	Reordered  harness.Stats `json:"reordered,omitzero"`
 	Corrupted  harness.Stats `json:"corrupted,omitzero"`
 }
@@ -100,6 +109,7 @@ type sample struct {
 	valid     float64
 	dropped   float64
 	dup       float64
+	delayed   float64
 	reordered float64
 	corrupted float64
 	n, m      int
@@ -113,6 +123,7 @@ type sample struct {
 // descriptor's cached machine code bound to its CSR layout).
 type cell struct {
 	desc   *protocol.Descriptor
+	eng    string
 	scn    scenario.Def
 	ch     channel.Def
 	family Family
@@ -136,19 +147,22 @@ func Run(sp Spec) (*Result, error) {
 		return nil, err
 	}
 
+	engs := sp.engineAxis()
 	scns := sp.scenarioAxis()
 	chans := sp.channelAxis()
-	cells := make([]*cell, 0, len(sp.Protocols)*len(scns)*len(chans)*len(sp.Families)*len(sp.Sizes))
+	cells := make([]*cell, 0, len(sp.Protocols)*len(engs)*len(scns)*len(chans)*len(sp.Families)*len(sp.Sizes))
 	for _, p := range sp.Protocols {
 		d, err := protocol.Lookup(p) // Validate already vouched for it
 		if err != nil {
 			return nil, err
 		}
-		for _, s := range scns {
-			for _, ch := range chans {
-				for _, f := range sp.Families {
-					for _, n := range sp.Sizes {
-						cells = append(cells, &cell{desc: d, scn: s, ch: ch, family: f, size: n})
+		for _, eng := range engs {
+			for _, s := range scns {
+				for _, ch := range chans {
+					for _, f := range sp.Families {
+						for _, n := range sp.Sizes {
+							cells = append(cells, &cell{desc: d, eng: eng, scn: s, ch: ch, family: f, size: n})
+						}
 					}
 				}
 			}
@@ -220,6 +234,9 @@ func Run(sp Spec) (*Result, error) {
 				if !c.ch.None() {
 					where = fmt.Sprintf("%s ch=%s", where, c.ch.Name())
 				}
+				if len(sp.Engines) > 0 {
+					where = fmt.Sprintf("%s eng=%s", where, c.eng)
+				}
 				return nil, fmt.Errorf("campaign: %s trial %d: %w", where, trial, s.err)
 			}
 		}
@@ -228,8 +245,21 @@ func Run(sp Spec) (*Result, error) {
 		return nil, errCanceled // unreachable: a real error always precedes it
 	}
 
+	// Units describe the whole campaign when every engine agrees; a
+	// mixed-engine sweep labels them per-cell via CellResult.Engine.
+	anySync, anyAsync := false, false
+	for _, eng := range engs {
+		if eng == "sync" {
+			anySync = true
+		} else {
+			anyAsync = true
+		}
+	}
 	res := &Result{Spec: sp, RoundsUnit: "rounds", TxUnit: "transmissions"}
-	if sp.engine() == "async" {
+	switch {
+	case anySync && anyAsync:
+		res.RoundsUnit, res.TxUnit = "mixed", "mixed"
+	case anyAsync:
 		res.RoundsUnit, res.TxUnit = "time-units", "steps"
 	}
 	for i, c := range cells {
@@ -238,7 +268,7 @@ func Run(sp Spec) (*Result, error) {
 		recovery := make([]float64, 0, sp.Trials)
 		perturb := make([]float64, 0, sp.Trials)
 		wall := make([]float64, 0, sp.Trials)
-		var dropped, dup, reordered, corrupted []float64
+		var dropped, dup, delayed, reordered, corrupted []float64
 		conv, valid := 0.0, 0.0
 		for _, s := range samples[i] {
 			conv += s.converged
@@ -254,6 +284,7 @@ func Run(sp Spec) (*Result, error) {
 			if !c.ch.None() {
 				dropped = append(dropped, s.dropped)
 				dup = append(dup, s.dup)
+				delayed = append(delayed, s.delayed)
 				reordered = append(reordered, s.reordered)
 				corrupted = append(corrupted, s.corrupted)
 			}
@@ -275,6 +306,9 @@ func Run(sp Spec) (*Result, error) {
 			ConvergedRate: conv / float64(sp.Trials),
 			ValidRate:     valid / float64(sp.Trials),
 		}
+		if len(sp.Engines) > 0 {
+			cr.Engine = c.eng
+		}
 		if !c.scn.None() {
 			cr.Scenario = c.scn.Name()
 			cr.Recovery = harness.Summarize(recovery)
@@ -284,6 +318,7 @@ func Run(sp Spec) (*Result, error) {
 			cr.Channel = c.ch.Name()
 			cr.Dropped = harness.Summarize(dropped)
 			cr.Duplicated = harness.Summarize(dup)
+			cr.Delayed = harness.Summarize(delayed)
 			cr.Reordered = harness.Summarize(reordered)
 			cr.Corrupted = harness.Summarize(corrupted)
 		}
@@ -359,19 +394,24 @@ func runTrial(sp *Spec, c *cell, trial int, scratch *protocol.Scratch) sample {
 	var (
 		run *protocol.Run
 	)
-	if sp.engine() == "async" {
+	if c.eng != "sync" {
 		// The adversary's coins must be oblivious to the protocol's, so
 		// its seed is a distinct derivation of the trial seed. The
-		// Theorem 3.1/3.4 machine is compiled once in the registry cache
+		// synchronizer machine (α, or αβ for async-tolerant cells) is
+		// compiled once in the registry cache — one slot per variant —
 		// and shared by every trial; which trial interns a compiled
 		// state first depends on the worker schedule, but the numbering
 		// is invisible post-decode, so aggregates stay bit-identical at
 		// every worker count (TestWorkerCountInvariance and
 		// TestScenarioWorkerInvariance pin this).
+		synchro := ""
+		if c.eng == "async-tolerant" {
+			synchro = protocol.SynchroTolerant
+		}
 		adv := engine.NamedAdversaries(seed ^ saltAdversary)[sp.adversary()]
 		run, err = bound.RunAsyncReusing(protocol.AsyncConfig{
 			Seed: seed, Adversary: adv, MaxSteps: sp.MaxSteps, Scenario: sc,
-			Channel: model,
+			Channel: model, Synchro: synchro,
 		}, scratch)
 	} else {
 		run, err = bound.RunSyncReusing(protocol.SyncConfig{
@@ -402,13 +442,14 @@ func runTrial(sp *Spec, c *cell, trial int, scratch *protocol.Scratch) sample {
 	} else {
 		s.valid = 1
 	}
-	if sp.engine() == "async" {
+	if c.eng != "sync" {
 		s.rounds, s.tx = run.TimeUnits, float64(run.Steps)
 	} else {
 		s.rounds, s.tx = float64(run.Rounds), float64(run.Transmissions)
 	}
 	s.recovery, s.perturb = run.Recovery, float64(run.Perturbations())
 	s.dropped, s.dup = float64(run.Dropped), float64(run.Duplicated)
+	s.delayed = float64(run.Delayed)
 	s.reordered, s.corrupted = float64(run.Reordered), float64(run.Corrupted)
 	return s
 }

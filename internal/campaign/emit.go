@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
 
 	"stoneage/internal/harness"
 )
@@ -25,13 +26,13 @@ func (r *Result) WriteJSON(w io.Writer) error {
 // aggregates; reliable cells carry an empty channel name, unit
 // converged/valid rates and zero channel-event aggregates.
 var csvHeader = []string{
-	"protocol", "scenario", "channel", "family", "size", "n", "m", "maxDeg", "trials",
+	"protocol", "engine", "scenario", "channel", "family", "size", "n", "m", "maxDeg", "trials",
 	"rounds_mean", "rounds_std", "rounds_min", "rounds_median", "rounds_p90", "rounds_max",
 	"tx_mean", "tx_std", "tx_min", "tx_median", "tx_p90", "tx_max",
 	"recovery_mean", "recovery_std", "recovery_min", "recovery_median", "recovery_p90", "recovery_max",
 	"perturbations_mean",
 	"converged_rate", "valid_rate",
-	"dropped_mean", "duplicated_mean", "reordered_mean", "corrupted_mean",
+	"dropped_mean", "duplicated_mean", "delayed_mean", "reordered_mean", "corrupted_mean",
 	"wall_ms_mean", "wall_ms_std", "wall_ms_p90",
 }
 
@@ -44,7 +45,7 @@ func (r *Result) WriteCSV(w io.Writer) error {
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 	for _, c := range r.Cells {
 		row := []string{
-			c.Protocol, c.Scenario, c.Channel, c.Family,
+			c.Protocol, c.Engine, c.Scenario, c.Channel, c.Family,
 			strconv.Itoa(c.Size), strconv.Itoa(c.N), strconv.Itoa(c.M),
 			strconv.Itoa(c.MaxDeg), strconv.Itoa(c.Trials),
 			f(c.Rounds.Mean), f(c.Rounds.Std), f(c.Rounds.Min), f(c.Rounds.Median), f(c.Rounds.P90), f(c.Rounds.Max),
@@ -52,7 +53,7 @@ func (r *Result) WriteCSV(w io.Writer) error {
 			f(c.Recovery.Mean), f(c.Recovery.Std), f(c.Recovery.Min), f(c.Recovery.Median), f(c.Recovery.P90), f(c.Recovery.Max),
 			f(c.Perturbations.Mean),
 			f(c.ConvergedRate), f(c.ValidRate),
-			f(c.Dropped.Mean), f(c.Duplicated.Mean), f(c.Reordered.Mean), f(c.Corrupted.Mean),
+			f(c.Dropped.Mean), f(c.Duplicated.Mean), f(c.Delayed.Mean), f(c.Reordered.Mean), f(c.Corrupted.Mean),
 			f(c.WallMS.Mean), f(c.WallMS.Std), f(c.WallMS.P90),
 		}
 		if err := cw.Write(row); err != nil {
@@ -93,6 +94,9 @@ func (r *Result) Tables() []*harness.Table {
 	}
 	rowLabel := func(c CellResult) string {
 		label := c.Family
+		if c.Engine != "" {
+			label = fmt.Sprintf("%s [%s]", label, c.Engine)
+		}
 		if c.Scenario != "" || dynamic {
 			scn := c.Scenario
 			if scn == "" {
@@ -118,9 +122,13 @@ func (r *Result) Tables() []*harness.Table {
 	byProto := map[string]*harness.Table{}
 	recovery := map[string]*harness.Table{}
 	survival := map[string]*harness.Table{}
+	engLabel := r.Spec.engine()
+	if engs := r.Spec.engineAxis(); len(engs) > 1 {
+		engLabel = strings.Join(engs, "+")
+	}
 	for _, p := range r.Spec.Protocols {
 		title := fmt.Sprintf("%s: mean %s over %d trials (%s engine)",
-			p, r.RoundsUnit, r.Spec.Trials, r.Spec.engine())
+			p, r.RoundsUnit, r.Spec.Trials, engLabel)
 		if r.Spec.Name != "" {
 			title = fmt.Sprintf("%s — %s", r.Spec.Name, title)
 		}

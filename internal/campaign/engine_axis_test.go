@@ -1,0 +1,180 @@
+package campaign
+
+// The engine-axis suite: execution engines as a campaign dimension.
+// The axis exists to measure the loss-tolerant αβ-hybrid synchronizer
+// against the plain α compilation under identical per-trial randomness
+// (the engine never enters seed derivation), so the acceptance
+// properties are: single-engine specs stay bit-identical to the
+// pre-axis campaign, a multi-engine sweep labels every cell, and the
+// tolerant engine actually closes the async robustness gap the α rows
+// expose under loss.
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"stoneage/internal/channel"
+)
+
+func engineAxisSpec(workers int) Spec {
+	return Spec{
+		Name:      "test-engines",
+		Protocols: []string{"mis"},
+		Engines:   []string{"async", "async-tolerant"},
+		Families:  []Family{{Kind: "gnp"}},
+		Sizes:     []int{24},
+		Channels: []channel.Def{
+			{},
+			{Drop: 0.1, Label: "drop-10"},
+		},
+		Trials:   4,
+		Seed:     31,
+		MaxSteps: 1 << 19,
+		Workers:  workers,
+	}
+}
+
+// TestEngineAxis is the campaign-level robustness-gap measurement: the
+// α synchronizer deadlocks under 10% loss (mutual pause-stall — every
+// node waits for a letter the channel ate) while the αβ hybrid
+// re-pulses through it, on otherwise identical trials.
+func TestEngineAxis(t *testing.T) {
+	res, err := Run(engineAxisSpec(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 4 {
+		t.Fatalf("got %d cells, want 4", len(res.Cells))
+	}
+	rates := map[string]float64{}
+	for _, c := range res.Cells {
+		if c.Engine == "" {
+			t.Fatalf("multi-engine cell %s ch=%q has no engine label", c.Protocol, c.Channel)
+		}
+		key := c.Engine + "/" + c.Channel
+		rates[key] = c.ConvergedRate
+		if c.Channel == "" && (c.ConvergedRate != 1 || c.ValidRate != 1) {
+			t.Fatalf("reliable %s cell rates (%g, %g), want (1, 1)", c.Engine, c.ConvergedRate, c.ValidRate)
+		}
+	}
+	if r := rates["async-tolerant/drop-10"]; r != 1 {
+		t.Fatalf("αβ hybrid converged rate %g under 10%% loss, want 1", r)
+	}
+	if r := rates["async/drop-10"]; r >= rates["async-tolerant/drop-10"] {
+		t.Fatalf("α converged rate %g under loss not below the hybrid's %g — the gap the axis measures is gone",
+			r, rates["async-tolerant/drop-10"])
+	}
+	// The hybrid's loss tolerance is not free: on the reliable baseline
+	// its re-pulse timers never fire but its phase structure is the
+	// same, so time-unit cost must be in the same regime — the overhead
+	// bench pins the exact ratio; here we only require both measured.
+	for _, c := range res.Cells {
+		if c.Channel == "" && c.Rounds.Mean <= 0 {
+			t.Fatalf("reliable %s cell has no time-unit measurement", c.Engine)
+		}
+	}
+	if res.RoundsUnit != "time-units" || res.TxUnit != "steps" {
+		t.Fatalf("all-async axis units = (%s, %s), want (time-units, steps)", res.RoundsUnit, res.TxUnit)
+	}
+}
+
+// TestEngineAxisSingleMatchesImplicit pins the implicit-axis contract:
+// engines:["sync"] must aggregate bit-identically to the pre-axis
+// engine:"sync" spec — same seeds, same cells — differing only in the
+// per-cell engine label.
+func TestEngineAxisSingleMatchesImplicit(t *testing.T) {
+	explicit := engineAxisSpec(1)
+	explicit.Engines = []string{"sync"}
+	explicit.MaxSteps = 0
+	explicit.MaxRounds = 1 << 13
+	implicit := explicit
+	implicit.Engines = nil
+	implicit.Engine = "sync"
+
+	a, err := Run(explicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(implicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.StripWall()
+	b.StripWall()
+	if len(a.Cells) != len(b.Cells) {
+		t.Fatalf("cell counts diverge: %d vs %d", len(a.Cells), len(b.Cells))
+	}
+	for i := range a.Cells {
+		ac, bc := a.Cells[i], b.Cells[i]
+		if ac.Engine != "sync" || bc.Engine != "" {
+			t.Fatalf("engine labels = (%q, %q), want (sync, empty)", ac.Engine, bc.Engine)
+		}
+		ac.Engine, bc.Engine = "", ""
+		if !reflect.DeepEqual(ac, bc) {
+			t.Fatalf("cell %d diverges between explicit and implicit single-engine specs", i)
+		}
+	}
+}
+
+// TestEngineAxisWorkerInvariance: identical aggregates at every worker
+// count, like every other axis.
+func TestEngineAxisWorkerInvariance(t *testing.T) {
+	base, err := Run(engineAxisSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.StripWall()
+	got, err := Run(engineAxisSpec(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.StripWall()
+	if !reflect.DeepEqual(got.Cells, base.Cells) {
+		t.Fatal("engine-axis aggregates diverged across worker counts")
+	}
+}
+
+// TestEngineAxisValidation covers the axis's rejection cases.
+func TestEngineAxisValidation(t *testing.T) {
+	base := func(mut func(*Spec)) Spec {
+		sp := Spec{
+			Protocols: []string{"mis"}, Families: []Family{{Kind: "gnp"}},
+			Sizes: []int{8}, Trials: 1,
+		}
+		mut(&sp)
+		return sp
+	}
+	cases := []struct {
+		name string
+		sp   Spec
+		want string
+	}{
+		{"both fields", base(func(sp *Spec) { sp.Engine = "sync"; sp.Engines = []string{"async"} }), "mutually exclusive"},
+		{"unknown engine", base(func(sp *Spec) { sp.Engines = []string{"warp"} }), "unknown engine"},
+		{"unknown single engine", base(func(sp *Spec) { sp.Engine = "warp" }), "unknown engine"},
+		{"duplicate engine", base(func(sp *Spec) { sp.Engines = []string{"async", "async"} }), "duplicate engine"},
+		{"sync-only protocol", base(func(sp *Spec) {
+			sp.Protocols = []string{"matching"}
+			sp.Engines = []string{"sync", "async-tolerant"}
+		}), "sync engine only"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.sp.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate() = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+	// The tolerant engine alone is a valid single-value axis, and
+	// "async-tolerant" is accepted in the scalar Engine field too.
+	ok := base(func(sp *Spec) { sp.Engines = []string{"async-tolerant"} })
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("async-tolerant axis rejected: %v", err)
+	}
+	ok = base(func(sp *Spec) { sp.Engine = "async-tolerant" })
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("scalar async-tolerant engine rejected: %v", err)
+	}
+}

@@ -205,9 +205,19 @@ type Spec struct {
 	// `stonesim protocols` lists them with capabilities and parameter
 	// domains).
 	Protocols []string `json:"protocols"`
-	// Engine is "sync" (locally synchronous, default) or "async" (the
-	// Theorem 3.1/3.4 synchronizer under an adversary).
+	// Engine is "sync" (locally synchronous, default), "async" (the
+	// Theorem 3.1/3.4 α-synchronizer under an adversary) or
+	// "async-tolerant" (the loss-tolerant αβ-hybrid synchronizer).
 	Engine string `json:"engine,omitempty"`
+	// Engines is the execution-engine axis: each entry is one of the
+	// Engine values, swept against every (protocol, scenario, channel,
+	// family, size) cell. Mutually exclusive with Engine; empty means
+	// the single engine Engine selects (exactly the pre-axis campaign).
+	// The engine never enters seed derivation: every engine of a sweep
+	// replays identical graph instances, scenario schedules and channel
+	// pathology, which is what makes its rows comparable — the whole
+	// point of sweeping α against αβ under loss.
+	Engines []string `json:"engines,omitempty"`
 	// Adversary names the async scheduling policy (default "uniform");
 	// ignored by the sync engine.
 	Adversary string `json:"adversary,omitempty"`
@@ -266,11 +276,23 @@ func (sp *Spec) Validate() error {
 	if len(sp.Protocols) == 0 {
 		return fmt.Errorf("campaign: spec has no protocols")
 	}
-	eng := sp.engine()
-	if eng != "sync" && eng != "async" {
-		return fmt.Errorf("campaign: unknown engine %q (want sync or async)", sp.Engine)
+	if len(sp.Engines) > 0 && sp.Engine != "" {
+		return fmt.Errorf("campaign: engine and engines are mutually exclusive")
 	}
-	if eng == "async" {
+	engs := sp.engineAxis()
+	seenEng := map[string]bool{}
+	anyAsync := false
+	for _, eng := range engs {
+		if eng != "sync" && eng != "async" && eng != "async-tolerant" {
+			return fmt.Errorf("campaign: unknown engine %q (want sync, async or async-tolerant)", eng)
+		}
+		if seenEng[eng] {
+			return fmt.Errorf("campaign: duplicate engine %q", eng)
+		}
+		seenEng[eng] = true
+		anyAsync = anyAsync || eng != "sync"
+	}
+	if anyAsync {
 		if _, ok := engine.NamedAdversaries(0)[sp.adversary()]; !ok {
 			return fmt.Errorf("campaign: unknown adversary %q", sp.adversary())
 		}
@@ -285,8 +307,15 @@ func (sp *Spec) Validate() error {
 			return fmt.Errorf("campaign: duplicate protocol %q", p)
 		}
 		seen[p] = true
-		if d.Caps.Has(protocol.CapSyncOnly) && eng == "async" {
+		if d.Caps.Has(protocol.CapSyncOnly) && anyAsync {
 			return fmt.Errorf("campaign: protocol %q runs on the sync engine only", p)
+		}
+		// The tolerance-declaration hygiene the reorder-overclaim fix
+		// pinned: a protocol may only claim reorder tolerance together
+		// with the window bound it was measured at, so a sweep's
+		// tolerance columns always name a bounded claim.
+		if d.Caps.Has(protocol.CapToleratesReorder) && d.ReorderWindow <= 0 {
+			return fmt.Errorf("campaign: protocol %q declares reorder tolerance without a measured window bound", p)
 		}
 		for _, f := range sp.Families {
 			fd, ok := familyDefs[f.Kind]
@@ -403,6 +432,19 @@ func (sp *Spec) engine() string {
 		return "sync"
 	}
 	return sp.Engine
+}
+
+// engineAxis returns the execution-engine axis of the cross product:
+// the spec's engines, or the single engine Engine selects when none are
+// given. Like the other implicit axes the single-engine form does not
+// perturb any seed derivation; unlike them the engine never enters
+// seeds at all, so every engine of a multi-engine sweep replays the
+// same per-trial randomness.
+func (sp *Spec) engineAxis() []string {
+	if len(sp.Engines) == 0 {
+		return []string{sp.engine()}
+	}
+	return sp.Engines
 }
 
 func (sp *Spec) adversary() string {

@@ -66,6 +66,14 @@ type Stats struct {
 	Dropped int64
 	// Duplicated counts extra copies the channel created.
 	Duplicated int64
+	// Delayed counts copies a reordering policy assigned a non-zero
+	// extra delay — the *attempted* reorder fates. Whether an attempt
+	// materializes as an actual overtake depends on the scheduling gap
+	// on that edge and is what the engines count separately (the
+	// Reordered counter): under the self-pacing α-synchronizer Delayed
+	// can be large while Reordered stays 0, which is how a live model
+	// is distinguished from a dead one.
+	Delayed int64
 	// Corrupted counts letters the channel flipped.
 	Corrupted int64
 }
@@ -206,7 +214,10 @@ var _ Model = Reorder{}
 
 // Apply implements Model.
 func (r Reorder) Apply(from, step, to, copy int, f Fate, nl int, out []Fate, st *Stats) []Fate {
-	f.Extra += r.Window * chance(r.Seed, saltReorder, from, step, to, copy)
+	if extra := r.Window * chance(r.Seed, saltReorder, from, step, to, copy); extra > 0 {
+		f.Extra += extra
+		st.Delayed++
+	}
 	return append(out, f)
 }
 

@@ -99,11 +99,15 @@ type AsyncResult struct {
 	Lost int64
 	// Dropped, Duplicated and Corrupted count the channel model's
 	// interventions (zero without one): copies eliminated, extra copies
-	// created, letters flipped. Reordered counts deliveries scheduled
-	// before an already-scheduled delivery on the same directed edge —
-	// the overtakes a reordering model actually caused.
+	// created, letters flipped. Delayed counts copies the model assigned
+	// a non-zero extra delay (attempted reorders); Reordered counts
+	// deliveries scheduled before an already-scheduled delivery on the
+	// same directed edge — the overtakes those attempts actually caused.
+	// Under a self-pacing synchronizer Delayed can be large while
+	// Reordered stays 0: the per-edge send gap outgrows the extra delay.
 	Dropped    int64
 	Duplicated int64
+	Delayed    int64
 	Reordered  int64
 	Corrupted  int64
 	// Severed counts in-flight deliveries dropped because a scenario
@@ -677,7 +681,7 @@ func (p *Program) RunAsyncReusing(cfg AsyncConfig, scr *Scratch) (*AsyncResult, 
 			}
 			res.Time = e.time
 			res.TimeUnits = e.time / maxParam
-			res.Dropped, res.Duplicated, res.Corrupted = chStats.Dropped, chStats.Duplicated, chStats.Corrupted
+			res.Dropped, res.Duplicated, res.Delayed, res.Corrupted = chStats.Dropped, chStats.Duplicated, chStats.Delayed, chStats.Corrupted
 			return res, nil
 		}
 		if res.Steps >= maxSteps {

@@ -196,7 +196,7 @@ func RunAsyncRef(m nfsm.Machine, g *graph.Graph, cfg AsyncConfig) (*AsyncResult,
 		if outputs == n {
 			res.Time = e.time
 			res.TimeUnits = e.time / maxParam
-			res.Dropped, res.Duplicated, res.Corrupted = chStats.Dropped, chStats.Duplicated, chStats.Corrupted
+			res.Dropped, res.Duplicated, res.Delayed, res.Corrupted = chStats.Dropped, chStats.Duplicated, chStats.Delayed, chStats.Corrupted
 			return res, nil
 		}
 		if res.Steps >= maxSteps {

@@ -73,11 +73,12 @@ func compareSync(t *testing.T, m nfsm.Machine, g *graph.Graph, cfg engine.SyncCo
 			got.Rounds, got.Transmissions, ref.Rounds, ref.Transmissions)
 	}
 	if got.Dropped != ref.Dropped || got.Duplicated != ref.Duplicated ||
+		got.Delayed != ref.Delayed ||
 		got.Reordered != ref.Reordered || got.Corrupted != ref.Corrupted ||
 		got.Severed != ref.Severed {
-		t.Errorf("channel counters (%d,%d,%d,%d,%d), reference (%d,%d,%d,%d,%d)",
-			got.Dropped, got.Duplicated, got.Reordered, got.Corrupted, got.Severed,
-			ref.Dropped, ref.Duplicated, ref.Reordered, ref.Corrupted, ref.Severed)
+		t.Errorf("channel counters (%d,%d,%d,%d,%d,%d), reference (%d,%d,%d,%d,%d,%d)",
+			got.Dropped, got.Duplicated, got.Delayed, got.Reordered, got.Corrupted, got.Severed,
+			ref.Dropped, ref.Duplicated, ref.Delayed, ref.Reordered, ref.Corrupted, ref.Severed)
 	}
 	for v := range ref.States {
 		if got.States[v] != ref.States[v] {
@@ -105,11 +106,12 @@ func compareAsync(t *testing.T, m nfsm.Machine, g *graph.Graph, cfg func() engin
 			ref.Time, ref.Steps, ref.Transmissions, ref.Lost)
 	}
 	if got.Dropped != ref.Dropped || got.Duplicated != ref.Duplicated ||
+		got.Delayed != ref.Delayed ||
 		got.Reordered != ref.Reordered || got.Corrupted != ref.Corrupted ||
 		got.Severed != ref.Severed {
-		t.Errorf("channel counters (%d,%d,%d,%d,%d), reference (%d,%d,%d,%d,%d)",
-			got.Dropped, got.Duplicated, got.Reordered, got.Corrupted, got.Severed,
-			ref.Dropped, ref.Duplicated, ref.Reordered, ref.Corrupted, ref.Severed)
+		t.Errorf("channel counters (%d,%d,%d,%d,%d,%d), reference (%d,%d,%d,%d,%d,%d)",
+			got.Dropped, got.Duplicated, got.Delayed, got.Reordered, got.Corrupted, got.Severed,
+			ref.Dropped, ref.Duplicated, ref.Delayed, ref.Reordered, ref.Corrupted, ref.Severed)
 	}
 	for v := range ref.States {
 		if got.States[v] != ref.States[v] {
@@ -162,10 +164,24 @@ func TestDifferentialAsyncChannel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	tolerantMIS, err := synchro.CompileRoundTolerant(mis.Protocol())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tolerantSS, err := synchro.CompileRoundTolerant(ssmis.Protocol())
+	if err != nil {
+		t.Fatal(err)
+	}
 	cases := []diffCase{
 		{"flood/gnp", flood(), graph.GnpConnected(96, 5.0/96, xrand.New(33))},
 		{"compiled-ssmis/gnp", compiledSS, graph.GnpConnected(24, 0.2, xrand.New(34))},
 		{"compiled-mis/cycle", compiledMIS, graph.Cycle(12)},
+		// The αβ-hybrid machines: their re-pulse transmissions and
+		// stall-timer hop chains must stay bit-identical between the
+		// ladder (pooled FIFOs, silent-chain parking) and the reference
+		// under every model.
+		{"tolerant-ssmis/gnp", tolerantSS, graph.GnpConnected(24, 0.2, xrand.New(34))},
+		{"tolerant-mis/cycle", tolerantMIS, graph.Cycle(12)},
 	}
 	const maxSteps = 1 << 17
 	for _, tc := range cases {
@@ -195,6 +211,48 @@ func TestDifferentialAsyncChannel(t *testing.T) {
 				}
 			})
 		})
+	}
+}
+
+// TestAsyncReorderWindowWidens pins *when* the async overtake counter
+// fires, which the robustness matrix previously only noted in prose.
+// Under the self-pacing α-synchronizer a bounded window (2 time units)
+// never materializes an overtake — the per-edge send gap grows faster
+// than the extra delay — so Reordered stays 0 while the new Delayed
+// counter proves the model kept attempting: a live model and a dead one
+// are no longer indistinguishable. Widen the window past the send gap
+// and the same run starts recording real overtakes.
+func TestAsyncReorderWindowWidens(t *testing.T) {
+	compiled, err := synchro.CompileRound(ssmis.Protocol())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.GnpConnected(24, 0.2, xrand.New(35))
+	run := func(window float64) *engine.AsyncResult {
+		t.Helper()
+		res, err := engine.RunAsync(compiled, g, engine.AsyncConfig{
+			Seed: 9, MaxSteps: 1 << 20,
+			Adversary: engine.NamedAdversaries(10)["uniform"],
+			Channel:   channel.Reorder{Window: window, Seed: 37},
+		})
+		if err != nil {
+			t.Fatalf("window %g: %v", window, err)
+		}
+		return res
+	}
+	bounded := run(2)
+	if bounded.Delayed == 0 {
+		t.Fatal("window 2: Delayed = 0, the model never ran")
+	}
+	if bounded.Reordered != 0 {
+		t.Fatalf("window 2: Reordered = %d, want 0 (self-pacing absorbs bounded windows)", bounded.Reordered)
+	}
+	widened := run(512)
+	if widened.Delayed == 0 {
+		t.Fatal("window 512: Delayed = 0, the model never ran")
+	}
+	if widened.Reordered == 0 {
+		t.Fatal("window 512: Reordered = 0, want overtakes once the window outgrows the send gap")
 	}
 }
 

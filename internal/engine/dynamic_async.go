@@ -304,7 +304,7 @@ func (p *Program) runAsyncScenario(cfg AsyncConfig, scr *Scratch) (*AsyncResult,
 				// lagging to the awake count): vacuous convergence.
 				res.Time = b.At
 				res.TimeUnits = timeUnits(b.At)
-				res.Dropped, res.Duplicated, res.Corrupted = chStats.Dropped, chStats.Duplicated, chStats.Corrupted
+				res.Dropped, res.Duplicated, res.Delayed, res.Corrupted = chStats.Dropped, chStats.Duplicated, chStats.Delayed, chStats.Corrupted
 				return res, nil
 			}
 			continue
@@ -418,7 +418,7 @@ func (p *Program) runAsyncScenario(cfg AsyncConfig, scr *Scratch) (*AsyncResult,
 				res.RecoveryTime = e.time - lastPerturb
 				res.RecoveryTimeUnits = timeUnits(res.RecoveryTime)
 			}
-			res.Dropped, res.Duplicated, res.Corrupted = chStats.Dropped, chStats.Duplicated, chStats.Corrupted
+			res.Dropped, res.Duplicated, res.Delayed, res.Corrupted = chStats.Dropped, chStats.Duplicated, chStats.Delayed, chStats.Corrupted
 			return res, nil
 		}
 		if res.Steps >= maxSteps {

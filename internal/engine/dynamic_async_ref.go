@@ -250,7 +250,7 @@ func runAsyncRefScenario(m nfsm.Machine, g0 *graph.Graph, cfg AsyncConfig) (*Asy
 			if nextBatch == len(sc.Batches) && outputs == target() && lagging == 0 {
 				res.Time = b.At
 				res.TimeUnits = timeUnits(b.At)
-				res.Dropped, res.Duplicated, res.Corrupted = chStats.Dropped, chStats.Duplicated, chStats.Corrupted
+				res.Dropped, res.Duplicated, res.Delayed, res.Corrupted = chStats.Dropped, chStats.Duplicated, chStats.Delayed, chStats.Corrupted
 				return res, nil
 			}
 			continue
@@ -355,7 +355,7 @@ func runAsyncRefScenario(m nfsm.Machine, g0 *graph.Graph, cfg AsyncConfig) (*Asy
 				res.RecoveryTime = e.time - lastPerturb
 				res.RecoveryTimeUnits = timeUnits(res.RecoveryTime)
 			}
-			res.Dropped, res.Duplicated, res.Corrupted = chStats.Dropped, chStats.Duplicated, chStats.Corrupted
+			res.Dropped, res.Duplicated, res.Delayed, res.Corrupted = chStats.Dropped, chStats.Duplicated, chStats.Delayed, chStats.Corrupted
 			return res, nil
 		}
 		if res.Steps >= maxSteps {

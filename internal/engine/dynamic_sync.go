@@ -297,7 +297,7 @@ func (p *Program) runSyncScenario(cfg SyncConfig, scr *Scratch) (*SyncResult, er
 			if len(res.PerturbedAt) > 0 {
 				res.RecoveryRounds = round - lastPerturb
 			}
-			res.Dropped, res.Duplicated, res.Corrupted = chStats.Dropped, chStats.Duplicated, chStats.Corrupted
+			res.Dropped, res.Duplicated, res.Delayed, res.Corrupted = chStats.Dropped, chStats.Duplicated, chStats.Delayed, chStats.Corrupted
 			return res, nil
 		}
 	}

@@ -257,7 +257,7 @@ func runSyncRefScenario(m nfsm.Machine, g0 *graph.Graph, cfg SyncConfig) (*SyncR
 			if len(res.PerturbedAt) > 0 {
 				res.RecoveryRounds = round - lastPerturb
 			}
-			res.Dropped, res.Duplicated, res.Corrupted = chStats.Dropped, chStats.Duplicated, chStats.Corrupted
+			res.Dropped, res.Duplicated, res.Delayed, res.Corrupted = chStats.Dropped, chStats.Duplicated, chStats.Delayed, chStats.Corrupted
 			return res, nil
 		}
 	}

@@ -30,6 +30,7 @@ import (
 	"stoneage/internal/graph"
 	"stoneage/internal/nfsm"
 	"stoneage/internal/scenario"
+	"stoneage/internal/synchro"
 	"stoneage/internal/xrand"
 )
 
@@ -310,11 +311,12 @@ func FuzzDifferentialSync(f *testing.F) {
 					ref.Rounds, ref.Transmissions, ref.RecoveryRounds)
 			}
 			if got.Dropped != ref.Dropped || got.Duplicated != ref.Duplicated ||
+				got.Delayed != ref.Delayed ||
 				got.Reordered != ref.Reordered || got.Corrupted != ref.Corrupted ||
 				got.Severed != ref.Severed {
-				t.Fatalf("workers=%d: channel counters (%d,%d,%d,%d,%d), reference (%d,%d,%d,%d,%d)",
-					workers, got.Dropped, got.Duplicated, got.Reordered, got.Corrupted, got.Severed,
-					ref.Dropped, ref.Duplicated, ref.Reordered, ref.Corrupted, ref.Severed)
+				t.Fatalf("workers=%d: channel counters (%d,%d,%d,%d,%d,%d), reference (%d,%d,%d,%d,%d,%d)",
+					workers, got.Dropped, got.Duplicated, got.Delayed, got.Reordered, got.Corrupted, got.Severed,
+					ref.Dropped, ref.Duplicated, ref.Delayed, ref.Reordered, ref.Corrupted, ref.Severed)
 			}
 			if len(got.PerturbedAt) != len(ref.PerturbedAt) {
 				t.Fatalf("workers=%d: %d perturbations, reference %d",
@@ -359,7 +361,20 @@ func FuzzDifferentialAsync(f *testing.F) {
 		}
 		g := fuzzGraph(r, gseed)
 		sc := fuzzScenario(r, g)
-		model, byz := fuzzChannel(r, g, m.NumLetters(), seed+17)
+		// One input in four runs the fuzzed protocol through the
+		// αβ-hybrid synchronizer instead of raw: the tolerant machines'
+		// stall-timer hop chains and re-pulse transmissions must stay
+		// bit-identical between ladder and reference under every channel
+		// and scenario, exactly like any other machine.
+		var mach nfsm.Machine = m
+		if r.byte()%4 == 0 {
+			c, cerr := synchro.CompileTolerant(m)
+			if cerr != nil {
+				t.Fatalf("CompileTolerant rejected a valid fuzz protocol: %v", cerr)
+			}
+			mach = c
+		}
+		model, byz := fuzzChannel(r, g, mach.NumLetters(), seed+17)
 		sc.Byzantine = byz
 		// overwriter joins the pool deliberately: its two-orders-of-
 		// magnitude speed skew creates exactly the re-queue storms the
@@ -370,8 +385,8 @@ func FuzzDifferentialAsync(f *testing.F) {
 		const maxSteps = 1 << 12
 
 		mkAdv := func() engine.Adversary { return engine.NamedAdversaries(seed + 5)[advName] }
-		ref, refErr := engine.RunAsyncRef(m, g, engine.AsyncConfig{Seed: seed, Adversary: mkAdv(), MaxSteps: maxSteps, Scenario: sc, Channel: model})
-		got, gotErr := engine.RunAsync(m, g, engine.AsyncConfig{Seed: seed, Adversary: mkAdv(), MaxSteps: maxSteps, Scenario: sc, Channel: model})
+		ref, refErr := engine.RunAsyncRef(mach, g, engine.AsyncConfig{Seed: seed, Adversary: mkAdv(), MaxSteps: maxSteps, Scenario: sc, Channel: model})
+		got, gotErr := engine.RunAsync(mach, g, engine.AsyncConfig{Seed: seed, Adversary: mkAdv(), MaxSteps: maxSteps, Scenario: sc, Channel: model})
 		if refErr != nil || gotErr != nil {
 			if refErr == nil || gotErr == nil || refErr.Error() != gotErr.Error() {
 				t.Fatalf("error mismatch:\nreference: %v\ncompiled:  %v", refErr, gotErr)
@@ -397,11 +412,12 @@ func FuzzDifferentialAsync(f *testing.F) {
 				got.Steps, got.Transmissions, got.Lost, ref.Steps, ref.Transmissions, ref.Lost)
 		}
 		if got.Dropped != ref.Dropped || got.Duplicated != ref.Duplicated ||
+			got.Delayed != ref.Delayed ||
 			got.Reordered != ref.Reordered || got.Corrupted != ref.Corrupted ||
 			got.Severed != ref.Severed {
-			t.Fatalf("channel counters (%d,%d,%d,%d,%d), reference (%d,%d,%d,%d,%d)",
-				got.Dropped, got.Duplicated, got.Reordered, got.Corrupted, got.Severed,
-				ref.Dropped, ref.Duplicated, ref.Reordered, ref.Corrupted, ref.Severed)
+			t.Fatalf("channel counters (%d,%d,%d,%d,%d,%d), reference (%d,%d,%d,%d,%d,%d)",
+				got.Dropped, got.Duplicated, got.Delayed, got.Reordered, got.Corrupted, got.Severed,
+				ref.Dropped, ref.Duplicated, ref.Delayed, ref.Reordered, ref.Corrupted, ref.Severed)
 		}
 		for v := range ref.States {
 			if got.States[v] != ref.States[v] {

@@ -80,12 +80,14 @@ type SyncResult struct {
 
 	// Channel-model bookkeeping (all zero when no model is configured).
 	// Dropped, Duplicated and Corrupted count the model's per-copy
-	// decisions; Reordered counts deliveries scheduled for an earlier
-	// round than an already-scheduled one on the same directed edge;
-	// Severed counts delayed deliveries whose edge was removed before
-	// their due round.
+	// decisions; Delayed counts copies assigned a non-zero extra delay
+	// (attempted reorders); Reordered counts deliveries scheduled for an
+	// earlier round than an already-scheduled one on the same directed
+	// edge (the attempts that materialized); Severed counts delayed
+	// deliveries whose edge was removed before their due round.
 	Dropped    int64
 	Duplicated int64
+	Delayed    int64
 	Reordered  int64
 	Corrupted  int64
 	Severed    int64

@@ -129,6 +129,15 @@ func TestToleranceCaps(t *testing.T) {
 	if s := d.Caps.TolString(); s != "loss,dup,reorder" {
 		t.Errorf("TolString = %q", s)
 	}
+	// The descriptor-level rendering qualifies the reorder claim with
+	// its measured window bound — `stonesim protocols` must not print
+	// an unbounded claim the matrix refutes at mean-2 windows.
+	if d.ReorderWindow != 1 {
+		t.Errorf("ssmis ReorderWindow = %g, want 1", d.ReorderWindow)
+	}
+	if s := d.TolString(); s != "loss,dup,reorder≤1" {
+		t.Errorf("descriptor TolString = %q, want window-qualified reorder", s)
+	}
 	if strings.Contains(d.Caps.String(), "loss") {
 		t.Errorf("execution capability string %q leaked a tolerance", d.Caps.String())
 	}
@@ -138,5 +147,8 @@ func TestToleranceCaps(t *testing.T) {
 	}
 	if s := mis.Caps.TolString(); s != "dup" {
 		t.Errorf("mis TolString = %q", s)
+	}
+	if s := mis.TolString(); s != "dup" {
+		t.Errorf("mis descriptor TolString = %q", s)
 	}
 }

@@ -78,6 +78,18 @@ func TestConformance(t *testing.T) {
 					if err := bound.Check(run.Output); err != nil {
 						t.Fatalf("graph %d async: real output rejected: %v", gi, err)
 					}
+					// The αβ-hybrid compilation must conform wherever the
+					// plain synchronizer does — same decoded-output
+					// contract, separate cache slot.
+					run, err = bound.RunAsync(protocol.AsyncConfig{
+						Seed: 1, Adversary: adv, Synchro: protocol.SynchroTolerant,
+					})
+					if err != nil {
+						t.Fatalf("graph %d async tolerant: %v", gi, err)
+					}
+					if err := bound.Check(run.Output); err != nil {
+						t.Fatalf("graph %d async tolerant: real output rejected: %v", gi, err)
+					}
 				}
 			}
 		})

@@ -85,6 +85,16 @@ const (
 	CapToleratesByzantine
 )
 
+// TolerantSynchroCaps is the tolerance set the αβ-hybrid synchronizer
+// (AsyncConfig.Synchro = SynchroTolerant) confers on any engine-hosted
+// protocol it compiles: independent message loss (the bounded re-pulse
+// replaces a dropped generation letter) and duplication (overwrite
+// ports absorb replays, stale generations die on the trit tag). It is
+// what the lossy-mis sweep measures — not a free upgrade to every
+// pathology: reordering and corruption remain whatever the underlying
+// protocol declares.
+const TolerantSynchroCaps = CapToleratesLoss | CapToleratesDup
+
 // capNames orders the capability labels for display.
 var capNames = []struct {
 	cap  Caps
@@ -129,6 +139,32 @@ func (c Caps) Tolerances() []string {
 // TolString renders the tolerance set compactly ("-" when empty).
 func (c Caps) TolString() string {
 	l := c.Tolerances()
+	if len(l) == 0 {
+		return "-"
+	}
+	return strings.Join(l, ",")
+}
+
+// Tolerances returns the descriptor's declared tolerance labels with
+// the reorder claim qualified by its measured window bound
+// ("reorder≤2" rather than a bare "reorder"). Listings should render
+// this, not Caps.Tolerances, so bounded claims read as bounded.
+func (d *Descriptor) Tolerances() []string {
+	out := d.Caps.Tolerances()
+	if d.Caps.Has(CapToleratesReorder) && d.ReorderWindow > 0 {
+		for i, s := range out {
+			if s == "reorder" {
+				out[i] = fmt.Sprintf("reorder≤%g", d.ReorderWindow)
+			}
+		}
+	}
+	return out
+}
+
+// TolString renders the descriptor's window-qualified tolerance set
+// compactly ("-" when empty).
+func (d *Descriptor) TolString() string {
+	l := d.Tolerances()
 	if len(l) == 0 {
 		return "-"
 	}
@@ -268,6 +304,7 @@ type Run struct {
 	// engine result types for exact semantics.
 	Dropped    int64
 	Duplicated int64
+	Delayed    int64
 	Reordered  int64
 	Corrupted  int64
 	Severed    int64
@@ -293,6 +330,14 @@ type Descriptor struct {
 	Caps Caps
 	// Params declares the parameter domains (may be nil).
 	Params []ParamDef
+	// ReorderWindow bounds the CapToleratesReorder declaration: the
+	// largest mean per-copy delay window (channel.Reorder.Window) the
+	// tolerance is measured at. Required (>0) exactly when
+	// CapToleratesReorder is set — an unbounded reorder claim is an
+	// overclaim (ssmis holds valid ≈ 0.6, not 1, at mean-2 windows).
+	// Campaign spec validation enforces declared windows against swept
+	// ones.
+	ReorderWindow float64
 
 	// Machine constructs the protocol's round machine from resolved
 	// arguments. The registry compiles it to engine.MachineCode lazily,
@@ -367,6 +412,12 @@ func (d *Descriptor) validate() error {
 	}
 	if d.Mutate == nil {
 		return fmt.Errorf("protocol %q has no Mutate (conformance oracle)", d.Name)
+	}
+	if d.Caps.Has(CapToleratesReorder) && d.ReorderWindow <= 0 {
+		return fmt.Errorf("protocol %q declares reorder tolerance without a ReorderWindow bound", d.Name)
+	}
+	if !d.Caps.Has(CapToleratesReorder) && d.ReorderWindow != 0 {
+		return fmt.Errorf("protocol %q sets ReorderWindow without declaring reorder tolerance", d.Name)
 	}
 	seen := map[string]bool{}
 	for _, p := range d.Params {

@@ -74,7 +74,19 @@ type AsyncConfig struct {
 	// Channel, when non-nil, subjects every transmission to an
 	// unreliable-link model (see package channel).
 	Channel channel.Model
+	// Synchro selects the synchronizer compilation: "" or "alpha" is
+	// the paper's Theorem 3.1/3.4 α-synchronizer; "tolerant" is the
+	// αβ hybrid (bounded re-pulse on stall timeout) that survives
+	// lossy channels at a time-unit overhead. The two compilations
+	// never share cache slots.
+	Synchro string
 }
+
+// Synchronizer names accepted by AsyncConfig.Synchro.
+const (
+	SynchroAlpha    = "alpha"
+	SynchroTolerant = "tolerant"
+)
 
 // ResolveArgs fills defaults for missing parameters and validates every
 // supplied value against its declared domain. It always returns a fresh
@@ -150,6 +162,11 @@ type codeEntry struct {
 	asyncM    *synchro.Compiled
 	asyncCode *engine.MachineCode
 	asyncErr  error
+
+	tolOnce sync.Once
+	tolM    *synchro.Compiled
+	tolCode *engine.MachineCode
+	tolErr  error
 }
 
 // codeEntryFor returns the (possibly empty) cache slot for the resolved
@@ -198,6 +215,30 @@ func (d *Descriptor) asyncMachineCode(args Args) (*synchro.Compiled, *engine.Mac
 	return e.asyncM, e.asyncCode, e.asyncErr
 }
 
+// tolerantMachineCode is asyncMachineCode for the loss-tolerant αβ
+// hybrid. It occupies its own cache slot: a protocol compiled tolerant
+// and plain must never share machines — their state spaces differ (the
+// tolerant descriptors carry re-pulse bookkeeping) and sharing would
+// silently swap one semantics for the other.
+func (d *Descriptor) tolerantMachineCode(args Args) (*synchro.Compiled, *engine.MachineCode, error) {
+	e := d.codeEntryFor(args)
+	e.tolOnce.Do(func() {
+		m, err := d.Machine(args)
+		if err != nil {
+			e.tolErr = err
+			return
+		}
+		compiled, err := synchro.CompileRoundTolerant(m)
+		if err != nil {
+			e.tolErr = err
+			return
+		}
+		e.tolM = compiled
+		e.tolCode = engine.CompileMachine(compiled)
+	})
+	return e.tolM, e.tolCode, e.tolErr
+}
+
 // Bound is a protocol bound to one graph: arguments resolved (including
 // graph-derived ones), capabilities checked, and — for engine-hosted
 // protocols — the compiled machine code bound to the graph's CSR
@@ -218,6 +259,11 @@ type Bound struct {
 	asyncProg *engine.Program
 	asyncM    *synchro.Compiled
 	asyncErr  error
+
+	tolOnce sync.Once
+	tolProg *engine.Program
+	tolM    *synchro.Compiled
+	tolErr  error
 }
 
 // Scratch is a reusable per-worker execution arena threaded down to the
@@ -375,8 +421,8 @@ func (b *Bound) RunSyncReusing(cfg SyncConfig, s *Scratch) (*Run, error) {
 		Output: out, Rounds: res.Rounds, Transmissions: res.Transmissions,
 		PerturbedAt: perturbed, Recovery: float64(res.RecoveryRounds),
 		FinalGraph: res.FinalGraph,
-		Dropped:    res.Dropped, Duplicated: res.Duplicated, Reordered: res.Reordered,
-		Corrupted: res.Corrupted, Severed: res.Severed,
+		Dropped:    res.Dropped, Duplicated: res.Duplicated, Delayed: res.Delayed,
+		Reordered: res.Reordered, Corrupted: res.Corrupted, Severed: res.Severed,
 		Byzantine: byzNodes(sc),
 	}, nil
 }
@@ -442,6 +488,22 @@ func (b *Bound) asyncProgram() (*engine.Program, *synchro.Compiled, error) {
 	return b.asyncProg, b.asyncM, b.asyncErr
 }
 
+// tolerantProgram lazily binds the descriptor's cached αβ-hybrid
+// compilation to the graph, once per Bound and independent of the plain
+// synchronizer's slot.
+func (b *Bound) tolerantProgram() (*engine.Program, *synchro.Compiled, error) {
+	b.tolOnce.Do(func() {
+		m, code, err := b.d.tolerantMachineCode(b.args)
+		if err != nil {
+			b.tolErr = err
+			return
+		}
+		b.tolM = m
+		b.tolProg = code.Bind(b.g)
+	})
+	return b.tolProg, b.tolM, b.tolErr
+}
+
 // RunAsync executes the protocol on the asynchronous engine under the
 // configured adversary, through the descriptor's cached Theorem 3.1/3.4
 // synchronizer compilation (shared across runs; see the file comment).
@@ -459,7 +521,17 @@ func (b *Bound) RunAsyncReusing(cfg AsyncConfig, s *Scratch) (*Run, error) {
 	if err != nil {
 		return nil, err
 	}
-	prog, compiled, err := b.asyncProgram()
+	var prog *engine.Program
+	var compiled *synchro.Compiled
+	switch cfg.Synchro {
+	case "", SynchroAlpha:
+		prog, compiled, err = b.asyncProgram()
+	case SynchroTolerant:
+		prog, compiled, err = b.tolerantProgram()
+	default:
+		return nil, fmt.Errorf("protocol %s: unknown synchronizer %q (want %q or %q)",
+			b.d.Name, cfg.Synchro, SynchroAlpha, SynchroTolerant)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -482,8 +554,8 @@ func (b *Bound) RunAsyncReusing(cfg AsyncConfig, s *Scratch) (*Run, error) {
 		Output: out, TimeUnits: res.TimeUnits, Steps: res.Steps, Lost: res.Lost,
 		PerturbedAt: append([]float64(nil), res.PerturbedAt...), Recovery: res.RecoveryTimeUnits,
 		FinalGraph: res.FinalGraph,
-		Dropped:    res.Dropped, Duplicated: res.Duplicated, Reordered: res.Reordered,
-		Corrupted: res.Corrupted, Severed: res.Severed,
+		Dropped:    res.Dropped, Duplicated: res.Duplicated, Delayed: res.Delayed,
+		Reordered: res.Reordered, Corrupted: res.Corrupted, Severed: res.Severed,
 		Byzantine: byzNodes(sc),
 	}, nil
 }

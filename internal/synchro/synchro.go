@@ -24,6 +24,23 @@
 //     the (locally) synchronous engine; for asynchronous execution use
 //     CompileRound.
 //
+//   - CompileTolerant / CompileRoundTolerant produce the αβ-hybrid
+//     variant of the same synchronizers for *unreliable* channels. The
+//     paper's construction assumes every copy arrives: a dropped or
+//     corrupted transmission leaves a stale letter in the receiver's
+//     port forever, the pausing features of the two endpoints deadlock
+//     on each other, and the clamped count is starved. The hybrid keeps
+//     the α machinery bit-for-bit (the plain compilers are untouched)
+//     and adds a β-style bounded retransmission: while the pausing
+//     feature stalls on a dirty letter, a per-state timer ticks, and
+//     every timeout-th consecutive stalled step the node re-transmits
+//     its previous message M_v(t−1) verbatim. Ports are overwrite
+//     registers, so a re-pulse a receiver already holds is literally
+//     invisible (duplicate absorption), while a receiver whose copy was
+//     lost is repaired; the trit tag keeps stale generations rejected
+//     exactly as before. Loss therefore costs liveness only a bounded
+//     delay instead of costing it everything.
+//
 // The compiled state space is constant-size (independent of the network,
 // requirement (M4)) but combinatorially large, so compiled machines
 // materialize their states lazily behind the nfsm.Machine interface
@@ -62,6 +79,8 @@ type cdesc struct {
 	phi2     int   // φ₂ (scan3)
 	acc      int   // running clamped sum of the current pass
 	phiv     []int // completed counts for letters < sigma (multi-letter)
+	prev2    int   // tolerant pause states: port-visible letter of round t−2
+	timer    int   // tolerant pause states: consecutive stalled steps here
 
 	query  nfsm.Letter // λ̂ of this state, precomputed
 	output bool        // whether the underlying q is an output state
@@ -81,6 +100,14 @@ type Compiled struct {
 	b       int
 	initial nfsm.Letter // σ̂₀ = (ε, σ₀, 0)
 
+	// tolerant selects the αβ hybrid: pausing states carry a stall
+	// timer and re-transmit M_v(t−1) every timeout-th stalled step. The
+	// extra fields only enter descriptors (and intern keys) when set, so
+	// plain compiled machines are bit-identical to what Compile and
+	// CompileRound always produced.
+	tolerant bool
+	timeout  int
+
 	mu     sync.Mutex
 	states []cdesc
 	// rows holds the lazily computed δ̂ rows at state·(b+1)+count; the
@@ -99,6 +126,8 @@ type Compiled struct {
 	lb     uint // bits per letter field
 	pb     uint // bits for the pause-grid / scan position
 	bb     uint // bits per clamped-count field
+	p2b    uint // bits for prev2+1 (tolerant only)
+	tb     uint // bits for the stall timer (tolerant only)
 	// moveSlab chunk-allocates δ̂ row storage; rows are sub-slices with
 	// capacity clipped to their length, and a chunk is never moved once
 	// handed out.
@@ -117,7 +146,7 @@ func Compile(p *nfsm.Protocol) (*Compiled, error) {
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("synchro: %w", err)
 	}
-	c := newCompiled(p.Name+"^", p, p, false)
+	c := newCompiled(p.Name+"^", p, p, false, false)
 	return c, nil
 }
 
@@ -128,11 +157,34 @@ func CompileRound(p *nfsm.RoundProtocol) (*Compiled, error) {
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("synchro: %w", err)
 	}
-	c := newCompiled(p.Name+"^", p, nil, true)
+	c := newCompiled(p.Name+"^", p, nil, true, false)
 	return c, nil
 }
 
-func newCompiled(name string, src nfsm.Machine, single nfsm.SingleQuery, scanAll bool) *Compiled {
+// CompileTolerant applies the αβ-hybrid synchronizer to a single-letter
+// protocol: the α machinery of Compile plus the bounded re-pulse that
+// repairs dropped or corrupted copies (see the package comment). The
+// re-pulse timeout defaults to PhaseSteps().
+func CompileTolerant(p *nfsm.Protocol) (*Compiled, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("synchro: %w", err)
+	}
+	c := newCompiled(p.Name+"^αβ", p, p, false, true)
+	return c, nil
+}
+
+// CompileRoundTolerant is the αβ-hybrid counterpart of CompileRound: a
+// multi-letter RoundProtocol compiled for asynchronous execution over
+// unreliable channels.
+func CompileRoundTolerant(p *nfsm.RoundProtocol) (*Compiled, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("synchro: %w", err)
+	}
+	c := newCompiled(p.Name+"^αβ", p, nil, true, true)
+	return c, nil
+}
+
+func newCompiled(name string, src nfsm.Machine, single nfsm.SingleQuery, scanAll, tolerant bool) *Compiled {
 	c := &Compiled{
 		name:    name,
 		src:     src,
@@ -141,15 +193,28 @@ func newCompiled(name string, src nfsm.Machine, single nfsm.SingleQuery, scanAll
 		nl:      src.NumLetters(),
 		b:       src.Bound(),
 	}
+	if tolerant {
+		c.tolerant = true
+		// One full uninterrupted phase of the peer is the natural unit:
+		// a healthy neighbor that merely lags catches up within a couple
+		// of phases, so re-pulses are rare on reliable links, while a
+		// starved edge is re-fed every PhaseSteps stalled steps.
+		c.timeout = c.PhaseSteps()
+	}
 	c.packPlan(src.NumStates())
 	c.initial = c.encLetter(-1, int(src.InitialLetter()), 0)
 	// Register compiled input states: round 1 (trit 1), previous emission
 	// σ₀ (the virtual round 0 transmits σ̂₀ = (ε, σ₀, 0), so the round-0
-	// emission is σ₀).
+	// emission is σ₀). For the tolerant hybrid the round-(−1) component
+	// is ε, so a round-1 re-pulse re-transmits σ̂₀ itself.
 	c.mu.Lock()
 	in := inputStates(src)
 	for _, q := range in {
-		c.inputs = append(c.inputs, c.pauseStart(q, 1, int(src.InitialLetter())))
+		p2 := 0
+		if c.tolerant {
+			p2 = -1
+		}
+		c.inputs = append(c.inputs, c.pauseStart(q, 1, int(src.InitialLetter()), p2))
 	}
 	c.mu.Unlock()
 	return c
@@ -200,6 +265,11 @@ func (c *Compiled) packPlan(srcStates int) {
 		extra = (c.nl - 1) * int(c.bb)
 	}
 	total := int(c.qb) + 2 + int(c.lb) + 2 + int(c.lb) + int(c.pb) + 3*int(c.bb) + extra
+	if c.tolerant {
+		c.p2b = widthOf(c.nl) // prev2+1 ranges over 0..|Σ|
+		c.tb = widthOf(c.timeout - 1)
+		total += int(c.p2b) + int(c.tb)
+	}
 	if total <= 64 {
 		c.packOK = true
 		c.pindex = make(map[uint64]nfsm.State)
@@ -225,6 +295,10 @@ func (c *Compiled) packKey(d *cdesc) uint64 {
 			v = d.phiv[i]
 		}
 		k = k<<c.bb | uint64(v)
+	}
+	if c.tolerant {
+		k = k<<c.p2b | uint64(d.prev2+1)
+		k = k<<c.tb | uint64(d.timer)
 	}
 	return k
 }
@@ -256,7 +330,7 @@ func (c *Compiled) row1(m nfsm.Move) []nfsm.Move {
 func (d *cdesc) makeKey() string {
 	buf := make([]byte, 0, 48)
 	buf = strconv.AppendInt(buf, int64(d.q), 10)
-	for _, x := range []int{d.j, d.prevEmit, d.feature, d.sigma, d.pos, d.phi1, d.phi2, d.acc} {
+	for _, x := range []int{d.j, d.prevEmit, d.feature, d.sigma, d.pos, d.phi1, d.phi2, d.acc, d.prev2, d.timer} {
 		buf = append(buf, '|')
 		buf = strconv.AppendInt(buf, int64(x), 10)
 	}
@@ -323,10 +397,11 @@ func (c *Compiled) queryOf(d *cdesc) nfsm.Letter {
 	}
 }
 
-// pauseStart interns the first pausing state of P_q × {j}. Callers must
-// hold c.mu.
-func (c *Compiled) pauseStart(q nfsm.State, j, prevEmit int) nfsm.State {
-	return c.intern(cdesc{q: q, j: j, prevEmit: prevEmit, feature: featPause})
+// pauseStart interns the first pausing state of P_q × {j}. prev2 is the
+// port-visible letter of two rounds back (always 0 for plain machines,
+// which never read it). Callers must hold c.mu.
+func (c *Compiled) pauseStart(q nfsm.State, j, prevEmit, prev2 int) nfsm.State {
+	return c.intern(cdesc{q: q, j: j, prevEmit: prevEmit, prev2: prev2, feature: featPause})
 }
 
 // scanStart interns the first simulation-feature state for the phase,
@@ -406,7 +481,7 @@ func (c *Compiled) IsPhaseStart(s nfsm.State) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	d := &c.states[s]
-	return d.feature == featPause && d.pos == 0
+	return d.feature == featPause && d.pos == 0 && d.timer == 0
 }
 
 // DecodeStates maps a vector of compiled states back to source states.
@@ -452,12 +527,34 @@ func (c *Compiled) buildRow(s nfsm.State, cnt int) []nfsm.Move {
 	switch d.feature {
 	case featPause:
 		if cnt > 0 {
-			// A dirty letter is present: stay put.
-			return c.row1(nfsm.Move{Next: s, Emit: eps})
+			if !c.tolerant {
+				// A dirty letter is present: stay put.
+				return c.row1(nfsm.Move{Next: s, Emit: eps})
+			}
+			// αβ hybrid: a dirty letter is present — tick the stall
+			// timer instead of self-looping, and on expiry re-transmit
+			// M_v(t−1) = (prev2, prevEmit, j−1) verbatim. A receiver
+			// still holding that letter sees an overwrite no-op; a
+			// receiver whose copy was dropped or corrupted is repaired,
+			// which is what un-deadlocks two mutually stalled endpoints.
+			// The timer wraps to 1, not 0, so (pos 0, timer 0) remains
+			// the unique once-per-round phase-start state.
+			if d.timer+1 < c.timeout {
+				next := c.intern(cdesc{
+					q: d.q, j: d.j, prevEmit: d.prevEmit, prev2: d.prev2,
+					feature: featPause, pos: d.pos, timer: d.timer + 1,
+				})
+				return c.row1(nfsm.Move{Next: next, Emit: eps})
+			}
+			next := c.intern(cdesc{
+				q: d.q, j: d.j, prevEmit: d.prevEmit, prev2: d.prev2,
+				feature: featPause, pos: d.pos, timer: 1,
+			})
+			return c.row1(nfsm.Move{Next: next, Emit: c.encLetter(d.prev2, d.prevEmit, (d.j+2)%3)})
 		}
 		if d.pos+1 < c.pauseGrid() {
 			next := c.intern(cdesc{
-				q: d.q, j: d.j, prevEmit: d.prevEmit,
+				q: d.q, j: d.j, prevEmit: d.prevEmit, prev2: d.prev2,
 				feature: featPause, pos: d.pos + 1,
 			})
 			return c.row1(nfsm.Move{Next: next, Emit: eps})
@@ -547,7 +644,11 @@ func (c *Compiled) applyDelta(d *cdesc, lastPhi int) []nfsm.Move {
 		if mv.Emit != nfsm.NoLetter {
 			cur = int(mv.Emit)
 		}
-		next := c.pauseStart(mv.Next, (d.j+1)%3, cur)
+		p2 := 0
+		if c.tolerant {
+			p2 = d.prevEmit // the a-component of the message just emitted
+		}
+		next := c.pauseStart(mv.Next, (d.j+1)%3, cur, p2)
 		out[i] = nfsm.Move{
 			Next: next,
 			Emit: c.encLetter(d.prevEmit, cur, d.j),
@@ -571,3 +672,11 @@ func (c *Compiled) PhaseSteps() int {
 
 // Name returns the compiled protocol's name.
 func (c *Compiled) Name() string { return c.name }
+
+// Tolerant reports whether this machine is the αβ hybrid (re-pulse on
+// stall timeout) rather than the plain α synchronizer.
+func (c *Compiled) Tolerant() bool { return c.tolerant }
+
+// Timeout returns the number of consecutive stalled steps after which a
+// tolerant machine re-transmits M_v(t−1); it is 0 for plain machines.
+func (c *Compiled) Timeout() int { return c.timeout }

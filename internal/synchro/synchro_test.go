@@ -1,8 +1,10 @@
 package synchro
 
 import (
+	"errors"
 	"testing"
 
+	"stoneage/internal/channel"
 	"stoneage/internal/engine"
 	"stoneage/internal/graph"
 	"stoneage/internal/nfsm"
@@ -339,6 +341,161 @@ func TestCompiledPhaseStepsBound(t *testing.T) {
 	// Pausing 16 + 3 letters × 3 passes × 4 = 52.
 	if got, want := cr.PhaseSteps(), 52; got != want {
 		t.Fatalf("round PhaseSteps = %d, want %d", got, want)
+	}
+}
+
+// TestTolerantMatchesPlainSemantics pins the αβ hybrid to the same
+// simulation contract as the plain compiler on reliable links: the
+// deterministic pairObserver must land every node in the analytic
+// output state under every adversary, exactly like CompileRound.
+func TestTolerantMatchesPlainSemantics(t *testing.T) {
+	src := pairObserver()
+	g := graph.Grid(3, 4)
+	isB := make([]bool, g.N())
+	for v := range isB {
+		isB[v] = v%3 == 0
+	}
+	want := pairObserverWant(g, isB)
+	srcInit := pairObserverInit(isB)
+	for aname, adv := range engine.NamedAdversaries(33) {
+		c, err := CompileRoundTolerant(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := engine.RunAsync(c, g, engine.AsyncConfig{
+			Seed:      9,
+			Adversary: adv,
+			Init:      compiledInit(t, c, srcInit),
+		})
+		if err != nil {
+			t.Fatalf("%s: async: %v", aname, err)
+		}
+		got := c.DecodeStates(res.States)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Errorf("%s: node %d decoded to %d, want %d", aname, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+// TestTolerantSurvivesLoss is the headline regression: under 10% loss
+// the plain α machine deadlocks (mutual pause-stall) and exhausts its
+// budget, while the αβ hybrid's re-pulses repair the dropped copies and
+// the run still lands every node in the analytic output state.
+func TestTolerantSurvivesLoss(t *testing.T) {
+	src := pairObserver()
+	g := graph.Cycle(16)
+	isB := make([]bool, g.N())
+	for v := range isB {
+		isB[v] = v%2 == 0
+	}
+	want := pairObserverWant(g, isB)
+	srcInit := pairObserverInit(isB)
+	for seed := uint64(0); seed < 3; seed++ {
+		model := channel.Drop{Rate: 0.1, Seed: 41 + seed}
+		plain, err := CompileRound(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = engine.RunAsync(plain, g, engine.AsyncConfig{
+			Seed:      seed,
+			Adversary: engine.UniformRandom{Seed: 7},
+			Init:      compiledInit(t, plain, srcInit),
+			Channel:   model,
+			MaxSteps:  1 << 18,
+		})
+		if !errors.Is(err, engine.ErrNoConvergence) {
+			t.Fatalf("seed %d: plain α under loss: err = %v, want non-convergence", seed, err)
+		}
+		tol, err := CompileRoundTolerant(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := engine.RunAsync(tol, g, engine.AsyncConfig{
+			Seed:      seed,
+			Adversary: engine.UniformRandom{Seed: 7},
+			Init:      compiledInit(t, tol, srcInit),
+			Channel:   model,
+			MaxSteps:  1 << 18,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: tolerant under loss: %v", seed, err)
+		}
+		if res.Dropped == 0 {
+			t.Fatalf("seed %d: loss model dropped nothing", seed)
+		}
+		got := tol.DecodeStates(res.States)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Errorf("seed %d: node %d decoded to %d, want %d", seed, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+// TestTolerantWaveAllAdversaries reruns the broadcast wave through the
+// single-query tolerant compiler: CompileTolerant shares everything but
+// the re-pulse rows with Compile, so the wave must still complete under
+// every adversary.
+func TestTolerantWaveAllAdversaries(t *testing.T) {
+	src := waveProtocol()
+	g := graph.Path(12)
+	srcInit := make([]nfsm.State, 12)
+	srcInit[0] = 1
+	for name, adv := range engine.NamedAdversaries(21) {
+		t.Run(name, func(t *testing.T) {
+			c, err := CompileTolerant(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := engine.RunAsync(c, g, engine.AsyncConfig{
+				Seed:      5,
+				Adversary: adv,
+				Init:      compiledInit(t, c, srcInit),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v, q := range c.DecodeStates(res.States) {
+				if q != 2 {
+					t.Errorf("node %d decoded to state %d, want done", v, q)
+				}
+			}
+		})
+	}
+}
+
+func TestTolerantAccessors(t *testing.T) {
+	c, err := CompileTolerant(waveProtocol())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "wave^αβ" {
+		t.Errorf("Name = %q", c.Name())
+	}
+	if !c.Tolerant() {
+		t.Error("Tolerant() = false")
+	}
+	if got, want := c.Timeout(), c.PhaseSteps(); got != want {
+		t.Errorf("Timeout = %d, want PhaseSteps = %d", got, want)
+	}
+	plain, err := Compile(waveProtocol())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Tolerant() || plain.Timeout() != 0 {
+		t.Errorf("plain machine reports tolerant=%v timeout=%d", plain.Tolerant(), plain.Timeout())
+	}
+	rejected := waveProtocol()
+	rejected.Query = nil
+	if _, err := CompileTolerant(rejected); err == nil {
+		t.Error("invalid protocol compiled tolerant")
+	}
+	badRound := pairObserver()
+	badRound.Transition = nil
+	if _, err := CompileRoundTolerant(badRound); err == nil {
+		t.Error("invalid round protocol compiled tolerant")
 	}
 }
 
