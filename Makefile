@@ -23,21 +23,26 @@ test:
 # its final graph, with Byzantine nodes excluded). The lossy spec
 # carries the engine axis, so the gate exercises the sync engine, the
 # α synchronizer and the loss-tolerant αβ hybrid on every channel.
+# The engine test line includes the bit-plane memory guard
+# (TestPackedFootprint: packed run state stays under its bytes-per-node
+# budget); the million-node benchmark itself is size-gated off
+# single-core CI and runs via `make bench` on real hardware.
 check: build
 	@fmt_out="$$(gofmt -l .)"; if [ -n "$$fmt_out" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
 	go vet ./...
 	go test -race ./...
 	go test ./internal/protocol -run TestConformance -count=1
-	go test ./internal/engine -run 'TestAllocs|TestLadder|TestDelivPool' -count=1
+	go test ./internal/engine -run 'TestAllocs|TestLadder|TestDelivPool|TestPackedFootprint' -count=1
 	go run ./cmd/stonesim sweep -spec examples/specs/smoke.json -q -json /tmp/stonesim-smoke.json
 	go run ./cmd/stonesim sweep -spec examples/specs/all-protocols.json -q
 	go run ./cmd/stonesim sweep -spec examples/specs/churn-mis.json -q -trials 4
 	go run ./cmd/stonesim sweep -spec examples/specs/lossy-mis.json -q -trials 4
 	@echo "check: OK"
 
-# bench regenerates BENCH_7.json from the tracked benchmark set
-# (E1 MIS sync, E2 MIS async, E3 synchronizer overhead, the αβ
+# bench regenerates BENCH_8.json from the tracked benchmark set
+# (E1 MIS sync — including the streamed million-node bit-plane run
+# where the host allows it — E2 MIS async, E3 synchronizer overhead, the αβ
 # tolerant-synchronizer overhead, E5 tree coloring, E9
 # nFSM-simulates-LBA, the engine ref-vs-compiled and per-step
 # ablations, the campaign sweep, and the registry-generated protocol
@@ -45,7 +50,7 @@ check: build
 # BENCH_N.json and warns on >15% regressions. Override the output file
 # or iteration count with BENCH_OUT / BENCH_TIME, the comparison
 # baseline with BENCH_PREV (BENCH_PREV=none skips it).
-BENCH_OUT ?= BENCH_7.json
+BENCH_OUT ?= BENCH_8.json
 BENCH_TIME ?= 20x
 
 bench:

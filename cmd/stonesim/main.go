@@ -103,6 +103,7 @@ type options struct {
 	trials    int
 	scenario  string
 	channel   string
+	backend   string
 }
 
 // parseParams turns the -param flag ("name=value[,name=value]") into
@@ -152,6 +153,8 @@ func run(args []string, w io.Writer) error {
 	fs.StringVar(&opt.word, "word", "abc", "input word for the lba protocols")
 	fs.StringVar(&opt.traceCSV, "trace", "", "write a per-round state histogram CSV to this file (sync engine, engine-hosted protocols only)")
 	fs.IntVar(&opt.workers, "workers", 0, "sync round-loop workers (0 = GOMAXPROCS); results are identical for every value")
+	fs.StringVar(&opt.backend, "backend", "",
+		"sync executor: flat | packed (bit-plane, static reliable runs only); empty auto-selects by size — all bit-identical")
 	fs.IntVar(&opt.trials, "trials", 1, "repeat the run over derived seeds, reusing one scratch arena, and report per-trial metrics")
 	fs.StringVar(&opt.scenario, "scenario", "",
 		`dynamic-network scenario as JSON, e.g. '{"kind":"churn","rate":2}' (kinds: none, crash, churn, wake; engine-hosted protocols only)`)
@@ -223,7 +226,7 @@ func runProtocol(opt options, d *protocol.Descriptor, g *graph.Graph, w io.Write
 		}
 		switch opt.eng {
 		case "sync":
-			cfg := protocol.SyncConfig{Seed: seed, Workers: opt.workers, Scenario: sc, Channel: model}
+			cfg := protocol.SyncConfig{Seed: seed, Workers: opt.workers, Scenario: sc, Channel: model, Backend: opt.backend}
 			var hist *trace.Histogram
 			if opt.traceCSV != "" && trial == 0 {
 				names := bound.StateNames()

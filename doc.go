@@ -15,7 +15,12 @@
 // bit-identically to the reference engine), the campaign layer, the
 // protocol registry, the dynamic-network layer, the
 // unreliable-channel axis and the loss-tolerant αβ synchronizer,
-// BENCH_7.json for
+// the bit-plane synchronous backend (per-node state and clamped
+// counters packed into SoA bit-planes, 64 nodes per word, selected by
+// SyncConfig.Backend or automatically at n ≥ 2¹⁶ and bit-identical to
+// the flat executor), the streamed graph builders
+// (graph.EdgeStream → BuildCSR, which reach n = 10⁶ without ever
+// materializing an edge list), BENCH_8.json for
 // the tracked benchmark measurements (regenerate with `make bench`,
 // which also warns on >15% ns/op regressions against the previous
 // snapshot — in CI the warnings become workflow annotations), and
@@ -62,7 +67,9 @@
 // generation's letter after a bounded stall timeout, turning the
 // α-synchronizer's loss deadlock into mere delay — select it with
 // `stonesim -engine async -synchro tolerant` or a campaign `engines`
-// axis (sync | async | async-tolerant).
+// axis (sync | sync-packed | async | async-tolerant; sync-packed
+// forces the bit-plane backend and must aggregate bit-identically to
+// sync).
 //
 // Statistical claims are measured as campaigns: internal/campaign runs
 // the declarative cross product protocol × scenario × graph family ×

@@ -19,9 +19,9 @@ import (
 // (protocol, engine, scenario, channel, family, size) cell.
 type CellResult struct {
 	Protocol string `json:"protocol"`
-	// Engine names the cell's execution engine (sync, async or
-	// async-tolerant); empty when the spec runs a single implicit
-	// engine, so pre-axis results are unchanged.
+	// Engine names the cell's execution engine (sync, sync-packed,
+	// async or async-tolerant); empty when the spec runs a single
+	// implicit engine, so pre-axis results are unchanged.
 	Engine string `json:"engine,omitempty"`
 	// Scenario names the cell's dynamic-network scenario; empty for the
 	// static axis.
@@ -249,7 +249,7 @@ func Run(sp Spec) (*Result, error) {
 	// mixed-engine sweep labels them per-cell via CellResult.Engine.
 	anySync, anyAsync := false, false
 	for _, eng := range engs {
-		if eng == "sync" {
+		if eng == "sync" || eng == "sync-packed" {
 			anySync = true
 		} else {
 			anyAsync = true
@@ -394,7 +394,8 @@ func runTrial(sp *Spec, c *cell, trial int, scratch *protocol.Scratch) sample {
 	var (
 		run *protocol.Run
 	)
-	if c.eng != "sync" {
+	syncCell := c.eng == "sync" || c.eng == "sync-packed"
+	if !syncCell {
 		// The adversary's coins must be oblivious to the protocol's, so
 		// its seed is a distinct derivation of the trial seed. The
 		// synchronizer machine (α, or αβ for async-tolerant cells) is
@@ -414,9 +415,15 @@ func runTrial(sp *Spec, c *cell, trial int, scratch *protocol.Scratch) sample {
 			Channel: model, Synchro: synchro,
 		}, scratch)
 	} else {
+		// A sync-packed cell forces the bit-plane backend (never auto:
+		// the axis exists to pin the two executors against each other).
+		backend := ""
+		if c.eng == "sync-packed" {
+			backend = engine.BackendPacked
+		}
 		run, err = bound.RunSyncReusing(protocol.SyncConfig{
 			Seed: seed, MaxRounds: sp.MaxRounds, Workers: 1, Scenario: sc,
-			Channel: model,
+			Channel: model, Backend: backend,
 		}, scratch)
 	}
 	s := sample{wallMS: float64(time.Since(start)) / float64(time.Millisecond)}
@@ -442,7 +449,7 @@ func runTrial(sp *Spec, c *cell, trial int, scratch *protocol.Scratch) sample {
 	} else {
 		s.valid = 1
 	}
-	if c.eng != "sync" {
+	if !syncCell {
 		s.rounds, s.tx = run.TimeUnits, float64(run.Steps)
 	} else {
 		s.rounds, s.tx = float64(run.Rounds), float64(run.Transmissions)

@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"stoneage/internal/channel"
+	"stoneage/internal/scenario"
 )
 
 func engineAxisSpec(workers int) Spec {
@@ -117,6 +118,47 @@ func TestEngineAxisSingleMatchesImplicit(t *testing.T) {
 	}
 }
 
+// TestEngineAxisSyncPacked pins the bit-plane backend as an engine-axis
+// value: a ["sync", "sync-packed"] sweep must produce pairwise
+// bit-identical aggregates (the packed executor is the same machine on
+// a different layout), sync units, and distinct cell labels.
+func TestEngineAxisSyncPacked(t *testing.T) {
+	sp := Spec{
+		Name:      "test-sync-packed",
+		Protocols: []string{"mis", "ssmis"},
+		Engines:   []string{"sync", "sync-packed"},
+		Families:  []Family{{Kind: "gnp"}, {Kind: "cycle"}},
+		Sizes:     []int{48},
+		Trials:    3,
+		Seed:      17,
+		MaxRounds: 1 << 13,
+	}
+	res, err := Run(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RoundsUnit != "rounds" || res.TxUnit != "transmissions" {
+		t.Fatalf("all-sync axis units = (%s, %s), want (rounds, transmissions)", res.RoundsUnit, res.TxUnit)
+	}
+	res.StripWall()
+	byEngine := map[string][]CellResult{}
+	for _, c := range res.Cells {
+		key := c.Engine
+		if key != "sync" && key != "sync-packed" {
+			t.Fatalf("unexpected engine label %q", key)
+		}
+		c.Engine = ""
+		byEngine[key] = append(byEngine[key], c)
+	}
+	if len(byEngine["sync"]) == 0 || len(byEngine["sync"]) != len(byEngine["sync-packed"]) {
+		t.Fatalf("cell counts diverge: %d sync vs %d sync-packed",
+			len(byEngine["sync"]), len(byEngine["sync-packed"]))
+	}
+	if !reflect.DeepEqual(byEngine["sync"], byEngine["sync-packed"]) {
+		t.Fatal("sync and sync-packed aggregates diverge — the backends are not bit-identical")
+	}
+}
+
 // TestEngineAxisWorkerInvariance: identical aggregates at every worker
 // count, like every other axis.
 func TestEngineAxisWorkerInvariance(t *testing.T) {
@@ -158,6 +200,14 @@ func TestEngineAxisValidation(t *testing.T) {
 			sp.Protocols = []string{"matching"}
 			sp.Engines = []string{"sync", "async-tolerant"}
 		}), "sync engine only"},
+		{"packed scenario clash", base(func(sp *Spec) {
+			sp.Engines = []string{"sync", "sync-packed"}
+			sp.Scenarios = []scenario.Def{{Kind: "crash"}}
+		}), "static-topology only"},
+		{"packed channel clash", base(func(sp *Spec) {
+			sp.Engine = "sync-packed"
+			sp.Channels = []channel.Def{{Drop: 0.1}}
+		}), "reliable-links only"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -176,5 +226,14 @@ func TestEngineAxisValidation(t *testing.T) {
 	ok = base(func(sp *Spec) { sp.Engine = "async-tolerant" })
 	if err := ok.Validate(); err != nil {
 		t.Fatalf("scalar async-tolerant engine rejected: %v", err)
+	}
+	// sync-packed is valid alone, and next to "none" axis baselines.
+	ok = base(func(sp *Spec) {
+		sp.Engines = []string{"sync", "sync-packed"}
+		sp.Scenarios = []scenario.Def{{Kind: "none"}}
+		sp.Channels = []channel.Def{{}}
+	})
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("sync-packed with baseline axes rejected: %v", err)
 	}
 }

@@ -205,7 +205,9 @@ type Spec struct {
 	// `stonesim protocols` lists them with capabilities and parameter
 	// domains).
 	Protocols []string `json:"protocols"`
-	// Engine is "sync" (locally synchronous, default), "async" (the
+	// Engine is "sync" (locally synchronous, default), "sync-packed"
+	// (the same semantics on the bit-plane backend — bit-identical
+	// aggregates, forced rather than auto-selected), "async" (the
 	// Theorem 3.1/3.4 α-synchronizer under an adversary) or
 	// "async-tolerant" (the loss-tolerant αβ-hybrid synchronizer).
 	Engine string `json:"engine,omitempty"`
@@ -283,18 +285,32 @@ func (sp *Spec) Validate() error {
 	seenEng := map[string]bool{}
 	anyAsync := false
 	for _, eng := range engs {
-		if eng != "sync" && eng != "async" && eng != "async-tolerant" {
-			return fmt.Errorf("campaign: unknown engine %q (want sync, async or async-tolerant)", eng)
+		if eng != "sync" && eng != "sync-packed" && eng != "async" && eng != "async-tolerant" {
+			return fmt.Errorf("campaign: unknown engine %q (want sync, sync-packed, async or async-tolerant)", eng)
 		}
 		if seenEng[eng] {
 			return fmt.Errorf("campaign: duplicate engine %q", eng)
 		}
 		seenEng[eng] = true
-		anyAsync = anyAsync || eng != "sync"
+		anyAsync = anyAsync || (eng != "sync" && eng != "sync-packed")
 	}
 	if anyAsync {
 		if _, ok := engine.NamedAdversaries(0)[sp.adversary()]; !ok {
 			return fmt.Errorf("campaign: unknown adversary %q", sp.adversary())
+		}
+	}
+	// The bit-plane backend runs static, reliable cells only; catch the
+	// clash here rather than as a per-trial engine error mid-sweep.
+	if seenEng["sync-packed"] {
+		for _, d := range sp.Scenarios {
+			if !d.None() {
+				return fmt.Errorf("campaign: engine sync-packed cannot run scenario %q (the packed backend is static-topology only)", d.Name())
+			}
+		}
+		for _, d := range sp.Channels {
+			if !d.None() {
+				return fmt.Errorf("campaign: engine sync-packed cannot run channel %q (the packed backend is reliable-links only)", d.Name())
+			}
 		}
 	}
 	seen := map[string]bool{}

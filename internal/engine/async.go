@@ -186,7 +186,7 @@ func (p *Program) RunAsyncReusing(cfg AsyncConfig, scr *Scratch) (*AsyncResult, 
 	if scr == nil {
 		scr = NewScratch()
 	}
-	n := p.g.N()
+	n := p.csr.N()
 	states, err := initialStates(p.m, n, cfg.Init)
 	if err != nil {
 		return nil, err

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"sync"
+
 	"stoneage/internal/graph"
 	"stoneage/internal/nfsm"
 )
@@ -70,6 +72,12 @@ type MachineCode struct {
 	// pure by contract.
 	dynPack     bool
 	dynPackBits uint
+
+	// pack is the lazily built bit-plane lowering (see packed.go). The
+	// sync.Once makes the lazy build safe under the registry's shared
+	// compiled-machine cache; the MachineCode stays logically immutable.
+	packOnce sync.Once
+	pack     *packedCode
 }
 
 // Program is a MachineCode bound to a specific graph: the flat δ tables
@@ -140,6 +148,16 @@ func (c *MachineCode) Bind(g *graph.Graph) *Program {
 	return &Program{MachineCode: c, g: g, csr: g.CSR()}
 }
 
+// BindCSR attaches the machine code directly to a CSR snapshot with no
+// adjacency-list Graph behind it — the binding for streamed graphs
+// (graph.BuildCSR) whose materialized form would not fit in memory.
+// The resulting program runs the static synchronous paths (flat and
+// packed); the scenario, channel and asynchronous paths need the
+// mutable Graph and report an error.
+func (c *MachineCode) BindCSR(csr *graph.CSR) *Program {
+	return &Program{MachineCode: c, csr: csr}
+}
+
 // Compile lowers machine m against graph g: CompileMachine followed by
 // Bind.
 func Compile(m nfsm.Machine, g *graph.Graph) *Program {
@@ -149,7 +167,8 @@ func Compile(m nfsm.Machine, g *graph.Graph) *Program {
 // Machine returns the machine the program was compiled from.
 func (c *MachineCode) Machine() nfsm.Machine { return c.m }
 
-// Graph returns the graph the program was compiled against.
+// Graph returns the graph the program was compiled against, or nil for
+// a CSR-only binding (BindCSR).
 func (p *Program) Graph() *graph.Graph { return p.g }
 
 // lowerProtocol packs a literal single-query protocol: its δ is already

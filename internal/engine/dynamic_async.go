@@ -87,6 +87,9 @@ func portSlot(csr *graph.CSR, to, from int) int32 {
 // re-bind, exactly as the remap semantics require.
 func (p *Program) runAsyncScenario(cfg AsyncConfig, scr *Scratch) (*AsyncResult, error) {
 	sc := cfg.Scenario
+	if p.g == nil {
+		return nil, fmt.Errorf("engine: scenario runs need a graph-bound program (Bind, not BindCSR)")
+	}
 	if err := prepScenario(sc, p.g); err != nil {
 		return nil, err
 	}

@@ -69,6 +69,9 @@ func (p *Program) runSyncScenario(cfg SyncConfig, scr *Scratch) (*SyncResult, er
 		// A channel model alone routes here; run the empty scenario.
 		sc = &scenario.Scenario{Reset: scenario.ResetNone}
 	}
+	if p.g == nil {
+		return nil, fmt.Errorf("engine: scenario and channel runs need a graph-bound program (Bind, not BindCSR)")
+	}
 	if err := prepScenario(sc, p.g); err != nil {
 		return nil, err
 	}

@@ -297,6 +297,34 @@ func FuzzDifferentialSync(f *testing.F) {
 		const maxRounds = 64
 
 		ref, refErr := engine.RunSyncRef(m, g, engine.SyncConfig{Seed: seed, MaxRounds: maxRounds, Scenario: sc, Channel: model})
+
+		// Packed arm: on static reliable runs of packed-eligible
+		// machines, the bit-plane backend must match the reference too
+		// (it refuses scenarios and channels by design, so those inputs
+		// only exercise the flat arm below).
+		code := engine.CompileMachine(m)
+		if code.PackedEligible() && sc.Empty() && model == nil && len(sc.Byzantine) == 0 {
+			for _, workers := range []int{1, 3} {
+				got, gotErr := code.Bind(g).RunSync(engine.SyncConfig{Seed: seed, MaxRounds: maxRounds, Workers: workers, Backend: engine.BackendPacked})
+				if refErr != nil || gotErr != nil {
+					if refErr == nil || gotErr == nil || refErr.Error() != gotErr.Error() {
+						t.Fatalf("packed workers=%d error mismatch:\nreference: %v\npacked:    %v", workers, refErr, gotErr)
+					}
+					continue
+				}
+				if got.Rounds != ref.Rounds || got.Transmissions != ref.Transmissions {
+					t.Fatalf("packed workers=%d: (rounds, tx) = (%d, %d), reference (%d, %d)",
+						workers, got.Rounds, got.Transmissions, ref.Rounds, ref.Transmissions)
+				}
+				for v := range ref.States {
+					if got.States[v] != ref.States[v] {
+						t.Fatalf("packed workers=%d: state of node %d = %d, reference %d",
+							workers, v, got.States[v], ref.States[v])
+					}
+				}
+			}
+		}
+
 		for _, workers := range []int{1, 3} {
 			got, gotErr := engine.Compile(m, g).RunSync(engine.SyncConfig{Seed: seed, MaxRounds: maxRounds, Workers: workers, Scenario: sc, Channel: model})
 			if refErr != nil || gotErr != nil {

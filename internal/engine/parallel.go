@@ -44,12 +44,30 @@ func (p *Program) RunSync(cfg SyncConfig) (*SyncResult, error) {
 // campaign runner does.
 func (p *Program) RunSyncReusing(cfg SyncConfig, scr *Scratch) (*SyncResult, error) {
 	if !cfg.Scenario.Empty() || cfg.Channel != nil {
+		if cfg.Backend == BackendPacked {
+			return nil, fmt.Errorf("engine: the packed backend supports neither scenarios nor channel models")
+		}
+		if cfg.Backend != "" && cfg.Backend != BackendFlat {
+			return nil, fmt.Errorf("engine: unknown sync backend %q (want %q or %q)", cfg.Backend, BackendFlat, BackendPacked)
+		}
 		return p.runSyncScenario(cfg, scr)
+	}
+	switch cfg.Backend {
+	case BackendPacked:
+		return p.runSyncPacked(cfg, scr)
+	case BackendFlat:
+		// forced flat
+	case "":
+		if p.csr.N() >= packedAutoThreshold && p.PackedEligible() {
+			return p.runSyncPacked(cfg, scr)
+		}
+	default:
+		return nil, fmt.Errorf("engine: unknown sync backend %q (want %q or %q)", cfg.Backend, BackendFlat, BackendPacked)
 	}
 	if scr == nil {
 		scr = NewScratch()
 	}
-	n := p.g.N()
+	n := p.csr.N()
 	states, err := initialStates(p.m, n, cfg.Init)
 	if err != nil {
 		return nil, err

@@ -33,6 +33,10 @@ type Scratch struct {
 	// bucket table alone is over a kilobyte).
 	as *asyncScratch
 
+	// pk holds the bit-plane backend's plane storage, allocated on
+	// first packed use for the same reason.
+	pk *packedScratch
+
 	emits    []nfsm.Letter // sync executor's per-round emission buffer
 	emitters []int32       // sync executor's sequential emitter list
 
@@ -83,6 +87,14 @@ func (s *Scratch) async() *asyncScratch {
 		s.as = &asyncScratch{}
 	}
 	return s.as
+}
+
+// packed returns the lazily allocated bit-plane working state.
+func (s *Scratch) packed() *packedScratch {
+	if s.pk == nil {
+		s.pk = &packedScratch{}
+	}
+	return s.pk
 }
 
 // NewScratch returns an empty scratch arena. All storage is grown on

@@ -52,6 +52,15 @@ type SyncConfig struct {
 	// Channel runs are sequential like dynamic runs; a nil Channel is
 	// the unchanged path.
 	Channel channel.Model
+	// Backend selects the synchronous executor. Empty means automatic:
+	// the bit-plane packed backend (see packed.go) when the machine is
+	// packed-eligible, the run is static (no Scenario, no Channel) and
+	// the graph is large enough to profit; the flat executor otherwise.
+	// BackendFlat forces the flat executor; BackendPacked forces the
+	// packed one and errors when the machine or run shape does not
+	// support it. All backends are bit-identical on the runs they
+	// share, so the choice is purely a performance knob.
+	Backend string
 }
 
 // SyncResult reports a completed synchronous run.

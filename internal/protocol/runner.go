@@ -57,6 +57,11 @@ type SyncConfig struct {
 	// unreliable-link model (engine-hosted protocols only; see package
 	// channel).
 	Channel channel.Model
+	// Backend selects the synchronous executor (engine-hosted protocols
+	// only): empty auto-selects, engine.BackendFlat / engine.BackendPacked
+	// force one. All backends are bit-identical where they overlap; see
+	// engine.SyncConfig.Backend. Bespoke engines ignore it.
+	Backend string
 }
 
 // AsyncConfig parameterizes an asynchronous protocol run.
@@ -401,6 +406,7 @@ func (b *Bound) RunSyncReusing(cfg SyncConfig, s *Scratch) (*Run, error) {
 		Seed: cfg.Seed, MaxRounds: cfg.MaxRounds,
 		Workers: cfg.Workers, Observer: cfg.Observer,
 		Scenario: sc, Channel: cfg.Channel,
+		Backend: cfg.Backend,
 	}, s.engine())
 	if err != nil {
 		return nil, err
