@@ -27,6 +27,11 @@ test:
 # (TestPackedFootprint: packed run state stays under its bytes-per-node
 # budget); the million-node benchmark itself is size-gated off
 # single-core CI and runs via `make bench` on real hardware.
+# The final block is the distributed-sweep gate: the smoke spec sharded
+# over 3 worker processes (a fresh work directory, real re-exec'd
+# `stonesim work` workers) must emit JSON and CSV byte-identical to the
+# single-process run once -stripwall removes the machine-dependent
+# wall-clock stats.
 check: build
 	@fmt_out="$$(gofmt -l .)"; if [ -n "$$fmt_out" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
@@ -38,19 +43,25 @@ check: build
 	go run ./cmd/stonesim sweep -spec examples/specs/all-protocols.json -q
 	go run ./cmd/stonesim sweep -spec examples/specs/churn-mis.json -q -trials 4
 	go run ./cmd/stonesim sweep -spec examples/specs/lossy-mis.json -q -trials 4
+	rm -rf /tmp/stonesim-check-shard
+	go run ./cmd/stonesim sweep -spec examples/specs/smoke.json -q -stripwall -json /tmp/stonesim-shard-1.json -csv /tmp/stonesim-shard-1.csv
+	go run ./cmd/stonesim sweep -spec examples/specs/smoke.json -q -stripwall -procs 3 -workdir /tmp/stonesim-check-shard -json /tmp/stonesim-shard-3.json -csv /tmp/stonesim-shard-3.csv
+	cmp /tmp/stonesim-shard-1.json /tmp/stonesim-shard-3.json
+	cmp /tmp/stonesim-shard-1.csv /tmp/stonesim-shard-3.csv
 	@echo "check: OK"
 
-# bench regenerates BENCH_8.json from the tracked benchmark set
+# bench regenerates BENCH_9.json from the tracked benchmark set
 # (E1 MIS sync — including the streamed million-node bit-plane run
 # where the host allows it — E2 MIS async, E3 synchronizer overhead, the αβ
 # tolerant-synchronizer overhead, E5 tree coloring, E9
 # nFSM-simulates-LBA, the engine ref-vs-compiled and per-step
-# ablations, the campaign sweep, and the registry-generated protocol
+# ablations, the campaign sweep, the sharded-sweep dispatch overhead at
+# 1/2/4 procs, and the registry-generated protocol
 # matrix), with -benchmem, then diffs ns/op against the previous
 # BENCH_N.json and warns on >15% regressions. Override the output file
 # or iteration count with BENCH_OUT / BENCH_TIME, the comparison
 # baseline with BENCH_PREV (BENCH_PREV=none skips it).
-BENCH_OUT ?= BENCH_8.json
+BENCH_OUT ?= BENCH_9.json
 BENCH_TIME ?= 20x
 
 bench:

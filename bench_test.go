@@ -8,6 +8,7 @@ package stoneage
 // track the simulation cost of each subsystem.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
@@ -20,6 +21,7 @@ import (
 	"stoneage/internal/channel"
 	"stoneage/internal/coloring"
 	"stoneage/internal/degcolor"
+	"stoneage/internal/dispatch"
 	"stoneage/internal/engine"
 	"stoneage/internal/graph"
 	"stoneage/internal/lba"
@@ -547,6 +549,50 @@ func BenchmarkCampaignMISSweep(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				sp.Seed = uint64(i + 1)
 				if _, err := campaign.Run(sp); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShardedSweep measures the dispatch layer: the same MIS
+// sweep coordinated over worker processes' protocol — in-process
+// workers here, so the number is coordination overhead (socket
+// round-trips, spill fsyncs, merge) plus cell-level parallelism, not
+// exec cost. Shard scaling is the point of the benchmark: on
+// single-core CI the 2- and 4-proc runs measure pure overhead, and
+// only on multi-core hosts do they show the speedup.
+func BenchmarkShardedSweep(b *testing.B) {
+	spec := campaign.Spec{
+		Protocols: []string{"mis"},
+		Families: []campaign.Family{
+			{Kind: "gnp"}, {Kind: "geometric"}, {Kind: "powerlaw"}, {Kind: "smallworld"},
+		},
+		Sizes:  []int{256, 1024},
+		Trials: 8,
+		Seed:   1,
+	}
+	spawn := func(ctx context.Context, o dispatch.Options) (func() error, error) {
+		errc := make(chan error, 1)
+		go func() {
+			_, err := dispatch.Work(ctx, o)
+			errc <- err
+		}()
+		return func() error { return <-errc }, nil
+	}
+	for _, procs := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			sp := spec
+			for i := 0; i < b.N; i++ {
+				sp.Seed = uint64(i + 1)
+				dir, err := os.MkdirTemp(b.TempDir(), "shard")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := dispatch.Run(context.Background(), dispatch.Config{
+					Spec: sp, WorkDir: dir, Procs: procs, SpawnWorker: spawn,
+				}); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -79,11 +79,11 @@ func expE1(cfg config) ([]*harness.Table, error) {
 		Header: append([]string{"family"}, sizeHeaders(sizes, "rounds/log²n @max", "best fit")...),
 	}
 	chart := map[string][]float64{}
-	for fi, fam := range sp.Families {
+	for _, fam := range sp.Families {
 		row := []any{fam.Name()}
 		var ys []float64
-		for si := range sizes {
-			mean := res.Cells[fi*len(sizes)+si].Rounds.Mean
+		for _, n := range sizes {
+			mean := res.Lookup(sp.Protocols[0], fam.Name(), n).Rounds.Mean
 			ys = append(ys, mean)
 			row = append(row, mean)
 		}
@@ -312,11 +312,11 @@ func expE5(cfg config) ([]*harness.Table, error) {
 		Header: append([]string{"family"}, sizeHeaders(sizes, "rounds/log n @max", "best fit")...),
 	}
 	chart := map[string][]float64{}
-	for fi, fam := range sp.Families {
+	for _, fam := range sp.Families {
 		row := []any{fam.Name()}
 		var ys []float64
-		for si := range sizes {
-			mean := res.Cells[fi*len(sizes)+si].Rounds.Mean
+		for _, n := range sizes {
+			mean := res.Lookup(sp.Protocols[0], fam.Name(), n).Rounds.Mean
 			ys = append(ys, mean)
 			row = append(row, mean)
 		}

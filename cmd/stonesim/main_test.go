@@ -516,3 +516,57 @@ func TestTraceCSV(t *testing.T) {
 		t.Fatalf("trace header = %q", string(data)[:40])
 	}
 }
+
+// TestWorkAndShardedSweep wires the dispatch layer through the CLI: a
+// coordinator-less `work` run executes every cell into the work
+// directory's spill files, and a subsequent `sweep -procs` over the
+// same directory resumes all of them (zero re-runs, zero workers
+// spawned) and merges output byte-identical to the plain in-process
+// sweep once -stripwall removes the wall-clock stats.
+func TestWorkAndShardedSweep(t *testing.T) {
+	spec := writeSweepSpec(t)
+	dir := t.TempDir()
+	wd := filepath.Join(dir, "wd")
+
+	refJSON := filepath.Join(dir, "ref.json")
+	refCSV := filepath.Join(dir, "ref.csv")
+	runCLI(t, "sweep", "-spec", spec, "-q", "-stripwall", "-json", refJSON, "-csv", refCSV)
+
+	out := runCLI(t, "work", "-workdir", wd, "-spec", spec)
+	if !strings.Contains(out, "worker done: 4 cells") {
+		t.Fatalf("work output = %q, want 4 cells done", out)
+	}
+
+	gotJSON := filepath.Join(dir, "merged.json")
+	gotCSV := filepath.Join(dir, "merged.csv")
+	mout := runCLI(t, "sweep", "-spec", spec, "-procs", "3", "-workdir", wd,
+		"-stripwall", "-json", gotJSON, "-csv", gotCSV)
+	if !strings.Contains(mout, "resumed=4") || !strings.Contains(mout, "executed=0") {
+		t.Fatalf("sharded sweep did not resume from spills:\n%s", mout)
+	}
+	for _, pair := range [][2]string{{refJSON, gotJSON}, {refCSV, gotCSV}} {
+		a, err := os.ReadFile(pair[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Fatalf("%s and %s differ: sharded merge is not byte-identical", pair[0], pair[1])
+		}
+	}
+}
+
+// TestWorkErrors pins the work subcommand's argument contract.
+func TestWorkErrors(t *testing.T) {
+	if msg := runCLIErr(t, "work"); !strings.Contains(msg, "-workdir is required") {
+		t.Fatalf("work without -workdir: %q", msg)
+	}
+	// A fresh directory with no spec.json and no -spec cannot know what
+	// sweep to run.
+	if msg := runCLIErr(t, "work", "-workdir", t.TempDir()); !strings.Contains(msg, "loading sweep spec") {
+		t.Fatalf("work without a spec: %q", msg)
+	}
+}

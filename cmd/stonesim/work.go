@@ -1,0 +1,73 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"stoneage/internal/campaign"
+	"stoneage/internal/dispatch"
+)
+
+// runWork is the `stonesim work` subcommand: one sweep worker. The
+// coordinator (`stonesim sweep -procs N`) re-execs it against its
+// socket; run by hand with no -connect it works coordinator-less
+// against the shared work directory, claiming cells via O_EXCL claim
+// files — several machines sharing a filesystem can each run one and a
+// final `stonesim sweep -procs 1 -workdir D` merges the spills.
+// SIGINT/SIGTERM stops at the next trial boundary; every finished cell
+// is already fsync'd in this worker's spill file.
+func runWork(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("stonesim work", flag.ContinueOnError)
+	workdir := fs.String("workdir", "", "sweep work directory (required)")
+	connect := fs.String("connect", "", "coordinator socket to serve under (empty = coordinator-less claim-directory mode)")
+	id := fs.String("id", "", "worker id (default derives from the pid); keys the spill file and claims")
+	spec := fs.String("spec", "", "campaign spec file; default reads <workdir>/spec.json (a fresh directory requires one, and is then stamped for later workers)")
+	lease := fs.Duration("lease", 0, "lease TTL before a silent worker's claims are stolen (default 15s)")
+	heartbeat := fs.Duration("heartbeat", 0, "lease renewal period (default lease/3)")
+	quiet := fs.Bool("q", false, "suppress progress output")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *workdir == "" {
+		return fmt.Errorf("work: -workdir is required")
+	}
+	opts := dispatch.Options{
+		ID:        *id,
+		WorkDir:   *workdir,
+		Connect:   *connect,
+		LeaseTTL:  *lease,
+		Heartbeat: *heartbeat,
+	}
+	if !*quiet {
+		opts.Log = os.Stderr
+	}
+	if *spec != "" {
+		sp, err := campaign.LoadSpec(*spec)
+		if err != nil {
+			return err
+		}
+		opts.Spec = &sp
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	start := time.Now()
+	ran, err := dispatch.Work(ctx, opts)
+	if err != nil {
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "worker interrupted: %d finished cells are durable in %s; the in-flight cell will be re-claimed\n", ran, *workdir)
+		}
+		return err
+	}
+	if !*quiet {
+		fmt.Fprintf(w, "worker done: %d cells in %v\n", ran, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

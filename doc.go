@@ -20,7 +20,12 @@
 // SyncConfig.Backend or automatically at n ≥ 2¹⁶ and bit-identical to
 // the flat executor), the streamed graph builders
 // (graph.EdgeStream → BuildCSR, which reach n = 10⁶ without ever
-// materializing an edge list), BENCH_8.json for
+// materializing an edge list), the distributed-sweep dispatcher
+// (internal/dispatch: `stonesim sweep -procs N` shards a campaign's
+// cells over re-exec'd worker processes with fsync'd per-cell spill
+// checkpoints, lease-based crash recovery and a coordinator-less
+// claim-directory mode, merging byte-identically to the in-process
+// run at any shard count), BENCH_9.json for
 // the tracked benchmark measurements (regenerate with `make bench`,
 // which also warns on >15% ns/op regressions against the previous
 // snapshot — in CI the warnings become workflow annotations), and
@@ -75,7 +80,9 @@
 // the declarative cross product protocol × scenario × graph family ×
 // size with many trials per cell on a parallel worker pool, with
 // per-trial deterministic seeds (aggregates are identical at every
-// worker count). Run one with
+// worker count) — or sharded across worker processes with
+// `-procs N -workdir D`, where finished cells are durable and an
+// interrupted sweep resumes without re-running them. Run one with
 //
 //	go run ./cmd/stonesim sweep -spec examples/specs/mis-families.json
 //
@@ -91,6 +98,8 @@
 // CI gate (also run on every push and pull request by
 // .github/workflows/ci.yml): gofmt, go vet, the race-detector test
 // suite, the allocation-regression and ladder-queue suites, the
-// registry conformance suite, and the smoke, all-protocols,
-// churn-recovery and channel-robustness campaigns.
+// registry conformance suite, the smoke, all-protocols,
+// churn-recovery and channel-robustness campaigns, and the
+// distributed-sweep gate (the smoke spec sharded over 3 worker
+// processes must emit bytes identical to the single-process run).
 package stoneage

@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -81,9 +82,11 @@ type CellResult struct {
 	Corrupted  harness.Stats `json:"corrupted,omitzero"`
 }
 
-// Result is a completed campaign. Cells appear in the deterministic
-// spec order (protocol-major, then scenario, then family, then size),
-// independent of the worker schedule.
+// Result is a completed campaign. Cells appear in canonical cell
+// order (CellID.less: protocol, engine, scenario, channel, family,
+// size — sorted coordinates, not spec-list positions), independent of
+// the worker schedule, the shard count and the order the spec's lists
+// were written in.
 type Result struct {
 	Spec       Spec         `json:"spec"`
 	RoundsUnit string       `json:"roundsUnit"` // "rounds" | "time-units"
@@ -143,30 +146,26 @@ type cell struct {
 // program concurrently), and every trial's output is validated by the
 // descriptor's Check before it counts.
 func Run(sp Spec) (*Result, error) {
+	return RunContext(context.Background(), sp)
+}
+
+// RunContext is Run with cancellation: when the context is canceled,
+// workers stop claiming jobs at the next trial boundary and the
+// campaign returns an "interrupted" error instead of a partial result
+// (a killed sweep must never emit half-aggregated cells).
+func RunContext(ctx context.Context, sp Spec) (*Result, error) {
 	if err := sp.Validate(); err != nil {
 		return nil, err
 	}
 
-	engs := sp.engineAxis()
-	scns := sp.scenarioAxis()
-	chans := sp.channelAxis()
-	cells := make([]*cell, 0, len(sp.Protocols)*len(engs)*len(scns)*len(chans)*len(sp.Families)*len(sp.Sizes))
-	for _, p := range sp.Protocols {
-		d, err := protocol.Lookup(p) // Validate already vouched for it
+	ids := sp.CellIDs()
+	cells := make([]*cell, len(ids))
+	for i, id := range ids {
+		d, err := protocol.Lookup(id.Protocol) // Validate already vouched for it
 		if err != nil {
 			return nil, err
 		}
-		for _, eng := range engs {
-			for _, s := range scns {
-				for _, ch := range chans {
-					for _, f := range sp.Families {
-						for _, n := range sp.Sizes {
-							cells = append(cells, &cell{desc: d, eng: eng, scn: s, ch: ch, family: f, size: n})
-						}
-					}
-				}
-			}
-		}
+		cells[i] = &cell{desc: d, eng: id.Engine, scn: id.Scenario, ch: id.Channel, family: id.Family, size: id.Size}
 	}
 
 	workers := sp.Workers
@@ -209,7 +208,7 @@ func Run(sp Spec) (*Result, error) {
 					return
 				}
 				cell, trial := j/sp.Trials, j%sp.Trials
-				if failed.Load() {
+				if failed.Load() || ctx.Err() != nil {
 					samples[cell][trial] = sample{err: errCanceled}
 					continue
 				}
@@ -223,32 +222,50 @@ func Run(sp Spec) (*Result, error) {
 	}
 	wg.Wait()
 
-	// Report the first real failure in deterministic (spec) order.
+	// Report the first real failure in canonical cell order.
 	for i, c := range cells {
 		for trial, s := range samples[i] {
 			if s.err != nil && s.err != errCanceled {
-				where := fmt.Sprintf("%s/%s/n=%d", c.desc.Name, c.family.Name(), c.size)
-				if !c.scn.None() {
-					where = fmt.Sprintf("%s/%s@%s/n=%d", c.desc.Name, c.family.Name(), c.scn.Name(), c.size)
-				}
-				if !c.ch.None() {
-					where = fmt.Sprintf("%s ch=%s", where, c.ch.Name())
-				}
-				if len(sp.Engines) > 0 {
-					where = fmt.Sprintf("%s eng=%s", where, c.eng)
-				}
-				return nil, fmt.Errorf("campaign: %s trial %d: %w", where, trial, s.err)
+				return nil, fmt.Errorf("campaign: %s trial %d: %w", c.describe(&sp), trial, s.err)
 			}
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("campaign: interrupted: %w", err)
 	}
 	if failed.Load() {
 		return nil, errCanceled // unreachable: a real error always precedes it
 	}
 
-	// Units describe the whole campaign when every engine agrees; a
-	// mixed-engine sweep labels them per-cell via CellResult.Engine.
+	res := newResult(sp)
+	for i, c := range cells {
+		res.Cells = append(res.Cells, sp.aggregateCell(c, samples[i]))
+	}
+	return res, nil
+}
+
+// describe renders the cell's coordinates the way campaign errors name
+// them.
+func (c *cell) describe(sp *Spec) string {
+	where := fmt.Sprintf("%s/%s/n=%d", c.desc.Name, c.family.Name(), c.size)
+	if !c.scn.None() {
+		where = fmt.Sprintf("%s/%s@%s/n=%d", c.desc.Name, c.family.Name(), c.scn.Name(), c.size)
+	}
+	if !c.ch.None() {
+		where = fmt.Sprintf("%s ch=%s", where, c.ch.Name())
+	}
+	if len(sp.Engines) > 0 {
+		where = fmt.Sprintf("%s eng=%s", where, c.eng)
+	}
+	return where
+}
+
+// newResult builds the empty result shell: the spec plus the campaign
+// units. Units describe the whole campaign when every engine agrees; a
+// mixed-engine sweep labels them per-cell via CellResult.Engine.
+func newResult(sp Spec) *Result {
 	anySync, anyAsync := false, false
-	for _, eng := range engs {
+	for _, eng := range sp.engineAxis() {
 		if eng == "sync" || eng == "sync-packed" {
 			anySync = true
 		} else {
@@ -262,69 +279,74 @@ func Run(sp Spec) (*Result, error) {
 	case anyAsync:
 		res.RoundsUnit, res.TxUnit = "time-units", "steps"
 	}
-	for i, c := range cells {
-		rounds := make([]float64, 0, sp.Trials)
-		tx := make([]float64, 0, sp.Trials)
-		recovery := make([]float64, 0, sp.Trials)
-		perturb := make([]float64, 0, sp.Trials)
-		wall := make([]float64, 0, sp.Trials)
-		var dropped, dup, delayed, reordered, corrupted []float64
-		conv, valid := 0.0, 0.0
-		for _, s := range samples[i] {
-			conv += s.converged
-			valid += s.valid
-			wall = append(wall, s.wallMS)
-			if s.converged == 0 {
-				continue // cost of a non-converged trial is meaningless
-			}
-			rounds = append(rounds, s.rounds)
-			tx = append(tx, s.tx)
-			recovery = append(recovery, s.recovery)
-			perturb = append(perturb, s.perturb)
-			if !c.ch.None() {
-				dropped = append(dropped, s.dropped)
-				dup = append(dup, s.dup)
-				delayed = append(delayed, s.delayed)
-				reordered = append(reordered, s.reordered)
-				corrupted = append(corrupted, s.corrupted)
-			}
+	return res
+}
+
+// aggregateCell folds one cell's trial samples into its CellResult.
+// The fold is a pure function of the samples (which are pure functions
+// of content-derived seeds), so a cell aggregated in a worker process
+// is bit-identical to the same cell of an in-process sweep.
+func (sp *Spec) aggregateCell(c *cell, samples []sample) CellResult {
+	rounds := make([]float64, 0, sp.Trials)
+	tx := make([]float64, 0, sp.Trials)
+	recovery := make([]float64, 0, sp.Trials)
+	perturb := make([]float64, 0, sp.Trials)
+	wall := make([]float64, 0, sp.Trials)
+	var dropped, dup, delayed, reordered, corrupted []float64
+	conv, valid := 0.0, 0.0
+	for _, s := range samples {
+		conv += s.converged
+		valid += s.valid
+		wall = append(wall, s.wallMS)
+		if s.converged == 0 {
+			continue // cost of a non-converged trial is meaningless
 		}
-		// The cell's descriptive shape is graph instance 0's — under
-		// shared graphs the instance every trial ran on.
-		first := samples[i][0]
-		cr := CellResult{
-			Protocol:      c.desc.Name,
-			Family:        c.family.Name(),
-			Size:          c.size,
-			N:             first.n,
-			M:             first.m,
-			MaxDeg:        first.maxDeg,
-			Trials:        sp.Trials,
-			Rounds:        harness.Summarize(rounds),
-			Transmissions: harness.Summarize(tx),
-			WallMS:        harness.Summarize(wall),
-			ConvergedRate: conv / float64(sp.Trials),
-			ValidRate:     valid / float64(sp.Trials),
-		}
-		if len(sp.Engines) > 0 {
-			cr.Engine = c.eng
-		}
-		if !c.scn.None() {
-			cr.Scenario = c.scn.Name()
-			cr.Recovery = harness.Summarize(recovery)
-			cr.Perturbations = harness.Summarize(perturb)
-		}
+		rounds = append(rounds, s.rounds)
+		tx = append(tx, s.tx)
+		recovery = append(recovery, s.recovery)
+		perturb = append(perturb, s.perturb)
 		if !c.ch.None() {
-			cr.Channel = c.ch.Name()
-			cr.Dropped = harness.Summarize(dropped)
-			cr.Duplicated = harness.Summarize(dup)
-			cr.Delayed = harness.Summarize(delayed)
-			cr.Reordered = harness.Summarize(reordered)
-			cr.Corrupted = harness.Summarize(corrupted)
+			dropped = append(dropped, s.dropped)
+			dup = append(dup, s.dup)
+			delayed = append(delayed, s.delayed)
+			reordered = append(reordered, s.reordered)
+			corrupted = append(corrupted, s.corrupted)
 		}
-		res.Cells = append(res.Cells, cr)
 	}
-	return res, nil
+	// The cell's descriptive shape is graph instance 0's — under
+	// shared graphs the instance every trial ran on.
+	first := samples[0]
+	cr := CellResult{
+		Protocol:      c.desc.Name,
+		Family:        c.family.Name(),
+		Size:          c.size,
+		N:             first.n,
+		M:             first.m,
+		MaxDeg:        first.maxDeg,
+		Trials:        sp.Trials,
+		Rounds:        harness.Summarize(rounds),
+		Transmissions: harness.Summarize(tx),
+		WallMS:        harness.Summarize(wall),
+		ConvergedRate: conv / float64(sp.Trials),
+		ValidRate:     valid / float64(sp.Trials),
+	}
+	if len(sp.Engines) > 0 {
+		cr.Engine = c.eng
+	}
+	if !c.scn.None() {
+		cr.Scenario = c.scn.Name()
+		cr.Recovery = harness.Summarize(recovery)
+		cr.Perturbations = harness.Summarize(perturb)
+	}
+	if !c.ch.None() {
+		cr.Channel = c.ch.Name()
+		cr.Dropped = harness.Summarize(dropped)
+		cr.Duplicated = harness.Summarize(dup)
+		cr.Delayed = harness.Summarize(delayed)
+		cr.Reordered = harness.Summarize(reordered)
+		cr.Corrupted = harness.Summarize(corrupted)
+	}
+	return cr
 }
 
 // prepare lazily binds the cell's protocol to its shared graph. Safe

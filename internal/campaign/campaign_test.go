@@ -176,12 +176,13 @@ func TestGraphPerTrial(t *testing.T) {
 	// Graph instance 0 is the same in both modes, so trial 0 agrees;
 	// later trials see different graphs, so the gnp aggregates should
 	// differ (if they ever collide, the seed below needs changing —
-	// astronomically unlikely).
-	if shared.Cells[0].Rounds == fresh.Cells[0].Rounds &&
-		shared.Cells[0].Transmissions == fresh.Cells[0].Transmissions {
+	// astronomically unlikely). Cells are in canonical order: cycle
+	// sorts before gnp.
+	if shared.Cells[1].Rounds == fresh.Cells[1].Rounds &&
+		shared.Cells[1].Transmissions == fresh.Cells[1].Transmissions {
 		t.Fatal("graphPerTrial left gnp aggregates unchanged")
 	}
-	if shared.Cells[1].Rounds != fresh.Cells[1].Rounds {
+	if shared.Cells[0].Rounds != fresh.Cells[0].Rounds {
 		t.Fatal("graphPerTrial changed the deterministic cycle family")
 	}
 }
@@ -317,7 +318,9 @@ func TestRegistryDropIn(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Cells) != 4 || res.Cells[0].Protocol != name {
+	// Canonical cell order: mis sorts before toy-beacon, cycle before
+	// gnp within each protocol block.
+	if len(res.Cells) != 4 || res.Cells[0].Protocol != "mis" || res.Cells[2].Protocol != name {
 		t.Fatalf("unexpected cells: %+v", res.Cells)
 	}
 }

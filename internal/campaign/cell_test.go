@@ -1,0 +1,192 @@
+package campaign
+
+import (
+	"context"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"stoneage/internal/protocol"
+	"stoneage/internal/scenario"
+)
+
+// TestCanonicalCellOrder pins the ordering contract the distributed
+// merge and the resume keys depend on: the cell order is derived from
+// canonical cell identity (sorted coordinates), not from the order the
+// spec's lists were written in — permuting a spec's lists changes
+// neither the CellIDs sequence nor the order of Result.Cells.
+func TestCanonicalCellOrder(t *testing.T) {
+	sp := Spec{
+		Protocols: []string{"mis", "color3"},
+		Families:  []Family{{Kind: "tree"}, {Kind: "binary"}},
+		Sizes:     []int{32, 16},
+		Trials:    1,
+		Seed:      2,
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	perm := sp
+	perm.Protocols = []string{"color3", "mis"}
+	perm.Families = []Family{{Kind: "binary"}, {Kind: "tree"}}
+	perm.Sizes = []int{16, 32}
+
+	keys := func(s Spec) []string {
+		var out []string
+		for _, id := range s.CellIDs() {
+			out = append(out, id.Key())
+		}
+		return out
+	}
+	a, b := keys(sp), keys(perm)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("cell order depends on spec-list order:\n%v\n%v", a, b)
+	}
+	if !sort.StringsAreSorted([]string{a[0][:strings.Index(a[0], "|")], a[len(a)-1][:strings.Index(a[len(a)-1], "|")]}) {
+		t.Fatalf("protocols out of canonical order: %v", a)
+	}
+	// The explicit expected sequence: protocol-major (sorted), family
+	// kind next (binary < tree), size innermost ascending.
+	want := []struct {
+		proto, kind string
+		size        int
+	}{
+		{"color3", "binary", 16}, {"color3", "binary", 32},
+		{"color3", "tree", 16}, {"color3", "tree", 32},
+		{"mis", "binary", 16}, {"mis", "binary", 32},
+		{"mis", "tree", 16}, {"mis", "tree", 32},
+	}
+	ids := sp.CellIDs()
+	if len(ids) != len(want) {
+		t.Fatalf("got %d cells, want %d", len(ids), len(want))
+	}
+	for i, w := range want {
+		id := ids[i]
+		if id.Protocol != w.proto || id.Family.Kind != w.kind || id.Size != w.size {
+			t.Fatalf("cell %d = %s/%s/n=%d, want %s/%s/n=%d",
+				i, id.Protocol, id.Family.Kind, id.Size, w.proto, w.kind, w.size)
+		}
+	}
+	// Result.Cells must follow the same sequence.
+	res, err := Run(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range want {
+		c := res.Cells[i]
+		if c.Protocol != w.proto || c.Size != w.size {
+			t.Fatalf("result cell %d = %s/%s/n=%d, want %s/%s/n=%d",
+				i, c.Protocol, c.Family, c.Size, w.proto, w.kind, w.size)
+		}
+	}
+}
+
+// TestRunCellMatchesRun is the sharding soundness property: running
+// every cell individually through RunCell (the worker-process path)
+// and merging by canonical key reproduces the in-process Run result
+// bit-identically, wall-clock stats aside.
+func TestRunCellMatchesRun(t *testing.T) {
+	sp := Spec{
+		Name:      "runcell",
+		Protocols: []string{"mis", "ssmis"},
+		Families:  []Family{{Kind: "gnp"}, {Kind: "cycle"}},
+		Sizes:     []int{16, 32},
+		Scenarios: []scenario.Def{{Kind: "none"}, {Kind: "churn", Rate: 2, Count: 2, At: scenario.Round(4), Every: 16}},
+		Trials:    3,
+		Seed:      21,
+		MaxRounds: 1 << 14,
+	}
+	base, err := Run(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.StripWall()
+
+	cells := map[string]CellResult{}
+	scratch := protocol.NewScratch()
+	for _, id := range sp.CellIDs() {
+		cr, err := RunCell(sp, id, scratch)
+		if err != nil {
+			t.Fatalf("cell %s: %v", id.Key(), err)
+		}
+		cells[id.Key()] = cr
+	}
+	got, err := Merge(sp, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.StripWall()
+	if !reflect.DeepEqual(got.Cells, base.Cells) {
+		t.Fatalf("per-cell execution + merge diverged from Run:\n%+v\n%+v", got.Cells, base.Cells)
+	}
+}
+
+// TestMergeMissingCell pins the merge completeness check.
+func TestMergeMissingCell(t *testing.T) {
+	sp := misSpec(1)
+	_, err := Merge(sp, map[string]CellResult{})
+	if err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("merge of empty cell set: %v", err)
+	}
+}
+
+// TestRunCellError surfaces per-trial failures with the same cell and
+// trial coordinates Run reports.
+func TestRunCellError(t *testing.T) {
+	sp := Spec{
+		Protocols: []string{"mis"},
+		Families:  []Family{{Kind: "gnp"}},
+		Sizes:     []int{64},
+		Trials:    2,
+		Seed:      1,
+		MaxRounds: 1,
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := RunCell(sp, sp.CellIDs()[0], nil)
+	if err == nil || !strings.Contains(err.Error(), "mis/gnp/n=64 trial") {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+// TestFingerprint pins what invalidates a resume checkpoint: any
+// result-determining knob (seed, trials, sizes, …) changes the
+// fingerprint; the display name and the worker count do not.
+func TestFingerprint(t *testing.T) {
+	base := misSpec(0)
+	fp := base.Fingerprint()
+
+	same := base
+	same.Name = "renamed"
+	same.Workers = 7
+	if same.Fingerprint() != fp {
+		t.Fatal("display name / worker count perturbed the fingerprint")
+	}
+
+	for name, mut := range map[string]func(*Spec){
+		"seed":   func(s *Spec) { s.Seed++ },
+		"trials": func(s *Spec) { s.Trials++ },
+		"sizes":  func(s *Spec) { s.Sizes = s.Sizes[:len(s.Sizes)-1] },
+		"maxR":   func(s *Spec) { s.MaxRounds = 99 },
+	} {
+		sp := misSpec(0)
+		mut(&sp)
+		if sp.Fingerprint() == fp {
+			t.Fatalf("%s change left the fingerprint unchanged", name)
+		}
+	}
+}
+
+// TestRunContextCanceled pins the graceful-shutdown contract: a
+// canceled campaign returns an interrupted error, never a partial
+// result.
+func TestRunContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunContext(ctx, misSpec(2))
+	if res != nil || err == nil || !strings.Contains(err.Error(), "interrupted") {
+		t.Fatalf("res=%v err=%v, want nil + interrupted", res, err)
+	}
+}

@@ -8,12 +8,15 @@ import (
 	"strconv"
 	"strings"
 
+	"stoneage/internal/channel"
 	"stoneage/internal/harness"
+	"stoneage/internal/scenario"
 )
 
 // WriteJSON emits the result as indented JSON. The field and cell order
-// is deterministic (spec order), so two runs of the same spec produce
-// byte-identical output once wall-clock stats are stripped.
+// is deterministic (canonical cell order), so two runs of the same spec
+// — at any worker or shard count — produce byte-identical output once
+// wall-clock stats are stripped.
 func (r *Result) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -36,7 +39,7 @@ var csvHeader = []string{
 	"wall_ms_mean", "wall_ms_std", "wall_ms_p90",
 }
 
-// WriteCSV emits one row per cell in spec order.
+// WriteCSV emits one row per cell in canonical cell order.
 func (r *Result) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(csvHeader); err != nil {
@@ -156,39 +159,56 @@ func (r *Result) Tables() []*harness.Table {
 			tables = append(tables, st)
 		}
 	}
-	// Cells arrive protocol-major, then scenario, then channel, then
-	// family, with the size ladder innermost: walk each protocol's block
-	// row by row.
-	for i := 0; i < len(r.Cells); {
-		c := r.Cells[i]
-		row := []string{rowLabel(c)}
-		var recRow, surRow []string
-		if c.Scenario != "" {
-			recRow = []string{rowLabel(c)}
+	// Result.Cells is in canonical cell order; the tables present rows
+	// in spec order (the order the author wrote the axes in), so index
+	// the cells by canonical identity and walk the spec's cross product.
+	idx := make(map[string]CellResult, len(r.Cells))
+	for i, id := range r.Spec.CellIDs() {
+		if i >= len(r.Cells) {
+			break
 		}
-		if unreliable {
-			surRow = []string{rowLabel(c)}
-		}
-		for range r.Spec.Sizes {
-			cc := r.Cells[i]
-			row = append(row, fmt.Sprintf("%s ± %s",
-				harness.FormatFloat(cc.Rounds.Mean), harness.FormatFloat(cc.Rounds.Std)))
-			if recRow != nil {
-				recRow = append(recRow, fmt.Sprintf("%s ± %s",
-					harness.FormatFloat(cc.Recovery.Mean), harness.FormatFloat(cc.Recovery.Std)))
+		idx[id.Key()] = r.Cells[i]
+	}
+	at := func(p, eng string, scn scenario.Def, ch channel.Def, f Family, n int) CellResult {
+		return idx[CellID{Protocol: p, Engine: eng, Scenario: scn, Channel: ch, Family: f, Size: n}.Key()]
+	}
+	for _, p := range r.Spec.Protocols {
+		for _, eng := range r.Spec.engineAxis() {
+			for _, scn := range r.Spec.scenarioAxis() {
+				for _, ch := range r.Spec.channelAxis() {
+					for _, fam := range r.Spec.Families {
+						c := at(p, eng, scn, ch, fam, r.Spec.Sizes[0])
+						row := []string{rowLabel(c)}
+						var recRow, surRow []string
+						if c.Scenario != "" {
+							recRow = []string{rowLabel(c)}
+						}
+						if unreliable {
+							surRow = []string{rowLabel(c)}
+						}
+						for _, n := range r.Spec.Sizes {
+							cc := at(p, eng, scn, ch, fam, n)
+							row = append(row, fmt.Sprintf("%s ± %s",
+								harness.FormatFloat(cc.Rounds.Mean), harness.FormatFloat(cc.Rounds.Std)))
+							if recRow != nil {
+								recRow = append(recRow, fmt.Sprintf("%s ± %s",
+									harness.FormatFloat(cc.Recovery.Mean), harness.FormatFloat(cc.Recovery.Std)))
+							}
+							if surRow != nil {
+								surRow = append(surRow, fmt.Sprintf("%s/%s",
+									harness.FormatFloat(cc.ConvergedRate), harness.FormatFloat(cc.ValidRate)))
+							}
+						}
+						byProto[p].Rows = append(byProto[p].Rows, row)
+						if recRow != nil {
+							recovery[p].Rows = append(recovery[p].Rows, recRow)
+						}
+						if surRow != nil {
+							survival[p].Rows = append(survival[p].Rows, surRow)
+						}
+					}
+				}
 			}
-			if surRow != nil {
-				surRow = append(surRow, fmt.Sprintf("%s/%s",
-					harness.FormatFloat(cc.ConvergedRate), harness.FormatFloat(cc.ValidRate)))
-			}
-			i++
-		}
-		byProto[c.Protocol].Rows = append(byProto[c.Protocol].Rows, row)
-		if recRow != nil {
-			recovery[c.Protocol].Rows = append(recovery[c.Protocol].Rows, recRow)
-		}
-		if surRow != nil {
-			survival[c.Protocol].Rows = append(survival[c.Protocol].Rows, surRow)
 		}
 	}
 	return tables

@@ -1,0 +1,51 @@
+package dispatch
+
+import "stoneage/internal/campaign"
+
+// Wire protocol of the coordinator socket: one JSON object per line in
+// each direction over a local stream socket, strictly request/response
+// — every worker message gets exactly one coordinator reply, so a
+// single decoder per side needs no reply routing. The worker
+// serializes its requests (including background heartbeats) behind one
+// mutex, which is what keeps the pairing trivially correct.
+//
+// Worker → coordinator:
+//
+//	hello     worker id + spec fingerprint; must be the first message
+//	next      ask for a cell to run
+//	result    a finished cell (the durable copy is already in the
+//	          worker's spill file; the socket copy feeds the merge)
+//	failed    a cell whose trial hard-failed — aborts the sweep
+//	heartbeat renew this worker's leases during a long cell
+//
+// Coordinator → worker:
+//
+//	ok        hello/result/failed/heartbeat acknowledged
+//	cell      run the cell named by key
+//	wait      nothing claimable right now (others hold leases); poll again
+//	done      every cell is finished; exit cleanly
+//	abort     the sweep failed (or the fingerprint mismatched); exit
+const (
+	msgHello     = "hello"
+	msgNext      = "next"
+	msgResult    = "result"
+	msgFailed    = "failed"
+	msgHeartbeat = "heartbeat"
+
+	msgOK    = "ok"
+	msgCell  = "cell"
+	msgWait  = "wait"
+	msgDone  = "done"
+	msgAbort = "abort"
+)
+
+// msg is the single wire envelope; which fields are meaningful depends
+// on Type.
+type msg struct {
+	Type        string               `json:"type"`
+	Worker      string               `json:"worker,omitempty"`
+	Fingerprint string               `json:"fingerprint,omitempty"`
+	Key         string               `json:"key,omitempty"`
+	Cell        *campaign.CellResult `json:"cell,omitempty"`
+	Error       string               `json:"error,omitempty"`
+}

@@ -1,0 +1,108 @@
+package dispatch
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"stoneage/internal/campaign"
+)
+
+// spillRecord is one durable finished cell: the canonical cell key and
+// its aggregated result, one JSON object per line of a worker's spill
+// file.
+type spillRecord struct {
+	Key  string              `json:"key"`
+	Cell campaign.CellResult `json:"cell"`
+}
+
+// SpillWriter appends finished cells to a worker's spill file. Every
+// record is fsync'd before Append returns, so a worker killed at any
+// instant loses at most the cell it was executing — everything it
+// acknowledged is on disk. The file is opened in append mode: a
+// restarted worker under the same id extends its previous spill, and
+// duplicate records (a cell re-run after a lease was requeued) are
+// bit-identical apart from wall-clock stats, which ReadSpills
+// deduplicates away.
+type SpillWriter struct {
+	f *os.File
+}
+
+// OpenSpill opens (creating if needed) worker's spill file under dir.
+func OpenSpill(dir, worker string) (*SpillWriter, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "spill-"+worker+".jsonl"),
+		os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: opening spill: %w", err)
+	}
+	return &SpillWriter{f: f}, nil
+}
+
+// Append durably records one finished cell.
+func (w *SpillWriter) Append(key string, cell campaign.CellResult) error {
+	b, err := json.Marshal(spillRecord{Key: key, Cell: cell})
+	if err != nil {
+		return fmt.Errorf("dispatch: encoding spill record: %w", err)
+	}
+	b = append(b, '\n')
+	if _, err := w.f.Write(b); err != nil {
+		return fmt.Errorf("dispatch: writing spill record: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("dispatch: syncing spill: %w", err)
+	}
+	return nil
+}
+
+func (w *SpillWriter) Close() error { return w.f.Close() }
+
+// ReadSpills loads every finished cell recorded under dir, keyed by
+// canonical cell key. Files are read in sorted name order and the
+// first record per key wins, so the load is deterministic. A line that
+// fails to parse ends that file's scan without error: the only way a
+// bad line arises is a worker killed mid-write, and append-then-fsync
+// ordering guarantees everything before the torn tail is intact.
+func ReadSpills(dir string) (map[string]campaign.CellResult, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "spill-*.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	out := make(map[string]campaign.CellResult)
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return nil, fmt.Errorf("dispatch: reading spill: %w", err)
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+		for sc.Scan() {
+			line := bytes.TrimSpace(sc.Bytes())
+			if len(line) == 0 {
+				continue
+			}
+			var rec spillRecord
+			if err := json.Unmarshal(line, &rec); err != nil || rec.Key == "" {
+				break // torn tail from a killed worker; prior records stand
+			}
+			if _, ok := out[rec.Key]; !ok {
+				out[rec.Key] = rec.Cell
+			}
+		}
+		f.Close()
+	}
+	return out, nil
+}
+
+// keyHash names a cell's claim and done-marker files: cell keys contain
+// characters ('|', '/') that must not reach the filesystem.
+func keyHash(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:16])
+}
