@@ -22,7 +22,9 @@ test:
 # cut down for speed; every trial's output is still validated against
 # its final graph, with Byzantine nodes excluded). The lossy spec
 # carries the engine axis, so the gate exercises the sync engine, the
-# α synchronizer and the loss-tolerant αβ hybrid on every channel.
+# α synchronizer and the loss-tolerant αβ hybrid on every channel; the
+# hostile spec drives the same protocols through the voted αβv tier
+# against corruption and Byzantine silence, where the αβ hybrid fails.
 # The engine test line includes the bit-plane memory guard
 # (TestPackedFootprint: packed run state stays under its bytes-per-node
 # budget); the million-node benchmark itself is size-gated off
@@ -43,6 +45,7 @@ check: build
 	go run ./cmd/stonesim sweep -spec examples/specs/all-protocols.json -q
 	go run ./cmd/stonesim sweep -spec examples/specs/churn-mis.json -q -trials 4
 	go run ./cmd/stonesim sweep -spec examples/specs/lossy-mis.json -q -trials 4
+	go run ./cmd/stonesim sweep -spec examples/specs/hostile-mis.json -q -trials 4
 	rm -rf /tmp/stonesim-check-shard
 	go run ./cmd/stonesim sweep -spec examples/specs/smoke.json -q -stripwall -json /tmp/stonesim-shard-1.json -csv /tmp/stonesim-shard-1.csv
 	go run ./cmd/stonesim sweep -spec examples/specs/smoke.json -q -stripwall -procs 3 -workdir /tmp/stonesim-check-shard -json /tmp/stonesim-shard-3.json -csv /tmp/stonesim-shard-3.csv
@@ -50,18 +53,19 @@ check: build
 	cmp /tmp/stonesim-shard-1.csv /tmp/stonesim-shard-3.csv
 	@echo "check: OK"
 
-# bench regenerates BENCH_9.json from the tracked benchmark set
+# bench regenerates BENCH_10.json from the tracked benchmark set
 # (E1 MIS sync — including the streamed million-node bit-plane run
 # where the host allows it — E2 MIS async, E3 synchronizer overhead, the αβ
-# tolerant-synchronizer overhead, E5 tree coloring, E9
-# nFSM-simulates-LBA, the engine ref-vs-compiled and per-step
-# ablations, the campaign sweep, the sharded-sweep dispatch overhead at
-# 1/2/4 procs, and the registry-generated protocol
+# tolerant-synchronizer overhead, the voted αβv overhead (burst tax at
+# TU-ratio 1.0 plus the adaptive-backoff re-pulse savings under skew),
+# E5 tree coloring, E9 nFSM-simulates-LBA, the engine ref-vs-compiled
+# and per-step ablations, the campaign sweep, the sharded-sweep
+# dispatch overhead at 1/2/4 procs, and the registry-generated protocol
 # matrix), with -benchmem, then diffs ns/op against the previous
 # BENCH_N.json and warns on >15% regressions. Override the output file
 # or iteration count with BENCH_OUT / BENCH_TIME, the comparison
 # baseline with BENCH_PREV (BENCH_PREV=none skips it).
-BENCH_OUT ?= BENCH_9.json
+BENCH_OUT ?= BENCH_10.json
 BENCH_TIME ?= 20x
 
 bench:

@@ -267,6 +267,93 @@ func BenchmarkTolerantSynchroOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkVotedSynchroOverhead measures the αβv tax on top of the αβ
+// hybrid: on a reliable channel the voted tier's K-copy bursts triple
+// the per-emission channel work and the ring vote runs on every
+// receipt, but the K-th copy commits at the same absolute time a
+// single αβ copy would — so the TU ratio must hold at 1.0 while ns/op
+// pays for the burst, and nothing may evict. The skew pair then
+// measures the adaptive gate's yield where it earns its keep: under 2×
+// step skew the slow nodes' re-pulse timers fire constantly, and
+// backoff (cap 8) must transmit strictly fewer re-pulses than the
+// ungated cap-1 run on otherwise identical trials.
+func BenchmarkVotedSynchroOverhead(b *testing.B) {
+	g := graph.GnpConnected(48, 4.0/48, xrand.New(4))
+	d, err := protocol.Lookup("mis")
+	if err != nil {
+		b.Fatal(err)
+	}
+	bound, err := d.Bind(g, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	adv := engine.NamedAdversaries(9)["uniform"]
+	tolerantTU := 0.0
+	for _, variant := range []struct {
+		name    string
+		synchro string
+	}{
+		{"tolerant", protocol.SynchroTolerant},
+		{"voted", protocol.SynchroVoted},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			scratch := protocol.NewScratch()
+			tu := 0.0
+			for i := 0; i < b.N; i++ {
+				run, err := bound.RunAsyncReusing(protocol.AsyncConfig{
+					Seed: uint64(i), Adversary: adv, Synchro: variant.synchro,
+				}, scratch)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(run.EvictedEdges) != 0 {
+					b.Fatalf("%d edges evicted on reliable links", len(run.EvictedEdges))
+				}
+				tu = run.TimeUnits
+			}
+			b.ReportMetric(tu, "TU")
+			if variant.name == "tolerant" {
+				tolerantTU = tu
+			} else if tolerantTU > 0 {
+				b.ReportMetric(tu/tolerantTU, "TU-ratio-vs-tolerant")
+			}
+		})
+	}
+	skew := engine.Skew{Seed: 9, Ratio: 0.5}
+	ungated := 0.0
+	for _, variant := range []struct {
+		name string
+		cap  int
+	}{
+		{"skew-nobackoff", 1},
+		{"skew-backoff", 0}, // 0 selects the engine default cap (8)
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			scratch := protocol.NewScratch()
+			sends := 0.0
+			for i := 0; i < b.N; i++ {
+				run, err := bound.RunAsyncReusing(protocol.AsyncConfig{
+					Seed: uint64(i), Adversary: skew,
+					Synchro: protocol.SynchroVoted, RePulseCap: variant.cap,
+				}, scratch)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(run.EvictedEdges) != 0 {
+					b.Fatalf("%d edges evicted under pure skew", len(run.EvictedEdges))
+				}
+				sends = float64(run.RePulseSends)
+			}
+			b.ReportMetric(sends, "re-pulse-sends")
+			if variant.cap == 1 {
+				ungated = sends
+			} else if ungated > 0 && sends >= ungated {
+				b.Fatalf("backoff sent %g re-pulses, ungated sent %g — the gate saves nothing", sends, ungated)
+			}
+		})
+	}
+}
+
 // BenchmarkMultiLetterExpansion is E4: the Theorem 3.4 subround factor.
 func BenchmarkMultiLetterExpansion(b *testing.B) {
 	g := graph.GnpConnected(64, 4.0/64, xrand.New(5))

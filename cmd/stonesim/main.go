@@ -29,10 +29,16 @@
 // Theorem 3.1/3.4 synchronizer, with -adversary
 // sync|uniform|skew|overwriter|drift); sync-only protocols (bespoke
 // engines) reject -engine async. Under -engine async, -synchro selects
-// the compilation: alpha (the paper's α-synchronizer, default) or
+// the compilation: alpha (the paper's α-synchronizer, default),
 // tolerant (the loss-tolerant αβ hybrid, which re-pulses the current
 // generation on a bounded stall timeout and survives lossy channels —
-// e.g. `-engine async -synchro tolerant -channel '{"drop":0.1}'`).
+// e.g. `-engine async -synchro tolerant -channel '{"drop":0.1}'`), or
+// voted (the corruption- and silence-tolerant αβv tier: each port
+// commits a neighbor's letter only after k of the last 2k−1 receipts
+// agree, edges that stall through repeated timeouts are permanently
+// evicted, and re-pulses back off multiplicatively per edge — e.g.
+// `-engine async -synchro voted -channel '{"corrupt":0.05}'`; tune
+// with -vote-k, -evict-after and -repulse-cap).
 //
 // The -scenario flag makes a single run dynamic: a scenario.Def as
 // JSON (one-shot region crash, Poisson edge churn, staggered wake-up)
@@ -98,23 +104,26 @@ func main() {
 }
 
 type options struct {
-	protocol  string
-	params    string
-	graphKind string
-	inFile    string
-	n         int
-	p         float64
-	seed      uint64
-	eng       string
-	adversary string
-	synchro   string
-	word      string
-	traceCSV  string
-	workers   int
-	trials    int
-	scenario  string
-	channel   string
-	backend   string
+	protocol   string
+	params     string
+	graphKind  string
+	inFile     string
+	n          int
+	p          float64
+	seed       uint64
+	eng        string
+	adversary  string
+	synchro    string
+	voteK      int
+	evictAfter int
+	repulseCap int
+	word       string
+	traceCSV   string
+	workers    int
+	trials     int
+	scenario   string
+	channel    string
+	backend    string
 }
 
 // parseParams turns the -param flag ("name=value[,name=value]") into
@@ -162,7 +171,10 @@ func run(args []string, w io.Writer) error {
 	fs.StringVar(&opt.eng, "engine", "sync", "sync | async")
 	fs.StringVar(&opt.adversary, "adversary", "uniform", "async adversary policy")
 	fs.StringVar(&opt.synchro, "synchro", "alpha",
-		"async synchronizer: alpha (Theorem 3.1/3.4) | tolerant (loss-tolerant αβ hybrid)")
+		"async synchronizer: alpha (Theorem 3.1/3.4) | tolerant (loss-tolerant αβ hybrid) | voted (k-of-(2k−1) voting, dead-edge eviction, adaptive backoff)")
+	fs.IntVar(&opt.voteK, "vote-k", 0, "voted synchronizer: votes needed to commit a receipt, over a window of 2k−1 (0 = default 2; 1 degenerates to tolerant)")
+	fs.IntVar(&opt.evictAfter, "evict-after", 0, "voted synchronizer: consecutive receipt-less timeout firings before an edge is evicted (0 = default 3)")
+	fs.IntVar(&opt.repulseCap, "repulse-cap", 0, "voted synchronizer: per-edge re-pulse backoff cap, in timeout firings (0 = default 8; 1 disables backoff)")
 	fs.StringVar(&opt.word, "word", "abc", "input word for the lba protocols")
 	fs.StringVar(&opt.traceCSV, "trace", "", "write a per-round state histogram CSV to this file (sync engine, engine-hosted protocols only)")
 	fs.IntVar(&opt.workers, "workers", 0, "sync round-loop workers (0 = GOMAXPROCS); results are identical for every value")
@@ -269,11 +281,16 @@ func runProtocol(opt options, d *protocol.Descriptor, g *graph.Graph, w io.Write
 			if run, err = bound.RunAsyncReusing(protocol.AsyncConfig{
 				Seed: seed, Adversary: adv, Scenario: sc, Channel: model,
 				Synchro: opt.synchro,
+				VoteK:   opt.voteK, EvictAfter: opt.evictAfter, RePulseCap: opt.repulseCap,
 			}, scratch); err != nil {
 				return err
 			}
 			fmt.Fprintf(w, "%s%s: %.1f time units, %d steps, %d lost messages (adversary %s, synchro %s)\n",
 				label, d.Name, run.TimeUnits, run.Steps, run.Lost, opt.adversary, opt.synchro)
+			if opt.synchro == protocol.SynchroVoted {
+				fmt.Fprintf(w, "%svoted: %d re-pulses (%d sent), %d rejected receipts, %d evicted edges\n",
+					label, run.RePulses, run.RePulseSends, run.VotedRejections, len(run.EvictedEdges))
+			}
 		default:
 			return fmt.Errorf("unknown engine %q", opt.eng)
 		}

@@ -419,6 +419,28 @@ func TestTolerantSynchroFlag(t *testing.T) {
 	}
 }
 
+// TestVotedSynchroFlag runs the voted αβv tier from the command line:
+// mis under 5% corruption converges with -synchro voted (the hybrid
+// believes the flipped letters and mis-decodes there), and the voted
+// diagnostics line reports the vote's work. The tuning flags must
+// reach the engine: an aggressive -evict-after under Byzantine silence
+// shows evicted edges.
+func TestVotedSynchroFlag(t *testing.T) {
+	out := runCLI(t, "-protocol", "mis", "-graph", "cycle", "-n", "16", "-seed", "41",
+		"-engine", "async", "-synchro", "voted", "-channel", `{"corrupt":0.05}`)
+	for _, want := range []string{"synchro voted", "valid MIS", "voted:", "corrupted"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("voted run output missing %q:\n%s", want, out)
+		}
+	}
+	out = runCLI(t, "-protocol", "mis", "-graph", "gnp", "-n", "24", "-seed", "13",
+		"-engine", "async", "-synchro", "voted", "-vote-k", "2",
+		"-channel", `{"byz":[{"behavior":"silent","frac":0.1}]}`)
+	if !strings.Contains(out, "valid MIS") || strings.Contains(out, " 0 evicted") {
+		t.Fatalf("byz-silent voted run did not evict and converge:\n%s", out)
+	}
+}
+
 // TestChurnMISSpec pins the shipped dynamic-network spec: the sweep
 // must run clean (every trial's output checked against its final
 // graph) and report recovery tables for both mis and ssmis. Trials are

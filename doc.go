@@ -25,7 +25,7 @@
 // cells over re-exec'd worker processes with fsync'd per-cell spill
 // checkpoints, lease-based crash recovery and a coordinator-less
 // claim-directory mode, merging byte-identically to the in-process
-// run at any shard count), BENCH_9.json for
+// run at any shard count), BENCH_10.json for
 // the tracked benchmark measurements (regenerate with `make bench`,
 // which also warns on >15% ns/op regressions against the previous
 // snapshot — in CI the warnings become workflow annotations), and
@@ -72,9 +72,18 @@
 // generation's letter after a bounded stall timeout, turning the
 // α-synchronizer's loss deadlock into mere delay — select it with
 // `stonesim -engine async -synchro tolerant` or a campaign `engines`
-// axis (sync | sync-packed | async | async-tolerant; sync-packed
-// forces the bit-plane backend and must aggregate bit-identically to
-// sync).
+// axis (sync | sync-packed | async | async-tolerant | async-voted;
+// sync-packed forces the bit-plane backend and must aggregate
+// bit-identically to sync). A third tier hardens the hybrid against
+// corruption and Byzantine silence: the voted αβv synchronizer
+// (internal/synchro CompileVoted, `-synchro voted`) commits a
+// neighbor's letter only when it holds k of the last 2k−1 receipts
+// (sent as k-copy bursts, so reliable-link time-units stay
+// bit-identical to αβ), evicts an edge after a bounded run of
+// unanswered re-pulses at fully decayed backoff cadence (recorded in
+// the run; the permanently-ε port unsticks the pausing feature a
+// silent Byzantine neighbor would deadlock), and gates re-pulses with
+// a per-edge multiplicative backoff reset by any receipt.
 //
 // Statistical claims are measured as campaigns: internal/campaign runs
 // the declarative cross product protocol × scenario × graph family ×
@@ -93,13 +102,15 @@
 // (examples/specs/all-protocols.json sweeps every registered protocol;
 // examples/specs/churn-mis.json measures recovery under churn, crashes
 // and staggered wake-up; examples/specs/lossy-mis.json measures
-// robustness under unreliable channels and Byzantine nodes — see
+// robustness under unreliable channels and Byzantine nodes;
+// examples/specs/hostile-mis.json measures the voted tier against
+// corruption and Byzantine silence — see
 // examples/specs/README.md for the spec format). `make check` runs the
 // CI gate (also run on every push and pull request by
 // .github/workflows/ci.yml): gofmt, go vet, the race-detector test
 // suite, the allocation-regression and ladder-queue suites, the
 // registry conformance suite, the smoke, all-protocols,
-// churn-recovery and channel-robustness campaigns, and the
-// distributed-sweep gate (the smoke spec sharded over 3 worker
+// churn-recovery, channel-robustness and hostile-channel campaigns,
+// and the distributed-sweep gate (the smoke spec sharded over 3 worker
 // processes must emit bytes identical to the single-process run).
 package stoneage

@@ -21,8 +21,8 @@ import (
 type CellResult struct {
 	Protocol string `json:"protocol"`
 	// Engine names the cell's execution engine (sync, sync-packed,
-	// async or async-tolerant); empty when the spec runs a single
-	// implicit engine, so pre-axis results are unchanged.
+	// async, async-tolerant or async-voted); empty when the spec runs a
+	// single implicit engine, so pre-axis results are unchanged.
 	Engine string `json:"engine,omitempty"`
 	// Scenario names the cell's dynamic-network scenario; empty for the
 	// static axis.
@@ -80,6 +80,15 @@ type CellResult struct {
 	Delayed    harness.Stats `json:"delayed,omitzero"`
 	Reordered  harness.Stats `json:"reordered,omitzero"`
 	Corrupted  harness.Stats `json:"corrupted,omitzero"`
+	// Outvoted aggregates corrupted receipts the voted synchronizer's
+	// vote refused to commit (zero except on async-voted channel cells).
+	Outvoted harness.Stats `json:"outvoted,omitzero"`
+	// Evicted aggregates the per-trial count of edges the voted
+	// synchronizer evicted for persistent silence. Unlike the channel
+	// aggregates it can be non-zero on the reliable axis too (a crashed
+	// neighbor stalls its edges the same way a Byzantine-silent one
+	// does), so it is summarized on every async-voted cell.
+	Evicted harness.Stats `json:"evicted,omitzero"`
 }
 
 // Result is a completed campaign. Cells appear in canonical cell
@@ -115,6 +124,8 @@ type sample struct {
 	delayed   float64
 	reordered float64
 	corrupted float64
+	outvoted  float64
+	evicted   float64
 	n, m      int
 	maxDeg    int
 	err       error
@@ -292,7 +303,8 @@ func (sp *Spec) aggregateCell(c *cell, samples []sample) CellResult {
 	recovery := make([]float64, 0, sp.Trials)
 	perturb := make([]float64, 0, sp.Trials)
 	wall := make([]float64, 0, sp.Trials)
-	var dropped, dup, delayed, reordered, corrupted []float64
+	var dropped, dup, delayed, reordered, corrupted, outvoted []float64
+	var evicted []float64
 	conv, valid := 0.0, 0.0
 	for _, s := range samples {
 		conv += s.converged
@@ -305,12 +317,16 @@ func (sp *Spec) aggregateCell(c *cell, samples []sample) CellResult {
 		tx = append(tx, s.tx)
 		recovery = append(recovery, s.recovery)
 		perturb = append(perturb, s.perturb)
+		if c.eng == "async-voted" {
+			evicted = append(evicted, s.evicted)
+		}
 		if !c.ch.None() {
 			dropped = append(dropped, s.dropped)
 			dup = append(dup, s.dup)
 			delayed = append(delayed, s.delayed)
 			reordered = append(reordered, s.reordered)
 			corrupted = append(corrupted, s.corrupted)
+			outvoted = append(outvoted, s.outvoted)
 		}
 	}
 	// The cell's descriptive shape is graph instance 0's — under
@@ -345,6 +361,10 @@ func (sp *Spec) aggregateCell(c *cell, samples []sample) CellResult {
 		cr.Delayed = harness.Summarize(delayed)
 		cr.Reordered = harness.Summarize(reordered)
 		cr.Corrupted = harness.Summarize(corrupted)
+		cr.Outvoted = harness.Summarize(outvoted)
+	}
+	if c.eng == "async-voted" {
+		cr.Evicted = harness.Summarize(evicted)
 	}
 	return cr
 }
@@ -428,8 +448,11 @@ func runTrial(sp *Spec, c *cell, trial int, scratch *protocol.Scratch) sample {
 		// every worker count (TestWorkerCountInvariance and
 		// TestScenarioWorkerInvariance pin this).
 		synchro := ""
-		if c.eng == "async-tolerant" {
+		switch c.eng {
+		case "async-tolerant":
 			synchro = protocol.SynchroTolerant
+		case "async-voted":
+			synchro = protocol.SynchroVoted
 		}
 		adv := engine.NamedAdversaries(seed ^ saltAdversary)[sp.adversary()]
 		run, err = bound.RunAsyncReusing(protocol.AsyncConfig{
@@ -480,5 +503,7 @@ func runTrial(sp *Spec, c *cell, trial int, scratch *protocol.Scratch) sample {
 	s.dropped, s.dup = float64(run.Dropped), float64(run.Duplicated)
 	s.delayed = float64(run.Delayed)
 	s.reordered, s.corrupted = float64(run.Reordered), float64(run.Corrupted)
+	s.outvoted = float64(run.Outvoted)
+	s.evicted = float64(len(run.EvictedEdges))
 	return s
 }

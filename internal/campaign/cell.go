@@ -24,7 +24,7 @@ import (
 type CellID struct {
 	Protocol string
 	// Engine is the effective engine of the cell (sync, sync-packed,
-	// async or async-tolerant) — always resolved, even when the spec
+	// async, async-tolerant or async-voted) — always resolved, even when the spec
 	// selects a single implicit engine and the CellResult label stays
 	// empty.
 	Engine   string

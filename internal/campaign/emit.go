@@ -36,6 +36,7 @@ var csvHeader = []string{
 	"perturbations_mean",
 	"converged_rate", "valid_rate",
 	"dropped_mean", "duplicated_mean", "delayed_mean", "reordered_mean", "corrupted_mean",
+	"outvoted_mean", "evicted_mean",
 	"wall_ms_mean", "wall_ms_std", "wall_ms_p90",
 }
 
@@ -57,6 +58,7 @@ func (r *Result) WriteCSV(w io.Writer) error {
 			f(c.Perturbations.Mean),
 			f(c.ConvergedRate), f(c.ValidRate),
 			f(c.Dropped.Mean), f(c.Duplicated.Mean), f(c.Delayed.Mean), f(c.Reordered.Mean), f(c.Corrupted.Mean),
+			f(c.Outvoted.Mean), f(c.Evicted.Mean),
 			f(c.WallMS.Mean), f(c.WallMS.Std), f(c.WallMS.P90),
 		}
 		if err := cw.Write(row); err != nil {
@@ -195,8 +197,18 @@ func (r *Result) Tables() []*harness.Table {
 									harness.FormatFloat(cc.Recovery.Mean), harness.FormatFloat(cc.Recovery.Std)))
 							}
 							if surRow != nil {
-								surRow = append(surRow, fmt.Sprintf("%s/%s",
-									harness.FormatFloat(cc.ConvergedRate), harness.FormatFloat(cc.ValidRate)))
+								// Voted cells carry the mean evicted-edge
+								// count: an eviction is the survival
+								// mechanism's measured cost, so it reads
+								// next to the rates it buys.
+								if cc.Engine == "async-voted" {
+									surRow = append(surRow, fmt.Sprintf("%s/%s ev=%s",
+										harness.FormatFloat(cc.ConvergedRate), harness.FormatFloat(cc.ValidRate),
+										harness.FormatFloat(cc.Evicted.Mean)))
+								} else {
+									surRow = append(surRow, fmt.Sprintf("%s/%s",
+										harness.FormatFloat(cc.ConvergedRate), harness.FormatFloat(cc.ValidRate)))
+								}
 							}
 						}
 						byProto[p].Rows = append(byProto[p].Rows, row)

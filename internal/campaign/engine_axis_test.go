@@ -159,6 +159,114 @@ func TestEngineAxisSyncPacked(t *testing.T) {
 	}
 }
 
+// votedAxisSpec pits the αβ hybrid against the voted αβv tier on the
+// two hostile cells the voted tier exists for: letter corruption
+// (outvoted) and Byzantine silence (evicted).
+func votedAxisSpec(workers int) Spec {
+	return Spec{
+		Name:      "test-voted",
+		Protocols: []string{"mis"},
+		Engines:   []string{"async-tolerant", "async-voted"},
+		Families:  []Family{{Kind: "gnp"}},
+		Sizes:     []int{24},
+		Channels: []channel.Def{
+			{},
+			{Corrupt: 0.05, Label: "corrupt-5"},
+			{Byz: []channel.ByzDef{{Behavior: channel.BehaviorSilent, Frac: 0.1}}, Label: "byz-silent"},
+		},
+		Trials:   4,
+		Seed:     41,
+		MaxSteps: 1 << 19,
+		Workers:  workers,
+	}
+}
+
+// TestEngineAxisVoted is the campaign-level measurement of the voted
+// tier's claims: corrupted receipts are outvoted and Byzantine-silent
+// edges are evicted on cells where the αβ hybrid mis-decodes or
+// stalls, while the reliable baseline stays at the hybrid's exact
+// time-unit cost with zero evictions.
+func TestEngineAxisVoted(t *testing.T) {
+	res, err := Run(votedAxisSpec(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 6 {
+		t.Fatalf("got %d cells, want 6", len(res.Cells))
+	}
+	cells := map[string]CellResult{}
+	for _, c := range res.Cells {
+		cells[c.Engine+"/"+c.Channel] = c
+		// The hybrid has no vote and no eviction clock: its Outvoted
+		// column (summarized on every channel cell) must read zero, and
+		// its Evicted column must be absent entirely.
+		if c.Engine == "async-tolerant" && (c.Outvoted.Mean != 0 || c.Evicted.N != 0) {
+			t.Fatalf("hybrid cell ch=%q carries voted aggregates: outvoted %+v, evicted %+v",
+				c.Channel, c.Outvoted, c.Evicted)
+		}
+	}
+	// Reliable baseline: both tiers at unit survival, bit-identical
+	// time-unit cost (the K-th burst copy lands when the single αβ copy
+	// would), and nothing evicted.
+	vr, tr := cells["async-voted/"], cells["async-tolerant/"]
+	if vr.ConvergedRate != 1 || vr.ValidRate != 1 {
+		t.Fatalf("voted reliable rates (%g, %g), want (1, 1)", vr.ConvergedRate, vr.ValidRate)
+	}
+	if vr.Rounds != tr.Rounds {
+		t.Fatalf("voted reliable time-units %+v diverge from the hybrid's %+v", vr.Rounds, tr.Rounds)
+	}
+	if vr.Evicted.N == 0 || vr.Evicted.Mean != 0 {
+		t.Fatalf("voted reliable Evicted = %+v, want measured zero", vr.Evicted)
+	}
+	// Corruption: the vote refuses the flipped letters the hybrid
+	// believes.
+	vc, tc := cells["async-voted/corrupt-5"], cells["async-tolerant/corrupt-5"]
+	if vc.ValidRate != 1 {
+		t.Fatalf("voted corrupt-5 valid rate %g, want 1", vc.ValidRate)
+	}
+	if tc.ValidRate >= vc.ValidRate {
+		t.Fatalf("hybrid corrupt-5 valid rate %g not below the voted tier's %g — the gap the tier closes is gone",
+			tc.ValidRate, vc.ValidRate)
+	}
+	if vc.Outvoted.Mean <= 0 {
+		t.Fatalf("voted corrupt-5 Outvoted = %+v, want positive mean", vc.Outvoted)
+	}
+	// Byzantine silence: eviction unsticks the pausing feature the
+	// hybrid deadlocks on.
+	vb, tb := cells["async-voted/byz-silent"], cells["async-tolerant/byz-silent"]
+	if vb.ConvergedRate != 1 || vb.ValidRate != 1 {
+		t.Fatalf("voted byz-silent rates (%g, %g), want (1, 1)", vb.ConvergedRate, vb.ValidRate)
+	}
+	if tb.ConvergedRate >= vb.ConvergedRate {
+		t.Fatalf("hybrid byz-silent converged rate %g not below the voted tier's %g",
+			tb.ConvergedRate, vb.ConvergedRate)
+	}
+	if vb.Evicted.Mean <= 0 {
+		t.Fatalf("voted byz-silent Evicted = %+v, want positive mean", vb.Evicted)
+	}
+}
+
+// TestEngineAxisVotedWorkerInvariance pins the new Outvoted/Evicted
+// aggregates to the axis acceptance property: identical at every
+// worker count, because they derive from per-trial content seeds.
+func TestEngineAxisVotedWorkerInvariance(t *testing.T) {
+	base, err := Run(votedAxisSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.StripWall()
+	for _, workers := range []int{3, 8} {
+		got, err := Run(votedAxisSpec(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got.StripWall()
+		if !reflect.DeepEqual(got.Cells, base.Cells) {
+			t.Fatalf("workers=%d: voted aggregates diverged from workers=1", workers)
+		}
+	}
+}
+
 // TestEngineAxisWorkerInvariance: identical aggregates at every worker
 // count, like every other axis.
 func TestEngineAxisWorkerInvariance(t *testing.T) {

@@ -208,8 +208,10 @@ type Spec struct {
 	// Engine is "sync" (locally synchronous, default), "sync-packed"
 	// (the same semantics on the bit-plane backend — bit-identical
 	// aggregates, forced rather than auto-selected), "async" (the
-	// Theorem 3.1/3.4 α-synchronizer under an adversary) or
-	// "async-tolerant" (the loss-tolerant αβ-hybrid synchronizer).
+	// Theorem 3.1/3.4 α-synchronizer under an adversary),
+	// "async-tolerant" (the loss-tolerant αβ-hybrid synchronizer) or
+	// "async-voted" (the voted tier: k-of-(2k−1) pulse decoding,
+	// dead-edge eviction, adaptive re-pulse backoff).
 	Engine string `json:"engine,omitempty"`
 	// Engines is the execution-engine axis: each entry is one of the
 	// Engine values, swept against every (protocol, scenario, channel,
@@ -285,8 +287,8 @@ func (sp *Spec) Validate() error {
 	seenEng := map[string]bool{}
 	anyAsync := false
 	for _, eng := range engs {
-		if eng != "sync" && eng != "sync-packed" && eng != "async" && eng != "async-tolerant" {
-			return fmt.Errorf("campaign: unknown engine %q (want sync, sync-packed, async or async-tolerant)", eng)
+		if eng != "sync" && eng != "sync-packed" && eng != "async" && eng != "async-tolerant" && eng != "async-voted" {
+			return fmt.Errorf("campaign: unknown engine %q (want sync, sync-packed, async, async-tolerant or async-voted)", eng)
 		}
 		if seenEng[eng] {
 			return fmt.Errorf("campaign: duplicate engine %q", eng)
@@ -332,6 +334,13 @@ func (sp *Spec) Validate() error {
 		// tolerance columns always name a bounded claim.
 		if d.Caps.Has(protocol.CapToleratesReorder) && d.ReorderWindow <= 0 {
 			return fmt.Errorf("campaign: protocol %q declares reorder tolerance without a measured window bound", p)
+		}
+		// Same hygiene for the Byzantine claim: tolerance exists only at
+		// a measured dead-edge eviction bound (registry validate enforces
+		// this at registration; re-checked here so a descriptor built by
+		// hand cannot smuggle an unbounded claim into a sweep).
+		if d.Caps.Has(protocol.CapToleratesByzantine) && d.EvictionBound <= 0 {
+			return fmt.Errorf("campaign: protocol %q declares byzantine tolerance without a measured eviction bound", p)
 		}
 		for _, f := range sp.Families {
 			fd, ok := familyDefs[f.Kind]

@@ -57,6 +57,10 @@ type Fate struct {
 	Extra float64
 	// Letter is the letter delivered (possibly corrupted).
 	Letter nfsm.Letter
+	// Corrupt marks a copy whose letter was rewritten by a Corrupt
+	// policy. Voted engines use it to count corrupted copies that lost
+	// the receipt vote (Stats.Outvoted); it never influences delivery.
+	Corrupt bool
 }
 
 // Stats counts a model's interventions over one run. Engines hold one
@@ -76,6 +80,11 @@ type Stats struct {
 	Delayed int64
 	// Corrupted counts letters the channel flipped.
 	Corrupted int64
+	// Outvoted counts corrupted copies a voted synchronizer refused to
+	// commit: the receipt arrived, entered the port's vote window, and
+	// was not the winning letter. Engines (not the model) increment it,
+	// since only the decoder knows which copy won.
+	Outvoted int64
 }
 
 // Model is one channel policy. Apply maps one incoming copy of a
@@ -104,7 +113,16 @@ type Model interface {
 // Both asynchronous engines (ladder and reference) call exactly this
 // helper, so their channel decisions cannot diverge.
 func Expand(m Model, from, step, to int, letter nfsm.Letter, nl int, buf []Fate, st *Stats) []Fate {
-	return m.Apply(from, step, to, 0, Fate{Letter: letter}, nl, buf[:0], st)
+	return ExpandAt(m, from, step, to, 0, letter, nl, buf, st)
+}
+
+// ExpandAt is Expand with an explicit top-level copy coordinate. Voted
+// engines transmit K burst copies per edge per emission; each copy gets
+// its own coordinate so the model's decisions stay independent across
+// the burst, while copy 0 reproduces Expand's stream exactly (a K=1
+// voted run makes bit-identical channel decisions to an αβ run).
+func ExpandAt(m Model, from, step, to, copy int, letter nfsm.Letter, nl int, buf []Fate, st *Stats) []Fate {
+	return m.Apply(from, step, to, copy, Fate{Letter: letter}, nl, buf[:0], st)
 }
 
 // chance derives the policy's decision uniform in [0, 1) from the
@@ -250,6 +268,7 @@ func (c Corrupt) Apply(from, step, to, copy int, f Fate, nl int, out []Fate, st 
 	if nl > 1 && chance(c.Seed, saltCorrupt, from, step, to, copy) < c.Rate {
 		shift := 1 + int(draw(c.Seed, saltPick, from, step, to, copy)%uint64(nl-1))
 		f.Letter = nfsm.Letter((int(f.Letter) + shift) % nl)
+		f.Corrupt = true
 		st.Corrupted++
 	}
 	return append(out, f)

@@ -77,6 +77,52 @@ func TestExpandDeterminism(t *testing.T) {
 	}
 }
 
+// TestExpandAtCopyZeroMatchesExpand pins the burst-coordinate contract
+// the voted synchronizer's bit-identity rests on: copy 0 of a burst
+// reproduces Expand's stream exactly (so a K=1 voted run makes the
+// same channel decisions as an αβ run), while higher burst copies draw
+// independent decisions.
+func TestExpandAtCopyZeroMatchesExpand(t *testing.T) {
+	m := Stack{
+		Duplicate{Rate: 0.5, MaxCopies: 4, Seed: 1},
+		Drop{Rate: 0.3, Seed: 2},
+		Reorder{Window: 2, Seed: 3},
+		Corrupt{Rate: 0.2, Seed: 4},
+	}
+	var stE, st0, st1 Stats
+	var bE, b0, b1 []Fate
+	diverged := false
+	for step := 0; step < 200; step++ {
+		in := nfsm.Letter(step % 3)
+		bE = Expand(m, 3, step, 5, in, 3, bE, &stE)
+		b0 = ExpandAt(m, 3, step, 5, 0, in, 3, b0, &st0)
+		if len(bE) != len(b0) {
+			t.Fatalf("step %d: copy-0 fan-out %d vs Expand's %d", step, len(b0), len(bE))
+		}
+		for i := range bE {
+			if bE[i] != b0[i] {
+				t.Fatalf("step %d copy %d: copy-0 fate %+v vs Expand's %+v", step, i, b0[i], bE[i])
+			}
+		}
+		b1 = ExpandAt(m, 3, step, 5, 1, in, 3, b1, &st1)
+		if len(b1) != len(bE) {
+			diverged = true
+			continue
+		}
+		for i := range b1 {
+			if b1[i] != bE[i] {
+				diverged = true
+			}
+		}
+	}
+	if stE != st0 {
+		t.Fatalf("copy-0 stats %+v diverged from Expand's %+v", st0, stE)
+	}
+	if !diverged {
+		t.Fatal("burst copy 1 never diverged from copy 0 — burst copies are not independent coordinates")
+	}
+}
+
 // TestStackComposition checks that duplicates created by an early layer
 // are processed per copy by later layers: with rate-1 duplication and
 // rate-1 corruption every delivered copy is corrupted, and the

@@ -83,6 +83,45 @@ func TestAllocsAsyncLadder(t *testing.T) {
 	}
 }
 
+// TestAllocsAsyncVoted pins the voted tier's steady state: the decoder
+// allocates its per-edge state (rings, stall counters, backoff
+// windows) once per run up front, and after that the vote, the strike
+// bookkeeping and the K-copy bursts run allocation-free per receipt —
+// a regression here (a ring rebuilt per receipt, a burst buffer
+// escaping) scales with message volume, not run count, which is
+// exactly what this guard converts into a fixed per-run bound.
+func TestAllocsAsyncVoted(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	g := graph.GnpConnected(24, 0.2, xrand.New(18))
+	compiled, err := synchro.CompileRoundVoted(allocProtocol())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := Compile(compiled, g)
+	scr := NewScratch()
+	vcfg := &VotedConfig{RePulseSource: compiled.RePulseSource}
+	seed := uint64(0)
+	run := func() {
+		seed++
+		cfg := AsyncConfig{Seed: seed, Adversary: UniformRandom{Seed: seed}, Voted: vcfg}
+		if _, err := prog.RunAsyncReusing(cfg, scr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		run()
+	}
+	allocs := testing.AllocsPerRun(20, run)
+	// The ladder bound plus the decoder's per-run slice set and the
+	// eviction record.
+	const maxAllocs = 80
+	if allocs > maxAllocs {
+		t.Fatalf("async voted run allocates %.1f objects/op, want ≤ %d", allocs, maxAllocs)
+	}
+}
+
 // TestAllocsLadderOps pins the queue itself: pushes and pops on a
 // warmed ladder must not allocate at all, and neither may the pooled
 // delivery FIFOs.

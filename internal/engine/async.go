@@ -77,6 +77,15 @@ type AsyncConfig struct {
 	// parking fast paths); a nil Channel is the unchanged zero-overhead
 	// reliable path.
 	Channel channel.Model
+	// Voted, when non-nil, selects the voted synchronizer tier's
+	// engine contract (see voted.go): burst transmissions decoded by a
+	// K-of-(2K−1) receipt vote, dead-edge eviction, and per-edge
+	// re-pulse backoff. The machine should be a synchro.CompileVoted
+	// compilation (the αβ state machine with the voted contract);
+	// voted runs disable the parking and pooled-FIFO fast paths and
+	// reject scenarios with topological mutations. Nil runs the plain
+	// or αβ contract unchanged.
+	Voted *VotedConfig
 }
 
 // AsyncResult reports a completed asynchronous run.
@@ -114,6 +123,19 @@ type AsyncResult struct {
 	// mutation removed their edge before arrival (previously conflated
 	// with nothing — they vanished uncounted).
 	Severed int64
+	// Voted-decoder reporting, populated only under AsyncConfig.Voted:
+	// Outvoted counts corrupted receipts the vote refused to commit;
+	// VotedRejections counts receipts that produced no winner;
+	// RePulses counts re-pulse firings (node emissions classified by
+	// the machine's re-pulse source states); RePulseSends counts the
+	// per-edge re-pulse transmissions actually sent after backoff
+	// gating; EvictedEdges lists the evicted edges as (listener,
+	// silenced neighbor) pairs in eviction order.
+	Outvoted        int64
+	VotedRejections int64
+	RePulses        int64
+	RePulseSends    int64
+	EvictedEdges    [][2]int
 	// States is the final state of every node.
 	States []nfsm.State
 
@@ -136,12 +158,13 @@ type AsyncResult struct {
 // in async_ref.go (the rewritten executor uses the ladder queue's
 // qevent).
 type event struct {
-	time   float64
-	seq    uint64 // FIFO-stable tiebreak for equal times
-	node   int
-	port   int         // delivery only
-	letter nfsm.Letter // delivery only
-	step   bool        // true: node step; false: delivery
+	time    float64
+	seq     uint64 // FIFO-stable tiebreak for equal times
+	node    int
+	port    int         // delivery only
+	letter  nfsm.Letter // delivery only
+	step    bool        // true: node step; false: delivery
+	corrupt bool        // delivery only: letter rewritten by the channel
 }
 
 // RunAsync executes machine m on graph g in the asynchronous environment
@@ -233,8 +256,18 @@ func (p *Program) RunAsyncReusing(cfg AsyncConfig, scr *Scratch) (*AsyncResult, 
 	// into the queue.
 	model := cfg.Channel
 	reorders := model != nil && model.Reorders()
-	usePool := !reorders
 	var chStats channel.Stats
+
+	// Voted tier: the decoder state is per directed-edge slot. Voting
+	// decouples deliveries from port writes (a receipt may commit
+	// nothing, or commit a letter other than its own), which the
+	// pooled-FIFO promotion and the parking replay both assume away,
+	// so voted runs materialize every delivery and every step.
+	var vs *votedState
+	if cfg.Voted != nil {
+		vs = newVotedState(cfg.Voted, ne)
+	}
+	usePool := !reorders && vs == nil
 
 	// Parking is sound only when no skipped step can tie exactly with a
 	// delivery (see TieFree); observers must see every step
@@ -242,7 +275,7 @@ func (p *Program) RunAsyncReusing(cfg AsyncConfig, scr *Scratch) (*AsyncResult, 
 	// index, so larger networks run fully materialized. Channel models
 	// multiply and drop deliveries, which the silent-chain walk cannot
 	// anticipate, so channel runs also materialize every step.
-	canPark := cfg.Observer == nil && model == nil && n < 1<<20
+	canPark := cfg.Observer == nil && model == nil && n < 1<<20 && vs == nil
 	if tf, ok := adv.(TieFree); !ok || !tf.TieFreeTimes() {
 		canPark = false
 	}
@@ -536,6 +569,24 @@ func (p *Program) RunAsyncReusing(cfg AsyncConfig, scr *Scratch) (*AsyncResult, 
 					return nil, err
 				}
 			}
+			if vs != nil {
+				// Voted decoding: the receipt enters the port's vote
+				// window; only a winning letter touches the port, and a
+				// confirming winner touches nothing at all.
+				letter := nfsm.Letter(e.letter)
+				outcome, winner := vs.receive(k, letter, rc.portDat[k])
+				if outcome == voteCommit {
+					if portWriteAt[k] > lastStepAt[v] {
+						res.Lost++
+					}
+					rc.setPort(v, k, winner)
+					portWriteAt[k] = e.time
+				}
+				if e.corrupt && vs.outvoted(outcome, winner, letter) {
+					chStats.Outvoted++
+				}
+				continue
+			}
 			if portWriteAt[k] > lastStepAt[v] {
 				res.Lost++
 			}
@@ -602,7 +653,74 @@ func (p *Program) RunAsyncReusing(cfg AsyncConfig, scr *Scratch) (*AsyncResult, 
 			cfg.Observer(e.time, v, t, mv.Next)
 		}
 
-		if mv.Emit != nfsm.NoLetter {
+		if mv.Emit != nfsm.NoLetter && vs != nil {
+			// Voted tier: burst K copies per edge; re-pulses (emissions
+			// from pausing states) advance stall counters and are gated
+			// by the per-edge backoff, round messages are never gated.
+			isRP := vs.isRePulse != nil && vs.isRePulse(q)
+			if isRP {
+				vs.rePulses++
+			}
+			sent := false
+			K := int(vs.k)
+			for k := csr.NbrOff[v]; k < csr.NbrOff[v+1]; k++ {
+				u := csr.NbrDat[k]
+				if isRP {
+					send, evictNow := vs.fireEdge(k)
+					if evictNow {
+						rc.evictPort(v, k)
+						res.EvictedEdges = append(res.EvictedEdges, [2]int{v, int(u)})
+					}
+					if !send {
+						continue
+					}
+				}
+				d := adv.Delay(v, t, int(u))
+				if d <= 0 {
+					return nil, fmt.Errorf("engine: adversary returned non-positive delay %g for node %d step %d", d, v, t)
+				}
+				if d > maxParam {
+					maxParam = d
+				}
+				sent = true
+				dst := csr.NbrOff[u] + csr.RevPort[k]
+				for c := 0; c < K; c++ {
+					if model == nil {
+						at := e.time + d
+						if at < lastDelivery[k] {
+							at = lastDelivery[k] // FIFO per directed edge
+						}
+						lastDelivery[k] = at
+						lq.push(qevent{time: at, seq: seq, node: u, aux: dst, letter: int32(mv.Emit)})
+						seq++
+						continue
+					}
+					fates := channel.ExpandAt(model, v, t, int(u), c, mv.Emit, p.nl, as.chBuf, &chStats)
+					as.chBuf = fates
+					for _, f := range fates {
+						at := e.time + d + f.Extra
+						if reorders {
+							// No FIFO clamp: count the overtakes instead.
+							if at < lastDelivery[k] {
+								res.Reordered++
+							} else {
+								lastDelivery[k] = at
+							}
+						} else {
+							if at < lastDelivery[k] {
+								at = lastDelivery[k] // FIFO per directed edge
+							}
+							lastDelivery[k] = at
+						}
+						lq.push(qevent{time: at, seq: seq, node: u, aux: dst, letter: int32(f.Letter), corrupt: f.Corrupt})
+						seq++
+					}
+				}
+			}
+			if sent {
+				res.Transmissions++
+			}
+		} else if mv.Emit != nfsm.NoLetter {
 			res.Transmissions++
 			emit := int32(mv.Emit)
 			for k := csr.NbrOff[v]; k < csr.NbrOff[v+1]; k++ {
@@ -682,6 +800,10 @@ func (p *Program) RunAsyncReusing(cfg AsyncConfig, scr *Scratch) (*AsyncResult, 
 			res.Time = e.time
 			res.TimeUnits = e.time / maxParam
 			res.Dropped, res.Duplicated, res.Delayed, res.Corrupted = chStats.Dropped, chStats.Duplicated, chStats.Delayed, chStats.Corrupted
+			res.Outvoted = chStats.Outvoted
+			if vs != nil {
+				vs.fill(res)
+			}
 			return res, nil
 		}
 		if res.Steps >= maxSteps {

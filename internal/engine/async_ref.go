@@ -66,6 +66,21 @@ func RunAsyncRef(m nfsm.Machine, g *graph.Graph, cfg AsyncConfig) (*AsyncResult,
 	var chBuf []channel.Fate
 	nl := m.NumLetters()
 
+	// Voted tier: the decoder is shared with the compiled executor and
+	// indexed by directed-edge slot; the reference engine addresses the
+	// same slot space through prefix-degree offsets (portBase[v]+i for
+	// neighbor index i), which coincides with the CSR slot numbering on
+	// the sorted adjacency.
+	var vs *votedState
+	var portBase []int32
+	if cfg.Voted != nil {
+		portBase = make([]int32, n+1)
+		for v := 0; v < n; v++ {
+			portBase[v+1] = portBase[v] + int32(g.Degree(v))
+		}
+		vs = newVotedState(cfg.Voted, int(portBase[n]))
+	}
+
 	ports := make([][]nfsm.Letter, n)
 	portWriteAt := make([][]float64, n) // time of last write, -inf initially
 	for v := 0; v < n; v++ {
@@ -126,6 +141,21 @@ func RunAsyncRef(m nfsm.Machine, g *graph.Graph, cfg AsyncConfig) (*AsyncResult,
 			// Delivery: overwrite the destination port. If the previous
 			// value was written after the destination's last step, it was
 			// never observable — a lost message.
+			if vs != nil {
+				slot := portBase[e.node] + int32(e.port)
+				outcome, winner := vs.receive(slot, e.letter, ports[e.node][e.port])
+				if outcome == voteCommit {
+					if portWriteAt[e.node][e.port] > lastStepAt[e.node] {
+						res.Lost++
+					}
+					ports[e.node][e.port] = winner
+					portWriteAt[e.node][e.port] = e.time
+				}
+				if e.corrupt && vs.outvoted(outcome, winner, e.letter) {
+					chStats.Outvoted++
+				}
+				continue
+			}
 			if portWriteAt[e.node][e.port] > lastStepAt[e.node] {
 				res.Lost++
 			}
@@ -157,7 +187,66 @@ func RunAsyncRef(m nfsm.Machine, g *graph.Graph, cfg AsyncConfig) (*AsyncResult,
 			cfg.Observer(e.time, v, t, mv.Next)
 		}
 
-		if mv.Emit != nfsm.NoLetter {
+		if mv.Emit != nfsm.NoLetter && vs != nil {
+			// Voted tier: burst K copies per edge; re-pulses (emissions
+			// from pausing states) advance stall counters and are gated
+			// by the per-edge backoff, round messages are never gated.
+			isRP := vs.isRePulse != nil && vs.isRePulse(q)
+			if isRP {
+				vs.rePulses++
+			}
+			sent := false
+			K := int(vs.k)
+			for i, u := range g.Neighbors(v) {
+				slot := portBase[v] + int32(i)
+				if isRP {
+					send, evictNow := vs.fireEdge(slot)
+					if evictNow {
+						ports[v][i] = nfsm.NoLetter
+						res.EvictedEdges = append(res.EvictedEdges, [2]int{v, u})
+					}
+					if !send {
+						continue
+					}
+				}
+				d, err := useParam(adv.Delay(v, t, u), "delay", v, t)
+				if err != nil {
+					return nil, err
+				}
+				sent = true
+				for c := 0; c < K; c++ {
+					if model == nil {
+						at := e.time + d
+						if at < lastDelivery[v][i] {
+							at = lastDelivery[v][i] // FIFO per directed edge
+						}
+						lastDelivery[v][i] = at
+						push(event{time: at, node: u, port: topo.rev[v][i], letter: mv.Emit})
+						continue
+					}
+					chBuf = channel.ExpandAt(model, v, t, u, c, mv.Emit, nl, chBuf, &chStats)
+					for _, f := range chBuf {
+						at := e.time + d + f.Extra
+						if reorders {
+							if at < lastDelivery[v][i] {
+								res.Reordered++
+							} else {
+								lastDelivery[v][i] = at
+							}
+						} else {
+							if at < lastDelivery[v][i] {
+								at = lastDelivery[v][i] // FIFO per directed edge
+							}
+							lastDelivery[v][i] = at
+						}
+						push(event{time: at, node: u, port: topo.rev[v][i], letter: f.Letter, corrupt: f.Corrupt})
+					}
+				}
+			}
+			if sent {
+				res.Transmissions++
+			}
+		} else if mv.Emit != nfsm.NoLetter {
 			res.Transmissions++
 			for i, u := range g.Neighbors(v) {
 				d, err := useParam(adv.Delay(v, t, u), "delay", v, t)
@@ -197,6 +286,10 @@ func RunAsyncRef(m nfsm.Machine, g *graph.Graph, cfg AsyncConfig) (*AsyncResult,
 			res.Time = e.time
 			res.TimeUnits = e.time / maxParam
 			res.Dropped, res.Duplicated, res.Delayed, res.Corrupted = chStats.Dropped, chStats.Duplicated, chStats.Delayed, chStats.Corrupted
+			res.Outvoted = chStats.Outvoted
+			if vs != nil {
+				vs.fill(res)
+			}
 			return res, nil
 		}
 		if res.Steps >= maxSteps {

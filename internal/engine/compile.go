@@ -442,6 +442,26 @@ func (rc *runCounts) setPort(v int, k int32, l nfsm.Letter) {
 	}
 }
 
+// evictPort permanently clears the port at CSR edge slot k of node v:
+// the −1 sentinel letter counts toward nothing, so the evicted edge
+// reads as ε in every count the node observes from then on. The voted
+// engines call it when a dead edge is evicted; they never deliver to
+// an evicted slot again, so setPort (which cannot see the sentinel)
+// stays off this path.
+func (rc *runCounts) evictPort(v int, k int32) {
+	old := rc.portDat[k]
+	if old < 0 {
+		return
+	}
+	rc.portDat[k] = -1
+	base := v * rc.p.nl
+	io := base + int(old)
+	rc.raw[io]--
+	if rc.idx != nil && rc.raw[io] < int32(rc.p.b) {
+		rc.idx[v] -= rc.p.pow[old]
+	}
+}
+
 // dynScratch is the per-worker dynamic-fallback scratch: the count
 // vector handed to Machine.Moves, plus δ-row and Q_O-membership memos
 // that keep the steady state out of the machine's own code (the synchro

@@ -50,13 +50,14 @@ func byzIndex(byz []channel.ByzNode, n, nl int) ([]int32, error) {
 // reference oracle in dynamic_async_ref.go (the rewritten executor uses
 // the ladder queue's qevent, carrying the sender in aux).
 type dynEvent struct {
-	time   float64
-	seq    uint64
-	node   int         // stepping node, or the delivery's destination
-	from   int         // delivery only: the transmitting node
-	letter nfsm.Letter // delivery only
-	epoch  uint32      // step only: liveness epoch at scheduling time
-	step   bool
+	time    float64
+	seq     uint64
+	node    int         // stepping node, or the delivery's destination
+	from    int         // delivery only: the transmitting node
+	letter  nfsm.Letter // delivery only
+	epoch   uint32      // step only: liveness epoch at scheduling time
+	step    bool
+	corrupt bool // delivery only: letter rewritten by the channel
 }
 
 // portSlot returns the CSR slot of node to's port from node from, or -1
@@ -131,6 +132,25 @@ func (p *Program) runAsyncScenario(cfg AsyncConfig, scr *Scratch) (*AsyncResult,
 	reorders := model != nil && model.Reorders()
 	var chStats channel.Stats
 	var chBuf []channel.Fate
+
+	// Voted tier: the decoder's per-slot state (vote rings, stall
+	// counters, evicted flags) is keyed by directed-edge slot, and the
+	// eviction sentinel (port letter -1) would be mis-rebuilt by a
+	// topology re-bind's raw-count reconstruction. Liveness mutations
+	// (crash, restart, wake) and node resets are supported — a reboot
+	// clears the node's decoder slots — but topological mutations are
+	// rejected up front.
+	var vs *votedState
+	if cfg.Voted != nil {
+		for _, b := range sc.Batches {
+			for _, m := range b.Muts {
+				if m.Topological() {
+					return nil, fmt.Errorf("engine: voted synchronizer does not support topological mutations (batch at %g)", b.At)
+				}
+			}
+		}
+		vs = newVotedState(cfg.Voted, len(cur.NbrDat))
+	}
 
 	// Per directed-edge-slot state, remapped at every re-bind:
 	// portWriteAt[k] is the last write time of the receiver-side port at
@@ -217,6 +237,9 @@ func (p *Program) runAsyncScenario(cfg AsyncConfig, scr *Scratch) (*AsyncResult,
 		rc.resetNode(v, cur)
 		for k := cur.NbrOff[v]; k < cur.NbrOff[v+1]; k++ {
 			portWriteAt[k] = -1
+		}
+		if vs != nil {
+			vs.resetSlots(cur.NbrOff[v], cur.NbrOff[v+1])
 		}
 	}
 
@@ -308,6 +331,10 @@ func (p *Program) runAsyncScenario(cfg AsyncConfig, scr *Scratch) (*AsyncResult,
 				res.Time = b.At
 				res.TimeUnits = timeUnits(b.At)
 				res.Dropped, res.Duplicated, res.Delayed, res.Corrupted = chStats.Dropped, chStats.Duplicated, chStats.Delayed, chStats.Corrupted
+				res.Outvoted = chStats.Outvoted
+				if vs != nil {
+					vs.fill(res)
+				}
 				return res, nil
 			}
 			continue
@@ -325,6 +352,23 @@ func (p *Program) runAsyncScenario(cfg AsyncConfig, scr *Scratch) (*AsyncResult,
 			k := portSlot(cur, v, int(e.aux))
 			if k < 0 {
 				res.Severed++
+				continue
+			}
+			if vs != nil {
+				// Voted decoding: the receipt enters the port's vote
+				// window; only a winning letter touches the port.
+				letter := nfsm.Letter(e.letter)
+				outcome, winner := vs.receive(k, letter, rc.portDat[k])
+				if outcome == voteCommit {
+					if portWriteAt[k] > lastStepAt[v] {
+						res.Lost++
+					}
+					rc.setPort(v, k, winner)
+					portWriteAt[k] = e.time
+				}
+				if e.corrupt && vs.outvoted(outcome, winner, letter) {
+					chStats.Outvoted++
+				}
 				continue
 			}
 			if portWriteAt[k] > lastStepAt[v] {
@@ -376,7 +420,71 @@ func (p *Program) runAsyncScenario(cfg AsyncConfig, scr *Scratch) (*AsyncResult,
 			cfg.Observer(e.time, v, t, states[v])
 		}
 
-		if emit != nfsm.NoLetter {
+		if emit != nfsm.NoLetter && vs != nil {
+			// Voted tier: honest emissions burst K copies per edge and
+			// re-pulses are gated by the per-edge backoff; a Byzantine
+			// node's traffic is its own problem — one copy, never gated,
+			// never classified as a re-pulse (its receivers' votes and
+			// stall counters do the tolerating).
+			isRP := !isByz(v) && vs.isRePulse != nil && vs.isRePulse(q)
+			if isRP {
+				vs.rePulses++
+			}
+			K := 1
+			if !isByz(v) {
+				K = int(vs.k)
+			}
+			sent := false
+			for k := cur.NbrOff[v]; k < cur.NbrOff[v+1]; k++ {
+				u := int(cur.NbrDat[k])
+				if isRP {
+					send, evictNow := vs.fireEdge(k)
+					if evictNow {
+						rc.evictPort(v, k)
+						res.EvictedEdges = append(res.EvictedEdges, [2]int{v, u})
+					}
+					if !send {
+						continue
+					}
+				}
+				d, err := useParam(adv.Delay(v, t, u), "delay", v, t)
+				if err != nil {
+					return nil, err
+				}
+				sent = true
+				for c := 0; c < K; c++ {
+					if model == nil {
+						at := e.time + d
+						if at < lastDelivery[k] {
+							at = lastDelivery[k] // FIFO per directed edge
+						}
+						lastDelivery[k] = at
+						push(qevent{time: at, node: int32(u), aux: int32(v), letter: int32(emit)})
+						continue
+					}
+					chBuf = channel.ExpandAt(model, v, t, u, c, emit, p.nl, chBuf, &chStats)
+					for _, f := range chBuf {
+						at := e.time + d + f.Extra
+						if reorders {
+							if at < lastDelivery[k] {
+								res.Reordered++ // an overtake on this edge
+							} else {
+								lastDelivery[k] = at
+							}
+						} else {
+							if at < lastDelivery[k] {
+								at = lastDelivery[k] // FIFO per directed edge
+							}
+							lastDelivery[k] = at
+						}
+						push(qevent{time: at, node: int32(u), aux: int32(v), letter: int32(f.Letter), corrupt: f.Corrupt})
+					}
+				}
+			}
+			if sent {
+				res.Transmissions++
+			}
+		} else if emit != nfsm.NoLetter {
 			res.Transmissions++
 			for k := cur.NbrOff[v]; k < cur.NbrOff[v+1]; k++ {
 				u := int(cur.NbrDat[k])
@@ -422,6 +530,10 @@ func (p *Program) runAsyncScenario(cfg AsyncConfig, scr *Scratch) (*AsyncResult,
 				res.RecoveryTimeUnits = timeUnits(res.RecoveryTime)
 			}
 			res.Dropped, res.Duplicated, res.Delayed, res.Corrupted = chStats.Dropped, chStats.Duplicated, chStats.Delayed, chStats.Corrupted
+			res.Outvoted = chStats.Outvoted
+			if vs != nil {
+				vs.fill(res)
+			}
 			return res, nil
 		}
 		if res.Steps >= maxSteps {

@@ -76,6 +76,26 @@ func runAsyncRefScenario(m nfsm.Machine, g0 *graph.Graph, cfg AsyncConfig) (*Asy
 	var chStats channel.Stats
 	var chBuf []channel.Fate
 
+	// Voted tier: same slot addressing as the static reference engine
+	// (prefix-degree offsets over the sorted adjacency), same up-front
+	// rejection of topological mutations as the fast executor.
+	var vs *votedState
+	var portBase []int32
+	if cfg.Voted != nil {
+		for _, b := range sc.Batches {
+			for _, mu := range b.Muts {
+				if mu.Topological() {
+					return nil, fmt.Errorf("engine: voted synchronizer does not support topological mutations (batch at %g)", b.At)
+				}
+			}
+		}
+		portBase = make([]int32, n+1)
+		for v := 0; v < n; v++ {
+			portBase[v+1] = portBase[v] + int32(g.Degree(v))
+		}
+		vs = newVotedState(cfg.Voted, int(portBase[n]))
+	}
+
 	// All per-port state in adjacency order: ports[v][i] pairs with
 	// g.Neighbors(v)[i]; lastDelivery[v][i] is the FIFO horizon of the
 	// directed edge v → Neighbors(v)[i].
@@ -159,6 +179,9 @@ func runAsyncRefScenario(m nfsm.Machine, g0 *graph.Graph, cfg AsyncConfig) (*Asy
 		for i := range ports[v] {
 			ports[v][i] = m.InitialLetter()
 			portWriteAt[v][i] = -1
+		}
+		if vs != nil {
+			vs.resetSlots(portBase[v], portBase[v+1])
 		}
 	}
 
@@ -251,6 +274,10 @@ func runAsyncRefScenario(m nfsm.Machine, g0 *graph.Graph, cfg AsyncConfig) (*Asy
 				res.Time = b.At
 				res.TimeUnits = timeUnits(b.At)
 				res.Dropped, res.Duplicated, res.Delayed, res.Corrupted = chStats.Dropped, chStats.Duplicated, chStats.Delayed, chStats.Corrupted
+				res.Outvoted = chStats.Outvoted
+				if vs != nil {
+					vs.fill(res)
+				}
 				return res, nil
 			}
 			continue
@@ -263,6 +290,21 @@ func runAsyncRefScenario(m nfsm.Machine, g0 *graph.Graph, cfg AsyncConfig) (*Asy
 			i := g.PortOf(e.node, e.from)
 			if i < 0 {
 				res.Severed++ // edge removed mid-flight: traffic lost with it
+				continue
+			}
+			if vs != nil {
+				slot := portBase[e.node] + int32(i)
+				outcome, winner := vs.receive(slot, e.letter, ports[e.node][i])
+				if outcome == voteCommit {
+					if portWriteAt[e.node][i] > lastStepAt[e.node] {
+						res.Lost++
+					}
+					ports[e.node][i] = winner
+					portWriteAt[e.node][i] = e.time
+				}
+				if e.corrupt && vs.outvoted(outcome, winner, e.letter) {
+					chStats.Outvoted++
+				}
 				continue
 			}
 			if portWriteAt[e.node][i] > lastStepAt[e.node] {
@@ -311,7 +353,69 @@ func runAsyncRefScenario(m nfsm.Machine, g0 *graph.Graph, cfg AsyncConfig) (*Asy
 			cfg.Observer(e.time, v, t, states[v])
 		}
 
-		if emit != nfsm.NoLetter {
+		if emit != nfsm.NoLetter && vs != nil {
+			// Voted tier: see runAsyncScenario — honest emissions burst K
+			// copies per edge, re-pulses are gated per edge, Byzantine
+			// traffic is one ungated copy.
+			isRP := !isByz(v) && vs.isRePulse != nil && vs.isRePulse(q)
+			if isRP {
+				vs.rePulses++
+			}
+			K := 1
+			if !isByz(v) {
+				K = int(vs.k)
+			}
+			sent := false
+			for i, u := range g.Neighbors(v) {
+				slot := portBase[v] + int32(i)
+				if isRP {
+					send, evictNow := vs.fireEdge(slot)
+					if evictNow {
+						ports[v][i] = nfsm.NoLetter
+						res.EvictedEdges = append(res.EvictedEdges, [2]int{v, u})
+					}
+					if !send {
+						continue
+					}
+				}
+				d, err := useParam(adv.Delay(v, t, u), "delay", v, t)
+				if err != nil {
+					return nil, err
+				}
+				sent = true
+				for c := 0; c < K; c++ {
+					if model == nil {
+						at := e.time + d
+						if at < lastDelivery[v][i] {
+							at = lastDelivery[v][i]
+						}
+						lastDelivery[v][i] = at
+						push(dynEvent{time: at, node: u, from: v, letter: emit})
+						continue
+					}
+					chBuf = channel.ExpandAt(model, v, t, u, c, emit, nl, chBuf, &chStats)
+					for _, f := range chBuf {
+						at := e.time + d + f.Extra
+						if reorders {
+							if at < lastDelivery[v][i] {
+								res.Reordered++
+							} else {
+								lastDelivery[v][i] = at
+							}
+						} else {
+							if at < lastDelivery[v][i] {
+								at = lastDelivery[v][i]
+							}
+							lastDelivery[v][i] = at
+						}
+						push(dynEvent{time: at, node: u, from: v, letter: f.Letter, corrupt: f.Corrupt})
+					}
+				}
+			}
+			if sent {
+				res.Transmissions++
+			}
+		} else if emit != nfsm.NoLetter {
 			res.Transmissions++
 			for i, u := range g.Neighbors(v) {
 				d, err := useParam(adv.Delay(v, t, u), "delay", v, t)
@@ -356,6 +460,10 @@ func runAsyncRefScenario(m nfsm.Machine, g0 *graph.Graph, cfg AsyncConfig) (*Asy
 				res.RecoveryTimeUnits = timeUnits(res.RecoveryTime)
 			}
 			res.Dropped, res.Duplicated, res.Delayed, res.Corrupted = chStats.Dropped, chStats.Duplicated, chStats.Delayed, chStats.Corrupted
+			res.Outvoted = chStats.Outvoted
+			if vs != nil {
+				vs.fill(res)
+			}
 			return res, nil
 		}
 		if res.Steps >= maxSteps {

@@ -390,17 +390,35 @@ func FuzzDifferentialAsync(f *testing.F) {
 		g := fuzzGraph(r, gseed)
 		sc := fuzzScenario(r, g)
 		// One input in four runs the fuzzed protocol through the
-		// αβ-hybrid synchronizer instead of raw: the tolerant machines'
-		// stall-timer hop chains and re-pulse transmissions must stay
+		// αβ-hybrid synchronizer instead of raw, and one in four through
+		// the voted αβv tier with fuzzed vote/eviction/backoff knobs:
+		// the tolerant machines' stall-timer hop chains, re-pulse
+		// transmissions, vote rings and eviction decisions must stay
 		// bit-identical between ladder and reference under every channel
-		// and scenario, exactly like any other machine.
+		// and scenario, exactly like any other machine. Topological
+		// scenarios under the voted tier are rejected — the differential
+		// wall then checks both executors refuse with the same error.
 		var mach nfsm.Machine = m
-		if r.byte()%4 == 0 {
+		var vcfg *engine.VotedConfig
+		switch r.byte() % 4 {
+		case 0:
 			c, cerr := synchro.CompileTolerant(m)
 			if cerr != nil {
 				t.Fatalf("CompileTolerant rejected a valid fuzz protocol: %v", cerr)
 			}
 			mach = c
+		case 1:
+			c, cerr := synchro.CompileVoted(m)
+			if cerr != nil {
+				t.Fatalf("CompileVoted rejected a valid fuzz protocol: %v", cerr)
+			}
+			mach = c
+			vcfg = &engine.VotedConfig{
+				K:             int(r.byte()%3) + 1,
+				EvictAfter:    int(r.byte() % 4),
+				BackoffCap:    int(r.byte() % 9),
+				RePulseSource: c.RePulseSource,
+			}
 		}
 		model, byz := fuzzChannel(r, g, mach.NumLetters(), seed+17)
 		sc.Byzantine = byz
@@ -413,8 +431,8 @@ func FuzzDifferentialAsync(f *testing.F) {
 		const maxSteps = 1 << 12
 
 		mkAdv := func() engine.Adversary { return engine.NamedAdversaries(seed + 5)[advName] }
-		ref, refErr := engine.RunAsyncRef(mach, g, engine.AsyncConfig{Seed: seed, Adversary: mkAdv(), MaxSteps: maxSteps, Scenario: sc, Channel: model})
-		got, gotErr := engine.RunAsync(mach, g, engine.AsyncConfig{Seed: seed, Adversary: mkAdv(), MaxSteps: maxSteps, Scenario: sc, Channel: model})
+		ref, refErr := engine.RunAsyncRef(mach, g, engine.AsyncConfig{Seed: seed, Adversary: mkAdv(), MaxSteps: maxSteps, Scenario: sc, Channel: model, Voted: vcfg})
+		got, gotErr := engine.RunAsync(mach, g, engine.AsyncConfig{Seed: seed, Adversary: mkAdv(), MaxSteps: maxSteps, Scenario: sc, Channel: model, Voted: vcfg})
 		if refErr != nil || gotErr != nil {
 			if refErr == nil || gotErr == nil || refErr.Error() != gotErr.Error() {
 				t.Fatalf("error mismatch:\nreference: %v\ncompiled:  %v", refErr, gotErr)
@@ -446,6 +464,20 @@ func FuzzDifferentialAsync(f *testing.F) {
 			t.Fatalf("channel counters (%d,%d,%d,%d,%d,%d), reference (%d,%d,%d,%d,%d,%d)",
 				got.Dropped, got.Duplicated, got.Delayed, got.Reordered, got.Corrupted, got.Severed,
 				ref.Dropped, ref.Duplicated, ref.Delayed, ref.Reordered, ref.Corrupted, ref.Severed)
+		}
+		if got.Outvoted != ref.Outvoted || got.VotedRejections != ref.VotedRejections ||
+			got.RePulses != ref.RePulses || got.RePulseSends != ref.RePulseSends {
+			t.Fatalf("voted counters (%d,%d,%d,%d), reference (%d,%d,%d,%d)",
+				got.Outvoted, got.VotedRejections, got.RePulses, got.RePulseSends,
+				ref.Outvoted, ref.VotedRejections, ref.RePulses, ref.RePulseSends)
+		}
+		if len(got.EvictedEdges) != len(ref.EvictedEdges) {
+			t.Fatalf("%d evicted edges, reference %d", len(got.EvictedEdges), len(ref.EvictedEdges))
+		}
+		for i := range got.EvictedEdges {
+			if got.EvictedEdges[i] != ref.EvictedEdges[i] {
+				t.Fatalf("evicted edge %d = %v, reference %v", i, got.EvictedEdges[i], ref.EvictedEdges[i])
+			}
 		}
 		for v := range ref.States {
 			if got.States[v] != ref.States[v] {

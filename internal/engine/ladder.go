@@ -36,6 +36,9 @@ type qevent struct {
 	letter int32  // delivery only
 	epoch  uint32 // dynamic step only: liveness epoch at scheduling time
 	step   bool
+	// corrupt marks a delivery whose letter a channel Corrupt policy
+	// rewrote (voted runs count refused corrupted receipts with it).
+	corrupt bool
 }
 
 // before is the total order the ladder serves.

@@ -1,0 +1,135 @@
+package engine
+
+// White-box tests for the voted decoder's per-slot state machine: the
+// vote-threshold edges, the strike/eviction sequence, and the reboot
+// reset. The executor-level behavior (bit-identity, TU preservation,
+// Byzantine eviction) lives in voted_test.go; here the contract of
+// receive/fireEdge itself is pinned receipt by receipt.
+
+import (
+	"testing"
+
+	"stoneage/internal/nfsm"
+)
+
+func TestVotedReceiveThreshold(t *testing.T) {
+	vs := newVotedState(&VotedConfig{K: 2}, 1)
+	if vs.win != 3 {
+		t.Fatalf("window = %d, want 3", vs.win)
+	}
+	const a, b = nfsm.Letter(0), nfsm.Letter(1)
+	cur := nfsm.NoLetter
+
+	// A lone receipt holds 1 of 3: no winner.
+	if out, _ := vs.receive(0, a, cur); out != voteNoWinner {
+		t.Fatalf("first receipt: outcome %d, want voteNoWinner", out)
+	}
+	// A tie — one a, one b — must never commit either letter.
+	if out, _ := vs.receive(0, b, cur); out != voteNoWinner {
+		t.Fatalf("tied window: outcome %d, want voteNoWinner", out)
+	}
+	if vs.rejections != 2 {
+		t.Fatalf("rejections = %d, want 2", vs.rejections)
+	}
+	// The tie-breaking receipt commits its letter.
+	out, w := vs.receive(0, b, cur)
+	if out != voteCommit || w != b {
+		t.Fatalf("third receipt: (outcome, winner) = (%d, %v), want (voteCommit, %v)", out, w, b)
+	}
+	cur = b
+	// A corrupted singleton inside a committed window is outvoted: the
+	// winner stays b, and the outcome counts as refused for letter a.
+	out, w = vs.receive(0, a, cur)
+	if out != voteConfirm || w != b {
+		t.Fatalf("outvoted receipt: (outcome, winner) = (%d, %v), want (voteConfirm, %v)", out, w, b)
+	}
+	if !vs.outvoted(out, w, a) {
+		t.Error("corrupted singleton not counted as outvoted")
+	}
+	if vs.outvoted(out, w, b) {
+		t.Error("agreeing receipt counted as outvoted")
+	}
+}
+
+// TestVotedK1EveryReceiptCommits pins the degeneracy edge: with K=1
+// the window is 1 and every receipt — including a same-letter
+// overwrite — returns voteCommit, reproducing the αβ port contract
+// exactly (the caller's Lost bookkeeping counts overwrites).
+func TestVotedK1EveryReceiptCommits(t *testing.T) {
+	vs := newVotedState(&VotedConfig{K: 1}, 1)
+	const a = nfsm.Letter(0)
+	for i := 0; i < 3; i++ {
+		out, w := vs.receive(0, a, a)
+		if out != voteCommit || w != a {
+			t.Fatalf("receipt %d: (outcome, winner) = (%d, %v), want (voteCommit, %v)", i, out, w, a)
+		}
+	}
+	if vs.rejections != 0 {
+		t.Fatalf("rejections = %d, want 0", vs.rejections)
+	}
+}
+
+// TestVotedFireEdgeEviction walks a silent edge through the full
+// backoff-then-strike sequence at cap 4, E 2: sends while the window
+// grows (firings 1 and 3), then at the decayed cadence a transmitted
+// first strike (firing 7) and an evicting second strike (firing 11).
+// Any receipt restores the full runway.
+func TestVotedFireEdgeEviction(t *testing.T) {
+	vs := newVotedState(&VotedConfig{K: 2, EvictAfter: 2, BackoffCap: 4}, 1)
+	wantSend := map[int]bool{1: true, 3: true, 7: true}
+	for firing := 1; firing <= 10; firing++ {
+		send, evict := vs.fireEdge(0)
+		if send != wantSend[firing] {
+			t.Fatalf("firing %d: send = %v, want %v", firing, send, wantSend[firing])
+		}
+		if evict {
+			t.Fatalf("firing %d: evicted early", firing)
+		}
+	}
+	// Firing 11 is the second strike at decayed cadence: evict.
+	send, evict := vs.fireEdge(0)
+	if send || !evict {
+		t.Fatalf("firing 11: (send, evict) = (%v, %v), want (false, true)", send, evict)
+	}
+	if !vs.dead[0] {
+		t.Fatal("slot not marked dead after eviction")
+	}
+	// Dead slots discard receipts and never fire again.
+	if out, _ := vs.receive(0, 0, nfsm.NoLetter); out != voteIgnored {
+		t.Fatalf("dead slot receipt: outcome %d, want voteIgnored", out)
+	}
+	if send, evict := vs.fireEdge(0); send || evict {
+		t.Fatal("dead slot fired again")
+	}
+	// A reboot clears the eviction and the decoder listens again.
+	vs.resetSlots(0, 1)
+	if vs.dead[0] {
+		t.Fatal("resetSlots left the slot dead")
+	}
+	if send, _ := vs.fireEdge(0); !send {
+		t.Fatal("rebooted slot did not send on first firing")
+	}
+}
+
+// TestVotedReceiptRestoresRunway pins the liveness half of eviction:
+// one receipt between strikes resets both the stall counter and the
+// backoff window, so an edge that keeps answering — however rarely in
+// its own clock — never evicts.
+func TestVotedReceiptRestoresRunway(t *testing.T) {
+	vs := newVotedState(&VotedConfig{K: 1, EvictAfter: 2, BackoffCap: 2}, 1)
+	for round := 0; round < 50; round++ {
+		// Walk to the brink: window decays to cap, first strike lands.
+		for firing := 0; firing < 4; firing++ {
+			if _, evict := vs.fireEdge(0); evict {
+				t.Fatalf("round %d firing %d: evicted with receipts flowing", round, firing)
+			}
+		}
+		if vs.stall[0] == 0 {
+			t.Fatalf("round %d: no strike recorded at decayed cadence", round)
+		}
+		vs.receive(0, 0, nfsm.NoLetter)
+		if vs.stall[0] != 0 || vs.rpWin[0] != 1 {
+			t.Fatalf("round %d: receipt left (stall, win) = (%d, %d)", round, vs.stall[0], vs.rpWin[0])
+		}
+	}
+}

@@ -147,9 +147,14 @@ var desc = protocol.Register(&protocol.Descriptor{
 	Summary: "maximal independent set — the 7-state tournament of Figure 1 (Section 4)",
 	// Duplication is invisible to an overwrite-only port under FIFO
 	// delivery (TestSyncChannelDupTolerated); the tournament handshake
-	// does not survive loss, reordering or Byzantine silence.
-	Caps:    protocol.CapToleratesDup,
-	Machine: func(protocol.Args) (*nfsm.RoundProtocol, error) { return Protocol(), nil },
+	// does not survive loss or reordering on its own. Corruption and
+	// Byzantine silence are tolerated only through the voted
+	// synchronizer tier (the hostile-mis sweep's async-voted cells —
+	// see docs/robustness-matrix.md), at the declared eviction bound.
+	Caps: protocol.CapToleratesDup |
+		protocol.CapToleratesCorrupt | protocol.CapToleratesByzantine,
+	EvictionBound: 3,
+	Machine:       func(protocol.Args) (*nfsm.RoundProtocol, error) { return Protocol(), nil },
 	Decode: func(_ protocol.Args, states []nfsm.State) (protocol.Output, error) {
 		inSet, err := Extract(states)
 		if err != nil {

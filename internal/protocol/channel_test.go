@@ -117,7 +117,7 @@ func TestToleranceCaps(t *testing.T) {
 		t.Fatal(err)
 	}
 	tols := d.Caps.Tolerances()
-	want := []string{"loss", "dup", "reorder"}
+	want := []string{"loss", "dup", "reorder", "corrupt", "byzantine"}
 	if len(tols) != len(want) {
 		t.Fatalf("ssmis tolerances = %v, want %v", tols, want)
 	}
@@ -126,17 +126,22 @@ func TestToleranceCaps(t *testing.T) {
 			t.Fatalf("ssmis tolerances = %v, want %v", tols, want)
 		}
 	}
-	if s := d.Caps.TolString(); s != "loss,dup,reorder" {
+	if s := d.Caps.TolString(); s != "loss,dup,reorder,corrupt,byzantine" {
 		t.Errorf("TolString = %q", s)
 	}
 	// The descriptor-level rendering qualifies the reorder claim with
 	// its measured window bound — `stonesim protocols` must not print
-	// an unbounded claim the matrix refutes at mean-2 windows.
+	// an unbounded claim the matrix refutes at mean-2 windows — and the
+	// byzantine claim with its measured eviction bound, the same
+	// cap⇔bound pattern.
 	if d.ReorderWindow != 1 {
 		t.Errorf("ssmis ReorderWindow = %g, want 1", d.ReorderWindow)
 	}
-	if s := d.TolString(); s != "loss,dup,reorder≤1" {
-		t.Errorf("descriptor TolString = %q, want window-qualified reorder", s)
+	if d.EvictionBound != 3 {
+		t.Errorf("ssmis EvictionBound = %g, want 3", d.EvictionBound)
+	}
+	if s := d.TolString(); s != "loss,dup,reorder≤1,corrupt,byzantine(evict≤3)" {
+		t.Errorf("descriptor TolString = %q, want window- and eviction-qualified claims", s)
 	}
 	if strings.Contains(d.Caps.String(), "loss") {
 		t.Errorf("execution capability string %q leaked a tolerance", d.Caps.String())
@@ -145,10 +150,10 @@ func TestToleranceCaps(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s := mis.Caps.TolString(); s != "dup" {
+	if s := mis.Caps.TolString(); s != "dup,corrupt,byzantine" {
 		t.Errorf("mis TolString = %q", s)
 	}
-	if s := mis.TolString(); s != "dup" {
+	if s := mis.TolString(); s != "dup,corrupt,byzantine(evict≤3)" {
 		t.Errorf("mis descriptor TolString = %q", s)
 	}
 }

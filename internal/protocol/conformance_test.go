@@ -90,6 +90,21 @@ func TestConformance(t *testing.T) {
 					if err := bound.Check(run.Output); err != nil {
 						t.Fatalf("graph %d async tolerant: real output rejected: %v", gi, err)
 					}
+					// And the voted αβv tier likewise: on reliable links
+					// the vote commits at the same times, nothing evicts,
+					// and the decoded output must still conform.
+					run, err = bound.RunAsync(protocol.AsyncConfig{
+						Seed: 1, Adversary: adv, Synchro: protocol.SynchroVoted,
+					})
+					if err != nil {
+						t.Fatalf("graph %d async voted: %v", gi, err)
+					}
+					if err := bound.Check(run.Output); err != nil {
+						t.Fatalf("graph %d async voted: real output rejected: %v", gi, err)
+					}
+					if len(run.EvictedEdges) != 0 {
+						t.Fatalf("graph %d async voted: %d edges evicted on reliable links", gi, len(run.EvictedEdges))
+					}
 				}
 			}
 		})

@@ -95,6 +95,17 @@ const (
 // protocol declares.
 const TolerantSynchroCaps = CapToleratesLoss | CapToleratesDup
 
+// VotedSynchroCaps is the tolerance set the voted synchronizer tier
+// (AsyncConfig.Synchro = SynchroVoted) confers on any engine-hosted
+// protocol it compiles: everything the αβ hybrid tolerates, plus
+// corruption (a flipped copy needs K−1 equally flipped companions in
+// the vote window to be believed) and Byzantine silence (a stalled
+// edge is evicted after the declared eviction bound and the honest
+// remainder validates on the honest-induced subgraph). It is what the
+// hostile-mis sweep measures. Reordering remains whatever the
+// underlying protocol declares.
+const VotedSynchroCaps = CapToleratesLoss | CapToleratesDup | CapToleratesCorrupt | CapToleratesByzantine
+
 // capNames orders the capability labels for display.
 var capNames = []struct {
 	cap  Caps
@@ -151,11 +162,12 @@ func (c Caps) TolString() string {
 // this, not Caps.Tolerances, so bounded claims read as bounded.
 func (d *Descriptor) Tolerances() []string {
 	out := d.Caps.Tolerances()
-	if d.Caps.Has(CapToleratesReorder) && d.ReorderWindow > 0 {
-		for i, s := range out {
-			if s == "reorder" {
-				out[i] = fmt.Sprintf("reorder≤%g", d.ReorderWindow)
-			}
+	for i, s := range out {
+		switch {
+		case s == "reorder" && d.Caps.Has(CapToleratesReorder) && d.ReorderWindow > 0:
+			out[i] = fmt.Sprintf("reorder≤%g", d.ReorderWindow)
+		case s == "byzantine" && d.Caps.Has(CapToleratesByzantine) && d.EvictionBound > 0:
+			out[i] = fmt.Sprintf("byzantine(evict≤%g)", d.EvictionBound)
 		}
 	}
 	return out
@@ -308,6 +320,17 @@ type Run struct {
 	Reordered  int64
 	Corrupted  int64
 	Severed    int64
+	// Voted-synchronizer bookkeeping (all zero unless the run used
+	// AsyncConfig.Synchro = SynchroVoted); see engine.AsyncResult.
+	Outvoted        int64
+	VotedRejections int64
+	RePulses        int64
+	RePulseSends    int64
+	// EvictedEdges lists every (node, neighbor) pair whose incoming
+	// edge the voted decoder evicted for persistent silence, in
+	// eviction order. An evicted honest edge is a measured correctness
+	// cost — validation still runs on the full honest subgraph.
+	EvictedEdges [][2]int
 	// Byzantine lists the run's Byzantine node ids (nil when none).
 	// CheckRun validates the output on the honest-induced subgraph —
 	// Byzantine nodes answer to no invariant.
@@ -338,6 +361,14 @@ type Descriptor struct {
 	// Campaign spec validation enforces declared windows against swept
 	// ones.
 	ReorderWindow float64
+	// EvictionBound bounds the CapToleratesByzantine declaration: the
+	// dead-edge eviction threshold (voted synchronizer EvictAfter — see
+	// engine.VotedConfig) the tolerance is measured at. Required (>0)
+	// exactly when CapToleratesByzantine is set: a Byzantine-tolerance
+	// claim with no declared eviction bound is the silence-stall
+	// overclaim the robustness matrix exists to prevent. Campaign spec
+	// validation re-checks it before any Byzantine cell runs.
+	EvictionBound float64
 
 	// Machine constructs the protocol's round machine from resolved
 	// arguments. The registry compiles it to engine.MachineCode lazily,
@@ -418,6 +449,12 @@ func (d *Descriptor) validate() error {
 	}
 	if !d.Caps.Has(CapToleratesReorder) && d.ReorderWindow != 0 {
 		return fmt.Errorf("protocol %q sets ReorderWindow without declaring reorder tolerance", d.Name)
+	}
+	if d.Caps.Has(CapToleratesByzantine) && d.EvictionBound <= 0 {
+		return fmt.Errorf("protocol %q declares byzantine tolerance without an EvictionBound", d.Name)
+	}
+	if !d.Caps.Has(CapToleratesByzantine) && d.EvictionBound != 0 {
+		return fmt.Errorf("protocol %q sets EvictionBound without declaring byzantine tolerance", d.Name)
 	}
 	seen := map[string]bool{}
 	for _, p := range d.Params {

@@ -83,6 +83,17 @@ func TestRegisterRejectsInvalidDescriptors(t *testing.T) {
 	d = valid()
 	d.Params = []protocol.ParamDef{{Name: "p", Default: 5, Min: 0, Max: 1}}
 	expectPanic("default outside domain", d)
+
+	// The Byzantine claim is cap⇔bound, like reorder: declaring the
+	// cap without the measured eviction bound — or the bound without
+	// the cap — is an overclaim rejected at registration.
+	d = valid()
+	d.Caps |= protocol.CapToleratesByzantine
+	expectPanic("byzantine cap without eviction bound", d)
+
+	d = valid()
+	d.EvictionBound = 3
+	expectPanic("eviction bound without byzantine cap", d)
 }
 
 func TestResolveArgsDomains(t *testing.T) {

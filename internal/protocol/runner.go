@@ -82,15 +82,25 @@ type AsyncConfig struct {
 	// Synchro selects the synchronizer compilation: "" or "alpha" is
 	// the paper's Theorem 3.1/3.4 α-synchronizer; "tolerant" is the
 	// αβ hybrid (bounded re-pulse on stall timeout) that survives
-	// lossy channels at a time-unit overhead. The two compilations
-	// never share cache slots.
+	// lossy channels at a time-unit overhead; "voted" is the αβ
+	// machine under the voted engine contract (k-of-(2k−1) pulse
+	// decoding, dead-edge eviction, adaptive re-pulse backoff) that
+	// additionally survives corruption and Byzantine silence. The
+	// compilations never share cache slots.
 	Synchro string
+	// VoteK, EvictAfter and RePulseCap tune the voted synchronizer
+	// (Synchro = SynchroVoted; ignored otherwise). Zero selects the
+	// defaults — see engine.VotedConfig.
+	VoteK      int
+	EvictAfter int
+	RePulseCap int
 }
 
 // Synchronizer names accepted by AsyncConfig.Synchro.
 const (
 	SynchroAlpha    = "alpha"
 	SynchroTolerant = "tolerant"
+	SynchroVoted    = "voted"
 )
 
 // ResolveArgs fills defaults for missing parameters and validates every
@@ -172,6 +182,11 @@ type codeEntry struct {
 	tolM    *synchro.Compiled
 	tolCode *engine.MachineCode
 	tolErr  error
+
+	votedOnce sync.Once
+	votedM    *synchro.Compiled
+	votedCode *engine.MachineCode
+	votedErr  error
 }
 
 // codeEntryFor returns the (possibly empty) cache slot for the resolved
@@ -244,6 +259,30 @@ func (d *Descriptor) tolerantMachineCode(args Args) (*synchro.Compiled, *engine.
 	return e.tolM, e.tolCode, e.tolErr
 }
 
+// votedMachineCode is asyncMachineCode for the voted tier. Its own
+// cache slot for the same reason the tolerant tier has one — and
+// although the voted machine is the tolerant state machine verbatim,
+// sharing the tolerant slot would share interning order between runs
+// that must stay independently reproducible.
+func (d *Descriptor) votedMachineCode(args Args) (*synchro.Compiled, *engine.MachineCode, error) {
+	e := d.codeEntryFor(args)
+	e.votedOnce.Do(func() {
+		m, err := d.Machine(args)
+		if err != nil {
+			e.votedErr = err
+			return
+		}
+		compiled, err := synchro.CompileRoundVoted(m)
+		if err != nil {
+			e.votedErr = err
+			return
+		}
+		e.votedM = compiled
+		e.votedCode = engine.CompileMachine(compiled)
+	})
+	return e.votedM, e.votedCode, e.votedErr
+}
+
 // Bound is a protocol bound to one graph: arguments resolved (including
 // graph-derived ones), capabilities checked, and — for engine-hosted
 // protocols — the compiled machine code bound to the graph's CSR
@@ -269,6 +308,11 @@ type Bound struct {
 	tolProg *engine.Program
 	tolM    *synchro.Compiled
 	tolErr  error
+
+	votedOnce sync.Once
+	votedProg *engine.Program
+	votedM    *synchro.Compiled
+	votedErr  error
 }
 
 // Scratch is a reusable per-worker execution arena threaded down to the
@@ -510,6 +554,22 @@ func (b *Bound) tolerantProgram() (*engine.Program, *synchro.Compiled, error) {
 	return b.tolProg, b.tolM, b.tolErr
 }
 
+// votedProgram lazily binds the descriptor's cached voted-tier
+// compilation to the graph, once per Bound and independent of the
+// other synchronizers' slots.
+func (b *Bound) votedProgram() (*engine.Program, *synchro.Compiled, error) {
+	b.votedOnce.Do(func() {
+		m, code, err := b.d.votedMachineCode(b.args)
+		if err != nil {
+			b.votedErr = err
+			return
+		}
+		b.votedM = m
+		b.votedProg = code.Bind(b.g)
+	})
+	return b.votedProg, b.votedM, b.votedErr
+}
+
 // RunAsync executes the protocol on the asynchronous engine under the
 // configured adversary, through the descriptor's cached Theorem 3.1/3.4
 // synchronizer compilation (shared across runs; see the file comment).
@@ -534,16 +594,25 @@ func (b *Bound) RunAsyncReusing(cfg AsyncConfig, s *Scratch) (*Run, error) {
 		prog, compiled, err = b.asyncProgram()
 	case SynchroTolerant:
 		prog, compiled, err = b.tolerantProgram()
+	case SynchroVoted:
+		prog, compiled, err = b.votedProgram()
 	default:
-		return nil, fmt.Errorf("protocol %s: unknown synchronizer %q (want %q or %q)",
-			b.d.Name, cfg.Synchro, SynchroAlpha, SynchroTolerant)
+		return nil, fmt.Errorf("protocol %s: unknown synchronizer %q (want %q, %q or %q)",
+			b.d.Name, cfg.Synchro, SynchroAlpha, SynchroTolerant, SynchroVoted)
 	}
 	if err != nil {
 		return nil, err
 	}
+	var vcfg *engine.VotedConfig
+	if cfg.Synchro == SynchroVoted {
+		vcfg = &engine.VotedConfig{
+			K: cfg.VoteK, EvictAfter: cfg.EvictAfter, BackoffCap: cfg.RePulseCap,
+			RePulseSource: compiled.RePulseSource,
+		}
+	}
 	res, err := prog.RunAsyncReusing(engine.AsyncConfig{
 		Seed: cfg.Seed, Adversary: cfg.Adversary, MaxSteps: cfg.MaxSteps,
-		Scenario: sc, Channel: cfg.Channel,
+		Scenario: sc, Channel: cfg.Channel, Voted: vcfg,
 	}, s.engine())
 	if err != nil {
 		return nil, err
@@ -563,6 +632,9 @@ func (b *Bound) RunAsyncReusing(cfg AsyncConfig, s *Scratch) (*Run, error) {
 		Dropped:    res.Dropped, Duplicated: res.Duplicated, Delayed: res.Delayed,
 		Reordered: res.Reordered, Corrupted: res.Corrupted, Severed: res.Severed,
 		Byzantine: byzNodes(sc),
+		Outvoted:  res.Outvoted, VotedRejections: res.VotedRejections,
+		RePulses: res.RePulses, RePulseSends: res.RePulseSends,
+		EvictedEdges: res.EvictedEdges,
 	}, nil
 }
 

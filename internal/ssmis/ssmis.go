@@ -127,9 +127,14 @@ func Extract(states []nfsm.State) (protocol.Mask, error) {
 var desc = protocol.Register(&protocol.Descriptor{
 	Name:    "ssmis",
 	Summary: "self-stabilizing MIS — continuous claim/backoff, recovers from churn with no reset",
+	// Corruption and Byzantine silence are tolerated only through the
+	// voted synchronizer tier (the hostile-mis sweep's async-voted
+	// cells), at the declared eviction bound.
 	Caps: protocol.CapSelfStabilizing |
-		protocol.CapToleratesLoss | protocol.CapToleratesDup | protocol.CapToleratesReorder,
+		protocol.CapToleratesLoss | protocol.CapToleratesDup | protocol.CapToleratesReorder |
+		protocol.CapToleratesCorrupt | protocol.CapToleratesByzantine,
 	ReorderWindow: 1,
+	EvictionBound: 3,
 	Machine:       func(protocol.Args) (*nfsm.RoundProtocol, error) { return Protocol(), nil },
 	Decode: func(_ protocol.Args, states []nfsm.State) (protocol.Output, error) {
 		return Extract(states)

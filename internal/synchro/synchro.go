@@ -107,6 +107,11 @@ type Compiled struct {
 	// CompileRound always produced.
 	tolerant bool
 	timeout  int
+	// voted marks the αβv tier: the state machine is the tolerant
+	// hybrid unchanged, but engines running a voted machine apply
+	// k-of-(2k−1) receipt voting, dead-edge eviction and per-edge
+	// re-pulse backoff (none of which fit in per-node machine state).
+	voted bool
 
 	mu     sync.Mutex
 	states []cdesc
@@ -181,6 +186,39 @@ func CompileRoundTolerant(p *nfsm.RoundProtocol) (*Compiled, error) {
 		return nil, fmt.Errorf("synchro: %w", err)
 	}
 	c := newCompiled(p.Name+"^αβ", p, nil, true, true)
+	return c, nil
+}
+
+// CompileVoted produces the voted tier (name^αβv) of the tolerant
+// synchronizer for a single-letter protocol. The compiled state machine
+// is the αβ hybrid verbatim — same states, same re-pulse cadence, same
+// transition rows — so a voted machine driven through the plain
+// delivery path is bit-identical to CompileTolerant's. What the voted
+// flag changes is the *contract with the engine*: the executor commits
+// a received letter to a port only after it wins a k-of-(2k−1) vote
+// over the re-pulse stream (outvoting corrupted copies), evicts edges
+// that stay silent across consecutive re-pulse firings (unsticking
+// Byzantine-silent neighbors), and applies per-edge multiplicative
+// backoff to the re-pulse transmissions the machine requests (see
+// RePulseSource). The machine is the oracle; the engine is the decoder.
+func CompileVoted(p *nfsm.Protocol) (*Compiled, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("synchro: %w", err)
+	}
+	c := newCompiled(p.Name+"^αβv", p, p, false, true)
+	c.voted = true
+	return c, nil
+}
+
+// CompileRoundVoted is the voted-tier counterpart of CompileRound: a
+// multi-letter RoundProtocol compiled for asynchronous execution over
+// hostile channels (corruption and Byzantine silence, not just loss).
+func CompileRoundVoted(p *nfsm.RoundProtocol) (*Compiled, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("synchro: %w", err)
+	}
+	c := newCompiled(p.Name+"^αβv", p, nil, true, true)
+	c.voted = true
 	return c, nil
 }
 
@@ -680,3 +718,19 @@ func (c *Compiled) Tolerant() bool { return c.tolerant }
 // Timeout returns the number of consecutive stalled steps after which a
 // tolerant machine re-transmits M_v(t−1); it is 0 for plain machines.
 func (c *Compiled) Timeout() int { return c.timeout }
+
+// Voted reports whether this machine is the αβv tier: a tolerant
+// hybrid whose engine contract adds voted pulse decoding, dead-edge
+// eviction and adaptive re-pulse backoff.
+func (c *Compiled) Voted() bool { return c.voted }
+
+// RePulseSource reports whether an emission made from state s is a
+// re-pulse (a timer-expiry re-transmission of M_v(t−1) from a pausing
+// state) as opposed to a fresh round message (emitted from the final
+// scan state via δ̂). Engines running a voted machine gate and count
+// re-pulse transmissions per edge; round messages are never gated.
+func (c *Compiled) RePulseSource(s nfsm.State) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.states[s].feature == featPause
+}
